@@ -1,0 +1,41 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Each ``test_figN_*.py`` / ``test_tableN_*.py`` regenerates one figure or
+table of the paper: it runs the corresponding experiment under
+pytest-benchmark, writes the text report to ``benchmarks/reports/`` and
+asserts the paper's qualitative claims (who wins, what dominates, where
+crossovers fall).
+
+Scale knobs: ``REPRO_SCALE`` (default 0.04 of published node counts) and
+``REPRO_DPUS`` (default 512) environment variables.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments import DatasetCache, ExperimentConfig
+
+
+@pytest.fixture(scope="session")
+def config() -> ExperimentConfig:
+    return ExperimentConfig()
+
+
+@pytest.fixture(scope="session")
+def cache(config) -> DatasetCache:
+    return DatasetCache(config)
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> pathlib.Path:
+    path = pathlib.Path(__file__).parent / "reports"
+    path.mkdir(exist_ok=True)
+    return path
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

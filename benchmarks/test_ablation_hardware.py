@@ -1,0 +1,25 @@
+"""§6.4 recommendations — hardware-change ablations on the simulator."""
+
+from conftest import run_once
+
+from repro.experiments import run_hardware_ablations
+
+
+def test_ablation_hardware(benchmark, config, cache, report_dir):
+    result = run_once(benchmark, lambda: run_hardware_ablations(config, cache))
+    (report_dir / "ablation_hardware.txt").write_text(result.format_report())
+
+    # Every recommended change helps (or at worst is neutral) ...
+    for row in result.rows:
+        assert row.speedup_vs_baseline >= 0.999, row.name
+
+    # ... the idealized pipeline (intra-thread forwarding) is the largest
+    # single lever, as PIMulator's proposal suggests ...
+    ideal = result.speedup("idealized pipeline")
+    assert ideal >= result.speedup("non-blocking DMA") - 1e-9
+    assert ideal >= result.speedup("no RF hazards") - 1e-9
+
+    # ... and combining all three is at least as good as any single one.
+    combined = result.speedup("all three")
+    assert combined >= ideal - 1e-9
+    assert combined > 1.05

@@ -1,0 +1,23 @@
+"""§6.3.1 what-if — direct inter-DPU interconnect headroom."""
+
+from conftest import run_once
+
+from repro.experiments import run_interconnect_ablation
+
+
+def test_ablation_interconnect(benchmark, config, cache, report_dir):
+    result = run_once(
+        benchmark, lambda: run_interconnect_ablation(config, cache)
+    )
+    (report_dir / "ablation_interconnect.txt").write_text(
+        result.format_report()
+    )
+
+    # The paper's recommendation exists because the vector round-trip
+    # dominates: a direct network must help every algorithm...
+    for algorithm in ("bfs", "sssp", "ppr"):
+        assert result.speedup(algorithm) > 1.2, algorithm
+
+    # ...and it must help the transfer-bound traversals (BFS) at least
+    # as much as the kernel-heavy PPR.
+    assert result.speedup("bfs") >= result.speedup("ppr") * 0.95

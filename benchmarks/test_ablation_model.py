@@ -1,0 +1,15 @@
+"""Model-consistency ablation: analytic estimates vs. the cycle simulator."""
+
+from conftest import run_once
+
+from repro.experiments import run_model_agreement
+
+
+def test_ablation_model_agreement(benchmark, report_dir):
+    result = run_once(benchmark, lambda: run_model_agreement(num_workloads=8))
+    (report_dir / "ablation_model.txt").write_text(result.format_report())
+
+    # The fast analytic model must track the cycle-level simulator within
+    # a 2x factor on every random workload, and within ~1.3x on average.
+    assert result.worst_ratio < 2.0, result.worst_ratio
+    assert result.mean_ratio < 1.3, result.mean_ratio

@@ -1,0 +1,54 @@
+"""§4.2 — empirical switch point and threshold-sensitivity analysis."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.adaptive import probe_crossover, runtime_sensitivity
+from repro.datasets import get_dataset
+
+
+def test_switch_crossover_exists(benchmark, config, cache, report_dir):
+    """SpMSpV and SpMV per-density curves cross (Fig. 4's motivation)."""
+    matrix = cache.get("A302")
+    probe = run_once(
+        benchmark,
+        lambda: probe_crossover(matrix, config.system(), config.num_dpus),
+    )
+    lines = [
+        f"density={d:.2f}  spmv={sv * 1e3:.3f}ms  spmspv={sp * 1e3:.3f}ms"
+        for d, sv, sp in zip(
+            probe.densities, probe.spmv_seconds, probe.spmspv_seconds
+        )
+    ]
+    crossover = probe.crossover_density
+    lines.append(f"crossover density: {crossover}")
+    (report_dir / "switch_crossover.txt").write_text("\n".join(lines) + "\n")
+
+    # SpMSpV wins decisively at 1% density...
+    assert probe.spmspv_seconds[0] < probe.spmv_seconds[0]
+    # ...and its cost rises monotonically-ish with density while SpMV is
+    # flat, so the advantage shrinks toward the dense end.
+    gain_low = probe.spmv_seconds[0] / probe.spmspv_seconds[0]
+    gain_high = probe.spmv_seconds[-1] / probe.spmspv_seconds[-1]
+    assert gain_low > gain_high
+
+
+def test_threshold_sensitivity(benchmark, config, cache, report_dir):
+    """Paper §4.2.1: +-10% threshold error costs little total runtime."""
+    matrix = cache.get("A302")
+    outcomes = run_once(
+        benchmark,
+        lambda: runtime_sensitivity(
+            matrix, config.system(), config.num_dpus, base_threshold=0.50
+        ),
+    )
+    lines = [
+        f"threshold={t:.2f}  total={s * 1e3:.3f}ms" for t, s in outcomes.items()
+    ]
+    (report_dir / "switch_sensitivity.txt").write_text("\n".join(lines) + "\n")
+
+    base = outcomes[0.50]
+    for threshold, total in outcomes.items():
+        # the paper reports < 5% average impact; we allow 15% headroom for
+        # the reduced-scale runs
+        assert total < base * 1.15, (threshold, total, base)

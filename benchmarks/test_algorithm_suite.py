@@ -1,0 +1,102 @@
+"""The full algorithm suite on one graph: correctness + cost summary.
+
+Covers the paper's three algorithms plus the extension set (PageRank,
+connected components, betweenness centrality, delta-stepping SSSP,
+multi-source BFS), all on the simulated PIM system, with every answer
+checked against an independent reference.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.adaptive import AdaptiveSwitchPolicy
+from repro.algorithms import (
+    bfs,
+    bfs_reference,
+    betweenness_centrality,
+    betweenness_reference,
+    connected_components,
+    connected_components_reference,
+    multi_source_bfs,
+    pagerank,
+    pagerank_reference,
+    ppr,
+    ppr_reference,
+    sssp,
+    sssp_delta_stepping,
+    sssp_reference,
+)
+from repro.datasets import add_weights
+from repro.experiments.common import format_table
+
+
+def _run_suite(config, cache):
+    rng = np.random.default_rng(11)
+    graph = cache.get("A302")
+    weighted = cache.get("A302", weighted=True)
+    system = config.system()
+    dpus = config.num_dpus
+    policy = lambda m: AdaptiveSwitchPolicy.for_matrix(m)  # noqa: E731
+
+    runs = {}
+    runs["bfs"] = bfs(graph, 0, system, dpus, policy=policy(graph))
+    runs["sssp"] = sssp(weighted, 0, system, dpus, policy=policy(weighted))
+    runs["sssp-delta"] = sssp_delta_stepping(weighted, 0, system, dpus)
+    runs["ppr"] = ppr(graph, 0, system, dpus, policy=policy(graph))
+    runs["pagerank"] = pagerank(graph, system, dpus)
+    runs["cc"] = connected_components(graph, system, dpus)
+    runs["bc"] = betweenness_centrality(graph, [0, 1, 2], system, dpus)
+    runs["msbfs"] = multi_source_bfs(graph, [0, 1, 2, 3], system, dpus)
+    return graph, weighted, runs
+
+
+def test_algorithm_suite(benchmark, config, cache, report_dir):
+    graph, weighted, runs = run_once(
+        benchmark, lambda: _run_suite(config, cache)
+    )
+
+    # -- correctness, every algorithm against its reference ---------------
+    assert np.array_equal(runs["bfs"].values, bfs_reference(graph, 0))
+    sssp_ref = sssp_reference(weighted, 0)
+    assert np.allclose(runs["sssp"].values, sssp_ref)
+    assert np.allclose(runs["sssp-delta"].values, sssp_ref)
+    assert np.abs(runs["ppr"].values - ppr_reference(graph, 0)).sum() < 1e-4
+    assert (
+        np.abs(runs["pagerank"].values - pagerank_reference(graph)).sum()
+        < 1e-4
+    )
+    cc_ref = connected_components_reference(graph)
+    # same partition structure (labels may differ by representative)
+    got, want = runs["cc"].values, cc_ref
+    mapping = {}
+    for a, b in zip(got.tolist(), want.tolist()):
+        assert mapping.setdefault(a, b) == b
+    assert np.allclose(
+        runs["bc"].values, betweenness_reference(graph, [0, 1, 2])
+    )
+    for j in range(4):
+        assert np.array_equal(
+            runs["msbfs"].values[:, j], bfs_reference(graph, j)
+        )
+
+    # -- cost summary report ------------------------------------------------
+    rows = []
+    for name, run in runs.items():
+        b = run.breakdown
+        rows.append(
+            (name, run.num_iterations, b.total * 1e3, b.kernel * 1e3,
+             run.energy.total_j)
+        )
+    (report_dir / "algorithm_suite.txt").write_text(
+        format_table(
+            ["algorithm", "kernel launches", "total (ms)", "kernel (ms)",
+             "energy (J)"],
+            rows,
+            title="Full algorithm suite on A302 (simulated UPMEM)",
+        )
+    )
+
+    # every run is fully accounted
+    for name, run in runs.items():
+        assert run.total_s > 0, name
+        assert run.num_iterations >= 1, name

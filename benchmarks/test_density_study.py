@@ -1,0 +1,19 @@
+"""§3 — BFS input-vector density stays low through the first half."""
+
+from conftest import run_once
+
+from repro.experiments import run_density_study
+
+
+def test_density_study(benchmark, config, cache, report_dir):
+    result = run_once(benchmark, lambda: run_density_study(config, cache))
+    (report_dir / "density_study.txt").write_text(result.format_report())
+
+    # Paper §3: "for most cases, the input vector's density remains
+    # below 50% during the first half of the iterations."
+    assert result.fraction_below_half >= 0.6
+
+    # BFS must terminate on every dataset and produce valid densities.
+    for row in result.rows:
+        assert row.num_iterations >= 1
+        assert 0.0 <= row.peak_density <= 1.0

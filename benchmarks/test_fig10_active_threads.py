@@ -1,0 +1,28 @@
+"""Fig. 10 — average active tasklets per cycle for SpMV and SpMSpV."""
+
+from conftest import run_once
+
+from repro.experiments import run_fig9_11
+
+
+def test_fig10_active_threads(benchmark, config, cache, report_dir):
+    result = run_once(
+        benchmark, lambda: run_fig9_11(config, cache, run_cycle_sim=False)
+    )
+    (report_dir / "fig10.txt").write_text(result.format_report())
+
+    # Paper claim 1: SpMSpV thread activity grows with input density
+    # (more parallel work per DPU as more columns activate).
+    threads = [
+        result.active_threads("spmspv", d) for d in (0.01, 0.10, 0.50)
+    ]
+    assert threads[0] <= threads[1] <= threads[2], threads
+
+    # Paper claim 2: at 1% density thread engagement is limited (far from
+    # the 24-tasklet ceiling).
+    assert threads[0] < 12.0
+
+    # Paper claim 3: SpMV thread activity does not vary with density
+    # (it always scans the whole matrix).
+    spmv = [result.active_threads("spmv", d) for d in (0.01, 0.10, 0.50)]
+    assert max(spmv) - min(spmv) < 0.5 + 0.1 * max(spmv), spmv

@@ -1,0 +1,45 @@
+"""Fig. 11 — instruction mix for SpMV and SpMSpV across densities."""
+
+from conftest import run_once
+
+from repro.experiments import run_fig9_11
+
+
+def test_fig11_instruction_mix(benchmark, config, cache, report_dir):
+    result = run_once(
+        benchmark, lambda: run_fig9_11(config, cache, run_cycle_sim=False)
+    )
+    (report_dir / "fig11.txt").write_text(result.format_report())
+
+    # Paper obs. 1: synchronization instructions take a larger share of
+    # SpMSpV at low density than at high density (contention over few
+    # shared output entries).
+    sync_shares = [result.sync_share("spmspv", d) for d in (0.01, 0.10, 0.50)]
+    assert sync_shares[0] >= sync_shares[2] * 0.8, sync_shares
+    # ... and SpMSpV synchronizes more than SpMV at every density (CSC
+    # column-split tasklets lock shared output rows).
+    for density in (0.01, 0.10, 0.50):
+        assert (
+            result.sync_share("spmspv", density)
+            > result.sync_share("spmv", density)
+        ), density
+
+    # Paper obs. 2: SpMV executes more arithmetic than SpMSpV (it
+    # processes every stored element regardless of input sparsity).
+    for density in (0.01, 0.10):
+        assert (
+            result.arith_share("spmv", density)
+            >= result.arith_share("spmspv", density) * 0.9
+        ), density
+
+    # Paper obs. 3: scratchpad load/stores are a non-trivial share of the
+    # mix once the kernel has real work (UPMEM's WRAM-centric execution
+    # model); at 1% density the fixed setup/barrier instructions dominate
+    # the tiny per-DPU workloads of the reduced-scale runs.
+    for kind in ("spmv", "spmspv"):
+        dense_ls = [
+            c.instruction_mix["loadstore"]
+            for c in result.cells
+            if c.density == 0.50 and c.kernel.startswith(kind)
+        ]
+        assert max(dense_ls) > 0.05, (kind, dense_ls)

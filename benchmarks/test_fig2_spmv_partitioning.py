@@ -1,0 +1,31 @@
+"""Fig. 2 — SpMV 1-D (COO.nnz) vs. 2-D (DCOO) execution-time breakdown."""
+
+from conftest import run_once
+
+from repro.experiments import run_fig2
+
+
+def test_fig2_spmv_partitioning(benchmark, config, cache, report_dir):
+    result = run_once(benchmark, lambda: run_fig2(config, cache))
+    (report_dir / "fig2.txt").write_text(result.format_report())
+
+    # Paper claim 1: 1-D partitioning pays a high input-vector broadcast
+    # cost — its Load share exceeds 2-D's by a wide margin.
+    load_1d = result.load_fraction("spmv-coo-nnz")
+    load_2d = result.load_fraction("spmv-dcoo")
+    assert load_1d > load_2d, (load_1d, load_2d)
+
+    # Paper claim 2: 2-D reduces total time on average (Fig. 2 shows the
+    # 2-D bar below the 1-D bar for most datasets).
+    assert result.geomean_total("spmv-dcoo") < 1.0
+
+    # Paper claim 3: 2-D's Retrieve+Merge share is at least as large as
+    # 1-D's (the cost it trades the Load savings for).
+    def tail_share(kernel):
+        rows = [r for r in result.rows if r.kernel == kernel]
+        return sum(
+            (r.breakdown.retrieve + r.breakdown.merge) / r.breakdown.total
+            for r in rows
+        ) / len(rows)
+
+    assert tail_share("spmv-dcoo") >= tail_share("spmv-coo-nnz") - 1e-9

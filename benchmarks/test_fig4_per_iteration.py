@@ -1,0 +1,35 @@
+"""Fig. 4 — per-iteration SpMV-only vs. SpMSpV-only traces (BFS, SSSP)."""
+
+from conftest import run_once
+
+from repro.datasets.table2 import FIG4_DATASETS
+from repro.experiments import run_fig4
+
+
+def test_fig4_per_iteration(benchmark, config, cache, report_dir):
+    result = run_once(benchmark, lambda: run_fig4(config, cache))
+    (report_dir / "fig4.txt").write_text(result.format_report())
+
+    for dataset in FIG4_DATASETS:
+        for algorithm in ("bfs", "sssp"):
+            # Paper claim 1: SpMSpV iteration time scales with input
+            # density (positive rank correlation).  Road networks never
+            # densify (frontiers stay tiny), so the correlation check
+            # only applies when the density actually varies.
+            if result.density_spread(algorithm, dataset) > 0.05:
+                corr = result.spmspv_density_correlation(algorithm, dataset)
+                assert corr > 0.3, (algorithm, dataset, corr)
+
+            # Paper claim 2: SpMV iteration time stays roughly flat
+            # regardless of density.
+            flat = result.spmv_flatness(algorithm, dataset)
+            assert flat < 2.0, (algorithm, dataset, flat)
+
+            # Paper claim 3: at the sparsest iteration SpMSpV beats SpMV.
+            spmspv = result.curves[(algorithm, dataset, "spmspv-only")]
+            spmv = result.curves[(algorithm, dataset, "spmv-only")]
+            sparsest = min(spmspv, key=lambda p: p.density)
+            spmv_same_iter = next(
+                p for p in spmv if p.iteration == sparsest.iteration
+            )
+            assert sparsest.total_ms < spmv_same_iter.total_ms

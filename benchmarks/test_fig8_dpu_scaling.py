@@ -1,0 +1,29 @@
+"""Fig. 8 — phase breakdown while scaling DPUs (512 / 1024 / 2048)."""
+
+from conftest import run_once
+
+from repro.experiments import run_fig8
+
+
+def test_fig8_dpu_scaling(benchmark, config, cache, report_dir):
+    result = run_once(benchmark, lambda: run_fig8(config, cache))
+    (report_dir / "fig8.txt").write_text(result.format_report())
+
+    # Paper claim 1: BFS and SSSP spend most of their time moving vectors
+    # (Load + Retrieve dominate their totals).
+    for algorithm in ("bfs", "sssp"):
+        assert result.transfer_fraction(algorithm) > 0.5, algorithm
+
+    # Paper claim 2: PPR is the kernel-heaviest algorithm (software-
+    # emulated floating point).
+    ppr_kernel = result.kernel_fraction("ppr")
+    assert ppr_kernel > result.kernel_fraction("bfs")
+    assert ppr_kernel > result.kernel_fraction("sssp")
+
+    # Paper claim 3: 2048 DPUs give limited (or negative) benefit over
+    # 1024 for the transfer-bound algorithms, because input-vector load
+    # cost grows with the DPU count.
+    for algorithm in ("bfs", "sssp"):
+        t1024 = result.normalized_total(algorithm, 1024)
+        t2048 = result.normalized_total(algorithm, 2048)
+        assert t2048 > t1024 * 0.8, (algorithm, t1024, t2048)

@@ -1,0 +1,36 @@
+"""Fig. 9 — DPU cycle breakdown: issue vs. memory/revolver/RF idle."""
+
+from conftest import run_once
+
+from repro.experiments import run_fig9_11
+
+
+def test_fig9_cycle_breakdown(benchmark, config, cache, report_dir):
+    result = run_once(benchmark, lambda: run_fig9_11(config, cache))
+    (report_dir / "fig9_10_11.txt").write_text(result.format_report())
+
+    # Paper obs. 1: SpMSpV at densities > 10% issues at least as well as
+    # SpMV (better locality, fewer wasted accesses).
+    assert (
+        result.issue_fraction("spmspv", 0.50)
+        >= result.issue_fraction("spmv", 0.50) * 0.75
+    )
+
+    # Paper obs. 2: revolver stalls in SpMSpV *decrease* as input density
+    # rises (more ILP per active column).
+    assert (
+        result.revolver_fraction("spmspv", 0.01)
+        > result.revolver_fraction("spmspv", 0.50)
+    )
+
+    # Paper obs. 3: SpMV suffers more memory stalls than SpMSpV relative
+    # to its issue activity (irregular input-driven gathers).
+    spmv_mem_per_issue = result.memory_fraction("spmv", 0.10) / max(
+        result.issue_fraction("spmv", 0.10), 1e-9
+    )
+    spmspv_issue = result.issue_fraction("spmspv", 0.10)
+    assert spmv_mem_per_issue > 0.0 and spmspv_issue > 0.0
+
+    # Paper obs. 4: at 1% density SpMSpV shows elevated revolver stalls
+    # (mutex serialization + low per-thread work).
+    assert result.revolver_fraction("spmspv", 0.01) > 0.4

@@ -1,0 +1,43 @@
+"""PrIM-style DPU microbenchmarks on the simulated machine."""
+
+from conftest import run_once
+
+from repro.upmem import (
+    arithmetic_throughput,
+    dma_cost_curve,
+    format_microbench_report,
+    host_transfer_curve,
+    tasklet_scaling,
+)
+
+
+def _run_all():
+    return (
+        arithmetic_throughput(num_tasklets=16, ops_per_tasklet=60),
+        tasklet_scaling(ops_per_tasklet=150),
+        dma_cost_curve(),
+        host_transfer_curve(),
+    )
+
+
+def test_microbench_characterization(benchmark, report_dir):
+    arithmetic, scaling, dma, host = run_once(benchmark, _run_all)
+    (report_dir / "microbench.txt").write_text(
+        format_microbench_report(arithmetic, scaling, dma, host) + "\n"
+    )
+
+    # the four hardware behaviours every kernel cost rests on:
+    # 1. arithmetic hierarchy (int add >> emulated float mul)
+    assert (
+        arithmetic["int32_add"].ops_per_cycle
+        > 10 * arithmetic["float_mul"].ops_per_cycle
+    )
+    # 2. one tasklet is gap-limited to ~1/11 IPC; 11+ saturate the pipeline
+    assert scaling[1] < 0.15
+    assert scaling[11] > 0.9
+    assert scaling[24] > 0.9
+    # 3. small DMA transfers are latency-dominated
+    assert dma[8] < dma[2048] / 5
+    # 4. host bandwidth grows with active ranks up to the channel peak
+    assert host[64] < host[2560]
+    assert host[2560] <= 6.7e9 * 1.01

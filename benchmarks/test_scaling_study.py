@@ -1,0 +1,26 @@
+"""Dataset-scaling study: the PIM advantage grows with graph size."""
+
+from conftest import run_once
+
+from repro.experiments import run_scaling_study
+
+
+def test_scaling_study(benchmark, config, cache, report_dir):
+    result = run_once(
+        benchmark,
+        lambda: run_scaling_study(
+            config, cache, scales=(0.05, 0.2, 0.6)
+        ),
+    )
+    (report_dir / "scaling_study.txt").write_text(result.format_report())
+
+    # Fixed PIM overheads amortize with size: the UPMEM-vs-CPU speedup
+    # must improve from the smallest to the largest scale...
+    assert result.speedup_grows, result.speedups
+
+    # ...with a strictly monotone trend across the sweep.
+    speedups = result.speedups
+    assert all(b > a * 0.95 for a, b in zip(speedups, speedups[1:]))
+
+    # and at realistic sizes the PIM system wins outright.
+    assert speedups[-1] > 1.0

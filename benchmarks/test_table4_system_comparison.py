@@ -1,0 +1,44 @@
+"""Table 4 + §6.3.2 — CPU / GPU / UPMEM system comparison."""
+
+from conftest import run_once
+
+from repro.experiments import (
+    PAPER_KERNEL_SPEEDUPS,
+    PAPER_TOTAL_SPEEDUPS,
+    run_table4,
+)
+
+
+def test_table4_system_comparison(benchmark, config, cache, report_dir):
+    result = run_once(benchmark, lambda: run_table4(config, cache))
+    (report_dir / "table4.txt").write_text(result.format_report())
+
+    # Headline claim: ALPHA-PIM beats the CPU baseline on kernel time and
+    # on total time, on average, for all three algorithms.
+    for algorithm in PAPER_KERNEL_SPEEDUPS:
+        kernel_x = result.average_kernel_speedup(algorithm)
+        total_x = result.average_total_speedup(algorithm)
+        assert kernel_x > 1.5, (algorithm, kernel_x)
+        assert total_x > 1.0, (algorithm, total_x)
+        # kernel speedup always exceeds total speedup (transfers eat into
+        # the advantage), as in every paper row
+        assert kernel_x > total_x, algorithm
+
+    # §6.3.2 observation 3: the GPU has the lowest execution time of the
+    # three systems on every (algorithm, dataset) pair.
+    assert result.gpu_wins_everywhere()
+
+    # §6.3.2 observation 2: UPMEM's compute utilization beats the
+    # CPU's and GPU's fractions-of-a-percent on the large datasets.
+    large = [r for r in result.rows if r.dataset == "A302"]
+    for row in large:
+        assert row.upmem_util_kernel_pct > row.cpu.utilization_pct
+        assert row.upmem_util_kernel_pct > row.gpu.utilization_pct
+
+
+def test_table4_energy_ordering(benchmark, config, cache, report_dir):
+    """Energy: the GPU is the most efficient system, as in the paper."""
+    result = run_once(benchmark, lambda: run_table4(config, cache))
+    for row in result.rows:
+        assert row.gpu.energy_j < row.cpu.energy_j
+        assert row.gpu.energy_j < row.upmem_energy_j

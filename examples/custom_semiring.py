@@ -1,0 +1,80 @@
+"""Extending the framework: a custom semiring for most-reliable paths.
+
+The kernels are parameterized by an arbitrary semiring (paper §2.1), so
+new analytics need no kernel changes.  This example defines the
+(max, x) *reliability* semiring over link success probabilities and
+computes the most-reliable delivery probability from a source to every
+vertex of a network — then inspects the kernel's microarchitectural
+profile with the cycle-level tracing tools.
+
+Run:  python examples/custom_semiring.py
+"""
+
+import numpy as np
+
+from repro import SystemConfig
+from repro.algorithms.base import MatvecDriver, FixedPolicy
+from repro.datasets import erdos_renyi
+from repro.semiring import MAX_TIMES
+from repro.sparse import COOMatrix, SparseVector
+from repro.upmem import TracingPipeline, csc_spmspv_program, split_columns_among_tasklets
+
+NUM_DPUS = 128
+
+
+def most_reliable_paths(graph, source, system, num_dpus, iterations=30):
+    """Fixed-point iteration of r = max(r, A (x)_{max,*} r)."""
+    n = graph.nrows
+    reliability = np.zeros(n)
+    reliability[source] = 1.0
+    driver = MatvecDriver(graph, system, num_dpus)
+    policy = FixedPolicy("spmspv")
+    total_s = 0.0
+    for iteration in range(iterations):
+        frontier = SparseVector.from_dense(reliability, zero=0.0)
+        result = driver.step(frontier, MAX_TIMES, policy, iteration)
+        total_s += result.breakdown.total
+        candidate = result.output.to_dense(zero=0.0)
+        improved = candidate > reliability
+        if not improved.any():
+            break
+        reliability = np.maximum(reliability, candidate)
+    return reliability, total_s, iteration + 1
+
+
+def main() -> None:
+    rng = np.random.default_rng(17)
+    topology = erdos_renyi(4000, 5.0, rng=rng)
+    # replace unit weights with link success probabilities in (0.5, 1)
+    probabilities = rng.uniform(0.5, 0.999, topology.nnz)
+    network = COOMatrix(
+        topology.rows, topology.cols, probabilities, topology.shape
+    )
+    system = SystemConfig(num_dpus=NUM_DPUS)
+
+    reliability, total_s, iters = most_reliable_paths(
+        network, 0, system, NUM_DPUS
+    )
+    reachable = (reliability > 0).sum()
+    print(f"most-reliable paths from node 0 under the (max, x) semiring:")
+    print(f"  {reachable} reachable nodes in {iters} iterations "
+          f"({total_s * 1e3:.2f} ms simulated)")
+    best = np.argsort(reliability)[::-1][1:6]
+    for node in best:
+        print(f"  node {node}: delivery probability {reliability[node]:.4f}")
+
+    # peek under the hood: trace one DPU's tasklets through the pipeline
+    print("\none DPU's CSC-SpMSpV tasklets through the revolver pipeline:")
+    shares = split_columns_among_tasklets([4, 2, 6, 3, 5, 1, 2, 4], 4)
+    streams = [
+        csc_spmspv_program(share, rng=np.random.default_rng(i))
+        for i, share in enumerate(shares)
+    ]
+    trace = TracingPipeline().run_traced(streams)
+    print(trace.timeline(width=64))
+    print(f"dispatch utilization: {trace.utilization():.1%} "
+          "(D = blocking DMA, the §6.4 bottleneck)")
+
+
+if __name__ == "__main__":
+    main()

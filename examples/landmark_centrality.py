@@ -1,0 +1,54 @@
+"""Landmark centrality: batched multi-source BFS with the SpMM kernel.
+
+Estimates closeness centrality by running BFS from a random sample of
+landmark vertices — all at once, as one boolean SpMM per level, so the
+adjacency matrix streams out of the PIM banks once per level for the
+whole batch.  Compares the batched run against launching the same
+traversals one source at a time.
+
+Run:  python examples/landmark_centrality.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import SystemConfig, bfs
+from repro.algorithms import closeness_centrality_estimate, multi_source_bfs
+from repro.datasets import degree_targeted
+from repro.sparse import compute_stats
+
+NUM_DPUS = 256
+NUM_LANDMARKS = 12
+
+
+def main() -> None:
+    rng = np.random.default_rng(41)
+    graph = degree_targeted(15_000, 8.0, 20.0, rng=rng)
+    stats = compute_stats(graph)
+    print(f"graph: {stats.num_nodes} nodes, {stats.num_edges} edges")
+
+    system = SystemConfig(num_dpus=NUM_DPUS)
+    landmarks = rng.choice(graph.nrows, NUM_LANDMARKS, replace=False).tolist()
+
+    batched = multi_source_bfs(graph, landmarks, system, NUM_DPUS)
+    sequential_s = sum(
+        bfs(graph, source, system, NUM_DPUS).total_s for source in landmarks
+    )
+    print(f"\n{NUM_LANDMARKS} BFS traversals:")
+    print(f"  one at a time (SpMSpV):   {sequential_s * 1e3:8.2f} ms")
+    print(f"  batched (boolean SpMM):   {batched.total_s * 1e3:8.2f} ms "
+          f"({sequential_s / batched.total_s:.1f}x faster)")
+    print(f"  levels until convergence: {batched.num_iterations}")
+
+    closeness = closeness_centrality_estimate(
+        graph, system, NUM_DPUS, num_samples=NUM_LANDMARKS, rng=rng
+    )
+    top = np.argsort(closeness)[::-1][:5]
+    print("\nmost central vertices (sampled closeness):")
+    for rank, vertex in enumerate(top, 1):
+        print(f"  {rank}. vertex {vertex} (score {closeness[vertex]:.4f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Regenerate every figure and table of the paper in one run.
+
+Executes all experiment runners at the configured scale and writes the
+text reports to ``reports/`` (next to this script), mirroring what the
+``benchmarks/`` suite asserts.  Control the fidelity with environment
+variables:
+
+* ``REPRO_SCALE`` — fraction of each dataset's published node count
+  (default 0.04; 1.0 regenerates at full size — slow),
+* ``REPRO_DPUS`` — DPU count for the kernel studies (default 512).
+
+Run:  python examples/paper_reproduction.py
+"""
+
+import pathlib
+import time
+
+from repro.experiments import (
+    DatasetCache,
+    ExperimentConfig,
+    run_density_study,
+    run_fig2,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_fig9_11,
+    run_hardware_ablations,
+    run_interconnect_ablation,
+    run_model_agreement,
+    run_scaling_study,
+    run_table2,
+    run_table4,
+)
+
+EXPERIMENTS = (
+    ("fig2_spmv_partitioning", run_fig2),
+    ("fig4_per_iteration", run_fig4),
+    ("fig5_spmspv_variants", run_fig5),
+    ("fig6_spmspv_vs_spmv", run_fig6),
+    ("fig7_adaptive_vs_sparsep", run_fig7),
+    ("fig8_dpu_scaling", run_fig8),
+    ("fig9_10_11_profiling", run_fig9_11),
+    ("table2_datasets", run_table2),
+    ("table4_system_comparison", run_table4),
+    ("ablation_hardware", run_hardware_ablations),
+    ("ablation_interconnect", run_interconnect_ablation),
+    ("density_study", run_density_study),
+    ("scaling_study", run_scaling_study),
+)
+
+
+def main() -> None:
+    config = ExperimentConfig()
+    cache = DatasetCache(config)
+    out_dir = pathlib.Path(__file__).parent / "reports"
+    out_dir.mkdir(exist_ok=True)
+    print(f"scale={config.scale}, dpus={config.num_dpus}, "
+          f"datasets={config.datasets}")
+    print(f"reports -> {out_dir}\n")
+
+    for name, runner in EXPERIMENTS:
+        start = time.time()
+        result = runner(config, cache)
+        report = result.format_report()
+        (out_dir / f"{name}.txt").write_text(report + "\n")
+        print(f"[{time.time() - start:6.1f}s] {name}")
+
+    start = time.time()
+    agreement = run_model_agreement()
+    (out_dir / "ablation_model.txt").write_text(
+        agreement.format_report() + "\n"
+    )
+    print(f"[{time.time() - start:6.1f}s] ablation_model "
+          f"(worst analytic/sim ratio {agreement.worst_ratio:.2f}x)")
+    print("\ndone; see EXPERIMENTS.md for the paper-vs-measured index")
+
+
+if __name__ == "__main__":
+    main()

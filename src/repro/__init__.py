@@ -1,0 +1,68 @@
+"""ALPHA-PIM reproduction: linear-algebraic graph processing on a
+simulated UPMEM processing-in-memory system.
+
+Quickstart::
+
+    from repro import COOMatrix, SystemConfig, bfs
+    from repro.adaptive import AdaptiveSwitchPolicy
+
+    graph = COOMatrix.from_edges([(0, 1), (1, 2), (2, 3)], num_nodes=4)
+    system = SystemConfig(num_dpus=256)
+    result = bfs(graph, source=0, system=system, num_dpus=256,
+                 policy=AdaptiveSwitchPolicy.for_matrix(graph))
+    print(result.values)          # BFS levels
+    print(result.breakdown)       # Load/Kernel/Retrieve/Merge seconds
+
+Packages
+--------
+``repro.sparse``
+    COO / CSR / CSC matrices, compressed vectors, reference ops.
+``repro.semiring``
+    The Table-1 semirings and a generic :class:`~repro.semiring.Semiring`.
+``repro.upmem``
+    The simulated UPMEM system: DPUs, revolver pipeline, transfers, energy.
+``repro.partition``
+    Row-wise / column-wise / 2-D / SparseP partitioning strategies.
+``repro.kernels``
+    SpMV and SpMSpV kernels with four-phase cost accounting.
+``repro.adaptive``
+    The decision-tree-driven SpMSpV<->SpMV switch (§4.2).
+``repro.algorithms``
+    BFS, SSSP, PPR and their pure-NumPy references.
+``repro.baselines``
+    GridGraph-style CPU and cuGraph-style GPU comparison engines.
+``repro.datasets``
+    Synthetic generators calibrated to the paper's Table 2.
+``repro.experiments``
+    One runner per paper figure/table.
+"""
+
+from .algorithms import bfs, ppr, sssp
+from .errors import ReproError
+from .semiring import BOOLEAN_OR_AND, MIN_PLUS, PLUS_TIMES, Semiring
+from .sparse import COOMatrix, CSCMatrix, CSRMatrix, SparseVector
+from .types import DataType, GraphClass, PhaseBreakdown
+from .upmem import SystemConfig, UpmemSystem
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "COOMatrix",
+    "CSRMatrix",
+    "CSCMatrix",
+    "SparseVector",
+    "Semiring",
+    "PLUS_TIMES",
+    "BOOLEAN_OR_AND",
+    "MIN_PLUS",
+    "SystemConfig",
+    "UpmemSystem",
+    "bfs",
+    "sssp",
+    "ppr",
+    "DataType",
+    "GraphClass",
+    "PhaseBreakdown",
+    "ReproError",
+    "__version__",
+]

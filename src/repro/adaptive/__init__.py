@@ -1,0 +1,31 @@
+"""Adaptive SpMSpV<->SpMV kernel switching (paper §4.2)."""
+
+from .costmodel import (
+    DEFAULT_PROBE_DENSITIES,
+    CrossoverProbe,
+    probe_crossover,
+    runtime_sensitivity,
+)
+from .decision_tree import TRAINING_SET, DecisionTree, default_tree
+from .format_selector import (
+    VariantSelection,
+    probe_variants,
+    rule_of_thumb_variant,
+    select_best_variant,
+)
+from .switching import AdaptiveSwitchPolicy
+
+__all__ = [
+    "DecisionTree",
+    "default_tree",
+    "TRAINING_SET",
+    "AdaptiveSwitchPolicy",
+    "probe_variants",
+    "select_best_variant",
+    "rule_of_thumb_variant",
+    "VariantSelection",
+    "CrossoverProbe",
+    "probe_crossover",
+    "runtime_sensitivity",
+    "DEFAULT_PROBE_DENSITIES",
+]

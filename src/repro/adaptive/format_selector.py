@@ -1,0 +1,92 @@
+"""Empirical SpMSpV-variant selection (ClSpMV-style, per §6.1's summary).
+
+The paper's §6.1 conclusion: "the optimal partitioning strategy depends
+on the input vector density and dataset characteristics."  This module
+turns that finding into a practical API — probe every variant on the
+actual (matrix, system, density) point and return the winner — plus a
+cheaper rule-of-thumb predictor derived from the paper's observations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..errors import KernelError
+from ..kernels import FIG5_VARIANTS, prepare_kernel
+from ..semiring import PLUS_TIMES, Semiring
+from ..sparse.base import SparseMatrix
+from ..sparse.stats import compute_stats
+from ..sparse.vector import random_sparse_vector
+from ..upmem.config import SystemConfig
+
+
+@dataclass
+class VariantSelection:
+    """Outcome of a variant probe at one density."""
+
+    density: float
+    timings_s: Dict[str, float]
+
+    @property
+    def best(self) -> str:
+        return min(self.timings_s, key=self.timings_s.get)
+
+    @property
+    def spread(self) -> float:
+        """worst / best — §6.1's up-to-25x headline at full scale."""
+        best = min(self.timings_s.values())
+        return max(self.timings_s.values()) / max(best, 1e-12)
+
+
+def probe_variants(
+    matrix: SparseMatrix,
+    system: SystemConfig,
+    num_dpus: int,
+    density: float,
+    variants: Sequence[str] = FIG5_VARIANTS,
+    semiring: Semiring = PLUS_TIMES,
+    seed: int = 0,
+) -> VariantSelection:
+    """Time every variant on a random vector of the given density."""
+    if not variants:
+        raise KernelError("need at least one variant to probe")
+    rng = np.random.default_rng(seed)
+    x = random_sparse_vector(matrix.ncols, density, rng=rng,
+                             dtype=matrix.dtype)
+    timings = {}
+    for name in variants:
+        kernel = prepare_kernel(name, matrix, num_dpus, system)
+        timings[name] = kernel.run(x, semiring).total_s
+    return VariantSelection(density=density, timings_s=timings)
+
+
+def select_best_variant(
+    matrix: SparseMatrix,
+    system: SystemConfig,
+    num_dpus: int,
+    density: float,
+    **kwargs,
+) -> str:
+    """The empirically fastest SpMSpV variant at this operating point."""
+    return probe_variants(matrix, system, num_dpus, density, **kwargs).best
+
+
+def rule_of_thumb_variant(
+    matrix: SparseMatrix, density: float
+) -> str:
+    """The paper's §6.1 observations as a closed-form recommendation.
+
+    * CSC-2D wins at >= 10 % density (observation 1);
+    * below 10 %, very uniform low-degree graphs retrieve so little that
+      CSC-C wins (observation 2, the 'r-PA' case), while skewed graphs
+      prefer the merge-free row-banded CSC-R (observation 3).
+    """
+    if density >= 0.10:
+        return "spmspv-csc-2d"
+    stats = compute_stats(matrix)
+    if stats.degree_skew < 0.75 and stats.average_degree < 4.0:
+        return "spmspv-csc-c"
+    return "spmspv-csc-r"

@@ -1,0 +1,82 @@
+"""The adaptive SpMSpV<->SpMV switch policy (§4.2).
+
+Pre-processing (once, on the host CPU): compute the graph's (average
+degree, degree std), classify it with the decision tree, and look up the
+class's switching threshold — 20 % input-vector density for regular
+graphs, 50 % for scale-free ones.
+
+Runtime (per iteration): monitor the input vector's density; run SpMSpV
+while it is below the threshold and SpMV once it exceeds it.  The switch
+is sticky by default: traversal frontiers densify monotonically in the
+regimes that matter, and the paper describes a one-way transition.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sparse.base import SparseMatrix
+from ..sparse.stats import compute_stats
+from ..types import GraphClass, GraphFeatures
+from .decision_tree import DecisionTree, default_tree
+from ..algorithms.base import KernelPolicy
+
+
+class AdaptiveSwitchPolicy(KernelPolicy):
+    """Density-threshold kernel selection, ALPHA-PIM's §4.2 mechanism."""
+
+    def __init__(
+        self,
+        threshold: float,
+        graph_class: Optional[GraphClass] = None,
+        sticky: bool = True,
+    ) -> None:
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError("threshold must lie in [0, 1]")
+        self.threshold = threshold
+        self.graph_class = graph_class
+        self.sticky = sticky
+        self._switched = False
+
+    @classmethod
+    def for_matrix(
+        cls,
+        matrix: SparseMatrix,
+        tree: Optional[DecisionTree] = None,
+        sticky: bool = True,
+    ) -> "AdaptiveSwitchPolicy":
+        """Build the policy from the graph itself (the paper's full flow)."""
+        stats = compute_stats(matrix)
+        return cls.for_features(stats.features, tree=tree, sticky=sticky)
+
+    @classmethod
+    def for_features(
+        cls,
+        features: GraphFeatures,
+        tree: Optional[DecisionTree] = None,
+        sticky: bool = True,
+    ) -> "AdaptiveSwitchPolicy":
+        """Build the policy from pre-computed features."""
+        tree = tree or default_tree()
+        graph_class = tree.classify(features)
+        return cls(
+            threshold=graph_class.default_switch_density,
+            graph_class=graph_class,
+            sticky=sticky,
+        )
+
+    def choose(self, iteration: int, density: float) -> str:
+        if self.sticky and self._switched:
+            return "spmv"
+        if density > self.threshold:
+            self._switched = True
+            return "spmv"
+        return "spmspv"
+
+    def reset(self) -> None:
+        """Forget the sticky switch (reuse the policy for another run)."""
+        self._switched = False
+
+    def describe(self) -> str:
+        cls_name = self.graph_class.value if self.graph_class else "manual"
+        return f"adaptive({cls_name}@{self.threshold:.0%})"

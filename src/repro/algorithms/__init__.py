@@ -1,0 +1,49 @@
+"""Linear-algebraic graph algorithms on the simulated PIM system."""
+
+from .base import (
+    AlgorithmRun,
+    FixedPolicy,
+    KernelPolicy,
+    MatvecDriver,
+    peak_semiring_ops_per_s,
+)
+from .bc import betweenness_centrality, betweenness_reference
+from .bfs import bfs
+from .delta_stepping import split_by_weight, sssp_delta_stepping, suggest_delta
+from .cc import (
+    connected_components,
+    connected_components_reference,
+    symmetrize_unweighted,
+)
+from .msbfs import closeness_centrality_estimate, multi_source_bfs
+from .pagerank import pagerank, pagerank_reference
+from .ppr import normalize_columns, ppr
+from .reference import bfs_reference, ppr_reference, sssp_reference
+from .sssp import sssp
+
+__all__ = [
+    "bfs",
+    "betweenness_centrality",
+    "betweenness_reference",
+    "connected_components",
+    "connected_components_reference",
+    "symmetrize_unweighted",
+    "multi_source_bfs",
+    "closeness_centrality_estimate",
+    "sssp",
+    "sssp_delta_stepping",
+    "split_by_weight",
+    "suggest_delta",
+    "ppr",
+    "pagerank",
+    "pagerank_reference",
+    "normalize_columns",
+    "bfs_reference",
+    "sssp_reference",
+    "ppr_reference",
+    "AlgorithmRun",
+    "KernelPolicy",
+    "FixedPolicy",
+    "MatvecDriver",
+    "peak_semiring_ops_per_s",
+]

@@ -1,0 +1,181 @@
+"""Shared algorithm driver: iterate matvecs under a kernel policy.
+
+BFS, SSSP and PPR are all "advance a vector through the matrix until it
+converges" loops (§4, Table 1).  The driver owns the per-iteration
+plumbing the paper measures: kernel selection (SpMV vs. SpMSpV), the
+Load/Kernel/Retrieve/Merge breakdown accumulation, the host-side
+convergence check (folded into Merge time, §6.3.1), energy and
+compute-utilization accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..errors import KernelError
+from ..kernels import BEST_SPMSPV, BEST_SPMV, KernelResult, prepare_kernel
+from ..semiring import Semiring
+from ..sparse.base import SparseMatrix
+from ..sparse.vector import SparseVector
+from ..types import DataType, EnergyReport, IterationTrace, PhaseBreakdown, RunResult
+from ..upmem.config import SystemConfig
+from ..upmem.energy import UpmemEnergyModel
+from ..upmem.isa import EXPANSION, InstrClass, add_class, multiply_class
+from ..upmem.profile import KernelProfile, merge_profiles
+from ..upmem.transfer import convergence_check_time
+
+
+class KernelPolicy:
+    """Chooses SpMV or SpMSpV each iteration.
+
+    Subclasses implement :meth:`choose`; the two standard policies are
+    :class:`FixedPolicy` (the paper's "SpMV-only" / "SpMSpV-only"
+    baselines of Fig. 4) and :class:`repro.adaptive.AdaptiveSwitchPolicy`
+    (ALPHA-PIM's contribution, §4.2).
+    """
+
+    def choose(self, iteration: int, density: float) -> str:
+        """Return ``'spmv'`` or ``'spmspv'`` for this iteration."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class FixedPolicy(KernelPolicy):
+    """Always run the same kernel kind."""
+
+    def __init__(self, kind: str) -> None:
+        if kind not in ("spmv", "spmspv"):
+            raise KernelError(f"kind must be 'spmv' or 'spmspv', got {kind!r}")
+        self.kind = kind
+
+    def choose(self, iteration: int, density: float) -> str:
+        return self.kind
+
+    def describe(self) -> str:
+        return f"{self.kind}-only"
+
+
+@dataclass
+class AlgorithmRun(RunResult):
+    """RunResult extended with the algorithm's actual answer."""
+
+    values: Optional[np.ndarray] = None
+    converged: bool = False
+    policy: str = ""
+    utilization_kernel_pct: float = 0.0
+    utilization_total_pct: float = 0.0
+    profile: Optional[KernelProfile] = None
+
+
+class MatvecDriver:
+    """Prepares both kernels on a matrix and runs policy-driven iterations."""
+
+    def __init__(
+        self,
+        matrix: SparseMatrix,
+        system: SystemConfig,
+        num_dpus: int,
+        spmv_kernel: str = BEST_SPMV,
+        spmspv_kernel: str = BEST_SPMSPV,
+    ) -> None:
+        self.matrix = matrix
+        self.system = system
+        self.num_dpus = num_dpus
+        self._kernels = {
+            "spmv": prepare_kernel(spmv_kernel, matrix, num_dpus, system),
+            "spmspv": prepare_kernel(spmspv_kernel, matrix, num_dpus, system),
+        }
+        self._energy_model = UpmemEnergyModel(system)
+
+    def step(
+        self,
+        x: SparseVector,
+        semiring: Semiring,
+        policy: KernelPolicy,
+        iteration: int,
+    ) -> KernelResult:
+        """Run one matvec, choosing the kernel by the policy."""
+        density = x.density
+        kind = policy.choose(iteration, density)
+        kernel = self._kernels[kind]
+        return kernel.run(x, semiring)
+
+    def finalize(
+        self,
+        run: AlgorithmRun,
+        results: List[KernelResult],
+        dtype: DataType,
+    ) -> AlgorithmRun:
+        """Attach energy, utilization and the merged profile to a run."""
+        if not results:
+            return run
+        profile = merge_profiles(run.algorithm, [r.profile for r in results])
+        instructions = profile.instructions.dispatch_slots
+        dma_bytes = profile.instructions.dma_bytes
+        transfer_bytes = sum(r.bytes_loaded + r.bytes_retrieved for r in results)
+        run.energy = self._energy_model.run_energy(
+            run.breakdown, instructions, dma_bytes, transfer_bytes,
+            num_dpus=self.num_dpus,
+        )
+        run.achieved_ops = sum(r.achieved_ops for r in results)
+        peak = peak_semiring_ops_per_s(self.system, dtype, self.num_dpus)
+        if run.breakdown.kernel > 0:
+            run.utilization_kernel_pct = (
+                100.0 * run.achieved_ops / run.breakdown.kernel / peak
+            )
+        if run.breakdown.total > 0:
+            run.utilization_total_pct = (
+                100.0 * run.achieved_ops / run.breakdown.total / peak
+            )
+        run.profile = profile
+        return run
+
+
+def peak_semiring_ops_per_s(
+    system: SystemConfig, dtype: DataType, num_dpus: int
+) -> float:
+    """Theoretical peak (x)/(+) throughput for this value type.
+
+    Peak = one dispatch slot per cycle per DPU, divided by the slots one
+    multiply-add pair costs on this hardware (software-emulated FP makes
+    the float peak ~20x lower — the paper's 4.66 GFLOPS system peak).
+    """
+    pair_slots = (
+        EXPANSION[multiply_class(dtype)] + EXPANSION[add_class(dtype)]
+    )
+    return num_dpus * system.dpu.frequency_hz * 2.0 / pair_slots
+
+
+def record_iteration(
+    run: AlgorithmRun,
+    iteration: int,
+    result: KernelResult,
+    density: float,
+    frontier_size: int,
+    convergence_elements: int,
+) -> None:
+    """Append one iteration's trace, folding the convergence check into
+    Merge time as the paper does (§6.3.1)."""
+    breakdown = PhaseBreakdown(
+        load=result.breakdown.load,
+        kernel=result.breakdown.kernel,
+        retrieve=result.breakdown.retrieve,
+        merge=result.breakdown.merge
+        + convergence_check_time(convergence_elements),
+    )
+    run.add_iteration(
+        IterationTrace(
+            iteration=iteration,
+            kernel_name=result.kernel_name,
+            input_density=density,
+            breakdown=breakdown,
+            frontier_size=frontier_size,
+            bytes_loaded=result.bytes_loaded,
+            bytes_retrieved=result.bytes_retrieved,
+        )
+    )

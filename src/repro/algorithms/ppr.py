@@ -1,0 +1,118 @@
+"""Personalized PageRank as iterated (+, x) matvec (Table 1).
+
+The power iteration ``r' = (1 - alpha) * M r + alpha * e_s`` over the
+column-stochastic matrix ``M`` (out-degree-normalized, pre-transposed
+adjacency), personalized on source ``s``.  Mass from dangling vertices is
+redirected to the personalization vector, the standard fix that keeps
+``r`` a probability distribution.
+
+The input vector starts as the single-entry ``e_s`` and densifies as rank
+diffuses — the exact dynamic the adaptive SpMSpV->SpMV switch exploits
+(§4.2).  PPR is the paper's kernel-dominated workload: float multiplies
+are software-emulated on the DPU (§6.3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ReproError
+from ..semiring import PLUS_TIMES
+from ..sparse.base import SparseMatrix
+from ..sparse.coo import COOMatrix
+from ..sparse.vector import SparseVector
+from ..types import DataType
+from ..upmem.config import SystemConfig
+from .base import AlgorithmRun, FixedPolicy, KernelPolicy, MatvecDriver, record_iteration
+
+DEFAULT_ALPHA = 0.15
+DEFAULT_TOL = 1e-6
+DEFAULT_MAX_ITERS = 50
+
+
+def normalize_columns(matrix: SparseMatrix) -> COOMatrix:
+    """Out-degree-normalize the pre-transposed adjacency matrix.
+
+    Column ``u`` of the stored matrix holds u's out-edges; dividing by the
+    column sum makes the matrix column-stochastic (dangling columns stay
+    all-zero and are handled by teleport redistribution at run time).
+    """
+    coo = matrix.to_coo()
+    col_sums = np.zeros(coo.ncols)
+    np.add.at(col_sums, coo.cols, coo.values.astype(np.float64))
+    scale = np.divide(
+        1.0, col_sums, out=np.zeros_like(col_sums), where=col_sums > 0
+    )
+    values = (coo.values * scale[coo.cols]).astype(np.float32)
+    return COOMatrix(coo.rows.copy(), coo.cols.copy(), values, coo.shape)
+
+
+def ppr(
+    matrix: SparseMatrix,
+    source: int,
+    system: SystemConfig,
+    num_dpus: int,
+    policy: Optional[KernelPolicy] = None,
+    driver: Optional[MatvecDriver] = None,
+    dataset: str = "",
+    alpha: float = DEFAULT_ALPHA,
+    tol: float = DEFAULT_TOL,
+    max_iters: int = DEFAULT_MAX_ITERS,
+    pre_normalized: bool = False,
+) -> AlgorithmRun:
+    """Personalized PageRank from ``source``; returns the rank vector.
+
+    Set ``pre_normalized=True`` when ``matrix`` is already
+    column-stochastic (e.g. from a shared :func:`normalize_columns` call,
+    so the driver's partitioning can be reused across sources).
+    """
+    n = matrix.nrows
+    if not 0 <= source < n:
+        raise ReproError(f"source {source} out of range for {n} nodes")
+    if not 0.0 < alpha < 1.0:
+        raise ReproError("alpha must lie strictly between 0 and 1")
+    norm = matrix if pre_normalized else normalize_columns(matrix)
+    policy = policy or FixedPolicy("spmspv")
+    driver = driver or MatvecDriver(norm, system, num_dpus)
+
+    out_strength = np.zeros(n)
+    coo = norm.to_coo()
+    np.add.at(out_strength, coo.cols, coo.values.astype(np.float64))
+    dangling = out_strength <= 0
+
+    rank = np.zeros(n, dtype=np.float64)
+    rank[source] = 1.0
+    run = AlgorithmRun(algorithm="ppr", dataset=dataset, policy=policy.describe())
+    results = []
+    converged = False
+
+    for iteration in range(max_iters):
+        x = SparseVector.from_dense(rank.astype(np.float32), zero=0.0)
+        density = x.density
+        result = driver.step(x, PLUS_TIMES, policy, iteration)
+        results.append(result)
+
+        spread = result.output.to_dense(zero=0.0).astype(np.float64)
+        dangling_mass = float(rank[dangling].sum())
+        new_rank = (1.0 - alpha) * spread
+        new_rank[source] += alpha + (1.0 - alpha) * dangling_mass
+
+        delta = float(np.abs(new_rank - rank).sum())
+        record_iteration(
+            run,
+            iteration=iteration,
+            result=result,
+            density=density,
+            frontier_size=x.nnz,
+            convergence_elements=n,
+        )
+        rank = new_rank
+        if delta < tol:
+            converged = True
+            break
+
+    run.values = rank
+    run.converged = converged
+    return driver.finalize(run, results, DataType.FLOAT32)

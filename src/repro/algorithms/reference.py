@@ -1,0 +1,93 @@
+"""Pure-NumPy reference implementations for validating the PIM algorithms.
+
+These are deliberately simple (queue BFS, Bellman-Ford, dense power
+iteration): the tests require the simulated-UPMEM algorithms to match
+them exactly (BFS levels, SSSP distances) or to numerical tolerance
+(PPR ranks).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List
+
+import numpy as np
+
+from ..sparse.base import SparseMatrix
+
+
+def _out_edges(matrix: SparseMatrix) -> Dict[int, List]:
+    """Adjacency list keyed by source vertex.
+
+    The stored matrix is pre-transposed (``A[v, u] = w`` for edge u->v), so
+    a vertex's out-edges live in its *column*.
+    """
+    csc = matrix.to_csc()
+    adjacency: Dict[int, List] = {}
+    for u in range(csc.ncols):
+        rows, vals = csc.column(u)
+        if rows.size:
+            adjacency[u] = list(zip(rows.tolist(), vals.tolist()))
+    return adjacency
+
+
+def bfs_reference(matrix: SparseMatrix, source: int) -> np.ndarray:
+    """BFS levels by explicit queue traversal (-1 = unreachable)."""
+    n = matrix.nrows
+    adjacency = _out_edges(matrix)
+    levels = np.full(n, -1, dtype=np.int64)
+    levels[source] = 0
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        for v, _w in adjacency.get(u, ()):
+            if levels[v] < 0:
+                levels[v] = levels[u] + 1
+                queue.append(v)
+    return levels
+
+
+def sssp_reference(matrix: SparseMatrix, source: int) -> np.ndarray:
+    """Shortest distances by Bellman-Ford (inf = unreachable)."""
+    n = matrix.nrows
+    coo = matrix.to_coo()
+    dist = np.full(n, np.inf)
+    dist[source] = 0.0
+    # edge u->v with weight w is stored as (row=v, col=u, value=w)
+    for _ in range(max(n - 1, 1)):
+        candidate = dist[coo.cols] + coo.values
+        improved = candidate < dist[coo.rows]
+        if not np.any(improved):
+            break
+        np.minimum.at(dist, coo.rows[improved], candidate[improved])
+    return dist
+
+
+def ppr_reference(
+    matrix: SparseMatrix,
+    source: int,
+    alpha: float = 0.15,
+    tol: float = 1e-10,
+    max_iters: int = 1000,
+) -> np.ndarray:
+    """Personalized PageRank by dense power iteration."""
+    n = matrix.nrows
+    coo = matrix.to_coo()
+    col_sums = np.zeros(n)
+    np.add.at(col_sums, coo.cols, coo.values.astype(np.float64))
+    scale = np.divide(1.0, col_sums, out=np.zeros(n), where=col_sums > 0)
+    norm_vals = coo.values.astype(np.float64) * scale[coo.cols]
+    dangling = col_sums <= 0
+
+    rank = np.zeros(n)
+    rank[source] = 1.0
+    for _ in range(max_iters):
+        spread = np.zeros(n)
+        np.add.at(spread, coo.rows, norm_vals * rank[coo.cols])
+        new_rank = (1.0 - alpha) * spread
+        new_rank[source] += alpha + (1.0 - alpha) * float(rank[dangling].sum())
+        if np.abs(new_rank - rank).sum() < tol:
+            rank = new_rank
+            break
+        rank = new_rank
+    return rank

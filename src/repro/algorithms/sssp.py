@@ -1,0 +1,90 @@
+"""Single-Source Shortest Paths as iterated (min, +) matvec (Table 1).
+
+A Bellman-Ford-style relaxation: the frontier carries the tentative
+distances of vertices improved last round; ``A (x) f`` under (min, +)
+proposes ``dist[u] + w(u, v)`` for every out-edge of a frontier vertex,
+and the host keeps the improvements.  Terminates when no distance
+improves — at most N-1 rounds on any graph with non-negative weights.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ReproError
+from ..semiring import MIN_PLUS
+from ..sparse.base import SparseMatrix
+from ..sparse.vector import SparseVector
+from ..types import DataType
+from ..upmem.config import SystemConfig
+from .base import AlgorithmRun, FixedPolicy, KernelPolicy, MatvecDriver, record_iteration
+
+
+def sssp(
+    matrix: SparseMatrix,
+    source: int,
+    system: SystemConfig,
+    num_dpus: int,
+    policy: Optional[KernelPolicy] = None,
+    driver: Optional[MatvecDriver] = None,
+    dataset: str = "",
+) -> AlgorithmRun:
+    """Shortest distances from ``source`` (inf for unreachable vertices).
+
+    ``matrix`` holds pre-transposed weighted adjacency: ``A[v, u] = w`` for
+    edge u->v with weight ``w > 0``.  Weights must be non-negative (the
+    relaxation would still converge with negative edges absent negative
+    cycles, but the iteration-count guarantees of the paper assume
+    road-network-style positive weights).
+    """
+    n = matrix.nrows
+    if not 0 <= source < n:
+        raise ReproError(f"source {source} out of range for {n} nodes")
+    values = matrix.to_coo().values
+    if values.size and float(values.min()) < 0:
+        raise ReproError("SSSP requires non-negative edge weights")
+    policy = policy or FixedPolicy("spmspv")
+    driver = driver or MatvecDriver(matrix, system, num_dpus)
+
+    dist = np.full(n, np.inf)
+    dist[source] = 0.0
+    frontier = SparseVector.basis(source, n, value=0.0)
+
+    run = AlgorithmRun(algorithm="sssp", dataset=dataset, policy=policy.describe())
+    results = []
+    iteration = 0
+
+    while frontier.nnz > 0 and iteration < n:
+        density = frontier.density
+        result = driver.step(frontier, MIN_PLUS, policy, iteration)
+        results.append(result)
+
+        # host-side relaxation: keep strictly improved distances
+        candidates = result.output
+        improved_mask = candidates.values < dist[candidates.indices]
+        improved = candidates.indices[improved_mask]
+        dist[improved] = candidates.values[improved_mask]
+
+        record_iteration(
+            run,
+            iteration=iteration,
+            result=result,
+            density=density,
+            frontier_size=frontier.nnz,
+            convergence_elements=n,
+        )
+        frontier = SparseVector(improved, dist[improved], n)
+        iteration += 1
+
+    run.values = dist
+    run.converged = frontier.nnz == 0
+    return driver.finalize(run, results, _weight_dtype(matrix))
+
+
+def _weight_dtype(matrix: SparseMatrix) -> DataType:
+    kind = np.dtype(matrix.dtype)
+    if kind.kind == "f":
+        return DataType.FLOAT32 if kind.itemsize == 4 else DataType.FLOAT64
+    return DataType.INT32 if kind.itemsize <= 4 else DataType.INT64

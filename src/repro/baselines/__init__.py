@@ -1,0 +1,21 @@
+"""CPU and GPU baseline engines for the Table-4 system comparison."""
+
+from .engine import BaselineRun, CpuGraphEngine, GpuGraphEngine
+from .specs import CPU_SPEC, GPU_SPEC, TABLE3_ROWS, UPMEM_PEAK, CpuSpec, GpuSpec
+from .workload import WorkloadTrace, bfs_trace, ppr_trace, sssp_trace
+
+__all__ = [
+    "CpuGraphEngine",
+    "GpuGraphEngine",
+    "BaselineRun",
+    "CpuSpec",
+    "GpuSpec",
+    "CPU_SPEC",
+    "GPU_SPEC",
+    "UPMEM_PEAK",
+    "TABLE3_ROWS",
+    "WorkloadTrace",
+    "bfs_trace",
+    "sssp_trace",
+    "ppr_trace",
+]

@@ -1,0 +1,167 @@
+"""CPU (GridGraph-like) and GPU (cuGraph-like) baseline engines.
+
+Both engines run the same iteration traces as the PIM algorithms (so
+their answers are identical) and convert per-iteration work into time
+with platform-specific cost models:
+
+* **CPU** — GridGraph streams grid-partitioned edge blocks every
+  iteration while randomly accessing vertex state; when the vertex
+  working set exceeds the LLC, the random accesses dominate.  The model
+  therefore combines a streaming-bandwidth term (the *whole* edge grid,
+  GridGraph's streaming design), a latency-bound random-access term
+  limited by per-core memory-level parallelism, and a compute roofline.
+* **GPU** — cuGraph's traversals launch one-or-more kernels per
+  iteration; with small real-world frontiers the fixed launch+sync
+  overhead dominates, which is why the paper's GPU SSSP times are nearly
+  dataset-independent (~13 ms).  The model is launch overhead per
+  iteration plus a gather-throughput term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ReproError
+from ..sparse.base import SparseMatrix
+from .specs import CPU_SPEC, GPU_SPEC, CpuSpec, GpuSpec
+from .workload import WorkloadTrace, bfs_trace, ppr_trace, sssp_trace
+
+EDGE_BYTES = 8  # GridGraph edge record: two int32 ids
+VERTEX_BYTES = 8
+
+
+@dataclass
+class BaselineRun:
+    """One baseline execution: answer + time / energy / utilization."""
+
+    platform: str
+    algorithm: str
+    dataset: str
+    values: np.ndarray
+    seconds: float
+    energy_j: float
+    utilization_pct: float
+    num_iterations: int
+
+    @property
+    def milliseconds(self) -> float:
+        return self.seconds * 1e3
+
+
+class CpuGraphEngine:
+    """Edge-centric CPU engine with a GridGraph-style cost model."""
+
+    platform = "cpu"
+
+    def __init__(self, spec: Optional[CpuSpec] = None) -> None:
+        self.spec = spec or CPU_SPEC
+
+    def _iteration_seconds(self, matrix: SparseMatrix, scanned_edges: int) -> float:
+        spec = self.spec
+        n = matrix.nrows
+        # GridGraph re-streams the edge grid every pass: selective
+        # scheduling is block-granular, and real frontiers spread across
+        # most blocks after the first couple of levels, so the whole grid
+        # is read and the whole vertex state is randomly accessed.
+        streamed_edges = max(matrix.nnz, scanned_edges)
+        stream_s = streamed_edges * EDGE_BYTES / spec.memory_bandwidth
+        # random vertex-state accesses; misses beyond the LLC pay latency
+        working_set = n * VERTEX_BYTES
+        miss_rate = max(0.0, 1.0 - spec.llc_bytes / max(working_set, 1))
+        random_s = (
+            streamed_edges * miss_rate * spec.dram_latency_s
+            / (spec.cores * spec.mlp)
+        )
+        compute_s = 2.0 * streamed_edges / (spec.cores * spec.frequency_hz)
+        # GridGraph's streaming-apply engine: per-edge block-management
+        # and atomic-update cost, parallelized across cores
+        apply_s = streamed_edges * spec.per_edge_apply_s / spec.cores
+        # per-iteration floor: GridGraph re-opens and schedules its grid
+        # partitions every pass (block metadata, thread pool, IO syscalls);
+        # dominant on small graphs, where the paper's CPU times stay tens
+        # of milliseconds despite tiny edge counts (Table 4, as00/face)
+        return max(stream_s, random_s, compute_s) + apply_s + spec.iteration_floor_s
+
+    def _price(self, matrix: SparseMatrix, trace: WorkloadTrace,
+               dataset: str) -> BaselineRun:
+        seconds = sum(
+            self._iteration_seconds(matrix, it.frontier_edges)
+            for it in trace.iterations
+        )
+        energy = self.spec.active_power_w * seconds
+        utilization = (
+            100.0 * trace.total_useful_ops / max(seconds, 1e-12)
+            / self.spec.peak_flops
+        )
+        return BaselineRun(
+            platform=self.platform,
+            algorithm=trace.algorithm,
+            dataset=dataset,
+            values=trace.values,
+            seconds=seconds,
+            energy_j=energy,
+            utilization_pct=utilization,
+            num_iterations=trace.num_iterations,
+        )
+
+    def bfs(self, matrix: SparseMatrix, source: int, dataset: str = "") -> BaselineRun:
+        return self._price(matrix, bfs_trace(matrix, source), dataset)
+
+    def sssp(self, matrix: SparseMatrix, source: int, dataset: str = "") -> BaselineRun:
+        return self._price(matrix, sssp_trace(matrix, source), dataset)
+
+    def ppr(self, matrix: SparseMatrix, source: int, dataset: str = "",
+            **kwargs) -> BaselineRun:
+        return self._price(matrix, ppr_trace(matrix, source, **kwargs), dataset)
+
+
+class GpuGraphEngine:
+    """SIMT engine with a cuGraph-style launch-dominated cost model."""
+
+    platform = "gpu"
+
+    def __init__(self, spec: Optional[GpuSpec] = None) -> None:
+        self.spec = spec or GPU_SPEC
+
+    def _iteration_seconds(self, scanned_edges: int) -> float:
+        spec = self.spec
+        return spec.launch_overhead_s + scanned_edges / spec.edge_throughput
+
+    def _price(self, matrix: SparseMatrix, trace: WorkloadTrace,
+               dataset: str) -> BaselineRun:
+        if matrix.nnz * EDGE_BYTES > self.spec.memory_bytes:
+            raise ReproError(
+                f"graph does not fit the GPU's {self.spec.memory_bytes} bytes"
+            )
+        seconds = sum(
+            self._iteration_seconds(it.frontier_edges)
+            for it in trace.iterations
+        )
+        energy = self.spec.active_power_w * seconds
+        utilization = (
+            100.0 * trace.total_useful_ops / max(seconds, 1e-12)
+            / self.spec.peak_flops
+        )
+        return BaselineRun(
+            platform=self.platform,
+            algorithm=trace.algorithm,
+            dataset=dataset,
+            values=trace.values,
+            seconds=seconds,
+            energy_j=energy,
+            utilization_pct=utilization,
+            num_iterations=trace.num_iterations,
+        )
+
+    def bfs(self, matrix: SparseMatrix, source: int, dataset: str = "") -> BaselineRun:
+        return self._price(matrix, bfs_trace(matrix, source), dataset)
+
+    def sssp(self, matrix: SparseMatrix, source: int, dataset: str = "") -> BaselineRun:
+        return self._price(matrix, sssp_trace(matrix, source), dataset)
+
+    def ppr(self, matrix: SparseMatrix, source: int, dataset: str = "",
+            **kwargs) -> BaselineRun:
+        return self._price(matrix, ppr_trace(matrix, source, **kwargs), dataset)

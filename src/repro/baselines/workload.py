@@ -1,0 +1,182 @@
+"""Algorithm iteration traces shared by the CPU and GPU baseline engines.
+
+Both baselines execute the same *logical* algorithm (so the answers match
+the PIM implementation bit for bit) while their cost models price each
+iteration differently.  This module produces, per iteration, the numbers
+every cost model needs: frontier size, edges scanned from the frontier,
+and useful (relaxation) operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from ..algorithms.ppr import DEFAULT_ALPHA, DEFAULT_MAX_ITERS, DEFAULT_TOL
+from ..errors import ReproError
+from ..sparse.base import SparseMatrix
+
+
+@dataclass
+class IterationWork:
+    """Work performed by one iteration of a baseline run."""
+
+    frontier_size: int
+    frontier_edges: int
+    useful_ops: int
+
+
+@dataclass
+class WorkloadTrace:
+    """The full per-iteration trace plus the algorithm's answer."""
+
+    algorithm: str
+    values: np.ndarray
+    iterations: List[IterationWork] = field(default_factory=list)
+
+    @property
+    def num_iterations(self) -> int:
+        return len(self.iterations)
+
+    @property
+    def total_frontier_edges(self) -> int:
+        return sum(it.frontier_edges for it in self.iterations)
+
+    @property
+    def total_useful_ops(self) -> int:
+        return sum(it.useful_ops for it in self.iterations)
+
+
+def bfs_trace(matrix: SparseMatrix, source: int) -> WorkloadTrace:
+    """Level-synchronous BFS with per-level work counts."""
+    n = matrix.nrows
+    if not 0 <= source < n:
+        raise ReproError(f"source {source} out of range")
+    csc = matrix.to_csc()
+    out_deg = csc.column_lengths()
+    levels = np.full(n, -1, dtype=np.int64)
+    levels[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    trace = WorkloadTrace("bfs", levels)
+    level = 0
+    while frontier.size:
+        starts, stops = csc.active_slices(frontier)
+        edges = int((stops - starts).sum())
+        reached = _neighbors(csc, frontier)
+        fresh = reached[levels[reached] < 0]
+        fresh = np.unique(fresh)
+        level += 1
+        levels[fresh] = level
+        trace.iterations.append(
+            IterationWork(
+                frontier_size=int(frontier.size),
+                frontier_edges=edges,
+                useful_ops=2 * edges,
+            )
+        )
+        frontier = fresh
+    return trace
+
+
+def sssp_trace(matrix: SparseMatrix, source: int) -> WorkloadTrace:
+    """Frontier-driven Bellman-Ford with per-round work counts."""
+    n = matrix.nrows
+    if not 0 <= source < n:
+        raise ReproError(f"source {source} out of range")
+    csc = matrix.to_csc()
+    dist = np.full(n, np.inf)
+    dist[source] = 0.0
+    frontier = np.array([source], dtype=np.int64)
+    trace = WorkloadTrace("sssp", dist)
+    rounds = 0
+    while frontier.size and rounds < n:
+        starts, stops = csc.active_slices(frontier)
+        lengths = stops - starts
+        edges = int(lengths.sum())
+        improved = _relax(csc, frontier, dist)
+        trace.iterations.append(
+            IterationWork(
+                frontier_size=int(frontier.size),
+                frontier_edges=edges,
+                useful_ops=2 * edges,
+            )
+        )
+        frontier = improved
+        rounds += 1
+    return trace
+
+
+def ppr_trace(
+    matrix: SparseMatrix,
+    source: int,
+    alpha: float = DEFAULT_ALPHA,
+    tol: float = DEFAULT_TOL,
+    max_iters: int = DEFAULT_MAX_ITERS,
+) -> WorkloadTrace:
+    """Power-iteration PPR; every iteration touches all edges."""
+    n = matrix.nrows
+    coo = matrix.to_coo()
+    col_sums = np.zeros(n)
+    np.add.at(col_sums, coo.cols, coo.values.astype(np.float64))
+    scale = np.divide(1.0, col_sums, out=np.zeros(n), where=col_sums > 0)
+    norm_vals = coo.values.astype(np.float64) * scale[coo.cols]
+    dangling = col_sums <= 0
+
+    rank = np.zeros(n)
+    rank[source] = 1.0
+    trace = WorkloadTrace("ppr", rank)
+    for _ in range(max_iters):
+        spread = np.zeros(n)
+        np.add.at(spread, coo.rows, norm_vals * rank[coo.cols])
+        new_rank = (1.0 - alpha) * spread
+        new_rank[source] += alpha + (1.0 - alpha) * float(rank[dangling].sum())
+        delta = float(np.abs(new_rank - rank).sum())
+        trace.iterations.append(
+            IterationWork(
+                frontier_size=int((rank != 0).sum()),
+                frontier_edges=matrix.nnz,
+                useful_ops=2 * matrix.nnz,
+            )
+        )
+        rank = new_rank
+        if delta < tol:
+            break
+    trace.values = rank
+    return trace
+
+
+def _neighbors(csc, frontier: np.ndarray) -> np.ndarray:
+    starts, stops = csc.active_slices(frontier)
+    lengths = stops - starts
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    offsets = np.repeat(starts - _excl_cumsum(lengths), lengths)
+    flat = np.arange(total, dtype=np.int64) + offsets
+    return csc.row_indices[flat]
+
+
+def _relax(csc, frontier: np.ndarray, dist: np.ndarray) -> np.ndarray:
+    starts, stops = csc.active_slices(frontier)
+    lengths = stops - starts
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    offsets = np.repeat(starts - _excl_cumsum(lengths), lengths)
+    flat = np.arange(total, dtype=np.int64) + offsets
+    heads = csc.row_indices[flat]
+    weights = csc.values[flat].astype(np.float64)
+    candidate = np.repeat(dist[frontier], lengths) + weights
+    better = candidate < dist[heads]
+    if not np.any(better):
+        return np.empty(0, dtype=np.int64)
+    np.minimum.at(dist, heads[better], candidate[better])
+    return np.unique(heads[better])
+
+
+def _excl_cumsum(a: np.ndarray) -> np.ndarray:
+    out = np.zeros_like(a)
+    np.cumsum(a[:-1], out=out[1:])
+    return out

@@ -1,0 +1,145 @@
+"""Top-level command line: run a graph algorithm on the simulated system.
+
+.. code-block:: bash
+
+    python -m repro bfs --dataset A302 --scale 0.05 --dpus 512
+    python -m repro sssp --dataset r-TX --policy spmv
+    python -m repro ppr --dataset face --source 12 --json out.json
+    python -m repro cc --dataset p2p-24
+
+Prints the answer summary, the per-iteration trace and the phase
+breakdown; ``--json`` additionally writes the machine-readable result.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .adaptive import AdaptiveSwitchPolicy
+from .algorithms import bfs, connected_components, pagerank, ppr, sssp
+from .algorithms.base import FixedPolicy
+from .datasets import TABLE2, add_weights, get_dataset
+from .experiments.report import breakdown_chart
+from .upmem.config import SystemConfig
+
+ALGORITHMS = ("bfs", "sssp", "ppr", "pagerank", "cc")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run a linear-algebraic graph algorithm on the "
+                    "simulated UPMEM PIM system.",
+    )
+    parser.add_argument("algorithm", choices=ALGORITHMS)
+    parser.add_argument("--dataset", default="A302",
+                        help=f"Table-2 abbreviation ({', '.join(TABLE2)})")
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="fraction of the published node count")
+    parser.add_argument("--dpus", type=int, default=512)
+    parser.add_argument("--source", type=int, default=0)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--policy", choices=("adaptive", "spmv", "spmspv"),
+        default="adaptive",
+        help="kernel selection policy (default: the paper's adaptive switch)",
+    )
+    parser.add_argument("--json", type=pathlib.Path, default=None,
+                        help="also write the run result as JSON")
+    return parser
+
+
+def _make_policy(name: str, matrix):
+    if name == "adaptive":
+        return AdaptiveSwitchPolicy.for_matrix(matrix)
+    return FixedPolicy(name)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    rng = np.random.default_rng(args.seed)
+    spec = get_dataset(args.dataset)
+    matrix = spec.generate(scale=args.scale, rng=rng)
+    if args.algorithm == "sssp":
+        matrix = add_weights(matrix, rng=rng)
+    system = SystemConfig(num_dpus=max(args.dpus, 64))
+    source = args.source % matrix.nrows
+    policy = _make_policy(args.policy, matrix)
+
+    print(f"{args.algorithm.upper()} on {spec.name} "
+          f"({matrix.nrows} nodes, {matrix.nnz} edges) "
+          f"with {args.dpus} DPUs, policy={policy.describe()}")
+
+    if args.algorithm == "bfs":
+        run = bfs(matrix, source, system, args.dpus, policy=policy,
+                  dataset=args.dataset)
+        reached = int((run.values >= 0).sum())
+        answer = f"reached {reached}/{matrix.nrows} vertices from {source}"
+    elif args.algorithm == "sssp":
+        run = sssp(matrix, source, system, args.dpus, policy=policy,
+                   dataset=args.dataset)
+        finite = np.isfinite(run.values)
+        answer = (f"{int(finite.sum())} reachable vertices; "
+                  f"max distance {run.values[finite].max():.0f}")
+    elif args.algorithm == "ppr":
+        run = ppr(matrix, source, system, args.dpus, policy=policy,
+                  dataset=args.dataset)
+        top = int(np.argsort(run.values)[::-1][1])
+        answer = f"top recommendation for {source}: vertex {top}"
+    elif args.algorithm == "pagerank":
+        run = pagerank(matrix, system, args.dpus, policy=policy,
+                       dataset=args.dataset)
+        answer = f"highest-ranked vertex: {int(np.argmax(run.values))}"
+    else:  # cc
+        run = connected_components(matrix, system, args.dpus,
+                                   policy=policy, dataset=args.dataset)
+        answer = f"{len(set(run.values.tolist()))} weakly connected components"
+
+    print(f"answer: {answer}")
+    print(f"iterations: {run.num_iterations} "
+          f"(converged: {run.converged})")
+    b = run.breakdown
+    print(f"time: total={b.total * 1e3:.2f}ms  load={b.load * 1e3:.2f} "
+          f"kernel={b.kernel * 1e3:.2f} retrieve={b.retrieve * 1e3:.2f} "
+          f"merge={b.merge * 1e3:.2f}")
+    print(f"energy: {run.energy.total_j:.3f} J | kernel utilization "
+          f"{run.utilization_kernel_pct:.2f}%")
+    if run.iterations:
+        rows = [
+            (f"iter {t.iteration} [{t.kernel_name} @ "
+             f"{t.input_density:.0%}]", t.breakdown)
+            for t in run.iterations[:12]
+        ]
+        print()
+        print(breakdown_chart(rows, title="per-iteration phases:"))
+        if run.num_iterations > 12:
+            print(f"... {run.num_iterations - 12} more iterations")
+
+    if args.json is not None:
+        payload = {
+            "algorithm": run.algorithm,
+            "dataset": args.dataset,
+            "policy": run.policy,
+            "iterations": run.num_iterations,
+            "converged": run.converged,
+            "breakdown": run.breakdown.as_dict(),
+            "energy_j": run.energy.total_j,
+            "utilization_kernel_pct": run.utilization_kernel_pct,
+            "values": run.values.tolist()
+            if run.values.size <= 100_000 else None,
+        }
+        args.json.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\nwrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

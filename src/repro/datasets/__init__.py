@@ -1,0 +1,31 @@
+"""Dataset generators and the Table-2 registry."""
+
+from .generators import (
+    add_weights,
+    degree_targeted,
+    erdos_renyi,
+    rmat,
+    road_network,
+    scale_free,
+)
+from .table2 import (
+    FIG4_DATASETS,
+    TABLE2,
+    TABLE4_DATASETS,
+    DatasetSpec,
+    get_dataset,
+)
+
+__all__ = [
+    "erdos_renyi",
+    "road_network",
+    "rmat",
+    "scale_free",
+    "degree_targeted",
+    "add_weights",
+    "DatasetSpec",
+    "TABLE2",
+    "TABLE4_DATASETS",
+    "FIG4_DATASETS",
+    "get_dataset",
+]

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the ALPHA-PIM reproduction.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch a single base class.  The subclasses mirror the major
+subsystems: sparse data structures, the UPMEM simulator, partitioning,
+kernels, and dataset generation.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class SparseFormatError(ReproError):
+    """A sparse matrix or vector was constructed with inconsistent data."""
+
+
+class ShapeError(SparseFormatError):
+    """Operand shapes do not agree (e.g. matvec with a wrong-length vector)."""
+
+
+class SemiringError(ReproError):
+    """A semiring definition violates the required algebraic structure."""
+
+
+class PartitionError(ReproError):
+    """A partitioning request is invalid (e.g. more parts than rows)."""
+
+
+class UpmemError(ReproError):
+    """Base class for UPMEM simulator errors."""
+
+
+class WramOverflowError(UpmemError):
+    """A tasklet tried to allocate more WRAM than the DPU provides."""
+
+
+class MramOverflowError(UpmemError):
+    """A transfer or allocation exceeded the DPU's MRAM bank capacity."""
+
+
+class IramOverflowError(UpmemError):
+    """A program image exceeded the DPU's instruction memory."""
+
+
+class TransferError(UpmemError):
+    """A host<->DPU transfer request is malformed."""
+
+
+class KernelError(ReproError):
+    """A kernel was invoked with an unsupported configuration."""
+
+
+class DatasetError(ReproError):
+    """A dataset could not be generated or parsed."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was configured inconsistently."""

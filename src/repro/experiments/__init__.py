@@ -1,0 +1,85 @@
+"""One module per paper figure/table, plus ablations and shared plumbing."""
+
+from .ablations import (
+    AblationResult,
+    ModelAgreementResult,
+    run_hardware_ablations,
+    run_model_agreement,
+)
+from .common import (
+    DEFAULT_SCALE,
+    STUDY_DATASETS,
+    DatasetCache,
+    ExperimentConfig,
+    PaperComparison,
+    comparison_table,
+    format_table,
+    geomean,
+)
+from .density_study import DensityStudyResult, run_density_study
+from .fig2 import Fig2Result, run_fig2
+from .fig4 import Fig4Result, run_fig4
+from .fig5 import Fig5Result, run_fig5
+from .fig6 import Fig6Result, run_fig6
+from .fig7 import PAPER_SPEEDUPS, Fig7Result, run_fig7
+from .fig8 import Fig8Result, run_fig8
+from .fig9_11 import Fig9to11Result, run_fig9_11
+from .interconnect import InterconnectResult, run_interconnect_ablation
+from .export import export_json, load_json, result_to_dict
+from .report import breakdown_chart, fraction_bar, stacked_bar
+from .scaling import ScalingResult, run_scaling_study
+from .table2_exp import Table2Result, run_table2
+from .table4 import (
+    PAPER_KERNEL_SPEEDUPS,
+    PAPER_TOTAL_SPEEDUPS,
+    Table4Result,
+    run_table4,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "DatasetCache",
+    "geomean",
+    "format_table",
+    "comparison_table",
+    "PaperComparison",
+    "STUDY_DATASETS",
+    "DEFAULT_SCALE",
+    "run_fig2",
+    "Fig2Result",
+    "run_fig4",
+    "Fig4Result",
+    "run_fig5",
+    "Fig5Result",
+    "run_fig6",
+    "Fig6Result",
+    "run_fig7",
+    "Fig7Result",
+    "PAPER_SPEEDUPS",
+    "run_fig8",
+    "Fig8Result",
+    "run_fig9_11",
+    "Fig9to11Result",
+    "run_table2",
+    "Table2Result",
+    "run_table4",
+    "Table4Result",
+    "PAPER_KERNEL_SPEEDUPS",
+    "PAPER_TOTAL_SPEEDUPS",
+    "run_hardware_ablations",
+    "run_interconnect_ablation",
+    "InterconnectResult",
+    "run_density_study",
+    "DensityStudyResult",
+    "breakdown_chart",
+    "stacked_bar",
+    "fraction_bar",
+    "export_json",
+    "load_json",
+    "result_to_dict",
+    "run_scaling_study",
+    "ScalingResult",
+    "AblationResult",
+    "run_model_agreement",
+    "ModelAgreementResult",
+]

@@ -1,0 +1,133 @@
+"""Shared experiment infrastructure: configs, dataset cache, reporting.
+
+Every paper figure/table has a module here that (1) runs the experiment
+on the simulated system and (2) renders a text report placing measured
+numbers next to the paper's.  Benchmarks under ``benchmarks/`` are thin
+wrappers that execute these and assert the qualitative claims.
+
+Experiments run at a reduced ``scale`` by default (synthetic datasets
+keep their degree statistics at any size); set ``REPRO_SCALE=1.0`` in the
+environment to reproduce at full published sizes.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..datasets import DatasetSpec, add_weights, get_dataset
+from ..sparse.coo import COOMatrix
+from ..upmem.config import SystemConfig
+
+DEFAULT_SCALE = float(os.environ.get("REPRO_SCALE", "0.04"))
+DEFAULT_STUDY_DPUS = int(os.environ.get("REPRO_DPUS", "512"))
+
+#: Datasets used for the kernel design-space studies (a representative
+#: regular / scale-free / heavy-tail mix, like the paper's Fig. 5 subset).
+STUDY_DATASETS = ("A302", "face", "r-TX", "g-18", "e-En")
+
+
+@dataclass
+class ExperimentConfig:
+    """Knobs shared by all experiment runners."""
+
+    scale: float = DEFAULT_SCALE
+    num_dpus: int = DEFAULT_STUDY_DPUS
+    seed: int = 7
+    datasets: Sequence[str] = STUDY_DATASETS
+
+    def system(self, num_dpus: Optional[int] = None) -> SystemConfig:
+        return SystemConfig(num_dpus=max(num_dpus or self.num_dpus, 64))
+
+    def rng(self) -> np.random.Generator:
+        return np.random.default_rng(self.seed)
+
+
+class DatasetCache:
+    """Generates each dataset once per (abbrev, scale, weighted) key."""
+
+    def __init__(self, config: ExperimentConfig) -> None:
+        self.config = config
+        self._cache: Dict[Tuple[str, bool], COOMatrix] = {}
+
+    def get(self, abbrev: str, weighted: bool = False) -> COOMatrix:
+        key = (abbrev, weighted)
+        if key not in self._cache:
+            spec = get_dataset(abbrev)
+            rng = np.random.default_rng(self.config.seed)
+            matrix = spec.generate(scale=self.config.scale, rng=rng)
+            if weighted:
+                matrix = add_weights(matrix, rng)
+            self._cache[key] = matrix
+        return self._cache[key]
+
+    def spec(self, abbrev: str) -> DatasetSpec:
+        return get_dataset(abbrev)
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean, the paper's cross-dataset summary statistic."""
+    array = np.asarray(list(values), dtype=np.float64)
+    if array.size == 0:
+        return 0.0
+    if np.any(array <= 0):
+        raise ValueError("geomean requires positive values")
+    return float(np.exp(np.log(array).mean()))
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str = "",
+    floatfmt: str = "{:.3f}",
+) -> str:
+    """Render an aligned plain-text table (the report backbone)."""
+    def render(cell) -> str:
+        if isinstance(cell, float):
+            return floatfmt.format(cell)
+        return str(cell)
+
+    rendered = [[render(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rendered)) if rendered
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@dataclass
+class PaperComparison:
+    """One measured-vs-paper data point for EXPERIMENTS.md."""
+
+    label: str
+    paper_value: float
+    measured_value: float
+    unit: str = "x"
+
+    @property
+    def ratio(self) -> float:
+        if self.paper_value == 0:
+            return float("inf")
+        return self.measured_value / self.paper_value
+
+    def row(self) -> Tuple[str, float, float, float]:
+        return (self.label, self.paper_value, self.measured_value, self.ratio)
+
+
+def comparison_table(points: Sequence[PaperComparison], title: str) -> str:
+    return format_table(
+        ["metric", "paper", "measured", "measured/paper"],
+        [p.row() for p in points],
+        title=title,
+    )

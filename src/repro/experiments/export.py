@@ -1,0 +1,78 @@
+"""JSON export of experiment results.
+
+Every experiment result renders a human-readable text report; this
+module adds machine-readable JSON so downstream tooling (plotting
+scripts, regression dashboards) can consume the same numbers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Union
+
+import numpy as np
+
+from ..errors import ExperimentError
+from ..types import EnergyReport, PhaseBreakdown
+
+
+def _convert(value: Any) -> Any:
+    """Recursively convert library values into JSON-encodable ones."""
+    if isinstance(value, PhaseBreakdown):
+        return value.as_dict()
+    if isinstance(value, EnergyReport):
+        return {
+            "static_j": value.static_j,
+            "dynamic_j": value.dynamic_j,
+            "transfer_j": value.transfer_j,
+            "total_j": value.total_j,
+        }
+    if isinstance(value, np.ndarray):
+        if value.size > 10_000:
+            return {
+                "shape": list(value.shape),
+                "summary": "omitted (large array)",
+            }
+        return value.tolist()
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _convert(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(k): _convert(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_convert(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if hasattr(value, "value") and isinstance(getattr(value, "value"), str):
+        return value.value  # enums
+    return repr(value)
+
+
+def result_to_dict(result: Any) -> dict:
+    """Convert any experiment result dataclass to a plain dict."""
+    if not dataclasses.is_dataclass(result):
+        raise ExperimentError(
+            f"expected an experiment result dataclass, got {type(result)}"
+        )
+    return _convert(result)
+
+
+def export_json(result: Any, path: Union[str, Path], indent: int = 2) -> Path:
+    """Write an experiment result as JSON; returns the written path."""
+    path = Path(path)
+    payload = result_to_dict(result)
+    path.write_text(json.dumps(payload, indent=indent) + "\n")
+    return path
+
+
+def load_json(path: Union[str, Path]) -> dict:
+    """Read back an exported result."""
+    return json.loads(Path(path).read_text())

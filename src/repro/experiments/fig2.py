@@ -1,0 +1,111 @@
+"""Fig. 2 — SpMV execution-time breakdown: 1-D (COO.nnz) vs. 2-D (DCOO).
+
+The paper's motivating observation (§3): with a dense input vector,
+1-D partitioning pays a huge Load (broadcasting the whole vector to every
+DPU's bank), while 2-D partitioning shrinks the Load but adds Retrieve +
+Merge overhead for gathering overlapping partial outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from ..kernels import prepare_spmv_1d, prepare_spmv_2d
+from ..semiring import PLUS_TIMES
+from ..types import PhaseBreakdown
+from .common import DatasetCache, ExperimentConfig, format_table, geomean
+
+
+@dataclass
+class Fig2Row:
+    dataset: str
+    kernel: str
+    breakdown: PhaseBreakdown
+    normalized: PhaseBreakdown
+
+
+@dataclass
+class Fig2Result:
+    rows: List[Fig2Row]
+
+    def normalized_totals(self, kernel: str) -> Dict[str, float]:
+        return {
+            r.dataset: r.normalized.total
+            for r in self.rows
+            if r.kernel == kernel
+        }
+
+    def load_fraction(self, kernel: str) -> float:
+        """Average Load share of total time for one kernel."""
+        rows = [r for r in self.rows if r.kernel == kernel]
+        return float(
+            np.mean([r.breakdown.load / r.breakdown.total for r in rows])
+        )
+
+    def geomean_total(self, kernel: str) -> float:
+        return geomean(self.normalized_totals(kernel).values())
+
+    def format_report(self) -> str:
+        from .report import breakdown_chart
+
+        chart = breakdown_chart(
+            [(f"{r.dataset}/{r.kernel}", r.breakdown) for r in self.rows],
+            title="stacked phase bars (shared scale):",
+        )
+        table_rows = [
+            (
+                r.dataset, r.kernel,
+                r.normalized.load, r.normalized.kernel,
+                r.normalized.retrieve, r.normalized.merge,
+                r.normalized.total,
+            )
+            for r in self.rows
+        ]
+        table_rows.append(
+            ("GEOMEAN", "spmv-coo-nnz (1D)", "", "", "", "",
+             self.geomean_total("spmv-coo-nnz"))
+        )
+        table_rows.append(
+            ("GEOMEAN", "spmv-dcoo (2D)", "", "", "", "",
+             self.geomean_total("spmv-dcoo"))
+        )
+        table = format_table(
+            ["dataset", "kernel", "load", "kernel", "retrieve", "merge",
+             "total"],
+            table_rows,
+            title=(
+                "Fig. 2 — SpMV 1D vs 2D breakdown, normalized to 1D total\n"
+                "(paper: 1D is Load-dominated; 2D trades Load for "
+                "Retrieve+Merge)"
+            ),
+        )
+        return table + "\n\n" + chart
+
+
+def run_fig2(config: ExperimentConfig, cache: DatasetCache) -> Fig2Result:
+    """Time both SparseP SpMV variants with a dense input vector."""
+    rows: List[Fig2Row] = []
+    system = config.system()
+    rng = config.rng()
+    for abbrev in config.datasets:
+        matrix = cache.get(abbrev)
+        x = rng.random(matrix.ncols).astype(np.float32)
+        x = np.maximum(x, 0.01)  # fully dense input, as in SpMV studies
+        one_d = prepare_spmv_1d(matrix, config.num_dpus, system)
+        two_d = prepare_spmv_2d(matrix, config.num_dpus, system)
+        result_1d = one_d.run(x, PLUS_TIMES)
+        result_2d = two_d.run(x, PLUS_TIMES)
+        reference = result_1d.breakdown.total
+        for result in (result_1d, result_2d):
+            rows.append(
+                Fig2Row(
+                    dataset=abbrev,
+                    kernel=result.kernel_name,
+                    breakdown=result.breakdown,
+                    normalized=result.breakdown.normalized_to(reference),
+                )
+            )
+    return Fig2Result(rows)

@@ -1,0 +1,104 @@
+"""Fig. 4 — per-iteration execution time: SpMV-only vs. SpMSpV-only.
+
+BFS and SSSP on an A302-class and an r-TX-class graph, running every
+iteration with one fixed kernel.  The paper's point: SpMSpV's iteration
+time scales with input-vector density while SpMV's stays flat, so the two
+curves cross — motivating the adaptive switch of §4.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..algorithms import bfs, sssp
+from ..algorithms.base import FixedPolicy, MatvecDriver
+from ..datasets.table2 import FIG4_DATASETS
+from .common import DatasetCache, ExperimentConfig, format_table
+
+
+@dataclass
+class IterationPoint:
+    iteration: int
+    density: float
+    total_ms: float
+
+
+@dataclass
+class Fig4Result:
+    #: (algorithm, dataset, policy) -> per-iteration points.
+    curves: Dict[Tuple[str, str, str], List[IterationPoint]]
+
+    def spmspv_density_correlation(self, algorithm: str, dataset: str) -> float:
+        """Spearman-style sign check: does SpMSpV time grow with density?"""
+        points = self.curves[(algorithm, dataset, "spmspv-only")]
+        if len(points) < 3:
+            return 0.0
+        num, count = 0.0, 0
+        for a in points:
+            for b in points:
+                if a.density == b.density or a.total_ms == b.total_ms:
+                    continue
+                num += (
+                    1.0
+                    if (a.density - b.density) * (a.total_ms - b.total_ms) > 0
+                    else -1.0
+                )
+                count += 1
+        return num / max(count, 1)
+
+    def density_spread(self, algorithm: str, dataset: str) -> float:
+        """Range of input densities seen across the run's iterations."""
+        points = self.curves[(algorithm, dataset, "spmspv-only")]
+        densities = [p.density for p in points]
+        return max(densities) - min(densities)
+
+    def spmv_flatness(self, algorithm: str, dataset: str) -> float:
+        """max/min per-iteration SpMV time (1.0 = perfectly flat)."""
+        points = self.curves[(algorithm, dataset, "spmv-only")]
+        times = [p.total_ms for p in points]
+        return max(times) / max(min(times), 1e-9)
+
+    def format_report(self) -> str:
+        sections = []
+        for (algorithm, dataset, policy), points in sorted(self.curves.items()):
+            rows = [
+                (p.iteration, f"{p.density:.1%}", p.total_ms)
+                for p in points
+            ]
+            sections.append(
+                format_table(
+                    ["iter", "input density", "time (ms)"],
+                    rows,
+                    title=f"Fig. 4 — {algorithm.upper()} on {dataset}, "
+                          f"{policy}",
+                )
+            )
+        return "\n\n".join(sections)
+
+
+def run_fig4(config: ExperimentConfig, cache: DatasetCache) -> Fig4Result:
+    curves: Dict[Tuple[str, str, str], List[IterationPoint]] = {}
+    for abbrev in FIG4_DATASETS:
+        unweighted = cache.get(abbrev)
+        weighted = cache.get(abbrev, weighted=True)
+        for algorithm, runner, matrix in (
+            ("bfs", bfs, unweighted),
+            ("sssp", sssp, weighted),
+        ):
+            system = config.system()
+            driver = MatvecDriver(matrix, system, config.num_dpus)
+            for kind in ("spmv", "spmspv"):
+                run = runner(
+                    matrix, 0, system, config.num_dpus,
+                    policy=FixedPolicy(kind), driver=driver, dataset=abbrev,
+                )
+                curves[(algorithm, abbrev, f"{kind}-only")] = [
+                    IterationPoint(
+                        iteration=trace.iteration,
+                        density=trace.input_density,
+                        total_ms=trace.total_s * 1e3,
+                    )
+                    for trace in run.iterations
+                ]
+    return Fig4Result(curves)

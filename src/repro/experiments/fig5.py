@@ -1,0 +1,141 @@
+"""Fig. 5 — SpMSpV variant comparison (COO, CSC-R, CSC-C, CSC-2D).
+
+Execution-time breakdowns at input-vector densities of 1 %, 10 % and
+50 %, normalized per dataset to the COO variant, plus the CSR exclusion
+statistics (the paper drops CSR from the figure after finding it 2.8x /
+12.68x / 25.23x slower than the other variants on average).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from ..kernels import FIG5_VARIANTS, prepare_kernel
+from ..semiring import PLUS_TIMES
+from ..sparse.vector import random_sparse_vector
+from ..types import PhaseBreakdown
+from .common import DatasetCache, ExperimentConfig, format_table, geomean
+
+DENSITIES = (0.01, 0.10, 0.50)
+
+#: Paper-reported CSR slowdowns vs. the other variants at each density.
+PAPER_CSR_SLOWDOWNS = {0.01: 2.8, 0.10: 12.68, 0.50: 25.23}
+
+
+@dataclass
+class Fig5Cell:
+    dataset: str
+    variant: str
+    density: float
+    breakdown: PhaseBreakdown
+    normalized_total: float
+
+
+@dataclass
+class Fig5Result:
+    cells: List[Fig5Cell]
+    csr_slowdown: Dict[float, float] = field(default_factory=dict)
+
+    def totals(self, density: float) -> Dict[str, Dict[str, float]]:
+        """variant -> dataset -> normalized total at one density."""
+        out: Dict[str, Dict[str, float]] = {}
+        for cell in self.cells:
+            if cell.density == density:
+                out.setdefault(cell.variant, {})[cell.dataset] = (
+                    cell.normalized_total
+                )
+        return out
+
+    def geomean_by_variant(self, density: float) -> Dict[str, float]:
+        return {
+            variant: geomean(values.values())
+            for variant, values in self.totals(density).items()
+        }
+
+    def best_variant(self, density: float) -> str:
+        means = self.geomean_by_variant(density)
+        return min(means, key=means.get)
+
+    def format_report(self) -> str:
+        sections = []
+        for density in DENSITIES:
+            rows = []
+            for cell in self.cells:
+                if cell.density != density:
+                    continue
+                b = cell.breakdown
+                rows.append(
+                    (cell.dataset, cell.variant, b.load * 1e3,
+                     b.kernel * 1e3, b.retrieve * 1e3, b.merge * 1e3,
+                     cell.normalized_total)
+                )
+            for variant, gm in self.geomean_by_variant(density).items():
+                rows.append(("GEOMEAN", variant, "", "", "", "", gm))
+            sections.append(
+                format_table(
+                    ["dataset", "variant", "load(ms)", "kernel(ms)",
+                     "retrieve(ms)", "merge(ms)", "norm.total"],
+                    rows,
+                    title=f"Fig. 5 — SpMSpV variants at density {density:.0%} "
+                          "(normalized to COO)",
+                )
+            )
+        csr_rows = [
+            (f"{d:.0%}", PAPER_CSR_SLOWDOWNS[d], self.csr_slowdown.get(d, 0.0))
+            for d in DENSITIES
+        ]
+        sections.append(
+            format_table(
+                ["density", "paper CSR slowdown", "measured CSR slowdown"],
+                csr_rows,
+                title="CSR exclusion check (slower than mean of others)",
+            )
+        )
+        return "\n\n".join(sections)
+
+
+def run_fig5(config: ExperimentConfig, cache: DatasetCache) -> Fig5Result:
+    """Sweep the four figure variants plus CSR across the density grid."""
+    cells: List[Fig5Cell] = []
+    csr_ratios: Dict[float, List[float]] = {d: [] for d in DENSITIES}
+    system = config.system()
+    rng = config.rng()
+
+    for abbrev in config.datasets:
+        matrix = cache.get(abbrev)
+        kernels = {
+            name: prepare_kernel(name, matrix, config.num_dpus, system)
+            for name in (*FIG5_VARIANTS, "spmspv-csr")
+        }
+        for density in DENSITIES:
+            x = random_sparse_vector(
+                matrix.ncols, density, rng=rng, dtype=matrix.dtype
+            )
+            totals: Dict[str, PhaseBreakdown] = {}
+            for name, kernel in kernels.items():
+                totals[name] = kernel.run(x, PLUS_TIMES).breakdown
+            reference = totals["spmspv-coo"].total
+            for name in FIG5_VARIANTS:
+                cells.append(
+                    Fig5Cell(
+                        dataset=abbrev,
+                        variant=name,
+                        density=density,
+                        breakdown=totals[name],
+                        normalized_total=totals[name].total / reference,
+                    )
+                )
+            others = [totals[name].total for name in FIG5_VARIANTS]
+            csr_ratios[density].append(
+                totals["spmspv-csr"].total / float(np.mean(others))
+            )
+
+    return Fig5Result(
+        cells=cells,
+        csr_slowdown={
+            d: float(np.mean(ratios)) for d, ratios in csr_ratios.items()
+        },
+    )

@@ -1,0 +1,116 @@
+"""Fig. 6 — best SpMV (DCOO) vs. best SpMSpV (CSC-2D) across densities.
+
+Single-kernel execution-time breakdowns at 1 %, 10 %, 30 % and 50 %
+input-vector density, normalized to SpMV per dataset.  The paper's two
+observations: SpMSpV's Load phase is always cheaper (most dramatically
+below 30 %), and SpMSpV's total beats or matches SpMV everywhere up to
+50 % density.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..kernels import BEST_SPMSPV, BEST_SPMV, prepare_kernel
+from ..semiring import PLUS_TIMES
+from ..sparse.vector import random_sparse_vector
+from ..types import PhaseBreakdown
+from .common import DatasetCache, ExperimentConfig, format_table, geomean
+
+DENSITIES = (0.01, 0.10, 0.30, 0.50)
+
+
+@dataclass
+class Fig6Cell:
+    dataset: str
+    kernel: str
+    density: float
+    breakdown: PhaseBreakdown
+    normalized_total: float
+
+
+@dataclass
+class Fig6Result:
+    cells: List[Fig6Cell]
+
+    def load_ratio(self, density: float) -> float:
+        """Geomean of SpMSpV load time / SpMV load time."""
+        ratios = []
+        by_dataset: Dict[str, Dict[str, float]] = {}
+        for cell in self.cells:
+            if cell.density == density:
+                by_dataset.setdefault(cell.dataset, {})[cell.kernel] = (
+                    cell.breakdown.load
+                )
+        for dataset, loads in by_dataset.items():
+            if BEST_SPMV in loads and BEST_SPMSPV in loads:
+                ratios.append(
+                    max(loads[BEST_SPMSPV], 1e-12)
+                    / max(loads[BEST_SPMV], 1e-12)
+                )
+        return geomean(ratios) if ratios else 0.0
+
+    def total_ratio(self, density: float) -> float:
+        """Geomean normalized SpMSpV total (SpMV == 1.0)."""
+        values = [
+            cell.normalized_total
+            for cell in self.cells
+            if cell.density == density and cell.kernel == BEST_SPMSPV
+        ]
+        return geomean(values) if values else 0.0
+
+    def format_report(self) -> str:
+        sections = []
+        for density in DENSITIES:
+            rows = []
+            for cell in self.cells:
+                if cell.density != density:
+                    continue
+                b = cell.breakdown
+                rows.append(
+                    (cell.dataset, cell.kernel, b.load * 1e3, b.kernel * 1e3,
+                     b.retrieve * 1e3, b.merge * 1e3, cell.normalized_total)
+                )
+            rows.append(
+                ("GEOMEAN", BEST_SPMSPV, "", "", "", "",
+                 self.total_ratio(density))
+            )
+            sections.append(
+                format_table(
+                    ["dataset", "kernel", "load(ms)", "kernel(ms)",
+                     "retrieve(ms)", "merge(ms)", "norm.total"],
+                    rows,
+                    title=f"Fig. 6 — SpMV vs SpMSpV at density {density:.0%} "
+                          "(normalized to SpMV)",
+                )
+            )
+        return "\n\n".join(sections)
+
+
+def run_fig6(config: ExperimentConfig, cache: DatasetCache) -> Fig6Result:
+    cells: List[Fig6Cell] = []
+    system = config.system()
+    rng = config.rng()
+    for abbrev in config.datasets:
+        matrix = cache.get(abbrev)
+        spmv = prepare_kernel(BEST_SPMV, matrix, config.num_dpus, system)
+        spmspv = prepare_kernel(BEST_SPMSPV, matrix, config.num_dpus, system)
+        for density in DENSITIES:
+            x = random_sparse_vector(
+                matrix.ncols, density, rng=rng, dtype=matrix.dtype
+            )
+            spmv_result = spmv.run(x, PLUS_TIMES)
+            spmspv_result = spmspv.run(x, PLUS_TIMES)
+            reference = spmv_result.breakdown.total
+            for result in (spmv_result, spmspv_result):
+                cells.append(
+                    Fig6Cell(
+                        dataset=abbrev,
+                        kernel=result.kernel_name,
+                        density=density,
+                        breakdown=result.breakdown,
+                        normalized_total=result.breakdown.total / reference,
+                    )
+                )
+    return Fig6Result(cells)

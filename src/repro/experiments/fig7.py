@@ -1,0 +1,93 @@
+"""Fig. 7 — end-to-end ALPHA-PIM (adaptive) vs. SparseP SpMV-only.
+
+Full multi-iteration BFS / SSSP / PPR runs; the paper reports average
+speedups of 1.72x (BFS), 1.34x (SSSP) and 1.22x (PPR) for the adaptive
+kernel switch over running SparseP's best SpMV every iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..adaptive import AdaptiveSwitchPolicy
+from ..algorithms import bfs, ppr, sssp
+from ..algorithms.base import FixedPolicy, MatvecDriver
+from ..algorithms.ppr import normalize_columns
+from .common import DatasetCache, ExperimentConfig, format_table, geomean
+
+PAPER_SPEEDUPS = {"bfs": 1.72, "sssp": 1.34, "ppr": 1.22}
+
+
+@dataclass
+class Fig7Row:
+    algorithm: str
+    dataset: str
+    spmv_only_s: float
+    adaptive_s: float
+
+    @property
+    def speedup(self) -> float:
+        return self.spmv_only_s / max(self.adaptive_s, 1e-12)
+
+
+@dataclass
+class Fig7Result:
+    rows: List[Fig7Row]
+
+    def average_speedup(self, algorithm: str) -> float:
+        values = [r.speedup for r in self.rows if r.algorithm == algorithm]
+        return geomean(values) if values else 0.0
+
+    def format_report(self) -> str:
+        table_rows: List[Tuple] = [
+            (r.algorithm, r.dataset, r.spmv_only_s * 1e3, r.adaptive_s * 1e3,
+             r.speedup)
+            for r in self.rows
+        ]
+        for algorithm, paper in PAPER_SPEEDUPS.items():
+            table_rows.append(
+                (algorithm, f"AVG (paper {paper:.2f}x)", "", "",
+                 self.average_speedup(algorithm))
+            )
+        return format_table(
+            ["algorithm", "dataset", "spmv-only (ms)", "adaptive (ms)",
+             "speedup"],
+            table_rows,
+            title="Fig. 7 — ALPHA-PIM adaptive switching vs SparseP "
+                  "SpMV-only (end-to-end)",
+        )
+
+
+def run_fig7(config: ExperimentConfig, cache: DatasetCache) -> Fig7Result:
+    rows: List[Fig7Row] = []
+    system = config.system()
+    for abbrev in config.datasets:
+        plain = cache.get(abbrev)
+        weighted = cache.get(abbrev, weighted=True)
+        normalized = normalize_columns(plain)
+        matrices = {"bfs": plain, "sssp": weighted, "ppr": normalized}
+        runners = {"bfs": bfs, "sssp": sssp, "ppr": ppr}
+        for algorithm in ("bfs", "sssp", "ppr"):
+            matrix = matrices[algorithm]
+            driver = MatvecDriver(matrix, system, config.num_dpus)
+            kwargs = {"pre_normalized": True} if algorithm == "ppr" else {}
+            spmv_run = runners[algorithm](
+                matrix, 0, system, config.num_dpus,
+                policy=FixedPolicy("spmv"), driver=driver, dataset=abbrev,
+                **kwargs,
+            )
+            adaptive_run = runners[algorithm](
+                matrix, 0, system, config.num_dpus,
+                policy=AdaptiveSwitchPolicy.for_matrix(matrix),
+                driver=driver, dataset=abbrev, **kwargs,
+            )
+            rows.append(
+                Fig7Row(
+                    algorithm=algorithm,
+                    dataset=abbrev,
+                    spmv_only_s=spmv_run.total_s,
+                    adaptive_s=adaptive_run.total_s,
+                )
+            )
+    return Fig7Result(rows)

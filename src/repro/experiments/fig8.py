@@ -1,0 +1,125 @@
+"""Fig. 8 — execution-time breakdown vs. DPU count (512 / 1024 / 2048).
+
+Per-algorithm phase breakdowns normalized to the 512-DPU run.  The
+paper's observations: BFS/SSSP are dominated by Load+Retrieve (the
+inter-iteration vector round-trip through the host), PPR is
+kernel-dominated (software-emulated floating point), and going from 1024
+to 2048 DPUs buys little for BFS/SSSP because transfer costs grow with
+the DPU count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..adaptive import AdaptiveSwitchPolicy
+from ..algorithms import bfs, ppr, sssp
+from ..algorithms.ppr import normalize_columns
+from ..types import PhaseBreakdown
+from .common import DatasetCache, ExperimentConfig, format_table, geomean
+
+DPU_COUNTS = (512, 1024, 2048)
+
+
+@dataclass
+class Fig8Cell:
+    algorithm: str
+    dataset: str
+    num_dpus: int
+    breakdown: PhaseBreakdown
+    normalized: PhaseBreakdown
+
+
+@dataclass
+class Fig8Result:
+    cells: List[Fig8Cell]
+
+    def normalized_total(self, algorithm: str, num_dpus: int) -> float:
+        values = [
+            c.normalized.total
+            for c in self.cells
+            if c.algorithm == algorithm and c.num_dpus == num_dpus
+        ]
+        return geomean(values) if values else 0.0
+
+    def transfer_fraction(self, algorithm: str) -> float:
+        """Average (Load + Retrieve) share of total time."""
+        cells = [c for c in self.cells if c.algorithm == algorithm]
+        shares = [
+            (c.breakdown.load + c.breakdown.retrieve) / c.breakdown.total
+            for c in cells
+        ]
+        return sum(shares) / max(len(shares), 1)
+
+    def kernel_fraction(self, algorithm: str) -> float:
+        cells = [c for c in self.cells if c.algorithm == algorithm]
+        shares = [c.breakdown.kernel / c.breakdown.total for c in cells]
+        return sum(shares) / max(len(shares), 1)
+
+    def format_report(self) -> str:
+        from .report import breakdown_chart
+
+        chart_rows = [
+            (f"{c.algorithm}/{c.dataset}@{c.num_dpus}", c.breakdown)
+            for c in self.cells
+            if c.dataset == self.cells[0].dataset
+        ]
+        chart = breakdown_chart(
+            chart_rows,
+            title="stacked phase bars (first dataset, shared scale):",
+        )
+        rows: List[Tuple] = []
+        for cell in self.cells:
+            n = cell.normalized
+            rows.append(
+                (cell.algorithm, cell.dataset, cell.num_dpus, n.load,
+                 n.kernel, n.retrieve, n.merge, n.total)
+            )
+        for algorithm in ("bfs", "sssp", "ppr"):
+            for dpus in DPU_COUNTS:
+                rows.append(
+                    (algorithm, "GEOMEAN", dpus, "", "", "", "",
+                     self.normalized_total(algorithm, dpus))
+                )
+        table = format_table(
+            ["algorithm", "dataset", "dpus", "load", "kernel", "retrieve",
+             "merge", "total"],
+            rows,
+            title="Fig. 8 — breakdown vs DPU count, normalized to 512 DPUs",
+        )
+        return table + "\n\n" + chart
+
+
+def run_fig8(config: ExperimentConfig, cache: DatasetCache) -> Fig8Result:
+    cells: List[Fig8Cell] = []
+    for abbrev in config.datasets:
+        plain = cache.get(abbrev)
+        weighted = cache.get(abbrev, weighted=True)
+        normalized = normalize_columns(plain)
+        for algorithm, runner, matrix in (
+            ("bfs", bfs, plain),
+            ("sssp", sssp, weighted),
+            ("ppr", ppr, normalized),
+        ):
+            reference_total = None
+            kwargs = {"pre_normalized": True} if algorithm == "ppr" else {}
+            for num_dpus in DPU_COUNTS:
+                system = config.system(num_dpus)
+                run = runner(
+                    matrix, 0, system, num_dpus,
+                    policy=AdaptiveSwitchPolicy.for_matrix(matrix),
+                    dataset=abbrev, **kwargs,
+                )
+                if reference_total is None:
+                    reference_total = run.breakdown.total
+                cells.append(
+                    Fig8Cell(
+                        algorithm=algorithm,
+                        dataset=abbrev,
+                        num_dpus=num_dpus,
+                        breakdown=run.breakdown,
+                        normalized=run.breakdown.normalized_to(reference_total),
+                    )
+                )
+    return Fig8Result(cells)

@@ -1,0 +1,162 @@
+"""Figs. 9-11 — in-depth DPU kernel profiling (the PIMulator study).
+
+For the best SpMV and SpMSpV kernels at 1 %, 10 % and 50 % input-vector
+density, collect:
+
+* **Fig. 9** — cycle breakdown: issue (active) vs. idle, idle split into
+  memory stalls, revolver-pipeline stalls (incl. mutex serialization) and
+  register-file structural hazards;
+* **Fig. 10** — average active tasklets per cycle;
+* **Fig. 11** — instruction mix (arith / scratchpad / DMA / sync /
+  control).
+
+Both the fast analytic estimates and an actual cycle-level simulation of
+a representative DPU (through :class:`repro.upmem.RevolverPipeline`) are
+reported, so the two layers of the timing model can be compared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..kernels import BEST_SPMSPV, BEST_SPMV, prepare_kernel
+from ..semiring import PLUS_TIMES
+from ..sparse.vector import random_sparse_vector
+from ..upmem.pipeline import PipelineStats
+from .common import DatasetCache, ExperimentConfig, format_table
+
+DENSITIES = (0.01, 0.10, 0.50)
+
+
+@dataclass
+class ProfileCell:
+    kernel: str
+    dataset: str
+    density: float
+    cycle_breakdown: Dict[str, float]
+    instruction_mix: Dict[str, float]
+    avg_active_threads: float
+    pipeline_sim: Optional[PipelineStats] = None
+
+
+@dataclass
+class Fig9to11Result:
+    cells: List[ProfileCell]
+
+    def _select(self, kernel_kind: str, density: float) -> List[ProfileCell]:
+        return [
+            c for c in self.cells
+            if c.density == density and c.kernel.startswith(kernel_kind)
+        ]
+
+    def issue_fraction(self, kernel_kind: str, density: float) -> float:
+        cells = self._select(kernel_kind, density)
+        return sum(c.cycle_breakdown["issue"] for c in cells) / max(len(cells), 1)
+
+    def memory_fraction(self, kernel_kind: str, density: float) -> float:
+        cells = self._select(kernel_kind, density)
+        return sum(c.cycle_breakdown["memory"] for c in cells) / max(len(cells), 1)
+
+    def revolver_fraction(self, kernel_kind: str, density: float) -> float:
+        cells = self._select(kernel_kind, density)
+        return sum(c.cycle_breakdown["revolver"] for c in cells) / max(len(cells), 1)
+
+    def sync_share(self, kernel_kind: str, density: float) -> float:
+        cells = self._select(kernel_kind, density)
+        return sum(c.instruction_mix["sync"] for c in cells) / max(len(cells), 1)
+
+    def arith_share(self, kernel_kind: str, density: float) -> float:
+        cells = self._select(kernel_kind, density)
+        return sum(c.instruction_mix["arith"] for c in cells) / max(len(cells), 1)
+
+    def active_threads(self, kernel_kind: str, density: float) -> float:
+        cells = self._select(kernel_kind, density)
+        return sum(c.avg_active_threads for c in cells) / max(len(cells), 1)
+
+    def format_report(self) -> str:
+        fig9_rows: List[Tuple] = []
+        fig10_rows: List[Tuple] = []
+        fig11_rows: List[Tuple] = []
+        for c in self.cells:
+            cb, mix = c.cycle_breakdown, c.instruction_mix
+            sim_issue = (
+                f"{c.pipeline_sim.issue_fraction:.3f}" if c.pipeline_sim else "-"
+            )
+            fig9_rows.append(
+                (c.kernel, c.dataset, f"{c.density:.0%}", cb["issue"],
+                 cb["memory"], cb["revolver"], cb["rf"], sim_issue)
+            )
+            sim_threads = (
+                f"{c.pipeline_sim.avg_active_threads:.2f}"
+                if c.pipeline_sim else "-"
+            )
+            fig10_rows.append(
+                (c.kernel, c.dataset, f"{c.density:.0%}",
+                 c.avg_active_threads, sim_threads)
+            )
+            fig11_rows.append(
+                (c.kernel, c.dataset, f"{c.density:.0%}", mix["arith"],
+                 mix["loadstore"], mix["dma"], mix["sync"], mix["control"])
+            )
+        return "\n\n".join([
+            format_table(
+                ["kernel", "dataset", "density", "issue", "memory",
+                 "revolver", "rf", "cyclesim issue"],
+                fig9_rows,
+                title="Fig. 9 — DPU cycle breakdown (fractions of total)",
+            ),
+            format_table(
+                ["kernel", "dataset", "density", "active threads (analytic)",
+                 "active threads (cyclesim)"],
+                fig10_rows,
+                title="Fig. 10 — average active tasklets per cycle",
+            ),
+            format_table(
+                ["kernel", "dataset", "density", "arith", "loadstore", "dma",
+                 "sync", "control"],
+                fig11_rows,
+                title="Fig. 11 — instruction mix (fractions of instructions)",
+            ),
+        ])
+
+
+def run_fig9_11(
+    config: ExperimentConfig,
+    cache: DatasetCache,
+    run_cycle_sim: bool = True,
+    datasets: Optional[Tuple[str, ...]] = None,
+) -> Fig9to11Result:
+    cells: List[ProfileCell] = []
+    system = config.system()
+    rng = config.rng()
+    for abbrev in datasets or config.datasets[:2]:
+        matrix = cache.get(abbrev)
+        kernels = {
+            name: prepare_kernel(name, matrix, config.num_dpus, system)
+            for name in (BEST_SPMV, BEST_SPMSPV)
+        }
+        for density in DENSITIES:
+            x = random_sparse_vector(
+                matrix.ncols, density, rng=rng, dtype=matrix.dtype
+            )
+            for name, kernel in kernels.items():
+                result = kernel.run(x, PLUS_TIMES)
+                profile = result.profile
+                sim = None
+                if run_cycle_sim:
+                    sim = profile.simulate_representative_dpu(
+                        config=system.dpu, max_instructions=6000,
+                    )
+                cells.append(
+                    ProfileCell(
+                        kernel=name,
+                        dataset=abbrev,
+                        density=density,
+                        cycle_breakdown=profile.cycle_breakdown(),
+                        instruction_mix=profile.instruction_mix(),
+                        avg_active_threads=profile.avg_active_threads,
+                        pipeline_sim=sim,
+                    )
+                )
+    return Fig9to11Result(cells)

@@ -1,0 +1,112 @@
+"""Interconnect what-if: the paper's §6.3.1 hardware recommendation.
+
+"The lack of inter-DPU communication leads to substantial vector
+transfer overhead between iterations, which could be mitigated by
+enabling direct interconnections."  This experiment quantifies that
+claim: it re-prices every recorded iteration of BFS / SSSP / PPR as if
+partial outputs travelled DPU-to-DPU over a direct network
+(:class:`repro.upmem.InterconnectModel`) instead of round-tripping
+through the host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..adaptive import AdaptiveSwitchPolicy
+from ..algorithms import bfs, ppr, sssp
+from ..algorithms.base import AlgorithmRun
+from ..algorithms.ppr import normalize_columns
+from ..types import PhaseBreakdown
+from ..upmem.interconnect import InterconnectConfig, InterconnectModel
+from .common import DatasetCache, ExperimentConfig, format_table, geomean
+
+
+@dataclass
+class InterconnectRow:
+    algorithm: str
+    dataset: str
+    host_total_s: float
+    interconnect_total_s: float
+
+    @property
+    def speedup(self) -> float:
+        return self.host_total_s / max(self.interconnect_total_s, 1e-12)
+
+
+@dataclass
+class InterconnectResult:
+    rows: List[InterconnectRow]
+
+    def speedup(self, algorithm: str) -> float:
+        return geomean(
+            r.speedup for r in self.rows if r.algorithm == algorithm
+        )
+
+    def format_report(self) -> str:
+        table_rows = [
+            (r.algorithm, r.dataset, r.host_total_s * 1e3,
+             r.interconnect_total_s * 1e3, r.speedup)
+            for r in self.rows
+        ]
+        for algorithm in ("bfs", "sssp", "ppr"):
+            table_rows.append(
+                (algorithm, "GEOMEAN", "", "", self.speedup(algorithm))
+            )
+        return format_table(
+            ["algorithm", "dataset", "host-routed (ms)",
+             "direct interconnect (ms)", "projected speedup"],
+            table_rows,
+            title="§6.3.1 what-if — direct inter-DPU interconnect vs "
+                  "host-routed vector exchange",
+        )
+
+
+def project_run(
+    run: AlgorithmRun, num_dpus: int, model: InterconnectModel
+) -> float:
+    """Total seconds of a recorded run under the direct interconnect."""
+    total = PhaseBreakdown()
+    for trace in run.iterations:
+        exchanged = trace.bytes_retrieved  # partials move directly onward
+        total += model.rewrite_iteration(
+            trace.breakdown, exchanged, num_dpus
+        )
+    return total.total
+
+
+def run_interconnect_ablation(
+    config: ExperimentConfig,
+    cache: DatasetCache,
+    interconnect: InterconnectConfig = InterconnectConfig(),
+) -> InterconnectResult:
+    model = InterconnectModel(interconnect)
+    system = config.system()
+    rows: List[InterconnectRow] = []
+    for abbrev in config.datasets:
+        plain = cache.get(abbrev)
+        weighted = cache.get(abbrev, weighted=True)
+        normalized = normalize_columns(plain)
+        jobs = (
+            ("bfs", bfs, plain, {}),
+            ("sssp", sssp, weighted, {}),
+            ("ppr", ppr, normalized, {"pre_normalized": True}),
+        )
+        for algorithm, runner, matrix, kwargs in jobs:
+            run = runner(
+                matrix, 0, system, config.num_dpus,
+                policy=AdaptiveSwitchPolicy.for_matrix(matrix),
+                dataset=abbrev, **kwargs,
+            )
+            rows.append(
+                InterconnectRow(
+                    algorithm=algorithm,
+                    dataset=abbrev,
+                    host_total_s=run.total_s,
+                    interconnect_total_s=project_run(
+                        run, config.num_dpus, model
+                    ),
+                )
+            )
+    return InterconnectResult(rows)

@@ -1,0 +1,79 @@
+"""Plain-text visualization helpers for experiment reports.
+
+The paper's figures are stacked-bar charts; these helpers render the
+same data as ASCII so the ``benchmarks/reports/*.txt`` artifacts are
+readable without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..types import PhaseBreakdown
+
+#: One character per phase, in Load/Kernel/Retrieve/Merge order —
+#: mirrors the paper's stacked-bar legend.
+PHASE_GLYPHS = (("load", "L"), ("kernel", "K"), ("retrieve", "R"),
+                ("merge", "M"))
+
+
+def stacked_bar(
+    breakdown: PhaseBreakdown, width: int = 40, scale_total: float = 0.0
+) -> str:
+    """Render one breakdown as a fixed-width stacked ASCII bar.
+
+    ``scale_total`` sets the value a full-width bar represents (for
+    comparing bars across rows); 0 means self-normalized.
+    """
+    if width <= 0:
+        raise ValueError("width must be positive")
+    reference = scale_total if scale_total > 0 else breakdown.total
+    if reference <= 0:
+        return " " * width
+    values = breakdown.as_dict()
+    cells: List[str] = []
+    for name, glyph in PHASE_GLYPHS:
+        count = int(round(values[name] / reference * width))
+        cells.append(glyph * count)
+    bar = "".join(cells)[:width]
+    return bar.ljust(width) if scale_total > 0 else bar[:width]
+
+
+def breakdown_chart(
+    rows: Sequence[Tuple[str, PhaseBreakdown]],
+    width: int = 40,
+    title: str = "",
+) -> str:
+    """A labelled stacked-bar chart for several breakdowns.
+
+    Bars share one scale (the largest total), so relative lengths are
+    meaningful — the paper's normalized-breakdown figures in ASCII.
+    """
+    if not rows:
+        raise ValueError("need at least one row")
+    label_width = max(len(label) for label, _ in rows)
+    reference = max(b.total for _, b in rows)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    legend = " ".join(f"{glyph}={name}" for name, glyph in PHASE_GLYPHS)
+    lines.append(f"({legend}; full width = {reference * 1e3:.3f} ms)")
+    for label, breakdown in rows:
+        bar = stacked_bar(breakdown, width=width, scale_total=reference)
+        lines.append(
+            f"{label.rjust(label_width)} |{bar}| "
+            f"{breakdown.total * 1e3:.3f} ms"
+        )
+    return "\n".join(lines)
+
+
+def fraction_bar(fractions: Dict[str, float], glyphs: Dict[str, str],
+                 width: int = 40) -> str:
+    """Render a dict of fractions (summing to ~1) as one stacked bar."""
+    if width <= 0:
+        raise ValueError("width must be positive")
+    bar = ""
+    for name, fraction in fractions.items():
+        glyph = glyphs.get(name, "?")
+        bar += glyph * int(round(fraction * width))
+    return bar[:width].ljust(width)

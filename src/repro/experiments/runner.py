@@ -1,0 +1,131 @@
+"""Command-line experiment runner: ``python -m repro.experiments``.
+
+Runs any subset of the paper's figures/tables and prints (or saves) the
+text reports, without writing a script:
+
+.. code-block:: bash
+
+    python -m repro.experiments --list
+    python -m repro.experiments fig5 table4 --scale 0.1 --dpus 1024
+    python -m repro.experiments all --out reports/
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+from typing import Callable, Dict, Optional, Sequence
+
+from .ablations import run_hardware_ablations, run_model_agreement
+from .common import DatasetCache, ExperimentConfig
+from .density_study import run_density_study
+from .fig2 import run_fig2
+from .fig4 import run_fig4
+from .fig5 import run_fig5
+from .fig6 import run_fig6
+from .fig7 import run_fig7
+from .fig8 import run_fig8
+from .fig9_11 import run_fig9_11
+from .interconnect import run_interconnect_ablation
+from .scaling import run_scaling_study
+from .table2_exp import run_table2
+from .table4 import run_table4
+
+#: name -> (runner, description).  Runners take (config, cache) except
+#: the model-agreement check, which is configuration-free.
+REGISTRY: Dict[str, tuple] = {
+    "fig2": (run_fig2, "SpMV 1D vs 2D partitioning breakdown"),
+    "fig4": (run_fig4, "per-iteration SpMV-only vs SpMSpV-only traces"),
+    "fig5": (run_fig5, "SpMSpV variant comparison + CSR exclusion"),
+    "fig6": (run_fig6, "best SpMV vs best SpMSpV across densities"),
+    "fig7": (run_fig7, "end-to-end adaptive switching vs SparseP"),
+    "fig8": (run_fig8, "phase breakdown vs DPU count"),
+    "fig9-11": (run_fig9_11, "DPU cycle/thread/instruction profiling"),
+    "table2": (run_table2, "dataset statistics vs paper"),
+    "table4": (run_table4, "CPU / GPU / UPMEM system comparison"),
+    "density": (run_density_study, "§3 BFS frontier-density study"),
+    "scaling": (run_scaling_study, "dataset-scaling study (PIM advantage vs size)"),
+    "ablation-hw": (run_hardware_ablations, "§6.4 hardware toggles"),
+    "interconnect": (
+        run_interconnect_ablation, "§6.3.1 direct inter-DPU network what-if"
+    ),
+    "ablation-model": (
+        lambda config, cache: run_model_agreement(),
+        "analytic model vs cycle simulator",
+    ),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate ALPHA-PIM paper figures/tables on the "
+                    "simulated UPMEM system.",
+    )
+    parser.add_argument(
+        "experiments", nargs="*",
+        help="experiment names (see --list), or 'all'",
+    )
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiments and exit")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="dataset scale (fraction of published sizes)")
+    parser.add_argument("--dpus", type=int, default=None,
+                        help="DPU count for the kernel studies")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--out", type=pathlib.Path, default=None,
+                        help="directory for report files (default: stdout)")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list:
+        width = max(len(name) for name in REGISTRY)
+        for name, (_, description) in REGISTRY.items():
+            print(f"  {name.ljust(width)}  {description}")
+        return 0
+
+    names = list(args.experiments)
+    if not names:
+        parser.error("no experiments given (try --list or 'all')")
+    if names == ["all"]:
+        names = list(REGISTRY)
+    unknown = [n for n in names if n not in REGISTRY]
+    if unknown:
+        parser.error(f"unknown experiments: {', '.join(unknown)}")
+
+    config_kwargs = {"seed": args.seed}
+    if args.scale is not None:
+        config_kwargs["scale"] = args.scale
+    if args.dpus is not None:
+        config_kwargs["num_dpus"] = args.dpus
+    config = ExperimentConfig(**config_kwargs)
+    cache = DatasetCache(config)
+
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+
+    for name in names:
+        runner, _ = REGISTRY[name]
+        start = time.time()
+        result = runner(config, cache)
+        report = result.format_report()
+        elapsed = time.time() - start
+        if args.out is not None:
+            target = args.out / f"{name.replace('-', '_')}.txt"
+            target.write_text(report + "\n")
+            print(f"[{elapsed:6.1f}s] {name} -> {target}")
+        else:
+            print(f"===== {name} [{elapsed:.1f}s] =====")
+            print(report)
+            print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,195 @@
+"""Table 4 — system-level comparison: CPU, GPU, UPMEM-kernel, UPMEM-total.
+
+Execution time, compute utilization and energy for BFS / SSSP / PPR on
+the six Table-4 datasets, plus the paper's §6.3.2 headline averages:
+kernel speedups of 10.2x / 48.8x / 3.6x and total speedups of
+2.6x / 10.4x / 1.7x over the CPU baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..adaptive import AdaptiveSwitchPolicy
+from ..algorithms import bfs, ppr, sssp
+from ..algorithms.ppr import normalize_columns
+from ..baselines import BaselineRun, CpuGraphEngine, GpuGraphEngine
+from ..datasets.table2 import TABLE4_DATASETS
+from .common import DatasetCache, ExperimentConfig, format_table, geomean
+
+PAPER_KERNEL_SPEEDUPS = {"bfs": 10.2, "sssp": 48.8, "ppr": 3.6}
+PAPER_TOTAL_SPEEDUPS = {"bfs": 2.6, "sssp": 10.4, "ppr": 1.7}
+
+#: Paper Table 4 values (ms) for spot checks, {algo: {dataset: (cpu, gpu,
+#: upmem_kernel, upmem_total)}}.
+PAPER_TIMES_MS = {
+    "bfs": {
+        "A302": (541.1, 7.08, 76.6, 241.1),
+        "as00": (38.5, 0.89, 2.62, 13.3),
+        "s-S11": (44.5, 2.2, 8.2, 33.4),
+        "p2p-24": (117.1, 1.23, 5.67, 23.0),
+        "e-En": (44.5, 1.22, 8.24, 31.5),
+        "face": (27.1, 0.96, 3.53, 9.55),
+    },
+    "sssp": {
+        "A302": (1900.0, 12.7, 62.7, 340.0),
+        "as00": (61.0, 13.0, 4.3, 19.9),
+        "s-S11": (1056.0, 12.9, 8.3, 49.3),
+        "p2p-24": (166.5, 12.8, 7.9, 29.9),
+        "e-En": (656.1, 12.5, 11.8, 43.3),
+        "face": (232.0, 13.1, 5.3, 20.2),
+    },
+    "ppr": {
+        "A302": (216.0, 18.2, 78.5, 196.2),
+        "as00": (126.0, 14.3, 37.2, 45.9),
+        "s-S11": (177.0, 18.6, 76.5, 144.0),
+        "p2p-24": (88.5, 13.0, 17.7, 46.9),
+        "e-En": (197.0, 18.0, 58.7, 84.4),
+        "face": (84.0, 12.7, 22.4, 104.0),
+    },
+}
+
+
+@dataclass
+class Table4Row:
+    algorithm: str
+    dataset: str
+    cpu: BaselineRun
+    gpu: BaselineRun
+    upmem_kernel_s: float
+    upmem_total_s: float
+    upmem_util_kernel_pct: float
+    upmem_util_total_pct: float
+    upmem_energy_j: float
+
+    @property
+    def kernel_speedup(self) -> float:
+        return self.cpu.seconds / max(self.upmem_kernel_s, 1e-12)
+
+    @property
+    def total_speedup(self) -> float:
+        return self.cpu.seconds / max(self.upmem_total_s, 1e-12)
+
+
+@dataclass
+class Table4Result:
+    rows: List[Table4Row]
+
+    def average_kernel_speedup(self, algorithm: str) -> float:
+        return geomean(
+            r.kernel_speedup for r in self.rows if r.algorithm == algorithm
+        )
+
+    def average_total_speedup(self, algorithm: str) -> float:
+        return geomean(
+            r.total_speedup for r in self.rows if r.algorithm == algorithm
+        )
+
+    def gpu_wins_everywhere(self) -> bool:
+        """§6.3.2 observation 3: the GPU has the lowest execution time."""
+        return all(
+            r.gpu.seconds <= min(r.cpu.seconds, r.upmem_total_s)
+            for r in self.rows
+        )
+
+    def format_report(self) -> str:
+        table_rows: List[Tuple] = []
+        for r in self.rows:
+            paper = PAPER_TIMES_MS.get(r.algorithm, {}).get(r.dataset)
+            paper_note = (
+                f"paper {paper[0]:.0f}/{paper[1]:.1f}/{paper[2]:.1f}/"
+                f"{paper[3]:.0f}" if paper else ""
+            )
+            table_rows.append(
+                (r.algorithm, r.dataset, r.cpu.milliseconds,
+                 r.gpu.milliseconds, r.upmem_kernel_s * 1e3,
+                 r.upmem_total_s * 1e3, r.upmem_util_kernel_pct,
+                 r.upmem_energy_j, paper_note)
+            )
+        summary_rows = []
+        for algorithm in ("bfs", "sssp", "ppr"):
+            summary_rows.append(
+                (algorithm,
+                 PAPER_KERNEL_SPEEDUPS[algorithm],
+                 self.average_kernel_speedup(algorithm),
+                 PAPER_TOTAL_SPEEDUPS[algorithm],
+                 self.average_total_speedup(algorithm))
+            )
+        return "\n\n".join([
+            format_table(
+                ["algo", "dataset", "CPU(ms)", "GPU(ms)", "UPMEM-K(ms)",
+                 "UPMEM-T(ms)", "util-K(%)", "energy(J)",
+                 "paper CPU/GPU/UK/UT (ms)"],
+                table_rows,
+                title="Table 4 — system comparison (measured)",
+            ),
+            format_table(
+                ["algo", "paper kernel x", "measured kernel x",
+                 "paper total x", "measured total x"],
+                summary_rows,
+                title="§6.3.2 headline speedups over CPU",
+            ),
+        ])
+
+
+#: Minimum dataset scale for the system comparison: the PIM system's
+#: fixed per-iteration overheads (kernel launch, transfer granules) only
+#: amortize on graphs of realistic size, as in the paper.
+TABLE4_MIN_SCALE = 0.3
+
+
+def run_table4(
+    config: ExperimentConfig,
+    cache: DatasetCache,
+    datasets: Optional[Tuple[str, ...]] = None,
+) -> Table4Result:
+    if config.scale < TABLE4_MIN_SCALE:
+        config = ExperimentConfig(
+            scale=TABLE4_MIN_SCALE,
+            num_dpus=max(config.num_dpus, 2048),
+            seed=config.seed,
+            datasets=config.datasets,
+        )
+        cache = DatasetCache(config)
+    rows: List[Table4Row] = []
+    cpu_engine = CpuGraphEngine()
+    gpu_engine = GpuGraphEngine()
+    system = config.system()
+    for abbrev in datasets or TABLE4_DATASETS:
+        plain = cache.get(abbrev)
+        weighted = cache.get(abbrev, weighted=True)
+        normalized = normalize_columns(plain)
+        source = 0
+        jobs = (
+            ("bfs", plain, cpu_engine.bfs, gpu_engine.bfs, bfs, {}),
+            ("sssp", weighted, cpu_engine.sssp, gpu_engine.sssp, sssp, {}),
+            ("ppr", normalized, cpu_engine.ppr, gpu_engine.ppr, ppr,
+             {"pre_normalized": True}),
+        )
+        for algorithm, matrix, cpu_fn, gpu_fn, pim_fn, kwargs in jobs:
+            cpu_run = cpu_fn(matrix, source, dataset=abbrev)
+            gpu_run = gpu_fn(matrix, source, dataset=abbrev)
+            pim_run = pim_fn(
+                matrix, source, system, config.num_dpus,
+                policy=AdaptiveSwitchPolicy.for_matrix(matrix),
+                dataset=abbrev, **kwargs,
+            )
+            if algorithm == "bfs":
+                assert np.array_equal(pim_run.values, cpu_run.values)
+            rows.append(
+                Table4Row(
+                    algorithm=algorithm,
+                    dataset=abbrev,
+                    cpu=cpu_run,
+                    gpu=gpu_run,
+                    upmem_kernel_s=pim_run.kernel_s,
+                    upmem_total_s=pim_run.total_s,
+                    upmem_util_kernel_pct=pim_run.utilization_kernel_pct,
+                    upmem_util_total_pct=pim_run.utilization_total_pct,
+                    upmem_energy_j=pim_run.energy.total_j,
+                )
+            )
+    return Table4Result(rows)

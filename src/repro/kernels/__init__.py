@@ -1,0 +1,68 @@
+"""Simulated UPMEM SpMV / SpMSpV kernels with four-phase cost accounting."""
+
+from .base import (
+    DpuWorkload,
+    KernelResult,
+    PerElementCost,
+    PreparedKernel,
+    assemble_timing,
+    compressed_entry_bytes,
+    coo_element_bytes,
+    indexed_element_bytes,
+    streaming_cost,
+)
+from .registry import (
+    BEST_SPMSPV,
+    BEST_SPMV,
+    FIG5_VARIANTS,
+    KERNELS,
+    prepare_kernel,
+)
+from .spmspv import (
+    PreparedSpMSpV,
+    prepare_spmspv_coo,
+    prepare_spmspv_csc_2d,
+    prepare_spmspv_csc_c,
+    prepare_spmspv_csc_r,
+    prepare_spmspv_csr,
+)
+from .spmm import PreparedSpMM, SpMMResult, prepare_spmm
+from .spmv_ell import PreparedSpMVELL, prepare_spmv_ell
+from .spmv import (
+    PreparedSpMV,
+    gather_miss_rate,
+    prepare_spmv_1d,
+    prepare_spmv_2d,
+)
+
+__all__ = [
+    "KernelResult",
+    "PreparedKernel",
+    "PerElementCost",
+    "DpuWorkload",
+    "assemble_timing",
+    "streaming_cost",
+    "coo_element_bytes",
+    "indexed_element_bytes",
+    "compressed_entry_bytes",
+    "PreparedSpMV",
+    "PreparedSpMM",
+    "SpMMResult",
+    "prepare_spmm",
+    "PreparedSpMVELL",
+    "prepare_spmv_ell",
+    "prepare_spmv_1d",
+    "prepare_spmv_2d",
+    "gather_miss_rate",
+    "PreparedSpMSpV",
+    "prepare_spmspv_coo",
+    "prepare_spmspv_csr",
+    "prepare_spmspv_csc_r",
+    "prepare_spmspv_csc_c",
+    "prepare_spmspv_csc_2d",
+    "KERNELS",
+    "FIG5_VARIANTS",
+    "BEST_SPMV",
+    "BEST_SPMSPV",
+    "prepare_kernel",
+]

@@ -1,0 +1,321 @@
+"""Shared kernel machinery: results, per-element costs, timing assembly.
+
+Every ALPHA-PIM kernel follows the same four-phase recipe (§4.1):
+Load -> Kernel -> Retrieve -> Merge.  The kernel phase executes
+*functionally* (real NumPy arithmetic on the real partition data, so
+results are exact) while its *cost* is assembled from per-element
+instruction formulas fed into the analytic DPU model.  This module holds
+the pieces all kernels share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..partition.base import PartitionPlan
+from ..sparse.vector import SparseVector
+from ..types import DataType, PhaseBreakdown
+from ..upmem.config import DpuConfig, SystemConfig
+from ..upmem.isa import InstructionProfile, InstrClass, add_class, multiply_class
+from ..upmem.perfmodel import CycleEstimate, estimate_cycles
+from ..upmem.profile import KernelProfile
+
+#: Bytes of one COO element on the DPU (int32 row, int32 col, value).
+def coo_element_bytes(dtype: DataType) -> int:
+    return 8 + dtype.nbytes
+
+
+#: Bytes of one CSC/CSR index+value element on the DPU.
+def indexed_element_bytes(dtype: DataType) -> int:
+    return 4 + dtype.nbytes
+
+
+#: Bytes of one compressed vector entry (int32 index + value).
+def compressed_entry_bytes(dtype: DataType) -> int:
+    return 4 + dtype.nbytes
+
+
+@dataclass
+class PerElementCost:
+    """Instruction footprint of processing one work element.
+
+    ``classes`` maps instruction classes to counts *per element*;
+    ``dma_bytes`` / ``dma_transfers`` stream the element's data between
+    MRAM and WRAM; ``mutex_acquires`` locks taken per element for shared
+    output updates.
+    """
+
+    classes: Dict[InstrClass, float] = field(default_factory=dict)
+    dma_bytes: float = 0.0
+    dma_transfers: float = 0.0
+    mutex_acquires: float = 0.0
+
+    def with_semiring_ops(self, dtype: DataType, multiplies: float = 1.0,
+                          adds: float = 1.0) -> "PerElementCost":
+        """Add the semiring (x)/(+) ops for values of ``dtype``."""
+        out = PerElementCost(
+            classes=dict(self.classes),
+            dma_bytes=self.dma_bytes,
+            dma_transfers=self.dma_transfers,
+            mutex_acquires=self.mutex_acquires,
+        )
+        if multiplies:
+            klass = multiply_class(dtype)
+            out.classes[klass] = out.classes.get(klass, 0.0) + multiplies
+        if adds:
+            klass = add_class(dtype)
+            out.classes[klass] = out.classes.get(klass, 0.0) + adds
+        return out
+
+
+def streaming_cost(element_bytes: int, chunk_bytes: int = 2048) -> PerElementCost:
+    """Cost of coarse-grained streaming one element through WRAM (§4.1.3).
+
+    Elements are fetched in ``chunk_bytes`` DMA transfers, so the per-element
+    DMA share is ``element_bytes / chunk_bytes`` transfers.
+    """
+    return PerElementCost(
+        classes={
+            InstrClass.LOADSTORE: 2.0,  # read index + value from WRAM buffer
+            InstrClass.CONTROL: 1.5,    # loop bookkeeping + address generation
+        },
+        dma_bytes=float(element_bytes),
+        dma_transfers=element_bytes / chunk_bytes,
+    )
+
+
+@dataclass
+class DpuWorkload:
+    """Vectorized per-DPU work description for one kernel launch.
+
+    Arrays are indexed by DPU.  ``elements`` are the inner-loop trip counts
+    each DPU executes; the per-element cost converts them into instruction
+    counts, DMA volume and lock traffic.
+    """
+
+    elements: np.ndarray
+    cost: PerElementCost
+    #: Per-DPU fixed overhead (instructions of setup/teardown).
+    fixed_instructions: float = 200.0
+    #: Extra per-DPU DMA bytes not proportional to elements (e.g. loading
+    #: the compressed input vector into WRAM).
+    extra_dma_bytes: Optional[np.ndarray] = None
+    #: Extra per-DPU ARITH instructions (e.g. binary-search probes).
+    extra_arith: Optional[np.ndarray] = None
+    #: Whether this workload's element counts reflect real per-tasklet
+    #: work (drives the occupancy / active-thread estimate).  Fixed
+    #: overhead streams like entry/exit barriers set this to False.
+    drives_occupancy: bool = True
+
+
+def assemble_timing(
+    workloads,
+    dtype: DataType,
+    num_tasklets: int,
+    dpu_config: DpuConfig,
+    rf_pair_fraction: float = 0.08,
+) -> tuple:
+    """Convert per-DPU workloads into (CycleEstimate, InstructionProfile).
+
+    ``workloads`` is one :class:`DpuWorkload` or a sequence of them (a
+    kernel may have several element populations, e.g. "scanned" vs.
+    "matched" elements in COO SpMSpV).  Work is spread over tasklets with
+    the paper's §4.1.2 even balancing; the busiest tasklet gets
+    ``ceil(elements / T)`` of each population.
+    """
+    if isinstance(workloads, DpuWorkload):
+        workloads = [workloads]
+    if not workloads:
+        raise ValueError("need at least one workload")
+
+    num_dpus = np.asarray(workloads[0].elements).shape[0]
+    zeros = np.zeros(num_dpus)
+    instrs_total = zeros.copy()
+    slots_total = zeros.copy()
+    slots_max = zeros.copy()
+    dma_cycles_total = zeros.copy()
+    dma_cycles_max = zeros.copy()
+    acquires = zeros.copy()
+    driver_elements = zeros.copy()
+    profile = InstructionProfile(rf_pair_fraction=rf_pair_fraction)
+
+    for workload in workloads:
+        elements = np.asarray(workload.elements, dtype=np.float64)
+        cost = workload.cost
+        instr_per_elem = float(sum(cost.classes.values())) + cost.dma_transfers
+        slots_per_elem = float(
+            sum(_expansion(k) * c for k, c in cost.classes.items())
+        ) + cost.dma_transfers
+
+        extra_dma = (
+            np.asarray(workload.extra_dma_bytes, dtype=np.float64)
+            if workload.extra_dma_bytes is not None
+            else zeros
+        )
+        extra_arith = (
+            np.asarray(workload.extra_arith, dtype=np.float64)
+            if workload.extra_arith is not None
+            else zeros
+        )
+
+        instrs_total += (
+            elements * instr_per_elem + workload.fixed_instructions + extra_arith
+        )
+        slots_total += (
+            elements * slots_per_elem + workload.fixed_instructions + extra_arith
+        )
+
+        max_elems = np.ceil(elements / num_tasklets)
+        max_share = np.where(
+            elements > 0, max_elems / np.maximum(elements, 1), 0.0
+        )
+        slots_max += (
+            elements * slots_per_elem * max_share + workload.fixed_instructions
+        )
+
+        dma_bytes = elements * cost.dma_bytes + extra_dma
+        dma_transfers = np.maximum(
+            elements * cost.dma_transfers + (extra_dma > 0), 0.0
+        )
+        per_transfer = np.where(
+            dma_transfers > 0, dma_bytes / np.maximum(dma_transfers, 1e-9), 0.0
+        )
+        dma_cycles_each = np.where(
+            dma_transfers > 0,
+            dpu_config.dma_latency_cycles
+            + per_transfer * dpu_config.dma_cycles_per_byte,
+            0.0,
+        )
+        dma_total = dma_transfers * dma_cycles_each
+        dma_cycles_total += dma_total
+        dma_cycles_max += dma_total * np.where(elements > 0, max_share, 0.0)
+
+        acquires += elements * cost.mutex_acquires
+        if workload.drives_occupancy:
+            driver_elements = np.maximum(driver_elements, elements)
+        profile = profile.merged(
+            _system_profile(
+                elements, cost, extra_dma, extra_arith,
+                workload.fixed_instructions, rf_pair_fraction,
+            )
+        )
+
+    active_tasklets = np.minimum(np.maximum(driver_elements, 1), num_tasklets)
+
+    estimate = estimate_cycles(
+        slots_total=slots_total,
+        slots_max_tasklet=slots_max,
+        dma_cycles_total=dma_cycles_total,
+        dma_cycles_max_tasklet=dma_cycles_max,
+        mutex_acquires=acquires,
+        instructions_total=instrs_total,
+        active_tasklets=active_tasklets,
+        config=dpu_config,
+        rf_pair_fraction=rf_pair_fraction,
+    )
+    return estimate, profile, float(np.mean(active_tasklets))
+
+
+def _expansion(klass: InstrClass) -> int:
+    from ..upmem.isa import EXPANSION
+
+    return EXPANSION[klass]
+
+
+def _system_profile(
+    elements: np.ndarray,
+    cost: PerElementCost,
+    extra_dma: np.ndarray,
+    extra_arith: np.ndarray,
+    fixed: float,
+    rf_pair_fraction: float,
+) -> InstructionProfile:
+    total_elements = float(elements.sum())
+    profile = InstructionProfile(rf_pair_fraction=rf_pair_fraction)
+    for klass, per_elem in cost.classes.items():
+        profile.add(klass, int(round(per_elem * total_elements)))
+    profile.add(
+        InstrClass.CONTROL, int(round(fixed * elements.shape[0]))
+    )
+    profile.add(InstrClass.ARITH, int(round(float(extra_arith.sum()))))
+    dma_transfers = int(round(cost.dma_transfers * total_elements)) + int(
+        (extra_dma > 0).sum()
+    )
+    dma_bytes = int(round(cost.dma_bytes * total_elements + extra_dma.sum()))
+    if dma_transfers or dma_bytes:
+        profile.add_dma(dma_bytes, max(dma_transfers, 1))
+    profile.mutex_acquires = int(round(cost.mutex_acquires * total_elements))
+    return profile
+
+
+@dataclass
+class KernelResult:
+    """Outcome of one kernel launch: exact output + full cost accounting."""
+
+    kernel_name: str
+    output: SparseVector
+    breakdown: PhaseBreakdown
+    profile: KernelProfile
+    bytes_loaded: int = 0
+    bytes_retrieved: int = 0
+    #: Useful semiring operations (for compute utilization).
+    achieved_ops: float = 0.0
+    #: Total elements processed DPU-side (for diagnostics).
+    elements_processed: int = 0
+
+    @property
+    def total_s(self) -> float:
+        return self.breakdown.total
+
+
+class PreparedKernel:
+    """A kernel bound to a matrix partitioning (prepare once, run many).
+
+    Graph algorithms invoke one matvec per iteration on the same matrix;
+    partitioning and the matrix Load are amortized across iterations and
+    excluded from timing, as in the paper (§4.1).
+    """
+
+    name: str = "abstract"
+
+    #: WRAM streaming buffers every kernel statically allocates per
+    #: tasklet (matrix stream, vector window, output buffer).
+    WRAM_STREAMS = ("matrix", "vector", "output")
+
+    def __init__(self, plan: PartitionPlan, system: SystemConfig,
+                 dtype: DataType) -> None:
+        self.plan = plan
+        self.system = system
+        self.dtype = dtype
+        plan.validate_mram_fit(system.dpu.mram_bytes)
+        self._validate_wram_fit()
+
+    def _validate_wram_fit(self) -> None:
+        """Check the per-tasklet streaming buffers fit the 64 KB WRAM.
+
+        Mirrors the static WRAM budget a real UPMEM kernel declares: the
+        launch would fail to build if 24 tasklets' buffers (plus shared
+        state) exceeded the scratchpad.
+        """
+        from ..upmem.memory import Wram, plan_wram_buffers
+
+        wram = Wram(self.system.dpu.wram_bytes)
+        plan_wram_buffers(
+            wram,
+            self.system.dpu.num_tasklets,
+            list(self.WRAM_STREAMS),
+        )
+
+    @property
+    def num_dpus(self) -> int:
+        return self.plan.num_dpus
+
+    @property
+    def shape(self):
+        return self.plan.shape
+
+    def run(self, x, semiring) -> KernelResult:  # pragma: no cover - interface
+        raise NotImplementedError

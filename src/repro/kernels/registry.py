@@ -1,0 +1,58 @@
+"""Kernel registry: name -> prepare function.
+
+Experiments sweep kernels by name ("spmv-dcoo", "spmspv-csc-2d", ...);
+the registry is the single lookup point, and
+:func:`prepare_kernel` is the public entry for users.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..errors import KernelError
+from ..sparse.base import SparseMatrix
+from ..upmem.config import SystemConfig
+from .base import PreparedKernel
+from .spmspv import (
+    prepare_spmspv_coo,
+    prepare_spmspv_csc_2d,
+    prepare_spmspv_csc_c,
+    prepare_spmspv_csc_r,
+    prepare_spmspv_csr,
+)
+from .spmv import prepare_spmv_1d, prepare_spmv_2d
+from .spmv_ell import prepare_spmv_ell
+
+PrepareFn = Callable[[SparseMatrix, int, SystemConfig], PreparedKernel]
+
+KERNELS: Dict[str, PrepareFn] = {
+    "spmv-coo-nnz": prepare_spmv_1d,
+    "spmv-dcoo": prepare_spmv_2d,
+    "spmv-ell": prepare_spmv_ell,
+    "spmspv-coo": prepare_spmspv_coo,
+    "spmspv-csr": prepare_spmspv_csr,
+    "spmspv-csc-r": prepare_spmspv_csc_r,
+    "spmspv-csc-c": prepare_spmspv_csc_c,
+    "spmspv-csc-2d": prepare_spmspv_csc_2d,
+}
+
+#: The SpMSpV variants compared in Fig. 5 (CSR is reported separately,
+#: having been excluded from the figure for being 2.8-25.2x slower).
+FIG5_VARIANTS = ("spmspv-coo", "spmspv-csc-r", "spmspv-csc-c", "spmspv-csc-2d")
+
+#: The paper's chosen pair for adaptive switching (§4.2): the best SpMSpV
+#: and the best SparseP SpMV.
+BEST_SPMSPV = "spmspv-csc-2d"
+BEST_SPMV = "spmv-dcoo"
+
+
+def prepare_kernel(
+    name: str, matrix: SparseMatrix, num_dpus: int, system: SystemConfig
+) -> PreparedKernel:
+    """Partition ``matrix`` for the named kernel on ``num_dpus`` DPUs."""
+    try:
+        factory = KERNELS[name]
+    except KeyError:
+        known = ", ".join(sorted(KERNELS))
+        raise KernelError(f"unknown kernel {name!r}; known: {known}") from None
+    return factory(matrix, num_dpus, system)

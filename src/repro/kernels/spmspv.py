@@ -1,0 +1,417 @@
+"""SpMSpV kernels: COO, CSR, CSC-R, CSC-C and CSC-2D variants (§4.1).
+
+SpMSpV keeps the input vector compressed, shipping ``O(x.nnz)`` bytes in
+the Load phase and (for CSC variants) touching only the matrix columns
+matching non-zero input entries.  The five variants differ in matrix
+format and partitioning:
+
+========  =============  ====================  =========================
+Variant   Partitioning   Load                  Kernel work per DPU
+========  =============  ====================  =========================
+COO       row bands      broadcast full x      scans *all* local nnz,
+                                               binary-searching x
+CSR       row bands      broadcast full x      merges every row against
+                                               the whole of x (worst)
+CSC-R     row bands      broadcast full x      x.nnz column lookups +
+                                               local active entries
+CSC-C     column bands   scatter x segments    local active entries;
+                                               full-length partial out
+CSC-2D    tile grid      scatter x segments    tile-local active
+                                               entries; segment out
+========  =============  ====================  =========================
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from ..errors import KernelError
+from ..partition import colwise, grid2d, rowwise
+from ..partition.base import PartitionPlan
+from ..semiring import Semiring
+from ..sparse.base import SparseMatrix
+from ..sparse.csc import CSCMatrix
+from ..sparse.ops import _ranges_to_flat
+from ..sparse.vector import SparseVector
+from ..types import DataType, PhaseBreakdown
+from ..upmem.config import SystemConfig
+from ..upmem.isa import InstrClass
+from ..upmem.profile import KernelProfile
+from ..upmem.transfer import TransferModel, merge_time_host
+from .base import (
+    DpuWorkload,
+    KernelResult,
+    PerElementCost,
+    PreparedKernel,
+    assemble_timing,
+    compressed_entry_bytes,
+    coo_element_bytes,
+    indexed_element_bytes,
+)
+from .spmv import X_CACHE_BYTES, _datatype_of
+
+#: Effective DMA chunk for streaming short CSC column segments: columns are
+#: fetched one at a time, so transfers are much smaller than the 2 KB
+#: streaming chunks used for whole-matrix scans.
+COLUMN_CHUNK_BYTES = 256
+
+
+class PreparedSpMSpV(PreparedKernel):
+    """A sparse-input matvec bound to one partitioning variant."""
+
+    def __init__(
+        self,
+        matrix: SparseMatrix,
+        plan: PartitionPlan,
+        system: SystemConfig,
+        variant: str,
+    ) -> None:
+        dtype = _datatype_of(matrix)
+        super().__init__(plan, system, dtype)
+        self.variant = variant
+        self.name = f"spmspv-{variant}"
+        self._csc: CSCMatrix = matrix.to_csc()
+        self._transfer = TransferModel(system)
+        self._nnz_per_dpu = plan.nnz_per_dpu().astype(np.float64)
+        self._rows_per_dpu = np.array(
+            [p.out_len for p in plan.partitions], dtype=np.float64
+        )
+        if plan.row_bounds is None or plan.col_bounds is None:
+            raise KernelError(
+                f"plan {plan.strategy!r} lacks band boundaries required by "
+                "SpMSpV"
+            )
+
+    # -- shared per-run analysis -----------------------------------------------
+
+    def _active_structure(self, x: SparseVector):
+        """Rows/columns of every matrix entry in an active column."""
+        starts, stops = self._csc.active_slices(x.indices)
+        lengths = stops - starts
+        flat = _ranges_to_flat(starts, lengths)
+        rows = self._csc.row_indices[flat]
+        cols = np.repeat(x.indices, lengths)
+        vals = self._csc.values[flat]
+        x_expanded = np.repeat(x.values, lengths)
+        return rows, cols, vals, x_expanded
+
+    def _bucket(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Map active entries to DPU ids using the plan's band boundaries."""
+        row_bounds = self.plan.row_bounds
+        col_bounds = self.plan.col_bounds
+        grid_cols = len(col_bounds) - 1
+        row_of = np.searchsorted(row_bounds[1:-1], rows, side="right")
+        col_of = np.searchsorted(col_bounds[1:-1], cols, side="right")
+        return row_of * grid_cols + col_of
+
+    def run(self, x: SparseVector, semiring: Semiring) -> KernelResult:
+        """One Load/Kernel/Retrieve/Merge round-trip with compressed ``x``."""
+        if not isinstance(x, SparseVector):
+            raise KernelError("SpMSpV requires a SparseVector input")
+        if x.size != self.shape[1]:
+            raise KernelError(
+                f"vector length {x.size} != matrix columns {self.shape[1]}"
+            )
+        itemsize = self.dtype.nbytes
+        entry_bytes = compressed_entry_bytes(self.dtype)
+        num_dpus = self.num_dpus
+
+        # ---- functional compute + per-DPU activity ------------------------
+        rows, cols, vals, x_expanded = self._active_structure(x)
+        dense_out = semiring.zeros(
+            self.shape[0], dtype=np.result_type(vals.dtype, x.values.dtype)
+        )
+        if rows.size:
+            semiring.scatter_reduce(
+                dense_out, rows, semiring.combine(vals, x_expanded)
+            )
+        output = SparseVector.from_dense(dense_out, zero=semiring.zero)
+
+        dpu_of_entry = self._bucket(rows, cols) if rows.size else np.empty(0, int)
+        matched = np.bincount(
+            dpu_of_entry, minlength=num_dpus
+        ).astype(np.float64)
+
+        active_cols_local = self._local_x_nnz(x, num_dpus)
+        out_entries = self._output_entries(rows, cols, dpu_of_entry, output)
+
+        # ---- Load -----------------------------------------------------------
+        x_bytes_local = active_cols_local * entry_bytes
+        if self.variant in ("coo", "csr", "csc-r"):
+            load = self._transfer.broadcast(x.nnz * entry_bytes, num_dpus)
+            x_dma = np.full(num_dpus, float(x.nnz * entry_bytes))
+        elif self.variant == "csc-2d" and self.plan.grid is not None:
+            # one compressed segment per grid column, replicated down the
+            # grid rows at the chip-burst discount
+            grid_rows, grid_cols = self.plan.grid
+            segment_bytes = np.maximum(
+                x_bytes_local[:grid_cols], 8
+            ).astype(np.int64)
+            load = self._transfer.grid_scatter(
+                segment_bytes.tolist(), grid_rows
+            )
+            x_dma = x_bytes_local.astype(np.float64)
+        else:
+            load = self._transfer.scatter(
+                np.maximum(x_bytes_local, 8).astype(np.int64).tolist()
+            )
+            x_dma = x_bytes_local.astype(np.float64)
+
+        # ---- Kernel ------------------------------------------------------------
+        workloads = self._kernel_workloads(
+            x, matched, active_cols_local, x_dma
+        )
+        estimate, instr_profile, active_tasklets = assemble_timing(
+            workloads, self.dtype, self.system.dpu.num_tasklets,
+            self.system.dpu,
+        )
+        kernel_s = (self.system.dpu.launch_overhead_s
+                    + self.system.dpu.cycles_to_seconds(estimate.max_cycles))
+
+        # ---- Retrieve ------------------------------------------------------------
+        out_bytes = np.minimum(
+            np.maximum(out_entries * entry_bytes, 8),
+            np.maximum(self._rows_per_dpu * itemsize, 8),
+        )
+        retrieve = self._transfer.gather(out_bytes.astype(np.int64).tolist())
+
+        # ---- Merge ------------------------------------------------------------
+        if self.plan.needs_merge:
+            merge_s = merge_time_host(2, int(out_entries.sum()))
+        else:
+            merge_s = 0.0
+
+        profile = KernelProfile(
+            kernel_name=self.name,
+            instructions=instr_profile,
+            estimate=estimate,
+            num_dpus=num_dpus,
+            active_tasklets_per_dpu=active_tasklets,
+        )
+        return KernelResult(
+            kernel_name=self.name,
+            output=output,
+            breakdown=PhaseBreakdown(
+                load=load.seconds,
+                kernel=kernel_s,
+                retrieve=retrieve.seconds,
+                merge=merge_s,
+            ),
+            profile=profile,
+            bytes_loaded=load.bytes_moved,
+            bytes_retrieved=retrieve.bytes_moved,
+            achieved_ops=2.0 * float(matched.sum()),
+            elements_processed=int(matched.sum()),
+        )
+
+    # -- variant-specific pieces ---------------------------------------------------
+
+    def _local_x_nnz(self, x: SparseVector, num_dpus: int) -> np.ndarray:
+        """Compressed input entries each DPU receives."""
+        if self.variant in ("coo", "csr", "csc-r"):
+            return np.full(num_dpus, float(x.nnz))
+        col_bounds = self.plan.col_bounds
+        grid_cols = len(col_bounds) - 1
+        seg_of = np.searchsorted(col_bounds[1:-1], x.indices, side="right")
+        per_segment = np.bincount(seg_of, minlength=grid_cols).astype(np.float64)
+        if self.plan.grid is None:
+            return per_segment[:num_dpus]
+        grid_rows = self.plan.grid[0]
+        return np.tile(per_segment, grid_rows)[:num_dpus]
+
+    def _output_entries(
+        self,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        dpu_of_entry: np.ndarray,
+        output: SparseVector,
+    ) -> np.ndarray:
+        """Compressed output entries each DPU must send back."""
+        num_dpus = self.num_dpus
+        if self.variant in ("coo", "csr", "csc-r"):
+            # disjoint row bands: the global output rows bucket directly
+            row_bounds = self.plan.row_bounds
+            band_of = np.searchsorted(
+                row_bounds[1:-1], output.indices, side="right"
+            )
+            return np.bincount(band_of, minlength=num_dpus).astype(np.float64)
+        if rows.size == 0:
+            return np.zeros(num_dpus)
+        # partial outputs: count distinct rows touched per DPU
+        keys = dpu_of_entry.astype(np.int64) * self.shape[0] + rows
+        unique_keys = np.unique(keys)
+        dpu_ids = unique_keys // self.shape[0]
+        return np.bincount(dpu_ids, minlength=num_dpus).astype(np.float64)
+
+    def _kernel_workloads(
+        self,
+        x: SparseVector,
+        matched: np.ndarray,
+        active_cols_local: np.ndarray,
+        x_dma: np.ndarray,
+    ) -> list:
+        entry_bytes = compressed_entry_bytes(self.dtype)
+        idx_bytes = indexed_element_bytes(self.dtype)
+        log_x = math.log2(max(x.nnz, 2))
+        x_fits_wram = x.nnz * entry_bytes <= X_CACHE_BYTES
+
+        # every matched entry: stream + semiring + guarded update
+        matched_cost = PerElementCost(
+            classes={
+                InstrClass.LOADSTORE: 3.0,  # entry read + output RMW
+                InstrClass.CONTROL: 1.0,
+            },
+            dma_bytes=float(idx_bytes),
+            dma_transfers=idx_bytes / COLUMN_CHUNK_BYTES,
+        ).with_semiring_ops(self.dtype)
+
+        if self.variant in ("coo", "csr"):
+            # row-band partitions: tasklets own row ranges, so output
+            # updates are mostly private; occasional boundary locks
+            matched_cost.mutex_acquires = 0.05
+        else:
+            # CSC variants: column-split tasklets share output rows and
+            # serialize updates through mutexes (§4.1.3, §6.4.1 obs. 4)
+            matched_cost.mutex_acquires = 1.0
+            matched_cost.classes[InstrClass.SYNC] = 2.0  # lock + unlock
+
+        workloads = [
+            DpuWorkload(
+                elements=matched,
+                cost=matched_cost,
+                extra_dma_bytes=x_dma,
+            )
+        ]
+
+        # every tasklet joins the kernel's entry/exit barriers regardless
+        # of how much work it received — at low input density this fixed
+        # synchronization dominates the instruction mix (Fig. 11 obs. 1)
+        tasklets = float(self.system.dpu.num_tasklets)
+        # CSC SpMSpV needs extra phase barriers: entry/exit plus the
+        # column-processing -> output-flush handoff and lock-table setup
+        barrier_cost = PerElementCost(
+            classes={InstrClass.SYNC: 4.0, InstrClass.CONTROL: 1.0},
+        )
+        workloads.append(
+            DpuWorkload(
+                elements=np.full(len(matched), tasklets),
+                cost=barrier_cost,
+                fixed_instructions=0.0,
+                drives_occupancy=False,
+            )
+        )
+
+        if self.variant == "coo":
+            # scan every local element, binary-searching x for its column
+            scan_cost = PerElementCost(
+                classes={
+                    InstrClass.LOADSTORE: 2.0,
+                    InstrClass.CONTROL: 1.5,
+                    InstrClass.ARITH: log_x,
+                },
+                dma_bytes=float(coo_element_bytes(self.dtype)),
+                dma_transfers=coo_element_bytes(self.dtype) / 2048.0,
+            )
+            if not x_fits_wram:
+                # probes spill to MRAM: two 8-byte DMA touches per search
+                scan_cost.dma_transfers += 2.0
+                scan_cost.dma_bytes += 16.0
+            workloads.append(
+                DpuWorkload(elements=self._nnz_per_dpu, cost=scan_cost)
+            )
+        elif self.variant == "csr":
+            # stream every local element ...
+            scan_cost = PerElementCost(
+                classes={
+                    InstrClass.LOADSTORE: 2.0,
+                    InstrClass.CONTROL: 1.0,
+                    InstrClass.ARITH: 1.0,
+                },
+                dma_bytes=float(idx_bytes),
+                dma_transfers=idx_bytes / 2048.0,
+            )
+            workloads.append(
+                DpuWorkload(elements=self._nnz_per_dpu, cost=scan_cost)
+            )
+            # ... and re-merge the whole compressed vector against every row
+            rescan_cost = PerElementCost(
+                classes={
+                    InstrClass.LOADSTORE: 1.0,
+                    InstrClass.ARITH: 1.0,
+                    InstrClass.CONTROL: 0.5,
+                },
+                dma_bytes=0.0 if x_fits_wram else float(entry_bytes),
+                dma_transfers=0.0 if x_fits_wram else entry_bytes / 2048.0,
+            )
+            workloads.append(
+                DpuWorkload(
+                    elements=self._rows_per_dpu * float(x.nnz),
+                    cost=rescan_cost,
+                )
+            )
+        else:
+            # CSC variants: per-active-column pointer lookup
+            column_cost = PerElementCost(
+                classes={
+                    InstrClass.LOADSTORE: 2.0,
+                    InstrClass.CONTROL: 2.0,
+                    InstrClass.ARITH: 1.0,
+                },
+                dma_bytes=8.0,      # col_ptr pair fetch from MRAM
+                dma_transfers=1.0,
+            )
+            workloads.append(
+                DpuWorkload(elements=active_cols_local, cost=column_cost)
+            )
+            if self.variant == "csc-c":
+                # on-DPU compression pass of the full-length partial output;
+                # matched entries upper-bound the rows it touches
+                compress_cost = PerElementCost(
+                    classes={
+                        InstrClass.LOADSTORE: 2.0,
+                        InstrClass.ARITH: 1.0,
+                        InstrClass.CONTROL: 1.0,
+                    },
+                )
+                workloads.append(
+                    DpuWorkload(elements=matched, cost=compress_cost)
+                )
+        return workloads
+
+
+def prepare_spmspv_coo(matrix: SparseMatrix, num_dpus: int,
+                       system: SystemConfig) -> PreparedSpMSpV:
+    """Row-banded COO SpMSpV (scans all elements; broadcast input)."""
+    plan = rowwise(matrix, num_dpus, fmt="coo")
+    return PreparedSpMSpV(matrix, plan, system, variant="coo")
+
+
+def prepare_spmspv_csr(matrix: SparseMatrix, num_dpus: int,
+                       system: SystemConfig) -> PreparedSpMSpV:
+    """Row-banded CSR SpMSpV (per-row merge against x; the paper's worst)."""
+    plan = rowwise(matrix, num_dpus, fmt="csr")
+    return PreparedSpMSpV(matrix, plan, system, variant="csr")
+
+
+def prepare_spmspv_csc_r(matrix: SparseMatrix, num_dpus: int,
+                         system: SystemConfig) -> PreparedSpMSpV:
+    """Row-banded CSC SpMSpV (CSC-R): active columns, broadcast input."""
+    plan = rowwise(matrix, num_dpus, fmt="csc")
+    return PreparedSpMSpV(matrix, plan, system, variant="csc-r")
+
+
+def prepare_spmspv_csc_c(matrix: SparseMatrix, num_dpus: int,
+                         system: SystemConfig) -> PreparedSpMSpV:
+    """Column-banded CSC SpMSpV (CSC-C): segmented input, merged output."""
+    plan = colwise(matrix, num_dpus, fmt="csc")
+    return PreparedSpMSpV(matrix, plan, system, variant="csc-c")
+
+
+def prepare_spmspv_csc_2d(matrix: SparseMatrix, num_dpus: int,
+                          system: SystemConfig) -> PreparedSpMSpV:
+    """Tile-grid CSC SpMSpV (CSC-2D): the paper's overall winner (§6.1)."""
+    plan = grid2d(matrix, num_dpus, fmt="csc")
+    return PreparedSpMSpV(matrix, plan, system, variant="csc-2d")

@@ -1,0 +1,208 @@
+"""SpMV kernels: SparseP's best 1-D (COO.nnz) and 2-D (DCOO) variants.
+
+These are the paper's §3 baselines.  SpMV uses a *dense* input vector, so
+its Load phase ships ``O(N)`` bytes per DPU (broadcast for 1-D) and its
+kernel gathers ``x[col]`` with irregular, input-driven accesses — the two
+costs SpMSpV attacks.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from ..errors import KernelError
+from ..partition import coo_nnz, dcoo
+from ..partition.base import PartitionPlan
+from ..semiring import Semiring
+from ..sparse.base import SparseMatrix
+from ..sparse.ops import spmv_dense
+from ..sparse.vector import SparseVector
+from ..types import DataType, PhaseBreakdown
+from ..upmem.config import SystemConfig
+from ..upmem.isa import InstrClass
+from ..upmem.profile import KernelProfile, useful_ops
+from ..upmem.transfer import TransferModel, merge_time_host
+from .base import (
+    DpuWorkload,
+    KernelResult,
+    PerElementCost,
+    PreparedKernel,
+    assemble_timing,
+    coo_element_bytes,
+    streaming_cost,
+)
+
+#: WRAM bytes a DPU can devote to caching the input vector (half of WRAM;
+#: the rest holds matrix streaming buffers and per-tasklet state).
+X_CACHE_BYTES = 32 * 1024
+
+
+def gather_miss_rate(col_span: int, itemsize: int,
+                     cache_bytes: int = X_CACHE_BYTES) -> float:
+    """Fraction of ``x[col]`` gathers that miss the WRAM-resident window.
+
+    SpMV's input accesses are input-driven (§4.1.3): the column index of
+    each non-zero picks the element.  When the partition's column span fits
+    in WRAM the gathers hit the scratchpad; otherwise each miss costs a
+    minimum-granularity (8-byte) DMA.
+    """
+    if col_span <= 0:
+        return 0.0
+    covered = cache_bytes / itemsize
+    return float(max(0.0, 1.0 - covered / col_span))
+
+
+def _spmv_element_cost(dtype: DataType, col_span: int) -> PerElementCost:
+    """Per-nonzero cost of the COO SpMV inner loop."""
+    cost = streaming_cost(coo_element_bytes(dtype))
+    miss = gather_miss_rate(col_span, dtype.nbytes)
+    # gather x[col]: WRAM hit is one load; miss is an 8-byte DMA
+    cost.classes[InstrClass.LOADSTORE] += 1.0
+    cost.dma_transfers += miss
+    cost.dma_bytes += miss * 8.0
+    # buffered output update (read-modify-write in WRAM)
+    cost.classes[InstrClass.LOADSTORE] += 2.0
+    cost = cost.with_semiring_ops(dtype)
+    # rare boundary-row synchronization
+    cost.mutex_acquires = 0.002
+    return cost
+
+
+class PreparedSpMV(PreparedKernel):
+    """A dense-input SpMV bound to a COO partitioning."""
+
+    def __init__(
+        self,
+        matrix: SparseMatrix,
+        plan: PartitionPlan,
+        system: SystemConfig,
+        name: str,
+    ) -> None:
+        dtype = _datatype_of(matrix)
+        super().__init__(plan, system, dtype)
+        self.name = name
+        self._matrix = matrix
+        self._transfer = TransferModel(system)
+        self._elements = plan.nnz_per_dpu().astype(np.float64)
+        self._out_lens = np.array(
+            [p.out_len for p in plan.partitions], dtype=np.int64
+        )
+        self._in_lens = np.array(
+            [p.in_len for p in plan.partitions], dtype=np.int64
+        )
+
+    def run(self, x: Union[np.ndarray, SparseVector],
+            semiring: Semiring) -> KernelResult:
+        """One Load/Kernel/Retrieve/Merge round-trip with a dense ``x``."""
+        x_dense = x.to_dense(zero=semiring.zero) if isinstance(x, SparseVector) else np.asarray(x)
+        if x_dense.shape[0] != self.shape[1]:
+            raise KernelError(
+                f"vector length {x_dense.shape[0]} != matrix columns {self.shape[1]}"
+            )
+        itemsize = self.dtype.nbytes
+
+        # -- Load: dense input vector (broadcast or per-tile segments) ------
+        if self.plan.grid is None:
+            load = self._transfer.broadcast(
+                self.shape[1] * itemsize, self.num_dpus
+            )
+        else:
+            # DPUs in one grid column share the same dense segment, so the
+            # replication across grid rows rides the chip-burst discount
+            grid_rows, grid_cols = self.plan.grid
+            segment_bytes = (
+                self._in_lens[:grid_cols] * itemsize
+            ).tolist()
+            load = self._transfer.grid_scatter(segment_bytes, grid_rows)
+
+        # -- Kernel: functional result + analytic timing --------------------
+        y_dense = spmv_dense(self._matrix, x_dense, semiring)
+        col_span = int(self._in_lens.max())
+        cost = _spmv_element_cost(self.dtype, col_span)
+        workload = DpuWorkload(
+            elements=self._elements,
+            cost=cost,
+            extra_dma_bytes=self._out_lens.astype(np.float64) * itemsize,
+        )
+        # entry/exit barriers across all tasklets (small next to the scan)
+        barriers = DpuWorkload(
+            elements=np.full(
+                self.num_dpus, float(self.system.dpu.num_tasklets)
+            ),
+            cost=PerElementCost(
+                classes={InstrClass.SYNC: 2.0, InstrClass.CONTROL: 1.0},
+            ),
+            fixed_instructions=0.0,
+            drives_occupancy=False,
+        )
+        estimate, instr_profile, active_tasklets = assemble_timing(
+            [workload, barriers], self.dtype,
+            self.system.dpu.num_tasklets, self.system.dpu,
+        )
+        kernel_s = (self.system.dpu.launch_overhead_s
+                    + self.system.dpu.cycles_to_seconds(estimate.max_cycles))
+
+        # -- Retrieve: dense partial output slices ---------------------------
+        retrieve = self._transfer.gather((self._out_lens * itemsize).tolist())
+
+        # -- Merge: combine boundary/tile partials on the host ----------------
+        if self.plan.needs_merge:
+            if self.plan.grid is not None:
+                partials, length = self.plan.grid[1], max(
+                    int(self._out_lens.max()), 1
+                )
+            else:
+                # COO.nnz chunks only overlap on boundary rows
+                partials, length = 2, self.num_dpus
+            merge_s = merge_time_host(partials, length)
+        else:
+            merge_s = 0.0
+
+        profile = KernelProfile(
+            kernel_name=self.name,
+            instructions=instr_profile,
+            estimate=estimate,
+            num_dpus=self.num_dpus,
+            active_tasklets_per_dpu=active_tasklets,
+        )
+        output = SparseVector.from_dense(y_dense, zero=semiring.zero)
+        return KernelResult(
+            kernel_name=self.name,
+            output=output,
+            breakdown=PhaseBreakdown(
+                load=load.seconds,
+                kernel=kernel_s,
+                retrieve=retrieve.seconds,
+                merge=merge_s,
+            ),
+            profile=profile,
+            bytes_loaded=load.bytes_moved,
+            bytes_retrieved=retrieve.bytes_moved,
+            achieved_ops=useful_ops(instr_profile),
+            elements_processed=int(self._elements.sum()),
+        )
+
+
+def prepare_spmv_1d(matrix: SparseMatrix, num_dpus: int,
+                    system: SystemConfig) -> PreparedSpMV:
+    """SparseP ``COO.nnz``: equal-nnz 1-D chunks, full vector broadcast."""
+    plan = coo_nnz(matrix, num_dpus)
+    return PreparedSpMV(matrix, plan, system, name="spmv-coo-nnz")
+
+
+def prepare_spmv_2d(matrix: SparseMatrix, num_dpus: int,
+                    system: SystemConfig) -> PreparedSpMV:
+    """SparseP ``DCOO``: equal-size 2-D COO tiles, segmented vectors."""
+    plan = dcoo(matrix, num_dpus)
+    return PreparedSpMV(matrix, plan, system, name="spmv-dcoo")
+
+
+def _datatype_of(matrix: SparseMatrix) -> DataType:
+    kind = np.dtype(matrix.dtype)
+    for candidate in DataType:
+        if np.dtype(candidate.value) == kind:
+            return candidate
+    # default: treat unknown dtypes by float/int class and width
+    return DataType.FLOAT64 if kind.kind == "f" else DataType.INT64

@@ -1,0 +1,26 @@
+"""Matrix partitioning strategies across DPUs (paper Fig. 3 + SparseP)."""
+
+from .balance import (
+    balanced_boundaries,
+    even_boundaries,
+    grid_shape,
+    imbalance_factor,
+    tasklet_element_shares,
+)
+from .base import Partition, PartitionPlan
+from .strategies import colwise, coo_nnz, dcoo, grid2d, rowwise
+
+__all__ = [
+    "Partition",
+    "PartitionPlan",
+    "rowwise",
+    "colwise",
+    "grid2d",
+    "coo_nnz",
+    "dcoo",
+    "balanced_boundaries",
+    "even_boundaries",
+    "grid_shape",
+    "imbalance_factor",
+    "tasklet_element_shares",
+]

@@ -1,0 +1,105 @@
+"""Load-balancing helpers for partitioning work across DPUs and tasklets.
+
+Efficient UPMEM execution requires careful input partitioning (§2.3.3):
+the SPMD model means a kernel launch finishes when its *slowest* DPU does,
+and within a DPU, when its slowest tasklet does.  These helpers compute
+weight-balanced split points (by row/column nnz) and per-tasklet shares.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import PartitionError
+
+
+def balanced_boundaries(weights: np.ndarray, parts: int) -> np.ndarray:
+    """Split ``len(weights)`` items into ``parts`` contiguous ranges of
+    roughly equal total weight.
+
+    Returns ``parts + 1`` boundaries ``b`` with ``b[0] == 0`` and
+    ``b[-1] == len(weights)``; part ``p`` covers items ``[b[p], b[p+1])``.
+    Zero-weight prefixes/suffixes are distributed so every boundary is
+    non-decreasing.  Used for nnz-balanced row-wise and column-wise
+    partitioning.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if parts <= 0:
+        raise PartitionError("parts must be positive")
+    n = weights.shape[0]
+    if n == 0:
+        return np.zeros(parts + 1, dtype=np.int64)
+    cumulative = np.cumsum(weights)
+    total = cumulative[-1]
+    if total <= 0:
+        # nothing to balance; fall back to equal item counts
+        return even_boundaries(n, parts)
+    targets = total * np.arange(1, parts, dtype=np.float64) / parts
+    interior = np.searchsorted(cumulative, targets, side="left") + 1
+    boundaries = np.concatenate(([0], interior, [n])).astype(np.int64)
+    return np.maximum.accumulate(np.minimum(boundaries, n))
+
+
+def even_boundaries(n: int, parts: int) -> np.ndarray:
+    """Split ``n`` items into ``parts`` ranges of (almost) equal count."""
+    if parts <= 0:
+        raise PartitionError("parts must be positive")
+    return np.linspace(0, n, parts + 1).round().astype(np.int64)
+
+
+def grid_shape(num_parts: int, row_bias: float = 8.0) -> Tuple[int, int]:
+    """Factor ``num_parts`` into a (rows, cols) grid with ``rows ~ bias * cols``.
+
+    2-D partitioning assigns one tile per DPU.  Input-vector load volume
+    scales with grid *rows* but rides the chip-replication discount, while
+    output retrieve volume scales undiscounted with grid *cols* — so the
+    transfer-optimal grid is row-heavy, roughly ``rows = bias * cols``
+    with ``bias`` near the chip replication factor (§4.1.1 trade-off).
+    """
+    if num_parts <= 0:
+        raise PartitionError("num_parts must be positive")
+    if row_bias <= 0:
+        raise PartitionError("row_bias must be positive")
+    target_rows = np.sqrt(num_parts * row_bias)
+    best = (num_parts, 1)
+    best_err = float("inf")
+    for rows in range(1, num_parts + 1):
+        if num_parts % rows:
+            continue
+        err = abs(np.log(rows / target_rows))
+        if err < best_err:
+            best_err = err
+            best = (rows, num_parts // rows)
+    return best
+
+
+def tasklet_element_shares(
+    element_count: int, num_tasklets: int
+) -> Tuple[np.ndarray, int]:
+    """Evenly split ``element_count`` work items over ``num_tasklets``.
+
+    Returns (per-tasklet counts, number of tasklets that got any work).
+    Models the paper's §4.1.2 thread-level balancing: the busiest tasklet
+    gets ``ceil(count / T)`` items.
+    """
+    if num_tasklets <= 0:
+        raise PartitionError("num_tasklets must be positive")
+    if element_count < 0:
+        raise PartitionError("element_count must be non-negative")
+    base, extra = divmod(element_count, num_tasklets)
+    shares = np.full(num_tasklets, base, dtype=np.int64)
+    shares[:extra] += 1
+    return shares, int((shares > 0).sum())
+
+
+def imbalance_factor(weights: np.ndarray) -> float:
+    """max / mean of part weights: 1.0 is perfect balance."""
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.size == 0:
+        return 1.0
+    mean = weights.mean()
+    if mean <= 0:
+        return 1.0
+    return float(weights.max() / mean)

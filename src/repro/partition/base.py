@@ -1,0 +1,144 @@
+"""Partition plan data structures.
+
+A :class:`PartitionPlan` describes how an adjacency matrix is split across
+DPUs: which matrix piece, which slice of the global input vector, and which
+slice of the global output vector each DPU owns.  The kernels consume plans
+to price Load/Retrieve transfers and to execute functionally per partition.
+
+Partitions hold their elements as COO blocks and convert to the kernel's
+storage format lazily: a CSC row band spans all N columns, so eagerly
+materializing 2,048 column-pointer arrays would cost ``O(D * N)`` memory
+for what the real system stores once per DPU bank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import PartitionError
+from ..sparse.base import SparseMatrix
+from ..sparse.coo import COOMatrix
+
+_INDEX_BYTES = 4  # DPU-side indices are int32
+
+
+@dataclass
+class Partition:
+    """The work assigned to one DPU."""
+
+    dpu_id: int
+    #: This DPU's slice of the matrix as a COO block, re-based so local
+    #: indices start at 0 (except nnz-chunked COO, which keeps global row
+    #: indices and sets ``global_rows``).
+    coo_block: COOMatrix
+    #: Storage format the DPU kernel uses: ``coo`` / ``csr`` / ``csc``.
+    fmt: str
+    #: Global output rows this DPU contributes to: ``[start, stop)``.
+    row_range: Tuple[int, int]
+    #: Global input-vector columns this DPU needs: ``[start, stop)``.
+    col_range: Tuple[int, int]
+    #: True when the partition's row indices are global (COO.nnz chunks).
+    global_rows: bool = False
+
+    @property
+    def matrix(self) -> SparseMatrix:
+        """The block in the kernel's format (converted on demand)."""
+        if self.fmt == "coo":
+            return self.coo_block
+        if self.fmt == "csr":
+            return self.coo_block.to_csr()
+        if self.fmt == "csc":
+            return self.coo_block.to_csc()
+        raise PartitionError(f"unknown format {self.fmt!r}")
+
+    @property
+    def out_len(self) -> int:
+        return self.row_range[1] - self.row_range[0]
+
+    @property
+    def in_len(self) -> int:
+        return self.col_range[1] - self.col_range[0]
+
+    @property
+    def nnz(self) -> int:
+        return self.coo_block.nnz
+
+    @property
+    def nbytes(self) -> int:
+        """MRAM footprint of the block in its storage format (analytic)."""
+        value_bytes = self.coo_block.values.dtype.itemsize
+        nnz = self.nnz
+        if self.fmt == "coo":
+            return nnz * (2 * _INDEX_BYTES + value_bytes)
+        per_entry = nnz * (_INDEX_BYTES + value_bytes)
+        if self.fmt == "csr":
+            return per_entry + (self.coo_block.nrows + 1) * _INDEX_BYTES
+        if self.fmt == "csc":
+            return per_entry + (self.coo_block.ncols + 1) * _INDEX_BYTES
+        raise PartitionError(f"unknown format {self.fmt!r}")
+
+
+@dataclass
+class PartitionPlan:
+    """A full matrix-to-DPUs assignment."""
+
+    strategy: str
+    partitions: List[Partition]
+    shape: Tuple[int, int]
+    #: (grid_rows, grid_cols) for 2-D strategies, None for 1-D.
+    grid: Optional[Tuple[int, int]] = None
+    #: True when multiple DPUs contribute to the same output rows and the
+    #: host must run a Merge phase.
+    needs_merge: bool = False
+    #: Row-band boundaries (length grid_rows + 1) for band/grid strategies;
+    #: lets kernels bucket elements to DPUs with one ``searchsorted``.
+    row_bounds: Optional[np.ndarray] = None
+    #: Column-band boundaries (length grid_cols + 1), likewise.
+    col_bounds: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        if not self.partitions:
+            raise PartitionError("a plan needs at least one partition")
+
+    @property
+    def num_dpus(self) -> int:
+        return len(self.partitions)
+
+    @property
+    def total_nnz(self) -> int:
+        return sum(p.nnz for p in self.partitions)
+
+    def nnz_per_dpu(self) -> np.ndarray:
+        return np.array([p.nnz for p in self.partitions], dtype=np.int64)
+
+    def matrix_bytes_per_dpu(self) -> np.ndarray:
+        return np.array([p.nbytes for p in self.partitions], dtype=np.int64)
+
+    def row_boundaries(self) -> np.ndarray:
+        """Sorted unique output-row band boundaries across partitions."""
+        edges = {0, self.shape[0]}
+        for partition in self.partitions:
+            edges.add(partition.row_range[0])
+            edges.add(partition.row_range[1])
+        return np.array(sorted(edges), dtype=np.int64)
+
+    def validate_coverage(self, expected_nnz: int) -> None:
+        """Check that every stored non-zero landed in exactly one partition."""
+        if self.total_nnz != expected_nnz:
+            raise PartitionError(
+                f"plan covers {self.total_nnz} non-zeros; matrix has "
+                f"{expected_nnz}"
+            )
+
+    def validate_mram_fit(self, mram_bytes: int, vector_bytes_per_dpu: int = 0) -> None:
+        """Check each partition (plus vectors) fits a 64 MB MRAM bank."""
+        for partition in self.partitions:
+            needed = partition.nbytes + vector_bytes_per_dpu
+            if needed > mram_bytes:
+                raise PartitionError(
+                    f"DPU {partition.dpu_id} needs {needed} bytes but MRAM "
+                    f"holds {mram_bytes}"
+                )

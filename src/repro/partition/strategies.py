@@ -1,0 +1,255 @@
+"""The paper's partitioning strategies (Fig. 3) plus SparseP's SpMV splits.
+
+* **Row-wise** — D row bands; every DPU needs the whole input vector but
+  owns a disjoint output slice (no merge).  Formats: CSR, COO, CSC (CSC-R).
+* **Column-wise** — D column bands in CSC; every DPU gets only its input
+  segment but produces a full-length partial output (host merge).
+* **2-D** — an RxC tile grid; both vectors are partitioned, and tiles that
+  share rows require a host merge (CSC-2D).
+* **COO.nnz** — SparseP's best 1-D SpMV: equal-nnz COO chunks with global
+  row indices (chunks may share boundary rows; tiny merge).
+* **DCOO** — SparseP's best 2-D SpMV: equal-size COO tiles on a grid.
+
+All strategies are vectorized: elements are bucketed to DPUs with
+``searchsorted`` and materialized with one global sort, so building a plan
+is ``O(nnz log nnz)`` regardless of the DPU count.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..errors import PartitionError
+from ..sparse.base import SparseMatrix
+from ..sparse.coo import COOMatrix
+from .balance import balanced_boundaries, even_boundaries, grid_shape
+from .base import Partition, PartitionPlan
+
+_FORMATS = ("coo", "csr", "csc")
+
+
+def _validate_fmt(fmt: str) -> None:
+    if fmt not in _FORMATS:
+        raise PartitionError(f"unknown format {fmt!r}; expected one of {_FORMATS}")
+
+
+def _check(matrix: SparseMatrix, num_dpus: int) -> COOMatrix:
+    if num_dpus <= 0:
+        raise PartitionError("num_dpus must be positive")
+    if matrix.nrows == 0 or matrix.ncols == 0:
+        raise PartitionError("cannot partition an empty matrix")
+    return matrix.to_coo()
+
+
+def _bucketed_blocks(
+    coo: COOMatrix, dpu_of_element: np.ndarray, num_parts: int
+) -> List[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Group elements by DPU with one stable sort; returns per-DPU triples."""
+    order = np.argsort(dpu_of_element, kind="stable")
+    rows = coo.rows[order]
+    cols = coo.cols[order]
+    vals = coo.values[order]
+    counts = np.bincount(dpu_of_element, minlength=num_parts)
+    offsets = np.concatenate(([0], np.cumsum(counts)))
+    return [
+        (rows[offsets[p]:offsets[p + 1]],
+         cols[offsets[p]:offsets[p + 1]],
+         vals[offsets[p]:offsets[p + 1]])
+        for p in range(num_parts)
+    ]
+
+
+def rowwise(matrix: SparseMatrix, num_dpus: int, fmt: str = "csc") -> PartitionPlan:
+    """Row-band partitioning (CSR / COO / CSC-R variants).
+
+    Bands are nnz-balanced so each DPU gets roughly equal work.
+    ``fmt='csc'`` yields the paper's CSC-R SpMSpV variant.
+    """
+    _validate_fmt(fmt)
+    coo = _check(matrix, num_dpus)
+    parts = min(num_dpus, max(coo.nrows, 1))
+    bounds = balanced_boundaries(coo.row_counts(), parts)
+    dpu_of = np.searchsorted(bounds[1:-1], coo.rows, side="right")
+    blocks = _bucketed_blocks(coo, dpu_of, parts)
+    partitions = []
+    for dpu_id, (rows, cols, vals) in enumerate(blocks):
+        start, stop = int(bounds[dpu_id]), int(bounds[dpu_id + 1])
+        block = COOMatrix(rows - start, cols, vals, (stop - start, coo.ncols))
+        partitions.append(
+            Partition(
+                dpu_id=dpu_id,
+                coo_block=block,
+                fmt=fmt,
+                row_range=(start, stop),
+                col_range=(0, coo.ncols),
+            )
+        )
+    plan = PartitionPlan(
+        strategy=f"rowwise-{fmt}",
+        partitions=partitions,
+        shape=coo.shape,
+        needs_merge=False,
+        row_bounds=bounds,
+        col_bounds=np.array([0, coo.ncols], dtype=np.int64),
+    )
+    plan.validate_coverage(coo.nnz)
+    return plan
+
+
+def colwise(matrix: SparseMatrix, num_dpus: int, fmt: str = "csc") -> PartitionPlan:
+    """Column-band partitioning (the paper's CSC-C variant).
+
+    Each DPU holds the columns matching its input-vector segment and emits
+    a full-length partial output merged on the host.
+    """
+    _validate_fmt(fmt)
+    coo = _check(matrix, num_dpus)
+    parts = min(num_dpus, max(coo.ncols, 1))
+    bounds = balanced_boundaries(coo.col_counts(), parts)
+    dpu_of = np.searchsorted(bounds[1:-1], coo.cols, side="right")
+    blocks = _bucketed_blocks(coo, dpu_of, parts)
+    partitions = []
+    for dpu_id, (rows, cols, vals) in enumerate(blocks):
+        start, stop = int(bounds[dpu_id]), int(bounds[dpu_id + 1])
+        block = COOMatrix(rows, cols - start, vals, (coo.nrows, stop - start))
+        partitions.append(
+            Partition(
+                dpu_id=dpu_id,
+                coo_block=block,
+                fmt=fmt,
+                row_range=(0, coo.nrows),
+                col_range=(start, stop),
+            )
+        )
+    plan = PartitionPlan(
+        strategy=f"colwise-{fmt}",
+        partitions=partitions,
+        shape=coo.shape,
+        needs_merge=parts > 1,
+        row_bounds=np.array([0, coo.nrows], dtype=np.int64),
+        col_bounds=bounds,
+    )
+    plan.validate_coverage(coo.nnz)
+    return plan
+
+
+def _grid_plan(
+    coo: COOMatrix,
+    num_dpus: int,
+    fmt: str,
+    row_bounds: np.ndarray,
+    col_bounds: np.ndarray,
+    strategy: str,
+) -> PartitionPlan:
+    grid_rows = len(row_bounds) - 1
+    grid_cols = len(col_bounds) - 1
+    grid_row_of = np.searchsorted(row_bounds[1:-1], coo.rows, side="right")
+    grid_col_of = np.searchsorted(col_bounds[1:-1], coo.cols, side="right")
+    dpu_of = grid_row_of * grid_cols + grid_col_of
+    blocks = _bucketed_blocks(coo, dpu_of, grid_rows * grid_cols)
+    partitions = []
+    dpu_id = 0
+    for gr in range(grid_rows):
+        r0, r1 = int(row_bounds[gr]), int(row_bounds[gr + 1])
+        for gc in range(grid_cols):
+            c0, c1 = int(col_bounds[gc]), int(col_bounds[gc + 1])
+            rows, cols, vals = blocks[dpu_id]
+            tile = COOMatrix(rows - r0, cols - c0, vals, (r1 - r0, c1 - c0))
+            partitions.append(
+                Partition(
+                    dpu_id=dpu_id,
+                    coo_block=tile,
+                    fmt=fmt,
+                    row_range=(r0, r1),
+                    col_range=(c0, c1),
+                )
+            )
+            dpu_id += 1
+    plan = PartitionPlan(
+        strategy=strategy,
+        partitions=partitions,
+        shape=coo.shape,
+        grid=(grid_rows, grid_cols),
+        needs_merge=grid_cols > 1,
+        row_bounds=np.asarray(row_bounds, dtype=np.int64),
+        col_bounds=np.asarray(col_bounds, dtype=np.int64),
+    )
+    plan.validate_coverage(coo.nnz)
+    return plan
+
+
+def grid2d(matrix: SparseMatrix, num_dpus: int, fmt: str = "csc") -> PartitionPlan:
+    """2-D tile-grid partitioning (the paper's CSC-2D variant).
+
+    The grid is the most square factorization of ``num_dpus``; tile
+    boundaries are nnz-balanced independently along rows and columns.
+    DPUs in the same grid row share output rows, so a host merge combines
+    their partials.
+    """
+    _validate_fmt(fmt)
+    coo = _check(matrix, num_dpus)
+    grid_rows, grid_cols = grid_shape(num_dpus)
+    grid_rows = min(grid_rows, max(coo.nrows, 1))
+    grid_cols = min(grid_cols, max(coo.ncols, 1))
+    row_bounds = balanced_boundaries(coo.row_counts(), grid_rows)
+    col_bounds = balanced_boundaries(coo.col_counts(), grid_cols)
+    return _grid_plan(
+        coo, num_dpus, fmt, row_bounds, col_bounds, f"grid2d-{fmt}"
+    )
+
+
+def dcoo(matrix: SparseMatrix, num_dpus: int) -> PartitionPlan:
+    """SparseP's ``DCOO`` 2-D split: a grid of equal-*size* COO tiles.
+
+    Unlike :func:`grid2d`, tile boundaries are equal spans of rows/columns
+    (static tiling), matching SparseP's DCOO definition; load imbalance is
+    accepted in exchange for predictable vector-segment sizes.
+    """
+    coo = _check(matrix, num_dpus)
+    grid_rows, grid_cols = grid_shape(num_dpus)
+    grid_rows = min(grid_rows, max(coo.nrows, 1))
+    grid_cols = min(grid_cols, max(coo.ncols, 1))
+    row_bounds = even_boundaries(coo.nrows, grid_rows)
+    col_bounds = even_boundaries(coo.ncols, grid_cols)
+    return _grid_plan(coo, num_dpus, "coo", row_bounds, col_bounds, "dcoo")
+
+
+def coo_nnz(matrix: SparseMatrix, num_dpus: int) -> PartitionPlan:
+    """SparseP's ``COO.nnz`` 1-D split: equal-nnz chunks in row-major order.
+
+    Chunks keep *global* row indices because a row straddling a chunk
+    boundary is produced by two DPUs; the host adds the boundary partials
+    during Merge.
+    """
+    coo = _check(matrix, num_dpus)
+    parts = min(num_dpus, max(coo.nnz, 1))
+    bounds = even_boundaries(coo.nnz, parts)
+    partitions = []
+    for dpu_id in range(parts):
+        start, stop = int(bounds[dpu_id]), int(bounds[dpu_id + 1])
+        chunk = coo.nnz_chunk(start, stop)
+        if chunk.nnz:
+            row_lo = int(chunk.rows.min())
+            row_hi = int(chunk.rows.max()) + 1
+        else:
+            row_lo = row_hi = 0
+        partitions.append(
+            Partition(
+                dpu_id=dpu_id,
+                coo_block=chunk,
+                fmt="coo",
+                row_range=(row_lo, row_hi),
+                col_range=(0, coo.ncols),
+                global_rows=True,
+            )
+        )
+    plan = PartitionPlan(
+        strategy="coo-nnz",
+        partitions=partitions,
+        shape=coo.shape,
+        needs_merge=parts > 1,
+    )
+    plan.validate_coverage(coo.nnz)
+    return plan

@@ -1,0 +1,26 @@
+"""Algebraic semirings for linear-algebraic graph algorithms (Table 1)."""
+
+from .semiring import Semiring, validate_semiring
+from .standard import (
+    ALGORITHM_SEMIRINGS,
+    BOOLEAN_OR_AND,
+    MAX_MIN,
+    MAX_TIMES,
+    MIN_PLUS,
+    PLUS_TIMES,
+    get_semiring,
+    register_semiring,
+)
+
+__all__ = [
+    "Semiring",
+    "validate_semiring",
+    "PLUS_TIMES",
+    "BOOLEAN_OR_AND",
+    "MIN_PLUS",
+    "MAX_TIMES",
+    "MAX_MIN",
+    "ALGORITHM_SEMIRINGS",
+    "get_semiring",
+    "register_semiring",
+]

@@ -1,0 +1,147 @@
+"""Generic semiring abstraction.
+
+A semiring ``(S, +, *, 0, 1)`` generalizes ordinary arithmetic: replacing
+(+, *) with (min, +) turns matrix-vector multiplication into a shortest-path
+relaxation step; replacing them with (OR, AND) turns it into a BFS frontier
+expansion (paper §2.1, Table 1).  All ALPHA-PIM kernels are parameterized by
+a :class:`Semiring` so one SpMV/SpMSpV implementation serves every
+algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..errors import SemiringError
+
+
+@dataclass(frozen=True)
+class Semiring:
+    """A semiring over NumPy-representable scalars.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier (used in reports and kernel profiles).
+    add:
+        The additive monoid as a NumPy *ufunc* (e.g. ``np.add``,
+        ``np.minimum``, ``np.maximum``).  Must support ``.at`` for the
+        kernels' scatter-reduce updates and ``.reduce`` for merges.
+    multiply:
+        The multiplicative operation as an elementwise callable.
+    zero:
+        Additive identity; also the "absent entry" value for sparse
+        vectors under this semiring (``inf`` for min-plus).
+    one:
+        Multiplicative identity.
+    commutative_multiply:
+        Whether ``multiply`` commutes (true for every semiring the paper
+        uses; recorded for completeness).
+    """
+
+    name: str
+    add: np.ufunc
+    multiply: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    zero: float
+    one: float
+    commutative_multiply: bool = True
+
+    # -- elementwise API used by the kernels ---------------------------------
+
+    def combine(self, a, b) -> np.ndarray:
+        """Elementwise ``a (x) b``."""
+        return self.multiply(np.asarray(a), np.asarray(b))
+
+    def reduce(self, values: np.ndarray):
+        """``(+)``-reduction of an array; ``zero`` if empty."""
+        values = np.asarray(values)
+        if values.size == 0:
+            return self.zero
+        return self.add.reduce(values)
+
+    def scatter_reduce(self, target: np.ndarray, indices: np.ndarray, contribs) -> None:
+        """``target[indices] (+)= contribs`` with duplicate-safe semantics.
+
+        This is the accumulation primitive of every kernel: multiple matrix
+        entries land on the same output row and must be combined with the
+        additive monoid, never plain assignment.  On the DPU this update is
+        the mutex-guarded critical section (paper §4.1.3).
+        """
+        self.add.at(target, indices, contribs)
+
+    def merge_dense(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """``(+)``-combine two dense partial outputs (host Merge phase)."""
+        return self.add(a, b)
+
+    def zeros(self, size: int, dtype) -> np.ndarray:
+        """A dense vector of additive identities.
+
+        Integer dtypes cannot represent an infinite identity (min-plus,
+        max-min); such requests are upcast to float64 rather than
+        silently overflowing.
+        """
+        if (
+            isinstance(self.zero, float)
+            and np.isinf(self.zero)
+            and np.issubdtype(np.dtype(dtype), np.integer)
+        ):
+            dtype = np.float64
+        return np.full(size, self.zero, dtype=dtype)
+
+    def is_zero(self, values: np.ndarray) -> np.ndarray:
+        """Boolean mask of entries equal to the additive identity.
+
+        Handles infinite identities of either sign (min-plus uses +inf,
+        max-min uses -inf).
+        """
+        values = np.asarray(values)
+        if isinstance(self.zero, float) and np.isinf(self.zero):
+            same_sign = (values > 0) if self.zero > 0 else (values < 0)
+            return np.isinf(values) & same_sign
+        return values == self.zero
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Semiring({self.name})"
+
+
+def validate_semiring(semiring: Semiring, samples: Sequence[float]) -> None:
+    """Check the semiring axioms on concrete sample values.
+
+    Verifies associativity and commutativity of ``+``, associativity of
+    ``*``, identities, distributivity, and annihilation by ``0``.  Raises
+    :class:`SemiringError` on the first violation.  Used by unit and
+    property-based tests to guard the standard semirings.
+    """
+    add = lambda a, b: float(semiring.add(a, b))  # noqa: E731
+    mul = lambda a, b: float(np.asarray(semiring.multiply(a, b)))  # noqa: E731
+    zero, one = semiring.zero, semiring.one
+
+    def close(x: float, y: float) -> bool:
+        if np.isinf(x) or np.isinf(y):
+            return x == y
+        return abs(x - y) <= 1e-9 * max(1.0, abs(x), abs(y))
+
+    for a in samples:
+        if not close(add(a, zero), a) or not close(add(zero, a), a):
+            raise SemiringError(f"{semiring.name}: 0 is not an additive identity")
+        if not close(mul(a, one), a) or not close(mul(one, a), a):
+            raise SemiringError(f"{semiring.name}: 1 is not a multiplicative identity")
+        if not close(mul(a, zero), zero) or not close(mul(zero, a), zero):
+            raise SemiringError(f"{semiring.name}: 0 does not annihilate")
+        for b in samples:
+            if not close(add(a, b), add(b, a)):
+                raise SemiringError(f"{semiring.name}: + is not commutative")
+            if semiring.commutative_multiply and not close(mul(a, b), mul(b, a)):
+                raise SemiringError(f"{semiring.name}: * is not commutative")
+            for c in samples:
+                if not close(add(add(a, b), c), add(a, add(b, c))):
+                    raise SemiringError(f"{semiring.name}: + is not associative")
+                if not close(mul(mul(a, b), c), mul(a, mul(b, c))):
+                    raise SemiringError(f"{semiring.name}: * is not associative")
+                if not close(mul(a, add(b, c)), add(mul(a, b), mul(a, c))):
+                    raise SemiringError(
+                        f"{semiring.name}: * does not left-distribute over +"
+                    )

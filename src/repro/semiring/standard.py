@@ -1,0 +1,100 @@
+"""The three semirings of the paper's Table 1, plus common extras.
+
+=========  ==================  ===================
+Algorithm  Semiring domain     Operations (+), (x)
+=========  ==================  ===================
+BFS        {0, 1}              OR, AND
+SSSP       R union {inf}       min, +
+PPR        R                   +, x
+=========  ==================  ===================
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..errors import SemiringError
+from .semiring import Semiring
+
+#: Ordinary arithmetic (+, x) over the reals — PageRank / PPR.
+PLUS_TIMES = Semiring(
+    name="plus_times",
+    add=np.add,
+    multiply=np.multiply,
+    zero=0.0,
+    one=1.0,
+)
+
+#: Boolean (OR, AND) over {0, 1} — BFS frontier expansion.
+#: OR is max and AND is min on {0, 1}, which keeps everything in integer
+#: arithmetic on the DPU (no boolean dtype round-trips).
+BOOLEAN_OR_AND = Semiring(
+    name="boolean_or_and",
+    add=np.maximum,
+    multiply=np.minimum,
+    zero=0,
+    one=1,
+)
+
+#: Tropical (min, +) over R union {+inf} — SSSP relaxation.
+MIN_PLUS = Semiring(
+    name="min_plus",
+    add=np.minimum,
+    multiply=np.add,
+    zero=np.inf,
+    one=0.0,
+)
+
+#: (max, x) over non-negative reals — widest-path / reliability queries.
+#: Not in Table 1, but Kepner & Gilbert list it among the classic graph
+#: semirings; included to show the kernels generalize past the paper's three.
+MAX_TIMES = Semiring(
+    name="max_times",
+    add=np.maximum,
+    multiply=np.multiply,
+    zero=0.0,
+    one=1.0,
+)
+
+#: (max, min) over R union {-inf} — bottleneck / maximum-capacity paths.
+MAX_MIN = Semiring(
+    name="max_min",
+    add=np.maximum,
+    multiply=np.minimum,
+    zero=-np.inf,
+    one=np.inf,
+)
+
+_REGISTRY: Dict[str, Semiring] = {
+    sr.name: sr
+    for sr in (PLUS_TIMES, BOOLEAN_OR_AND, MIN_PLUS, MAX_TIMES, MAX_MIN)
+}
+
+#: Table 1 of the paper: algorithm name -> semiring.
+ALGORITHM_SEMIRINGS: Dict[str, Semiring] = {
+    "bfs": BOOLEAN_OR_AND,
+    "sssp": MIN_PLUS,
+    "ppr": PLUS_TIMES,
+}
+
+
+def get_semiring(name: str) -> Semiring:
+    """Look up a registered semiring by name.
+
+    Raises :class:`~repro.errors.SemiringError` for unknown names, listing
+    the available ones.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise SemiringError(f"unknown semiring {name!r}; known: {known}") from None
+
+
+def register_semiring(semiring: Semiring) -> None:
+    """Add a user-defined semiring to the registry."""
+    if semiring.name in _REGISTRY:
+        raise SemiringError(f"semiring {semiring.name!r} already registered")
+    _REGISTRY[semiring.name] = semiring

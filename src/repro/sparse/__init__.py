@@ -1,0 +1,37 @@
+"""Sparse matrix and vector substrate (COO / CSR / CSC, compressed vectors)."""
+
+from .base import SparseMatrix
+from .coo import COOMatrix
+from .csc import CSCMatrix
+from .csr import CSRMatrix
+from .ell import ELLMatrix
+from .io import (
+    matrix_to_string,
+    read_edge_list,
+    read_matrix_market,
+    write_matrix_market,
+)
+from .ops import spmspv, spmv_dense, spmv_to_sparse
+from .stats import GraphStats, compute_stats, density_trajectory
+from .vector import SparseVector, dense_nbytes, random_sparse_vector
+
+__all__ = [
+    "SparseMatrix",
+    "COOMatrix",
+    "CSRMatrix",
+    "CSCMatrix",
+    "ELLMatrix",
+    "SparseVector",
+    "dense_nbytes",
+    "random_sparse_vector",
+    "spmv_dense",
+    "spmspv",
+    "spmv_to_sparse",
+    "GraphStats",
+    "compute_stats",
+    "density_trajectory",
+    "read_matrix_market",
+    "write_matrix_market",
+    "read_edge_list",
+    "matrix_to_string",
+]

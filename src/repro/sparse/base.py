@@ -1,0 +1,95 @@
+"""Abstract base class shared by the three compressed matrix formats."""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Tuple
+
+import numpy as np
+
+from ..errors import ShapeError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from .coo import COOMatrix
+    from .csc import CSCMatrix
+    from .csr import CSRMatrix
+
+
+class SparseMatrix(abc.ABC):
+    """Common interface for COO / CSR / CSC matrices.
+
+    The paper stores adjacency matrices in one of these three compressed
+    formats (§2.1) and shows format choice changes SpMSpV performance by up
+    to 25x (§6.1), so all three are first-class citizens here.
+    """
+
+    shape: Tuple[int, int]
+
+    # -- structural properties --------------------------------------------
+
+    @property
+    @abc.abstractmethod
+    def nnz(self) -> int:
+        """Number of stored non-zero elements."""
+
+    @property
+    @abc.abstractmethod
+    def dtype(self):
+        """NumPy dtype of the stored values."""
+
+    @property
+    def nrows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def ncols(self) -> int:
+        return self.shape[1]
+
+    @property
+    def sparsity(self) -> float:
+        """The paper's sparsity metric: nnz / N^2 (Table 2)."""
+        cells = self.shape[0] * self.shape[1]
+        if cells == 0:
+            return 0.0
+        return self.nnz / cells
+
+    @property
+    @abc.abstractmethod
+    def nbytes(self) -> int:
+        """Bytes of all index + value arrays (MRAM footprint of this tile)."""
+
+    # -- conversions --------------------------------------------------------
+
+    @abc.abstractmethod
+    def to_coo(self) -> "COOMatrix":
+        """Convert to coordinate format."""
+
+    @abc.abstractmethod
+    def to_csr(self) -> "CSRMatrix":
+        """Convert to compressed sparse row format."""
+
+    @abc.abstractmethod
+    def to_csc(self) -> "CSCMatrix":
+        """Convert to compressed sparse column format."""
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize as a dense 2-D array (tests / tiny graphs only)."""
+        coo = self.to_coo()
+        dense = np.zeros(self.shape, dtype=self.dtype)
+        # duplicate coordinates are not allowed, so plain assignment is safe
+        dense[coo.rows, coo.cols] = coo.values
+        return dense
+
+    # -- helpers ------------------------------------------------------------
+
+    def _check_vector(self, x_size: int) -> None:
+        if x_size != self.ncols:
+            raise ShapeError(
+                f"matrix has {self.ncols} columns but vector has length {x_size}"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(shape={self.shape}, nnz={self.nnz}, "
+            f"dtype={self.dtype})"
+        )

@@ -1,0 +1,223 @@
+"""Coordinate-list (COO) sparse matrix format.
+
+COO stores each non-zero as an ``(i, j, value)`` tuple.  It is the simplest
+format to build and to split into equal-nnz chunks, which is why SparseP's
+best 1-D SpMV variant (``COO.nnz``) and best 2-D variant (``DCOO``) both use
+it — but its lack of row grouping means scattered output updates (paper
+§2.1).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Tuple
+
+import numpy as np
+
+from ..errors import SparseFormatError
+from .base import SparseMatrix
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .csc import CSCMatrix
+    from .csr import CSRMatrix
+
+
+class COOMatrix(SparseMatrix):
+    """Sparse matrix in coordinate format, sorted row-major.
+
+    Duplicate coordinates are rejected: adjacency matrices have at most one
+    edge per (src, dst) pair, and allowing duplicates would make the kernels'
+    operation counting ambiguous.
+    """
+
+    __slots__ = ("rows", "cols", "values", "shape")
+
+    def __init__(self, rows, cols, values, shape: Tuple[int, int]) -> None:
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        values = np.asarray(values)
+        if not (rows.ndim == cols.ndim == values.ndim == 1):
+            raise SparseFormatError("rows, cols and values must be 1-D")
+        if not (rows.shape[0] == cols.shape[0] == values.shape[0]):
+            raise SparseFormatError("rows, cols and values must be equal length")
+        nrows, ncols = int(shape[0]), int(shape[1])
+        if nrows < 0 or ncols < 0:
+            raise SparseFormatError("shape must be non-negative")
+        if rows.size:
+            if rows.min() < 0 or rows.max() >= nrows:
+                raise SparseFormatError("row index out of range")
+            if cols.min() < 0 or cols.max() >= ncols:
+                raise SparseFormatError("column index out of range")
+            order = np.lexsort((cols, rows))
+            rows, cols, values = rows[order], cols[order], values[order]
+            same = (np.diff(rows) == 0) & (np.diff(cols) == 0)
+            if np.any(same):
+                raise SparseFormatError("duplicate (row, col) coordinates")
+        self.rows = rows
+        self.cols = cols
+        self.values = values
+        self.shape = (nrows, ncols)
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[Tuple[int, int]],
+        num_nodes: int,
+        dtype=np.int32,
+        weights=None,
+    ) -> "COOMatrix":
+        """Build an adjacency matrix from an edge list.
+
+        Edge ``(u, v)`` sets ``A[v, u] = w`` so that ``y = A @ x`` propagates
+        values *along* edges (the paper's ``v = A^T v`` BFS formulation with
+        A stored pre-transposed).  Duplicate edges are dropped.
+        """
+        edge_array = np.asarray(list(edges), dtype=np.int64)
+        if edge_array.size == 0:
+            return cls.empty(num_nodes, dtype=dtype)
+        if edge_array.ndim != 2 or edge_array.shape[1] != 2:
+            raise SparseFormatError("edges must be (u, v) pairs")
+        src, dst = edge_array[:, 0], edge_array[:, 1]
+        if weights is None:
+            vals = np.ones(src.shape[0], dtype=dtype)
+        else:
+            vals = np.asarray(weights, dtype=dtype)
+            if vals.shape[0] != src.shape[0]:
+                raise SparseFormatError("weights must match edges in length")
+        # drop duplicate (dst, src) pairs, keeping the first occurrence
+        keys = dst.astype(np.int64) * num_nodes + src
+        __, unique_pos = np.unique(keys, return_index=True)
+        return cls(
+            dst[unique_pos], src[unique_pos], vals[unique_pos],
+            (num_nodes, num_nodes),
+        )
+
+    @classmethod
+    def from_dense(cls, dense) -> "COOMatrix":
+        dense = np.asarray(dense)
+        if dense.ndim != 2:
+            raise SparseFormatError("expected a 2-D array")
+        rows, cols = np.nonzero(dense)
+        return cls(rows, cols, dense[rows, cols], dense.shape)
+
+    @classmethod
+    def empty(cls, num_nodes: int, dtype=np.int32) -> "COOMatrix":
+        return cls(
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=dtype),
+            (num_nodes, num_nodes),
+        )
+
+    # -- SparseMatrix interface ----------------------------------------------
+
+    @property
+    def nnz(self) -> int:
+        return int(self.values.shape[0])
+
+    @property
+    def dtype(self):
+        return self.values.dtype
+
+    @property
+    def nbytes(self) -> int:
+        # (row, col) stored as int32 pairs on the DPU plus the values
+        return self.nnz * 8 + int(self.values.nbytes)
+
+    def to_coo(self) -> "COOMatrix":
+        return self
+
+    def to_csr(self) -> "CSRMatrix":
+        from .csr import CSRMatrix
+
+        row_ptr = np.zeros(self.nrows + 1, dtype=np.int64)
+        np.add.at(row_ptr, self.rows + 1, 1)
+        np.cumsum(row_ptr, out=row_ptr)
+        # entries are already row-major sorted
+        return CSRMatrix(row_ptr, self.cols.copy(), self.values.copy(), self.shape)
+
+    def to_csc(self) -> "CSCMatrix":
+        from .csc import CSCMatrix
+
+        order = np.lexsort((self.rows, self.cols))
+        col_ptr = np.zeros(self.ncols + 1, dtype=np.int64)
+        np.add.at(col_ptr, self.cols + 1, 1)
+        np.cumsum(col_ptr, out=col_ptr)
+        return CSCMatrix(
+            col_ptr, self.rows[order], self.values[order], self.shape
+        )
+
+    # -- slicing used by the partitioners -------------------------------------
+
+    def row_block(self, start: int, stop: int) -> "COOMatrix":
+        """Rows in ``[start, stop)``, re-based so the block starts at row 0."""
+        mask = (self.rows >= start) & (self.rows < stop)
+        return COOMatrix(
+            self.rows[mask] - start,
+            self.cols[mask],
+            self.values[mask],
+            (stop - start, self.ncols),
+        )
+
+    def col_block(self, start: int, stop: int) -> "COOMatrix":
+        """Columns in ``[start, stop)``, re-based to column 0."""
+        mask = (self.cols >= start) & (self.cols < stop)
+        return COOMatrix(
+            self.rows[mask],
+            self.cols[mask] - start,
+            self.values[mask],
+            (self.nrows, stop - start),
+        )
+
+    def tile(
+        self, row_start: int, row_stop: int, col_start: int, col_stop: int
+    ) -> "COOMatrix":
+        """A re-based 2-D tile, as handed to one DPU by 2-D partitioning."""
+        mask = (
+            (self.rows >= row_start)
+            & (self.rows < row_stop)
+            & (self.cols >= col_start)
+            & (self.cols < col_stop)
+        )
+        return COOMatrix(
+            self.rows[mask] - row_start,
+            self.cols[mask] - col_start,
+            self.values[mask],
+            (row_stop - row_start, col_stop - col_start),
+        )
+
+    def nnz_chunk(self, start_nnz: int, stop_nnz: int) -> "COOMatrix":
+        """Elements ``[start_nnz, stop_nnz)`` in row-major order.
+
+        This is SparseP's ``COO.nnz`` load-balancing unit: equal-nnz chunks
+        regardless of row boundaries, so every DPU gets the same work.
+        Row indices are *not* re-based — chunks may share rows, and the host
+        merge step resolves the overlaps.
+        """
+        if not 0 <= start_nnz <= stop_nnz <= self.nnz:
+            raise SparseFormatError("nnz chunk out of range")
+        return COOMatrix(
+            self.rows[start_nnz:stop_nnz],
+            self.cols[start_nnz:stop_nnz],
+            self.values[start_nnz:stop_nnz],
+            self.shape,
+        )
+
+    def transpose(self) -> "COOMatrix":
+        return COOMatrix(
+            self.cols.copy(), self.rows.copy(), self.values.copy(),
+            (self.ncols, self.nrows),
+        )
+
+    def row_counts(self) -> np.ndarray:
+        """Non-zeros per row (out of the stored orientation)."""
+        counts = np.zeros(self.nrows, dtype=np.int64)
+        np.add.at(counts, self.rows, 1)
+        return counts
+
+    def col_counts(self) -> np.ndarray:
+        """Non-zeros per column."""
+        counts = np.zeros(self.ncols, dtype=np.int64)
+        np.add.at(counts, self.cols, 1)
+        return counts

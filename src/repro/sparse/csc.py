@@ -1,0 +1,113 @@
+"""Compressed Sparse Column (CSC) matrix format.
+
+CSC is the format ALPHA-PIM's winning SpMSpV variants use (§4.1, §6.1):
+with column-compressed storage, SpMSpV touches *only* the columns whose
+indices match non-zero entries of the input vector ("active columns"),
+skipping all the rest of the matrix.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Tuple
+
+import numpy as np
+
+from ..errors import SparseFormatError
+from .base import SparseMatrix
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .coo import COOMatrix
+    from .csr import CSRMatrix
+
+
+class CSCMatrix(SparseMatrix):
+    """Sparse matrix with column-compressed indices.
+
+    Arrays
+    ------
+    col_ptr:
+        Length ``ncols + 1``; column ``j`` owns entries
+        ``[col_ptr[j], col_ptr[j+1])``.
+    row_indices:
+        Row index of each stored entry, sorted within each column.
+    values:
+        The stored entries.
+    """
+
+    __slots__ = ("col_ptr", "row_indices", "values", "shape")
+
+    def __init__(self, col_ptr, row_indices, values, shape: Tuple[int, int]) -> None:
+        col_ptr = np.asarray(col_ptr, dtype=np.int64)
+        row_indices = np.asarray(row_indices, dtype=np.int64)
+        values = np.asarray(values)
+        nrows, ncols = int(shape[0]), int(shape[1])
+        if col_ptr.ndim != 1 or col_ptr.shape[0] != ncols + 1:
+            raise SparseFormatError("col_ptr must have length ncols + 1")
+        if col_ptr[0] != 0:
+            raise SparseFormatError("col_ptr must start at 0")
+        if np.any(np.diff(col_ptr) < 0):
+            raise SparseFormatError("col_ptr must be non-decreasing")
+        if row_indices.shape[0] != values.shape[0]:
+            raise SparseFormatError("row_indices and values must be equal length")
+        if col_ptr[-1] != row_indices.shape[0]:
+            raise SparseFormatError("col_ptr[-1] must equal nnz")
+        if row_indices.size and (
+            row_indices.min() < 0 or row_indices.max() >= nrows
+        ):
+            raise SparseFormatError("row index out of range")
+        self.col_ptr = col_ptr
+        self.row_indices = row_indices
+        self.values = values
+        self.shape = (nrows, ncols)
+
+    # -- SparseMatrix interface ----------------------------------------------
+
+    @property
+    def nnz(self) -> int:
+        return int(self.values.shape[0])
+
+    @property
+    def dtype(self):
+        return self.values.dtype
+
+    @property
+    def nbytes(self) -> int:
+        return int(
+            self.col_ptr.nbytes // 2  # stored as int32 on the DPU
+            + self.nnz * 4
+            + self.values.nbytes
+        )
+
+    def to_coo(self) -> "COOMatrix":
+        from .coo import COOMatrix
+
+        cols = np.repeat(
+            np.arange(self.ncols, dtype=np.int64), np.diff(self.col_ptr)
+        )
+        return COOMatrix(self.row_indices.copy(), cols, self.values.copy(), self.shape)
+
+    def to_csr(self) -> "CSRMatrix":
+        return self.to_coo().to_csr()
+
+    def to_csc(self) -> "CSCMatrix":
+        return self
+
+    # -- column access used by the kernels -------------------------------------
+
+    def column(self, j: int) -> Tuple[np.ndarray, np.ndarray]:
+        """(row_indices, values) of column ``j``."""
+        lo, hi = self.col_ptr[j], self.col_ptr[j + 1]
+        return self.row_indices[lo:hi], self.values[lo:hi]
+
+    def column_lengths(self) -> np.ndarray:
+        """Non-zeros per column."""
+        return np.diff(self.col_ptr)
+
+    def active_slices(self, active_cols: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """(start, stop) offsets for each requested column.
+
+        Vectorized helper for the CSC SpMSpV kernels: the entries of column
+        ``active_cols[k]`` live at ``row_indices[start[k]:stop[k]]``.
+        """
+        active_cols = np.asarray(active_cols, dtype=np.int64)
+        return self.col_ptr[active_cols], self.col_ptr[active_cols + 1]

@@ -1,0 +1,105 @@
+"""Compressed Sparse Row (CSR) matrix format.
+
+CSR groups non-zeros by row via a ``row_ptr`` offsets array, enabling
+efficient row-wise traversal.  The paper finds CSR-based SpMSpV is the
+*worst* performer (2.8x-25.2x slower than the alternatives, §6.1) because
+it must scan every row and intersect it with the sparse input vector — we
+implement it anyway, both as a baseline and to reproduce that result.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Tuple
+
+import numpy as np
+
+from ..errors import SparseFormatError
+from .base import SparseMatrix
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .coo import COOMatrix
+    from .csc import CSCMatrix
+
+
+class CSRMatrix(SparseMatrix):
+    """Sparse matrix with row-compressed indices.
+
+    Arrays
+    ------
+    row_ptr:
+        Length ``nrows + 1``; row ``i`` owns entries
+        ``[row_ptr[i], row_ptr[i+1])``.
+    col_indices:
+        Column index of each stored entry, sorted within each row.
+    values:
+        The stored entries.
+    """
+
+    __slots__ = ("row_ptr", "col_indices", "values", "shape")
+
+    def __init__(self, row_ptr, col_indices, values, shape: Tuple[int, int]) -> None:
+        row_ptr = np.asarray(row_ptr, dtype=np.int64)
+        col_indices = np.asarray(col_indices, dtype=np.int64)
+        values = np.asarray(values)
+        nrows, ncols = int(shape[0]), int(shape[1])
+        if row_ptr.ndim != 1 or row_ptr.shape[0] != nrows + 1:
+            raise SparseFormatError("row_ptr must have length nrows + 1")
+        if row_ptr[0] != 0:
+            raise SparseFormatError("row_ptr must start at 0")
+        if np.any(np.diff(row_ptr) < 0):
+            raise SparseFormatError("row_ptr must be non-decreasing")
+        if col_indices.shape[0] != values.shape[0]:
+            raise SparseFormatError("col_indices and values must be equal length")
+        if row_ptr[-1] != col_indices.shape[0]:
+            raise SparseFormatError("row_ptr[-1] must equal nnz")
+        if col_indices.size and (
+            col_indices.min() < 0 or col_indices.max() >= ncols
+        ):
+            raise SparseFormatError("column index out of range")
+        self.row_ptr = row_ptr
+        self.col_indices = col_indices
+        self.values = values
+        self.shape = (nrows, ncols)
+
+    # -- SparseMatrix interface ----------------------------------------------
+
+    @property
+    def nnz(self) -> int:
+        return int(self.values.shape[0])
+
+    @property
+    def dtype(self):
+        return self.values.dtype
+
+    @property
+    def nbytes(self) -> int:
+        return int(
+            self.row_ptr.nbytes // 2  # stored as int32 on the DPU
+            + self.nnz * 4
+            + self.values.nbytes
+        )
+
+    def to_coo(self) -> "COOMatrix":
+        from .coo import COOMatrix
+
+        rows = np.repeat(
+            np.arange(self.nrows, dtype=np.int64), np.diff(self.row_ptr)
+        )
+        return COOMatrix(rows, self.col_indices.copy(), self.values.copy(), self.shape)
+
+    def to_csr(self) -> "CSRMatrix":
+        return self
+
+    def to_csc(self) -> "CSCMatrix":
+        return self.to_coo().to_csc()
+
+    # -- row access used by the kernels ---------------------------------------
+
+    def row(self, i: int) -> Tuple[np.ndarray, np.ndarray]:
+        """(col_indices, values) of row ``i``."""
+        lo, hi = self.row_ptr[i], self.row_ptr[i + 1]
+        return self.col_indices[lo:hi], self.values[lo:hi]
+
+    def row_lengths(self) -> np.ndarray:
+        """Non-zeros per row."""
+        return np.diff(self.row_ptr)

@@ -1,0 +1,133 @@
+"""ELLPACK (ELL) sparse matrix format.
+
+The paper's related work (§7) covers ELL-family formats (SlimSell,
+BiELL) for vectorizable BFS.  ELL pads every row to the same width
+``K = max row degree`` and stores column indices and values as dense
+``(nrows, K)`` arrays: perfectly regular access (no per-row pointer
+chasing, ideal for wide DMA streaming) at the price of padding — great
+for uniform-degree road networks, catastrophic for scale-free graphs
+whose max degree is hundreds of times the average.  Including it makes
+the format design space honest: the kernels' COO/CSC choice is a
+*decision*, not an omission.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Tuple
+
+import numpy as np
+
+from ..errors import SparseFormatError
+from .base import SparseMatrix
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .coo import COOMatrix
+    from .csc import CSCMatrix
+    from .csr import CSRMatrix
+
+#: Column index marking a padding slot.
+PAD = -1
+
+
+class ELLMatrix(SparseMatrix):
+    """Sparse matrix with fixed-width padded rows.
+
+    Arrays
+    ------
+    col_indices:
+        ``(nrows, width)`` int array; ``PAD`` (-1) marks padding.
+    values:
+        ``(nrows, width)`` value array; padding slots hold zeros.
+    """
+
+    __slots__ = ("col_indices", "values", "shape")
+
+    def __init__(self, col_indices, values, shape: Tuple[int, int]) -> None:
+        col_indices = np.asarray(col_indices, dtype=np.int64)
+        values = np.asarray(values)
+        nrows, ncols = int(shape[0]), int(shape[1])
+        if col_indices.ndim != 2 or values.ndim != 2:
+            raise SparseFormatError("ELL arrays must be 2-D")
+        if col_indices.shape != values.shape:
+            raise SparseFormatError("col_indices and values shapes differ")
+        if col_indices.shape[0] != nrows:
+            raise SparseFormatError("ELL row count mismatch")
+        real = col_indices != PAD
+        if real.any():
+            cols = col_indices[real]
+            if cols.min() < 0 or cols.max() >= ncols:
+                raise SparseFormatError("column index out of range")
+        self.col_indices = col_indices
+        self.values = values
+        self.shape = (nrows, ncols)
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def from_coo(cls, coo: "COOMatrix") -> "ELLMatrix":
+        """Pack a COO matrix; width becomes the maximum row degree."""
+        nrows, ncols = coo.shape
+        counts = coo.row_counts()
+        width = int(counts.max()) if counts.size else 0
+        col_indices = np.full((nrows, max(width, 1)), PAD, dtype=np.int64)
+        values = np.zeros(
+            (nrows, max(width, 1)), dtype=coo.values.dtype
+        )
+        # entries are row-major sorted; slot index = position within row
+        slot = np.arange(coo.nnz) - np.repeat(
+            np.concatenate(([0], np.cumsum(counts[:-1]))), counts
+        )
+        col_indices[coo.rows, slot] = coo.cols
+        values[coo.rows, slot] = coo.values
+        return cls(col_indices, values, coo.shape)
+
+    # -- SparseMatrix interface -------------------------------------------------
+
+    @property
+    def width(self) -> int:
+        """Padded row width (= max row degree)."""
+        return int(self.col_indices.shape[1])
+
+    @property
+    def nnz(self) -> int:
+        return int((self.col_indices != PAD).sum())
+
+    @property
+    def dtype(self):
+        return self.values.dtype
+
+    @property
+    def nbytes(self) -> int:
+        """Padded footprint: the cost ELL pays for its regularity."""
+        return int(
+            self.col_indices.shape[0]
+            * self.width
+            * (4 + self.values.dtype.itemsize)
+        )
+
+    @property
+    def padding_ratio(self) -> float:
+        """Stored slots / real non-zeros (1.0 = no padding waste)."""
+        nnz = self.nnz
+        if nnz == 0:
+            return 1.0
+        return self.col_indices.size / nnz
+
+    def to_coo(self) -> "COOMatrix":
+        from .coo import COOMatrix
+
+        mask = self.col_indices != PAD
+        rows = np.nonzero(mask)[0]
+        return COOMatrix(
+            rows, self.col_indices[mask], self.values[mask], self.shape
+        )
+
+    def to_csr(self) -> "CSRMatrix":
+        return self.to_coo().to_csr()
+
+    def to_csc(self) -> "CSCMatrix":
+        return self.to_coo().to_csc()
+
+    def row_slots(self, i: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Row ``i``'s (col_indices, values) including padding slots."""
+        return self.col_indices[i], self.values[i]

@@ -1,0 +1,151 @@
+"""Matrix Market I/O for adjacency matrices.
+
+GraphChallenge / SNAP distribute graphs as Matrix Market (``.mtx``) or edge
+lists; this module reads and writes both, so users can run ALPHA-PIM on
+their own datasets instead of the synthetic generators.
+"""
+
+from __future__ import annotations
+
+import io as _io
+from pathlib import Path
+from typing import TextIO, Union
+
+import numpy as np
+
+from ..errors import DatasetError
+from .coo import COOMatrix
+
+PathLike = Union[str, Path]
+
+
+def write_matrix_market(matrix: COOMatrix, path_or_file: Union[PathLike, TextIO]) -> None:
+    """Write a COO matrix in MatrixMarket coordinate format (1-based)."""
+    coo = matrix.to_coo()
+    is_int = np.issubdtype(coo.values.dtype, np.integer)
+    field = "integer" if is_int else "real"
+    with _open_for_write(path_or_file) as fh:
+        fh.write(f"%%MatrixMarket matrix coordinate {field} general\n")
+        fh.write(f"{coo.nrows} {coo.ncols} {coo.nnz}\n")
+        for r, c, v in zip(coo.rows, coo.cols, coo.values):
+            value = int(v) if is_int else repr(float(v))
+            fh.write(f"{r + 1} {c + 1} {value}\n")
+
+
+def read_matrix_market(path_or_file: Union[PathLike, TextIO]) -> COOMatrix:
+    """Read a MatrixMarket coordinate-format file into a COO matrix.
+
+    Supports ``general``, ``symmetric`` (mirrored off-diagonals) and
+    ``pattern`` (values default to 1) variants, which covers the
+    GraphChallenge corpus.
+    """
+    with _open_for_read(path_or_file) as fh:
+        header = fh.readline()
+        if not header.startswith("%%MatrixMarket"):
+            raise DatasetError("not a MatrixMarket file (missing header)")
+        tokens = header.strip().split()
+        if len(tokens) < 5 or tokens[1] != "matrix" or tokens[2] != "coordinate":
+            raise DatasetError(f"unsupported MatrixMarket header: {header.strip()}")
+        field, symmetry = tokens[3], tokens[4]
+        if field not in ("real", "integer", "pattern"):
+            raise DatasetError(f"unsupported field type: {field}")
+        if symmetry not in ("general", "symmetric"):
+            raise DatasetError(f"unsupported symmetry: {symmetry}")
+
+        line = fh.readline()
+        while line.startswith("%"):
+            line = fh.readline()
+        try:
+            nrows, ncols, nnz = (int(t) for t in line.split())
+        except ValueError as exc:
+            raise DatasetError(f"bad size line: {line.strip()}") from exc
+
+        rows, cols, vals = [], [], []
+        for _ in range(nnz):
+            parts = fh.readline().split()
+            if len(parts) < 2:
+                raise DatasetError("truncated MatrixMarket file")
+            r, c = int(parts[0]) - 1, int(parts[1]) - 1
+            if field == "pattern":
+                v = 1
+            elif field == "integer":
+                v = int(parts[2])
+            else:
+                v = float(parts[2])
+            rows.append(r)
+            cols.append(c)
+            vals.append(v)
+            if symmetry == "symmetric" and r != c:
+                rows.append(c)
+                cols.append(r)
+                vals.append(v)
+
+    dtype = np.int32 if field in ("pattern", "integer") else np.float64
+    return COOMatrix(
+        np.asarray(rows), np.asarray(cols), np.asarray(vals, dtype=dtype),
+        (nrows, ncols),
+    )
+
+
+def read_edge_list(
+    path_or_file: Union[PathLike, TextIO],
+    num_nodes: int = 0,
+    dtype=np.int32,
+) -> COOMatrix:
+    """Read a SNAP-style whitespace-separated edge list.
+
+    Lines beginning with ``#`` or ``%`` are comments.  If ``num_nodes`` is
+    0 it is inferred as ``max(node id) + 1``.
+    """
+    edges = []
+    with _open_for_read(path_or_file) as fh:
+        for line in fh:
+            stripped = line.strip()
+            if not stripped or stripped[0] in "#%":
+                continue
+            parts = stripped.split()
+            if len(parts) < 2:
+                raise DatasetError(f"bad edge line: {stripped}")
+            edges.append((int(parts[0]), int(parts[1])))
+    if not edges:
+        return COOMatrix.empty(num_nodes, dtype=dtype)
+    inferred = max(max(u, v) for u, v in edges) + 1
+    if num_nodes == 0:
+        num_nodes = inferred
+    elif inferred > num_nodes:
+        raise DatasetError(
+            f"edge list references node {inferred - 1} but num_nodes={num_nodes}"
+        )
+    return COOMatrix.from_edges(edges, num_nodes, dtype=dtype)
+
+
+def _open_for_read(path_or_file):
+    if isinstance(path_or_file, (str, Path)):
+        return open(path_or_file, "r", encoding="utf-8")
+    return _NonClosing(path_or_file)
+
+
+def _open_for_write(path_or_file):
+    if isinstance(path_or_file, (str, Path)):
+        return open(path_or_file, "w", encoding="utf-8")
+    return _NonClosing(path_or_file)
+
+
+class _NonClosing:
+    """Context manager that leaves caller-owned file objects open."""
+
+    def __init__(self, fh) -> None:
+        self._fh = fh
+
+    def __enter__(self):
+        return self._fh
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+def matrix_to_string(matrix: COOMatrix) -> str:
+    """Render a matrix as a MatrixMarket string (round-trip convenience)."""
+    buf = _io.StringIO()
+    write_matrix_market(matrix, buf)
+    return buf.getvalue()

@@ -1,0 +1,202 @@
+"""Compressed sparse vectors.
+
+SpMSpV's whole advantage (paper §3–§4) comes from shipping the input vector
+in a *compressed* (index, value) representation instead of a dense array:
+the host->DPU Load phase then moves ``O(nnz)`` bytes instead of ``O(N)``.
+:class:`SparseVector` is that representation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import ShapeError, SparseFormatError
+
+
+class SparseVector:
+    """A length-``size`` vector storing only its non-zero entries.
+
+    Entries are kept sorted by index with no duplicates, which the kernels
+    rely on for merge-style intersection with matrix columns.
+
+    Parameters
+    ----------
+    indices:
+        Positions of the non-zero entries, each in ``[0, size)``.
+    values:
+        The non-zero values, same length as ``indices``.
+    size:
+        Logical length of the vector.
+    """
+
+    __slots__ = ("indices", "values", "size")
+
+    def __init__(self, indices, values, size: int) -> None:
+        indices = np.asarray(indices, dtype=np.int64)
+        values = np.asarray(values)
+        if indices.ndim != 1 or values.ndim != 1:
+            raise SparseFormatError("indices and values must be 1-D")
+        if indices.shape[0] != values.shape[0]:
+            raise SparseFormatError(
+                f"indices ({indices.shape[0]}) and values ({values.shape[0]}) "
+                "must have the same length"
+            )
+        if size < 0:
+            raise SparseFormatError("size must be non-negative")
+        if indices.size:
+            if indices.min() < 0 or indices.max() >= size:
+                raise SparseFormatError("vector index out of range")
+            order = np.argsort(indices, kind="stable")
+            indices = indices[order]
+            values = values[order]
+            if np.any(np.diff(indices) == 0):
+                raise SparseFormatError("duplicate indices in sparse vector")
+        self.indices = indices
+        self.values = values
+        self.size = int(size)
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_dense(cls, dense, zero=0) -> "SparseVector":
+        """Compress a dense array, dropping entries equal to ``zero``.
+
+        ``zero`` is the semiring's additive identity — e.g. ``inf`` for the
+        tropical (min, +) semiring used by SSSP, where "absent" means
+        "unreachable", not numerically zero.
+        """
+        dense = np.asarray(dense)
+        if dense.ndim != 1:
+            raise ShapeError("expected a 1-D array")
+        if np.isnan(zero) if isinstance(zero, float) else False:
+            raise SparseFormatError("zero element must be comparable")
+        if isinstance(zero, float) and np.isinf(zero):
+            mask = ~np.isinf(dense)
+        else:
+            mask = dense != zero
+        indices = np.nonzero(mask)[0]
+        return cls(indices, dense[indices], dense.shape[0])
+
+    @classmethod
+    def empty(cls, size: int, dtype=np.float64) -> "SparseVector":
+        """An all-zero vector of logical length ``size``."""
+        return cls(np.empty(0, dtype=np.int64), np.empty(0, dtype=dtype), size)
+
+    @classmethod
+    def basis(cls, index: int, size: int, value=1) -> "SparseVector":
+        """A vector with a single non-zero entry (a BFS/SSSP source)."""
+        if not 0 <= index < size:
+            raise ShapeError(f"index {index} out of range for size {size}")
+        return cls(
+            np.array([index], dtype=np.int64),
+            np.array([value]),
+            size,
+        )
+
+    # -- views -------------------------------------------------------------
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored non-zero entries."""
+        return int(self.indices.shape[0])
+
+    @property
+    def density(self) -> float:
+        """nnz / size — the paper's input-vector density metric."""
+        if self.size == 0:
+            return 0.0
+        return self.nnz / self.size
+
+    @property
+    def dtype(self):
+        return self.values.dtype
+
+    @property
+    def nbytes_compressed(self) -> int:
+        """Bytes needed to ship this vector in compressed (idx, val) form."""
+        return int(self.indices.nbytes + self.values.nbytes)
+
+    def to_dense(self, zero=0) -> np.ndarray:
+        """Expand to a dense array, filling absent entries with ``zero``.
+
+        Integer vectors expanded with an infinite absent-value (the
+        min-plus identity) are upcast to float64: int dtypes cannot
+        represent infinity.
+        """
+        dtype = self.values.dtype if self.nnz else np.asarray(zero).dtype
+        if (
+            isinstance(zero, float)
+            and np.isinf(zero)
+            and np.issubdtype(np.dtype(dtype), np.integer)
+        ):
+            dtype = np.float64
+        dense = np.full(self.size, zero, dtype=dtype)
+        dense[self.indices] = self.values
+        return dense
+
+    def slice(self, start: int, stop: int) -> "SparseVector":
+        """Entries with index in ``[start, stop)``, re-based to start at 0.
+
+        Used by column-wise and 2-D partitioning to hand each DPU only the
+        input-vector segment its tile needs.
+        """
+        if not 0 <= start <= stop <= self.size:
+            raise ShapeError(f"bad slice [{start}, {stop}) for size {self.size}")
+        lo = np.searchsorted(self.indices, start, side="left")
+        hi = np.searchsorted(self.indices, stop, side="left")
+        return SparseVector(
+            self.indices[lo:hi] - start, self.values[lo:hi], stop - start
+        )
+
+    def copy(self) -> "SparseVector":
+        return SparseVector(self.indices.copy(), self.values.copy(), self.size)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SparseVector):
+            return NotImplemented
+        return (
+            self.size == other.size
+            and np.array_equal(self.indices, other.indices)
+            and np.array_equal(self.values, other.values)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SparseVector(size={self.size}, nnz={self.nnz}, "
+            f"density={self.density:.3f})"
+        )
+
+
+def dense_nbytes(size: int, dtype) -> int:
+    """Bytes needed to ship a dense vector of ``size`` elements."""
+    return size * np.dtype(dtype).itemsize
+
+
+def random_sparse_vector(
+    size: int,
+    density: float,
+    rng: Optional[np.random.Generator] = None,
+    dtype=np.float64,
+    value_range: Tuple[float, float] = (0.5, 1.5),
+) -> SparseVector:
+    """A random vector with approximately the requested density.
+
+    Used by the density-sweep experiments (Figs. 5, 6, 9-11) which evaluate
+    kernels at fixed input-vector densities of 1 %, 10 %, 30 % and 50 %.
+    """
+    if not 0.0 <= density <= 1.0:
+        raise SparseFormatError("density must be within [0, 1]")
+    rng = rng or np.random.default_rng()
+    nnz = int(round(density * size))
+    nnz = max(0, min(size, nnz))
+    indices = rng.choice(size, size=nnz, replace=False) if nnz else []
+    lo, hi = value_range
+    values = rng.uniform(lo, hi, size=nnz).astype(dtype)
+    if np.issubdtype(np.dtype(dtype), np.integer):
+        values = np.maximum(values, 1).astype(dtype)
+    return SparseVector(np.asarray(indices, dtype=np.int64), values, size)

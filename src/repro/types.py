@@ -1,0 +1,246 @@
+"""Shared small value types used across the library.
+
+These are deliberately lightweight (dataclasses and enums) so that every
+subsystem — sparse formats, the UPMEM simulator, kernels, experiments —
+can exchange results without importing each other's heavy modules.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Mapping
+
+
+class DataType(enum.Enum):
+    """Element types supported by the kernels.
+
+    The paper evaluates int32 for BFS/SSSP-style traversals and float32 for
+    PPR.  The UPMEM DPU has no hardware 32-bit multiplier or FPU, so the
+    timing model charges different costs per type (see
+    :mod:`repro.upmem.isa`).
+    """
+
+    INT32 = "int32"
+    INT64 = "int64"
+    FLOAT32 = "float32"
+    FLOAT64 = "float64"
+
+    @property
+    def nbytes(self) -> int:
+        """Size of one element in bytes."""
+        return {"int32": 4, "int64": 8, "float32": 4, "float64": 8}[self.value]
+
+    @property
+    def is_float(self) -> bool:
+        """True for floating-point types (software-emulated on the DPU)."""
+        return self.value.startswith("float")
+
+
+class Phase(enum.Enum):
+    """The four execution phases the paper's breakdowns use.
+
+    Every kernel invocation on the simulated UPMEM system is split into:
+
+    * ``LOAD`` — copying the input vector from host memory into the DPUs'
+      MRAM banks,
+    * ``KERNEL`` — DPU-side execution,
+    * ``RETRIEVE`` — copying partial outputs from MRAM back to the host,
+    * ``MERGE`` — combining partial outputs on the host CPU (plus the
+      per-iteration convergence check for the graph algorithms).
+    """
+
+    LOAD = "load"
+    KERNEL = "kernel"
+    RETRIEVE = "retrieve"
+    MERGE = "merge"
+
+
+@dataclass
+class PhaseBreakdown:
+    """Per-phase execution times, in seconds.
+
+    Supports addition so that multi-iteration algorithms can accumulate
+    per-iteration breakdowns into a run total.
+    """
+
+    load: float = 0.0
+    kernel: float = 0.0
+    retrieve: float = 0.0
+    merge: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """Sum of the four phases."""
+        return self.load + self.kernel + self.retrieve + self.merge
+
+    def __add__(self, other: "PhaseBreakdown") -> "PhaseBreakdown":
+        return PhaseBreakdown(
+            load=self.load + other.load,
+            kernel=self.kernel + other.kernel,
+            retrieve=self.retrieve + other.retrieve,
+            merge=self.merge + other.merge,
+        )
+
+    def __iadd__(self, other: "PhaseBreakdown") -> "PhaseBreakdown":
+        self.load += other.load
+        self.kernel += other.kernel
+        self.retrieve += other.retrieve
+        self.merge += other.merge
+        return self
+
+    def scaled(self, factor: float) -> "PhaseBreakdown":
+        """Return a copy with every phase multiplied by ``factor``."""
+        return PhaseBreakdown(
+            load=self.load * factor,
+            kernel=self.kernel * factor,
+            retrieve=self.retrieve * factor,
+            merge=self.merge * factor,
+        )
+
+    def normalized_to(self, reference_total: float) -> "PhaseBreakdown":
+        """Return a copy normalized so the reference total maps to 1.0."""
+        if reference_total <= 0:
+            raise ValueError("reference_total must be positive")
+        return self.scaled(1.0 / reference_total)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Phase name -> seconds mapping (plus ``total``)."""
+        return {
+            "load": self.load,
+            "kernel": self.kernel,
+            "retrieve": self.retrieve,
+            "merge": self.merge,
+            "total": self.total,
+        }
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.load
+        yield self.kernel
+        yield self.retrieve
+        yield self.merge
+
+
+class GraphClass(enum.Enum):
+    """The two structural graph classes the adaptive model distinguishes.
+
+    The paper (§4.2.1) finds regular graphs (road networks: low average
+    degree, uniform degree distribution) switch SpMSpV->SpMV around 20 %
+    input-vector density, while scale-free graphs (web/social networks:
+    skewed degrees) switch around 50 %.
+    """
+
+    REGULAR = "regular"
+    SCALE_FREE = "scale_free"
+
+    @property
+    def default_switch_density(self) -> float:
+        """The paper's per-class SpMSpV->SpMV switching threshold."""
+        return 0.20 if self is GraphClass.REGULAR else 0.50
+
+
+@dataclass(frozen=True)
+class GraphFeatures:
+    """The two features the paper's decision tree consumes (§4.2.1)."""
+
+    average_degree: float
+    degree_std: float
+
+    def as_mapping(self) -> Mapping[str, float]:
+        return {
+            "average_degree": self.average_degree,
+            "degree_std": self.degree_std,
+        }
+
+
+@dataclass
+class EnergyReport:
+    """Energy accounting for one run, in joules."""
+
+    static_j: float = 0.0
+    dynamic_j: float = 0.0
+    transfer_j: float = 0.0
+
+    @property
+    def total_j(self) -> float:
+        return self.static_j + self.dynamic_j + self.transfer_j
+
+    def __add__(self, other: "EnergyReport") -> "EnergyReport":
+        return EnergyReport(
+            static_j=self.static_j + other.static_j,
+            dynamic_j=self.dynamic_j + other.dynamic_j,
+            transfer_j=self.transfer_j + other.transfer_j,
+        )
+
+
+@dataclass
+class UtilizationReport:
+    """Achieved vs. peak throughput, as the paper's compute-utilization metric.
+
+    ``achieved_ops`` counts useful semiring operations (one multiply-add per
+    processed non-zero); ``peak_ops_per_s`` is the platform's theoretical
+    peak.  ``percent`` is the paper's Table-4 metric.
+    """
+
+    achieved_ops: float
+    elapsed_s: float
+    peak_ops_per_s: float
+
+    @property
+    def achieved_ops_per_s(self) -> float:
+        if self.elapsed_s <= 0:
+            return 0.0
+        return self.achieved_ops / self.elapsed_s
+
+    @property
+    def percent(self) -> float:
+        if self.peak_ops_per_s <= 0:
+            return 0.0
+        return 100.0 * self.achieved_ops_per_s / self.peak_ops_per_s
+
+
+@dataclass
+class IterationTrace:
+    """Record of one matvec iteration inside a graph algorithm run."""
+
+    iteration: int
+    kernel_name: str
+    input_density: float
+    breakdown: PhaseBreakdown
+    frontier_size: int = 0
+    #: Host->DPU / DPU->host bytes moved this iteration (for the
+    #: inter-DPU interconnect what-if analysis).
+    bytes_loaded: int = 0
+    bytes_retrieved: int = 0
+
+    @property
+    def total_s(self) -> float:
+        return self.breakdown.total
+
+
+@dataclass
+class RunResult:
+    """Aggregated result of a full multi-iteration algorithm run."""
+
+    algorithm: str
+    dataset: str
+    iterations: list = field(default_factory=list)
+    breakdown: PhaseBreakdown = field(default_factory=PhaseBreakdown)
+    energy: EnergyReport = field(default_factory=EnergyReport)
+    achieved_ops: float = 0.0
+
+    @property
+    def total_s(self) -> float:
+        return self.breakdown.total
+
+    @property
+    def kernel_s(self) -> float:
+        return self.breakdown.kernel
+
+    @property
+    def num_iterations(self) -> int:
+        return len(self.iterations)
+
+    def add_iteration(self, trace: IterationTrace) -> None:
+        self.iterations.append(trace)
+        self.breakdown += trace.breakdown

@@ -1,0 +1,105 @@
+"""Simulated UPMEM PIM system: DPUs, memories, pipeline, transfers, energy."""
+
+from .config import (
+    DEFAULT_STUDY_DPUS,
+    FIG8_DPU_COUNTS,
+    PAPER_SYSTEM,
+    DpuConfig,
+    EnergyConfig,
+    SystemConfig,
+    TransferConfig,
+)
+from .energy import UpmemEnergyModel
+from .host import Dpu, DpuSet, UpmemSystem
+from .interconnect import InterconnectConfig, InterconnectModel
+from .microbench import (
+    ThroughputPoint,
+    arithmetic_throughput,
+    dma_cost_curve,
+    format_microbench_report,
+    host_transfer_curve,
+    tasklet_scaling,
+)
+from .trace import DispatchEvent, ExecutionTrace, TracingPipeline
+from .tasklet import (
+    TaskletProgram,
+    coo_spmv_program,
+    csc_spmspv_program,
+    split_columns_among_tasklets,
+)
+from .isa import EXPANSION, Instruction, InstructionProfile, InstrClass
+from .memory import Allocation, Iram, Mram, Wram, plan_wram_buffers
+from .perfmodel import (
+    DEFAULT_NUM_MUTEXES,
+    CycleEstimate,
+    estimate_cycles,
+    estimate_from_profiles,
+)
+from .pipeline import (
+    MUTEX_NONE,
+    MUTEX_UNLOCK,
+    PipelineStats,
+    RevolverPipeline,
+    synthesize_stream,
+)
+from .profile import KernelProfile, merge_profiles, useful_ops
+from .transfer import (
+    TransferCost,
+    TransferModel,
+    convergence_check_time,
+    merge_time_host,
+)
+
+__all__ = [
+    "DpuConfig",
+    "SystemConfig",
+    "TransferConfig",
+    "EnergyConfig",
+    "PAPER_SYSTEM",
+    "FIG8_DPU_COUNTS",
+    "DEFAULT_STUDY_DPUS",
+    "Dpu",
+    "DpuSet",
+    "UpmemSystem",
+    "InterconnectConfig",
+    "InterconnectModel",
+    "TaskletProgram",
+    "csc_spmspv_program",
+    "coo_spmv_program",
+    "split_columns_among_tasklets",
+    "arithmetic_throughput",
+    "tasklet_scaling",
+    "dma_cost_curve",
+    "host_transfer_curve",
+    "format_microbench_report",
+    "ThroughputPoint",
+    "TracingPipeline",
+    "ExecutionTrace",
+    "DispatchEvent",
+    "Mram",
+    "Wram",
+    "Iram",
+    "Allocation",
+    "plan_wram_buffers",
+    "InstrClass",
+    "Instruction",
+    "InstructionProfile",
+    "EXPANSION",
+    "RevolverPipeline",
+    "PipelineStats",
+    "synthesize_stream",
+    "MUTEX_NONE",
+    "MUTEX_UNLOCK",
+    "CycleEstimate",
+    "estimate_cycles",
+    "estimate_from_profiles",
+    "DEFAULT_NUM_MUTEXES",
+    "TransferModel",
+    "TransferCost",
+    "merge_time_host",
+    "convergence_check_time",
+    "UpmemEnergyModel",
+    "KernelProfile",
+    "merge_profiles",
+    "useful_ops",
+]

@@ -1,0 +1,66 @@
+"""Energy accounting for the simulated UPMEM system.
+
+The paper measures UPMEM energy at the DIMM level through the memory
+controllers (§6.3.2, Table 4).  We reproduce it with an activity-based
+model: static power for every powered DPU over the whole phase, plus
+dynamic energy per dispatched instruction, per DMA byte, and per
+host-transfer byte, plus host CPU power during host-side phases.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..types import EnergyReport, PhaseBreakdown
+from .config import EnergyConfig, SystemConfig
+
+
+class UpmemEnergyModel:
+    """Converts a run's activity counters into joules."""
+
+    def __init__(self, system: SystemConfig) -> None:
+        self.system = system
+        self.cfg: EnergyConfig = system.energy
+
+    def kernel_energy(
+        self,
+        kernel_seconds: float,
+        instructions: float,
+        dma_bytes: float,
+        num_dpus: Optional[int] = None,
+    ) -> EnergyReport:
+        """Energy of the DPU-side Kernel phase."""
+        dpus = num_dpus if num_dpus is not None else self.system.num_dpus
+        return EnergyReport(
+            static_j=dpus * self.cfg.dpu_static_w * kernel_seconds,
+            dynamic_j=(
+                instructions * self.cfg.energy_per_instruction_j
+                + dma_bytes * self.cfg.energy_per_dma_byte_j
+            ),
+        )
+
+    def transfer_energy(self, transfer_bytes: float, transfer_seconds: float) -> EnergyReport:
+        """Energy of Load/Retrieve phases (channels + host orchestration)."""
+        return EnergyReport(
+            transfer_j=transfer_bytes * self.cfg.energy_per_transfer_byte_j,
+            static_j=self.cfg.host_active_w * transfer_seconds,
+        )
+
+    def host_energy(self, host_seconds: float) -> EnergyReport:
+        """Energy of the host-side Merge phase."""
+        return EnergyReport(static_j=self.cfg.host_active_w * host_seconds)
+
+    def run_energy(
+        self,
+        breakdown: PhaseBreakdown,
+        instructions: float,
+        dma_bytes: float,
+        transfer_bytes: float,
+        num_dpus: Optional[int] = None,
+    ) -> EnergyReport:
+        """Total energy for a full phase breakdown."""
+        return (
+            self.kernel_energy(breakdown.kernel, instructions, dma_bytes, num_dpus)
+            + self.transfer_energy(transfer_bytes, breakdown.load + breakdown.retrieve)
+            + self.host_energy(breakdown.merge)
+        )

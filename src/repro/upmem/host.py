@@ -1,0 +1,149 @@
+"""Host-side runtime: DPU allocation, data placement and launch accounting.
+
+Mirrors the UPMEM SDK's host API surface (§2.3.3): the host allocates a
+set of DPUs, pushes matrix partitions and input vectors into their MRAM
+banks (with the transposition library's parallel transfers), launches the
+kernel binary, and gathers results.  The runtime tracks both the functional
+payloads (real arrays in each simulated MRAM) and the cost of every step.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import TransferError, UpmemError
+from .config import DpuConfig, SystemConfig
+from .energy import UpmemEnergyModel
+from .memory import Iram, Mram, Wram
+from .transfer import TransferCost, TransferModel
+
+
+class Dpu:
+    """One simulated DRAM Processing Unit: a core plus its three memories."""
+
+    def __init__(self, dpu_id: int, config: DpuConfig) -> None:
+        self.dpu_id = dpu_id
+        self.config = config
+        self.mram = Mram(config.mram_bytes)
+        self.wram = Wram(config.wram_bytes)
+        self.iram = Iram(config.iram_bytes)
+
+    @property
+    def rank_local_id(self) -> int:
+        return self.dpu_id % 64
+
+    def reset(self) -> None:
+        """Clear all memories (between experiments)."""
+        self.mram.reset()
+        self.wram.reset()
+        self.iram.reset()
+
+    def __repr__(self) -> str:
+        return (
+            f"Dpu(id={self.dpu_id}, mram_used={self.mram.used_bytes}B, "
+            f"wram_used={self.wram.used_bytes}B)"
+        )
+
+
+class DpuSet:
+    """A host-allocated group of DPUs, addressed together.
+
+    Mirrors ``dpu_alloc``/``dpu_copy_to``/``dpu_copy_from`` semantics with
+    explicit cost accounting: every push/gather returns a
+    :class:`~repro.upmem.transfer.TransferCost`.
+    """
+
+    def __init__(self, dpus: List[Dpu], transfer: TransferModel) -> None:
+        if not dpus:
+            raise UpmemError("DpuSet needs at least one DPU")
+        self.dpus = dpus
+        self.transfer = transfer
+
+    def __len__(self) -> int:
+        return len(self.dpus)
+
+    def __iter__(self):
+        return iter(self.dpus)
+
+    def __getitem__(self, index: int) -> Dpu:
+        return self.dpus[index]
+
+    # -- data placement -------------------------------------------------------
+
+    def scatter_arrays(self, name: str, arrays: Sequence[np.ndarray]) -> TransferCost:
+        """Push one distinct array per DPU (parallel transfer)."""
+        if len(arrays) != len(self.dpus):
+            raise TransferError(
+                f"got {len(arrays)} arrays for {len(self.dpus)} DPUs"
+            )
+        for dpu, array in zip(self.dpus, arrays):
+            if name in dpu.mram:
+                dpu.mram.replace(name, array)
+            else:
+                dpu.mram.store(name, array)
+        return self.transfer.scatter([a.nbytes for a in arrays])
+
+    def broadcast_array(self, name: str, array: np.ndarray) -> TransferCost:
+        """Push the same array to every DPU (1-D partitioning's Load)."""
+        for dpu in self.dpus:
+            if name in dpu.mram:
+                dpu.mram.replace(name, array)
+            else:
+                dpu.mram.store(name, array)
+        return self.transfer.broadcast(array.nbytes, len(self.dpus))
+
+    def gather_arrays(self, name: str) -> tuple:
+        """Pull the named region from every DPU; returns (arrays, cost)."""
+        arrays = [dpu.mram.load(name) for dpu in self.dpus]
+        cost = self.transfer.gather([a.nbytes for a in arrays])
+        return arrays, cost
+
+    def load_program(self, name: str, num_instructions: int) -> None:
+        """Validate a kernel binary fits every DPU's IRAM."""
+        for dpu in self.dpus:
+            if name not in dpu.iram:
+                dpu.iram.load_program(name, num_instructions)
+
+    def reset(self) -> None:
+        for dpu in self.dpus:
+            dpu.reset()
+
+
+class UpmemSystem:
+    """The full simulated machine: topology + transfer + energy models."""
+
+    def __init__(self, config: Optional[SystemConfig] = None) -> None:
+        self.config = config or SystemConfig()
+        self.transfer = TransferModel(self.config)
+        self.energy = UpmemEnergyModel(self.config)
+        self._allocated: Dict[str, DpuSet] = {}
+
+    @property
+    def dpu_config(self) -> DpuConfig:
+        return self.config.dpu
+
+    def allocate(self, num_dpus: int, name: str = "default") -> DpuSet:
+        """Allocate ``num_dpus`` simulated DPUs (like ``dpu_alloc``)."""
+        if num_dpus <= 0:
+            raise UpmemError("must allocate at least one DPU")
+        if num_dpus > self.config.num_dpus:
+            raise UpmemError(
+                f"requested {num_dpus} DPUs; system has {self.config.num_dpus}"
+            )
+        dpus = [Dpu(i, self.config.dpu) for i in range(num_dpus)]
+        dpu_set = DpuSet(dpus, self.transfer)
+        self._allocated[name] = dpu_set
+        return dpu_set
+
+    def kernel_seconds(self, cycles: float) -> float:
+        """Convert worst-DPU cycles to wall-clock kernel time."""
+        return self.config.dpu.cycles_to_seconds(cycles)
+
+    def __repr__(self) -> str:
+        cfg = self.config
+        return (
+            f"UpmemSystem(dpus={cfg.num_dpus}, ranks={cfg.num_ranks}, "
+            f"dimms={cfg.num_dimms}, freq={cfg.dpu.frequency_hz / 1e6:.0f}MHz)"
+        )

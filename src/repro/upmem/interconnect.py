@@ -1,0 +1,75 @@
+"""Hypothetical direct inter-DPU interconnect (the paper's §6.3.1 ask).
+
+UPMEM DPUs cannot talk to each other: every inter-iteration vector
+exchange is a DPU->host Retrieve followed by a host->DPU Load through
+the shared DDR channels.  The paper's headline hardware recommendation
+is "enabling direct interconnections" between PIM cores.  This module
+models such a network so the recommendation's headroom can be
+quantified (see :func:`repro.experiments.run_interconnect_ablation`):
+
+* every DPU gets a bidirectional link of ``link_bandwidth`` into an
+  all-to-all-capable fabric (a per-rank crossbar with inter-rank
+  uplinks, the topology proposals like ABC-DIMM sketch),
+* an exchange step moves each DPU's partial output directly to the
+  DPUs owning the matching input segments, fully in parallel,
+* the host only runs the (cheap) convergence check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import UpmemError
+from ..types import PhaseBreakdown
+
+
+@dataclass(frozen=True)
+class InterconnectConfig:
+    """Parameters of the hypothetical DPU-to-DPU network."""
+
+    #: Per-DPU link bandwidth (bytes/s).  1 GB/s is in line with the
+    #: inter-DIMM broadcast bandwidths proposed by ABC-DIMM-class work.
+    link_bandwidth: float = 1.0e9
+    #: Per-exchange synchronization latency (seconds).
+    exchange_latency_s: float = 5e-6
+
+
+class InterconnectModel:
+    """Prices inter-iteration vector exchanges over the direct network."""
+
+    def __init__(self, config: InterconnectConfig = InterconnectConfig()) -> None:
+        if config.link_bandwidth <= 0:
+            raise UpmemError("link bandwidth must be positive")
+        self.config = config
+
+    def exchange_seconds(self, total_bytes: int, num_dpus: int) -> float:
+        """Time to redistribute ``total_bytes`` across ``num_dpus`` DPUs.
+
+        Every DPU sends and receives its share concurrently, so the
+        exchange is limited by the busiest link: ``total / num_dpus``
+        bytes over one ``link_bandwidth`` link, plus the sync latency.
+        """
+        if num_dpus <= 0:
+            raise UpmemError("need at least one DPU")
+        if total_bytes < 0:
+            raise UpmemError("bytes must be non-negative")
+        per_link = total_bytes / num_dpus
+        return self.config.exchange_latency_s + per_link / self.config.link_bandwidth
+
+    def rewrite_iteration(
+        self, breakdown: PhaseBreakdown, exchanged_bytes: int, num_dpus: int
+    ) -> PhaseBreakdown:
+        """An iteration's breakdown if vectors moved DPU-to-DPU.
+
+        Load and Retrieve collapse into one direct exchange; Kernel is
+        unchanged; Merge keeps only its convergence-check component
+        (modelled as unchanged — an upper bound on the remaining host
+        work, so the projected speedup is conservative).
+        """
+        exchange = self.exchange_seconds(exchanged_bytes, num_dpus)
+        return PhaseBreakdown(
+            load=exchange,
+            kernel=breakdown.kernel,
+            retrieve=0.0,
+            merge=breakdown.merge,
+        )

@@ -1,0 +1,173 @@
+"""Abstract DPU instruction set for the timing model.
+
+The DPU is a 32-bit in-order RISC core with no 32-bit hardware multiplier
+and no FPU: 32x32 integer multiplies expand into a short ``mul_step``
+sequence, and floating-point arithmetic is fully software-emulated (the
+paper's §6.3.1 notes PPR is kernel-dominated precisely because of this).
+The timing model therefore works in *instruction classes*, each with an
+expansion factor into actual dispatch slots.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..types import DataType
+
+
+class InstrClass(enum.Enum):
+    """Instruction categories, matching the paper's Fig. 11 mix buckets."""
+
+    #: Single-slot integer ALU ops: add, sub, compare, shifts, logic.
+    ARITH = "arith"
+    #: 32-bit integer multiply (expanded mul_step sequence).
+    MUL32 = "mul32"
+    #: Software-emulated float32 add.
+    FADD = "fadd"
+    #: Software-emulated float32 multiply.
+    FMUL = "fmul"
+    #: WRAM load/store (single-cycle scratchpad access, §6.4.2).
+    LOADSTORE = "loadstore"
+    #: MRAM<->WRAM DMA command (blocking).
+    DMA = "dma"
+    #: Synchronization: mutex lock/unlock, barriers.
+    SYNC = "sync"
+    #: Control flow and address generation.
+    CONTROL = "control"
+
+
+#: Dispatch slots one instruction of each class occupies once issued.
+#: DMA occupies one issue slot; its transfer time is modelled separately.
+EXPANSION: Dict[InstrClass, int] = {
+    InstrClass.ARITH: 1,
+    InstrClass.MUL32: 6,
+    InstrClass.FADD: 20,
+    InstrClass.FMUL: 55,
+    InstrClass.LOADSTORE: 1,
+    InstrClass.DMA: 1,
+    InstrClass.SYNC: 2,
+    InstrClass.CONTROL: 1,
+}
+
+
+def multiply_class(dtype: DataType) -> InstrClass:
+    """The instruction class of a semiring (x) on values of ``dtype``."""
+    return InstrClass.FMUL if dtype.is_float else InstrClass.MUL32
+
+
+def add_class(dtype: DataType) -> InstrClass:
+    """The instruction class of a semiring (+) on values of ``dtype``.
+
+    min/max/or reductions are compare-and-select, i.e. plain ALU work for
+    integers; float adds go through emulation.
+    """
+    return InstrClass.FADD if dtype.is_float else InstrClass.ARITH
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One instruction for the cycle-level pipeline simulator.
+
+    Parameters
+    ----------
+    klass:
+        Instruction class (drives expansion and stall behaviour).
+    dma_bytes:
+        For ``DMA`` instructions, the transfer size.
+    mutex_id:
+        For ``SYNC`` instructions, >=0 means lock that mutex, -2 means
+        unlock it, -1 (default) means a barrier-style sync with no lock.
+    rf_pair:
+        True when the instruction reads two registers from the same
+        (even/odd) register-file bank — the structural hazard of §2.3.2,
+        costing one extra dispatch cycle.
+    """
+
+    klass: InstrClass
+    dma_bytes: int = 0
+    mutex_id: int = -1
+    rf_pair: bool = False
+
+    @property
+    def slots(self) -> int:
+        return EXPANSION[self.klass]
+
+
+@dataclass
+class InstructionProfile:
+    """Per-tasklet instruction counts by class, plus DMA byte volume.
+
+    This is the single source of truth the kernels emit: the analytic
+    performance model (:mod:`repro.upmem.perfmodel`) converts it directly
+    to cycles, and :func:`repro.upmem.pipeline.synthesize_stream` expands
+    it into a concrete instruction stream for the cycle-level simulator
+    (Figs. 9-11).
+    """
+
+    counts: Dict[InstrClass, int] = field(default_factory=dict)
+    dma_bytes: int = 0
+    #: Number of mutex acquisitions contained in the SYNC count.
+    mutex_acquires: int = 0
+    #: Fraction of instructions whose operands collide on one RF bank.
+    rf_pair_fraction: float = 0.08
+
+    def add(self, klass: InstrClass, count: int = 1) -> None:
+        if count < 0:
+            raise ValueError("instruction count must be non-negative")
+        self.counts[klass] = self.counts.get(klass, 0) + count
+
+    def add_dma(self, nbytes: int, transfers: int = 1) -> None:
+        """Record ``transfers`` DMA commands moving ``nbytes`` total."""
+        if nbytes < 0 or transfers < 0:
+            raise ValueError("DMA byte/transfer counts must be non-negative")
+        self.add(InstrClass.DMA, transfers)
+        self.dma_bytes += nbytes
+
+    def count(self, klass: InstrClass) -> int:
+        return self.counts.get(klass, 0)
+
+    @property
+    def total_instructions(self) -> int:
+        """Raw instruction count (before expansion)."""
+        return sum(self.counts.values())
+
+    @property
+    def dispatch_slots(self) -> int:
+        """Pipeline dispatch slots after class expansion."""
+        return sum(EXPANSION[k] * c for k, c in self.counts.items())
+
+    def merged(self, other: "InstructionProfile") -> "InstructionProfile":
+        out = InstructionProfile(
+            dma_bytes=self.dma_bytes + other.dma_bytes,
+            mutex_acquires=self.mutex_acquires + other.mutex_acquires,
+            rf_pair_fraction=self.rf_pair_fraction,
+        )
+        for k, c in self.counts.items():
+            out.add(k, c)
+        for k, c in other.counts.items():
+            out.add(k, c)
+        return out
+
+    def scaled(self, factor: float) -> "InstructionProfile":
+        """Scale every count by ``factor`` (used to shrink streams for the
+        cycle simulator while preserving the mix)."""
+        out = InstructionProfile(
+            dma_bytes=int(self.dma_bytes * factor),
+            mutex_acquires=int(self.mutex_acquires * factor),
+            rf_pair_fraction=self.rf_pair_fraction,
+        )
+        for k, c in self.counts.items():
+            scaled_count = int(round(c * factor))
+            if c > 0:
+                scaled_count = max(1, scaled_count)
+            out.add(k, scaled_count)
+        return out
+
+    def mix_fractions(self) -> Dict[str, float]:
+        """Instruction mix as fractions of total (Fig. 11)."""
+        total = self.total_instructions
+        if total == 0:
+            return {k.value: 0.0 for k in InstrClass}
+        return {k.value: self.counts.get(k, 0) / total for k in InstrClass}

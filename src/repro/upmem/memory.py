@@ -1,0 +1,190 @@
+"""DPU memory models: MRAM bank, WRAM scratchpad and IRAM.
+
+Each memory is a bump allocator with capacity checking.  The kernels use
+these to verify that their per-DPU working sets actually fit — e.g. a
+row-partitioned SpMSpV must hold its matrix slice, the full compressed
+input vector, and per-tasklet output buffers inside one 64 MB MRAM bank,
+and its streaming buffers inside 64 KB of WRAM shared by 24 tasklets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..errors import (
+    IramOverflowError,
+    MramOverflowError,
+    UpmemError,
+    WramOverflowError,
+)
+
+
+@dataclass
+class Allocation:
+    """One named region inside a DPU memory."""
+
+    name: str
+    offset: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.size
+
+
+class _BumpAllocator:
+    """Base bump allocator with 8-byte alignment (DMA requirement)."""
+
+    ALIGN = 8
+
+    def __init__(self, capacity: int, overflow_error) -> None:
+        if capacity <= 0:
+            raise UpmemError("memory capacity must be positive")
+        self.capacity = capacity
+        self._cursor = 0
+        self._overflow_error = overflow_error
+        self.allocations: Dict[str, Allocation] = {}
+
+    def allocate(self, name: str, size: int) -> Allocation:
+        """Reserve ``size`` bytes under ``name``; raises on overflow."""
+        if size < 0:
+            raise UpmemError("allocation size must be non-negative")
+        if name in self.allocations:
+            raise UpmemError(f"region {name!r} already allocated")
+        aligned = -(-size // self.ALIGN) * self.ALIGN
+        if self._cursor + aligned > self.capacity:
+            raise self._overflow_error(
+                f"cannot allocate {size} bytes for {name!r}: "
+                f"{self.free_bytes} of {self.capacity} bytes free"
+            )
+        allocation = Allocation(name, self._cursor, aligned)
+        self._cursor += aligned
+        self.allocations[name] = allocation
+        return allocation
+
+    def reset(self) -> None:
+        """Release every allocation (between kernel launches)."""
+        self._cursor = 0
+        self.allocations.clear()
+
+    @property
+    def used_bytes(self) -> int:
+        return self._cursor
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity - self._cursor
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.allocations
+
+
+class Mram(_BumpAllocator):
+    """The DPU's 64 MB DRAM bank — main data store.
+
+    Besides capacity accounting, MRAM holds actual array payloads so the
+    functional kernels read the same bytes a real DPU would.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity, MramOverflowError)
+        self._data: Dict[str, np.ndarray] = {}
+
+    def store(self, name: str, array: np.ndarray) -> Allocation:
+        """Allocate a region sized for ``array`` and keep its contents."""
+        array = np.ascontiguousarray(array)
+        allocation = self.allocate(name, array.nbytes)
+        self._data[name] = array
+        return allocation
+
+    def load(self, name: str) -> np.ndarray:
+        """Read back a stored array (host gather / kernel streaming)."""
+        try:
+            return self._data[name]
+        except KeyError:
+            raise MramOverflowError(f"no region named {name!r} in MRAM") from None
+
+    def replace(self, name: str, array: np.ndarray) -> None:
+        """Overwrite a stored array in place (same or smaller size)."""
+        if name not in self.allocations:
+            raise MramOverflowError(f"no region named {name!r} in MRAM")
+        if array.nbytes > self.allocations[name].size:
+            raise MramOverflowError(
+                f"replacement for {name!r} exceeds its reserved region"
+            )
+        self._data[name] = np.ascontiguousarray(array)
+
+    def reset(self) -> None:
+        super().reset()
+        self._data.clear()
+
+
+class Wram(_BumpAllocator):
+    """The 64 KB scratchpad shared by all tasklets of one DPU."""
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity, WramOverflowError)
+
+    def split_among_tasklets(
+        self, num_tasklets: int, reserved: int = 0
+    ) -> int:
+        """Bytes of private buffer each tasklet can claim.
+
+        Real DPU programs statically divide WRAM into per-tasklet streaming
+        buffers; ``reserved`` bytes are kept for shared state (mutex table,
+        stack guard, etc.).
+        """
+        if num_tasklets <= 0:
+            raise UpmemError("num_tasklets must be positive")
+        available = self.free_bytes - reserved
+        if available <= 0:
+            raise WramOverflowError(
+                f"no WRAM left for tasklet buffers (reserved={reserved})"
+            )
+        per_tasklet = available // num_tasklets
+        return (per_tasklet // self.ALIGN) * self.ALIGN
+
+
+class Iram(_BumpAllocator):
+    """The 24 KB instruction memory; programs must fit entirely."""
+
+    #: Encoded size of one DPU instruction (48-bit ISA padded to 8 bytes).
+    INSTRUCTION_BYTES = 8
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity, IramOverflowError)
+
+    def load_program(self, name: str, num_instructions: int) -> Allocation:
+        """Check a program image of ``num_instructions`` fits in IRAM."""
+        return self.allocate(name, num_instructions * self.INSTRUCTION_BYTES)
+
+    @property
+    def max_instructions(self) -> int:
+        return self.capacity // self.INSTRUCTION_BYTES
+
+
+def plan_wram_buffers(
+    wram: Wram,
+    num_tasklets: int,
+    streams: List[str],
+    reserved: int = 2048,
+) -> Dict[str, int]:
+    """Divide per-tasklet WRAM evenly across the named streaming buffers.
+
+    Returns buffer-name -> bytes-per-tasklet.  Raises
+    :class:`WramOverflowError` if even minimal (one-DMA-granule) buffers
+    do not fit.
+    """
+    if not streams:
+        raise UpmemError("need at least one stream buffer")
+    per_tasklet = wram.split_among_tasklets(num_tasklets, reserved=reserved)
+    per_stream = (per_tasklet // len(streams) // 8) * 8
+    if per_stream < 8:
+        raise WramOverflowError(
+            f"{len(streams)} streams x {num_tasklets} tasklets do not fit "
+            f"in {wram.free_bytes} bytes of WRAM"
+        )
+    return {name: per_stream for name in streams}

@@ -1,0 +1,148 @@
+"""Microbenchmarks of the simulated DPU (PrIM-style characterization).
+
+The PrIM study the paper builds on characterizes UPMEM with
+microbenchmarks — arithmetic throughput per data type, WRAM/MRAM
+bandwidth, DMA latency curves, host transfer rates.  This module runs
+the equivalent measurements against the simulated machine, so users can
+see (and tests can pin) the hardware behaviours the kernels' costs rest
+on:
+
+* integer adds are cheap, 32-bit multiplies expanded, floats emulated,
+* per-tasklet throughput is gap-limited; ~11 tasklets saturate the
+  pipeline,
+* DMA cost is latency-dominated for small transfers, bandwidth-dominated
+  for large ones,
+* host transfer bandwidth scales with active ranks up to the channel
+  peaks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from .config import DpuConfig, SystemConfig
+from .isa import Instruction, InstrClass
+from .pipeline import RevolverPipeline
+from .transfer import TransferModel
+
+
+@dataclass
+class ThroughputPoint:
+    """One measured operations-per-cycle data point."""
+
+    label: str
+    operations: int
+    cycles: int
+
+    @property
+    def ops_per_cycle(self) -> float:
+        if self.cycles == 0:
+            return 0.0
+        return self.operations / self.cycles
+
+
+def arithmetic_throughput(
+    config: Optional[DpuConfig] = None,
+    num_tasklets: int = 16,
+    ops_per_tasklet: int = 200,
+) -> Dict[str, ThroughputPoint]:
+    """Operations/cycle for each arithmetic class (PrIM's Fig.-3 analog)."""
+    cfg = config or DpuConfig()
+    pipeline = RevolverPipeline(cfg)
+    results: Dict[str, ThroughputPoint] = {}
+    classes = {
+        "int32_add": InstrClass.ARITH,
+        "int32_mul": InstrClass.MUL32,
+        "float_add": InstrClass.FADD,
+        "float_mul": InstrClass.FMUL,
+    }
+    for label, klass in classes.items():
+        # expand multi-slot classes the way synthesize_stream does
+        from .isa import EXPANSION
+
+        slots = EXPANSION[klass]
+        stream = [Instruction(klass)] + [
+            Instruction(klass) for _ in range(slots - 1)
+        ]
+        streams = [
+            stream * ops_per_tasklet for _ in range(num_tasklets)
+        ]
+        # each logical operation = `slots` micro-ops; count logical ops
+        stats = pipeline.run(streams)
+        results[label] = ThroughputPoint(
+            label=label,
+            operations=ops_per_tasklet * num_tasklets,
+            cycles=stats.cycles,
+        )
+    return results
+
+
+def tasklet_scaling(
+    config: Optional[DpuConfig] = None,
+    ops_per_tasklet: int = 300,
+    tasklet_counts: Sequence[int] = (1, 2, 4, 8, 11, 16, 24),
+) -> Dict[int, float]:
+    """IPC vs. tasklet count: the revolver pipeline saturates at ~11."""
+    cfg = config or DpuConfig()
+    pipeline = RevolverPipeline(cfg)
+    out: Dict[int, float] = {}
+    for count in tasklet_counts:
+        streams = [
+            [Instruction(InstrClass.ARITH)] * ops_per_tasklet
+            for _ in range(count)
+        ]
+        out[count] = pipeline.run(streams).ipc
+    return out
+
+
+def dma_cost_curve(
+    config: Optional[DpuConfig] = None,
+    sizes: Sequence[int] = (8, 64, 256, 1024, 2048, 8192, 65536),
+) -> Dict[int, float]:
+    """Effective MRAM bandwidth (bytes/cycle) vs. transfer size."""
+    cfg = config or DpuConfig()
+    return {
+        size: size / cfg.dma_cycles(size)
+        for size in sizes
+    }
+
+
+def host_transfer_curve(
+    dpu_counts: Sequence[int] = (64, 256, 1024, 2560),
+    bytes_per_dpu: int = 1 << 20,
+) -> Dict[int, float]:
+    """Aggregate host->DPU bandwidth (bytes/s) vs. active DPU count."""
+    out: Dict[int, float] = {}
+    for count in dpu_counts:
+        system = SystemConfig(num_dpus=max(count, 64))
+        model = TransferModel(system)
+        cost = model.scatter([bytes_per_dpu] * count)
+        out[count] = cost.bytes_moved / cost.seconds
+    return out
+
+
+def format_microbench_report(
+    arithmetic: Dict[str, ThroughputPoint],
+    scaling: Dict[int, float],
+    dma: Dict[int, float],
+    host: Dict[int, float],
+) -> str:
+    """Render all four studies as one text report."""
+    lines: List[str] = ["DPU microbenchmarks (simulated machine)", ""]
+    lines.append("arithmetic throughput (logical ops / cycle, 16 tasklets):")
+    for label, point in arithmetic.items():
+        lines.append(f"  {label:>10}: {point.ops_per_cycle:.4f}")
+    lines.append("")
+    lines.append("pipeline IPC vs tasklets (saturates near the 11-cycle gap):")
+    for count, ipc in scaling.items():
+        lines.append(f"  {count:>3} tasklets: IPC {ipc:.3f}")
+    lines.append("")
+    lines.append("MRAM DMA efficiency (bytes/cycle) vs transfer size:")
+    for size, bandwidth in dma.items():
+        lines.append(f"  {size:>6} B: {bandwidth:.3f}")
+    lines.append("")
+    lines.append("host->DPU aggregate bandwidth vs active DPUs:")
+    for count, bandwidth in host.items():
+        lines.append(f"  {count:>5} DPUs: {bandwidth / 1e9:.2f} GB/s")
+    return "\n".join(lines)

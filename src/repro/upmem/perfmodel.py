@@ -1,0 +1,201 @@
+"""Analytic DPU performance model.
+
+The cycle-level pipeline simulator (:mod:`repro.upmem.pipeline`) is exact
+but too slow to run for 2,048 DPUs x 24 tasklets x millions of elements.
+This module provides a closed-form estimate built from the same three
+structural constraints:
+
+1. **Issue bound** — the pipeline dispatches at most one instruction per
+   cycle, so a DPU needs at least ``sum_t slots_t`` cycles (plus RF-hazard
+   penalty cycles).
+2. **Thread bound** — the revolver constraint spaces one tasklet's
+   instructions ``gap`` cycles apart, and blocking DMA adds its transfer
+   time to that tasklet's critical path: ``max_t (slots_t * gap + dma_t)``.
+3. **Mutex bound** — lock-protected output updates serialize; with ``M``
+   acquires spread over ``num_mutexes`` hashed locks, the hottest lock
+   serializes ``~M / num_mutexes`` critical sections.
+
+Kernel cycles are the maximum of the three bounds; idle cycles are then
+attributed to memory (exposed DMA) vs. revolver (gap + lock waits) in
+proportion to their contributions, mirroring the paper's Fig.-9 taxonomy.
+The agreement between this model and the cycle simulator is checked by
+``tests/test_upmem_perfmodel.py`` and the ablation bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .config import DpuConfig
+from .isa import InstructionProfile, InstrClass
+
+#: Hash-distributed locks protecting shared output-vector entries.  Real
+#: UPMEM programs use a small mutex table in WRAM; 32 is the SparseP choice.
+DEFAULT_NUM_MUTEXES = 32
+
+#: Effective serialized length of one lock/update/unlock critical section,
+#: in cycles: the owner issues lock, update, unlock spaced by the revolver
+#: gap, so roughly two gaps plus the update slots.
+def _critical_section_cycles(gap: int) -> float:
+    return 2.0 * gap + 2.0
+
+
+@dataclass
+class CycleEstimate:
+    """Estimated cycle counts for one DPU (arrays broadcast over DPUs)."""
+
+    cycles: np.ndarray
+    issue_cycles: np.ndarray
+    idle_memory: np.ndarray
+    idle_revolver: np.ndarray
+    idle_rf: np.ndarray
+    avg_active_threads: np.ndarray
+
+    @property
+    def max_cycles(self) -> float:
+        """Kernel completion = slowest DPU (they run in lockstep launches)."""
+        return float(np.max(self.cycles)) if np.size(self.cycles) else 0.0
+
+    def breakdown_fractions(self) -> dict:
+        """System-wide Fig.-9 breakdown, aggregated over all DPUs."""
+        total = float(np.sum(self.cycles))
+        if total == 0:
+            return {"issue": 0.0, "memory": 0.0, "revolver": 0.0, "rf": 0.0}
+        return {
+            "issue": float(np.sum(self.issue_cycles)) / total,
+            "memory": float(np.sum(self.idle_memory)) / total,
+            "revolver": float(np.sum(self.idle_revolver)) / total,
+            "rf": float(np.sum(self.idle_rf)) / total,
+        }
+
+
+def estimate_cycles(
+    slots_total,
+    slots_max_tasklet,
+    dma_cycles_total,
+    dma_cycles_max_tasklet,
+    mutex_acquires,
+    instructions_total,
+    active_tasklets,
+    config: Optional[DpuConfig] = None,
+    rf_pair_fraction: float = 0.08,
+    num_mutexes: int = DEFAULT_NUM_MUTEXES,
+) -> CycleEstimate:
+    """Estimate per-DPU kernel cycles from aggregate work descriptors.
+
+    All work arguments broadcast as NumPy arrays with one entry per DPU:
+
+    * ``slots_total`` — dispatch slots across all tasklets of the DPU,
+    * ``slots_max_tasklet`` — slots of the busiest tasklet,
+    * ``dma_cycles_total`` / ``dma_cycles_max_tasklet`` — blocking-DMA
+      cycles, total and for the busiest tasklet,
+    * ``mutex_acquires`` — lock acquisitions across the DPU,
+    * ``instructions_total`` — pre-expansion instruction count (for the
+      RF-hazard penalty),
+    * ``active_tasklets`` — tasklets that received any work.
+    """
+    cfg = config or DpuConfig()
+    gap = cfg.dispatch_gap_cycles
+
+    slots_total = np.asarray(slots_total, dtype=np.float64)
+    slots_max = np.asarray(slots_max_tasklet, dtype=np.float64)
+    dma_total = np.asarray(dma_cycles_total, dtype=np.float64)
+    dma_max = np.asarray(dma_cycles_max_tasklet, dtype=np.float64)
+    acquires = np.asarray(mutex_acquires, dtype=np.float64)
+    instrs = np.asarray(instructions_total, dtype=np.float64)
+    tasklets = np.maximum(np.asarray(active_tasklets, dtype=np.float64), 1.0)
+
+    rf_extra = instrs * rf_pair_fraction if cfg.rf_structural_hazards else 0.0
+
+    issue_bound = slots_total + rf_extra
+    # derate the dispatch path to the sustained rate; the shortfall shows
+    # up as additional revolver-pipeline idle (dependency/fetch stalls).
+    # Thread/DMA/mutex bounds already model their own stall time, so only
+    # the issue bound is derated (no double counting).
+    ipc = getattr(cfg, "sustained_ipc", 1.0)
+    if 0.0 < ipc < 1.0:
+        issue_bound = issue_bound / ipc
+    dma_exposure = dma_max if cfg.blocking_dma else 0.0
+    thread_bound = slots_max * gap + dma_exposure
+    mutex_bound = np.where(
+        acquires > 0,
+        np.ceil(acquires / num_mutexes) * _critical_section_cycles(gap),
+        0.0,
+    )
+
+    cycles = np.maximum(np.maximum(issue_bound, thread_bound), mutex_bound)
+    cycles = np.maximum(cycles, 1.0)
+
+    issue_cycles = np.minimum(slots_total, cycles)
+    idle_rf = np.minimum(rf_extra, cycles - issue_cycles)
+    idle = np.maximum(cycles - issue_cycles - idle_rf, 0.0)
+
+    # attribute idle cycles: exposed DMA -> memory; gap + lock waits -> revolver
+    gap_wait = slots_total * (gap - 1.0) / tasklets
+    lock_wait = mutex_bound
+    mem_weight = dma_total / tasklets if cfg.blocking_dma else np.zeros_like(idle)
+    rev_weight = gap_wait + lock_wait
+    denom = mem_weight + rev_weight
+    mem_frac = np.where(denom > 0, mem_weight / np.maximum(denom, 1e-12), 0.0)
+    idle_memory = idle * mem_frac
+    idle_revolver = idle - idle_memory
+
+    # a tasklet is "active" while it holds work and is not DMA-blocked:
+    # occupancy (tasklets that received elements) discounted by the
+    # memory-idle share of the DPU's cycles
+    mem_idle_share = np.where(cycles > 0, idle_memory / cycles, 0.0)
+    avg_active = tasklets * (1.0 - mem_idle_share)
+
+    return CycleEstimate(
+        cycles=cycles,
+        issue_cycles=issue_cycles,
+        idle_memory=idle_memory,
+        idle_revolver=idle_revolver,
+        idle_rf=idle_rf,
+        avg_active_threads=avg_active,
+    )
+
+
+def estimate_from_profiles(
+    profiles: Sequence[InstructionProfile],
+    config: Optional[DpuConfig] = None,
+    num_mutexes: int = DEFAULT_NUM_MUTEXES,
+) -> CycleEstimate:
+    """Estimate one DPU's cycles from explicit per-tasklet profiles.
+
+    This is the exact-input path used to calibrate the analytic model
+    against the cycle simulator on identical workloads.
+    """
+    cfg = config or DpuConfig()
+    if not profiles:
+        raise ValueError("need at least one tasklet profile")
+    slots = np.array([p.dispatch_slots for p in profiles], dtype=np.float64)
+    dma = np.array(
+        [_profile_dma_cycles(p, cfg) for p in profiles], dtype=np.float64
+    )
+    instrs = np.array([p.total_instructions for p in profiles], dtype=np.float64)
+    acquires = float(sum(p.mutex_acquires for p in profiles))
+    rf_frac = profiles[0].rf_pair_fraction
+    return estimate_cycles(
+        slots_total=slots.sum(),
+        slots_max_tasklet=slots.max(),
+        dma_cycles_total=dma.sum(),
+        dma_cycles_max_tasklet=dma.max(),
+        mutex_acquires=acquires,
+        instructions_total=instrs.sum(),
+        active_tasklets=int((slots > 0).sum()),
+        config=cfg,
+        rf_pair_fraction=rf_frac,
+        num_mutexes=num_mutexes,
+    )
+
+
+def _profile_dma_cycles(profile: InstructionProfile, cfg: DpuConfig) -> float:
+    transfers = profile.count(InstrClass.DMA)
+    if transfers == 0:
+        return 0.0
+    per_transfer = profile.dma_bytes / transfers
+    return transfers * cfg.dma_cycles(int(round(per_transfer)))

@@ -1,0 +1,352 @@
+"""Cycle-level simulator of the DPU's revolver pipeline.
+
+This is the reproduction's stand-in for PIMulator (paper §5.2, §6.4): it
+schedules concrete per-tasklet instruction streams through a model of the
+UPMEM pipeline and reports the same counters the paper's Figs. 9-11 use —
+
+* cycles where the scheduler issued an instruction vs. idle cycles,
+* idle cycles categorized as **memory** (tasklets blocked on DMA),
+  **revolver** (the 11-cycle same-tasklet dispatch gap, including mutex
+  serialization, which the paper attributes to elevated revolver stalls),
+  or **register-file structural hazard** (even/odd bank conflicts),
+* average active tasklets per cycle.
+
+The simulator is event-driven (it jumps over cycles where nothing can
+dispatch) so full kernels at reduced scale run in well under a second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import UpmemError
+from .config import DpuConfig
+from .isa import EXPANSION, Instruction, InstructionProfile, InstrClass
+
+#: Sentinel mutex action values on SYNC instructions.
+MUTEX_NONE = -1
+MUTEX_UNLOCK = -2
+
+
+@dataclass
+class PipelineStats:
+    """Counters produced by one pipeline simulation."""
+
+    cycles: int = 0
+    issue_cycles: int = 0
+    idle_memory: int = 0
+    idle_revolver: int = 0
+    idle_rf: int = 0
+    instructions_issued: int = 0
+    active_thread_cycles: float = 0.0
+    class_issued: Dict[InstrClass, int] = field(default_factory=dict)
+
+    @property
+    def idle_cycles(self) -> int:
+        return self.idle_memory + self.idle_revolver + self.idle_rf
+
+    @property
+    def issue_fraction(self) -> float:
+        """Fraction of cycles the scheduler dispatched (Fig. 9 green bar)."""
+        if self.cycles == 0:
+            return 0.0
+        return self.issue_cycles / self.cycles
+
+    @property
+    def avg_active_threads(self) -> float:
+        """Average runnable tasklets per cycle (Fig. 10)."""
+        if self.cycles == 0:
+            return 0.0
+        return self.active_thread_cycles / self.cycles
+
+    @property
+    def ipc(self) -> float:
+        if self.cycles == 0:
+            return 0.0
+        return self.instructions_issued / self.cycles
+
+    def breakdown_fractions(self) -> Dict[str, float]:
+        """Fig.-9 style cycle breakdown normalized to total cycles."""
+        if self.cycles == 0:
+            return {"issue": 0.0, "memory": 0.0, "revolver": 0.0, "rf": 0.0}
+        return {
+            "issue": self.issue_cycles / self.cycles,
+            "memory": self.idle_memory / self.cycles,
+            "revolver": self.idle_revolver / self.cycles,
+            "rf": self.idle_rf / self.cycles,
+        }
+
+
+class _TaskletState:
+    __slots__ = ("stream", "pc", "ready_at", "blocked_until", "waiting_mutex")
+
+    def __init__(self, stream: Sequence[Instruction]) -> None:
+        self.stream = stream
+        self.pc = 0
+        self.ready_at = 0
+        self.blocked_until = 0
+        self.waiting_mutex: Optional[int] = None
+
+    @property
+    def done(self) -> bool:
+        return self.pc >= len(self.stream)
+
+
+class RevolverPipeline:
+    """Executable model of the DPU pipeline scheduler."""
+
+    def __init__(self, config: Optional[DpuConfig] = None) -> None:
+        self.config = config or DpuConfig()
+
+    def run(
+        self,
+        streams: Sequence[Sequence[Instruction]],
+        on_dispatch=None,
+    ) -> PipelineStats:
+        """Schedule the given per-tasklet instruction streams to completion.
+
+        ``streams[i]`` is tasklet ``i``'s program.  Streams must already be
+        expanded to unit-slot micro-instructions (see
+        :func:`synthesize_stream`).  ``on_dispatch(cycle, tasklet_index,
+        instruction)`` is invoked for every dispatch when provided (used
+        by :class:`repro.upmem.trace.TracingPipeline`).
+        """
+        cfg = self.config
+        if len(streams) == 0:
+            raise UpmemError("need at least one tasklet stream")
+        if len(streams) > cfg.num_tasklets:
+            raise UpmemError(
+                f"{len(streams)} streams exceed {cfg.num_tasklets} tasklets"
+            )
+        tasklets = [_TaskletState(s) for s in streams]
+        mutex_owner: Dict[int, int] = {}
+        stats = PipelineStats()
+        cycle = 0
+        rr_next = 0  # round-robin scan start
+        num = len(tasklets)
+        gap = cfg.dispatch_gap_cycles
+
+        while True:
+            remaining = [t for t in tasklets if not t.done]
+            if not remaining:
+                break
+
+            # -- find a dispatchable tasklet (round-robin fairness) --------
+            chosen = None
+            for off in range(num):
+                t = tasklets[(rr_next + off) % num]
+                if t.done or t.blocked_until > cycle or t.ready_at > cycle:
+                    continue
+                instr = t.stream[t.pc]
+                if (
+                    instr.klass is InstrClass.SYNC
+                    and instr.mutex_id >= 0
+                    and mutex_owner.get(instr.mutex_id) is not None
+                    and mutex_owner.get(instr.mutex_id) != id(t)
+                ):
+                    t.waiting_mutex = instr.mutex_id
+                    continue
+                chosen = t
+                rr_next = (rr_next + off + 1) % num
+                break
+
+            active = self._count_active(remaining, cycle)
+
+            if chosen is None:
+                # nothing can dispatch: jump to the next event and classify
+                next_cycle = self._next_event(remaining, cycle, mutex_owner)
+                span = next_cycle - cycle
+                stats.active_thread_cycles += active * span
+                self._classify_idle(remaining, cycle, span, stats)
+                stats.cycles += span
+                cycle = next_cycle
+                continue
+
+            instr = chosen.stream[chosen.pc]
+            if on_dispatch is not None:
+                on_dispatch(cycle, tasklets.index(chosen), instr)
+            cost = 1
+            if instr.rf_pair and cfg.rf_structural_hazards:
+                # even/odd register bank conflict: dispatch takes 2 cycles
+                stats.idle_rf += 1
+                cost = 2
+            stats.issue_cycles += 1
+            stats.instructions_issued += 1
+            stats.class_issued[instr.klass] = (
+                stats.class_issued.get(instr.klass, 0) + 1
+            )
+            stats.active_thread_cycles += active * cost
+            stats.cycles += cost
+
+            chosen.pc += 1
+            chosen.ready_at = cycle + gap
+            chosen.waiting_mutex = None
+
+            if instr.klass is InstrClass.DMA:
+                dma_cycles = int(round(cfg.dma_cycles(instr.dma_bytes)))
+                if cfg.blocking_dma:
+                    chosen.blocked_until = cycle + max(dma_cycles, 1)
+            elif instr.klass is InstrClass.SYNC:
+                if instr.mutex_id >= 0:
+                    mutex_owner[instr.mutex_id] = id(chosen)
+                elif instr.mutex_id == MUTEX_UNLOCK:
+                    for key, owner in list(mutex_owner.items()):
+                        if owner == id(chosen):
+                            del mutex_owner[key]
+                            break
+            cycle += cost
+
+        return stats
+
+    @staticmethod
+    def _count_active(remaining: List[_TaskletState], cycle: int) -> int:
+        """Tasklets engaged in execution: not DMA-blocked, not mutex-parked."""
+        return sum(
+            1
+            for t in remaining
+            if t.blocked_until <= cycle and t.waiting_mutex is None
+        )
+
+    @staticmethod
+    def _next_event(
+        remaining: List[_TaskletState], cycle: int, mutex_owner: Dict[int, int]
+    ) -> int:
+        candidates = []
+        for t in remaining:
+            if t.waiting_mutex is not None and mutex_owner.get(t.waiting_mutex):
+                # will be re-examined next cycle; owner may release then
+                candidates.append(cycle + 1)
+                continue
+            candidates.append(max(t.ready_at, t.blocked_until, cycle + 1))
+        return max(cycle + 1, min(candidates))
+
+    @staticmethod
+    def _classify_idle(
+        remaining: List[_TaskletState], cycle: int, span: int,
+        stats: PipelineStats,
+    ) -> None:
+        if any(t.blocked_until > cycle for t in remaining):
+            stats.idle_memory += span
+        else:
+            # dispatch-gap waits and mutex serialization both surface as
+            # revolver-pipeline stalls (paper §6.4.1, observation 4)
+            stats.idle_revolver += span
+
+
+def synthesize_stream(
+    profile: InstructionProfile,
+    seed: int = 0,
+    max_instructions: int = 50_000,
+) -> List[Instruction]:
+    """Expand an :class:`InstructionProfile` into a concrete micro-op stream.
+
+    The stream preserves the profile's class mix, DMA transfer sizes and
+    mutex-protected critical sections, laid out in the canonical kernel
+    inner-loop order: periodic DMA refills, then per-element loads, semiring
+    ops and (for shared outputs) lock/update/unlock sequences.  Multi-slot
+    classes (MUL32, FADD, FMUL, SYNC) are expanded into that many unit
+    micro-ops so the pipeline model only handles single-slot dispatches.
+    """
+    work = profile
+    if profile.dispatch_slots > max_instructions and profile.dispatch_slots > 0:
+        work = profile.scaled(max_instructions / profile.dispatch_slots)
+
+    rng = np.random.default_rng(seed)
+    dma_count = work.count(InstrClass.DMA)
+    dma_chunk = work.dma_bytes // dma_count if dma_count else 0
+
+    # build the raw op sequence in interleaved order, then expand
+    ops: List[Instruction] = []
+    sync_total = work.count(InstrClass.SYNC)
+    lock_pairs = min(work.mutex_acquires, sync_total // 2)
+    plain_sync = sync_total - 2 * lock_pairs
+
+    sequence: List[Instruction] = []
+    counts = {
+        InstrClass.ARITH: work.count(InstrClass.ARITH),
+        InstrClass.MUL32: work.count(InstrClass.MUL32),
+        InstrClass.FADD: work.count(InstrClass.FADD),
+        InstrClass.FMUL: work.count(InstrClass.FMUL),
+        InstrClass.LOADSTORE: work.count(InstrClass.LOADSTORE),
+        InstrClass.CONTROL: work.count(InstrClass.CONTROL),
+    }
+    body_total = sum(counts.values())
+    events = body_total + dma_count + lock_pairs + plain_sync
+    if events == 0:
+        return []
+
+    # interleave DMA / lock events uniformly through the body
+    dma_positions = set(
+        np.linspace(0, events - 1, num=dma_count, dtype=int).tolist()
+    ) if dma_count else set()
+    lock_positions = set(
+        np.minimum(
+            np.linspace(0, events - 1, num=lock_pairs, dtype=int) + 1,
+            events - 1,
+        ).tolist()
+    ) if lock_pairs else set()
+
+    # round-robin emit body classes proportionally
+    body_order = [k for k, c in counts.items() if c > 0]
+    emitted = {k: 0 for k in body_order}
+    pos = 0
+    mutex_id = int(rng.integers(0, 4)) if lock_pairs else 0
+    rf_period = (
+        int(round(1.0 / work.rf_pair_fraction)) if work.rf_pair_fraction > 0 else 0
+    )
+    body_emitted = 0
+
+    while pos < events:
+        emitted_special = False
+        if pos in dma_positions:
+            sequence.append(Instruction(InstrClass.DMA, dma_bytes=dma_chunk))
+            emitted_special = True
+        if pos in lock_positions:
+            sequence.append(Instruction(InstrClass.SYNC, mutex_id=mutex_id))
+            sequence.append(Instruction(InstrClass.SYNC, mutex_id=MUTEX_UNLOCK))
+            emitted_special = True
+        if not emitted_special:
+            klass = _next_body_class(body_order, emitted, counts)
+            if klass is None:
+                if plain_sync > 0:
+                    sequence.append(Instruction(InstrClass.SYNC))
+                    plain_sync -= 1
+                pos += 1
+                continue
+            body_emitted += 1
+            rf_pair = rf_period > 0 and body_emitted % rf_period == 0
+            sequence.append(Instruction(klass, rf_pair=rf_pair))
+            emitted[klass] += 1
+        pos += 1
+
+    # expand multi-slot classes into unit micro-ops
+    for instr in sequence:
+        slots = EXPANSION[instr.klass]
+        if slots == 1 or instr.klass is InstrClass.DMA:
+            ops.append(instr)
+        elif instr.klass is InstrClass.SYNC:
+            # SYNC expansion handled here: one extra control micro-op
+            ops.append(instr)
+            ops.append(Instruction(InstrClass.CONTROL))
+        else:
+            ops.append(instr)
+            ops.extend(Instruction(instr.klass) for _ in range(slots - 1))
+    return ops
+
+
+def _next_body_class(order, emitted, counts):
+    """Pick the most under-emitted body class (keeps the mix proportional)."""
+    best = None
+    best_deficit = 0.0
+    for klass in order:
+        total = counts[klass]
+        if emitted[klass] >= total:
+            continue
+        deficit = (total - emitted[klass]) / total
+        if deficit > best_deficit:
+            best_deficit = deficit
+            best = klass
+    return best

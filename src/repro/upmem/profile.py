@@ -1,0 +1,133 @@
+"""Kernel-level profiling aggregation (the Figs. 9-11 data source).
+
+Every simulated kernel emits a :class:`KernelProfile` combining the
+system-wide instruction mix, the cycle breakdown from the analytic model,
+and enough metadata to re-run a representative slice through the
+cycle-level pipeline simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from .config import DpuConfig
+from .isa import InstructionProfile, InstrClass
+from .perfmodel import CycleEstimate
+from .pipeline import PipelineStats, RevolverPipeline, synthesize_stream
+
+
+@dataclass
+class KernelProfile:
+    """Aggregated microarchitectural profile of one kernel launch."""
+
+    kernel_name: str
+    #: System-wide instruction profile (all DPUs, all tasklets merged).
+    instructions: InstructionProfile = field(default_factory=InstructionProfile)
+    #: Per-DPU analytic cycle estimate.
+    estimate: Optional[CycleEstimate] = None
+    num_dpus: int = 0
+    active_tasklets_per_dpu: float = 0.0
+
+    # -- Fig. 11 -------------------------------------------------------------
+
+    def instruction_mix(self) -> Dict[str, float]:
+        """Instruction-class fractions, with the paper's display buckets.
+
+        Buckets: arithmetic (ALU + emulated mul/fp), scratchpad load/store,
+        DMA, synchronization, control.
+        """
+        raw = self.instructions.mix_fractions()
+        return {
+            "arith": raw["arith"] + raw["mul32"] + raw["fadd"] + raw["fmul"],
+            "loadstore": raw["loadstore"],
+            "dma": raw["dma"],
+            "sync": raw["sync"],
+            "control": raw["control"],
+        }
+
+    # -- Fig. 9 ---------------------------------------------------------------
+
+    def cycle_breakdown(self) -> Dict[str, float]:
+        """Issue / memory / revolver / RF cycle fractions."""
+        if self.estimate is None:
+            return {"issue": 0.0, "memory": 0.0, "revolver": 0.0, "rf": 0.0}
+        return self.estimate.breakdown_fractions()
+
+    # -- Fig. 10 ----------------------------------------------------------------
+
+    @property
+    def avg_active_threads(self) -> float:
+        if self.estimate is None:
+            return 0.0
+        return float(np.mean(self.estimate.avg_active_threads))
+
+    # -- cross-check against the cycle-level simulator ---------------------------
+
+    def simulate_representative_dpu(
+        self,
+        config: Optional[DpuConfig] = None,
+        num_tasklets: Optional[int] = None,
+        max_instructions: int = 30_000,
+        seed: int = 0,
+    ) -> PipelineStats:
+        """Run a scaled copy of the average DPU through the pipeline sim.
+
+        Splits the system-wide profile into per-tasklet streams matching
+        the average DPU's share, then schedules them cycle by cycle.  Used
+        by Fig. 9-11 benches to validate the analytic breakdown.
+        """
+        cfg = config or DpuConfig()
+        tasklets = num_tasklets or max(
+            1, int(round(self.active_tasklets_per_dpu)) or cfg.num_tasklets
+        )
+        tasklets = min(tasklets, cfg.num_tasklets)
+        if self.num_dpus <= 0:
+            raise ValueError("profile has no DPUs")
+        per_tasklet = self.instructions.scaled(
+            1.0 / (self.num_dpus * tasklets)
+        )
+        streams = [
+            synthesize_stream(
+                per_tasklet,
+                seed=seed + t,
+                max_instructions=max_instructions // tasklets,
+            )
+            for t in range(tasklets)
+        ]
+        streams = [s for s in streams if s]
+        if not streams:
+            streams = [[ ]]
+        return RevolverPipeline(cfg).run(streams)
+
+
+def merge_profiles(name: str, profiles) -> KernelProfile:
+    """Combine several kernel profiles (e.g. across iterations)."""
+    merged = KernelProfile(kernel_name=name)
+    total_dpus = 0
+    weighted_tasklets = 0.0
+    for profile in profiles:
+        merged.instructions = merged.instructions.merged(profile.instructions)
+        total_dpus = max(total_dpus, profile.num_dpus)
+        weighted_tasklets += profile.active_tasklets_per_dpu
+    merged.num_dpus = total_dpus
+    count = len(list(profiles)) if not hasattr(profiles, "__len__") else len(profiles)
+    merged.active_tasklets_per_dpu = weighted_tasklets / max(count, 1)
+    return merged
+
+
+def useful_ops(instructions: InstructionProfile) -> float:
+    """Semiring operations counted toward compute utilization.
+
+    One (x) and one (+) per processed non-zero: both the ALU-class and the
+    emulated multiply classes count as one useful operation each (the
+    emulation overhead is the hardware's problem, not the algorithm's).
+    """
+    return float(
+        instructions.count(InstrClass.ARITH)
+        + instructions.count(InstrClass.MUL32)
+        + instructions.count(InstrClass.FADD)
+        + instructions.count(InstrClass.FMUL)
+    )

@@ -1,0 +1,178 @@
+"""Tasklet program builder: kernel-shaped instruction streams.
+
+:func:`repro.upmem.pipeline.synthesize_stream` expands an instruction
+*mix* into a stream; this module goes one level deeper and emits the
+actual inner-loop structure of the paper's kernels, instruction by
+instruction, so the cycle-level simulator can be driven with
+representative programs (loop bodies, DMA refills at buffer granularity,
+per-update lock/unlock pairs) instead of statistical interleavings.
+
+The builder mirrors how UPMEM C kernels compile: explicit DMA refills of
+WRAM buffers, WRAM loads for every operand, address arithmetic on the
+32-bit core, and mutex-guarded read-modify-writes on shared outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import UpmemError
+from ..types import DataType
+from .isa import Instruction, InstrClass, add_class, multiply_class
+from .pipeline import MUTEX_UNLOCK
+
+
+@dataclass
+class TaskletProgram:
+    """An instruction stream under construction for one tasklet."""
+
+    instructions: List[Instruction] = field(default_factory=list)
+    #: every Nth ALU instruction reads two same-bank registers
+    rf_pair_period: int = 12
+    _alu_count: int = 0
+
+    def emit(self, klass: InstrClass, **kwargs) -> None:
+        rf_pair = False
+        if klass in (InstrClass.ARITH, InstrClass.LOADSTORE):
+            self._alu_count += 1
+            rf_pair = (
+                self.rf_pair_period > 0
+                and self._alu_count % self.rf_pair_period == 0
+            )
+        self.instructions.append(Instruction(klass, rf_pair=rf_pair, **kwargs))
+
+    def dma_read(self, nbytes: int) -> None:
+        """A blocking MRAM->WRAM refill."""
+        self.emit(InstrClass.CONTROL)  # address setup
+        self.instructions.append(Instruction(InstrClass.DMA, dma_bytes=nbytes))
+
+    def lock(self, mutex_id: int) -> None:
+        self.instructions.append(
+            Instruction(InstrClass.SYNC, mutex_id=mutex_id)
+        )
+
+    def unlock(self) -> None:
+        self.instructions.append(
+            Instruction(InstrClass.SYNC, mutex_id=MUTEX_UNLOCK)
+        )
+
+    def barrier(self) -> None:
+        self.instructions.append(Instruction(InstrClass.SYNC))
+
+    def semiring_multiply(self, dtype: DataType) -> None:
+        self.emit(multiply_class(dtype))
+
+    def semiring_add(self, dtype: DataType) -> None:
+        self.emit(add_class(dtype))
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+
+def csc_spmspv_program(
+    column_lengths: Sequence[int],
+    dtype: DataType = DataType.INT32,
+    num_mutexes: int = 32,
+    rng: Optional[np.random.Generator] = None,
+    buffer_bytes: int = 256,
+) -> List[Instruction]:
+    """The CSC SpMSpV inner loop for one tasklet (paper §4.1.3).
+
+    ``column_lengths`` is this tasklet's share of active columns (entries
+    per column).  For each active column: fetch the column-pointer pair,
+    DMA the column's (row, value) entries into WRAM, then per entry
+    multiply by x[j] and lock/accumulate/unlock the shared output row.
+    """
+    if any(length < 0 for length in column_lengths):
+        raise UpmemError("column lengths must be non-negative")
+    rng = rng or np.random.default_rng(0)
+    entry_bytes = 4 + dtype.nbytes
+    program = TaskletProgram()
+    program.barrier()  # kernel entry
+
+    for length in column_lengths:
+        # col_ptr[j], col_ptr[j+1] fetch (8 bytes from MRAM)
+        program.dma_read(8)
+        program.emit(InstrClass.LOADSTORE)   # read x[j] from WRAM
+        program.emit(InstrClass.CONTROL)     # loop bounds
+        remaining = length
+        while remaining > 0:
+            chunk = min(remaining, max(buffer_bytes // entry_bytes, 1))
+            program.dma_read(chunk * entry_bytes)
+            for _ in range(chunk):
+                program.emit(InstrClass.LOADSTORE)  # row index
+                program.emit(InstrClass.LOADSTORE)  # matrix value
+                program.semiring_multiply(dtype)
+                mutex_id = int(rng.integers(0, num_mutexes))
+                program.lock(mutex_id)
+                program.emit(InstrClass.LOADSTORE)  # y[row] read
+                program.semiring_add(dtype)
+                program.emit(InstrClass.LOADSTORE)  # y[row] write
+                program.unlock()
+                program.emit(InstrClass.CONTROL)    # loop bookkeeping
+            remaining -= chunk
+
+    program.barrier()  # kernel exit
+    return program.instructions
+
+
+def coo_spmv_program(
+    num_elements: int,
+    dtype: DataType = DataType.INT32,
+    x_miss_rate: float = 1.0,
+    rng: Optional[np.random.Generator] = None,
+    buffer_bytes: int = 2048,
+) -> List[Instruction]:
+    """The COO SpMV inner loop for one tasklet.
+
+    Streams ``num_elements`` (row, col, value) triples through a WRAM
+    buffer; each element gathers ``x[col]`` (an 8-byte DMA on a miss of
+    the WRAM-resident window) and updates a private output buffer.
+    """
+    if num_elements < 0:
+        raise UpmemError("num_elements must be non-negative")
+    if not 0.0 <= x_miss_rate <= 1.0:
+        raise UpmemError("x_miss_rate must be within [0, 1]")
+    rng = rng or np.random.default_rng(0)
+    element_bytes = 8 + dtype.nbytes
+    per_buffer = max(buffer_bytes // element_bytes, 1)
+    program = TaskletProgram()
+    program.barrier()
+
+    remaining = num_elements
+    while remaining > 0:
+        chunk = min(remaining, per_buffer)
+        program.dma_read(chunk * element_bytes)
+        for _ in range(chunk):
+            program.emit(InstrClass.LOADSTORE)  # row, col
+            program.emit(InstrClass.LOADSTORE)  # value
+            if rng.random() < x_miss_rate:
+                program.dma_read(8)             # gather x[col] from MRAM
+            program.emit(InstrClass.LOADSTORE)  # x[col] from WRAM
+            program.semiring_multiply(dtype)
+            program.semiring_add(dtype)
+            program.emit(InstrClass.LOADSTORE)  # buffered y update
+            program.emit(InstrClass.CONTROL)
+        remaining -= chunk
+
+    program.barrier()
+    return program.instructions
+
+
+def split_columns_among_tasklets(
+    column_lengths: Sequence[int], num_tasklets: int
+) -> List[List[int]]:
+    """Round-robin active columns across tasklets (§4.1.2 balancing)."""
+    if num_tasklets <= 0:
+        raise UpmemError("num_tasklets must be positive")
+    shares: List[List[int]] = [[] for _ in range(num_tasklets)]
+    order = np.argsort(column_lengths)[::-1]  # longest-first for balance
+    totals = np.zeros(num_tasklets, dtype=np.int64)
+    for index in order:
+        target = int(np.argmin(totals))
+        shares[target].append(int(column_lengths[index]))
+        totals[target] += column_lengths[index]
+    return shares

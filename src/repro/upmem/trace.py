@@ -1,0 +1,121 @@
+"""Execution tracing for the cycle-level pipeline simulator.
+
+Wraps :class:`repro.upmem.pipeline.RevolverPipeline` runs with an event
+recorder so individual dispatches can be inspected and rendered as an
+ASCII per-tasklet timeline — the "waterfall" view hardware people expect
+from a pipeline model, useful for debugging kernel programs built with
+:mod:`repro.upmem.tasklet`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..errors import UpmemError
+from .config import DpuConfig
+from .isa import Instruction, InstrClass
+from .pipeline import PipelineStats, RevolverPipeline
+
+#: Glyph per instruction class for the timeline rendering.
+TIMELINE_GLYPHS = {
+    InstrClass.ARITH: "a",
+    InstrClass.MUL32: "m",
+    InstrClass.FADD: "f",
+    InstrClass.FMUL: "F",
+    InstrClass.LOADSTORE: "l",
+    InstrClass.DMA: "D",
+    InstrClass.SYNC: "s",
+    InstrClass.CONTROL: "c",
+}
+
+
+@dataclass(frozen=True)
+class DispatchEvent:
+    """One instruction dispatch observed during a traced run."""
+
+    cycle: int
+    tasklet: int
+    klass: InstrClass
+
+
+@dataclass
+class ExecutionTrace:
+    """All dispatches of one traced pipeline run."""
+
+    events: List[DispatchEvent] = field(default_factory=list)
+    total_cycles: int = 0
+    num_tasklets: int = 0
+
+    def events_for(self, tasklet: int) -> List[DispatchEvent]:
+        return [e for e in self.events if e.tasklet == tasklet]
+
+    def utilization(self) -> float:
+        """Dispatched cycles / total cycles."""
+        if self.total_cycles == 0:
+            return 0.0
+        return len(self.events) / self.total_cycles
+
+    def timeline(self, width: int = 80) -> str:
+        """ASCII waterfall: one row per tasklet, one column per bucket.
+
+        A cell shows the glyph of the first instruction the tasklet
+        dispatched inside that cycle bucket, ``.`` if it dispatched
+        nothing there.
+        """
+        if width <= 0:
+            raise UpmemError("width must be positive")
+        if self.total_cycles == 0:
+            return "(empty trace)"
+        bucket = max(1, -(-self.total_cycles // width))
+        columns = -(-self.total_cycles // bucket)
+        grid = [["."] * columns for _ in range(self.num_tasklets)]
+        for event in self.events:
+            column = min(event.cycle // bucket, columns - 1)
+            if grid[event.tasklet][column] == ".":
+                grid[event.tasklet][column] = TIMELINE_GLYPHS[event.klass]
+        legend = " ".join(
+            f"{glyph}={klass.value}"
+            for klass, glyph in TIMELINE_GLYPHS.items()
+        )
+        header = (
+            f"pipeline timeline: {self.total_cycles} cycles, "
+            f"{bucket} cycles/column\n{legend}"
+        )
+        rows = [
+            f"t{tasklet:02d} |{''.join(cells)}|"
+            for tasklet, cells in enumerate(grid)
+        ]
+        return header + "\n" + "\n".join(rows)
+
+
+class TracingPipeline(RevolverPipeline):
+    """A RevolverPipeline that records every dispatch via the run hook."""
+
+    def __init__(self, config: Optional[DpuConfig] = None) -> None:
+        super().__init__(config)
+        self.trace: Optional[ExecutionTrace] = None
+
+    def run_traced(
+        self, streams: Sequence[Sequence[Instruction]]
+    ) -> ExecutionTrace:
+        """Run the streams, recording dispatches; returns the trace.
+
+        The resulting :class:`PipelineStats` remain available as
+        ``self.last_stats``.
+        """
+        events: List[DispatchEvent] = []
+
+        def record(cycle: int, tasklet: int, instr: Instruction) -> None:
+            events.append(
+                DispatchEvent(cycle=cycle, tasklet=tasklet, klass=instr.klass)
+            )
+
+        stats: PipelineStats = self.run(streams, on_dispatch=record)
+        self.last_stats = stats
+        self.trace = ExecutionTrace(
+            events=events,
+            total_cycles=stats.cycles,
+            num_tasklets=len(streams),
+        )
+        return self.trace

@@ -1,0 +1,159 @@
+"""Host CPU <-> DPU MRAM transfer cost model.
+
+All inter-DPU communication on UPMEM goes through the host (§2.3.3), so
+iterative graph algorithms pay a Load + Retrieve round-trip every
+iteration.  This module prices those transfers: parallel scatter/gather
+across ranks, broadcasts of shared data (the 1-D partitioning's full input
+vector copy), and serial fallbacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import TransferError
+from .config import SystemConfig, TransferConfig
+
+
+@dataclass(frozen=True)
+class TransferCost:
+    """Time and volume of one host<->DPU transfer operation."""
+
+    seconds: float
+    bytes_moved: int
+    num_dpus: int
+    kind: str
+
+    def __add__(self, other: "TransferCost") -> "TransferCost":
+        return TransferCost(
+            seconds=self.seconds + other.seconds,
+            bytes_moved=self.bytes_moved + other.bytes_moved,
+            num_dpus=max(self.num_dpus, other.num_dpus),
+            kind="combined",
+        )
+
+
+class TransferModel:
+    """Prices host<->MRAM data movement for a given system topology."""
+
+    def __init__(self, system: SystemConfig) -> None:
+        self.system = system
+        self.cfg: TransferConfig = system.transfer
+
+    def _ranks_for(self, num_dpus: int) -> int:
+        if num_dpus <= 0:
+            raise TransferError("transfer needs at least one DPU")
+        if num_dpus > self.system.num_dpus:
+            raise TransferError(
+                f"requested {num_dpus} DPUs but system has {self.system.num_dpus}"
+            )
+        return -(-num_dpus // self.system.dpus_per_rank)
+
+    def scatter(self, per_dpu_bytes: Sequence[int]) -> TransferCost:
+        """Parallel host->DPU push of distinct buffers (xfer per DPU).
+
+        The SDK's parallel transfer moves each rank's DPUs concurrently but
+        a rank's time is set by its largest buffer (the transposition
+        library pads to the max), so cost uses ``max * num_dpus`` volume.
+        """
+        sizes = np.asarray(per_dpu_bytes, dtype=np.int64)
+        if sizes.size == 0:
+            raise TransferError("scatter needs at least one buffer")
+        if np.any(sizes < 0):
+            raise TransferError("buffer sizes must be non-negative")
+        num_dpus = int(sizes.size)
+        ranks = self._ranks_for(num_dpus)
+        granule = max(int(sizes.max()), self.cfg.min_bytes_per_dpu)
+        padded = granule * num_dpus
+        bw = self.cfg.effective_bw(ranks, to_device=True)
+        seconds = self.cfg.launch_latency_s + padded / bw
+        return TransferCost(seconds, int(sizes.sum()), num_dpus, "scatter")
+
+    def gather(self, per_dpu_bytes: Sequence[int]) -> TransferCost:
+        """Parallel DPU->host pull of distinct buffers."""
+        sizes = np.asarray(per_dpu_bytes, dtype=np.int64)
+        if sizes.size == 0:
+            raise TransferError("gather needs at least one buffer")
+        if np.any(sizes < 0):
+            raise TransferError("buffer sizes must be non-negative")
+        num_dpus = int(sizes.size)
+        ranks = self._ranks_for(num_dpus)
+        granule = max(int(sizes.max()), self.cfg.min_bytes_per_dpu)
+        padded = granule * num_dpus
+        bw = self.cfg.effective_bw(ranks, to_device=False)
+        seconds = self.cfg.launch_latency_s + padded / bw
+        return TransferCost(seconds, int(sizes.sum()), num_dpus, "gather")
+
+    def broadcast(self, nbytes: int, num_dpus: int) -> TransferCost:
+        """Copy one buffer to every DPU (1-D partitioning's input vector).
+
+        The same bytes still cross the memory channels once per rank, so
+        broadcast volume scales with the DPU count — this is exactly the
+        Load-phase cost that dominates 1-D SpMV in Fig. 2.
+        """
+        if nbytes < 0:
+            raise TransferError("broadcast size must be non-negative")
+        ranks = self._ranks_for(num_dpus)
+        granule = max(nbytes, self.cfg.min_bytes_per_dpu)
+        copies = max(num_dpus / self.cfg.chip_replication_factor, 1.0)
+        bw = self.cfg.effective_bw(ranks, to_device=True)
+        seconds = self.cfg.launch_latency_s + granule * copies / bw
+        return TransferCost(seconds, nbytes * num_dpus, num_dpus, "broadcast")
+
+    def grid_scatter(self, per_segment_bytes: Sequence[int],
+                     grid_rows: int) -> TransferCost:
+        """Push column segments to a 2-D grid: every DPU in a grid column
+        receives the same segment, so the replication across ``grid_rows``
+        copies rides the chip-level burst discount (like broadcast).
+        """
+        sizes = np.asarray(per_segment_bytes, dtype=np.int64)
+        if sizes.size == 0 or grid_rows <= 0:
+            raise TransferError("grid scatter needs segments and rows")
+        if np.any(sizes < 0):
+            raise TransferError("segment sizes must be non-negative")
+        num_dpus = int(sizes.size) * grid_rows
+        ranks = self._ranks_for(min(num_dpus, self.system.num_dpus))
+        granule = max(int(sizes.max()), self.cfg.min_bytes_per_dpu)
+        copies = max(grid_rows / self.cfg.chip_replication_factor, 1.0)
+        padded = granule * sizes.size * copies
+        bw = self.cfg.effective_bw(ranks, to_device=True)
+        seconds = self.cfg.launch_latency_s + padded / bw
+        return TransferCost(
+            seconds, int(sizes.sum()) * grid_rows, num_dpus, "grid-scatter"
+        )
+
+    def serial(self, nbytes: int, to_device: bool) -> TransferCost:
+        """A single-DPU (serial) transfer."""
+        if nbytes < 0:
+            raise TransferError("transfer size must be non-negative")
+        bw = self.cfg.effective_bw(1, to_device)
+        seconds = self.cfg.launch_latency_s + nbytes / bw
+        return TransferCost(seconds, nbytes, 1, "serial")
+
+
+def merge_time_host(
+    num_partials: int,
+    partial_len: int,
+    num_threads: int = 16,
+    elements_per_second: float = 4.0e8,
+) -> float:
+    """Host-CPU time to merge DPU partial outputs (the Merge phase).
+
+    The paper merges with OpenMP across host cores (§4.1.1); we model it
+    as a bandwidth-limited elementwise reduction: ``num_partials`` vectors
+    of ``partial_len`` elements combined at ``elements_per_second`` per
+    thread, parallelized over ``num_threads``.
+    """
+    if num_partials <= 1 or partial_len == 0:
+        return 0.0
+    total_elements = (num_partials - 1) * partial_len
+    return total_elements / (elements_per_second * num_threads)
+
+
+def convergence_check_time(vector_len: int, elements_per_second: float = 1.0e9) -> float:
+    """Host time for the per-iteration convergence check (§6.3.1 notes this
+    is folded into Merge in the paper's breakdowns)."""
+    return vector_len / elements_per_second

@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite: small graphs and systems."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sparse import COOMatrix
+from repro.upmem import SystemConfig
+
+
+def random_graph(
+    n: int = 120,
+    avg_degree: float = 5.0,
+    seed: int = 0,
+    dtype=np.int32,
+    weights=None,
+) -> COOMatrix:
+    """A random directed graph for correctness tests."""
+    rng = np.random.default_rng(seed)
+    m = int(avg_degree * n)
+    src = rng.integers(0, n, m)
+    dst = rng.integers(0, n, m)
+    keep = src != dst
+    edges = np.stack([src[keep], dst[keep]], axis=1)
+    if weights == "random":
+        w = rng.integers(1, 20, edges.shape[0]).astype(dtype)
+        return COOMatrix.from_edges(edges, n, dtype=dtype, weights=w)
+    return COOMatrix.from_edges(edges, n, dtype=dtype)
+
+
+@pytest.fixture
+def graph() -> COOMatrix:
+    return random_graph()
+
+@pytest.fixture
+def weighted_graph() -> COOMatrix:
+    return random_graph(weights="random")
+
+
+@pytest.fixture
+def float_graph() -> COOMatrix:
+    g = random_graph()
+    rng = np.random.default_rng(1)
+    values = rng.uniform(0.1, 2.0, g.nnz).astype(np.float32)
+    return COOMatrix(g.rows, g.cols, values, g.shape)
+
+
+@pytest.fixture
+def system() -> SystemConfig:
+    return SystemConfig(num_dpus=64)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(42)

@@ -1,0 +1,182 @@
+"""Tests for the adaptive switching subsystem (§4.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adaptive import (
+    TRAINING_SET,
+    AdaptiveSwitchPolicy,
+    CrossoverProbe,
+    DecisionTree,
+    default_tree,
+    probe_crossover,
+)
+from repro.datasets import degree_targeted, road_network
+from repro.errors import ReproError
+from repro.sparse import compute_stats
+from repro.types import GraphClass, GraphFeatures
+from repro.upmem import SystemConfig
+from conftest import random_graph
+
+
+class TestDecisionTree:
+    def test_fits_separable_data(self):
+        features = [GraphFeatures(3, 1), GraphFeatures(4, 2),
+                    GraphFeatures(10, 50), GraphFeatures(20, 80)]
+        labels = [GraphClass.REGULAR, GraphClass.REGULAR,
+                  GraphClass.SCALE_FREE, GraphClass.SCALE_FREE]
+        tree = DecisionTree().fit(features, labels)
+        assert tree.classify(GraphFeatures(3.5, 1.5)) is GraphClass.REGULAR
+        assert tree.classify(GraphFeatures(15, 60)) is GraphClass.SCALE_FREE
+
+    def test_depth_limited(self):
+        rng = np.random.default_rng(0)
+        features = [
+            GraphFeatures(float(a), float(s))
+            for a, s in rng.uniform(1, 100, (64, 2))
+        ]
+        labels = [
+            GraphClass.SCALE_FREE if rng.random() < 0.5 else GraphClass.REGULAR
+            for _ in features
+        ]
+        tree = DecisionTree(max_depth=2).fit(features, labels)
+        assert tree.depth() <= 2
+
+    def test_pure_leaf_short_circuit(self):
+        features = [GraphFeatures(1, 1), GraphFeatures(2, 2)]
+        labels = [GraphClass.REGULAR, GraphClass.REGULAR]
+        tree = DecisionTree().fit(features, labels)
+        assert tree.depth() == 0
+
+    def test_unfitted_raises(self):
+        with pytest.raises(ReproError):
+            DecisionTree().classify(GraphFeatures(1, 1))
+        with pytest.raises(ReproError):
+            DecisionTree().depth()
+
+    def test_rejects_empty_training(self):
+        with pytest.raises(ReproError):
+            DecisionTree().fit([], [])
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ReproError):
+            DecisionTree().fit([GraphFeatures(1, 1)], [])
+
+    def test_rejects_bad_depth(self):
+        with pytest.raises(ReproError):
+            DecisionTree(max_depth=0)
+
+    def test_default_tree_fits_training_set(self):
+        tree = default_tree()
+        hits = sum(
+            1 for f, label in TRAINING_SET if tree.classify(f) is label
+        )
+        assert hits / len(TRAINING_SET) >= 0.9
+
+    def test_switch_density(self):
+        tree = default_tree()
+        road = GraphFeatures(2.78, 1.0)
+        social = GraphFeatures(12.27, 41.07)
+        assert tree.switch_density(road) == pytest.approx(0.20)
+        assert tree.switch_density(social) == pytest.approx(0.50)
+
+
+class TestSwitchPolicy:
+    def test_below_threshold_spmspv(self):
+        policy = AdaptiveSwitchPolicy(0.5)
+        assert policy.choose(0, 0.1) == "spmspv"
+
+    def test_above_threshold_switches(self):
+        policy = AdaptiveSwitchPolicy(0.5)
+        assert policy.choose(0, 0.6) == "spmv"
+
+    def test_sticky(self):
+        policy = AdaptiveSwitchPolicy(0.5, sticky=True)
+        policy.choose(0, 0.6)
+        # density dropped below the threshold, but the switch is one-way
+        assert policy.choose(1, 0.1) == "spmv"
+
+    def test_non_sticky(self):
+        policy = AdaptiveSwitchPolicy(0.5, sticky=False)
+        policy.choose(0, 0.6)
+        assert policy.choose(1, 0.1) == "spmspv"
+
+    def test_reset(self):
+        policy = AdaptiveSwitchPolicy(0.5)
+        policy.choose(0, 0.9)
+        policy.reset()
+        assert policy.choose(0, 0.1) == "spmspv"
+
+    def test_for_matrix_road_network(self):
+        graph = road_network(5000, rng=np.random.default_rng(1))
+        policy = AdaptiveSwitchPolicy.for_matrix(graph)
+        assert policy.graph_class is GraphClass.REGULAR
+        assert policy.threshold == pytest.approx(0.20)
+
+    def test_for_matrix_scale_free(self):
+        graph = degree_targeted(3000, 12.0, 41.0,
+                                rng=np.random.default_rng(2))
+        policy = AdaptiveSwitchPolicy.for_matrix(graph)
+        assert policy.graph_class is GraphClass.SCALE_FREE
+        assert policy.threshold == pytest.approx(0.50)
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            AdaptiveSwitchPolicy(1.5)
+
+    def test_describe(self):
+        assert "adaptive" in AdaptiveSwitchPolicy(0.2).describe()
+
+
+class TestCrossoverProbe:
+    def test_crossover_interpolation(self):
+        probe = CrossoverProbe(
+            densities=np.array([0.1, 0.3, 0.5]),
+            spmv_seconds=np.array([1.0, 1.0, 1.0]),
+            spmspv_seconds=np.array([0.5, 0.9, 1.3]),
+        )
+        # diff crosses zero between 0.3 and 0.5: at 0.35
+        assert probe.crossover_density == pytest.approx(0.35)
+
+    def test_no_crossover(self):
+        probe = CrossoverProbe(
+            densities=np.array([0.1, 0.5]),
+            spmv_seconds=np.array([1.0, 1.0]),
+            spmspv_seconds=np.array([0.2, 0.4]),
+        )
+        assert probe.crossover_density is None
+
+    def test_crossover_at_first_point(self):
+        probe = CrossoverProbe(
+            densities=np.array([0.1, 0.5]),
+            spmv_seconds=np.array([1.0, 1.0]),
+            spmspv_seconds=np.array([2.0, 3.0]),
+        )
+        assert probe.crossover_density == pytest.approx(0.1)
+
+    def test_probe_on_real_kernels(self):
+        matrix = random_graph(n=500, avg_degree=8, seed=31)
+        probe = probe_crossover(
+            matrix, SystemConfig(num_dpus=64), 64,
+            densities=(0.01, 0.2, 0.8), seed=1,
+        )
+        assert probe.spmv_seconds.shape == (3,)
+        assert np.all(probe.spmv_seconds > 0)
+        assert np.all(probe.spmspv_seconds > 0)
+        # SpMSpV wins at the sparse end
+        assert probe.spmspv_seconds[0] < probe.spmv_seconds[0]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.floats(0.0, 1.0),
+    st.lists(st.floats(0.0, 1.0), min_size=1, max_size=20),
+)
+def test_property_policy_consistency(threshold, densities):
+    """Non-sticky policy choice depends only on the current density."""
+    policy = AdaptiveSwitchPolicy(threshold, sticky=False)
+    for i, density in enumerate(densities):
+        kind = policy.choose(i, density)
+        assert kind == ("spmv" if density > threshold else "spmspv")

@@ -1,0 +1,224 @@
+"""Tests for BFS / SSSP / PPR on the simulated PIM system."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import (
+    FixedPolicy,
+    MatvecDriver,
+    bfs,
+    bfs_reference,
+    normalize_columns,
+    ppr,
+    ppr_reference,
+    sssp,
+    sssp_reference,
+)
+from repro.adaptive import AdaptiveSwitchPolicy
+from repro.errors import KernelError, ReproError
+from repro.sparse import COOMatrix
+from repro.upmem import SystemConfig
+from conftest import random_graph
+
+DPUS = 64
+
+
+@pytest.fixture
+def system():
+    return SystemConfig(num_dpus=DPUS)
+
+
+class TestBfs:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_reference(self, seed, system):
+        graph = random_graph(n=150, avg_degree=4, seed=seed)
+        result = bfs(graph, 0, system, DPUS)
+        assert np.array_equal(result.values, bfs_reference(graph, 0))
+        assert result.converged
+
+    def test_policies_agree(self, graph, system):
+        driver = MatvecDriver(graph, system, DPUS)
+        levels = {}
+        for policy in (FixedPolicy("spmv"), FixedPolicy("spmspv"),
+                       AdaptiveSwitchPolicy.for_matrix(graph)):
+            run = bfs(graph, 0, system, DPUS, policy=policy, driver=driver)
+            levels[policy.describe()] = run.values
+        results = list(levels.values())
+        for other in results[1:]:
+            assert np.array_equal(results[0], other)
+
+    def test_disconnected_nodes(self, system):
+        graph = COOMatrix.from_edges([(0, 1), (1, 2)], 5)
+        result = bfs(graph, 0, system, 4)
+        assert result.values[3] == -1 and result.values[4] == -1
+        assert result.values[2] == 2
+
+    def test_isolated_source(self, system):
+        graph = COOMatrix.from_edges([(1, 2)], 3)
+        result = bfs(graph, 0, system, 2)
+        assert result.values[0] == 0
+        assert result.values[1] == -1
+
+    def test_source_out_of_range(self, graph, system):
+        with pytest.raises(ReproError):
+            bfs(graph, 10_000, system, DPUS)
+
+    def test_traces_recorded(self, graph, system):
+        result = bfs(graph, 0, system, DPUS)
+        assert result.num_iterations >= 1
+        densities = [t.input_density for t in result.iterations]
+        assert all(0 <= d <= 1 for d in densities)
+        assert result.iterations[0].frontier_size == 1
+
+    def test_energy_and_utilization(self, graph, system):
+        result = bfs(graph, 0, system, DPUS)
+        assert result.energy.total_j > 0
+        assert result.utilization_kernel_pct > 0
+        assert result.utilization_kernel_pct >= result.utilization_total_pct
+
+
+class TestSssp:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_reference(self, seed, system):
+        graph = random_graph(n=120, avg_degree=4, seed=seed, weights="random")
+        result = sssp(graph, 0, system, DPUS)
+        assert np.allclose(result.values, sssp_reference(graph, 0))
+
+    def test_matches_networkx(self, system):
+        networkx = pytest.importorskip("networkx")
+        graph = random_graph(n=80, avg_degree=5, seed=10, weights="random")
+        result = sssp(graph, 0, system, DPUS)
+        nx_graph = networkx.DiGraph()
+        coo = graph.to_coo()
+        nx_graph.add_nodes_from(range(80))
+        for v, u, w in zip(coo.rows, coo.cols, coo.values):
+            nx_graph.add_edge(int(u), int(v), weight=float(w))
+        nx_dist = networkx.single_source_dijkstra_path_length(
+            nx_graph, 0, weight="weight"
+        )
+        for node in range(80):
+            expected = nx_dist.get(node, np.inf)
+            assert result.values[node] == pytest.approx(expected)
+
+    def test_unreachable_inf(self, system):
+        graph = COOMatrix.from_edges([(0, 1)], 3, weights=[5])
+        result = sssp(graph, 0, system, 2)
+        assert result.values[1] == 5
+        assert np.isinf(result.values[2])
+
+    def test_rejects_negative_weights(self, system):
+        graph = COOMatrix.from_edges([(0, 1)], 2, weights=[-1])
+        with pytest.raises(ReproError):
+            sssp(graph, 0, system, 2)
+
+    def test_spmv_policy_agrees(self, weighted_graph, system):
+        a = sssp(weighted_graph, 0, system, DPUS, policy=FixedPolicy("spmv"))
+        b = sssp(weighted_graph, 0, system, DPUS, policy=FixedPolicy("spmspv"))
+        assert np.allclose(a.values, b.values)
+
+
+class TestPpr:
+    def test_matches_reference(self, graph, system):
+        result = ppr(graph, 0, system, DPUS)
+        expected = ppr_reference(graph, 0)
+        assert np.abs(result.values - expected).sum() < 1e-4
+
+    def test_matches_networkx(self, system):
+        networkx = pytest.importorskip("networkx")
+        graph = random_graph(n=60, avg_degree=5, seed=21)
+        result = ppr(graph, 3, system, DPUS, tol=1e-10, max_iters=500)
+        nx_graph = networkx.DiGraph()
+        coo = graph.to_coo()
+        nx_graph.add_nodes_from(range(60))
+        for v, u in zip(coo.rows, coo.cols):
+            nx_graph.add_edge(int(u), int(v))
+        nx_rank = networkx.pagerank(
+            nx_graph, alpha=0.85, personalization={3: 1.0}, tol=1e-12,
+            max_iter=500,
+        )
+        ours = result.values / result.values.sum()
+        for node in range(60):
+            assert ours[node] == pytest.approx(nx_rank[node], abs=2e-3)
+
+    def test_rank_is_distribution(self, graph, system):
+        result = ppr(graph, 0, system, DPUS)
+        assert result.values.sum() == pytest.approx(1.0, abs=1e-6)
+        assert np.all(result.values >= 0)
+
+    def test_source_has_high_rank(self, graph, system):
+        result = ppr(graph, 0, system, DPUS)
+        assert result.values[0] >= result.values.mean()
+
+    def test_converges(self, graph, system):
+        result = ppr(graph, 0, system, DPUS, tol=1e-6)
+        assert result.converged
+
+    def test_max_iters_cap(self, graph, system):
+        result = ppr(graph, 0, system, DPUS, tol=0.0, max_iters=3)
+        assert result.num_iterations == 3
+        assert not result.converged
+
+    def test_rejects_bad_alpha(self, graph, system):
+        with pytest.raises(ReproError):
+            ppr(graph, 0, system, DPUS, alpha=1.5)
+
+    def test_pre_normalized_reuse(self, graph, system):
+        norm = normalize_columns(graph)
+        driver = MatvecDriver(norm, system, DPUS)
+        a = ppr(norm, 0, system, DPUS, driver=driver, pre_normalized=True)
+        b = ppr(graph, 0, system, DPUS)
+        assert np.allclose(a.values, b.values, atol=1e-8)
+
+    def test_dangling_mass_conserved(self, system):
+        # node 2 has no out-edges: a dangling node
+        graph = COOMatrix.from_edges([(0, 1), (1, 2)], 3)
+        result = ppr(graph, 0, system, 2)
+        assert result.values.sum() == pytest.approx(1.0, abs=1e-6)
+
+
+class TestNormalizeColumns:
+    def test_column_stochastic(self, graph):
+        norm = normalize_columns(graph)
+        coo = norm.to_coo()
+        sums = np.zeros(graph.ncols)
+        np.add.at(sums, coo.cols, coo.values.astype(np.float64))
+        nonzero = sums > 0
+        assert np.allclose(sums[nonzero], 1.0, atol=1e-5)
+
+
+class TestPolicyValidation:
+    def test_fixed_policy_rejects_unknown(self):
+        with pytest.raises(KernelError):
+            FixedPolicy("gpu")
+
+    def test_fixed_policy_describe(self):
+        assert FixedPolicy("spmv").describe() == "spmv-only"
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 100_000))
+def test_property_bfs_levels_valid(seed):
+    """BFS levels increase by exactly 1 along some in-edge."""
+    rng = np.random.default_rng(seed)
+    n = 40
+    m = int(rng.integers(20, 120))
+    edges = np.unique(rng.integers(0, n, (m, 2)), axis=0)
+    edges = edges[edges[:, 0] != edges[:, 1]]
+    if edges.size == 0:
+        return
+    graph = COOMatrix.from_edges(edges, n)
+    system = SystemConfig(num_dpus=64)
+    result = bfs(graph, 0, system, 8)
+    levels = result.values
+    assert levels[0] == 0
+    csc = graph.to_csc()
+    for v in range(n):
+        if levels[v] > 0:
+            # some predecessor must be exactly one level closer
+            preds = [
+                int(u) for u in range(n)
+                if v in set(csc.column(u)[0].tolist())
+            ]
+            assert any(levels[u] == levels[v] - 1 for u in preds)

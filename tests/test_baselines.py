@@ -1,0 +1,153 @@
+"""Tests for the CPU and GPU baseline engines."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import bfs_reference, ppr_reference, sssp_reference
+from repro.baselines import (
+    CPU_SPEC,
+    GPU_SPEC,
+    TABLE3_ROWS,
+    UPMEM_PEAK,
+    BaselineRun,
+    CpuGraphEngine,
+    GpuGraphEngine,
+    GpuSpec,
+    bfs_trace,
+    ppr_trace,
+    sssp_trace,
+)
+from repro.errors import ReproError
+from conftest import random_graph
+
+
+@pytest.fixture
+def cpu():
+    return CpuGraphEngine()
+
+
+@pytest.fixture
+def gpu():
+    return GpuGraphEngine()
+
+
+class TestWorkloadTraces:
+    def test_bfs_trace_matches_reference(self, graph):
+        trace = bfs_trace(graph, 0)
+        assert np.array_equal(trace.values, bfs_reference(graph, 0))
+        assert trace.num_iterations >= 1
+        assert trace.iterations[0].frontier_size == 1
+
+    def test_sssp_trace_matches_reference(self, weighted_graph):
+        trace = sssp_trace(weighted_graph, 0)
+        assert np.allclose(trace.values, sssp_reference(weighted_graph, 0))
+
+    def test_ppr_trace_matches_reference(self, graph):
+        trace = ppr_trace(graph, 0)
+        assert np.abs(trace.values - ppr_reference(graph, 0)).sum() < 1e-4
+
+    def test_trace_totals(self, graph):
+        trace = bfs_trace(graph, 0)
+        assert trace.total_frontier_edges > 0
+        assert trace.total_useful_ops == 2 * trace.total_frontier_edges
+
+    def test_bad_source(self, graph):
+        with pytest.raises(ReproError):
+            bfs_trace(graph, 10_000)
+
+
+class TestCpuEngine:
+    def test_bfs_functional(self, cpu, graph):
+        run = cpu.bfs(graph, 0, dataset="g")
+        assert np.array_equal(run.values, bfs_reference(graph, 0))
+        assert run.platform == "cpu"
+        assert run.dataset == "g"
+
+    def test_timing_positive_and_energy(self, cpu, graph):
+        run = cpu.bfs(graph, 0)
+        assert run.seconds > 0
+        assert run.energy_j == pytest.approx(
+            CPU_SPEC.active_power_w * run.seconds
+        )
+        assert 0 < run.utilization_pct < 100
+
+    def test_per_iteration_time_scales_with_edges(self, cpu):
+        small = cpu.ppr(random_graph(n=200, avg_degree=4, seed=1), 0)
+        large = cpu.ppr(random_graph(n=20000, avg_degree=8, seed=1), 0)
+        assert (
+            large.seconds / large.num_iterations
+            > small.seconds / small.num_iterations
+        )
+
+    def test_iteration_floor_dominates_tiny_graphs(self, cpu):
+        tiny = random_graph(n=30, avg_degree=2, seed=2)
+        run = cpu.bfs(tiny, 0)
+        assert run.seconds >= run.num_iterations * CPU_SPEC.iteration_floor_s
+
+    def test_sssp_and_ppr(self, cpu, weighted_graph, graph):
+        sssp_run = cpu.sssp(weighted_graph, 0)
+        assert np.allclose(sssp_run.values, sssp_reference(weighted_graph, 0))
+        ppr_run = cpu.ppr(graph, 0)
+        assert ppr_run.seconds > 0
+
+
+class TestGpuEngine:
+    def test_bfs_functional(self, gpu, graph):
+        run = gpu.bfs(graph, 0)
+        assert np.array_equal(run.values, bfs_reference(graph, 0))
+
+    def test_launch_overhead_floor(self, gpu, graph):
+        run = gpu.bfs(graph, 0)
+        assert run.seconds >= run.num_iterations * GPU_SPEC.launch_overhead_s
+
+    def test_sssp_time_iteration_dominated(self, gpu):
+        """Tiny graphs' GPU time ~ iterations * launch overhead (the
+        paper's flat ~13 ms SSSP rows)."""
+        g = random_graph(n=100, avg_degree=4, seed=5, weights="random")
+        run = gpu.sssp(g, 0)
+        floor = run.num_iterations * GPU_SPEC.launch_overhead_s
+        assert run.seconds == pytest.approx(floor, rel=0.2)
+
+    def test_memory_capacity_enforced(self):
+        tiny_gpu = GpuGraphEngine(GpuSpec(memory_bytes=64))
+        with pytest.raises(ReproError):
+            tiny_gpu.bfs(random_graph(n=200, avg_degree=5), 0)
+
+    def test_energy(self, gpu, graph):
+        run = gpu.bfs(graph, 0)
+        assert run.energy_j == pytest.approx(
+            GPU_SPEC.active_power_w * run.seconds
+        )
+
+
+class TestSpecs:
+    def test_table3_values(self):
+        assert CPU_SPEC.cores == 10
+        assert CPU_SPEC.threads == 12
+        assert CPU_SPEC.frequency_hz == pytest.approx(1.8e9)
+        assert CPU_SPEC.memory_bandwidth == pytest.approx(83.2e9)
+        assert GPU_SPEC.cuda_cores == 2560
+        assert GPU_SPEC.frequency_hz == pytest.approx(1.55e9)
+        assert GPU_SPEC.memory_bandwidth == pytest.approx(224e9)
+
+    def test_peaks_match_paper(self):
+        assert CPU_SPEC.peak_flops == pytest.approx(647.25e9)
+        assert GPU_SPEC.peak_flops == pytest.approx(9.1e12)
+        assert UPMEM_PEAK.peak_flops == pytest.approx(4.66e9)
+
+    def test_table3_rows(self):
+        assert len(TABLE3_ROWS) == 2
+        assert TABLE3_ROWS[0][0] == "Intel i7-1265U"
+
+
+class TestCrossPlatformConsistency:
+    def test_all_platforms_same_answer(self, cpu, gpu, graph):
+        cpu_run = cpu.bfs(graph, 0)
+        gpu_run = gpu.bfs(graph, 0)
+        assert np.array_equal(cpu_run.values, gpu_run.values)
+
+    def test_utilization_below_one_percent_on_big_graphs(self, cpu):
+        """The paper's CPU/GPU utilization is fractions of a percent."""
+        big = random_graph(n=5000, avg_degree=10, seed=8)
+        run = cpu.ppr(big, 0)
+        assert run.utilization_pct < 1.0

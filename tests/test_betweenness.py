@@ -1,0 +1,104 @@
+"""Tests for linear-algebraic betweenness centrality."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import betweenness_centrality, betweenness_reference
+from repro.algorithms.base import FixedPolicy
+from repro.errors import ReproError
+from repro.sparse import COOMatrix
+from repro.upmem import SystemConfig
+from conftest import random_graph
+
+DPUS = 32
+
+
+@pytest.fixture
+def system():
+    return SystemConfig(num_dpus=DPUS)
+
+
+class TestBetweenness:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_brandes_reference(self, seed, system):
+        graph = random_graph(n=80, avg_degree=4, seed=seed)
+        sources = [0, 7, 21]
+        run = betweenness_centrality(graph, sources, system, DPUS)
+        reference = betweenness_reference(graph, sources)
+        assert np.allclose(run.values, reference)
+
+    def test_matches_networkx_exact(self, system):
+        networkx = pytest.importorskip("networkx")
+        graph = random_graph(n=35, avg_degree=3, seed=11)
+        run = betweenness_centrality(
+            graph, list(range(35)), system, DPUS
+        )
+        nx_graph = networkx.DiGraph()
+        nx_graph.add_nodes_from(range(35))
+        coo = graph.to_coo()
+        for v, u in zip(coo.rows, coo.cols):
+            nx_graph.add_edge(int(u), int(v))
+        expected = networkx.betweenness_centrality(
+            nx_graph, normalized=False
+        )
+        for node in range(35):
+            assert run.values[node] == pytest.approx(expected[node],
+                                                     abs=1e-8)
+
+    def test_path_graph_center_highest(self, system):
+        # 0 -> 1 -> 2 -> 3 -> 4: vertex 2 carries the most pairs
+        edges = [(i, i + 1) for i in range(4)]
+        graph = COOMatrix.from_edges(edges, 5)
+        run = betweenness_centrality(graph, range(5), system, 4)
+        assert int(np.argmax(run.values)) == 2
+        assert run.values[0] == 0.0 and run.values[4] == 0.0
+
+    def test_star_center(self, system):
+        edges = [(0, i) for i in range(1, 6)] + [(i, 0) for i in range(1, 6)]
+        graph = COOMatrix.from_edges(edges, 6)
+        run = betweenness_centrality(graph, range(6), system, 4)
+        assert int(np.argmax(run.values)) == 0
+
+    def test_normalization(self, system):
+        graph = random_graph(n=30, avg_degree=3, seed=13)
+        raw = betweenness_centrality(graph, range(30), system, DPUS)
+        norm = betweenness_centrality(
+            graph, range(30), system, DPUS, normalized=True
+        )
+        assert np.allclose(norm.values, raw.values / (29 * 28))
+
+    def test_spmv_policy_agrees(self, system):
+        graph = random_graph(n=60, avg_degree=4, seed=17)
+        a = betweenness_centrality(graph, [0, 1], system, DPUS,
+                                   policy=FixedPolicy("spmv"))
+        b = betweenness_centrality(graph, [0, 1], system, DPUS,
+                                   policy=FixedPolicy("spmspv"))
+        assert np.allclose(a.values, b.values)
+
+    def test_phases_accumulated(self, system):
+        graph = random_graph(n=50, avg_degree=4, seed=19)
+        run = betweenness_centrality(graph, [0], system, DPUS)
+        # forward + backward sweeps both recorded
+        assert run.num_iterations >= 2
+        assert run.total_s > 0
+        assert run.energy.total_j > 0
+
+    def test_rejects_bad_sources(self, graph, system):
+        with pytest.raises(ReproError):
+            betweenness_centrality(graph, [], system, DPUS)
+        with pytest.raises(ReproError):
+            betweenness_centrality(graph, [10_000], system, DPUS)
+
+    def test_weighted_values_ignored(self, system):
+        """BC counts hops; edge weights must not change the result."""
+        graph = random_graph(n=40, avg_degree=4, seed=23)
+        weighted = COOMatrix(
+            graph.rows, graph.cols,
+            np.random.default_rng(1).integers(
+                1, 9, graph.nnz
+            ).astype(np.int32),
+            graph.shape,
+        )
+        a = betweenness_centrality(graph, [0, 3], system, DPUS)
+        b = betweenness_centrality(weighted, [0, 3], system, DPUS)
+        assert np.allclose(a.values, b.values)

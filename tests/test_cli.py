@@ -1,0 +1,56 @@
+"""Tests for the top-level ``python -m repro`` command line."""
+
+import json
+
+import pytest
+
+from repro.cli import ALGORITHMS, build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["bfs"])
+        assert args.algorithm == "bfs"
+        assert args.dataset == "A302"
+        assert args.policy == "adaptive"
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dijkstra"])
+
+    def test_all_algorithms_listed(self):
+        assert set(ALGORITHMS) == {"bfs", "sssp", "ppr", "pagerank", "cc"}
+
+
+class TestMain:
+    COMMON = ["--dataset", "face", "--scale", "0.05", "--dpus", "64"]
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_every_algorithm_runs(self, algorithm, capsys):
+        assert main([algorithm, *self.COMMON]) == 0
+        out = capsys.readouterr().out
+        assert "answer:" in out
+        assert "per-iteration phases:" in out
+
+    @pytest.mark.parametrize("policy", ["adaptive", "spmv", "spmspv"])
+    def test_policies(self, policy, capsys):
+        assert main(["bfs", *self.COMMON, "--policy", policy]) == 0
+        out = capsys.readouterr().out
+        assert "policy=" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        target = tmp_path / "run.json"
+        assert main(["bfs", *self.COMMON, "--json", str(target)]) == 0
+        payload = json.loads(target.read_text())
+        assert payload["algorithm"] == "bfs"
+        assert payload["converged"] in (True, False)
+        assert payload["breakdown"]["total"] > 0
+        assert isinstance(payload["values"], list)
+
+    def test_source_wraps_modulo(self, capsys):
+        # a source beyond the scaled node count must not crash
+        assert main(["bfs", *self.COMMON, "--source", "999999"]) == 0
+
+    def test_unknown_dataset_fails(self):
+        with pytest.raises(Exception):
+            main(["bfs", "--dataset", "nope", "--scale", "0.05"])

@@ -1,0 +1,194 @@
+"""Tests for the synthetic dataset generators and the Table-2 registry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import (
+    FIG4_DATASETS,
+    TABLE2,
+    TABLE4_DATASETS,
+    add_weights,
+    degree_targeted,
+    erdos_renyi,
+    get_dataset,
+    rmat,
+    road_network,
+    scale_free,
+)
+from repro.errors import DatasetError
+from repro.sparse import compute_stats
+from repro.types import GraphClass
+
+
+class TestErdosRenyi:
+    def test_expected_degree(self):
+        g = erdos_renyi(2000, 8.0, rng=np.random.default_rng(0))
+        stats = compute_stats(g)
+        assert stats.average_degree == pytest.approx(8.0, rel=0.1)
+        # uniform degrees: low skew
+        assert stats.degree_skew < 1.0
+
+    def test_no_self_loops(self):
+        g = erdos_renyi(100, 5.0, rng=np.random.default_rng(1))
+        assert np.all(g.rows != g.cols)
+
+    def test_rejects_tiny(self):
+        with pytest.raises(DatasetError):
+            erdos_renyi(1, 2.0)
+
+
+class TestRoadNetwork:
+    def test_roadnet_signature(self):
+        g = road_network(20_000, rng=np.random.default_rng(2))
+        stats = compute_stats(g)
+        # Table-2 roadNet-TX: avg ~2.78, std ~1.0
+        assert 2.0 < stats.average_degree < 3.6
+        assert stats.degree_std < 2.0
+        assert stats.max_degree <= 4
+
+    def test_bidirectional(self):
+        g = road_network(100, rng=np.random.default_rng(3))
+        dense = g.to_dense()
+        assert np.array_equal(dense, dense.T)
+
+    def test_rejects_tiny(self):
+        with pytest.raises(DatasetError):
+            road_network(2)
+
+
+class TestRmat:
+    def test_size(self):
+        g = rmat(10, edge_factor=8, rng=np.random.default_rng(4))
+        assert g.nrows == 1024
+        # top-up drives nnz to within ~5% of the Graph500 budget
+        assert g.nnz >= 0.9 * 8 * 1024
+
+    def test_heavy_tail(self):
+        g = rmat(12, edge_factor=16, rng=np.random.default_rng(5))
+        stats = compute_stats(g)
+        assert stats.degree_skew > 1.5
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(DatasetError):
+            rmat(1)
+        with pytest.raises(DatasetError):
+            rmat(30)
+
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(DatasetError):
+            rmat(8, probabilities=(0.5, 0.5, 0.5, 0.5))
+
+
+class TestScaleFree:
+    def test_skewed_degrees(self):
+        g = scale_free(2000, 6.0, rng=np.random.default_rng(6))
+        stats = compute_stats(g)
+        assert stats.degree_skew > 1.0
+        assert stats.max_degree > 10 * stats.average_degree
+
+    def test_rejects_tiny(self):
+        with pytest.raises(DatasetError):
+            scale_free(2, 2.0)
+
+
+class TestDegreeTargeted:
+    @pytest.mark.parametrize(
+        "avg,std", [(6.86, 5.41), (12.27, 41.07), (43.69, 52.41)]
+    )
+    def test_hits_targets(self, avg, std):
+        g = degree_targeted(4000, avg, std, rng=np.random.default_rng(7))
+        stats = compute_stats(g)
+        assert stats.average_degree == pytest.approx(avg, rel=0.15)
+        assert stats.degree_std == pytest.approx(std, rel=0.45)
+
+    def test_zero_std(self):
+        g = degree_targeted(500, 4.0, 0.0, rng=np.random.default_rng(8))
+        stats = compute_stats(g)
+        assert stats.degree_std < 1.0
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(DatasetError):
+            degree_targeted(1, 3.0, 1.0)
+        with pytest.raises(DatasetError):
+            degree_targeted(100, 0.0, 1.0)
+        with pytest.raises(DatasetError):
+            degree_targeted(100, 3.0, -1.0)
+
+
+class TestAddWeights:
+    def test_weights_in_range(self, graph):
+        weighted = add_weights(graph, rng=np.random.default_rng(9),
+                               low=1, high=10)
+        assert weighted.nnz == graph.nnz
+        assert weighted.values.min() >= 1
+        assert weighted.values.max() < 10
+
+    def test_structure_preserved(self, graph):
+        weighted = add_weights(graph, rng=np.random.default_rng(10))
+        assert np.array_equal(weighted.rows, graph.rows)
+        assert np.array_equal(weighted.cols, graph.cols)
+
+    def test_rejects_bad_range(self, graph):
+        with pytest.raises(DatasetError):
+            add_weights(graph, low=0, high=5)
+        with pytest.raises(DatasetError):
+            add_weights(graph, low=5, high=5)
+
+
+class TestTable2Registry:
+    def test_thirteen_datasets(self):
+        assert len(TABLE2) == 13
+
+    def test_published_statistics(self):
+        a302 = get_dataset("A302")
+        assert a302.name == "amazon0302"
+        assert a302.edges == 899792
+        assert a302.nodes == 262111
+        assert a302.avg_degree == pytest.approx(6.86)
+        rtx = get_dataset("r-TX")
+        assert rtx.graph_class is GraphClass.REGULAR
+        assert rtx.family == "road"
+
+    def test_subsets(self):
+        assert set(TABLE4_DATASETS) <= set(TABLE2)
+        assert set(FIG4_DATASETS) <= set(TABLE2)
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DatasetError):
+            get_dataset("nope")
+
+    def test_generation_deterministic(self):
+        spec = get_dataset("e-En")
+        rng_a = np.random.default_rng(1)
+        rng_b = np.random.default_rng(1)
+        a = spec.generate(scale=0.02, rng=rng_a)
+        b = spec.generate(scale=0.02, rng=rng_b)
+        assert np.array_equal(a.rows, b.rows)
+        assert np.array_equal(a.cols, b.cols)
+
+    def test_scale_controls_size(self):
+        spec = get_dataset("s-S11")
+        small = spec.generate(scale=0.01)
+        large = spec.generate(scale=0.05)
+        assert large.nrows > small.nrows
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(DatasetError):
+            get_dataset("A302").generate(scale=0.0)
+
+    @pytest.mark.parametrize("abbrev", sorted(TABLE2))
+    def test_every_dataset_generates(self, abbrev):
+        g = TABLE2[abbrev].generate(scale=0.01)
+        assert g.nnz > 0
+        assert g.nrows >= 64
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 100_000), st.floats(2.0, 20.0), st.floats(0.0, 30.0))
+def test_property_degree_targeted_valid(seed, avg, std):
+    """degree_targeted always yields a valid loop-free graph."""
+    g = degree_targeted(300, avg, std, rng=np.random.default_rng(seed))
+    assert np.all(g.rows != g.cols)
+    assert g.nrows == 300

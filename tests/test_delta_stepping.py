@@ -1,0 +1,116 @@
+"""Tests for delta-stepping SSSP."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    split_by_weight,
+    sssp,
+    sssp_delta_stepping,
+    sssp_reference,
+    suggest_delta,
+)
+from repro.datasets import add_weights, road_network
+from repro.errors import ReproError
+from repro.sparse import COOMatrix
+from repro.upmem import SystemConfig
+from conftest import random_graph
+
+DPUS = 32
+
+
+@pytest.fixture
+def system():
+    return SystemConfig(num_dpus=DPUS)
+
+
+class TestSplit:
+    def test_partitions_edges(self, weighted_graph):
+        light, heavy = split_by_weight(weighted_graph, 10.0)
+        assert light.nnz + heavy.nnz == weighted_graph.nnz
+        if light.nnz:
+            assert light.values.max() <= 10.0
+        if heavy.nnz:
+            assert heavy.values.min() > 10.0
+
+    def test_all_light(self, weighted_graph):
+        light, heavy = split_by_weight(weighted_graph, 1e9)
+        assert light.nnz == weighted_graph.nnz
+        assert heavy.nnz == 0
+
+    def test_suggest_delta_positive(self, weighted_graph):
+        assert suggest_delta(weighted_graph) > 0
+
+    def test_suggest_delta_empty(self):
+        assert suggest_delta(COOMatrix.empty(4)) == 1.0
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_reference(self, seed, system):
+        graph = random_graph(n=150, avg_degree=4, seed=seed,
+                             weights="random")
+        run = sssp_delta_stepping(graph, 0, system, DPUS)
+        assert np.allclose(run.values, sssp_reference(graph, 0))
+        assert run.converged
+
+    @pytest.mark.parametrize("delta", [1.0, 5.0, 50.0, 1e9])
+    def test_any_delta_is_exact(self, delta, system):
+        graph = random_graph(n=100, avg_degree=4, seed=31,
+                             weights="random")
+        run = sssp_delta_stepping(graph, 0, system, DPUS, delta=delta)
+        assert np.allclose(run.values, sssp_reference(graph, 0))
+
+    def test_agrees_with_bellman_ford(self, system):
+        graph = random_graph(n=120, avg_degree=5, seed=37,
+                             weights="random")
+        a = sssp(graph, 0, system, DPUS)
+        b = sssp_delta_stepping(graph, 0, system, DPUS)
+        assert np.allclose(a.values, b.values)
+
+    def test_unreachable_stay_inf(self, system):
+        graph = COOMatrix.from_edges([(0, 1)], 3, weights=[5])
+        run = sssp_delta_stepping(graph, 0, system, 2)
+        assert np.isinf(run.values[2])
+
+    def test_all_heavy_edges(self, system):
+        """delta below every weight: phase 2 does all the work."""
+        graph = random_graph(n=60, avg_degree=3, seed=41,
+                             weights="random")
+        run = sssp_delta_stepping(graph, 0, system, DPUS, delta=0.5)
+        assert np.allclose(run.values, sssp_reference(graph, 0))
+
+
+class TestWorkEfficiency:
+    def test_fewer_relaxations_on_road_networks(self, system):
+        """The Meyer-Sanders claim: bucketing avoids premature
+        relaxations that frontier Bellman-Ford must redo."""
+        rng = np.random.default_rng(2)
+        roads = add_weights(road_network(5000, rng=rng), rng=rng,
+                            low=1, high=30)
+        plain = sssp(roads, 0, system, DPUS)
+        bucketed = sssp_delta_stepping(
+            roads, 0, system, DPUS, delta=30 * 10
+        )
+        assert np.allclose(plain.values, bucketed.values)
+        assert bucketed.achieved_ops < plain.achieved_ops
+
+
+class TestValidation:
+    def test_rejects_bad_source(self, weighted_graph, system):
+        with pytest.raises(ReproError):
+            sssp_delta_stepping(weighted_graph, 10_000, system, DPUS)
+
+    def test_rejects_negative_weights(self, system):
+        graph = COOMatrix.from_edges([(0, 1)], 2, weights=[-3])
+        with pytest.raises(ReproError):
+            sssp_delta_stepping(graph, 0, system, 2)
+
+    def test_rejects_bad_delta(self, weighted_graph, system):
+        with pytest.raises(ReproError):
+            sssp_delta_stepping(weighted_graph, 0, system, DPUS, delta=0.0)
+
+    def test_policy_recorded(self, weighted_graph, system):
+        run = sssp_delta_stepping(weighted_graph, 0, system, DPUS,
+                                  delta=7.0)
+        assert "delta-stepping(7" in run.policy

@@ -1,0 +1,132 @@
+"""Tests for the ELLPACK format and its SpMV kernel."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import degree_targeted, road_network
+from repro.errors import KernelError, SparseFormatError
+from repro.kernels import prepare_kernel, prepare_spmv_ell
+from repro.semiring import BOOLEAN_OR_AND, MIN_PLUS, PLUS_TIMES
+from repro.sparse import COOMatrix, ELLMatrix, spmv_dense
+from repro.upmem import SystemConfig
+from conftest import random_graph
+
+
+@pytest.fixture
+def system():
+    return SystemConfig(num_dpus=64)
+
+
+def sample(seed=0, n=50, density=0.12):
+    rng = np.random.default_rng(seed)
+    dense = (rng.random((n, n)) < density) * rng.uniform(0.5, 2.0, (n, n))
+    return COOMatrix.from_dense(dense), dense
+
+
+class TestELLFormat:
+    def test_roundtrip(self):
+        coo, dense = sample()
+        ell = ELLMatrix.from_coo(coo)
+        assert np.allclose(ell.to_dense(), dense)
+        assert ell.nnz == coo.nnz
+
+    def test_width_is_max_degree(self):
+        coo, dense = sample(1)
+        ell = ELLMatrix.from_coo(coo)
+        assert ell.width == int((dense != 0).sum(axis=1).max())
+
+    def test_padding_ratio(self):
+        # one dense row, others single-entry: heavy padding
+        dense = np.zeros((4, 4))
+        dense[0, :] = 1.0
+        dense[1, 0] = dense[2, 1] = dense[3, 2] = 1.0
+        ell = ELLMatrix.from_coo(COOMatrix.from_dense(dense))
+        assert ell.width == 4
+        assert ell.padding_ratio == pytest.approx(16 / 7)
+
+    def test_uniform_rows_no_padding(self):
+        # ring: every row exactly one entry
+        edges = [(i, (i + 1) % 6) for i in range(6)]
+        ell = ELLMatrix.from_coo(COOMatrix.from_edges(edges, 6))
+        assert ell.padding_ratio == pytest.approx(1.0)
+
+    def test_conversions(self):
+        coo, dense = sample(2)
+        ell = ELLMatrix.from_coo(coo)
+        assert np.allclose(ell.to_csr().to_dense(), dense)
+        assert np.allclose(ell.to_csc().to_dense(), dense)
+
+    def test_empty_matrix(self):
+        ell = ELLMatrix.from_coo(COOMatrix.empty(5, dtype=np.float64))
+        assert ell.nnz == 0
+        assert ell.padding_ratio == 1.0
+
+    def test_validation(self):
+        with pytest.raises(SparseFormatError):
+            ELLMatrix(np.zeros(3), np.zeros(3), (3, 3))  # 1-D
+        with pytest.raises(SparseFormatError):
+            ELLMatrix(
+                np.full((2, 2), 5), np.zeros((2, 2)), (2, 3)
+            )  # col out of range
+
+    def test_row_slots(self):
+        coo, dense = sample(3)
+        ell = ELLMatrix.from_coo(coo)
+        cols, vals = ell.row_slots(0)
+        real = cols != -1
+        expected_cols = np.nonzero(dense[0])[0]
+        assert np.array_equal(np.sort(cols[real]), expected_cols)
+
+
+class TestELLKernel:
+    @pytest.mark.parametrize("semiring", [PLUS_TIMES, MIN_PLUS,
+                                          BOOLEAN_OR_AND])
+    def test_matches_reference(self, semiring, system):
+        matrix = random_graph(n=150, avg_degree=5, seed=13)
+        kernel = prepare_kernel("spmv-ell", matrix, 16, system)
+        x = np.ones(150, dtype=np.int32)
+        result = kernel.run(x, semiring)
+        expected = spmv_dense(matrix, x, semiring)
+        got = result.output.to_dense(zero=semiring.zero)
+        finite = ~np.isinf(np.asarray(expected, dtype=np.float64))
+        assert np.allclose(
+            np.asarray(got, dtype=np.float64)[finite],
+            np.asarray(expected, dtype=np.float64)[finite],
+        )
+
+    def test_processes_padded_slots(self, system):
+        matrix = random_graph(n=200, avg_degree=4, seed=17)
+        kernel = prepare_spmv_ell(matrix, 16, system)
+        result = kernel.run(np.ones(200, dtype=np.int32), PLUS_TIMES)
+        # padded slot count >= real nnz
+        assert result.elements_processed >= matrix.nnz
+
+    def test_rejects_wrong_length(self, system):
+        matrix = random_graph(n=100, seed=19)
+        kernel = prepare_spmv_ell(matrix, 8, system)
+        with pytest.raises(KernelError):
+            kernel.run(np.zeros(7), PLUS_TIMES)
+
+    def test_padding_penalty_on_skewed_graphs(self, system):
+        """The design-space lesson: ELL's relative cost tracks padding."""
+        rng = np.random.default_rng(23)
+        uniform = road_network(10_000, rng=rng)
+        skewed = degree_targeted(10_000, 12.0, 41.0, rng=rng)
+        x_uniform = np.ones(uniform.nrows, dtype=np.int32)
+        x_skewed = np.ones(skewed.nrows, dtype=np.int32)
+
+        def kernel_ratio(graph, x):
+            ell = prepare_kernel("spmv-ell", graph, 64, system)
+            coo = prepare_kernel("spmv-coo-nnz", graph, 64, system)
+            t_ell = ell.run(x, PLUS_TIMES).breakdown.kernel
+            t_coo = coo.run(x, PLUS_TIMES).breakdown.kernel
+            return t_ell / t_coo
+
+        assert kernel_ratio(skewed, x_skewed) > kernel_ratio(
+            uniform, x_uniform
+        )
+
+    def test_padding_ratio_exposed(self, system):
+        matrix = random_graph(n=100, avg_degree=5, seed=29)
+        kernel = prepare_spmv_ell(matrix, 8, system)
+        assert kernel.padding_ratio >= 1.0

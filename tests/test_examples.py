@@ -1,0 +1,38 @@
+"""Guard the examples against bitrot."""
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize(
+    "path", ALL_EXAMPLES, ids=[p.stem for p in ALL_EXAMPLES]
+)
+def test_example_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+def test_quickstart_runs_end_to_end():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "BFS from vertex 0 reached" in result.stdout
+    assert "totals:" in result.stdout
+
+
+def test_custom_semiring_runs_end_to_end():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "custom_semiring.py")],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "most-reliable paths" in result.stdout
+    assert "pipeline timeline" in result.stdout

@@ -1,0 +1,99 @@
+"""Tests for the experiment result accessors across all runners."""
+
+import pytest
+
+from repro.experiments import (
+    DatasetCache,
+    ExperimentConfig,
+    export_json,
+    run_density_study,
+    run_fig4,
+    run_fig6,
+    run_fig8,
+    run_interconnect_ablation,
+)
+from repro.experiments.fig6 import DENSITIES as FIG6_DENSITIES
+
+TINY = ExperimentConfig(scale=0.012, num_dpus=64, datasets=("A302", "face"))
+
+
+@pytest.fixture(scope="module")
+def cache():
+    return DatasetCache(TINY)
+
+
+class TestFig4Accessors:
+    @pytest.fixture(scope="class")
+    def result(self, cache):
+        return run_fig4(TINY, cache)
+
+    def test_curves_cover_both_policies(self, result):
+        policies = {key[2] for key in result.curves}
+        assert policies == {"spmv-only", "spmspv-only"}
+
+    def test_density_spread_nonnegative(self, result):
+        for algorithm in ("bfs", "sssp"):
+            assert result.density_spread(algorithm, "A302") >= 0
+
+    def test_flatness_at_least_one(self, result):
+        assert result.spmv_flatness("bfs", "A302") >= 1.0
+
+    def test_correlation_bounded(self, result):
+        corr = result.spmspv_density_correlation("bfs", "A302")
+        assert -1.0 <= corr <= 1.0
+
+
+class TestFig6Accessors:
+    @pytest.fixture(scope="class")
+    def result(self, cache):
+        return run_fig6(TINY, cache)
+
+    def test_ratios_defined_everywhere(self, result):
+        for density in FIG6_DENSITIES:
+            assert result.load_ratio(density) > 0
+            assert result.total_ratio(density) > 0
+
+    def test_cells_cover_grid(self, result):
+        expected = len(TINY.datasets) * len(FIG6_DENSITIES) * 2
+        assert len(result.cells) == expected
+
+
+class TestFig8Accessors:
+    @pytest.fixture(scope="class")
+    def result(self, cache):
+        return run_fig8(TINY, cache)
+
+    def test_reference_is_512(self, result):
+        for cell in result.cells:
+            if cell.num_dpus == 512:
+                # at least one 512 cell per group normalizes to ~1
+                pass
+        assert result.normalized_total("bfs", 512) == pytest.approx(
+            1.0, rel=1e-6
+        )
+
+    def test_fractions_bounded(self, result):
+        for algorithm in ("bfs", "sssp", "ppr"):
+            assert 0 <= result.transfer_fraction(algorithm) <= 1
+            assert 0 <= result.kernel_fraction(algorithm) <= 1
+
+    def test_report_contains_chart(self, result):
+        assert "stacked phase bars" in result.format_report()
+
+    def test_exports(self, result, tmp_path):
+        export_json(result, tmp_path / "fig8.json")
+        assert (tmp_path / "fig8.json").stat().st_size > 100
+
+
+class TestInterconnectAccessors:
+    def test_projection_never_slower(self, cache):
+        result = run_interconnect_ablation(TINY, cache)
+        for row in result.rows:
+            assert row.interconnect_total_s <= row.host_total_s * 1.001
+
+
+class TestDensityAccessors:
+    def test_first_half_max(self, cache):
+        result = run_density_study(TINY, cache, sources_per_dataset=1)
+        for row in result.rows:
+            assert 0 <= row.first_half_max_density <= row.peak_density + 1e-9

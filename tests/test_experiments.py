@@ -1,0 +1,120 @@
+"""Smoke + shape tests for the experiment runners (tiny configurations)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    DatasetCache,
+    ExperimentConfig,
+    PaperComparison,
+    comparison_table,
+    format_table,
+    geomean,
+    run_fig2,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_fig9_11,
+    run_hardware_ablations,
+    run_model_agreement,
+    run_table2,
+)
+
+TINY = ExperimentConfig(scale=0.01, num_dpus=128, datasets=("A302", "face"))
+
+
+@pytest.fixture(scope="module")
+def cache():
+    return DatasetCache(TINY)
+
+
+class TestHelpers:
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geomean([]) == 0.0
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_format_table(self):
+        text = format_table(["a", "b"], [(1, 2.5), ("x", 3.0)], title="T")
+        assert text.startswith("T")
+        assert "2.500" in text
+
+    def test_comparison_table(self):
+        points = [PaperComparison("speedup", 2.0, 3.0)]
+        text = comparison_table(points, "check")
+        assert "speedup" in text
+        assert points[0].ratio == pytest.approx(1.5)
+
+    def test_dataset_cache_reuses(self, cache):
+        a = cache.get("A302")
+        b = cache.get("A302")
+        assert a is b
+        assert cache.get("A302", weighted=True) is not a
+
+    def test_cache_spec(self, cache):
+        assert cache.spec("A302").name == "amazon0302"
+
+
+class TestRunners:
+    def test_fig2(self, cache):
+        result = run_fig2(TINY, cache)
+        assert result.rows
+        report = result.format_report()
+        assert "Fig. 2" in report and "GEOMEAN" in report
+        # normalization: every 1-D total is exactly 1.0
+        for row in result.rows:
+            if row.kernel == "spmv-coo-nnz":
+                assert row.normalized.total == pytest.approx(1.0)
+
+    def test_fig4(self, cache):
+        result = run_fig4(TINY, cache)
+        assert ("bfs", "A302", "spmv-only") in result.curves
+        assert "Fig. 4" in result.format_report()
+
+    def test_fig5(self, cache):
+        result = run_fig5(TINY, cache)
+        assert set(result.csr_slowdown) == {0.01, 0.10, 0.50}
+        # normalization: COO is the reference
+        for density in (0.01, 0.10, 0.50):
+            totals = result.totals(density)["spmspv-coo"]
+            for value in totals.values():
+                assert value == pytest.approx(1.0)
+
+    def test_fig6(self, cache):
+        result = run_fig6(TINY, cache)
+        assert result.total_ratio(0.01) > 0
+        assert "Fig. 6" in result.format_report()
+
+    def test_fig7(self, cache):
+        result = run_fig7(TINY, cache)
+        for algorithm in ("bfs", "sssp", "ppr"):
+            assert result.average_speedup(algorithm) > 0
+        assert "adaptive" in result.format_report()
+
+    def test_fig9_11(self, cache):
+        result = run_fig9_11(TINY, cache, run_cycle_sim=True)
+        assert result.cells
+        cell = result.cells[0]
+        assert set(cell.cycle_breakdown) == {"issue", "memory", "revolver", "rf"}
+        assert sum(cell.cycle_breakdown.values()) == pytest.approx(1.0)
+        assert sum(cell.instruction_mix.values()) == pytest.approx(1.0)
+        assert cell.pipeline_sim is not None
+        assert "Fig. 9" in result.format_report()
+
+    def test_table2(self, cache):
+        result = run_table2(TINY, cache)
+        assert len(result.rows) == 13
+        assert 0 <= result.classification_accuracy <= 1
+
+    def test_hardware_ablations(self, cache):
+        result = run_hardware_ablations(TINY, cache)
+        names = [r.name for r in result.rows]
+        assert "baseline" in names and "all three" in names
+        assert result.speedup("baseline") == pytest.approx(1.0)
+
+    def test_model_agreement(self):
+        result = run_model_agreement(num_workloads=3, tasklets=4)
+        assert len(result.cycle_ratios) == 3
+        assert result.worst_ratio < 3.0

@@ -1,0 +1,99 @@
+"""Tests for JSON export and the scaling study."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    DatasetCache,
+    ExperimentConfig,
+    export_json,
+    load_json,
+    result_to_dict,
+    run_fig2,
+    run_scaling_study,
+)
+from repro.experiments.scaling import ScalingPoint, ScalingResult
+from repro.types import EnergyReport, PhaseBreakdown
+
+TINY = ExperimentConfig(scale=0.01, num_dpus=64, datasets=("A302",))
+
+
+class TestExport:
+    def test_roundtrip_simple_result(self, tmp_path):
+        result = ScalingResult(
+            dataset="A302",
+            points=[
+                ScalingPoint(0.1, 100, 500, 0.01, 0.005),
+                ScalingPoint(0.2, 200, 1000, 0.03, 0.006),
+            ],
+        )
+        path = export_json(result, tmp_path / "scaling.json")
+        loaded = load_json(path)
+        assert loaded["dataset"] == "A302"
+        assert len(loaded["points"]) == 2
+        assert loaded["points"][0]["num_nodes"] == 100
+
+    def test_converts_breakdowns_and_energy(self):
+        @__import__("dataclasses").dataclass
+        class Wrapper:
+            breakdown: PhaseBreakdown
+            energy: EnergyReport
+
+        payload = result_to_dict(
+            Wrapper(PhaseBreakdown(1, 2, 3, 4), EnergyReport(1, 2, 3))
+        )
+        assert payload["breakdown"]["total"] == 10
+        assert payload["energy"]["total_j"] == 6
+
+    def test_converts_numpy(self):
+        @__import__("dataclasses").dataclass
+        class Wrapper:
+            values: np.ndarray
+            count: np.int64
+
+        payload = result_to_dict(
+            Wrapper(np.array([1.5, 2.5]), np.int64(7))
+        )
+        assert payload["values"] == [1.5, 2.5]
+        assert payload["count"] == 7
+
+    def test_large_arrays_summarized(self):
+        @__import__("dataclasses").dataclass
+        class Wrapper:
+            big: np.ndarray
+
+        payload = result_to_dict(Wrapper(np.zeros(100_000)))
+        assert payload["big"]["shape"] == [100_000]
+
+    def test_rejects_non_dataclass(self):
+        with pytest.raises(ExperimentError):
+            result_to_dict({"not": "a dataclass"})
+
+    def test_real_experiment_exports(self, tmp_path):
+        cache = DatasetCache(TINY)
+        result = run_fig2(TINY, cache)
+        path = export_json(result, tmp_path / "fig2.json")
+        loaded = json.loads(path.read_text())
+        assert loaded["rows"]
+        first = loaded["rows"][0]
+        assert "breakdown" in first and "normalized" in first
+
+
+class TestScalingStudy:
+    def test_runs_and_monotone_sizes(self):
+        result = run_scaling_study(
+            TINY, None, scales=(0.01, 0.03), num_dpus=256
+        )
+        assert len(result.points) == 2
+        assert result.points[1].num_nodes > result.points[0].num_nodes
+        assert all(p.cpu_s > 0 and p.upmem_total_s > 0
+                   for p in result.points)
+
+    def test_report_renders(self):
+        result = run_scaling_study(
+            TINY, None, scales=(0.01,), num_dpus=128
+        )
+        assert "scaling study" in result.format_report()

@@ -1,0 +1,180 @@
+"""Tests for the extension features: connected components, the inter-DPU
+interconnect what-if, the density study, and the CLI runner."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    FixedPolicy,
+    connected_components,
+    connected_components_reference,
+    symmetrize_unweighted,
+)
+from repro.errors import ReproError, UpmemError
+from repro.experiments import (
+    DatasetCache,
+    ExperimentConfig,
+    run_density_study,
+    run_interconnect_ablation,
+)
+from repro.experiments.runner import REGISTRY, build_parser, main
+from repro.sparse import COOMatrix
+from repro.types import PhaseBreakdown
+from repro.upmem import InterconnectConfig, InterconnectModel, SystemConfig
+from conftest import random_graph
+
+TINY = ExperimentConfig(scale=0.01, num_dpus=64, datasets=("A302", "face"))
+
+
+def canonical(labels):
+    """Map labels to a canonical partition id sequence for comparison."""
+    first = {}
+    out = []
+    for label in labels:
+        if label not in first:
+            first[label] = len(first)
+        out.append(first[label])
+    return out
+
+
+class TestConnectedComponents:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_union_find(self, seed):
+        graph = random_graph(n=150, avg_degree=1.5, seed=seed)
+        system = SystemConfig(num_dpus=32)
+        run = connected_components(graph, system, 32)
+        reference = connected_components_reference(graph)
+        assert canonical(run.values) == canonical(reference)
+        assert run.converged
+
+    def test_isolated_vertices_own_components(self):
+        graph = COOMatrix.from_edges([(0, 1)], 4)
+        run = connected_components(graph, SystemConfig(num_dpus=8), 4)
+        assert run.values[0] == run.values[1]
+        assert len({run.values[0], run.values[2], run.values[3]}) == 3
+
+    def test_single_component_ring(self):
+        edges = [(i, (i + 1) % 20) for i in range(20)]
+        graph = COOMatrix.from_edges(edges, 20)
+        run = connected_components(graph, SystemConfig(num_dpus=8), 8)
+        assert len(set(run.values.tolist())) == 1
+        assert np.all(run.values == 0)
+
+    def test_direction_ignored(self):
+        # weak connectivity: a one-way chain is one component
+        graph = COOMatrix.from_edges([(2, 1), (1, 0)], 3)
+        run = connected_components(graph, SystemConfig(num_dpus=4), 2)
+        assert len(set(run.values.tolist())) == 1
+
+    def test_spmv_policy_agrees(self):
+        graph = random_graph(n=100, avg_degree=2, seed=9)
+        system = SystemConfig(num_dpus=16)
+        a = connected_components(graph, system, 16,
+                                 policy=FixedPolicy("spmv"))
+        b = connected_components(graph, system, 16,
+                                 policy=FixedPolicy("spmspv"))
+        assert np.array_equal(a.values, b.values)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ReproError):
+            connected_components(
+                COOMatrix.empty(0), SystemConfig(num_dpus=4), 2
+            )
+
+    def test_symmetrize(self):
+        graph = COOMatrix.from_edges([(0, 1)], 3)
+        sym = symmetrize_unweighted(graph)
+        dense = sym.to_dense()
+        assert dense[0, 1] == 0 and dense[1, 0] == 0  # zero weights
+        assert sym.nnz == 2  # both directions present
+        assert np.array_equal(dense != np.inf, dense != np.inf)
+
+
+class TestInterconnectModel:
+    def test_exchange_time(self):
+        model = InterconnectModel(InterconnectConfig(link_bandwidth=1e9,
+                                                     exchange_latency_s=0.0))
+        assert model.exchange_seconds(1e9, 1) == pytest.approx(1.0)
+        assert model.exchange_seconds(1e9, 10) == pytest.approx(0.1)
+
+    def test_latency_floor(self):
+        model = InterconnectModel()
+        assert model.exchange_seconds(0, 8) == pytest.approx(
+            model.config.exchange_latency_s
+        )
+
+    def test_rewrite_keeps_kernel(self):
+        model = InterconnectModel()
+        original = PhaseBreakdown(load=1.0, kernel=2.0, retrieve=1.5,
+                                  merge=0.1)
+        rewritten = model.rewrite_iteration(original, 1024, 64)
+        assert rewritten.kernel == 2.0
+        assert rewritten.retrieve == 0.0
+        assert rewritten.total < original.total
+
+    def test_rejects_bad_args(self):
+        model = InterconnectModel()
+        with pytest.raises(UpmemError):
+            model.exchange_seconds(-1, 4)
+        with pytest.raises(UpmemError):
+            model.exchange_seconds(10, 0)
+        with pytest.raises(UpmemError):
+            InterconnectModel(InterconnectConfig(link_bandwidth=0.0))
+
+    def test_ablation_runs(self):
+        cache = DatasetCache(TINY)
+        result = run_interconnect_ablation(TINY, cache)
+        assert result.rows
+        for algorithm in ("bfs", "sssp", "ppr"):
+            assert result.speedup(algorithm) > 1.0
+        assert "interconnect" in result.format_report()
+
+
+class TestDensityStudy:
+    def test_runs_and_reports(self):
+        cache = DatasetCache(TINY)
+        result = run_density_study(TINY, cache, sources_per_dataset=2)
+        assert len(result.rows) == len(TINY.datasets)
+        assert 0 <= result.fraction_below_half <= 1
+        assert "density" in result.format_report()
+
+    def test_densities_bounded(self):
+        cache = DatasetCache(TINY)
+        result = run_density_study(TINY, cache, sources_per_dataset=1)
+        for row in result.rows:
+            assert np.all(row.densities >= 0)
+            assert np.all(row.densities <= 1)
+
+
+class TestRunnerCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in REGISTRY:
+            assert name in out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["not-an-experiment"])
+
+    def test_no_experiments(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_runs_to_stdout(self, capsys):
+        code = main(["ablation-model", "--scale", "0.01", "--dpus", "64"])
+        assert code == 0
+        assert "Model-consistency" in capsys.readouterr().out
+
+    def test_writes_reports(self, tmp_path, capsys):
+        code = main([
+            "table2", "--scale", "0.01", "--dpus", "64",
+            "--out", str(tmp_path),
+        ])
+        assert code == 0
+        assert (tmp_path / "table2.txt").exists()
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["fig2"])
+        assert args.experiments == ["fig2"]
+        assert args.seed == 7

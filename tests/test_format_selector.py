@@ -1,0 +1,64 @@
+"""Tests for the empirical SpMSpV variant selector."""
+
+import numpy as np
+import pytest
+
+from repro.adaptive import (
+    VariantSelection,
+    probe_variants,
+    rule_of_thumb_variant,
+    select_best_variant,
+)
+from repro.datasets import degree_targeted, road_network
+from repro.errors import KernelError
+from repro.kernels import FIG5_VARIANTS
+from repro.upmem import SystemConfig
+from conftest import random_graph
+
+
+@pytest.fixture
+def system():
+    return SystemConfig(num_dpus=64)
+
+
+class TestProbe:
+    def test_times_every_variant(self, system):
+        matrix = random_graph(n=400, avg_degree=6, seed=2)
+        selection = probe_variants(matrix, system, 32, density=0.2)
+        assert set(selection.timings_s) == set(FIG5_VARIANTS)
+        assert all(t > 0 for t in selection.timings_s.values())
+
+    def test_best_is_minimum(self):
+        selection = VariantSelection(
+            density=0.1,
+            timings_s={"a": 2.0, "b": 1.0, "c": 3.0},
+        )
+        assert selection.best == "b"
+        assert selection.spread == pytest.approx(3.0)
+
+    def test_csc_2d_wins_at_high_density(self, system):
+        matrix = random_graph(n=2000, avg_degree=8, seed=4)
+        best = select_best_variant(matrix, system, 64, density=0.5)
+        assert best == "spmspv-csc-2d"
+
+    def test_rejects_no_variants(self, system):
+        matrix = random_graph(n=100, seed=5)
+        with pytest.raises(KernelError):
+            probe_variants(matrix, system, 8, density=0.1, variants=())
+
+
+class TestRuleOfThumb:
+    def test_high_density_always_csc2d(self):
+        matrix = random_graph(n=200, seed=6)
+        assert rule_of_thumb_variant(matrix, 0.5) == "spmspv-csc-2d"
+        assert rule_of_thumb_variant(matrix, 0.10) == "spmspv-csc-2d"
+
+    def test_uniform_low_degree_prefers_cscc(self):
+        # the paper's 'r-PA' case: small uniform degrees
+        roads = road_network(5000, rng=np.random.default_rng(7))
+        assert rule_of_thumb_variant(roads, 0.01) == "spmspv-csc-c"
+
+    def test_skewed_prefers_cscr(self):
+        social = degree_targeted(3000, 12.0, 41.0,
+                                 rng=np.random.default_rng(8))
+        assert rule_of_thumb_variant(social, 0.01) == "spmspv-csc-r"

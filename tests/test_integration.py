@@ -1,0 +1,139 @@
+"""End-to-end integration tests across the whole stack.
+
+These exercise the full pipeline the way the paper's evaluation does —
+dataset generation -> partitioning -> kernels -> algorithms -> baselines
+-> accounting — and assert the cross-subsystem invariants the unit tests
+cannot see.
+"""
+
+import numpy as np
+import pytest
+
+from repro.adaptive import AdaptiveSwitchPolicy
+from repro.algorithms import (
+    MatvecDriver,
+    bfs,
+    bfs_reference,
+    ppr,
+    ppr_reference,
+    sssp,
+    sssp_reference,
+)
+from repro.algorithms.ppr import normalize_columns
+from repro.baselines import CpuGraphEngine, GpuGraphEngine
+from repro.datasets import TABLE2, add_weights
+from repro.types import PhaseBreakdown
+from repro.upmem import SystemConfig
+
+SCALE = 0.015
+DPUS = 128
+
+
+@pytest.fixture(scope="module")
+def system():
+    return SystemConfig(num_dpus=DPUS)
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    rng = np.random.default_rng(3)
+    return {
+        abbrev: TABLE2[abbrev].generate(scale=SCALE, rng=rng)
+        for abbrev in ("A302", "face", "p2p-24")
+    }
+
+
+class TestFullPipeline:
+    @pytest.mark.parametrize("abbrev", ("A302", "face", "p2p-24"))
+    def test_bfs_three_ways(self, abbrev, graphs, system):
+        """PIM, CPU and GPU engines all agree with the reference."""
+        graph = graphs[abbrev]
+        reference = bfs_reference(graph, 0)
+        pim = bfs(graph, 0, system, DPUS,
+                  policy=AdaptiveSwitchPolicy.for_matrix(graph))
+        cpu = CpuGraphEngine().bfs(graph, 0)
+        gpu = GpuGraphEngine().bfs(graph, 0)
+        assert np.array_equal(pim.values, reference)
+        assert np.array_equal(cpu.values, reference)
+        assert np.array_equal(gpu.values, reference)
+
+    def test_sssp_full_stack(self, graphs, system):
+        graph = add_weights(graphs["A302"], rng=np.random.default_rng(5))
+        reference = sssp_reference(graph, 0)
+        pim = sssp(graph, 0, system, DPUS,
+                   policy=AdaptiveSwitchPolicy.for_matrix(graph))
+        assert np.allclose(pim.values, reference)
+        cpu = CpuGraphEngine().sssp(graph, 0)
+        assert np.allclose(cpu.values, reference)
+
+    def test_ppr_full_stack(self, graphs, system):
+        graph = graphs["face"]
+        pim = ppr(graph, 0, system, DPUS,
+                  policy=AdaptiveSwitchPolicy.for_matrix(graph))
+        reference = ppr_reference(graph, 0)
+        assert np.abs(pim.values - reference).sum() < 1e-4
+
+
+class TestAccountingInvariants:
+    def test_run_breakdown_is_sum_of_iterations(self, graphs, system):
+        graph = graphs["A302"]
+        run = bfs(graph, 0, system, DPUS)
+        summed = PhaseBreakdown()
+        for trace in run.iterations:
+            summed += trace.breakdown
+        assert summed.total == pytest.approx(run.breakdown.total)
+        assert summed.kernel == pytest.approx(run.breakdown.kernel)
+
+    def test_energy_positive_and_composed(self, graphs, system):
+        run = bfs(graphs["A302"], 0, system, DPUS)
+        assert run.energy.static_j > 0
+        assert run.energy.total_j == pytest.approx(
+            run.energy.static_j + run.energy.dynamic_j
+            + run.energy.transfer_j
+        )
+
+    def test_bytes_accounted_per_iteration(self, graphs, system):
+        run = bfs(graphs["A302"], 0, system, DPUS)
+        for trace in run.iterations:
+            assert trace.bytes_loaded > 0
+            assert trace.bytes_retrieved > 0
+
+    def test_profile_merged_across_iterations(self, graphs, system):
+        run = bfs(graphs["A302"], 0, system, DPUS)
+        assert run.profile is not None
+        assert run.profile.instructions.total_instructions > 0
+
+    def test_shared_driver_consistency(self, graphs, system):
+        """Reusing one driver across algorithms keeps results exact."""
+        graph = graphs["p2p-24"]
+        driver = MatvecDriver(graph, system, DPUS)
+        first = bfs(graph, 0, system, DPUS, driver=driver)
+        second = bfs(graph, 1 % graph.nrows, system, DPUS, driver=driver)
+        assert np.array_equal(first.values, bfs_reference(graph, 0))
+        assert np.array_equal(
+            second.values, bfs_reference(graph, 1 % graph.nrows)
+        )
+
+
+class TestAdaptiveEndToEnd:
+    def test_adaptive_never_loses_badly(self, graphs, system):
+        """The paper's pitch: switching is at worst neutral vs SpMV-only."""
+        from repro.algorithms.base import FixedPolicy
+
+        graph = graphs["A302"]
+        driver = MatvecDriver(graph, system, DPUS)
+        spmv_only = bfs(graph, 0, system, DPUS,
+                        policy=FixedPolicy("spmv"), driver=driver)
+        adaptive = bfs(graph, 0, system, DPUS,
+                       policy=AdaptiveSwitchPolicy.for_matrix(graph),
+                       driver=driver)
+        assert adaptive.total_s <= spmv_only.total_s * 1.05
+
+    def test_switch_actually_happens_on_dense_traversals(self, graphs,
+                                                         system):
+        graph = graphs["face"]  # dense social graph: frontier explodes
+        run = bfs(graph, 0, system, DPUS,
+                  policy=AdaptiveSwitchPolicy.for_matrix(graph))
+        kernels_used = {t.kernel_name for t in run.iterations}
+        assert any(k.startswith("spmspv") for k in kernels_used)
+        assert any(k.startswith("spmv-") for k in kernels_used)

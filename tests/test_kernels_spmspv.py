@@ -1,0 +1,177 @@
+"""Tests for the five SpMSpV kernel variants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import KernelError
+from repro.kernels import (
+    BEST_SPMSPV,
+    BEST_SPMV,
+    FIG5_VARIANTS,
+    KERNELS,
+    prepare_kernel,
+)
+from repro.semiring import BOOLEAN_OR_AND, MIN_PLUS, PLUS_TIMES
+from repro.sparse import COOMatrix, SparseVector, random_sparse_vector, spmspv
+from repro.upmem import SystemConfig
+from conftest import random_graph
+
+SPMSPV_NAMES = [n for n in KERNELS if n.startswith("spmspv")]
+
+
+@pytest.fixture
+def system():
+    return SystemConfig(num_dpus=64)
+
+
+@pytest.fixture
+def matrix():
+    return random_graph(n=300, avg_degree=7, seed=11)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("name", SPMSPV_NAMES)
+    @pytest.mark.parametrize("density", [0.0, 0.02, 0.3, 1.0])
+    def test_matches_reference(self, name, density, matrix, system):
+        kernel = prepare_kernel(name, matrix, 32, system)
+        x = random_sparse_vector(
+            300, density, rng=np.random.default_rng(13), dtype=np.int32
+        )
+        result = kernel.run(x, PLUS_TIMES)
+        expected = spmspv(matrix, x, PLUS_TIMES)
+        assert np.array_equal(
+            result.output.to_dense(), expected.to_dense()
+        ), name
+
+    @pytest.mark.parametrize("name", SPMSPV_NAMES)
+    def test_min_plus(self, name, system):
+        matrix = random_graph(n=200, seed=17, weights="random")
+        kernel = prepare_kernel(name, matrix, 32, system)
+        x = SparseVector.basis(0, 200, value=0.0)
+        result = kernel.run(x, MIN_PLUS)
+        expected = spmspv(matrix, x, MIN_PLUS)
+        assert result.output == expected
+
+    @pytest.mark.parametrize("name", SPMSPV_NAMES)
+    def test_boolean(self, name, matrix, system):
+        kernel = prepare_kernel(name, matrix, 32, system)
+        x = SparseVector.basis(5, 300, value=np.int32(1))
+        result = kernel.run(x, BOOLEAN_OR_AND)
+        expected = spmspv(matrix, x, BOOLEAN_OR_AND)
+        assert result.output == expected
+
+    def test_rejects_dense_input(self, matrix, system):
+        kernel = prepare_kernel(BEST_SPMSPV, matrix, 16, system)
+        with pytest.raises(KernelError):
+            kernel.run(np.ones(300), PLUS_TIMES)
+
+    def test_rejects_wrong_length(self, matrix, system):
+        kernel = prepare_kernel(BEST_SPMSPV, matrix, 16, system)
+        with pytest.raises(KernelError):
+            kernel.run(SparseVector.empty(42), PLUS_TIMES)
+
+    def test_empty_input_empty_output(self, matrix, system):
+        kernel = prepare_kernel(BEST_SPMSPV, matrix, 16, system)
+        result = kernel.run(SparseVector.empty(300), PLUS_TIMES)
+        assert result.output.nnz == 0
+        assert result.elements_processed == 0
+
+
+class TestPhaseShapes:
+    def test_load_scales_with_density(self, matrix, system):
+        kernel = prepare_kernel(BEST_SPMSPV, matrix, 32, system)
+        rng = np.random.default_rng(19)
+        sparse = kernel.run(
+            random_sparse_vector(300, 0.01, rng=rng, dtype=np.int32),
+            PLUS_TIMES,
+        )
+        dense = kernel.run(
+            random_sparse_vector(300, 0.9, rng=rng, dtype=np.int32),
+            PLUS_TIMES,
+        )
+        assert dense.bytes_loaded > sparse.bytes_loaded
+
+    def test_broadcast_variants_load_more_bytes(self, system):
+        matrix = random_graph(n=3000, avg_degree=6, seed=23)
+        x = random_sparse_vector(
+            3000, 0.3, rng=np.random.default_rng(5), dtype=np.int32
+        )
+        csc_r = prepare_kernel("spmspv-csc-r", matrix, 64, system).run(
+            x, PLUS_TIMES
+        )
+        csc_2d = prepare_kernel("spmspv-csc-2d", matrix, 64, system).run(
+            x, PLUS_TIMES
+        )
+        # CSC-R broadcasts the full compressed vector to every DPU
+        assert csc_r.bytes_loaded > csc_2d.bytes_loaded
+
+    def test_rowwise_variants_skip_merge(self, matrix, system):
+        for name in ("spmspv-coo", "spmspv-csr", "spmspv-csc-r"):
+            kernel = prepare_kernel(name, matrix, 16, system)
+            x = random_sparse_vector(
+                300, 0.2, rng=np.random.default_rng(1), dtype=np.int32
+            )
+            assert kernel.run(x, PLUS_TIMES).breakdown.merge == 0.0, name
+
+    def test_merge_variants_pay_merge(self, matrix, system):
+        for name in ("spmspv-csc-c", "spmspv-csc-2d"):
+            kernel = prepare_kernel(name, matrix, 16, system)
+            x = random_sparse_vector(
+                300, 0.5, rng=np.random.default_rng(1), dtype=np.int32
+            )
+            result = kernel.run(x, PLUS_TIMES)
+            if kernel.plan.needs_merge:
+                assert result.breakdown.merge > 0.0, name
+
+    def test_csr_kernel_slowest_at_high_density(self, system):
+        matrix = random_graph(n=1000, avg_degree=6, seed=29)
+        x = random_sparse_vector(
+            1000, 0.5, rng=np.random.default_rng(3), dtype=np.int32
+        )
+        kernel_times = {}
+        for name in SPMSPV_NAMES:
+            kernel = prepare_kernel(name, matrix, 32, system)
+            kernel_times[name] = kernel.run(x, PLUS_TIMES).breakdown.kernel
+        assert kernel_times["spmspv-csr"] == max(kernel_times.values())
+
+    def test_achieved_ops_counts_matched(self, matrix, system):
+        kernel = prepare_kernel(BEST_SPMSPV, matrix, 16, system)
+        x = SparseVector.basis(0, 300, value=np.int32(1))
+        result = kernel.run(x, PLUS_TIMES)
+        csc = matrix.to_csc()
+        col_len = int(csc.column_lengths()[0])
+        assert result.elements_processed == col_len
+        assert result.achieved_ops == 2.0 * col_len
+
+
+class TestRegistry:
+    def test_all_kernels_registered(self):
+        assert set(FIG5_VARIANTS) <= set(KERNELS)
+        assert BEST_SPMV in KERNELS
+        assert BEST_SPMSPV in KERNELS
+
+    def test_unknown_kernel(self, matrix, system):
+        with pytest.raises(KernelError, match="unknown kernel"):
+            prepare_kernel("spmspv-magic", matrix, 8, system)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.integers(0, 10_000),
+    st.sampled_from(SPMSPV_NAMES),
+    st.floats(0.0, 1.0),
+)
+def test_property_variant_agreement(seed, name, density):
+    """Every variant computes the same function on random inputs."""
+    rng = np.random.default_rng(seed)
+    n = 60
+    dense = (rng.random((n, n)) < 0.15).astype(np.int32)
+    matrix = COOMatrix.from_dense(dense)
+    system = SystemConfig(num_dpus=64)
+    kernel = prepare_kernel(name, matrix, 8, system)
+    x = random_sparse_vector(n, density, rng=rng, dtype=np.int32)
+    result = kernel.run(x, PLUS_TIMES)
+    expected = spmspv(matrix, x, PLUS_TIMES)
+    assert np.array_equal(result.output.to_dense(), expected.to_dense())

@@ -1,0 +1,137 @@
+"""Tests for the SpMV kernels (SparseP COO.nnz and DCOO)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.kernels import (
+    gather_miss_rate,
+    prepare_spmv_1d,
+    prepare_spmv_2d,
+)
+from repro.semiring import BOOLEAN_OR_AND, MIN_PLUS, PLUS_TIMES
+from repro.sparse import SparseVector, random_sparse_vector, spmv_dense
+from repro.upmem import SystemConfig
+from conftest import random_graph
+
+
+@pytest.fixture
+def system():
+    return SystemConfig(num_dpus=64)
+
+
+@pytest.fixture
+def float_matrix():
+    g = random_graph(n=200, avg_degree=6, seed=3)
+    rng = np.random.default_rng(3)
+    from repro.sparse import COOMatrix
+
+    return COOMatrix(
+        g.rows, g.cols, rng.uniform(0.2, 2.0, g.nnz).astype(np.float32),
+        g.shape,
+    )
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("prepare", [prepare_spmv_1d, prepare_spmv_2d])
+    def test_matches_reference(self, prepare, float_matrix, system):
+        kernel = prepare(float_matrix, 64, system)
+        x = np.random.default_rng(1).random(200).astype(np.float32)
+        result = kernel.run(x, PLUS_TIMES)
+        expected = spmv_dense(float_matrix, x)
+        assert np.allclose(result.output.to_dense(), expected, rtol=1e-5)
+
+    @pytest.mark.parametrize("prepare", [prepare_spmv_1d, prepare_spmv_2d])
+    def test_min_plus(self, prepare, system):
+        matrix = random_graph(n=150, seed=5, weights="random")
+        kernel = prepare(matrix, 32, system)
+        x = np.full(150, np.inf)
+        x[0] = 0.0
+        result = kernel.run(x, MIN_PLUS)
+        expected = spmv_dense(matrix, x, MIN_PLUS)
+        got = result.output.to_dense(zero=np.inf)
+        assert np.allclose(got[np.isfinite(expected)],
+                           expected[np.isfinite(expected)])
+
+    def test_accepts_sparse_vector_input(self, float_matrix, system):
+        kernel = prepare_spmv_1d(float_matrix, 16, system)
+        x = random_sparse_vector(200, 0.3, rng=np.random.default_rng(2),
+                                 dtype=np.float32)
+        result = kernel.run(x, PLUS_TIMES)
+        expected = spmv_dense(float_matrix, x.to_dense())
+        assert np.allclose(result.output.to_dense(), expected, rtol=1e-5)
+
+    def test_rejects_wrong_length(self, float_matrix, system):
+        kernel = prepare_spmv_1d(float_matrix, 16, system)
+        with pytest.raises(KernelError):
+            kernel.run(np.zeros(7), PLUS_TIMES)
+
+
+class TestTiming:
+    def test_all_phases_accounted(self, float_matrix, system):
+        kernel = prepare_spmv_2d(float_matrix, 64, system)
+        x = np.ones(200, dtype=np.float32)
+        result = kernel.run(x, PLUS_TIMES)
+        b = result.breakdown
+        assert b.load > 0 and b.kernel > 0 and b.retrieve > 0
+        assert b.merge >= 0
+        assert result.bytes_loaded > 0
+        assert result.bytes_retrieved > 0
+
+    def test_1d_broadcast_load_exceeds_2d(self, system):
+        matrix = random_graph(n=2000, avg_degree=8, seed=7)
+        x = np.ones(2000, dtype=np.int32)
+        load_1d = prepare_spmv_1d(matrix, 64, system).run(
+            x, PLUS_TIMES
+        ).breakdown.load
+        load_2d = prepare_spmv_2d(matrix, 64, system).run(
+            x, PLUS_TIMES
+        ).breakdown.load
+        assert load_1d > load_2d
+
+    def test_kernel_includes_launch_overhead(self, float_matrix, system):
+        kernel = prepare_spmv_1d(float_matrix, 16, system)
+        result = kernel.run(np.ones(200, dtype=np.float32), PLUS_TIMES)
+        assert result.breakdown.kernel >= system.dpu.launch_overhead_s
+
+    def test_profile_attached(self, float_matrix, system):
+        kernel = prepare_spmv_1d(float_matrix, 16, system)
+        result = kernel.run(np.ones(200, dtype=np.float32), PLUS_TIMES)
+        assert result.profile.num_dpus == 16
+        assert result.profile.instructions.total_instructions > 0
+        assert result.achieved_ops > 0
+
+    def test_float_kernel_slower_than_int(self, system):
+        """Software-emulated FP makes float SpMV kernels slower."""
+        int_matrix = random_graph(n=500, avg_degree=8, seed=9)
+        from repro.sparse import COOMatrix
+
+        float_matrix = COOMatrix(
+            int_matrix.rows, int_matrix.cols,
+            int_matrix.values.astype(np.float32), int_matrix.shape,
+        )
+        x_int = np.ones(500, dtype=np.int32)
+        x_float = np.ones(500, dtype=np.float32)
+        t_int = prepare_spmv_1d(int_matrix, 16, system).run(
+            x_int, PLUS_TIMES
+        ).breakdown.kernel
+        t_float = prepare_spmv_1d(float_matrix, 16, system).run(
+            x_float, PLUS_TIMES
+        ).breakdown.kernel
+        assert t_float > t_int
+
+
+class TestGatherMissRate:
+    def test_small_span_hits(self):
+        assert gather_miss_rate(100, 4) == 0.0
+
+    def test_large_span_misses(self):
+        rate = gather_miss_rate(1_000_000, 4)
+        assert 0.9 < rate < 1.0
+
+    def test_monotone_in_span(self):
+        rates = [gather_miss_rate(s, 4) for s in (10, 10_000, 100_000)]
+        assert rates == sorted(rates)
+
+    def test_zero_span(self):
+        assert gather_miss_rate(0, 4) == 0.0

@@ -1,0 +1,115 @@
+"""Tests for global PageRank and the ASCII report helpers."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import FixedPolicy, pagerank, pagerank_reference
+from repro.errors import ReproError
+from repro.experiments import breakdown_chart, fraction_bar, stacked_bar
+from repro.sparse import COOMatrix
+from repro.types import PhaseBreakdown
+from repro.upmem import SystemConfig
+from conftest import random_graph
+
+DPUS = 32
+
+
+@pytest.fixture
+def system():
+    return SystemConfig(num_dpus=DPUS)
+
+
+class TestPagerank:
+    def test_matches_reference(self, graph, system):
+        # float32 kernel arithmetic floors the residual near 1e-7, so the
+        # tolerance must sit above that for the convergence flag
+        run = pagerank(graph, system, DPUS, tol=1e-6, max_iters=200)
+        reference = pagerank_reference(graph)
+        assert np.abs(run.values - reference).sum() < 1e-5
+        assert run.converged
+
+    def test_matches_networkx(self, system):
+        networkx = pytest.importorskip("networkx")
+        graph = random_graph(n=70, avg_degree=5, seed=77)
+        run = pagerank(graph, system, DPUS, tol=1e-11, max_iters=500)
+        nx_graph = networkx.DiGraph()
+        coo = graph.to_coo()
+        nx_graph.add_nodes_from(range(70))
+        for v, u in zip(coo.rows, coo.cols):
+            nx_graph.add_edge(int(u), int(v))
+        nx_rank = networkx.pagerank(nx_graph, alpha=0.85, tol=1e-12,
+                                    max_iter=500)
+        for node in range(70):
+            assert run.values[node] == pytest.approx(nx_rank[node], abs=2e-3)
+
+    def test_is_distribution(self, graph, system):
+        run = pagerank(graph, system, DPUS)
+        assert run.values.sum() == pytest.approx(1.0, abs=1e-6)
+        assert np.all(run.values >= 0)
+
+    def test_dense_input_uses_spmv(self, graph, system):
+        run = pagerank(graph, system, DPUS)
+        assert all(
+            t.kernel_name.startswith("spmv") for t in run.iterations
+        )
+
+    def test_spmspv_policy_same_answer(self, graph, system):
+        a = pagerank(graph, system, DPUS, policy=FixedPolicy("spmv"))
+        b = pagerank(graph, system, DPUS, policy=FixedPolicy("spmspv"))
+        assert np.allclose(a.values, b.values, atol=1e-9)
+
+    def test_rejects_bad_inputs(self, graph, system):
+        with pytest.raises(ReproError):
+            pagerank(graph, system, DPUS, alpha=0.0)
+        with pytest.raises(ReproError):
+            pagerank(COOMatrix.empty(0), system, 4)
+
+    def test_dangling_handled(self, system):
+        graph = COOMatrix.from_edges([(0, 1), (1, 2)], 4)  # 2, 3 dangling
+        run = pagerank(graph, system, 4)
+        assert run.values.sum() == pytest.approx(1.0, abs=1e-6)
+
+
+class TestReportHelpers:
+    def test_stacked_bar_proportions(self):
+        b = PhaseBreakdown(load=1.0, kernel=1.0, retrieve=1.0, merge=1.0)
+        bar = stacked_bar(b, width=40)
+        assert bar.count("L") == 10
+        assert bar.count("K") == 10
+        assert len(bar) == 40
+
+    def test_stacked_bar_scaled(self):
+        b = PhaseBreakdown(load=1.0)
+        bar = stacked_bar(b, width=40, scale_total=2.0)
+        assert bar.count("L") == 20
+        assert len(bar) == 40
+
+    def test_stacked_bar_zero(self):
+        assert stacked_bar(PhaseBreakdown(), width=10) == " " * 10
+
+    def test_stacked_bar_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            stacked_bar(PhaseBreakdown(load=1.0), width=0)
+
+    def test_breakdown_chart(self):
+        rows = [
+            ("one", PhaseBreakdown(load=1.0, kernel=1.0)),
+            ("two", PhaseBreakdown(load=0.5)),
+        ]
+        chart = breakdown_chart(rows, width=20, title="demo")
+        assert chart.startswith("demo")
+        assert "one" in chart and "two" in chart
+        # the smaller bar is visibly shorter
+        lines = chart.splitlines()
+        assert lines[-1].count("L") < lines[-2].count("L") + lines[-2].count("K")
+
+    def test_breakdown_chart_rejects_empty(self):
+        with pytest.raises(ValueError):
+            breakdown_chart([])
+
+    def test_fraction_bar(self):
+        bar = fraction_bar(
+            {"issue": 0.5, "memory": 0.5}, {"issue": "#", "memory": "."},
+            width=10,
+        )
+        assert bar == "#####....."

@@ -1,0 +1,230 @@
+"""Tests for the partitioning strategies (Fig. 3 + SparseP splits)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PartitionError
+from repro.partition import (
+    balanced_boundaries,
+    colwise,
+    coo_nnz,
+    dcoo,
+    even_boundaries,
+    grid2d,
+    grid_shape,
+    imbalance_factor,
+    rowwise,
+    tasklet_element_shares,
+)
+from repro.sparse import COOMatrix, spmv_dense
+
+
+def sample_matrix(seed=0, n=60, density=0.08):
+    rng = np.random.default_rng(seed)
+    dense = (rng.random((n, n)) < density) * rng.uniform(0.5, 2.0, (n, n))
+    return COOMatrix.from_dense(dense)
+
+
+ALL_STRATEGIES = [
+    lambda m, d: rowwise(m, d, "coo"),
+    lambda m, d: rowwise(m, d, "csr"),
+    lambda m, d: rowwise(m, d, "csc"),
+    lambda m, d: colwise(m, d),
+    lambda m, d: grid2d(m, d),
+    lambda m, d: coo_nnz(m, d),
+    lambda m, d: dcoo(m, d),
+]
+
+
+class TestBalanceHelpers:
+    def test_balanced_boundaries_cover(self):
+        weights = np.array([5, 1, 1, 1, 5, 1, 1, 1])
+        bounds = balanced_boundaries(weights, 4)
+        assert bounds[0] == 0 and bounds[-1] == 8
+        assert np.all(np.diff(bounds) >= 0)
+
+    def test_balanced_boundaries_quality(self):
+        rng = np.random.default_rng(0)
+        weights = rng.integers(1, 10, 1000)
+        bounds = balanced_boundaries(weights, 8)
+        parts = [
+            weights[bounds[i]:bounds[i + 1]].sum() for i in range(8)
+        ]
+        assert imbalance_factor(np.array(parts)) < 1.2
+
+    def test_balanced_boundaries_zero_weights(self):
+        bounds = balanced_boundaries(np.zeros(10), 5)
+        assert bounds[-1] == 10
+
+    def test_balanced_rejects_zero_parts(self):
+        with pytest.raises(PartitionError):
+            balanced_boundaries(np.ones(4), 0)
+
+    def test_even_boundaries(self):
+        bounds = even_boundaries(10, 3)
+        assert bounds[0] == 0 and bounds[-1] == 10
+        assert len(bounds) == 4
+
+    def test_grid_shape_row_bias(self):
+        rows, cols = grid_shape(2048)
+        assert rows * cols == 2048
+        assert rows > cols  # row-heavy by design
+
+    def test_grid_shape_square_bias_one(self):
+        rows, cols = grid_shape(64, row_bias=1.0)
+        assert (rows, cols) == (8, 8)
+
+    def test_grid_shape_rejects(self):
+        with pytest.raises(PartitionError):
+            grid_shape(0)
+        with pytest.raises(PartitionError):
+            grid_shape(4, row_bias=0)
+
+    def test_tasklet_shares(self):
+        shares, active = tasklet_element_shares(50, 24)
+        assert shares.sum() == 50
+        assert shares.max() - shares.min() <= 1
+        assert active == 24
+
+    def test_tasklet_shares_fewer_elements(self):
+        shares, active = tasklet_element_shares(5, 24)
+        assert active == 5
+
+    def test_imbalance_factor(self):
+        assert imbalance_factor(np.array([1.0, 1.0])) == 1.0
+        assert imbalance_factor(np.array([3.0, 1.0])) == pytest.approx(1.5)
+        assert imbalance_factor(np.array([])) == 1.0
+
+
+class TestCoverage:
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    @pytest.mark.parametrize("num_dpus", [1, 4, 16, 64])
+    def test_every_nnz_exactly_once(self, strategy, num_dpus):
+        matrix = sample_matrix()
+        plan = strategy(matrix, num_dpus)
+        assert plan.total_nnz == matrix.nnz
+
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    def test_reassembly_equals_global_matvec(self, strategy):
+        matrix = sample_matrix(3)
+        plan = strategy(matrix, 16)
+        rng = np.random.default_rng(5)
+        x = rng.random(matrix.ncols)
+        expected = spmv_dense(matrix, x)
+        y = np.zeros(matrix.nrows)
+        for p in plan.partitions:
+            c0, c1 = p.col_range
+            if p.global_rows:
+                block = p.coo_block
+                np.add.at(y, block.rows, block.values * x[block.cols])
+            else:
+                r0, r1 = p.row_range
+                y[r0:r1] += spmv_dense(p.matrix, x[c0:c1])
+        assert np.allclose(y, expected)
+
+    def test_more_dpus_than_rows(self):
+        matrix = sample_matrix(1, n=10)
+        plan = rowwise(matrix, 64)
+        assert plan.num_dpus <= 10
+        assert plan.total_nnz == matrix.nnz
+
+
+class TestPlanMetadata:
+    def test_rowwise_no_merge(self):
+        plan = rowwise(sample_matrix(), 8)
+        assert not plan.needs_merge
+        assert plan.grid is None
+
+    def test_colwise_needs_merge(self):
+        plan = colwise(sample_matrix(), 8)
+        assert plan.needs_merge
+
+    def test_grid2d_shape(self):
+        plan = grid2d(sample_matrix(), 16)
+        assert plan.grid is not None
+        gr, gc = plan.grid
+        assert gr * gc == 16
+        assert plan.needs_merge == (gc > 1)
+
+    def test_bounds_recorded(self):
+        plan = grid2d(sample_matrix(), 16)
+        assert plan.row_bounds is not None
+        assert plan.col_bounds is not None
+        assert plan.row_bounds[-1] == plan.shape[0]
+        assert plan.col_bounds[-1] == plan.shape[1]
+
+    def test_coo_nnz_balanced(self):
+        plan = coo_nnz(sample_matrix(), 16)
+        counts = plan.nnz_per_dpu()
+        assert counts.max() - counts.min() <= 1
+        assert all(p.global_rows for p in plan.partitions)
+
+    def test_dcoo_even_tiles(self):
+        plan = dcoo(sample_matrix(), 16)
+        spans = {p.row_range[1] - p.row_range[0] for p in plan.partitions}
+        assert len(spans) <= 2  # static equal-size rows (rounding)
+
+    def test_nbytes_by_format(self):
+        matrix = sample_matrix(4)
+        for fmt, overhead in (("coo", 0), ("csr", 1), ("csc", 1)):
+            plan = rowwise(matrix, 4, fmt)
+            for p in plan.partitions:
+                assert p.nbytes > 0
+                assert p.fmt == fmt
+
+    def test_mram_fit_validation(self):
+        matrix = sample_matrix(5)
+        plan = rowwise(matrix, 4)
+        plan.validate_mram_fit(64 * 1024 * 1024)
+        with pytest.raises(PartitionError):
+            plan.validate_mram_fit(16)
+
+    def test_lazy_matrix_conversion(self):
+        plan = rowwise(sample_matrix(6), 4, "csc")
+        block = plan.partitions[0]
+        converted = block.matrix
+        assert converted.nnz == block.nnz
+        assert converted.to_dense().shape == (
+            block.out_len, plan.shape[1]
+        )
+
+
+class TestErrors:
+    def test_zero_dpus(self):
+        with pytest.raises(PartitionError):
+            rowwise(sample_matrix(), 0)
+
+    def test_bad_format(self):
+        with pytest.raises(PartitionError):
+            rowwise(sample_matrix(), 4, "ellpack")
+
+    def test_empty_matrix(self):
+        with pytest.raises(PartitionError):
+            rowwise(COOMatrix.empty(0), 4)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(0, 100_000),
+    st.sampled_from([1, 3, 8, 32]),
+    st.sampled_from(["rowwise", "colwise", "grid2d", "coo_nnz", "dcoo"]),
+)
+def test_property_partition_coverage(seed, num_dpus, strategy_name):
+    """Any strategy on any random matrix covers all non-zeros exactly."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(5, 50))
+    dense = (rng.random((n, n)) < 0.2) * 1.0
+    matrix = COOMatrix.from_dense(dense)
+    if matrix.nnz == 0:
+        return
+    strategy = {
+        "rowwise": lambda: rowwise(matrix, num_dpus),
+        "colwise": lambda: colwise(matrix, num_dpus),
+        "grid2d": lambda: grid2d(matrix, num_dpus),
+        "coo_nnz": lambda: coo_nnz(matrix, num_dpus),
+        "dcoo": lambda: dcoo(matrix, num_dpus),
+    }[strategy_name]
+    plan = strategy()
+    assert plan.total_nnz == matrix.nnz

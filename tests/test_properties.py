@@ -1,0 +1,135 @@
+"""Cross-cutting property-based tests over the whole stack."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import FixedPolicy, bfs, bfs_reference
+from repro.kernels import prepare_kernel
+from repro.semiring import BOOLEAN_OR_AND, MIN_PLUS, PLUS_TIMES
+from repro.sparse import COOMatrix, random_sparse_vector, spmspv
+from repro.types import DataType
+from repro.upmem import (
+    DpuConfig,
+    Instruction,
+    InstrClass,
+    RevolverPipeline,
+    SystemConfig,
+    csc_spmspv_program,
+)
+
+
+def random_matrix(rng, n=40, density=0.15, dtype=np.int32):
+    dense = (rng.random((n, n)) < density).astype(dtype)
+    return COOMatrix.from_dense(dense)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 100_000), st.sampled_from([1, 4, 16]),
+       st.floats(0.0, 1.0))
+def test_kernel_output_independent_of_dpu_count(seed, num_dpus, density):
+    """The functional result never depends on how work is partitioned."""
+    rng = np.random.default_rng(seed)
+    matrix = random_matrix(rng)
+    system = SystemConfig(num_dpus=64)
+    x = random_sparse_vector(40, density, rng=rng, dtype=np.int32)
+    expected = spmspv(matrix, x, PLUS_TIMES)
+    kernel = prepare_kernel("spmspv-csc-2d", matrix, num_dpus, system)
+    assert kernel.run(x, PLUS_TIMES).output == expected
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 100_000))
+def test_kernel_phases_always_nonnegative(seed):
+    rng = np.random.default_rng(seed)
+    matrix = random_matrix(rng)
+    system = SystemConfig(num_dpus=64)
+    x = random_sparse_vector(40, float(rng.random()), rng=rng,
+                             dtype=np.int32)
+    for name in ("spmv-dcoo", "spmspv-csc-2d", "spmspv-coo"):
+        result = prepare_kernel(name, matrix, 8, system).run(
+            x, PLUS_TIMES
+        )
+        breakdown = result.breakdown
+        assert breakdown.load >= 0
+        assert breakdown.kernel > 0  # launch overhead floor
+        assert breakdown.retrieve >= 0
+        assert breakdown.merge >= 0
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 100_000))
+def test_bfs_policy_equivalence(seed):
+    """All kernel policies compute identical BFS levels."""
+    rng = np.random.default_rng(seed)
+    n = 35
+    edges = np.unique(rng.integers(0, n, (80, 2)), axis=0)
+    edges = edges[edges[:, 0] != edges[:, 1]]
+    if edges.size == 0:
+        return
+    graph = COOMatrix.from_edges(edges, n)
+    system = SystemConfig(num_dpus=64)
+    reference = bfs_reference(graph, 0)
+    for kind in ("spmv", "spmspv"):
+        run = bfs(graph, 0, system, 8, policy=FixedPolicy(kind))
+        assert np.array_equal(run.values, reference), kind
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    st.lists(st.integers(0, 6), min_size=1, max_size=8),
+    st.integers(1, 6),
+)
+def test_pipeline_conservation(column_lengths, tasklets):
+    """The pipeline issues exactly the instructions it was given, and
+    total cycles >= issued instructions (1 dispatch per cycle max)."""
+    streams = [
+        csc_spmspv_program(column_lengths,
+                           rng=np.random.default_rng(t))
+        for t in range(tasklets)
+    ]
+    stats = RevolverPipeline(DpuConfig()).run(streams)
+    total = sum(len(s) for s in streams)
+    assert stats.instructions_issued == total
+    assert stats.cycles >= stats.issue_cycles
+    assert stats.issue_cycles == total
+    fractions = stats.breakdown_fractions()
+    assert sum(fractions.values()) == pytest.approx(1.0)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 100_000), st.floats(0.05, 0.95))
+def test_semiring_consistency_across_kernels(seed, density):
+    """SpMV and SpMSpV agree under every Table-1 semiring."""
+    rng = np.random.default_rng(seed)
+    matrix = random_matrix(rng, dtype=np.int32)
+    system = SystemConfig(num_dpus=64)
+    x = random_sparse_vector(40, density, rng=rng, dtype=np.int32)
+    spmv = prepare_kernel("spmv-dcoo", matrix, 8, system)
+    spmspv = prepare_kernel("spmspv-csc-2d", matrix, 8, system)
+    for semiring in (PLUS_TIMES, BOOLEAN_OR_AND, MIN_PLUS):
+        a = spmv.run(x, semiring).output
+        b = spmspv.run(x, semiring).output
+        assert a == b, semiring.name
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 10_000), st.sampled_from(list(DataType)))
+def test_kernels_handle_every_dtype(seed, datatype):
+    """All four value types flow through the kernel path."""
+    rng = np.random.default_rng(seed)
+    np_dtype = np.dtype(datatype.value)
+    dense = (rng.random((25, 25)) < 0.2)
+    if datatype.is_float:
+        values = (dense * rng.random((25, 25))).astype(np_dtype)
+    else:
+        values = dense.astype(np_dtype)
+    matrix = COOMatrix.from_dense(values)
+    system = SystemConfig(num_dpus=64)
+    x = random_sparse_vector(25, 0.3, rng=rng, dtype=np_dtype)
+    kernel = prepare_kernel("spmspv-csc-2d", matrix, 4, system)
+    result = kernel.run(x, PLUS_TIMES)
+    expected = spmspv(matrix, x, PLUS_TIMES)
+    assert np.allclose(result.output.to_dense(), expected.to_dense(),
+                       rtol=1e-5)

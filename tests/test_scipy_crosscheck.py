@@ -1,0 +1,59 @@
+"""Cross-validation of the sparse substrate against SciPy."""
+
+import numpy as np
+import pytest
+
+scipy_sparse = pytest.importorskip("scipy.sparse")
+
+from repro.sparse import COOMatrix, random_sparse_vector, spmspv, spmv_dense
+from repro.semiring import PLUS_TIMES
+
+
+def make_pair(seed=0, n=80, density=0.1):
+    rng = np.random.default_rng(seed)
+    dense = (rng.random((n, n)) < density) * rng.uniform(0.5, 2.0, (n, n))
+    ours = COOMatrix.from_dense(dense)
+    theirs = scipy_sparse.csr_matrix(dense)
+    return ours, theirs
+
+
+class TestAgainstScipy:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_spmv_matches(self, seed):
+        ours, theirs = make_pair(seed)
+        x = np.random.default_rng(seed + 50).random(ours.ncols)
+        assert np.allclose(spmv_dense(ours, x), theirs @ x)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_spmspv_matches(self, seed):
+        ours, theirs = make_pair(seed)
+        x = random_sparse_vector(
+            ours.ncols, 0.2, rng=np.random.default_rng(seed)
+        )
+        got = spmspv(ours, x, PLUS_TIMES).to_dense()
+        assert np.allclose(got, theirs @ x.to_dense())
+
+    def test_csr_arrays_match(self):
+        ours, theirs = make_pair(7)
+        csr = ours.to_csr()
+        assert np.array_equal(csr.row_ptr, theirs.indptr)
+        assert np.array_equal(csr.col_indices, theirs.indices)
+        assert np.allclose(csr.values, theirs.data)
+
+    def test_csc_arrays_match(self):
+        ours, theirs = make_pair(8)
+        csc = ours.to_csc()
+        theirs_csc = theirs.tocsc()
+        assert np.array_equal(csc.col_ptr, theirs_csc.indptr)
+        assert np.array_equal(csc.row_indices, theirs_csc.indices)
+        assert np.allclose(csc.values, theirs_csc.data)
+
+    def test_matrix_power_chain(self):
+        """Iterated matvec (the algorithm inner loop) tracks scipy."""
+        ours, theirs = make_pair(9, n=40)
+        x_ours = np.ones(40)
+        x_theirs = np.ones(40)
+        for _ in range(4):
+            x_ours = spmv_dense(ours, x_ours)
+            x_theirs = theirs @ x_theirs
+        assert np.allclose(x_ours, x_theirs)

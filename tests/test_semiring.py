@@ -1,0 +1,132 @@
+"""Tests for the semiring abstraction and the Table-1 instances."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SemiringError
+from repro.semiring import (
+    ALGORITHM_SEMIRINGS,
+    BOOLEAN_OR_AND,
+    MAX_MIN,
+    MAX_TIMES,
+    MIN_PLUS,
+    PLUS_TIMES,
+    Semiring,
+    get_semiring,
+    register_semiring,
+    validate_semiring,
+)
+
+FLOAT_SAMPLES = [0.0, 1.0, 2.5, 7.0]
+
+
+class TestAxioms:
+    def test_plus_times(self):
+        validate_semiring(PLUS_TIMES, FLOAT_SAMPLES)
+
+    def test_min_plus(self):
+        validate_semiring(MIN_PLUS, FLOAT_SAMPLES + [np.inf])
+
+    def test_boolean(self):
+        validate_semiring(BOOLEAN_OR_AND, [0, 1])
+
+    def test_max_times(self):
+        validate_semiring(MAX_TIMES, [0.0, 0.5, 1.0, 2.0])
+
+    def test_max_min(self):
+        validate_semiring(MAX_MIN, [-np.inf, 0.0, 1.0, np.inf])
+
+    def test_invalid_semiring_detected(self):
+        # subtraction is not associative/commutative
+        broken = Semiring("broken", np.subtract, np.multiply, 0.0, 1.0)
+        with pytest.raises(SemiringError):
+            validate_semiring(broken, FLOAT_SAMPLES)
+
+
+class TestOperations:
+    def test_combine(self):
+        assert MIN_PLUS.combine(2.0, 3.0) == 5.0
+        assert PLUS_TIMES.combine(2.0, 3.0) == 6.0
+        assert BOOLEAN_OR_AND.combine(1, 1) == 1
+        assert BOOLEAN_OR_AND.combine(1, 0) == 0
+
+    def test_reduce(self):
+        assert PLUS_TIMES.reduce(np.array([1.0, 2.0, 3.0])) == 6.0
+        assert MIN_PLUS.reduce(np.array([3.0, 1.0, 2.0])) == 1.0
+        assert MIN_PLUS.reduce(np.array([])) == np.inf
+
+    def test_scatter_reduce_plus(self):
+        target = np.zeros(3)
+        PLUS_TIMES.scatter_reduce(
+            target, np.array([0, 0, 2]), np.array([1.0, 2.0, 5.0])
+        )
+        assert np.array_equal(target, [3.0, 0.0, 5.0])
+
+    def test_scatter_reduce_min(self):
+        target = np.full(3, np.inf)
+        MIN_PLUS.scatter_reduce(
+            target, np.array([1, 1]), np.array([4.0, 2.0])
+        )
+        assert target[1] == 2.0
+
+    def test_merge_dense(self):
+        a, b = np.array([1.0, 5.0]), np.array([2.0, 3.0])
+        assert np.array_equal(MIN_PLUS.merge_dense(a, b), [1.0, 3.0])
+        assert np.array_equal(PLUS_TIMES.merge_dense(a, b), [3.0, 8.0])
+
+    def test_zeros(self):
+        z = MIN_PLUS.zeros(4, np.float64)
+        assert np.all(np.isinf(z))
+        z = BOOLEAN_OR_AND.zeros(4, np.int32)
+        assert np.all(z == 0)
+
+    def test_is_zero(self):
+        assert MIN_PLUS.is_zero(np.array([np.inf, 1.0])).tolist() == [True, False]
+        # -inf is NOT the min-plus zero
+        assert MIN_PLUS.is_zero(np.array([-np.inf])).tolist() == [False]
+        assert PLUS_TIMES.is_zero(np.array([0.0, 2.0])).tolist() == [True, False]
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert get_semiring("min_plus") is MIN_PLUS
+        assert get_semiring("plus_times") is PLUS_TIMES
+
+    def test_unknown(self):
+        with pytest.raises(SemiringError, match="unknown semiring"):
+            get_semiring("does-not-exist")
+
+    def test_register_duplicate_rejected(self):
+        with pytest.raises(SemiringError):
+            register_semiring(PLUS_TIMES)
+
+    def test_register_new(self):
+        custom = Semiring("test_or_times", np.maximum, np.multiply, 0.0, 1.0)
+        register_semiring(custom)
+        assert get_semiring("test_or_times") is custom
+
+    def test_table1_mapping(self):
+        assert ALGORITHM_SEMIRINGS["bfs"] is BOOLEAN_OR_AND
+        assert ALGORITHM_SEMIRINGS["sssp"] is MIN_PLUS
+        assert ALGORITHM_SEMIRINGS["ppr"] is PLUS_TIMES
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.floats(0.0, 100.0), min_size=1, max_size=20),
+    st.lists(st.floats(0.0, 100.0), min_size=1, max_size=20),
+)
+def test_property_minplus_distributes(xs, ys):
+    """min(a + min(ys)) == min over pairs — distributivity at array scale."""
+    a = min(xs)
+    via_reduce = MIN_PLUS.combine(a, MIN_PLUS.reduce(np.array(ys)))
+    via_pairs = min(a + y for y in ys)
+    assert np.isclose(via_reduce, via_pairs)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(0, 1), min_size=1, max_size=30))
+def test_property_boolean_reduce_is_any(bits):
+    assert BOOLEAN_OR_AND.reduce(np.array(bits)) == int(any(bits))

@@ -1,0 +1,242 @@
+"""Tests for COO / CSR / CSC matrices and their conversions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SparseFormatError
+from repro.sparse import COOMatrix, CSCMatrix, CSRMatrix
+
+
+def sample_dense(seed=0, n=40, density=0.1, dtype=np.float64):
+    rng = np.random.default_rng(seed)
+    dense = (rng.random((n, n)) < density) * rng.random((n, n))
+    return dense.astype(dtype)
+
+
+class TestCOOConstruction:
+    def test_sorted_row_major(self):
+        m = COOMatrix([1, 0, 1], [0, 1, 2], [1, 2, 3], (2, 3))
+        assert list(m.rows) == [0, 1, 1]
+        assert list(m.cols) == [1, 0, 2]
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(SparseFormatError):
+            COOMatrix([0, 0], [1, 1], [1, 2], (2, 2))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(SparseFormatError):
+            COOMatrix([2], [0], [1], (2, 2))
+        with pytest.raises(SparseFormatError):
+            COOMatrix([0], [2], [1], (2, 2))
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(SparseFormatError):
+            COOMatrix([0], [0, 1], [1], (2, 2))
+
+    def test_empty(self):
+        m = COOMatrix.empty(5)
+        assert m.nnz == 0
+        assert m.shape == (5, 5)
+        assert m.sparsity == 0.0
+
+    def test_from_dense_roundtrip(self):
+        dense = sample_dense()
+        m = COOMatrix.from_dense(dense)
+        assert np.array_equal(m.to_dense(), dense)
+
+
+class TestFromEdges:
+    def test_pretransposed_orientation(self):
+        # edge u->v stored as A[v, u]
+        m = COOMatrix.from_edges([(0, 1)], 2)
+        dense = m.to_dense()
+        assert dense[1, 0] == 1
+        assert dense[0, 1] == 0
+
+    def test_deduplicates(self):
+        m = COOMatrix.from_edges([(0, 1), (0, 1), (1, 0)], 2)
+        assert m.nnz == 2
+
+    def test_weights(self):
+        m = COOMatrix.from_edges([(0, 1), (1, 2)], 3, weights=[5, 7])
+        dense = m.to_dense()
+        assert dense[1, 0] == 5 and dense[2, 1] == 7
+
+    def test_weights_length_mismatch(self):
+        with pytest.raises(SparseFormatError):
+            COOMatrix.from_edges([(0, 1)], 2, weights=[1, 2])
+
+    def test_empty_edges(self):
+        m = COOMatrix.from_edges([], 3)
+        assert m.nnz == 0 and m.shape == (3, 3)
+
+
+class TestConversions:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_coo_csr_csc_consistent(self, seed):
+        dense = sample_dense(seed)
+        coo = COOMatrix.from_dense(dense)
+        assert np.array_equal(coo.to_csr().to_dense(), dense)
+        assert np.array_equal(coo.to_csc().to_dense(), dense)
+        assert np.array_equal(coo.to_csr().to_csc().to_dense(), dense)
+        assert np.array_equal(coo.to_csc().to_csr().to_dense(), dense)
+
+    def test_identity_conversions(self):
+        coo = COOMatrix.from_dense(sample_dense())
+        assert coo.to_coo() is coo
+        csr = coo.to_csr()
+        assert csr.to_csr() is csr
+        csc = coo.to_csc()
+        assert csc.to_csc() is csc
+
+    def test_nnz_preserved(self):
+        coo = COOMatrix.from_dense(sample_dense(3))
+        assert coo.to_csr().nnz == coo.nnz
+        assert coo.to_csc().nnz == coo.nnz
+
+
+class TestCSRValidation:
+    def test_bad_row_ptr_length(self):
+        with pytest.raises(SparseFormatError):
+            CSRMatrix([0, 1], [0], [1.0], (2, 2))
+
+    def test_row_ptr_must_start_at_zero(self):
+        with pytest.raises(SparseFormatError):
+            CSRMatrix([1, 1, 1], [0], [1.0], (2, 2))
+
+    def test_row_ptr_monotone(self):
+        with pytest.raises(SparseFormatError):
+            CSRMatrix([0, 2, 1], [0, 1], [1.0, 2.0], (2, 2))
+
+    def test_row_ptr_final_nnz(self):
+        with pytest.raises(SparseFormatError):
+            CSRMatrix([0, 1, 3], [0, 1], [1.0, 2.0], (2, 2))
+
+    def test_col_out_of_range(self):
+        with pytest.raises(SparseFormatError):
+            CSRMatrix([0, 1, 1], [5], [1.0], (2, 2))
+
+    def test_row_access(self):
+        dense = sample_dense(2)
+        csr = COOMatrix.from_dense(dense).to_csr()
+        for i in range(dense.shape[0]):
+            cols, vals = csr.row(i)
+            expected = np.nonzero(dense[i])[0]
+            assert np.array_equal(cols, expected)
+            assert np.array_equal(vals, dense[i, expected])
+
+    def test_row_lengths(self):
+        dense = sample_dense(2)
+        csr = COOMatrix.from_dense(dense).to_csr()
+        assert np.array_equal(csr.row_lengths(), (dense != 0).sum(axis=1))
+
+
+class TestCSCValidation:
+    def test_bad_col_ptr_length(self):
+        with pytest.raises(SparseFormatError):
+            CSCMatrix([0, 1], [0], [1.0], (2, 2))
+
+    def test_col_ptr_monotone(self):
+        with pytest.raises(SparseFormatError):
+            CSCMatrix([0, 2, 1], [0, 1], [1.0, 2.0], (2, 2))
+
+    def test_row_out_of_range(self):
+        with pytest.raises(SparseFormatError):
+            CSCMatrix([0, 1, 1], [5], [1.0], (2, 2))
+
+    def test_column_access(self):
+        dense = sample_dense(4)
+        csc = COOMatrix.from_dense(dense).to_csc()
+        for j in range(dense.shape[1]):
+            rows, vals = csc.column(j)
+            expected = np.nonzero(dense[:, j])[0]
+            assert np.array_equal(rows, expected)
+            assert np.array_equal(vals, dense[expected, j])
+
+    def test_active_slices(self):
+        dense = sample_dense(4)
+        csc = COOMatrix.from_dense(dense).to_csc()
+        active = np.array([0, 3, 7])
+        starts, stops = csc.active_slices(active)
+        assert np.array_equal(stops - starts, (dense[:, active] != 0).sum(axis=0))
+
+    def test_column_lengths(self):
+        dense = sample_dense(5)
+        csc = COOMatrix.from_dense(dense).to_csc()
+        assert np.array_equal(csc.column_lengths(), (dense != 0).sum(axis=0))
+
+
+class TestBlocks:
+    def test_row_block(self):
+        dense = sample_dense(6, n=20)
+        coo = COOMatrix.from_dense(dense)
+        block = coo.row_block(5, 12)
+        assert block.shape == (7, 20)
+        assert np.array_equal(block.to_dense(), dense[5:12])
+
+    def test_col_block(self):
+        dense = sample_dense(6, n=20)
+        coo = COOMatrix.from_dense(dense)
+        block = coo.col_block(3, 9)
+        assert np.array_equal(block.to_dense(), dense[:, 3:9])
+
+    def test_tile(self):
+        dense = sample_dense(6, n=20)
+        coo = COOMatrix.from_dense(dense)
+        tile = coo.tile(2, 10, 5, 15)
+        assert np.array_equal(tile.to_dense(), dense[2:10, 5:15])
+
+    def test_nnz_chunk_keeps_global_rows(self):
+        coo = COOMatrix.from_dense(sample_dense(7, n=20))
+        chunk = coo.nnz_chunk(3, 9)
+        assert chunk.nnz == 6
+        assert chunk.shape == coo.shape
+
+    def test_nnz_chunk_bounds(self):
+        coo = COOMatrix.from_dense(sample_dense(7))
+        with pytest.raises(SparseFormatError):
+            coo.nnz_chunk(5, coo.nnz + 1)
+
+    def test_transpose(self):
+        dense = sample_dense(8, n=15)
+        coo = COOMatrix.from_dense(dense)
+        assert np.array_equal(coo.transpose().to_dense(), dense.T)
+
+    def test_counts(self):
+        dense = sample_dense(9, n=15)
+        coo = COOMatrix.from_dense(dense)
+        assert np.array_equal(coo.row_counts(), (dense != 0).sum(axis=1))
+        assert np.array_equal(coo.col_counts(), (dense != 0).sum(axis=0))
+
+
+class TestBytes:
+    def test_nbytes_positive(self):
+        coo = COOMatrix.from_dense(sample_dense(1, dtype=np.float32))
+        assert coo.nbytes == coo.nnz * 12
+        assert coo.to_csr().nbytes > 0
+        assert coo.to_csc().nbytes > 0
+
+    def test_sparsity(self):
+        m = COOMatrix([0], [0], [1], (10, 10))
+        assert m.sparsity == pytest.approx(0.01)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 14), st.integers(0, 14), st.floats(0.5, 9.5)),
+        max_size=60,
+        unique_by=lambda t: (t[0], t[1]),
+    )
+)
+def test_property_format_roundtrips(entries):
+    """COO -> CSR -> COO and COO -> CSC -> COO preserve the matrix."""
+    rows = [r for r, _, _ in entries]
+    cols = [c for _, c, _ in entries]
+    vals = [v for _, _, v in entries]
+    coo = COOMatrix(rows, cols, vals, (15, 15))
+    dense = coo.to_dense()
+    assert np.array_equal(coo.to_csr().to_coo().to_dense(), dense)
+    assert np.array_equal(coo.to_csc().to_coo().to_dense(), dense)

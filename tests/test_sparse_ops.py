@@ -1,0 +1,159 @@
+"""Tests for the reference semiring matvec operations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.semiring import BOOLEAN_OR_AND, MAX_TIMES, MIN_PLUS, PLUS_TIMES
+from repro.sparse import (
+    COOMatrix,
+    SparseVector,
+    random_sparse_vector,
+    spmspv,
+    spmv_dense,
+    spmv_to_sparse,
+)
+
+
+def make_matrix(seed=0, n=30, density=0.15):
+    rng = np.random.default_rng(seed)
+    dense = (rng.random((n, n)) < density) * rng.uniform(0.5, 2.0, (n, n))
+    return COOMatrix.from_dense(dense), dense
+
+
+class TestSpMVDense:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_numpy(self, seed):
+        matrix, dense = make_matrix(seed)
+        x = np.random.default_rng(seed + 100).random(matrix.ncols)
+        assert np.allclose(spmv_dense(matrix, x), dense @ x)
+
+    def test_works_on_all_formats(self):
+        matrix, dense = make_matrix(1)
+        x = np.random.default_rng(7).random(matrix.ncols)
+        expected = dense @ x
+        assert np.allclose(spmv_dense(matrix.to_csr(), x), expected)
+        assert np.allclose(spmv_dense(matrix.to_csc(), x), expected)
+
+    def test_shape_mismatch(self):
+        matrix, _ = make_matrix()
+        with pytest.raises(ShapeError):
+            spmv_dense(matrix, np.zeros(matrix.ncols + 1))
+
+    def test_min_plus(self):
+        matrix, dense = make_matrix(2)
+        x = np.random.default_rng(3).random(matrix.ncols)
+        got = spmv_dense(matrix, x, MIN_PLUS)
+        with np.errstate(invalid="ignore"):
+            candidates = np.where(dense != 0, dense + x[None, :], np.inf)
+        expected = candidates.min(axis=1)
+        assert np.allclose(got, expected)
+
+    def test_boolean(self):
+        matrix, dense = make_matrix(3)
+        pattern = COOMatrix(
+            matrix.rows, matrix.cols,
+            np.ones(matrix.nnz, dtype=np.int32), matrix.shape,
+        )
+        x = (np.random.default_rng(4).random(matrix.ncols) < 0.3).astype(np.int32)
+        got = spmv_dense(pattern, x, BOOLEAN_OR_AND)
+        expected = ((dense != 0) @ x > 0).astype(np.int32)
+        assert np.array_equal(got.astype(bool), expected.astype(bool))
+
+    def test_empty_matrix(self):
+        m = COOMatrix.empty(5, dtype=np.float64)
+        y = spmv_dense(m, np.ones(5))
+        assert np.array_equal(y, np.zeros(5))
+
+
+class TestSpMSpV:
+    @pytest.mark.parametrize("density", [0.0, 0.05, 0.3, 1.0])
+    def test_matches_spmv(self, density):
+        matrix, dense = make_matrix(5)
+        x = random_sparse_vector(
+            matrix.ncols, density, rng=np.random.default_rng(9)
+        )
+        got = spmspv(matrix, x)
+        expected = dense @ x.to_dense()
+        assert np.allclose(got.to_dense(), expected)
+
+    def test_min_plus_semiring(self):
+        matrix, dense = make_matrix(6)
+        x = SparseVector([0, 4], [0.0, 1.0], matrix.ncols)
+        got = spmspv(matrix, x, MIN_PLUS)
+        xd = x.to_dense(zero=np.inf)
+        with np.errstate(invalid="ignore"):
+            cands = np.where(dense != 0, dense + xd[None, :], np.inf)
+        expected = cands.min(axis=1)
+        finite = np.isfinite(expected)
+        assert np.allclose(got.to_dense(zero=np.inf)[finite], expected[finite])
+
+    def test_max_times_semiring(self):
+        matrix, dense = make_matrix(7)
+        x = random_sparse_vector(
+            matrix.ncols, 0.2, rng=np.random.default_rng(11)
+        )
+        got = spmspv(matrix, x, MAX_TIMES)
+        prods = dense * x.to_dense()[None, :]
+        expected = prods.max(axis=1)
+        expected[expected < 0] = 0.0
+        assert np.allclose(got.to_dense(), np.maximum(expected, 0.0))
+
+    def test_empty_input(self):
+        matrix, _ = make_matrix(8)
+        out = spmspv(matrix, SparseVector.empty(matrix.ncols))
+        assert out.nnz == 0
+
+    def test_shape_mismatch(self):
+        matrix, _ = make_matrix()
+        with pytest.raises(ShapeError):
+            spmspv(matrix, SparseVector.empty(matrix.ncols + 2))
+
+    def test_output_is_compressed(self):
+        matrix, _ = make_matrix(9)
+        x = random_sparse_vector(matrix.ncols, 0.1, rng=np.random.default_rng(0))
+        out = spmspv(matrix, x)
+        # no explicit zeros stored
+        assert np.all(out.values != 0)
+
+
+def test_spmv_to_sparse():
+    matrix, dense = make_matrix(10)
+    x = np.random.default_rng(1).random(matrix.ncols)
+    out = spmv_to_sparse(matrix, x)
+    assert isinstance(out, SparseVector)
+    assert np.allclose(out.to_dense(), dense @ x)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(0, 10_000),
+    st.floats(0.0, 1.0),
+)
+def test_property_spmspv_equals_spmv(seed, density):
+    """SpMSpV and dense SpMV agree on every input under (+, x)."""
+    rng = np.random.default_rng(seed)
+    n = 25
+    dense = (rng.random((n, n)) < 0.2) * rng.uniform(0.5, 2.0, (n, n))
+    matrix = COOMatrix.from_dense(dense)
+    x = random_sparse_vector(n, density, rng=rng)
+    via_sparse = spmspv(matrix, x).to_dense()
+    via_dense = spmv_dense(matrix, x.to_dense())
+    assert np.allclose(via_sparse, via_dense)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10_000))
+def test_property_semiring_linearity(seed):
+    """A (x) (x + y) == (A (x) x) + (A (x) y) under plus-times."""
+    rng = np.random.default_rng(seed)
+    n = 20
+    dense = (rng.random((n, n)) < 0.25) * rng.uniform(0.5, 2.0, (n, n))
+    matrix = COOMatrix.from_dense(dense)
+    x = rng.random(n)
+    y = rng.random(n)
+    left = spmv_dense(matrix, x + y, PLUS_TIMES)
+    right = spmv_dense(matrix, x) + spmv_dense(matrix, y)
+    assert np.allclose(left, right)

@@ -1,0 +1,149 @@
+"""Tests for graph statistics and Matrix Market / edge-list I/O."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.sparse import (
+    COOMatrix,
+    compute_stats,
+    density_trajectory,
+    matrix_to_string,
+    read_edge_list,
+    read_matrix_market,
+    write_matrix_market,
+)
+
+
+class TestStats:
+    def test_known_graph(self):
+        # star: node 0 points to 1, 2, 3
+        m = COOMatrix.from_edges([(0, 1), (0, 2), (0, 3)], 4)
+        stats = compute_stats(m)
+        assert stats.num_nodes == 4
+        assert stats.num_edges == 3
+        # out-degrees: [3, 0, 0, 0]
+        assert stats.average_degree == pytest.approx(0.75)
+        assert stats.max_degree == 3
+        assert stats.min_degree == 0
+
+    def test_degree_std(self):
+        # ring: every node out-degree 1 -> std 0
+        edges = [(i, (i + 1) % 5) for i in range(5)]
+        stats = compute_stats(COOMatrix.from_edges(edges, 5))
+        assert stats.degree_std == pytest.approx(0.0)
+        assert stats.degree_skew == 0.0
+
+    def test_sparsity(self):
+        m = COOMatrix.from_edges([(0, 1)], 10)
+        assert compute_stats(m).sparsity == pytest.approx(0.01)
+
+    def test_features(self):
+        m = COOMatrix.from_edges([(0, 1), (1, 2)], 3)
+        f = compute_stats(m).features
+        assert f.average_degree == pytest.approx(2 / 3)
+
+    def test_empty_matrix(self):
+        stats = compute_stats(COOMatrix.empty(0))
+        assert stats.num_nodes == 0 and stats.num_edges == 0
+
+
+def test_density_trajectory():
+    out = density_trajectory([1, 5, 10], 10)
+    assert np.allclose(out, [0.1, 0.5, 1.0])
+    assert np.all(density_trajectory([1, 2], 0) == 0)
+
+
+class TestMatrixMarket:
+    def test_roundtrip_real(self):
+        rng = np.random.default_rng(0)
+        dense = (rng.random((12, 12)) < 0.2) * rng.random((12, 12))
+        m = COOMatrix.from_dense(dense)
+        buf = io.StringIO()
+        write_matrix_market(m, buf)
+        buf.seek(0)
+        back = read_matrix_market(buf)
+        assert np.allclose(back.to_dense(), dense)
+
+    def test_roundtrip_integer(self):
+        m = COOMatrix.from_edges([(0, 1), (2, 0)], 3, weights=[4, 9])
+        text = matrix_to_string(m)
+        assert "integer" in text
+        back = read_matrix_market(io.StringIO(text))
+        assert np.array_equal(back.to_dense(), m.to_dense())
+
+    def test_pattern_format(self):
+        text = (
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "3 3 2\n1 2\n3 1\n"
+        )
+        m = read_matrix_market(io.StringIO(text))
+        assert m.nnz == 2
+        assert m.to_dense()[0, 1] == 1
+
+    def test_symmetric_format(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "3 3 2\n2 1 5.0\n3 3 1.0\n"
+        )
+        m = read_matrix_market(io.StringIO(text))
+        dense = m.to_dense()
+        assert dense[1, 0] == 5.0 and dense[0, 1] == 5.0
+        assert dense[2, 2] == 1.0
+        assert m.nnz == 3  # diagonal not mirrored
+
+    def test_comments_skipped(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real general\n"
+            "% a comment\n%% another\n"
+            "2 2 1\n1 1 3.5\n"
+        )
+        m = read_matrix_market(io.StringIO(text))
+        assert m.to_dense()[0, 0] == 3.5
+
+    def test_rejects_bad_header(self):
+        with pytest.raises(DatasetError):
+            read_matrix_market(io.StringIO("not a matrix\n"))
+
+    def test_rejects_unsupported_field(self):
+        text = "%%MatrixMarket matrix coordinate complex general\n1 1 0\n"
+        with pytest.raises(DatasetError):
+            read_matrix_market(io.StringIO(text))
+
+    def test_rejects_truncated(self):
+        text = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n"
+        with pytest.raises(DatasetError):
+            read_matrix_market(io.StringIO(text))
+
+    def test_file_path_roundtrip(self, tmp_path):
+        m = COOMatrix.from_edges([(0, 1), (1, 2)], 3)
+        path = tmp_path / "graph.mtx"
+        write_matrix_market(m, path)
+        back = read_matrix_market(path)
+        assert np.array_equal(back.to_dense(), m.to_dense())
+
+
+class TestEdgeList:
+    def test_basic(self):
+        text = "# comment\n0 1\n1 2\n2 0\n"
+        m = read_edge_list(io.StringIO(text))
+        assert m.nnz == 3
+        assert m.shape == (3, 3)
+
+    def test_explicit_node_count(self):
+        m = read_edge_list(io.StringIO("0 1\n"), num_nodes=10)
+        assert m.shape == (10, 10)
+
+    def test_node_out_of_range(self):
+        with pytest.raises(DatasetError):
+            read_edge_list(io.StringIO("0 5\n"), num_nodes=3)
+
+    def test_bad_line(self):
+        with pytest.raises(DatasetError):
+            read_edge_list(io.StringIO("0\n"))
+
+    def test_empty(self):
+        m = read_edge_list(io.StringIO("# nothing\n"), num_nodes=4)
+        assert m.nnz == 0

@@ -1,0 +1,194 @@
+"""Tests for compressed sparse vectors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError, SparseFormatError
+from repro.sparse import SparseVector, dense_nbytes, random_sparse_vector
+
+
+class TestConstruction:
+    def test_basic(self):
+        v = SparseVector([3, 1], [30.0, 10.0], 5)
+        # sorted by index on construction
+        assert list(v.indices) == [1, 3]
+        assert list(v.values) == [10.0, 30.0]
+        assert v.size == 5
+        assert v.nnz == 2
+
+    def test_empty(self):
+        v = SparseVector.empty(10)
+        assert v.nnz == 0
+        assert v.density == 0.0
+        assert np.array_equal(v.to_dense(), np.zeros(10))
+
+    def test_basis(self):
+        v = SparseVector.basis(2, 6, value=7)
+        assert v.nnz == 1
+        assert v.to_dense()[2] == 7
+
+    def test_basis_out_of_range(self):
+        with pytest.raises(ShapeError):
+            SparseVector.basis(6, 6)
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(SparseFormatError):
+            SparseVector([1, 1], [1.0, 2.0], 4)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(SparseFormatError):
+            SparseVector([4], [1.0], 4)
+        with pytest.raises(SparseFormatError):
+            SparseVector([-1], [1.0], 4)
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(SparseFormatError):
+            SparseVector([1, 2], [1.0], 4)
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(SparseFormatError):
+            SparseVector([], [], -1)
+
+    def test_rejects_2d(self):
+        with pytest.raises(SparseFormatError):
+            SparseVector(np.zeros((2, 2)), np.zeros((2, 2)), 4)
+
+
+class TestFromDense:
+    def test_roundtrip(self):
+        dense = np.array([0.0, 1.5, 0.0, 2.5])
+        v = SparseVector.from_dense(dense)
+        assert v.nnz == 2
+        assert np.array_equal(v.to_dense(), dense)
+
+    def test_custom_zero_inf(self):
+        # min-plus semiring: inf is the absent value
+        dense = np.array([np.inf, 3.0, np.inf, 0.0])
+        v = SparseVector.from_dense(dense, zero=np.inf)
+        assert v.nnz == 2
+        assert list(v.indices) == [1, 3]
+        back = v.to_dense(zero=np.inf)
+        assert np.array_equal(back, dense)
+
+    def test_zero_value_kept_under_inf_zero(self):
+        # 0.0 is a real distance under min-plus, must not be dropped
+        v = SparseVector.from_dense(np.array([0.0, np.inf]), zero=np.inf)
+        assert v.nnz == 1
+
+    def test_rejects_2d(self):
+        with pytest.raises(ShapeError):
+            SparseVector.from_dense(np.zeros((2, 2)))
+
+
+class TestSlice:
+    def test_basic(self):
+        v = SparseVector([1, 3, 7], [1.0, 3.0, 7.0], 10)
+        s = v.slice(2, 8)
+        assert s.size == 6
+        assert list(s.indices) == [1, 5]  # re-based
+        assert list(s.values) == [3.0, 7.0]
+
+    def test_empty_slice(self):
+        v = SparseVector([1], [1.0], 10)
+        s = v.slice(5, 5)
+        assert s.size == 0 and s.nnz == 0
+
+    def test_whole(self):
+        v = SparseVector([2], [2.0], 4)
+        assert v.slice(0, 4) == v
+
+    def test_bad_bounds(self):
+        v = SparseVector([1], [1.0], 4)
+        with pytest.raises(ShapeError):
+            v.slice(3, 2)
+        with pytest.raises(ShapeError):
+            v.slice(0, 5)
+
+
+class TestProperties:
+    def test_density(self):
+        v = SparseVector([0, 1], [1, 1], 10)
+        assert v.density == pytest.approx(0.2)
+
+    def test_density_empty_size(self):
+        assert SparseVector([], [], 0).density == 0.0
+
+    def test_nbytes_compressed(self):
+        v = SparseVector([0, 1], np.array([1, 1], dtype=np.int32), 10)
+        assert v.nbytes_compressed == 2 * 8 + 2 * 4
+
+    def test_len(self):
+        assert len(SparseVector([], [], 7)) == 7
+
+    def test_copy_independent(self):
+        v = SparseVector([1], [1.0], 4)
+        c = v.copy()
+        c.values[0] = 99.0
+        assert v.values[0] == 1.0
+
+    def test_eq(self):
+        a = SparseVector([1], [1.0], 4)
+        assert a == SparseVector([1], [1.0], 4)
+        assert a != SparseVector([1], [2.0], 4)
+        assert a != SparseVector([1], [1.0], 5)
+
+    def test_repr(self):
+        assert "nnz=1" in repr(SparseVector([1], [1.0], 4))
+
+
+class TestRandom:
+    def test_density_hits_target(self):
+        v = random_sparse_vector(1000, 0.25, rng=np.random.default_rng(0))
+        assert v.nnz == 250
+
+    def test_extremes(self):
+        assert random_sparse_vector(100, 0.0).nnz == 0
+        assert random_sparse_vector(100, 1.0).nnz == 100
+
+    def test_integer_dtype_has_no_zeros(self):
+        v = random_sparse_vector(
+            500, 0.5, rng=np.random.default_rng(1), dtype=np.int32
+        )
+        assert np.all(v.values >= 1)
+
+    def test_rejects_bad_density(self):
+        with pytest.raises(SparseFormatError):
+            random_sparse_vector(10, 1.5)
+
+
+def test_dense_nbytes():
+    assert dense_nbytes(100, np.int32) == 400
+    assert dense_nbytes(100, np.float64) == 800
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    data=st.lists(
+        st.tuples(st.integers(0, 99), st.floats(0.5, 10.0)),
+        max_size=50,
+        unique_by=lambda t: t[0],
+    )
+)
+def test_property_dense_roundtrip(data):
+    """from_dense(to_dense(v)) == v for any valid sparse vector."""
+    indices = [i for i, _ in data]
+    values = [x for _, x in data]
+    v = SparseVector(indices, values, 100)
+    assert SparseVector.from_dense(v.to_dense()) == v
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(1, 200),
+    st.floats(0.0, 1.0),
+    st.integers(0, 2**31 - 1),
+)
+def test_property_random_vector_valid(size, density, seed):
+    """random vectors are always well-formed and in range."""
+    v = random_sparse_vector(size, density, rng=np.random.default_rng(seed))
+    assert 0 <= v.nnz <= size
+    if v.nnz:
+        assert v.indices.min() >= 0 and v.indices.max() < size
+        assert np.all(np.diff(v.indices) > 0)

@@ -1,0 +1,152 @@
+"""Tests for the SpMM kernel and multi-source BFS."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    bfs,
+    bfs_reference,
+    closeness_centrality_estimate,
+    multi_source_bfs,
+)
+from repro.errors import KernelError, ReproError
+from repro.kernels import prepare_spmm
+from repro.semiring import BOOLEAN_OR_AND, PLUS_TIMES
+from repro.sparse import COOMatrix, spmv_dense
+from repro.upmem import SystemConfig
+from conftest import random_graph
+
+DPUS = 32
+
+
+@pytest.fixture
+def system():
+    return SystemConfig(num_dpus=DPUS)
+
+
+@pytest.fixture
+def float_matrix():
+    g = random_graph(n=150, avg_degree=6, seed=41)
+    rng = np.random.default_rng(41)
+    return COOMatrix(
+        g.rows, g.cols, rng.uniform(0.2, 2.0, g.nnz).astype(np.float32),
+        g.shape,
+    )
+
+
+class TestSpMM:
+    def test_matches_columnwise_spmv(self, float_matrix, system):
+        kernel = prepare_spmm(float_matrix, DPUS, system)
+        rng = np.random.default_rng(1)
+        block = rng.random((150, 5)).astype(np.float32)
+        result = kernel.run(block, PLUS_TIMES)
+        for j in range(5):
+            expected = spmv_dense(float_matrix, block[:, j])
+            assert np.allclose(result.output[:, j], expected, rtol=1e-5), j
+
+    def test_boolean_semiring(self, system):
+        matrix = random_graph(n=100, avg_degree=5, seed=43)
+        kernel = prepare_spmm(matrix, DPUS, system)
+        block = np.zeros((100, 3), dtype=np.int32)
+        block[0, 0] = block[7, 1] = block[20, 2] = 1
+        result = kernel.run(block, BOOLEAN_OR_AND)
+        for j, src in enumerate((0, 7, 20)):
+            single = spmv_dense(matrix, block[:, j], BOOLEAN_OR_AND)
+            assert np.array_equal(result.output[:, j], single)
+
+    def test_rejects_bad_shapes(self, float_matrix, system):
+        kernel = prepare_spmm(float_matrix, DPUS, system)
+        with pytest.raises(KernelError):
+            kernel.run(np.ones(150, dtype=np.float32), PLUS_TIMES)
+        with pytest.raises(KernelError):
+            kernel.run(np.ones((99, 2), dtype=np.float32), PLUS_TIMES)
+        with pytest.raises(KernelError):
+            kernel.run(np.ones((150, 0), dtype=np.float32), PLUS_TIMES)
+
+    def test_batching_amortizes_matrix_stream(self, float_matrix, system):
+        """K-wide SpMM beats K sequential SpMVs on kernel time."""
+        from repro.kernels import prepare_spmv_2d
+
+        k = 8
+        rng = np.random.default_rng(3)
+        block = rng.random((150, k)).astype(np.float32)
+        spmm_kernel = prepare_spmm(float_matrix, DPUS, system)
+        spmm_time = spmm_kernel.run(block, PLUS_TIMES).breakdown.kernel
+
+        spmv_kernel = prepare_spmv_2d(float_matrix, DPUS, system)
+        sequential = sum(
+            spmv_kernel.run(block[:, j], PLUS_TIMES).breakdown.kernel
+            for j in range(k)
+        )
+        assert spmm_time < sequential
+
+    def test_phases_positive(self, float_matrix, system):
+        kernel = prepare_spmm(float_matrix, DPUS, system)
+        result = kernel.run(
+            np.ones((150, 4), dtype=np.float32), PLUS_TIMES
+        )
+        b = result.breakdown
+        assert b.load > 0 and b.kernel > 0 and b.retrieve > 0
+        assert result.achieved_ops == pytest.approx(
+            2.0 * float_matrix.nnz * 4
+        )
+
+
+class TestMultiSourceBfs:
+    def test_matches_single_source_runs(self, system):
+        graph = random_graph(n=120, avg_degree=4, seed=47)
+        sources = [0, 3, 50]
+        run = multi_source_bfs(graph, sources, system, DPUS)
+        for j, source in enumerate(sources):
+            assert np.array_equal(
+                run.values[:, j], bfs_reference(graph, source)
+            ), source
+        assert run.converged
+
+    def test_batched_faster_than_sequential(self, system):
+        graph = random_graph(n=400, avg_degree=6, seed=53)
+        sources = list(range(8))
+        batched = multi_source_bfs(graph, sources, system, DPUS)
+        sequential = sum(
+            bfs(graph, s, system, DPUS).total_s for s in sources
+        )
+        assert batched.total_s < sequential
+
+    def test_rejects_empty_sources(self, graph, system):
+        with pytest.raises(ReproError):
+            multi_source_bfs(graph, [], system, DPUS)
+
+    def test_rejects_bad_source(self, graph, system):
+        with pytest.raises(ReproError):
+            multi_source_bfs(graph, [10_000], system, DPUS)
+
+    def test_traces_recorded(self, system):
+        graph = random_graph(n=100, avg_degree=4, seed=59)
+        run = multi_source_bfs(graph, [0, 1], system, DPUS)
+        assert run.num_iterations >= 1
+        assert run.iterations[0].frontier_size == 2
+
+
+class TestClosenessEstimate:
+    def test_shape_and_range(self, system):
+        graph = random_graph(n=150, avg_degree=5, seed=61)
+        closeness = closeness_centrality_estimate(
+            graph, system, DPUS, num_samples=6,
+            rng=np.random.default_rng(0),
+        )
+        assert closeness.shape == (150,)
+        assert np.all(closeness >= 0)
+
+    def test_hub_scores_higher_than_leaf(self, system):
+        # star graph: center reachable from everyone in one hop
+        edges = [(i, 0) for i in range(1, 30)] + [(0, i) for i in range(1, 30)]
+        graph = COOMatrix.from_edges(edges, 30)
+        closeness = closeness_centrality_estimate(
+            graph, system, 8, num_samples=10,
+            rng=np.random.default_rng(1),
+        )
+        assert closeness[0] == closeness.max()
+
+    def test_rejects_zero_samples(self, graph, system):
+        with pytest.raises(ReproError):
+            closeness_centrality_estimate(graph, system, DPUS, num_samples=0)

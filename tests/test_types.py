@@ -1,0 +1,141 @@
+"""Tests for the shared value types."""
+
+import numpy as np
+import pytest
+
+from repro.types import (
+    DataType,
+    EnergyReport,
+    GraphClass,
+    GraphFeatures,
+    IterationTrace,
+    PhaseBreakdown,
+    RunResult,
+    UtilizationReport,
+)
+
+
+class TestDataType:
+    def test_nbytes(self):
+        assert DataType.INT32.nbytes == 4
+        assert DataType.INT64.nbytes == 8
+        assert DataType.FLOAT32.nbytes == 4
+        assert DataType.FLOAT64.nbytes == 8
+
+    def test_is_float(self):
+        assert DataType.FLOAT32.is_float
+        assert DataType.FLOAT64.is_float
+        assert not DataType.INT32.is_float
+        assert not DataType.INT64.is_float
+
+    def test_value_matches_numpy_dtype(self):
+        for dt in DataType:
+            assert np.dtype(dt.value).itemsize == dt.nbytes
+
+
+class TestPhaseBreakdown:
+    def test_total(self):
+        b = PhaseBreakdown(load=1.0, kernel=2.0, retrieve=3.0, merge=4.0)
+        assert b.total == 10.0
+
+    def test_default_is_zero(self):
+        assert PhaseBreakdown().total == 0.0
+
+    def test_add(self):
+        a = PhaseBreakdown(1, 2, 3, 4)
+        b = PhaseBreakdown(10, 20, 30, 40)
+        c = a + b
+        assert c.load == 11 and c.kernel == 22
+        assert c.retrieve == 33 and c.merge == 44
+        # operands unchanged
+        assert a.load == 1 and b.load == 10
+
+    def test_iadd(self):
+        a = PhaseBreakdown(1, 1, 1, 1)
+        a += PhaseBreakdown(1, 2, 3, 4)
+        assert a.total == 14
+
+    def test_scaled(self):
+        b = PhaseBreakdown(2, 4, 6, 8).scaled(0.5)
+        assert b.load == 1 and b.merge == 4
+
+    def test_normalized_to(self):
+        b = PhaseBreakdown(1, 1, 1, 1).normalized_to(4.0)
+        assert b.total == pytest.approx(1.0)
+
+    def test_normalized_to_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            PhaseBreakdown(1, 1, 1, 1).normalized_to(0.0)
+
+    def test_as_dict(self):
+        d = PhaseBreakdown(1, 2, 3, 4).as_dict()
+        assert d == {
+            "load": 1, "kernel": 2, "retrieve": 3, "merge": 4, "total": 10,
+        }
+
+    def test_iter_order(self):
+        assert list(PhaseBreakdown(1, 2, 3, 4)) == [1, 2, 3, 4]
+
+
+class TestGraphClass:
+    def test_switch_densities_match_paper(self):
+        assert GraphClass.REGULAR.default_switch_density == pytest.approx(0.20)
+        assert GraphClass.SCALE_FREE.default_switch_density == pytest.approx(0.50)
+
+
+class TestGraphFeatures:
+    def test_mapping(self):
+        f = GraphFeatures(average_degree=3.5, degree_std=1.2)
+        m = f.as_mapping()
+        assert m["average_degree"] == 3.5
+        assert m["degree_std"] == 1.2
+
+    def test_frozen(self):
+        f = GraphFeatures(1.0, 2.0)
+        with pytest.raises(AttributeError):
+            f.average_degree = 5.0
+
+
+class TestEnergyReport:
+    def test_total(self):
+        e = EnergyReport(static_j=1.0, dynamic_j=2.0, transfer_j=3.0)
+        assert e.total_j == 6.0
+
+    def test_add(self):
+        e = EnergyReport(1, 2, 3) + EnergyReport(1, 1, 1)
+        assert e.total_j == 9.0
+        assert e.static_j == 2.0
+
+
+class TestUtilizationReport:
+    def test_percent(self):
+        u = UtilizationReport(achieved_ops=50.0, elapsed_s=1.0,
+                              peak_ops_per_s=100.0)
+        assert u.percent == pytest.approx(50.0)
+
+    def test_zero_elapsed(self):
+        u = UtilizationReport(10.0, 0.0, 100.0)
+        assert u.achieved_ops_per_s == 0.0
+        assert u.percent == 0.0
+
+    def test_zero_peak(self):
+        u = UtilizationReport(10.0, 1.0, 0.0)
+        assert u.percent == 0.0
+
+
+class TestRunResult:
+    def test_add_iteration_accumulates(self):
+        run = RunResult(algorithm="bfs", dataset="x")
+        run.add_iteration(
+            IterationTrace(0, "spmspv", 0.1, PhaseBreakdown(1, 1, 1, 1))
+        )
+        run.add_iteration(
+            IterationTrace(1, "spmv", 0.6, PhaseBreakdown(2, 2, 2, 2))
+        )
+        assert run.num_iterations == 2
+        assert run.total_s == 12.0
+        assert run.kernel_s == 3.0
+
+    def test_iteration_trace_total(self):
+        t = IterationTrace(0, "spmv", 0.5, PhaseBreakdown(1, 2, 3, 4))
+        assert t.total_s == 10.0

@@ -1,0 +1,97 @@
+"""Tests for the UPMEM system configuration."""
+
+import pytest
+
+from repro.errors import UpmemError
+from repro.upmem import (
+    DEFAULT_STUDY_DPUS,
+    FIG8_DPU_COUNTS,
+    PAPER_SYSTEM,
+    DpuConfig,
+    SystemConfig,
+    TransferConfig,
+)
+
+
+class TestDpuConfig:
+    def test_paper_defaults(self):
+        cfg = DpuConfig()
+        assert cfg.frequency_hz == pytest.approx(350e6)
+        assert cfg.num_tasklets == 24
+        assert cfg.pipeline_depth == 14
+        assert cfg.dispatch_gap_cycles == 11
+        assert cfg.wram_bytes == 64 * 1024
+        assert cfg.mram_bytes == 64 * 1024 * 1024
+        assert cfg.iram_bytes == 24 * 1024
+        assert cfg.blocking_dma
+
+    def test_cycles_to_seconds(self):
+        cfg = DpuConfig()
+        assert cfg.cycles_to_seconds(350e6) == pytest.approx(1.0)
+
+    def test_dma_cycles_zero(self):
+        assert DpuConfig().dma_cycles(0) == 0.0
+
+    def test_dma_cycles_small_transfer(self):
+        cfg = DpuConfig()
+        # a single 8-byte transfer pays the full setup latency
+        assert cfg.dma_cycles(8) == pytest.approx(
+            cfg.dma_latency_cycles + 8 * cfg.dma_cycles_per_byte
+        )
+
+    def test_dma_cycles_chunked(self):
+        cfg = DpuConfig()
+        # transfers beyond the max size pay the latency per chunk
+        two_chunks = cfg.dma_cycles(cfg.dma_max_bytes + 1)
+        assert two_chunks > 2 * cfg.dma_latency_cycles
+
+    def test_dma_cycles_monotone(self):
+        cfg = DpuConfig()
+        sizes = [8, 64, 512, 2048, 4096, 65536]
+        costs = [cfg.dma_cycles(s) for s in sizes]
+        assert costs == sorted(costs)
+
+
+class TestSystemConfig:
+    def test_paper_topology(self):
+        assert PAPER_SYSTEM.num_dpus == 2560
+        assert PAPER_SYSTEM.dpus_per_rank == 64
+        assert PAPER_SYSTEM.num_ranks == 40
+        assert PAPER_SYSTEM.num_dimms == 20
+
+    def test_partial_rank(self):
+        cfg = SystemConfig(num_dpus=65)
+        assert cfg.num_ranks == 2
+
+    def test_rejects_zero_dpus(self):
+        with pytest.raises(UpmemError):
+            SystemConfig(num_dpus=0)
+
+    def test_with_dpus(self):
+        small = PAPER_SYSTEM.with_dpus(512)
+        assert small.num_dpus == 512
+        assert small.dpu == PAPER_SYSTEM.dpu
+
+    def test_peak_ops(self):
+        cfg = SystemConfig(num_dpus=100)
+        assert cfg.peak_ops_per_s == pytest.approx(100 * 350e6)
+
+    def test_fig8_counts(self):
+        assert FIG8_DPU_COUNTS == (512, 1024, 2048)
+        assert DEFAULT_STUDY_DPUS == 2048
+
+
+class TestTransferConfig:
+    def test_effective_bw_caps(self):
+        cfg = TransferConfig()
+        assert cfg.effective_bw(1, True) == pytest.approx(cfg.per_rank_bw)
+        assert cfg.effective_bw(1000, True) == pytest.approx(cfg.h2d_peak_bw)
+        assert cfg.effective_bw(1000, False) == pytest.approx(cfg.d2h_peak_bw)
+
+    def test_effective_bw_rejects_zero_ranks(self):
+        with pytest.raises(UpmemError):
+            TransferConfig().effective_bw(0, True)
+
+    def test_d2h_slower_than_h2d(self):
+        cfg = TransferConfig()
+        assert cfg.d2h_peak_bw < cfg.h2d_peak_bw

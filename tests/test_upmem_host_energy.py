@@ -1,0 +1,132 @@
+"""Tests for the host runtime (DPU sets) and the energy model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TransferError, UpmemError
+from repro.types import PhaseBreakdown
+from repro.upmem import Dpu, DpuConfig, SystemConfig, UpmemEnergyModel, UpmemSystem
+
+
+@pytest.fixture
+def system():
+    return UpmemSystem(SystemConfig(num_dpus=128))
+
+
+class TestDpu:
+    def test_memories_sized_from_config(self):
+        dpu = Dpu(0, DpuConfig())
+        assert dpu.mram.capacity == 64 * 1024 * 1024
+        assert dpu.wram.capacity == 64 * 1024
+        assert dpu.iram.capacity == 24 * 1024
+
+    def test_reset(self):
+        dpu = Dpu(0, DpuConfig())
+        dpu.mram.store("x", np.zeros(4))
+        dpu.reset()
+        assert dpu.mram.used_bytes == 0
+
+    def test_repr(self):
+        assert "Dpu(id=3" in repr(Dpu(3, DpuConfig()))
+
+
+class TestUpmemSystem:
+    def test_allocate(self, system):
+        dpus = system.allocate(16)
+        assert len(dpus) == 16
+        assert dpus[0].dpu_id == 0
+
+    def test_allocate_too_many(self, system):
+        with pytest.raises(UpmemError):
+            system.allocate(129)
+
+    def test_allocate_zero(self, system):
+        with pytest.raises(UpmemError):
+            system.allocate(0)
+
+    def test_kernel_seconds(self, system):
+        assert system.kernel_seconds(350e6) == pytest.approx(1.0)
+
+    def test_repr(self, system):
+        assert "dpus=128" in repr(system)
+
+
+class TestDpuSet:
+    def test_scatter_and_gather_functional(self, system):
+        dpus = system.allocate(4)
+        arrays = [np.full(8, i, dtype=np.int32) for i in range(4)]
+        cost = dpus.scatter_arrays("chunk", arrays)
+        assert cost.seconds > 0
+        back, gather_cost = dpus.gather_arrays("chunk")
+        for i, arr in enumerate(back):
+            assert np.all(arr == i)
+        assert gather_cost.bytes_moved == 4 * 32
+
+    def test_scatter_replaces_in_place(self, system):
+        dpus = system.allocate(2)
+        dpus.scatter_arrays("v", [np.zeros(4, dtype=np.int32)] * 2)
+        dpus.scatter_arrays("v", [np.ones(4, dtype=np.int32)] * 2)
+        back, _ = dpus.gather_arrays("v")
+        assert back[0].sum() == 4
+
+    def test_scatter_wrong_count(self, system):
+        dpus = system.allocate(4)
+        with pytest.raises(TransferError):
+            dpus.scatter_arrays("x", [np.zeros(4)])
+
+    def test_broadcast(self, system):
+        dpus = system.allocate(8)
+        data = np.arange(16, dtype=np.int32)
+        cost = dpus.broadcast_array("vec", data)
+        assert cost.kind == "broadcast"
+        for dpu in dpus:
+            assert np.array_equal(dpu.mram.load("vec"), data)
+
+    def test_load_program_fits(self, system):
+        dpus = system.allocate(2)
+        dpus.load_program("spmv", 2000)
+        assert dpus[0].iram.used_bytes == 16000
+
+    def test_iteration(self, system):
+        dpus = system.allocate(3)
+        assert [d.dpu_id for d in dpus] == [0, 1, 2]
+
+
+class TestEnergyModel:
+    def test_kernel_energy_components(self):
+        system = SystemConfig(num_dpus=100)
+        model = UpmemEnergyModel(system)
+        report = model.kernel_energy(
+            kernel_seconds=1.0, instructions=1e9, dma_bytes=1e9
+        )
+        assert report.static_j == pytest.approx(
+            100 * system.energy.dpu_static_w
+        )
+        assert report.dynamic_j > 0
+        assert report.transfer_j == 0
+
+    def test_transfer_energy(self):
+        model = UpmemEnergyModel(SystemConfig(num_dpus=64))
+        report = model.transfer_energy(1e9, 0.5)
+        assert report.transfer_j > 0
+        assert report.static_j == pytest.approx(0.5 * 65.0)
+
+    def test_run_energy_totals(self):
+        model = UpmemEnergyModel(SystemConfig(num_dpus=64))
+        breakdown = PhaseBreakdown(load=0.1, kernel=0.2, retrieve=0.1,
+                                   merge=0.05)
+        report = model.run_energy(
+            breakdown, instructions=1e8, dma_bytes=1e8, transfer_bytes=1e8
+        )
+        parts = (
+            model.kernel_energy(0.2, 1e8, 1e8).total_j
+            + model.transfer_energy(1e8, 0.2).total_j
+            + model.host_energy(0.05).total_j
+        )
+        assert report.total_j == pytest.approx(parts)
+
+    def test_energy_scales_with_time(self):
+        model = UpmemEnergyModel(SystemConfig(num_dpus=64))
+        short = model.kernel_energy(0.1, 0, 0).total_j
+        long = model.kernel_energy(1.0, 0, 0).total_j
+        assert long == pytest.approx(10 * short)

@@ -1,0 +1,151 @@
+"""Tests for the MRAM / WRAM / IRAM models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    IramOverflowError,
+    MramOverflowError,
+    UpmemError,
+    WramOverflowError,
+)
+from repro.upmem import Iram, Mram, Wram, plan_wram_buffers
+
+
+class TestBumpAllocation:
+    def test_allocate_and_track(self):
+        wram = Wram(1024)
+        a = wram.allocate("buf", 100)
+        assert a.offset == 0
+        assert a.size == 104  # 8-byte aligned
+        assert wram.used_bytes == 104
+        assert wram.free_bytes == 920
+        assert "buf" in wram
+
+    def test_sequential_offsets(self):
+        wram = Wram(1024)
+        a = wram.allocate("a", 16)
+        b = wram.allocate("b", 16)
+        assert b.offset == a.end
+
+    def test_overflow(self):
+        wram = Wram(64)
+        with pytest.raises(WramOverflowError):
+            wram.allocate("big", 128)
+
+    def test_duplicate_name(self):
+        wram = Wram(1024)
+        wram.allocate("x", 8)
+        with pytest.raises(UpmemError):
+            wram.allocate("x", 8)
+
+    def test_negative_size(self):
+        with pytest.raises(UpmemError):
+            Wram(64).allocate("x", -1)
+
+    def test_reset(self):
+        wram = Wram(64)
+        wram.allocate("x", 32)
+        wram.reset()
+        assert wram.used_bytes == 0
+        wram.allocate("x", 32)  # name free again
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(UpmemError):
+            Wram(0)
+
+
+class TestMram:
+    def test_store_and_load(self):
+        mram = Mram(1 << 20)
+        data = np.arange(100, dtype=np.int32)
+        mram.store("vec", data)
+        assert np.array_equal(mram.load("vec"), data)
+
+    def test_load_missing(self):
+        with pytest.raises(MramOverflowError):
+            Mram(1024).load("nope")
+
+    def test_replace(self):
+        mram = Mram(1 << 16)
+        mram.store("vec", np.zeros(64, dtype=np.int32))
+        mram.replace("vec", np.ones(32, dtype=np.int32))
+        assert mram.load("vec").sum() == 32
+
+    def test_replace_too_big(self):
+        mram = Mram(1 << 16)
+        mram.store("vec", np.zeros(8, dtype=np.int32))
+        with pytest.raises(MramOverflowError):
+            mram.replace("vec", np.zeros(1000, dtype=np.int32))
+
+    def test_replace_missing(self):
+        with pytest.raises(MramOverflowError):
+            Mram(1024).replace("vec", np.zeros(1))
+
+    def test_capacity_enforced(self):
+        mram = Mram(256)
+        with pytest.raises(MramOverflowError):
+            mram.store("big", np.zeros(1000, dtype=np.float64))
+
+    def test_reset_clears_data(self):
+        mram = Mram(1024)
+        mram.store("x", np.zeros(4))
+        mram.reset()
+        with pytest.raises(MramOverflowError):
+            mram.load("x")
+
+
+class TestWramSplitting:
+    def test_split_among_tasklets(self):
+        wram = Wram(64 * 1024)
+        per = wram.split_among_tasklets(24)
+        assert per > 0
+        assert per % 8 == 0
+        assert per * 24 <= 64 * 1024
+
+    def test_split_with_reservation(self):
+        wram = Wram(64 * 1024)
+        with_reserve = wram.split_among_tasklets(24, reserved=32 * 1024)
+        without = wram.split_among_tasklets(24)
+        assert with_reserve < without
+
+    def test_split_rejects_over_reservation(self):
+        wram = Wram(1024)
+        with pytest.raises(WramOverflowError):
+            wram.split_among_tasklets(4, reserved=2048)
+
+    def test_split_rejects_zero_tasklets(self):
+        with pytest.raises(UpmemError):
+            Wram(1024).split_among_tasklets(0)
+
+    def test_plan_wram_buffers(self):
+        wram = Wram(64 * 1024)
+        plan = plan_wram_buffers(wram, 24, ["matrix", "vector", "output"])
+        assert set(plan) == {"matrix", "vector", "output"}
+        sizes = set(plan.values())
+        assert len(sizes) == 1  # even split
+        assert next(iter(sizes)) % 8 == 0
+
+    def test_plan_wram_buffers_overflow(self):
+        wram = Wram(512)
+        with pytest.raises(WramOverflowError):
+            plan_wram_buffers(wram, 24, ["a", "b", "c"], reserved=256)
+
+    def test_plan_wram_buffers_needs_streams(self):
+        with pytest.raises(UpmemError):
+            plan_wram_buffers(Wram(1024), 4, [])
+
+
+class TestIram:
+    def test_program_fits(self):
+        iram = Iram(24 * 1024)
+        iram.load_program("kernel", 1000)
+        assert iram.used_bytes == 8000
+
+    def test_program_too_big(self):
+        iram = Iram(24 * 1024)
+        with pytest.raises(IramOverflowError):
+            iram.load_program("huge", iram.max_instructions + 1)
+
+    def test_max_instructions(self):
+        assert Iram(24 * 1024).max_instructions == 3072

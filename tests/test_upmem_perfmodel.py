@@ -1,0 +1,151 @@
+"""Tests for the analytic performance model and its simulator agreement."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.upmem import (
+    DpuConfig,
+    InstructionProfile,
+    InstrClass,
+    RevolverPipeline,
+    estimate_cycles,
+    estimate_from_profiles,
+    synthesize_stream,
+)
+
+IDEAL = DpuConfig(sustained_ipc=1.0)
+
+
+def scalar_estimate(**kwargs):
+    defaults = dict(
+        slots_total=1000.0,
+        slots_max_tasklet=100.0,
+        dma_cycles_total=0.0,
+        dma_cycles_max_tasklet=0.0,
+        mutex_acquires=0.0,
+        instructions_total=1000.0,
+        active_tasklets=10,
+        config=IDEAL,
+    )
+    defaults.update(kwargs)
+    return estimate_cycles(**defaults)
+
+
+class TestBounds:
+    def test_issue_bound(self):
+        """Balanced work across many tasklets is issue-limited."""
+        est = scalar_estimate(
+            slots_total=2400.0, slots_max_tasklet=100.0, active_tasklets=24,
+        )
+        # rf penalty adds ~8%
+        assert 2400 <= est.max_cycles <= 2700
+
+    def test_thread_bound(self):
+        """One busy tasklet is paced by the 11-cycle dispatch gap."""
+        est = scalar_estimate(
+            slots_total=100.0,
+            slots_max_tasklet=100.0,
+            active_tasklets=1,
+            instructions_total=100.0,
+        )
+        assert est.max_cycles >= 100 * 11
+
+    def test_dma_extends_thread_bound(self):
+        base = scalar_estimate(
+            slots_total=100.0, slots_max_tasklet=100.0, active_tasklets=1,
+        )
+        with_dma = scalar_estimate(
+            slots_total=100.0,
+            slots_max_tasklet=100.0,
+            active_tasklets=1,
+            dma_cycles_total=5000.0,
+            dma_cycles_max_tasklet=5000.0,
+        )
+        assert with_dma.max_cycles >= base.max_cycles + 4999
+
+    def test_nonblocking_dma_ignores_exposure(self):
+        cfg = DpuConfig(blocking_dma=False, sustained_ipc=1.0)
+        est = scalar_estimate(
+            dma_cycles_total=50_000.0,
+            dma_cycles_max_tasklet=50_000.0,
+            config=cfg,
+        )
+        assert est.max_cycles < 50_000
+
+    def test_mutex_bound(self):
+        est = scalar_estimate(mutex_acquires=100_000.0)
+        # 100k acquires / 32 locks * 24-cycle sections
+        assert est.max_cycles >= (100_000 / 32) * 24 - 1
+
+    def test_sustained_ipc_derates_issue(self):
+        ideal = scalar_estimate()
+        derated = scalar_estimate(config=DpuConfig(sustained_ipc=0.25))
+        assert derated.max_cycles == pytest.approx(ideal.max_cycles / 0.25,
+                                                   rel=0.05)
+
+
+class TestBreakdown:
+    def test_fractions_sum_to_one(self):
+        est = scalar_estimate(
+            dma_cycles_total=2000.0,
+            dma_cycles_max_tasklet=400.0,
+            mutex_acquires=50.0,
+        )
+        assert sum(est.breakdown_fractions().values()) == pytest.approx(1.0)
+
+    def test_rf_disabled(self):
+        cfg = DpuConfig(rf_structural_hazards=False, sustained_ipc=1.0)
+        est = scalar_estimate(config=cfg)
+        assert float(np.sum(est.idle_rf)) == 0.0
+
+    def test_vectorized_over_dpus(self):
+        est = estimate_cycles(
+            slots_total=np.array([100.0, 200.0, 50.0]),
+            slots_max_tasklet=np.array([10.0, 20.0, 5.0]),
+            dma_cycles_total=np.zeros(3),
+            dma_cycles_max_tasklet=np.zeros(3),
+            mutex_acquires=np.zeros(3),
+            instructions_total=np.array([100.0, 200.0, 50.0]),
+            active_tasklets=np.array([10, 10, 10]),
+            config=IDEAL,
+        )
+        assert est.cycles.shape == (3,)
+        assert est.max_cycles == float(est.cycles[1])
+
+    def test_active_threads_bounded(self):
+        est = scalar_estimate(active_tasklets=16)
+        assert 0 < float(est.avg_active_threads) <= 16
+
+
+class TestProfileEstimates:
+    def test_from_profiles(self):
+        profile = InstructionProfile()
+        profile.add(InstrClass.ARITH, 500)
+        profile.add(InstrClass.LOADSTORE, 300)
+        est = estimate_from_profiles([profile] * 8, config=IDEAL)
+        assert est.max_cycles >= 800 * 8  # at least the issue bound
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            estimate_from_profiles([])
+
+
+class TestSimulatorAgreement:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_within_factor_two(self, seed):
+        rng = np.random.default_rng(seed)
+        profile = InstructionProfile()
+        profile.add(InstrClass.ARITH, int(rng.integers(200, 1000)))
+        profile.add(InstrClass.LOADSTORE, int(rng.integers(100, 600)))
+        profile.add(InstrClass.CONTROL, int(rng.integers(20, 200)))
+        profile.add_dma(int(rng.integers(0, 20_000)), int(rng.integers(1, 10)))
+        tasklets = int(rng.integers(2, 12))
+        streams = [
+            synthesize_stream(profile, seed=seed + t) for t in range(tasklets)
+        ]
+        sim = RevolverPipeline(IDEAL).run(streams)
+        est = estimate_from_profiles([profile] * tasklets, config=IDEAL)
+        ratio = est.max_cycles / sim.cycles
+        assert 0.5 < ratio < 2.0, ratio

@@ -1,0 +1,200 @@
+"""Tests for the cycle-level revolver-pipeline simulator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import UpmemError
+from repro.upmem import (
+    MUTEX_UNLOCK,
+    DpuConfig,
+    Instruction,
+    InstructionProfile,
+    InstrClass,
+    RevolverPipeline,
+    synthesize_stream,
+)
+
+ARITH = Instruction(InstrClass.ARITH)
+
+
+def make_pipeline(**overrides) -> RevolverPipeline:
+    return RevolverPipeline(DpuConfig(**overrides))
+
+
+class TestSingleTasklet:
+    def test_dispatch_gap_paces_one_thread(self):
+        """One tasklet issues an instruction every `gap` cycles."""
+        stats = make_pipeline().run([[ARITH] * 10])
+        # 10 instructions spaced 11 cycles: ~9 * 11 + 1 cycles
+        assert stats.instructions_issued == 10
+        assert 9 * 11 + 1 <= stats.cycles <= 9 * 11 + 12
+        assert stats.issue_cycles == 10
+        assert stats.idle_revolver > 0
+
+    def test_empty_stream_list_rejected(self):
+        with pytest.raises(UpmemError):
+            make_pipeline().run([])
+
+    def test_too_many_tasklets_rejected(self):
+        with pytest.raises(UpmemError):
+            make_pipeline().run([[ARITH]] * 25)
+
+
+class TestMultiTasklet:
+    def test_interleaving_hides_gap(self):
+        """11+ tasklets can fill every cycle despite the dispatch gap."""
+        streams = [[ARITH] * 20 for _ in range(11)]
+        stats = make_pipeline().run(streams)
+        assert stats.issue_fraction > 0.9
+
+    def test_few_tasklets_leave_idle(self):
+        streams = [[ARITH] * 20 for _ in range(2)]
+        stats = make_pipeline().run(streams)
+        assert stats.issue_fraction < 0.3
+        assert stats.idle_revolver > stats.idle_memory
+
+    def test_throughput_scales_with_tasklets(self):
+        cycles = []
+        for t in (1, 4, 11):
+            streams = [[ARITH] * 30 for _ in range(t)]
+            cycles.append(make_pipeline().run(streams).cycles)
+        # more tasklets, same per-tasklet work -> not much slower overall
+        assert cycles[2] < cycles[0] * 2
+
+    def test_all_instructions_issue(self):
+        streams = [[ARITH] * 7 for _ in range(5)]
+        stats = make_pipeline().run(streams)
+        assert stats.instructions_issued == 35
+
+
+class TestDma:
+    def test_blocking_dma_creates_memory_idle(self):
+        dma = Instruction(InstrClass.DMA, dma_bytes=2048)
+        stats = make_pipeline().run([[dma, ARITH, ARITH]])
+        assert stats.idle_memory > 500  # ~77 + 1024 cycles blocked
+
+    def test_non_blocking_dma_removes_memory_idle(self):
+        dma = Instruction(InstrClass.DMA, dma_bytes=2048)
+        stream = [dma] + [ARITH] * 5
+        blocking = make_pipeline().run([stream])
+        non_blocking = make_pipeline(blocking_dma=False).run([stream])
+        assert non_blocking.cycles < blocking.cycles
+        assert non_blocking.idle_memory == 0
+
+    def test_dma_overlapped_by_other_tasklets(self):
+        dma_stream = [Instruction(InstrClass.DMA, dma_bytes=1024)]
+        busy = [ARITH] * 50
+        stats = make_pipeline().run([dma_stream, busy, busy, busy])
+        # other tasklets keep issuing while one waits on DMA
+        assert stats.issue_fraction > 0.25
+
+
+class TestMutex:
+    def test_mutex_serializes(self):
+        lock = Instruction(InstrClass.SYNC, mutex_id=0)
+        unlock = Instruction(InstrClass.SYNC, mutex_id=MUTEX_UNLOCK)
+        critical = [lock, ARITH, unlock]
+        stats_shared = make_pipeline().run([critical * 5, critical * 5])
+        # distinct mutexes: no serialization
+        lock1 = Instruction(InstrClass.SYNC, mutex_id=1)
+        stats_disjoint = make_pipeline().run(
+            [critical * 5, [lock1, ARITH, unlock] * 5]
+        )
+        assert stats_shared.cycles >= stats_disjoint.cycles
+
+    def test_mutex_eventually_released(self):
+        lock = Instruction(InstrClass.SYNC, mutex_id=0)
+        unlock = Instruction(InstrClass.SYNC, mutex_id=MUTEX_UNLOCK)
+        streams = [[lock, ARITH, unlock] for _ in range(6)]
+        stats = make_pipeline().run(streams)
+        assert stats.instructions_issued == 18  # nobody deadlocks
+
+
+class TestRfHazard:
+    def test_rf_pair_costs_extra_cycle(self):
+        paired = [Instruction(InstrClass.ARITH, rf_pair=True)] * 10
+        stats = make_pipeline().run([paired])
+        assert stats.idle_rf == 10
+
+    def test_rf_hazards_disableable(self):
+        paired = [Instruction(InstrClass.ARITH, rf_pair=True)] * 10
+        stats = make_pipeline(rf_structural_hazards=False).run([paired])
+        assert stats.idle_rf == 0
+
+
+class TestStats:
+    def test_breakdown_sums_to_one(self):
+        streams = [
+            [ARITH, Instruction(InstrClass.DMA, dma_bytes=256), ARITH] * 4
+            for _ in range(3)
+        ]
+        stats = make_pipeline().run(streams)
+        fractions = stats.breakdown_fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_avg_active_threads_bounded(self):
+        streams = [[ARITH] * 10 for _ in range(6)]
+        stats = make_pipeline().run(streams)
+        assert 0 < stats.avg_active_threads <= 6
+
+    def test_ipc_bounded_by_one(self):
+        streams = [[ARITH] * 50 for _ in range(12)]
+        stats = make_pipeline().run(streams)
+        assert 0 < stats.ipc <= 1.0
+
+
+class TestSynthesizeStream:
+    def _profile(self):
+        p = InstructionProfile()
+        p.add(InstrClass.ARITH, 100)
+        p.add(InstrClass.LOADSTORE, 60)
+        p.add(InstrClass.CONTROL, 30)
+        p.add(InstrClass.MUL32, 10)
+        p.add_dma(4096, 4)
+        p.add(InstrClass.SYNC, 12)
+        p.mutex_acquires = 6
+        return p
+
+    def test_mix_preserved(self):
+        profile = self._profile()
+        stream = synthesize_stream(profile, seed=1)
+        counts = {}
+        for instr in stream:
+            counts[instr.klass] = counts.get(instr.klass, 0) + 1
+        # primary classes land close to the requested counts (expansion
+        # adds extra micro-ops of the same class for MUL32)
+        assert counts[InstrClass.ARITH] == pytest.approx(100, abs=5)
+        assert counts[InstrClass.LOADSTORE] == pytest.approx(60, abs=5)
+        assert counts[InstrClass.DMA] == 4
+        assert counts[InstrClass.MUL32] == 10 * 6  # expanded
+
+    def test_dma_bytes_distributed(self):
+        stream = synthesize_stream(self._profile(), seed=2)
+        dma_bytes = sum(i.dma_bytes for i in stream if i.klass is InstrClass.DMA)
+        assert dma_bytes == 4096
+
+    def test_locks_are_paired(self):
+        stream = synthesize_stream(self._profile(), seed=3)
+        locks = sum(
+            1 for i in stream
+            if i.klass is InstrClass.SYNC and i.mutex_id >= 0
+        )
+        unlocks = sum(
+            1 for i in stream
+            if i.klass is InstrClass.SYNC and i.mutex_id == MUTEX_UNLOCK
+        )
+        assert locks == unlocks == 6
+
+    def test_cap_respected(self):
+        profile = InstructionProfile()
+        profile.add(InstrClass.ARITH, 10_000_000)
+        stream = synthesize_stream(profile, max_instructions=5000)
+        assert len(stream) <= 5500
+
+    def test_empty_profile(self):
+        assert synthesize_stream(InstructionProfile()) == []
+
+    def test_stream_runs_through_pipeline(self):
+        stream = synthesize_stream(self._profile(), seed=4)
+        stats = make_pipeline().run([stream])
+        assert stats.instructions_issued == len(stream)

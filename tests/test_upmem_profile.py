@@ -1,0 +1,136 @@
+"""Tests for kernel-profile aggregation and the ISA profile type."""
+
+import numpy as np
+import pytest
+
+from repro.upmem import (
+    EXPANSION,
+    DpuConfig,
+    InstructionProfile,
+    InstrClass,
+    KernelProfile,
+    estimate_cycles,
+    merge_profiles,
+    useful_ops,
+)
+
+
+def make_profile(arith=100, loads=50, sync=10, dma_bytes=2048):
+    profile = InstructionProfile()
+    profile.add(InstrClass.ARITH, arith)
+    profile.add(InstrClass.LOADSTORE, loads)
+    profile.add(InstrClass.SYNC, sync)
+    profile.add_dma(dma_bytes, 2)
+    profile.mutex_acquires = sync // 2
+    return profile
+
+
+class TestInstructionProfile:
+    def test_counts_and_totals(self):
+        profile = make_profile()
+        assert profile.count(InstrClass.ARITH) == 100
+        assert profile.total_instructions == 100 + 50 + 10 + 2
+        assert profile.dma_bytes == 2048
+
+    def test_dispatch_slots_expand(self):
+        profile = InstructionProfile()
+        profile.add(InstrClass.FMUL, 3)
+        assert profile.dispatch_slots == 3 * EXPANSION[InstrClass.FMUL]
+
+    def test_rejects_negative(self):
+        profile = InstructionProfile()
+        with pytest.raises(ValueError):
+            profile.add(InstrClass.ARITH, -1)
+        with pytest.raises(ValueError):
+            profile.add_dma(-5)
+
+    def test_merged(self):
+        merged = make_profile().merged(make_profile(arith=10))
+        assert merged.count(InstrClass.ARITH) == 110
+        assert merged.dma_bytes == 4096
+        assert merged.mutex_acquires == 10
+
+    def test_scaled_preserves_nonzero_classes(self):
+        scaled = make_profile().scaled(0.001)
+        # every class that existed keeps at least one instruction
+        assert scaled.count(InstrClass.SYNC) >= 1
+        assert scaled.count(InstrClass.ARITH) >= 1
+
+    def test_mix_fractions_sum_to_one(self):
+        mix = make_profile().mix_fractions()
+        assert sum(mix.values()) == pytest.approx(1.0)
+
+    def test_mix_fractions_empty(self):
+        assert all(v == 0.0 for v in InstructionProfile().mix_fractions().values())
+
+
+class TestKernelProfile:
+    def _kernel_profile(self):
+        profile = make_profile(arith=2000, loads=1000, sync=100,
+                               dma_bytes=1 << 16)
+        estimate = estimate_cycles(
+            slots_total=np.array([5000.0]),
+            slots_max_tasklet=np.array([300.0]),
+            dma_cycles_total=np.array([1000.0]),
+            dma_cycles_max_tasklet=np.array([100.0]),
+            mutex_acquires=np.array([50.0]),
+            instructions_total=np.array([3100.0]),
+            active_tasklets=np.array([16]),
+        )
+        return KernelProfile(
+            kernel_name="test",
+            instructions=profile,
+            estimate=estimate,
+            num_dpus=4,
+            active_tasklets_per_dpu=16.0,
+        )
+
+    def test_instruction_mix_buckets(self):
+        mix = self._kernel_profile().instruction_mix()
+        assert set(mix) == {"arith", "loadstore", "dma", "sync", "control"}
+        assert sum(mix.values()) == pytest.approx(1.0)
+
+    def test_cycle_breakdown(self):
+        breakdown = self._kernel_profile().cycle_breakdown()
+        assert sum(breakdown.values()) == pytest.approx(1.0)
+
+    def test_no_estimate_defaults(self):
+        empty = KernelProfile(kernel_name="x")
+        assert empty.cycle_breakdown()["issue"] == 0.0
+        assert empty.avg_active_threads == 0.0
+
+    def test_simulate_representative_dpu(self):
+        stats = self._kernel_profile().simulate_representative_dpu(
+            config=DpuConfig(), num_tasklets=4, max_instructions=2000,
+        )
+        assert stats.instructions_issued > 0
+        assert stats.cycles > 0
+
+    def test_simulate_rejects_no_dpus(self):
+        profile = KernelProfile(kernel_name="x", num_dpus=0)
+        with pytest.raises(ValueError):
+            profile.simulate_representative_dpu()
+
+
+class TestMergeAndOps:
+    def test_merge_profiles(self):
+        a = self_profile = KernelProfile(
+            kernel_name="a", instructions=make_profile(), num_dpus=4,
+            active_tasklets_per_dpu=8.0,
+        )
+        b = KernelProfile(
+            kernel_name="b", instructions=make_profile(arith=50),
+            num_dpus=8, active_tasklets_per_dpu=16.0,
+        )
+        merged = merge_profiles("combined", [a, b])
+        assert merged.kernel_name == "combined"
+        assert merged.num_dpus == 8
+        assert merged.instructions.count(InstrClass.ARITH) == 150
+        assert merged.active_tasklets_per_dpu == pytest.approx(12.0)
+
+    def test_useful_ops_counts_arith_classes(self):
+        profile = InstructionProfile()
+        profile.add(InstrClass.ARITH, 10)
+        profile.add(InstrClass.FMUL, 5)
+        profile.add(InstrClass.LOADSTORE, 100)  # not useful work
+        assert useful_ops(profile) == 15.0

@@ -1,0 +1,168 @@
+"""Tests for tasklet program generation and the DPU microbenchmarks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import UpmemError
+from repro.types import DataType
+from repro.upmem import (
+    DpuConfig,
+    InstrClass,
+    RevolverPipeline,
+    TaskletProgram,
+    arithmetic_throughput,
+    coo_spmv_program,
+    csc_spmspv_program,
+    dma_cost_curve,
+    format_microbench_report,
+    host_transfer_curve,
+    split_columns_among_tasklets,
+    tasklet_scaling,
+)
+from repro.upmem.pipeline import MUTEX_UNLOCK
+
+
+class TestTaskletProgram:
+    def test_emit_and_len(self):
+        program = TaskletProgram()
+        program.emit(InstrClass.ARITH)
+        program.emit(InstrClass.LOADSTORE)
+        assert len(program) == 2
+
+    def test_rf_pairs_periodic(self):
+        program = TaskletProgram(rf_pair_period=3)
+        for _ in range(9):
+            program.emit(InstrClass.ARITH)
+        paired = sum(1 for i in program.instructions if i.rf_pair)
+        assert paired == 3
+
+    def test_dma_read_emits_setup(self):
+        program = TaskletProgram()
+        program.dma_read(512)
+        kinds = [i.klass for i in program.instructions]
+        assert kinds == [InstrClass.CONTROL, InstrClass.DMA]
+        assert program.instructions[1].dma_bytes == 512
+
+    def test_lock_unlock(self):
+        program = TaskletProgram()
+        program.lock(3)
+        program.unlock()
+        assert program.instructions[0].mutex_id == 3
+        assert program.instructions[1].mutex_id == MUTEX_UNLOCK
+
+    def test_semiring_ops_by_dtype(self):
+        program = TaskletProgram()
+        program.semiring_multiply(DataType.FLOAT32)
+        program.semiring_add(DataType.INT32)
+        assert program.instructions[0].klass is InstrClass.FMUL
+        assert program.instructions[1].klass is InstrClass.ARITH
+
+
+class TestKernelPrograms:
+    def test_csc_program_structure(self):
+        stream = csc_spmspv_program([3, 2], rng=np.random.default_rng(0))
+        kinds = [i.klass for i in stream]
+        # entry + exit barriers
+        assert kinds.count(InstrClass.SYNC) >= 2 + 2 * 5  # barriers + locks
+        # one multiply per matched element
+        assert kinds.count(InstrClass.MUL32) == 5
+        # per-column pointer fetch + per-chunk data DMA
+        assert kinds.count(InstrClass.DMA) >= 4
+
+    def test_csc_program_runs(self):
+        streams = [
+            csc_spmspv_program([4, 4, 4], rng=np.random.default_rng(t))
+            for t in range(6)
+        ]
+        stats = RevolverPipeline(DpuConfig()).run(streams)
+        assert stats.instructions_issued == sum(len(s) for s in streams)
+        assert stats.idle_memory > 0  # blocking column DMAs
+
+    def test_csc_rejects_negative_lengths(self):
+        with pytest.raises(UpmemError):
+            csc_spmspv_program([-1])
+
+    def test_coo_program_structure(self):
+        stream = coo_spmv_program(10, x_miss_rate=1.0,
+                                  rng=np.random.default_rng(1))
+        kinds = [i.klass for i in stream]
+        assert kinds.count(InstrClass.MUL32) == 10
+        # every element gathers x via an 8-byte DMA at miss rate 1
+        gathers = sum(
+            1 for i in stream
+            if i.klass is InstrClass.DMA and i.dma_bytes == 8
+        )
+        assert gathers == 10
+
+    def test_coo_miss_rate_zero(self):
+        stream = coo_spmv_program(10, x_miss_rate=0.0)
+        gathers = sum(
+            1 for i in stream
+            if i.klass is InstrClass.DMA and i.dma_bytes == 8
+        )
+        assert gathers == 0
+
+    def test_coo_rejects_bad_args(self):
+        with pytest.raises(UpmemError):
+            coo_spmv_program(-1)
+        with pytest.raises(UpmemError):
+            coo_spmv_program(5, x_miss_rate=1.5)
+
+    def test_column_split_balanced(self):
+        lengths = [10, 1, 1, 1, 9, 1, 1, 8]
+        shares = split_columns_among_tasklets(lengths, 4)
+        totals = [sum(s) for s in shares]
+        assert sum(totals) == sum(lengths)
+        assert max(totals) - min(totals) <= 10
+
+    def test_column_split_rejects_zero_tasklets(self):
+        with pytest.raises(UpmemError):
+            split_columns_among_tasklets([1], 0)
+
+
+class TestMicrobench:
+    def test_arithmetic_ordering(self):
+        """int add > int mul > float add > float mul throughput."""
+        points = arithmetic_throughput(num_tasklets=12, ops_per_tasklet=40)
+        assert (
+            points["int32_add"].ops_per_cycle
+            > points["int32_mul"].ops_per_cycle
+            > points["float_add"].ops_per_cycle
+            > points["float_mul"].ops_per_cycle
+        )
+
+    def test_int_add_saturates_pipeline(self):
+        points = arithmetic_throughput(num_tasklets=12, ops_per_tasklet=40)
+        assert points["int32_add"].ops_per_cycle == pytest.approx(1.0,
+                                                                  abs=0.05)
+
+    def test_tasklet_scaling_saturates_at_gap(self):
+        ipc = tasklet_scaling(ops_per_tasklet=100,
+                              tasklet_counts=(1, 4, 11, 24))
+        assert ipc[1] == pytest.approx(1 / 11, abs=0.02)
+        assert ipc[4] < ipc[11]
+        assert ipc[11] == pytest.approx(1.0, abs=0.02)
+        assert ipc[24] == pytest.approx(1.0, abs=0.02)
+
+    def test_dma_curve_monotone(self):
+        curve = dma_cost_curve()
+        values = list(curve.values())
+        assert values == sorted(values)
+        # asymptote is 1/cycles_per_byte = 2 bytes/cycle
+        assert values[-1] == pytest.approx(1.86, abs=0.1)
+
+    def test_host_bandwidth_scales_then_saturates(self):
+        curve = host_transfer_curve(dpu_counts=(64, 512, 2560),
+                                    bytes_per_dpu=1 << 18)
+        assert curve[64] < curve[512] < curve[2560]
+        assert curve[2560] <= 6.7e9 * 1.01
+
+    def test_report_renders(self):
+        report = format_microbench_report(
+            arithmetic_throughput(num_tasklets=4, ops_per_tasklet=10),
+            tasklet_scaling(ops_per_tasklet=20, tasklet_counts=(1, 11)),
+            dma_cost_curve(sizes=(8, 2048)),
+            host_transfer_curve(dpu_counts=(64,), bytes_per_dpu=1 << 16),
+        )
+        assert "arithmetic throughput" in report
+        assert "IPC" in report

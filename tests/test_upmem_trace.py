@@ -1,0 +1,113 @@
+"""Tests for pipeline execution tracing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import UpmemError
+from repro.upmem import (
+    DispatchEvent,
+    DpuConfig,
+    ExecutionTrace,
+    Instruction,
+    InstrClass,
+    RevolverPipeline,
+    TracingPipeline,
+    csc_spmspv_program,
+)
+
+ARITH = Instruction(InstrClass.ARITH)
+
+
+class TestTracingPipeline:
+    def test_records_every_dispatch(self):
+        streams = [[ARITH] * 5 for _ in range(3)]
+        trace = TracingPipeline().run_traced(streams)
+        assert len(trace.events) == 15
+        assert trace.num_tasklets == 3
+        assert trace.total_cycles > 0
+
+    def test_stats_match_untraced_run(self):
+        streams = [
+            csc_spmspv_program([2, 3], rng=np.random.default_rng(t))
+            for t in range(4)
+        ]
+        tracer = TracingPipeline(DpuConfig())
+        trace = tracer.run_traced(streams)
+        plain = RevolverPipeline(DpuConfig()).run(streams)
+        assert tracer.last_stats.cycles == plain.cycles
+        assert len(trace.events) == plain.instructions_issued
+
+    def test_events_for_tasklet(self):
+        streams = [[ARITH] * 3, [ARITH] * 7]
+        trace = TracingPipeline().run_traced(streams)
+        assert len(trace.events_for(0)) == 3
+        assert len(trace.events_for(1)) == 7
+
+    def test_events_are_time_ordered(self):
+        streams = [[ARITH] * 10 for _ in range(4)]
+        trace = TracingPipeline().run_traced(streams)
+        cycles = [e.cycle for e in trace.events]
+        assert cycles == sorted(cycles)
+
+    def test_no_two_dispatches_same_cycle(self):
+        """The single dispatch port admits one instruction per cycle."""
+        streams = [[ARITH] * 20 for _ in range(12)]
+        trace = TracingPipeline().run_traced(streams)
+        cycles = [e.cycle for e in trace.events]
+        assert len(cycles) == len(set(cycles))
+
+    def test_utilization(self):
+        streams = [[ARITH] * 30 for _ in range(12)]
+        trace = TracingPipeline().run_traced(streams)
+        assert trace.utilization() > 0.9
+
+    def test_hook_on_plain_pipeline(self):
+        seen = []
+        RevolverPipeline().run(
+            [[ARITH] * 4],
+            on_dispatch=lambda c, t, i: seen.append((c, t, i.klass)),
+        )
+        assert len(seen) == 4
+        assert all(t == 0 for _, t, _ in seen)
+
+
+class TestTimeline:
+    def test_renders_rows_per_tasklet(self):
+        streams = [[ARITH] * 4 for _ in range(3)]
+        trace = TracingPipeline().run_traced(streams)
+        timeline = trace.timeline(width=20)
+        assert "t00 |" in timeline and "t02 |" in timeline
+        assert "a=arith" in timeline
+
+    def test_dma_glyph_present(self):
+        stream = [Instruction(InstrClass.DMA, dma_bytes=512), ARITH]
+        trace = TracingPipeline().run_traced([stream])
+        assert "D" in trace.timeline(width=40)
+
+    def test_empty_trace(self):
+        assert ExecutionTrace().timeline() == "(empty trace)"
+
+    def test_rejects_bad_width(self):
+        trace = ExecutionTrace(
+            events=[DispatchEvent(0, 0, InstrClass.ARITH)],
+            total_cycles=5,
+            num_tasklets=1,
+        )
+        with pytest.raises(UpmemError):
+            trace.timeline(width=0)
+
+
+class TestWramValidation:
+    def test_kernel_rejects_tiny_wram(self):
+        """A DPU with no usable scratchpad cannot host the kernels."""
+        from repro.kernels import prepare_kernel
+        from repro.upmem import SystemConfig
+        from repro.errors import WramOverflowError
+        from conftest import random_graph
+
+        tiny_wram = DpuConfig(wram_bytes=1024)
+        system = SystemConfig(num_dpus=64, dpu=tiny_wram)
+        with pytest.raises(WramOverflowError):
+            prepare_kernel(
+                "spmspv-csc-2d", random_graph(n=100, seed=1), 8, system
+            )

@@ -1,0 +1,138 @@
+"""Tests for the host<->DPU transfer and merge cost models."""
+
+import pytest
+
+from repro.errors import TransferError
+from repro.upmem import (
+    SystemConfig,
+    TransferModel,
+    convergence_check_time,
+    merge_time_host,
+)
+
+
+@pytest.fixture
+def model():
+    return TransferModel(SystemConfig(num_dpus=256))
+
+
+class TestScatterGather:
+    def test_scatter_positive(self, model):
+        cost = model.scatter([1024] * 64)
+        assert cost.seconds > 0
+        assert cost.bytes_moved == 64 * 1024
+        assert cost.kind == "scatter"
+
+    def test_scatter_pads_to_max(self, model):
+        uneven = model.scatter([1] * 63 + [1 << 20])
+        even = model.scatter([1 << 20] * 64)
+        assert uneven.seconds == pytest.approx(even.seconds)
+
+    def test_scatter_floor_granule(self, model):
+        tiny = model.scatter([8] * 64)
+        floored = model.scatter([4096] * 64)
+        assert tiny.seconds == pytest.approx(floored.seconds)
+
+    def test_gather_slower_than_scatter_at_scale(self):
+        # the h2d/d2h bandwidth asymmetry only shows once enough ranks
+        # are active to saturate the aggregate peaks
+        full = TransferModel(SystemConfig(num_dpus=2560))
+        size = [1 << 20] * 2560
+        assert full.gather(size).seconds > full.scatter(size).seconds
+
+    def test_gather_monotone_in_size(self, model):
+        small = model.gather([1 << 14] * 64)
+        large = model.gather([1 << 20] * 64)
+        assert large.seconds > small.seconds
+
+    def test_scatter_rejects_empty(self, model):
+        with pytest.raises(TransferError):
+            model.scatter([])
+
+    def test_scatter_rejects_negative(self, model):
+        with pytest.raises(TransferError):
+            model.scatter([-1])
+
+    def test_rejects_too_many_dpus(self, model):
+        with pytest.raises(TransferError):
+            model.scatter([8] * 1000)
+
+
+class TestBroadcast:
+    def test_broadcast_volume_scales_with_dpus(self, model):
+        few = model.broadcast(1 << 20, 64)
+        many = model.broadcast(1 << 20, 256)
+        # logical volume scales linearly; time stays ~flat while extra
+        # ranks add bandwidth, and grows once the channels saturate
+        assert many.bytes_moved == 256 << 20
+        assert many.seconds >= few.seconds * 0.9
+        full = TransferModel(SystemConfig(num_dpus=2560))
+        saturated = full.broadcast(1 << 20, 2560)
+        half = full.broadcast(1 << 20, 1280)
+        assert saturated.seconds > half.seconds
+
+    def test_broadcast_chip_discount(self, model):
+        """Broadcasting costs ~1/chip_factor of naive per-DPU copies."""
+        bcast = model.broadcast(1 << 20, 256)
+        scatter = model.scatter([1 << 20] * 256)
+        factor = model.cfg.chip_replication_factor
+        assert bcast.seconds < scatter.seconds
+        assert bcast.seconds > scatter.seconds / (factor * 1.5)
+
+    def test_broadcast_rejects_negative(self, model):
+        with pytest.raises(TransferError):
+            model.broadcast(-5, 8)
+
+
+class TestGridScatter:
+    def test_cheaper_than_full_scatter(self, model):
+        segments = [1 << 16] * 16
+        grid = model.grid_scatter(segments, grid_rows=16)
+        naive = model.scatter([1 << 16] * 256)
+        assert grid.num_dpus == 256
+        assert grid.seconds < naive.seconds
+
+    def test_rejects_bad_args(self, model):
+        with pytest.raises(TransferError):
+            model.grid_scatter([], 4)
+        with pytest.raises(TransferError):
+            model.grid_scatter([8], 0)
+        with pytest.raises(TransferError):
+            model.grid_scatter([-1], 2)
+
+
+class TestSerial:
+    def test_serial_single_dpu(self, model):
+        cost = model.serial(1 << 20, to_device=True)
+        assert cost.num_dpus == 1
+        assert cost.seconds > 0
+
+    def test_serial_direction(self, model):
+        to_dev = model.serial(1 << 24, True)
+        from_dev = model.serial(1 << 24, False)
+        # both capped at the single-rank bandwidth
+        assert to_dev.seconds == pytest.approx(from_dev.seconds)
+
+
+class TestCostAlgebra:
+    def test_add(self, model):
+        a = model.scatter([1024] * 8)
+        b = model.gather([1024] * 8)
+        c = a + b
+        assert c.seconds == pytest.approx(a.seconds + b.seconds)
+        assert c.bytes_moved == a.bytes_moved + b.bytes_moved
+
+
+class TestMerge:
+    def test_merge_zero_for_single_partial(self):
+        assert merge_time_host(1, 1000) == 0.0
+        assert merge_time_host(5, 0) == 0.0
+
+    def test_merge_scales(self):
+        assert merge_time_host(4, 1000) == pytest.approx(
+            3 * merge_time_host(2, 1000)
+        )
+
+    def test_convergence_check(self):
+        assert convergence_check_time(0) == 0.0
+        assert convergence_check_time(10**9) == pytest.approx(1.0)
