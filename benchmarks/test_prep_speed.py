@@ -1,0 +1,150 @@
+"""Kernel-preparation speed benchmark (PR 1 tentpole).
+
+The seed revision spent ~57% of ``run_table4`` wall time *preparing*
+kernels — re-validating ~74k internally produced COO tiles, lexsorting
+every tile, and re-partitioning identical matrices once per algorithm.
+This benchmark pins the optimization down:
+
+* times cold (``use_cache=False``) preparation of every registered
+  kernel on the Table 4 datasets,
+* times warm preparation (served by :data:`repro.cache.KERNEL_CACHE`),
+* times a full ``run_table4`` pass, and
+* writes the before/after numbers plus cache hit-rates to
+  ``BENCH_PR1.json`` at the repository root.
+
+Seed-revision reference numbers were measured on the commit before this
+PR with the same script (scale/DPU knobs identical); they are frozen
+here so the JSON always reports the speedup against the same baseline.
+A generous perf-budget assertion keeps future regressions visible
+without making CI flaky on slow machines.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from conftest import run_once
+
+from repro.cache import cache_stats, clear_caches
+from repro.experiments import DatasetCache, ExperimentConfig, run_table4
+from repro.experiments.table4 import TABLE4_DATASETS, TABLE4_MIN_SCALE
+from repro.kernels import KERNELS, prepare_kernel
+
+#: Measured at the seed commit (scale=0.3 via TABLE4_MIN_SCALE,
+#: num_dpus=2048, REPRO defaults): one run_table4 pass and the prepare
+#: share inside it (cProfile cumulative over 36 prepare_kernel calls).
+SEED_TABLE4_WALL_S = 8.05
+SEED_PREPARE_TOTAL_S = 4.70
+
+#: Generous ceilings: ~2x the post-PR measurements so CI noise and slow
+#: runners do not flake, while a return to seed-level behaviour (>2x
+#: above these) still fails loudly.
+TABLE4_WALL_BUDGET_S = 6.5
+PREPARE_COLD_BUDGET_S = 2.5
+
+BENCH_PATH = pathlib.Path(__file__).parents[1] / "BENCH_PR1.json"
+
+
+def _table4_config(config: ExperimentConfig) -> ExperimentConfig:
+    """The config run_table4 actually uses (it floors the scale)."""
+    if config.scale >= TABLE4_MIN_SCALE:
+        return config
+    return ExperimentConfig(
+        scale=TABLE4_MIN_SCALE,
+        num_dpus=max(config.num_dpus, 2048),
+        seed=config.seed,
+        datasets=config.datasets,
+    )
+
+
+def test_prep_speed_and_budget(benchmark, config, report_dir):
+    t4_config = _table4_config(config)
+    t4_cache = DatasetCache(t4_config)
+    system = t4_config.system(t4_config.num_dpus)
+    matrices = {name: t4_cache.get(name) for name in TABLE4_DATASETS}
+
+    # ---- cold preparation: every kernel on every Table 4 dataset --------
+    clear_caches()
+    t0 = time.perf_counter()
+    for matrix in matrices.values():
+        for kernel_name in KERNELS:
+            prepare_kernel(
+                kernel_name, matrix, t4_config.num_dpus, system,
+                use_cache=False,
+            )
+    prepare_cold_s = time.perf_counter() - t0
+    n_prepared = len(matrices) * len(KERNELS)
+
+    # ---- warm preparation: identical requests served from the cache ----
+    clear_caches()
+    for matrix in matrices.values():
+        for kernel_name in KERNELS:
+            prepare_kernel(kernel_name, matrix, t4_config.num_dpus, system)
+    t0 = time.perf_counter()
+    for matrix in matrices.values():
+        for kernel_name in KERNELS:
+            prepare_kernel(kernel_name, matrix, t4_config.num_dpus, system)
+    prepare_warm_s = time.perf_counter() - t0
+    warm_stats = cache_stats()
+
+    # ---- full run_table4 pass (prepare + run + baselines) ---------------
+    clear_caches()
+    fresh_cache = DatasetCache(t4_config)
+    t0 = time.perf_counter()
+    result = run_once(benchmark, lambda: run_table4(t4_config, fresh_cache))
+    table4_wall_s = time.perf_counter() - t0
+    table4_stats = cache_stats()
+
+    payload = {
+        "benchmark": "kernel-preparation speed (trusted tiles + "
+                     "vectorized planning + plan/kernel cache)",
+        "config": {
+            "scale": t4_config.scale,
+            "num_dpus": t4_config.num_dpus,
+            "datasets": list(TABLE4_DATASETS),
+            "kernels": sorted(KERNELS),
+        },
+        "seed": {
+            "table4_wall_s": SEED_TABLE4_WALL_S,
+            "prepare_total_s": SEED_PREPARE_TOTAL_S,
+        },
+        "now": {
+            "table4_wall_s": round(table4_wall_s, 3),
+            "prepare_cold_s": round(prepare_cold_s, 3),
+            "prepare_warm_s": round(prepare_warm_s, 6),
+            "prepared_kernels": n_prepared,
+            "table4_speedup_vs_seed": round(
+                SEED_TABLE4_WALL_S / table4_wall_s, 2
+            ),
+            "prepare_speedup_vs_seed": round(
+                SEED_PREPARE_TOTAL_S / max(prepare_cold_s, 1e-9), 2
+            ),
+        },
+        "cache": {
+            "warm_sweep": warm_stats,
+            "run_table4": table4_stats,
+        },
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    (report_dir / "prep_speed.txt").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    # sanity: the experiment itself still produced the full table
+    assert len(result.rows) == 3 * len(TABLE4_DATASETS)
+
+    # ---- perf budget -----------------------------------------------------
+    assert prepare_cold_s < PREPARE_COLD_BUDGET_S, (
+        f"cold kernel preparation regressed: {prepare_cold_s:.2f}s for "
+        f"{n_prepared} kernels (budget {PREPARE_COLD_BUDGET_S}s)"
+    )
+    assert table4_wall_s < TABLE4_WALL_BUDGET_S, (
+        f"run_table4 wall time regressed: {table4_wall_s:.2f}s "
+        f"(budget {TABLE4_WALL_BUDGET_S}s; seed was {SEED_TABLE4_WALL_S}s)"
+    )
+    # warm preparation must be orders of magnitude cheaper than cold
+    assert prepare_warm_s < prepare_cold_s / 10.0
+    # the warm sweep is pure hits
+    assert warm_stats["kernel_cache"]["hits"] == n_prepared

@@ -82,13 +82,18 @@ class MatvecDriver:
         num_dpus: int,
         spmv_kernel: str = BEST_SPMV,
         spmspv_kernel: str = BEST_SPMSPV,
+        use_cache: bool = True,
     ) -> None:
         self.matrix = matrix
         self.system = system
         self.num_dpus = num_dpus
         self._kernels = {
-            "spmv": prepare_kernel(spmv_kernel, matrix, num_dpus, system),
-            "spmspv": prepare_kernel(spmspv_kernel, matrix, num_dpus, system),
+            "spmv": prepare_kernel(
+                spmv_kernel, matrix, num_dpus, system, use_cache=use_cache
+            ),
+            "spmspv": prepare_kernel(
+                spmspv_kernel, matrix, num_dpus, system, use_cache=use_cache
+            ),
         }
         self._energy_model = UpmemEnergyModel(system)
 

@@ -46,7 +46,9 @@ def normalize_columns(matrix: SparseMatrix) -> COOMatrix:
         1.0, col_sums, out=np.zeros_like(col_sums), where=col_sums > 0
     )
     values = (coo.values * scale[coo.cols]).astype(np.float32)
-    return COOMatrix(coo.rows.copy(), coo.cols.copy(), values, coo.shape)
+    # Same coordinates in the same canonical order, new values: the
+    # trusted constructor skips the (already proven) format checks.
+    return COOMatrix.from_sorted(coo.rows, coo.cols, values, coo.shape)
 
 
 def ppr(

@@ -1,0 +1,283 @@
+"""Shared preparation caches: partition plans and prepared kernels.
+
+Profiling the paper's §6.3.2 system comparison showed ~57% of wall time
+spent *preparing* kernels — partitioning the same matrices over and over
+for every (algorithm, kernel) pair.  On the real machine this work is
+done once per graph and amortized across runs (the PyGim lesson: PIM
+graph pipelines live or die by data-preparation reuse); this module
+gives the simulator the same economics.
+
+Two caches, both process-wide, LRU-bounded and keyed on *content*:
+
+``PlanCache``
+    Maps ``(structure, strategy, num_dpus, fmt)`` to a
+    :class:`~repro.partition.base.PartitionPlan`.  The structure key is a
+    digest of the sparsity pattern only (rows, cols, shape), so BFS on
+    the unit-weight matrix, SSSP on the weighted matrix and PPR on the
+    column-normalized matrix of the *same graph* share one planning pass:
+    a structural hit rebinds the cached plan's partitions to the new
+    values array in O(nnz) using the plan's recorded
+    ``element_order`` — bit-identical to planning from scratch, because
+    partitioning decisions never depend on the values.
+
+``PreparedKernelCache``
+    Maps ``(structure, values, kernel, num_dpus, system)`` to a
+    :class:`~repro.kernels.base.PreparedKernel`.  Prepared kernels are
+    immutable after construction (``run`` is pure), so the same object is
+    safely shared by every driver that asks for the same binding —
+    e.g. repeated experiments in one pytest session.
+
+Hit/miss counters are exposed via :func:`cache_stats` for reports and
+the ``benchmarks/test_prep_speed.py`` trajectory bench.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from .partition.base import Partition, PartitionPlan
+from .sparse.base import SparseMatrix
+from .sparse.coo import COOMatrix
+
+#: Default LRU capacities.  Plans for 2k-DPU grids hold ~2k small array
+#: views each; prepared kernels additionally pin their matrix.  These
+#: bounds keep a long pytest session's footprint modest while easily
+#: covering one experiment sweep.
+DEFAULT_PLAN_ENTRIES = 64
+DEFAULT_KERNEL_ENTRIES = 64
+
+
+def _digest(*chunks: bytes) -> str:
+    h = hashlib.sha1()
+    for chunk in chunks:
+        h.update(chunk)
+    return h.hexdigest()
+
+
+def matrix_fingerprint(matrix: SparseMatrix) -> Tuple[str, str]:
+    """``(structure_key, values_key)`` content digests of a matrix.
+
+    The structure key covers the sparsity pattern (shape + coordinates);
+    the values key covers the stored values and their dtype.  Digests are
+    memoized on the canonical COO instance, so repeated cache lookups on
+    the same object hash once.
+    """
+    coo = matrix.to_coo()
+    cached = getattr(coo, "_fingerprint", None)
+    if cached is not None:
+        return cached
+    shape_bytes = np.asarray(coo.shape, dtype=np.int64).tobytes()
+    structure = _digest(shape_bytes, coo.rows.tobytes(), coo.cols.tobytes())
+    values = _digest(
+        str(coo.values.dtype).encode(), coo.values.tobytes()
+    )
+    fingerprint = (structure, values)
+    coo._fingerprint = fingerprint
+    return fingerprint
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache (exposed in reports)."""
+
+    hits: int = 0
+    #: Plan-cache only: structural hits that rebound cached structure to
+    #: a new values array (cheaper than a miss, dearer than a full hit).
+    structural_hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.structural_hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.lookups
+        if lookups == 0:
+            return 0.0
+        return (self.hits + self.structural_hits) / lookups
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "structural_hits": self.structural_hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+    def reset(self) -> None:
+        self.hits = self.structural_hits = self.misses = 0
+
+
+class _LruDict(OrderedDict):
+    """OrderedDict with a capacity bound (evicts least-recently-used)."""
+
+    def __init__(self, max_entries: int) -> None:
+        super().__init__()
+        self.max_entries = max_entries
+
+    def touch(self, key):
+        value = self.get(key)
+        if value is not None:
+            self.move_to_end(key)
+        return value
+
+    def store(self, key, value) -> None:
+        self[key] = value
+        self.move_to_end(key)
+        while len(self) > self.max_entries:
+            self.popitem(last=False)
+
+
+def rebind_plan_values(plan: PartitionPlan, values: np.ndarray) -> PartitionPlan:
+    """A copy of ``plan`` whose partitions carry ``values`` instead.
+
+    Requires the plan's vectorized bookkeeping (``nnz_counts`` and, for
+    permuting strategies, ``element_order``).  The partitions' coordinate
+    arrays are *shared* with the donor plan — only per-partition value
+    slices are new — so rebinding costs one gather over ``values``.
+    """
+    counts = plan.nnz_counts
+    if counts is None:
+        raise ValueError("plan lacks nnz_counts; cannot rebind values")
+    values = np.asarray(values)
+    permuted = values[plan.element_order] if plan.element_order is not None \
+        else values
+    offsets = np.concatenate(([0], np.cumsum(counts))).tolist()
+    from_sorted = COOMatrix.from_sorted
+    partitions = []
+    for i, donor in enumerate(plan.partitions):
+        block = donor.coo_block
+        partitions.append(
+            Partition(
+                dpu_id=donor.dpu_id,
+                coo_block=from_sorted(
+                    block.rows, block.cols,
+                    permuted[offsets[i]:offsets[i + 1]], block.shape,
+                ),
+                fmt=donor.fmt,
+                row_range=donor.row_range,
+                col_range=donor.col_range,
+                global_rows=donor.global_rows,
+            )
+        )
+    return replace(plan, partitions=partitions)
+
+
+class PlanCache:
+    """Content-keyed cache of partition plans with structural reuse."""
+
+    def __init__(self, max_entries: int = DEFAULT_PLAN_ENTRIES) -> None:
+        self._full: _LruDict = _LruDict(max_entries)
+        self._structural: _LruDict = _LruDict(max_entries)
+        self.stats = CacheStats()
+
+    def get(
+        self,
+        matrix: SparseMatrix,
+        strategy: str,
+        num_dpus: int,
+        fmt: str,
+        builder: Callable[[], PartitionPlan],
+    ) -> PartitionPlan:
+        """The plan for (matrix, strategy, num_dpus, fmt), cached.
+
+        ``builder`` runs only on a full miss; a structural hit rebinds
+        the cached plan to this matrix's values.
+        """
+        coo = matrix.to_coo()
+        structure, values = matrix_fingerprint(coo)
+        base_key = (strategy, num_dpus, fmt)
+        full_key = (structure, values) + base_key
+        plan = self._full.touch(full_key)
+        if plan is not None:
+            self.stats.hits += 1
+            return plan
+        structural_key = (structure,) + base_key
+        donor = self._structural.touch(structural_key)
+        if donor is not None and donor.nnz_counts is not None:
+            plan = rebind_plan_values(donor, coo.values)
+            self.stats.structural_hits += 1
+        else:
+            plan = builder()
+            self.stats.misses += 1
+            self._structural.store(structural_key, plan)
+        self._full.store(full_key, plan)
+        return plan
+
+    def clear(self) -> None:
+        self._full.clear()
+        self._structural.clear()
+
+
+class PreparedKernelCache:
+    """Content-keyed cache of fully prepared kernels."""
+
+    def __init__(self, max_entries: int = DEFAULT_KERNEL_ENTRIES) -> None:
+        self._entries: _LruDict = _LruDict(max_entries)
+        self.stats = CacheStats()
+
+    def get(
+        self,
+        name: str,
+        matrix: SparseMatrix,
+        num_dpus: int,
+        system,
+        builder: Callable[[], "object"],
+    ):
+        """The prepared kernel for this exact binding, cached.
+
+        ``system`` must be hashable (the frozen ``SystemConfig``
+        dataclass is); ``builder`` runs only on a miss.
+        """
+        structure, values = matrix_fingerprint(matrix)
+        key = (structure, values, name, num_dpus, system)
+        kernel = self._entries.touch(key)
+        if kernel is not None:
+            self.stats.hits += 1
+            return kernel
+        kernel = builder()
+        self.stats.misses += 1
+        self._entries.store(key, kernel)
+        return kernel
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+#: Process-wide singletons used by :func:`repro.kernels.prepare_kernel`
+#: and the partition-plan fast path in the kernel factories.
+PLAN_CACHE = PlanCache()
+KERNEL_CACHE = PreparedKernelCache()
+
+
+def cached_plan(
+    matrix: SparseMatrix,
+    strategy: str,
+    num_dpus: int,
+    fmt: str,
+    builder: Callable[[], PartitionPlan],
+) -> PartitionPlan:
+    """Route a kernel factory's partitioning through :data:`PLAN_CACHE`."""
+    return PLAN_CACHE.get(matrix, strategy, num_dpus, fmt, builder)
+
+
+def cache_stats() -> Dict[str, Dict[str, float]]:
+    """Hit/miss counters of both global caches (for reports/benches)."""
+    return {
+        "plan_cache": PLAN_CACHE.stats.as_dict(),
+        "kernel_cache": KERNEL_CACHE.stats.as_dict(),
+    }
+
+
+def clear_caches() -> None:
+    """Drop all cached plans/kernels and reset the counters."""
+    PLAN_CACHE.clear()
+    KERNEL_CACHE.clear()
+    PLAN_CACHE.stats.reset()
+    KERNEL_CACHE.stats.reset()

@@ -263,6 +263,9 @@ def add_weights(
         raise DatasetError("need 0 < low < high")
     rng = rng or np.random.default_rng()
     weights = rng.integers(low, high, matrix.nnz).astype(dtype)
-    return COOMatrix(
-        matrix.rows.copy(), matrix.cols.copy(), weights, matrix.shape
+    # Coordinates are untouched and already canonical — reuse them via
+    # the trusted constructor (keeps the structural fingerprint shareable
+    # so plan caches can rebind values instead of re-partitioning).
+    return COOMatrix.from_sorted(
+        matrix.rows, matrix.cols, weights, matrix.shape
     )

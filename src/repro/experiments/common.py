@@ -18,6 +18,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..cache import cache_stats
 from ..datasets import DatasetSpec, add_weights, get_dataset
 from ..sparse.coo import COOMatrix
 from ..upmem.config import SystemConfig
@@ -52,20 +53,42 @@ class DatasetCache:
     def __init__(self, config: ExperimentConfig) -> None:
         self.config = config
         self._cache: Dict[Tuple[str, bool], COOMatrix] = {}
+        self.hits = 0
+        self.misses = 0
 
     def get(self, abbrev: str, weighted: bool = False) -> COOMatrix:
         key = (abbrev, weighted)
         if key not in self._cache:
+            self.misses += 1
             spec = get_dataset(abbrev)
             rng = np.random.default_rng(self.config.seed)
             matrix = spec.generate(scale=self.config.scale, rng=rng)
             if weighted:
                 matrix = add_weights(matrix, rng)
             self._cache[key] = matrix
+        else:
+            self.hits += 1
         return self._cache[key]
 
     def spec(self, abbrev: str) -> DatasetSpec:
         return get_dataset(abbrev)
+
+    def cache_report(self) -> Dict[str, Dict[str, float]]:
+        """Hit/miss counters for this dataset cache plus the process-wide
+        plan/kernel caches (:func:`repro.cache.cache_stats`) — experiment
+        reports embed this so regressions in reuse are visible."""
+        report = {
+            "datasets": {
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": (
+                    self.hits / (self.hits + self.misses)
+                    if (self.hits + self.misses) else 0.0
+                ),
+            },
+        }
+        report.update(cache_stats())
+        return report
 
 
 def geomean(values: Iterable[float]) -> float:

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict
 
+from ..cache import KERNEL_CACHE
 from ..errors import KernelError
 from ..sparse.base import SparseMatrix
 from ..upmem.config import SystemConfig
@@ -47,12 +48,29 @@ BEST_SPMV = "spmv-dcoo"
 
 
 def prepare_kernel(
-    name: str, matrix: SparseMatrix, num_dpus: int, system: SystemConfig
+    name: str,
+    matrix: SparseMatrix,
+    num_dpus: int,
+    system: SystemConfig,
+    use_cache: bool = True,
 ) -> PreparedKernel:
-    """Partition ``matrix`` for the named kernel on ``num_dpus`` DPUs."""
+    """Partition ``matrix`` for the named kernel on ``num_dpus`` DPUs.
+
+    Preparation is served from the process-wide
+    :data:`repro.cache.KERNEL_CACHE` keyed on the matrix *content*
+    (structure + values digests), kernel name, DPU count and system
+    config — identical requests share one immutable
+    :class:`PreparedKernel` (``run`` is pure, so results are
+    bit-identical).  Pass ``use_cache=False`` to force a fresh build.
+    """
     try:
         factory = KERNELS[name]
     except KeyError:
         known = ", ".join(sorted(KERNELS))
         raise KernelError(f"unknown kernel {name!r}; known: {known}") from None
-    return factory(matrix, num_dpus, system)
+    if not use_cache:
+        return factory(matrix, num_dpus, system)
+    return KERNEL_CACHE.get(
+        name, matrix, num_dpus, system,
+        lambda: factory(matrix, num_dpus, system),
+    )

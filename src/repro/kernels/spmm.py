@@ -16,6 +16,7 @@ from typing import Union
 import numpy as np
 
 from ..errors import KernelError
+from ..cache import cached_plan
 from ..partition import dcoo
 from ..semiring import Semiring
 from ..sparse.base import SparseMatrix
@@ -60,17 +61,22 @@ class PreparedSpMM(PreparedKernel):
 
     def __init__(self, matrix: SparseMatrix, num_dpus: int,
                  system: SystemConfig) -> None:
-        plan = dcoo(matrix, num_dpus)
+        plan = cached_plan(
+            matrix, "dcoo", num_dpus, "coo",
+            lambda: dcoo(matrix, num_dpus),
+        )
         dtype = _datatype_of(matrix)
         super().__init__(plan, system, dtype)
         self._matrix = matrix
         self._transfer = TransferModel(system)
         self._elements = plan.nnz_per_dpu().astype(np.float64)
-        self._out_lens = np.array(
-            [p.out_len for p in plan.partitions], dtype=np.int64
+        self._out_lens = (
+            plan.out_lens if plan.out_lens is not None
+            else np.array([p.out_len for p in plan.partitions], dtype=np.int64)
         )
-        self._in_lens = np.array(
-            [p.in_len for p in plan.partitions], dtype=np.int64
+        self._in_lens = (
+            plan.in_lens if plan.in_lens is not None
+            else np.array([p.in_len for p in plan.partitions], dtype=np.int64)
         )
 
     def run(self, x_block: np.ndarray, semiring: Semiring) -> SpMMResult:

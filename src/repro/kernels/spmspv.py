@@ -28,6 +28,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..cache import cached_plan
 from ..errors import KernelError
 from ..partition import colwise, grid2d, rowwise
 from ..partition.base import PartitionPlan
@@ -76,8 +77,10 @@ class PreparedSpMSpV(PreparedKernel):
         self._csc: CSCMatrix = matrix.to_csc()
         self._transfer = TransferModel(system)
         self._nnz_per_dpu = plan.nnz_per_dpu().astype(np.float64)
-        self._rows_per_dpu = np.array(
-            [p.out_len for p in plan.partitions], dtype=np.float64
+        self._rows_per_dpu = (
+            plan.out_lens.astype(np.float64)
+            if plan.out_lens is not None
+            else np.array([p.out_len for p in plan.partitions], dtype=np.float64)
         )
         if plan.row_bounds is None or plan.col_bounds is None:
             raise KernelError(
@@ -385,33 +388,48 @@ class PreparedSpMSpV(PreparedKernel):
 def prepare_spmspv_coo(matrix: SparseMatrix, num_dpus: int,
                        system: SystemConfig) -> PreparedSpMSpV:
     """Row-banded COO SpMSpV (scans all elements; broadcast input)."""
-    plan = rowwise(matrix, num_dpus, fmt="coo")
+    plan = cached_plan(
+        matrix, "rowwise", num_dpus, "coo",
+        lambda: rowwise(matrix, num_dpus, fmt="coo"),
+    )
     return PreparedSpMSpV(matrix, plan, system, variant="coo")
 
 
 def prepare_spmspv_csr(matrix: SparseMatrix, num_dpus: int,
                        system: SystemConfig) -> PreparedSpMSpV:
     """Row-banded CSR SpMSpV (per-row merge against x; the paper's worst)."""
-    plan = rowwise(matrix, num_dpus, fmt="csr")
+    plan = cached_plan(
+        matrix, "rowwise", num_dpus, "csr",
+        lambda: rowwise(matrix, num_dpus, fmt="csr"),
+    )
     return PreparedSpMSpV(matrix, plan, system, variant="csr")
 
 
 def prepare_spmspv_csc_r(matrix: SparseMatrix, num_dpus: int,
                          system: SystemConfig) -> PreparedSpMSpV:
     """Row-banded CSC SpMSpV (CSC-R): active columns, broadcast input."""
-    plan = rowwise(matrix, num_dpus, fmt="csc")
+    plan = cached_plan(
+        matrix, "rowwise", num_dpus, "csc",
+        lambda: rowwise(matrix, num_dpus, fmt="csc"),
+    )
     return PreparedSpMSpV(matrix, plan, system, variant="csc-r")
 
 
 def prepare_spmspv_csc_c(matrix: SparseMatrix, num_dpus: int,
                          system: SystemConfig) -> PreparedSpMSpV:
     """Column-banded CSC SpMSpV (CSC-C): segmented input, merged output."""
-    plan = colwise(matrix, num_dpus, fmt="csc")
+    plan = cached_plan(
+        matrix, "colwise", num_dpus, "csc",
+        lambda: colwise(matrix, num_dpus, fmt="csc"),
+    )
     return PreparedSpMSpV(matrix, plan, system, variant="csc-c")
 
 
 def prepare_spmspv_csc_2d(matrix: SparseMatrix, num_dpus: int,
                           system: SystemConfig) -> PreparedSpMSpV:
     """Tile-grid CSC SpMSpV (CSC-2D): the paper's overall winner (§6.1)."""
-    plan = grid2d(matrix, num_dpus, fmt="csc")
+    plan = cached_plan(
+        matrix, "grid2d", num_dpus, "csc",
+        lambda: grid2d(matrix, num_dpus, fmt="csc"),
+    )
     return PreparedSpMSpV(matrix, plan, system, variant="csc-2d")

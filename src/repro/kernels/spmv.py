@@ -12,6 +12,7 @@ from typing import Union
 
 import numpy as np
 
+from ..cache import cached_plan
 from ..errors import KernelError
 from ..partition import coo_nnz, dcoo
 from ..partition.base import PartitionPlan
@@ -86,11 +87,13 @@ class PreparedSpMV(PreparedKernel):
         self._matrix = matrix
         self._transfer = TransferModel(system)
         self._elements = plan.nnz_per_dpu().astype(np.float64)
-        self._out_lens = np.array(
-            [p.out_len for p in plan.partitions], dtype=np.int64
+        self._out_lens = (
+            plan.out_lens if plan.out_lens is not None
+            else np.array([p.out_len for p in plan.partitions], dtype=np.int64)
         )
-        self._in_lens = np.array(
-            [p.in_len for p in plan.partitions], dtype=np.int64
+        self._in_lens = (
+            plan.in_lens if plan.in_lens is not None
+            else np.array([p.in_len for p in plan.partitions], dtype=np.int64)
         )
 
     def run(self, x: Union[np.ndarray, SparseVector],
@@ -188,14 +191,20 @@ class PreparedSpMV(PreparedKernel):
 def prepare_spmv_1d(matrix: SparseMatrix, num_dpus: int,
                     system: SystemConfig) -> PreparedSpMV:
     """SparseP ``COO.nnz``: equal-nnz 1-D chunks, full vector broadcast."""
-    plan = coo_nnz(matrix, num_dpus)
+    plan = cached_plan(
+        matrix, "coo-nnz", num_dpus, "coo",
+        lambda: coo_nnz(matrix, num_dpus),
+    )
     return PreparedSpMV(matrix, plan, system, name="spmv-coo-nnz")
 
 
 def prepare_spmv_2d(matrix: SparseMatrix, num_dpus: int,
                     system: SystemConfig) -> PreparedSpMV:
     """SparseP ``DCOO``: equal-size 2-D COO tiles, segmented vectors."""
-    plan = dcoo(matrix, num_dpus)
+    plan = cached_plan(
+        matrix, "dcoo", num_dpus, "coo",
+        lambda: dcoo(matrix, num_dpus),
+    )
     return PreparedSpMV(matrix, plan, system, name="spmv-dcoo")
 
 

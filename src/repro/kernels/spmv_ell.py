@@ -15,6 +15,7 @@ from typing import Union
 import numpy as np
 
 from ..errors import KernelError
+from ..cache import cached_plan
 from ..partition import rowwise
 from ..semiring import Semiring
 from ..sparse.base import SparseMatrix
@@ -62,14 +63,19 @@ class PreparedSpMVELL(PreparedKernel):
 
     def __init__(self, matrix: SparseMatrix, num_dpus: int,
                  system: SystemConfig) -> None:
-        plan = rowwise(matrix, num_dpus, fmt="coo")
+        plan = cached_plan(
+            matrix, "rowwise", num_dpus, "coo",
+            lambda: rowwise(matrix, num_dpus, fmt="coo"),
+        )
         dtype = _datatype_of(matrix)
         super().__init__(plan, system, dtype)
         self._matrix = matrix
         self._ell = ELLMatrix.from_coo(matrix.to_coo())
         self._transfer = TransferModel(system)
-        rows_per_dpu = np.array(
-            [p.out_len for p in plan.partitions], dtype=np.float64
+        rows_per_dpu = (
+            plan.out_lens.astype(np.float64)
+            if plan.out_lens is not None
+            else np.array([p.out_len for p in plan.partitions], dtype=np.float64)
         )
         # every row costs `width` slots, padded or not
         self._slots = rows_per_dpu * self._ell.width

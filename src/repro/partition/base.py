@@ -98,6 +98,19 @@ class PartitionPlan:
     row_bounds: Optional[np.ndarray] = None
     #: Column-band boundaries (length grid_cols + 1), likewise.
     col_bounds: Optional[np.ndarray] = None
+    #: Per-DPU non-zero counts (vectorized planners fill this so the
+    #: plan-wide aggregates below never loop over 10k+ partitions).
+    nnz_counts: Optional[np.ndarray] = None
+    #: Per-DPU output-slice lengths (``partition.out_len`` vectorized).
+    out_lens: Optional[np.ndarray] = None
+    #: Per-DPU input-slice lengths (``partition.in_len`` vectorized).
+    in_lens: Optional[np.ndarray] = None
+    #: Global permutation mapping the source matrix's canonical element
+    #: order to the concatenation of the partition blocks (``None`` means
+    #: identity — blocks are direct slices, e.g. COO.nnz chunks).  The
+    #: plan cache uses this to rebind a cached plan *structure* to a new
+    #: values array (same sparsity pattern, different weights) in O(nnz).
+    element_order: Optional[np.ndarray] = None
 
     def __post_init__(self) -> None:
         if not self.partitions:
@@ -109,16 +122,40 @@ class PartitionPlan:
 
     @property
     def total_nnz(self) -> int:
+        if self.nnz_counts is not None:
+            return int(self.nnz_counts.sum())
         return sum(p.nnz for p in self.partitions)
 
     def nnz_per_dpu(self) -> np.ndarray:
+        if self.nnz_counts is not None:
+            return self.nnz_counts
         return np.array([p.nnz for p in self.partitions], dtype=np.int64)
 
     def matrix_bytes_per_dpu(self) -> np.ndarray:
+        counts = self.nnz_counts
+        if counts is not None and self.out_lens is not None \
+                and self.in_lens is not None:
+            # all partitions of a plan share one storage format and dtype
+            fmt = self.partitions[0].fmt
+            value_bytes = self.partitions[0].coo_block.values.dtype.itemsize
+            if fmt == "coo":
+                return counts * (2 * _INDEX_BYTES + value_bytes)
+            per_entry = counts * (_INDEX_BYTES + value_bytes)
+            if fmt == "csr":
+                return per_entry + (self.out_lens + 1) * _INDEX_BYTES
+            if fmt == "csc":
+                return per_entry + (self.in_lens + 1) * _INDEX_BYTES
+            raise PartitionError(f"unknown format {fmt!r}")
         return np.array([p.nbytes for p in self.partitions], dtype=np.int64)
 
     def row_boundaries(self) -> np.ndarray:
         """Sorted unique output-row band boundaries across partitions."""
+        if self.row_bounds is not None:
+            edges_arr = np.union1d(
+                np.asarray(self.row_bounds, dtype=np.int64),
+                np.array([0, self.shape[0]], dtype=np.int64),
+            )
+            return edges_arr
         edges = {0, self.shape[0]}
         for partition in self.partitions:
             edges.add(partition.row_range[0])
@@ -126,7 +163,11 @@ class PartitionPlan:
         return np.array(sorted(edges), dtype=np.int64)
 
     def validate_coverage(self, expected_nnz: int) -> None:
-        """Check that every stored non-zero landed in exactly one partition."""
+        """Check that every stored non-zero landed in exactly one partition.
+
+        O(1) when the planner filled :attr:`nnz_counts` (one vectorized
+        sum); falls back to a per-partition walk otherwise.
+        """
         if self.total_nnz != expected_nnz:
             raise PartitionError(
                 f"plan covers {self.total_nnz} non-zeros; matrix has "
@@ -135,10 +176,10 @@ class PartitionPlan:
 
     def validate_mram_fit(self, mram_bytes: int, vector_bytes_per_dpu: int = 0) -> None:
         """Check each partition (plus vectors) fits a 64 MB MRAM bank."""
-        for partition in self.partitions:
-            needed = partition.nbytes + vector_bytes_per_dpu
-            if needed > mram_bytes:
-                raise PartitionError(
-                    f"DPU {partition.dpu_id} needs {needed} bytes but MRAM "
-                    f"holds {mram_bytes}"
-                )
+        needed = self.matrix_bytes_per_dpu() + vector_bytes_per_dpu
+        worst = int(np.argmax(needed))
+        if needed[worst] > mram_bytes:
+            raise PartitionError(
+                f"DPU {self.partitions[worst].dpu_id} needs "
+                f"{int(needed[worst])} bytes but MRAM holds {mram_bytes}"
+            )

@@ -17,7 +17,7 @@ is ``O(nnz log nnz)`` regardless of the DPU count.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Tuple
 
 import numpy as np
 
@@ -45,20 +45,24 @@ def _check(matrix: SparseMatrix, num_dpus: int) -> COOMatrix:
 
 def _bucketed_blocks(
     coo: COOMatrix, dpu_of_element: np.ndarray, num_parts: int
-) -> List[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
-    """Group elements by DPU with one stable sort; returns per-DPU triples."""
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Group elements by DPU with one stable sort.
+
+    Returns ``(order, rows, cols, vals, counts, offsets)`` where ``order``
+    is the global permutation, ``rows``/``cols``/``vals`` are the permuted
+    arrays (bucket ``p`` occupies ``[offsets[p], offsets[p + 1])``) and
+    ``counts`` holds per-DPU element counts.  The stable sort keeps the
+    source's canonical row-major order *within* each bucket, so every
+    bucket (and any constant re-basing of it) satisfies the
+    :meth:`COOMatrix.from_sorted` invariant — no per-tile re-validation.
+    """
     order = np.argsort(dpu_of_element, kind="stable")
     rows = coo.rows[order]
     cols = coo.cols[order]
     vals = coo.values[order]
-    counts = np.bincount(dpu_of_element, minlength=num_parts)
+    counts = np.bincount(dpu_of_element, minlength=num_parts).astype(np.int64)
     offsets = np.concatenate(([0], np.cumsum(counts)))
-    return [
-        (rows[offsets[p]:offsets[p + 1]],
-         cols[offsets[p]:offsets[p + 1]],
-         vals[offsets[p]:offsets[p + 1]])
-        for p in range(num_parts)
-    ]
+    return order, rows, cols, vals, counts, offsets
 
 
 def rowwise(matrix: SparseMatrix, num_dpus: int, fmt: str = "csc") -> PartitionPlan:
@@ -72,18 +76,29 @@ def rowwise(matrix: SparseMatrix, num_dpus: int, fmt: str = "csc") -> PartitionP
     parts = min(num_dpus, max(coo.nrows, 1))
     bounds = balanced_boundaries(coo.row_counts(), parts)
     dpu_of = np.searchsorted(bounds[1:-1], coo.rows, side="right")
-    blocks = _bucketed_blocks(coo, dpu_of, parts)
+    order, rows, cols, vals, counts, offsets = _bucketed_blocks(
+        coo, dpu_of, parts
+    )
+    # one vectorized re-base instead of per-block arithmetic
+    rows_rebased = rows - np.repeat(bounds[:-1], counts)
+    bounds_list = bounds.tolist()
+    offs = offsets.tolist()
+    ncols = coo.ncols
     partitions = []
-    for dpu_id, (rows, cols, vals) in enumerate(blocks):
-        start, stop = int(bounds[dpu_id]), int(bounds[dpu_id + 1])
-        block = COOMatrix(rows - start, cols, vals, (stop - start, coo.ncols))
+    for dpu_id in range(parts):
+        lo, hi = offs[dpu_id], offs[dpu_id + 1]
+        start, stop = bounds_list[dpu_id], bounds_list[dpu_id + 1]
+        block = COOMatrix.from_sorted(
+            rows_rebased[lo:hi], cols[lo:hi], vals[lo:hi],
+            (stop - start, ncols),
+        )
         partitions.append(
             Partition(
                 dpu_id=dpu_id,
                 coo_block=block,
                 fmt=fmt,
                 row_range=(start, stop),
-                col_range=(0, coo.ncols),
+                col_range=(0, ncols),
             )
         )
     plan = PartitionPlan(
@@ -92,7 +107,11 @@ def rowwise(matrix: SparseMatrix, num_dpus: int, fmt: str = "csc") -> PartitionP
         shape=coo.shape,
         needs_merge=False,
         row_bounds=bounds,
-        col_bounds=np.array([0, coo.ncols], dtype=np.int64),
+        col_bounds=np.array([0, ncols], dtype=np.int64),
+        nnz_counts=counts,
+        out_lens=np.diff(bounds),
+        in_lens=np.full(parts, ncols, dtype=np.int64),
+        element_order=order,
     )
     plan.validate_coverage(coo.nnz)
     return plan
@@ -109,17 +128,27 @@ def colwise(matrix: SparseMatrix, num_dpus: int, fmt: str = "csc") -> PartitionP
     parts = min(num_dpus, max(coo.ncols, 1))
     bounds = balanced_boundaries(coo.col_counts(), parts)
     dpu_of = np.searchsorted(bounds[1:-1], coo.cols, side="right")
-    blocks = _bucketed_blocks(coo, dpu_of, parts)
+    order, rows, cols, vals, counts, offsets = _bucketed_blocks(
+        coo, dpu_of, parts
+    )
+    cols_rebased = cols - np.repeat(bounds[:-1], counts)
+    bounds_list = bounds.tolist()
+    offs = offsets.tolist()
+    nrows = coo.nrows
     partitions = []
-    for dpu_id, (rows, cols, vals) in enumerate(blocks):
-        start, stop = int(bounds[dpu_id]), int(bounds[dpu_id + 1])
-        block = COOMatrix(rows, cols - start, vals, (coo.nrows, stop - start))
+    for dpu_id in range(parts):
+        lo, hi = offs[dpu_id], offs[dpu_id + 1]
+        start, stop = bounds_list[dpu_id], bounds_list[dpu_id + 1]
+        block = COOMatrix.from_sorted(
+            rows[lo:hi], cols_rebased[lo:hi], vals[lo:hi],
+            (nrows, stop - start),
+        )
         partitions.append(
             Partition(
                 dpu_id=dpu_id,
                 coo_block=block,
                 fmt=fmt,
-                row_range=(0, coo.nrows),
+                row_range=(0, nrows),
                 col_range=(start, stop),
             )
         )
@@ -128,8 +157,12 @@ def colwise(matrix: SparseMatrix, num_dpus: int, fmt: str = "csc") -> PartitionP
         partitions=partitions,
         shape=coo.shape,
         needs_merge=parts > 1,
-        row_bounds=np.array([0, coo.nrows], dtype=np.int64),
+        row_bounds=np.array([0, nrows], dtype=np.int64),
         col_bounds=bounds,
+        nnz_counts=counts,
+        out_lens=np.full(parts, nrows, dtype=np.int64),
+        in_lens=np.diff(bounds),
+        element_order=order,
     )
     plan.validate_coverage(coo.nnz)
     return plan
@@ -145,28 +178,46 @@ def _grid_plan(
 ) -> PartitionPlan:
     grid_rows = len(row_bounds) - 1
     grid_cols = len(col_bounds) - 1
+    num_tiles = grid_rows * grid_cols
     grid_row_of = np.searchsorted(row_bounds[1:-1], coo.rows, side="right")
     grid_col_of = np.searchsorted(col_bounds[1:-1], coo.cols, side="right")
     dpu_of = grid_row_of * grid_cols + grid_col_of
-    blocks = _bucketed_blocks(coo, dpu_of, grid_rows * grid_cols)
+    order, rows, cols, vals, counts, offsets = _bucketed_blocks(
+        coo, dpu_of, num_tiles
+    )
+    # per-tile origins, then one global vectorized re-base: no per-tile
+    # arithmetic, sorting or validation on the 10k+ tile fast path
+    tile_r0 = np.repeat(row_bounds[:-1], grid_cols)
+    tile_c0 = np.tile(col_bounds[:-1], grid_rows)
+    rows_rebased = rows - np.repeat(tile_r0, counts)
+    cols_rebased = cols - np.repeat(tile_c0, counts)
+    row_spans = np.repeat(np.diff(row_bounds), grid_cols)
+    col_spans = np.tile(np.diff(col_bounds), grid_rows)
+
+    r0_list = tile_r0.tolist()
+    c0_list = tile_c0.tolist()
+    r_span = row_spans.tolist()
+    c_span = col_spans.tolist()
+    offs = offsets.tolist()
+    from_sorted = COOMatrix.from_sorted
     partitions = []
-    dpu_id = 0
-    for gr in range(grid_rows):
-        r0, r1 = int(row_bounds[gr]), int(row_bounds[gr + 1])
-        for gc in range(grid_cols):
-            c0, c1 = int(col_bounds[gc]), int(col_bounds[gc + 1])
-            rows, cols, vals = blocks[dpu_id]
-            tile = COOMatrix(rows - r0, cols - c0, vals, (r1 - r0, c1 - c0))
-            partitions.append(
-                Partition(
-                    dpu_id=dpu_id,
-                    coo_block=tile,
-                    fmt=fmt,
-                    row_range=(r0, r1),
-                    col_range=(c0, c1),
-                )
+    for dpu_id in range(num_tiles):
+        lo, hi = offs[dpu_id], offs[dpu_id + 1]
+        r0, c0 = r0_list[dpu_id], c0_list[dpu_id]
+        height, width = r_span[dpu_id], c_span[dpu_id]
+        tile = from_sorted(
+            rows_rebased[lo:hi], cols_rebased[lo:hi], vals[lo:hi],
+            (height, width),
+        )
+        partitions.append(
+            Partition(
+                dpu_id=dpu_id,
+                coo_block=tile,
+                fmt=fmt,
+                row_range=(r0, r0 + height),
+                col_range=(c0, c0 + width),
             )
-            dpu_id += 1
+        )
     plan = PartitionPlan(
         strategy=strategy,
         partitions=partitions,
@@ -175,6 +226,10 @@ def _grid_plan(
         needs_merge=grid_cols > 1,
         row_bounds=np.asarray(row_bounds, dtype=np.int64),
         col_bounds=np.asarray(col_bounds, dtype=np.int64),
+        nnz_counts=counts,
+        out_lens=row_spans,
+        in_lens=col_spans,
+        element_order=order,
     )
     plan.validate_coverage(coo.nnz)
     return plan
@@ -226,15 +281,20 @@ def coo_nnz(matrix: SparseMatrix, num_dpus: int) -> PartitionPlan:
     coo = _check(matrix, num_dpus)
     parts = min(num_dpus, max(coo.nnz, 1))
     bounds = even_boundaries(coo.nnz, parts)
+    bounds_list = bounds.tolist()
     partitions = []
+    out_lens = np.zeros(parts, dtype=np.int64)
     for dpu_id in range(parts):
-        start, stop = int(bounds[dpu_id]), int(bounds[dpu_id + 1])
+        start, stop = bounds_list[dpu_id], bounds_list[dpu_id + 1]
         chunk = coo.nnz_chunk(start, stop)
         if chunk.nnz:
-            row_lo = int(chunk.rows.min())
-            row_hi = int(chunk.rows.max()) + 1
+            # chunks are row-major slices, so the row span is just the
+            # first/last element — no min/max scan needed
+            row_lo = int(chunk.rows[0])
+            row_hi = int(chunk.rows[-1]) + 1
         else:
             row_lo = row_hi = 0
+        out_lens[dpu_id] = row_hi - row_lo
         partitions.append(
             Partition(
                 dpu_id=dpu_id,
@@ -250,6 +310,10 @@ def coo_nnz(matrix: SparseMatrix, num_dpus: int) -> PartitionPlan:
         partitions=partitions,
         shape=coo.shape,
         needs_merge=parts > 1,
+        nnz_counts=np.diff(bounds),
+        out_lens=out_lens,
+        in_lens=np.full(parts, coo.ncols, dtype=np.int64),
+        element_order=None,
     )
     plan.validate_coverage(coo.nnz)
     return plan

@@ -29,7 +29,9 @@ class COOMatrix(SparseMatrix):
     operation counting ambiguous.
     """
 
-    __slots__ = ("rows", "cols", "values", "shape")
+    __slots__ = (
+        "rows", "cols", "values", "shape", "_fingerprint", "_csr", "_csc",
+    )
 
     def __init__(self, rows, cols, values, shape: Tuple[int, int]) -> None:
         rows = np.asarray(rows, dtype=np.int64)
@@ -56,8 +58,49 @@ class COOMatrix(SparseMatrix):
         self.cols = cols
         self.values = values
         self.shape = (nrows, ncols)
+        self._fingerprint = None
+        self._csr = None
+        self._csc = None
 
     # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_sorted(cls, rows, cols, values, shape: Tuple[int, int]) -> "COOMatrix":
+        """Trusted O(1) constructor for *already canonical* data.
+
+        Skips the public constructor's lexsort, range and duplicate checks
+        entirely.  Callers must guarantee the invariant the public
+        constructor establishes: ``(rows, cols)`` lexicographically sorted
+        row-major, in range for ``shape``, with no duplicate coordinates.
+
+        This is the internal fast path for data the library itself
+        produced in canonical order — partition tiles sliced from a
+        globally sorted matrix, ``np.unique``-deduplicated edge lists,
+        value-rebinding in the plan cache.  Every :class:`COOMatrix` is
+        canonical by construction, so any subsequence of its elements (in
+        order) qualifies.  External callers should use ``COOMatrix(...)``,
+        which validates.
+        """
+        self = object.__new__(cls)
+        # fast path: the internal callers all hand over int64 ndarray
+        # views, so skip np.asarray for them (it is called ~100k times
+        # during 2-D planning and measurably shows up in profiles)
+        self.rows = (
+            rows if isinstance(rows, np.ndarray) and rows.dtype == np.int64
+            else np.asarray(rows, dtype=np.int64)
+        )
+        self.cols = (
+            cols if isinstance(cols, np.ndarray) and cols.dtype == np.int64
+            else np.asarray(cols, dtype=np.int64)
+        )
+        self.values = (
+            values if isinstance(values, np.ndarray) else np.asarray(values)
+        )
+        self.shape = (int(shape[0]), int(shape[1]))
+        self._fingerprint = None
+        self._csr = None
+        self._csc = None
+        return self
 
     @classmethod
     def from_edges(
@@ -85,10 +128,18 @@ class COOMatrix(SparseMatrix):
             vals = np.asarray(weights, dtype=dtype)
             if vals.shape[0] != src.shape[0]:
                 raise SparseFormatError("weights must match edges in length")
-        # drop duplicate (dst, src) pairs, keeping the first occurrence
+        if src.size:
+            if src.min() < 0 or src.max() >= num_nodes:
+                raise SparseFormatError("edge endpoint out of range")
+            if dst.min() < 0 or dst.max() >= num_nodes:
+                raise SparseFormatError("edge endpoint out of range")
+        # drop duplicate (dst, src) pairs, keeping the first occurrence;
+        # np.unique returns keys sorted ascending, which for the combined
+        # key is exactly the canonical (row, col) lexicographic order — so
+        # the trusted constructor applies and no second sort is needed
         keys = dst.astype(np.int64) * num_nodes + src
         __, unique_pos = np.unique(keys, return_index=True)
-        return cls(
+        return cls.from_sorted(
             dst[unique_pos], src[unique_pos], vals[unique_pos],
             (num_nodes, num_nodes),
         )
@@ -103,7 +154,7 @@ class COOMatrix(SparseMatrix):
 
     @classmethod
     def empty(cls, num_nodes: int, dtype=np.int32) -> "COOMatrix":
-        return cls(
+        return cls.from_sorted(
             np.empty(0, dtype=np.int64),
             np.empty(0, dtype=np.int64),
             np.empty(0, dtype=dtype),
@@ -131,29 +182,49 @@ class COOMatrix(SparseMatrix):
     def to_csr(self) -> "CSRMatrix":
         from .csr import CSRMatrix
 
+        if self._csr is not None:
+            # COOMatrix is immutable by convention, so the conversion is
+            # memoized: kernel preparation converts the same matrix for
+            # several variants and should pay the pointer build once.
+            return self._csr
         row_ptr = np.zeros(self.nrows + 1, dtype=np.int64)
         np.add.at(row_ptr, self.rows + 1, 1)
         np.cumsum(row_ptr, out=row_ptr)
-        # entries are already row-major sorted
-        return CSRMatrix(row_ptr, self.cols.copy(), self.values.copy(), self.shape)
+        # entries are already row-major sorted; the internal invariant
+        # makes re-validation in the CSR constructor redundant
+        self._csr = CSRMatrix(
+            row_ptr, self.cols.copy(), self.values.copy(), self.shape,
+            validate=False,
+        )
+        return self._csr
 
     def to_csc(self) -> "CSCMatrix":
         from .csc import CSCMatrix
 
-        order = np.lexsort((self.rows, self.cols))
+        if self._csc is not None:
+            return self._csc
+        # Entries are canonically row-major sorted, so a single *stable*
+        # sort on the column key yields column-major order with rows
+        # already ascending within each column — identical output to a
+        # full ``lexsort((rows, cols))`` at roughly half the cost.
+        order = np.argsort(self.cols, kind="stable")
         col_ptr = np.zeros(self.ncols + 1, dtype=np.int64)
         np.add.at(col_ptr, self.cols + 1, 1)
         np.cumsum(col_ptr, out=col_ptr)
-        return CSCMatrix(
-            col_ptr, self.rows[order], self.values[order], self.shape
+        self._csc = CSCMatrix(
+            col_ptr, self.rows[order], self.values[order], self.shape,
+            validate=False,
         )
+        return self._csc
 
     # -- slicing used by the partitioners -------------------------------------
 
     def row_block(self, start: int, stop: int) -> "COOMatrix":
         """Rows in ``[start, stop)``, re-based so the block starts at row 0."""
         mask = (self.rows >= start) & (self.rows < stop)
-        return COOMatrix(
+        # a masked subsequence of canonical data stays canonical, and
+        # re-basing rows by a constant preserves the row-major order
+        return COOMatrix.from_sorted(
             self.rows[mask] - start,
             self.cols[mask],
             self.values[mask],
@@ -163,7 +234,7 @@ class COOMatrix(SparseMatrix):
     def col_block(self, start: int, stop: int) -> "COOMatrix":
         """Columns in ``[start, stop)``, re-based to column 0."""
         mask = (self.cols >= start) & (self.cols < stop)
-        return COOMatrix(
+        return COOMatrix.from_sorted(
             self.rows[mask],
             self.cols[mask] - start,
             self.values[mask],
@@ -180,7 +251,7 @@ class COOMatrix(SparseMatrix):
             & (self.cols >= col_start)
             & (self.cols < col_stop)
         )
-        return COOMatrix(
+        return COOMatrix.from_sorted(
             self.rows[mask] - row_start,
             self.cols[mask] - col_start,
             self.values[mask],
@@ -197,7 +268,7 @@ class COOMatrix(SparseMatrix):
         """
         if not 0 <= start_nnz <= stop_nnz <= self.nnz:
             raise SparseFormatError("nnz chunk out of range")
-        return COOMatrix(
+        return COOMatrix.from_sorted(
             self.rows[start_nnz:stop_nnz],
             self.cols[start_nnz:stop_nnz],
             self.values[start_nnz:stop_nnz],

@@ -36,25 +36,34 @@ class CSCMatrix(SparseMatrix):
 
     __slots__ = ("col_ptr", "row_indices", "values", "shape")
 
-    def __init__(self, col_ptr, row_indices, values, shape: Tuple[int, int]) -> None:
+    def __init__(self, col_ptr, row_indices, values, shape: Tuple[int, int],
+                 validate: bool = True) -> None:
+        """Build a CSC matrix.
+
+        ``validate=False`` is the trusted fast path for *internally
+        produced* arrays (e.g. :meth:`COOMatrix.to_csc` on canonical
+        data): it skips the pointer-monotonicity, length and index-range
+        checks.  External callers should keep the default.
+        """
         col_ptr = np.asarray(col_ptr, dtype=np.int64)
         row_indices = np.asarray(row_indices, dtype=np.int64)
         values = np.asarray(values)
         nrows, ncols = int(shape[0]), int(shape[1])
-        if col_ptr.ndim != 1 or col_ptr.shape[0] != ncols + 1:
-            raise SparseFormatError("col_ptr must have length ncols + 1")
-        if col_ptr[0] != 0:
-            raise SparseFormatError("col_ptr must start at 0")
-        if np.any(np.diff(col_ptr) < 0):
-            raise SparseFormatError("col_ptr must be non-decreasing")
-        if row_indices.shape[0] != values.shape[0]:
-            raise SparseFormatError("row_indices and values must be equal length")
-        if col_ptr[-1] != row_indices.shape[0]:
-            raise SparseFormatError("col_ptr[-1] must equal nnz")
-        if row_indices.size and (
-            row_indices.min() < 0 or row_indices.max() >= nrows
-        ):
-            raise SparseFormatError("row index out of range")
+        if validate:
+            if col_ptr.ndim != 1 or col_ptr.shape[0] != ncols + 1:
+                raise SparseFormatError("col_ptr must have length ncols + 1")
+            if col_ptr[0] != 0:
+                raise SparseFormatError("col_ptr must start at 0")
+            if np.any(np.diff(col_ptr) < 0):
+                raise SparseFormatError("col_ptr must be non-decreasing")
+            if row_indices.shape[0] != values.shape[0]:
+                raise SparseFormatError("row_indices and values must be equal length")
+            if col_ptr[-1] != row_indices.shape[0]:
+                raise SparseFormatError("col_ptr[-1] must equal nnz")
+            if row_indices.size and (
+                row_indices.min() < 0 or row_indices.max() >= nrows
+            ):
+                raise SparseFormatError("row index out of range")
         self.col_ptr = col_ptr
         self.row_indices = row_indices
         self.values = values

@@ -37,25 +37,34 @@ class CSRMatrix(SparseMatrix):
 
     __slots__ = ("row_ptr", "col_indices", "values", "shape")
 
-    def __init__(self, row_ptr, col_indices, values, shape: Tuple[int, int]) -> None:
+    def __init__(self, row_ptr, col_indices, values, shape: Tuple[int, int],
+                 validate: bool = True) -> None:
+        """Build a CSR matrix.
+
+        ``validate=False`` is the trusted fast path for *internally
+        produced* arrays (e.g. :meth:`COOMatrix.to_csr` on canonical
+        data): it skips the pointer-monotonicity, length and index-range
+        checks.  External callers should keep the default.
+        """
         row_ptr = np.asarray(row_ptr, dtype=np.int64)
         col_indices = np.asarray(col_indices, dtype=np.int64)
         values = np.asarray(values)
         nrows, ncols = int(shape[0]), int(shape[1])
-        if row_ptr.ndim != 1 or row_ptr.shape[0] != nrows + 1:
-            raise SparseFormatError("row_ptr must have length nrows + 1")
-        if row_ptr[0] != 0:
-            raise SparseFormatError("row_ptr must start at 0")
-        if np.any(np.diff(row_ptr) < 0):
-            raise SparseFormatError("row_ptr must be non-decreasing")
-        if col_indices.shape[0] != values.shape[0]:
-            raise SparseFormatError("col_indices and values must be equal length")
-        if row_ptr[-1] != col_indices.shape[0]:
-            raise SparseFormatError("row_ptr[-1] must equal nnz")
-        if col_indices.size and (
-            col_indices.min() < 0 or col_indices.max() >= ncols
-        ):
-            raise SparseFormatError("column index out of range")
+        if validate:
+            if row_ptr.ndim != 1 or row_ptr.shape[0] != nrows + 1:
+                raise SparseFormatError("row_ptr must have length nrows + 1")
+            if row_ptr[0] != 0:
+                raise SparseFormatError("row_ptr must start at 0")
+            if np.any(np.diff(row_ptr) < 0):
+                raise SparseFormatError("row_ptr must be non-decreasing")
+            if col_indices.shape[0] != values.shape[0]:
+                raise SparseFormatError("col_indices and values must be equal length")
+            if row_ptr[-1] != col_indices.shape[0]:
+                raise SparseFormatError("row_ptr[-1] must equal nnz")
+            if col_indices.size and (
+                col_indices.min() < 0 or col_indices.max() >= ncols
+            ):
+                raise SparseFormatError("column index out of range")
         self.row_ptr = row_ptr
         self.col_indices = col_indices
         self.values = values

@@ -1,0 +1,239 @@
+"""Preparation-cache correctness: cached results are bit-identical.
+
+The PR 1 optimization stack (trusted COO construction, vectorized 2-D
+planning, plan/kernel caches) is only admissible if it is *invisible*:
+``prepare_kernel(..., use_cache=True)`` must yield exactly the results
+the uncached path yields, for every kernel variant, and the plan cache's
+structural value-rebinding must reproduce a from-scratch plan bit for
+bit.  These tests pin that contract down, plus the cache keying rules
+(different dtype / DPU count / kernel must miss).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import random_graph
+from repro.cache import (
+    KERNEL_CACHE,
+    PLAN_CACHE,
+    PlanCache,
+    PreparedKernelCache,
+    cache_stats,
+    clear_caches,
+    matrix_fingerprint,
+    rebind_plan_values,
+)
+from repro.kernels import KERNELS, prepare_kernel
+from repro.partition import colwise, grid2d, rowwise
+from repro.semiring import PLUS_TIMES
+from repro.sparse import COOMatrix, random_sparse_vector
+from repro.upmem import SystemConfig
+
+N = 160
+NUM_DPUS = 32
+
+
+@pytest.fixture(autouse=True)
+def isolated_caches():
+    """Each test starts and ends with empty process-wide caches."""
+    clear_caches()
+    yield
+    clear_caches()
+
+
+@pytest.fixture
+def system() -> SystemConfig:
+    return SystemConfig(num_dpus=NUM_DPUS)
+
+
+@pytest.fixture
+def matrix() -> COOMatrix:
+    g = random_graph(n=N, avg_degree=6, seed=11)
+    rng = np.random.default_rng(11)
+    return COOMatrix.from_sorted(
+        g.rows, g.cols,
+        rng.uniform(0.2, 2.0, g.nnz).astype(np.float32), g.shape,
+    )
+
+
+def _assert_results_identical(a, b) -> None:
+    assert a.kernel_name == b.kernel_name
+    np.testing.assert_array_equal(
+        a.output.to_dense(), b.output.to_dense()
+    )
+    for phase in ("load", "kernel", "retrieve", "merge"):
+        assert getattr(a.breakdown, phase) == getattr(b.breakdown, phase)
+    assert a.bytes_loaded == b.bytes_loaded
+    assert a.bytes_retrieved == b.bytes_retrieved
+    assert a.achieved_ops == b.achieved_ops
+    assert a.elements_processed == b.elements_processed
+    assert a.profile.instructions.counts == b.profile.instructions.counts
+    assert a.profile.instructions.dma_bytes == b.profile.instructions.dma_bytes
+    assert a.profile.num_dpus == b.profile.num_dpus
+    assert (a.profile.active_tasklets_per_dpu
+            == b.profile.active_tasklets_per_dpu)
+
+
+class TestCachedEqualsUncached:
+    @pytest.mark.parametrize("kernel_name", sorted(KERNELS))
+    def test_bit_identical_results(self, kernel_name, matrix, system):
+        x = random_sparse_vector(
+            N, 0.25, rng=np.random.default_rng(5), dtype=np.float32
+        )
+        cached = prepare_kernel(
+            kernel_name, matrix, NUM_DPUS, system, use_cache=True
+        )
+        fresh = prepare_kernel(
+            kernel_name, matrix, NUM_DPUS, system, use_cache=False
+        )
+        assert cached is not fresh
+        _assert_results_identical(
+            cached.run(x, PLUS_TIMES), fresh.run(x, PLUS_TIMES)
+        )
+
+    def test_second_lookup_returns_same_object(self, matrix, system):
+        first = prepare_kernel("spmv-dcoo", matrix, NUM_DPUS, system)
+        second = prepare_kernel("spmv-dcoo", matrix, NUM_DPUS, system)
+        assert first is second
+        assert KERNEL_CACHE.stats.hits == 1
+        assert KERNEL_CACHE.stats.misses == 1
+
+
+class TestCacheKeying:
+    def test_different_num_dpus_misses(self, matrix, system):
+        prepare_kernel("spmv-dcoo", matrix, NUM_DPUS, system)
+        prepare_kernel("spmv-dcoo", matrix, 16, system)
+        assert KERNEL_CACHE.stats.misses == 2
+        assert KERNEL_CACHE.stats.hits == 0
+
+    def test_different_kernel_misses(self, matrix, system):
+        prepare_kernel("spmspv-csc-r", matrix, NUM_DPUS, system)
+        prepare_kernel("spmspv-csc-c", matrix, NUM_DPUS, system)
+        assert KERNEL_CACHE.stats.misses == 2
+        assert KERNEL_CACHE.stats.hits == 0
+
+    def test_different_dtype_misses(self, matrix, system):
+        other = COOMatrix.from_sorted(
+            matrix.rows, matrix.cols,
+            matrix.values.astype(np.float64), matrix.shape,
+        )
+        prepare_kernel("spmv-coo-nnz", matrix, NUM_DPUS, system)
+        prepare_kernel("spmv-coo-nnz", other, NUM_DPUS, system)
+        assert KERNEL_CACHE.stats.misses == 2
+        assert KERNEL_CACHE.stats.hits == 0
+
+    def test_different_system_misses(self, matrix, system):
+        other_system = SystemConfig(num_dpus=NUM_DPUS * 2)
+        prepare_kernel("spmv-dcoo", matrix, NUM_DPUS, system)
+        prepare_kernel("spmv-dcoo", matrix, NUM_DPUS, other_system)
+        assert KERNEL_CACHE.stats.misses == 2
+        assert KERNEL_CACHE.stats.hits == 0
+
+    def test_fingerprint_separates_structure_and_values(self, matrix):
+        reweighted = COOMatrix.from_sorted(
+            matrix.rows, matrix.cols,
+            (matrix.values * 2.0).astype(matrix.values.dtype), matrix.shape,
+        )
+        s1, v1 = matrix_fingerprint(matrix)
+        s2, v2 = matrix_fingerprint(reweighted)
+        assert s1 == s2        # same sparsity pattern
+        assert v1 != v2        # different values
+
+    def test_plan_fmt_is_part_of_the_key(self, matrix):
+        cache = PlanCache()
+        cache.get(matrix, "rowwise", 8, "coo",
+                  lambda: rowwise(matrix, 8, fmt="coo"))
+        cache.get(matrix, "rowwise", 8, "csr",
+                  lambda: rowwise(matrix, 8, fmt="csr"))
+        assert cache.stats.misses == 2
+        assert cache.stats.hits == 0
+
+
+class TestStructuralRebinding:
+    """Same sparsity + new values -> rebind instead of replanning."""
+
+    @pytest.mark.parametrize(
+        "build",
+        [
+            lambda m, d: rowwise(m, d, fmt="csr"),
+            lambda m, d: colwise(m, d, fmt="csc"),
+            lambda m, d: grid2d(m, d, fmt="csc"),
+        ],
+        ids=["rowwise-csr", "colwise-csc", "grid2d-csc"],
+    )
+    def test_rebound_plan_matches_fresh_plan(self, matrix, build):
+        donor = build(matrix, NUM_DPUS)
+        new_values = (matrix.values * 3.5).astype(matrix.values.dtype)
+        reweighted = COOMatrix.from_sorted(
+            matrix.rows, matrix.cols, new_values, matrix.shape
+        )
+        rebound = rebind_plan_values(donor, new_values)
+        fresh = build(reweighted, NUM_DPUS)
+        assert rebound.num_dpus == fresh.num_dpus
+        for p_rebound, p_fresh in zip(rebound.partitions, fresh.partitions):
+            np.testing.assert_array_equal(
+                p_rebound.coo_block.rows, p_fresh.coo_block.rows
+            )
+            np.testing.assert_array_equal(
+                p_rebound.coo_block.cols, p_fresh.coo_block.cols
+            )
+            np.testing.assert_array_equal(
+                p_rebound.coo_block.values, p_fresh.coo_block.values
+            )
+            assert p_rebound.coo_block.shape == p_fresh.coo_block.shape
+            assert p_rebound.row_range == p_fresh.row_range
+            assert p_rebound.col_range == p_fresh.col_range
+
+    def test_plan_cache_counts_structural_hit(self, matrix):
+        cache = PlanCache()
+        cache.get(matrix, "rowwise", 8, "csr",
+                  lambda: rowwise(matrix, 8, fmt="csr"))
+        reweighted = COOMatrix.from_sorted(
+            matrix.rows, matrix.cols,
+            (matrix.values + 1.0).astype(matrix.values.dtype), matrix.shape,
+        )
+        cache.get(reweighted, "rowwise", 8, "csr",
+                  lambda: rowwise(reweighted, 8, fmt="csr"))
+        assert cache.stats.misses == 1
+        assert cache.stats.structural_hits == 1
+
+    def test_structural_reuse_preserves_kernel_output(self, matrix, system):
+        """End to end: cached run on a reweighted matrix == fresh run."""
+        x = random_sparse_vector(
+            N, 0.3, rng=np.random.default_rng(9), dtype=np.float32
+        )
+        # populate the plan cache with the unit-weight structure
+        prepare_kernel("spmspv-csc-2d", matrix, NUM_DPUS, system)
+        reweighted = COOMatrix.from_sorted(
+            matrix.rows, matrix.cols,
+            (matrix.values * 0.5).astype(matrix.values.dtype), matrix.shape,
+        )
+        cached = prepare_kernel("spmspv-csc-2d", reweighted, NUM_DPUS, system)
+        fresh = prepare_kernel(
+            "spmspv-csc-2d", reweighted, NUM_DPUS, system, use_cache=False
+        )
+        assert PLAN_CACHE.stats.structural_hits >= 1
+        _assert_results_identical(
+            cached.run(x, PLUS_TIMES), fresh.run(x, PLUS_TIMES)
+        )
+
+
+class TestEviction:
+    def test_lru_bound_is_enforced(self, system):
+        cache = PreparedKernelCache(max_entries=2)
+        mats = [random_graph(n=40, seed=s) for s in range(3)]
+        for m in mats:
+            cache.get("k", m, 8, system, lambda m=m: object())
+        # first matrix was evicted -> a re-request misses
+        cache.get("k", mats[0], 8, system, lambda: object())
+        assert cache.stats.misses == 4
+
+    def test_clear_resets_stats(self, matrix, system):
+        prepare_kernel("spmv-dcoo", matrix, NUM_DPUS, system)
+        clear_caches()
+        stats = cache_stats()
+        assert stats["kernel_cache"] == {
+            "hits": 0, "structural_hits": 0, "misses": 0, "hit_rate": 0.0,
+        }

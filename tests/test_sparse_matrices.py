@@ -240,3 +240,62 @@ def test_property_format_roundtrips(entries):
     dense = coo.to_dense()
     assert np.array_equal(coo.to_csr().to_coo().to_dense(), dense)
     assert np.array_equal(coo.to_csc().to_coo().to_dense(), dense)
+
+
+class TestTrustedConstruction:
+    """`from_sorted` / `validate=False` must equal the validating paths."""
+
+    def test_from_sorted_equals_public_constructor(self):
+        dense = sample_dense(7, density=0.2)
+        checked = COOMatrix.from_dense(dense)
+        trusted = COOMatrix.from_sorted(
+            checked.rows, checked.cols, checked.values, checked.shape
+        )
+        assert np.array_equal(trusted.rows, checked.rows)
+        assert np.array_equal(trusted.cols, checked.cols)
+        assert np.array_equal(trusted.values, checked.values)
+        assert trusted.shape == checked.shape
+        assert np.array_equal(trusted.to_dense(), dense)
+
+    def test_from_sorted_coerces_non_ndarray_input(self):
+        m = COOMatrix.from_sorted([0, 1], [1, 0], [1.0, 2.0], (2, 2))
+        assert m.rows.dtype == np.int64
+        assert m.cols.dtype == np.int64
+        assert m.nnz == 2
+
+    def test_to_csc_matches_validated_construction(self):
+        coo = COOMatrix.from_dense(sample_dense(3, density=0.15))
+        fast = coo.to_csc()
+        # rebuild through the fully validating CSC constructor
+        checked = CSCMatrix(
+            fast.col_ptr.copy(), fast.row_indices.copy(),
+            fast.values.copy(), fast.shape,
+        )
+        assert np.array_equal(checked.to_dense(), coo.to_dense())
+        # rows ascend within every column (the canonical CSC invariant)
+        for j in range(fast.ncols):
+            seg = fast.row_indices[fast.col_ptr[j]:fast.col_ptr[j + 1]]
+            assert np.all(np.diff(seg) > 0)
+
+    def test_to_csr_matches_validated_construction(self):
+        coo = COOMatrix.from_dense(sample_dense(4, density=0.15))
+        fast = coo.to_csr()
+        checked = CSRMatrix(
+            fast.row_ptr.copy(), fast.col_indices.copy(),
+            fast.values.copy(), fast.shape,
+        )
+        assert np.array_equal(checked.to_dense(), coo.to_dense())
+
+    def test_conversions_are_memoized(self):
+        coo = COOMatrix.from_dense(sample_dense(5, density=0.1))
+        assert coo.to_csr() is coo.to_csr()
+        assert coo.to_csc() is coo.to_csc()
+
+    def test_validate_false_skips_checks(self):
+        # deliberately broken pointers slip through when validate=False...
+        bad_ptr = np.array([0, 5, 2], dtype=np.int64)
+        CSRMatrix(bad_ptr, np.array([0, 1]), np.array([1.0, 2.0]), (2, 2),
+                  validate=False)
+        # ...and are still rejected by the default validating path
+        with pytest.raises(SparseFormatError):
+            CSRMatrix(bad_ptr, np.array([0, 1]), np.array([1.0, 2.0]), (2, 2))
