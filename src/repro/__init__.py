@@ -39,6 +39,7 @@ Packages
 
 from .algorithms import bfs, ppr, sssp
 from .errors import ReproError
+from .faults import FaultLog, FaultPlan
 from .semiring import BOOLEAN_OR_AND, MIN_PLUS, PLUS_TIMES, Semiring
 from .sparse import COOMatrix, CSCMatrix, CSRMatrix, SparseVector
 from .types import DataType, GraphClass, PhaseBreakdown
@@ -64,5 +65,7 @@ __all__ = [
     "GraphClass",
     "PhaseBreakdown",
     "ReproError",
+    "FaultPlan",
+    "FaultLog",
     "__version__",
 ]

@@ -11,7 +11,7 @@ compute-utilization accounting.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -26,6 +26,10 @@ from ..upmem.energy import UpmemEnergyModel
 from ..upmem.isa import EXPANSION, InstrClass, add_class, multiply_class
 from ..upmem.profile import KernelProfile, merge_profiles
 from ..upmem.transfer import convergence_check_time
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.log import FaultLog
+    from ..faults.plan import FaultPlan
 
 
 class KernelPolicy:
@@ -70,6 +74,9 @@ class AlgorithmRun(RunResult):
     utilization_kernel_pct: float = 0.0
     utilization_total_pct: float = 0.0
     profile: Optional[KernelProfile] = None
+    #: Accumulated fault-injection record when the run executed on a
+    #: degraded machine (:mod:`repro.faults`); ``None`` otherwise.
+    fault_log: Optional["FaultLog"] = None
 
 
 class MatvecDriver:
@@ -83,6 +90,7 @@ class MatvecDriver:
         spmv_kernel: str = BEST_SPMV,
         spmspv_kernel: str = BEST_SPMSPV,
         use_cache: bool = True,
+        fault_plan: Optional["FaultPlan"] = None,
     ) -> None:
         self.matrix = matrix
         self.system = system
@@ -96,6 +104,32 @@ class MatvecDriver:
             ),
         }
         self._energy_model = UpmemEnergyModel(system)
+        # fault tolerance: explicit plan wins, else the system-config
+        # plan; with neither (the default) the driver stays on the
+        # bit-exact fault-free path
+        plan = fault_plan if fault_plan is not None \
+            else getattr(system, "faults", None)
+        self._fault_executor = None
+        if plan is not None and plan.enabled:
+            from ..faults.resilient import FaultTolerantExecutor
+
+            self._fault_executor = FaultTolerantExecutor(
+                plan, system, num_dpus
+            )
+
+    @property
+    def fault_log(self) -> Optional["FaultLog"]:
+        """The run-wide fault log (``None`` when injection is off)."""
+        if self._fault_executor is None:
+            return None
+        return self._fault_executor.log
+
+    @property
+    def healthy_dpus(self) -> int:
+        """DPUs still in service (== ``num_dpus`` when injection is off)."""
+        if self._fault_executor is None:
+            return self.num_dpus
+        return self._fault_executor.healthy_count
 
     def step(
         self,
@@ -104,10 +138,18 @@ class MatvecDriver:
         policy: KernelPolicy,
         iteration: int,
     ) -> KernelResult:
-        """Run one matvec, choosing the kernel by the policy."""
+        """Run one matvec, choosing the kernel by the policy.
+
+        With a fault plan armed, the matvec executes through the
+        resilient layer: the result is bit-identical, the breakdown
+        carries recovery overhead, and ``result.fault_log`` records what
+        broke and how it was repaired.
+        """
         density = x.density
         kind = policy.choose(iteration, density)
         kernel = self._kernels[kind]
+        if self._fault_executor is not None:
+            return self._fault_executor.run(kernel, x, semiring)
         return kernel.run(x, semiring)
 
     def finalize(
@@ -118,6 +160,7 @@ class MatvecDriver:
     ) -> AlgorithmRun:
         """Attach energy, utilization and the merged profile to a run."""
         if not results:
+            run.fault_log = self.fault_log
             return run
         profile = merge_profiles(run.algorithm, [r.profile for r in results])
         instructions = profile.instructions.dispatch_slots
@@ -138,6 +181,7 @@ class MatvecDriver:
                 100.0 * run.achieved_ops / run.breakdown.total / peak
             )
         run.profile = profile
+        run.fault_log = self.fault_log
         return run
 
 

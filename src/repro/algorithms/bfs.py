@@ -35,6 +35,7 @@ def bfs(
     policy: Optional[KernelPolicy] = None,
     driver: Optional[MatvecDriver] = None,
     dataset: str = "",
+    fault_plan=None,
 ) -> AlgorithmRun:
     """Run BFS from ``source``; returns levels (-1 for unreachable).
 
@@ -43,13 +44,18 @@ def bfs(
 
     Parameters mirror the paper's setup: ``policy`` picks SpMV/SpMSpV per
     iteration (default: SpMSpV-only); pass a shared ``driver`` to reuse
-    partitioning across runs of different algorithms on one graph.
+    partitioning across runs of different algorithms on one graph.  A
+    ``fault_plan`` (:class:`repro.faults.FaultPlan`) runs every matvec
+    through the resilient execution layer: levels stay bit-identical,
+    ``run.fault_log`` records the injected faults and their recovery.
     """
     n = matrix.nrows
     if not 0 <= source < n:
         raise ReproError(f"source {source} out of range for {n} nodes")
     policy = policy or FixedPolicy("spmspv")
-    driver = driver or MatvecDriver(matrix, system, num_dpus)
+    driver = driver or MatvecDriver(
+        matrix, system, num_dpus, fault_plan=fault_plan
+    )
 
     levels = np.full(n, -1, dtype=np.int64)
     levels[source] = 0

@@ -57,6 +57,7 @@ def connected_components(
     policy: Optional[KernelPolicy] = None,
     driver: Optional[MatvecDriver] = None,
     dataset: str = "",
+    fault_plan=None,
 ) -> AlgorithmRun:
     """Weakly connected component labels (smallest member index wins).
 
@@ -68,7 +69,9 @@ def connected_components(
         raise ReproError("cannot label an empty graph")
     propagation = symmetrize_unweighted(matrix)
     policy = policy or FixedPolicy("spmspv")
-    driver = driver or MatvecDriver(propagation, system, num_dpus)
+    driver = driver or MatvecDriver(
+        propagation, system, num_dpus, fault_plan=fault_plan
+    )
 
     labels = np.arange(n, dtype=np.float64)
     # the initial frontier is every vertex (all labels are fresh)

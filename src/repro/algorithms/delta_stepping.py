@@ -65,6 +65,7 @@ def sssp_delta_stepping(
     policy: Optional[KernelPolicy] = None,
     dataset: str = "",
     max_buckets: int = 100_000,
+    fault_plan=None,
 ) -> AlgorithmRun:
     """Shortest distances from ``source`` by bucketed relaxation.
 
@@ -86,10 +87,12 @@ def sssp_delta_stepping(
     light, heavy = split_by_weight(matrix, delta)
     policy = policy or FixedPolicy("spmspv")
     light_driver = (
-        MatvecDriver(light, system, num_dpus) if light.nnz else None
+        MatvecDriver(light, system, num_dpus, fault_plan=fault_plan)
+        if light.nnz else None
     )
     heavy_driver = (
-        MatvecDriver(heavy, system, num_dpus) if heavy.nnz else None
+        MatvecDriver(heavy, system, num_dpus, fault_plan=fault_plan)
+        if heavy.nnz else None
     )
 
     dist = np.full(n, np.inf)

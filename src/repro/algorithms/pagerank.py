@@ -33,6 +33,7 @@ def pagerank(
     tol: float = DEFAULT_TOL,
     max_iters: int = DEFAULT_MAX_ITERS,
     pre_normalized: bool = False,
+    fault_plan=None,
 ) -> AlgorithmRun:
     """Classic PageRank: uniform teleport, dangling mass spread evenly.
 
@@ -48,7 +49,9 @@ def pagerank(
         raise ReproError("alpha must lie strictly between 0 and 1")
     norm = matrix if pre_normalized else normalize_columns(matrix)
     policy = policy or FixedPolicy("spmv")
-    driver = driver or MatvecDriver(norm, system, num_dpus)
+    driver = driver or MatvecDriver(
+        norm, system, num_dpus, fault_plan=fault_plan
+    )
 
     out_strength = np.zeros(n)
     coo = norm.to_coo()

@@ -63,6 +63,7 @@ def ppr(
     tol: float = DEFAULT_TOL,
     max_iters: int = DEFAULT_MAX_ITERS,
     pre_normalized: bool = False,
+    fault_plan=None,
 ) -> AlgorithmRun:
     """Personalized PageRank from ``source``; returns the rank vector.
 
@@ -77,7 +78,9 @@ def ppr(
         raise ReproError("alpha must lie strictly between 0 and 1")
     norm = matrix if pre_normalized else normalize_columns(matrix)
     policy = policy or FixedPolicy("spmspv")
-    driver = driver or MatvecDriver(norm, system, num_dpus)
+    driver = driver or MatvecDriver(
+        norm, system, num_dpus, fault_plan=fault_plan
+    )
 
     out_strength = np.zeros(n)
     coo = norm.to_coo()

@@ -30,6 +30,7 @@ def sssp(
     policy: Optional[KernelPolicy] = None,
     driver: Optional[MatvecDriver] = None,
     dataset: str = "",
+    fault_plan=None,
 ) -> AlgorithmRun:
     """Shortest distances from ``source`` (inf for unreachable vertices).
 
@@ -46,7 +47,9 @@ def sssp(
     if values.size and float(values.min()) < 0:
         raise ReproError("SSSP requires non-negative edge weights")
     policy = policy or FixedPolicy("spmspv")
-    driver = driver or MatvecDriver(matrix, system, num_dpus)
+    driver = driver or MatvecDriver(
+        matrix, system, num_dpus, fault_plan=fault_plan
+    )
 
     dist = np.full(n, np.inf)
     dist[source] = 0.0

@@ -52,6 +52,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--json", type=pathlib.Path, default=None,
                         help="also write the run result as JSON")
+    parser.add_argument(
+        "--fault-rate", type=float, default=0.0,
+        help="per-launch DPU crash probability; also arms hang / bit-flip "
+             "/ transfer-corruption / rank-failure injection at the "
+             "FaultPlan.uniform scaled rates (default: 0 = injection off)",
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed of the fault schedule (same seed + same run order "
+             "= same faults)",
+    )
     return parser
 
 
@@ -73,34 +84,41 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     system = SystemConfig(num_dpus=max(args.dpus, 64))
     source = args.source % matrix.nrows
     policy = _make_policy(args.policy, matrix)
+    fault_plan = None
+    if args.fault_rate > 0:
+        from .faults import FaultPlan
+
+        fault_plan = FaultPlan.uniform(args.fault_rate, seed=args.fault_seed)
 
     print(f"{args.algorithm.upper()} on {spec.name} "
           f"({matrix.nrows} nodes, {matrix.nnz} edges) "
-          f"with {args.dpus} DPUs, policy={policy.describe()}")
+          f"with {args.dpus} DPUs, policy={policy.describe()}"
+          + (f", faults={fault_plan.describe()}" if fault_plan else ""))
 
     if args.algorithm == "bfs":
         run = bfs(matrix, source, system, args.dpus, policy=policy,
-                  dataset=args.dataset)
+                  dataset=args.dataset, fault_plan=fault_plan)
         reached = int((run.values >= 0).sum())
         answer = f"reached {reached}/{matrix.nrows} vertices from {source}"
     elif args.algorithm == "sssp":
         run = sssp(matrix, source, system, args.dpus, policy=policy,
-                   dataset=args.dataset)
+                   dataset=args.dataset, fault_plan=fault_plan)
         finite = np.isfinite(run.values)
         answer = (f"{int(finite.sum())} reachable vertices; "
                   f"max distance {run.values[finite].max():.0f}")
     elif args.algorithm == "ppr":
         run = ppr(matrix, source, system, args.dpus, policy=policy,
-                  dataset=args.dataset)
+                  dataset=args.dataset, fault_plan=fault_plan)
         top = int(np.argsort(run.values)[::-1][1])
         answer = f"top recommendation for {source}: vertex {top}"
     elif args.algorithm == "pagerank":
         run = pagerank(matrix, system, args.dpus, policy=policy,
-                       dataset=args.dataset)
+                       dataset=args.dataset, fault_plan=fault_plan)
         answer = f"highest-ranked vertex: {int(np.argmax(run.values))}"
     else:  # cc
         run = connected_components(matrix, system, args.dpus,
-                                   policy=policy, dataset=args.dataset)
+                                   policy=policy, dataset=args.dataset,
+                                   fault_plan=fault_plan)
         answer = f"{len(set(run.values.tolist()))} weakly connected components"
 
     print(f"answer: {answer}")
@@ -112,6 +130,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
           f"merge={b.merge * 1e3:.2f}")
     print(f"energy: {run.energy.total_j:.3f} J | kernel utilization "
           f"{run.utilization_kernel_pct:.2f}%")
+    if run.fault_log is not None:
+        print()
+        print(run.fault_log.format_report())
     if run.iterations:
         rows = [
             (f"iter {t.iteration} [{t.kernel_name} @ "
@@ -133,6 +154,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "breakdown": run.breakdown.as_dict(),
             "energy_j": run.energy.total_j,
             "utilization_kernel_pct": run.utilization_kernel_pct,
+            "faults": run.fault_log.summary()
+            if run.fault_log is not None else None,
             "values": run.values.tolist()
             if run.values.size <= 100_000 else None,
         }

@@ -49,6 +49,31 @@ class TransferError(UpmemError):
     """A host<->DPU transfer request is malformed."""
 
 
+class DpuFaultError(UpmemError):
+    """A (simulated) DPU hardware fault surfaced to the host runtime.
+
+    Raised by the fault-injection layer (:mod:`repro.faults`) when a DPU
+    crash is observed; the resilient execution policy normally recovers
+    (retry / quarantine / re-dispatch) before this escapes to callers.
+    """
+
+
+class DpuTimeoutError(DpuFaultError):
+    """A DPU kernel launch hung past the host's polling timeout."""
+
+
+class TransferCorruptionError(TransferError):
+    """A checksum-validated host<->DPU transfer arrived corrupted."""
+
+
+class UnrecoverableFaultError(DpuFaultError):
+    """Fault recovery exhausted its retry/quarantine/re-dispatch budget.
+
+    Raised when no healthy DPU remains to adopt a failed DPU's tile, or
+    when repeated re-dispatches still cannot produce validated data.
+    """
+
+
 class KernelError(ReproError):
     """A kernel was invoked with an unsupported configuration."""
 

@@ -1,0 +1,42 @@
+"""Deterministic fault injection + fault-tolerant execution for the
+simulated UPMEM system.
+
+Real UPMEM machines run degraded (PrIM reports e.g. 2,524 of 2,560 DPUs
+usable); this package lets the simulator model that reality and survive
+it.  A seeded :class:`FaultPlan` describes per-DPU crash / hang / MRAM
+bit-flip rates, per-leg transfer corruption and whole-rank failures; the
+:class:`FaultInjector` draws a reproducible fault schedule from it;
+:class:`ResilientDpuSet` recovers through checksum-validated transfers,
+bounded retry with exponential backoff, quarantine of persistently
+faulty DPUs, and re-dispatch of their tiles onto healthy survivors; and
+:class:`FaultTolerantExecutor` threads all of it under any prepared
+kernel so BFS / SSSP / PPR / PageRank complete bit-identically to the
+fault-free run.  Everything observed lands in a structured
+:class:`FaultLog`.
+
+Injection is **off by default**: with no plan supplied (the universal
+default), every code path is bit-identical to the pre-fault-layer
+simulator.  Enable it with e.g.::
+
+    from repro.faults import FaultPlan
+    plan = FaultPlan.uniform(rate=0.05, seed=42)
+    run = bfs(matrix, 0, system, num_dpus, fault_plan=plan)
+    print(run.fault_log.format_report())
+"""
+
+from .injector import FaultInjector, FaultKind, checksum
+from .log import INJECTED_KINDS, FaultEvent, FaultLog
+from .plan import FaultPlan
+from .resilient import FaultTolerantExecutor, ResilientDpuSet
+
+__all__ = [
+    "FaultPlan",
+    "FaultInjector",
+    "FaultKind",
+    "FaultEvent",
+    "FaultLog",
+    "INJECTED_KINDS",
+    "ResilientDpuSet",
+    "FaultTolerantExecutor",
+    "checksum",
+]

@@ -1,0 +1,129 @@
+"""Deterministic seeded fault injector.
+
+The injector is the only source of randomness in the fault layer: it
+owns one ``numpy`` PCG64 generator seeded from the
+:class:`~repro.faults.plan.FaultPlan`.  Draws are made in the
+(deterministic) order the simulated host issues operations, so the same
+plan over the same workload reproduces the same fault schedule — the
+property the degraded-machine experiments and the regression tests rely
+on.
+
+Fault *decisions* (which DPU crashes, which transfer leg corrupts) and
+fault *payloads* (which bit flips) both come from the same stream.
+"""
+
+from __future__ import annotations
+
+import enum
+import zlib
+from typing import Optional
+
+import numpy as np
+
+from .plan import FaultPlan
+
+
+class FaultKind(enum.Enum):
+    """The injectable failure modes (mapping in docs/FAULT_MODEL.md)."""
+
+    CRASH = "crash"
+    HANG = "hang"
+    BITFLIP = "bitflip"
+    CORRUPTION = "corruption"
+    RANK_FAILURE = "rank-failure"
+
+
+def checksum(array: np.ndarray) -> int:
+    """CRC32 of an array's bytes — the simulated transfer checksum."""
+    return zlib.crc32(np.ascontiguousarray(array).tobytes())
+
+
+class FaultInjector:
+    """Draws faults from a :class:`FaultPlan`'s seeded schedule."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.rng = np.random.default_rng(plan.seed)
+        #: Total decisions drawn (diagnostics only).
+        self.draws = 0
+
+    def reset(self) -> None:
+        """Rewind the schedule to the beginning (same seed)."""
+        self.rng = np.random.default_rng(self.plan.seed)
+        self.draws = 0
+
+    # -- decision draws ------------------------------------------------------
+
+    def transfer_fault_mask(self, num_legs: int) -> np.ndarray:
+        """Per-leg in-flight corruption decisions for one bulk transfer."""
+        self.draws += num_legs
+        if num_legs == 0:
+            return np.zeros(0, dtype=bool)
+        rate = self.plan.transfer_corruption_rate
+        u = self.rng.random(num_legs)
+        return u < rate
+
+    def transfer_fault(self) -> bool:
+        """Single-leg corruption decision (retries re-draw)."""
+        self.draws += 1
+        return bool(self.rng.random() < self.plan.transfer_corruption_rate)
+
+    def launch_fault_kinds(self, num_dpus: int) -> np.ndarray:
+        """Per-DPU launch fault decisions: an object array of
+        ``FaultKind`` or ``None`` per DPU (crash / hang / bitflip are
+        mutually exclusive within one launch).
+        """
+        self.draws += num_dpus
+        kinds = np.full(num_dpus, None, dtype=object)
+        if num_dpus == 0:
+            return kinds
+        u = self.rng.random(num_dpus)
+        crash = self.plan.dpu_crash_rate
+        hang = crash + self.plan.dpu_hang_rate
+        flip = hang + self.plan.mram_bitflip_rate
+        kinds[u < flip] = FaultKind.BITFLIP
+        kinds[u < hang] = FaultKind.HANG
+        kinds[u < crash] = FaultKind.CRASH
+        return kinds
+
+    def launch_fault(self) -> Optional[FaultKind]:
+        """Single-DPU launch decision (used when retrying a launch)."""
+        self.draws += 1
+        u = float(self.rng.random())
+        if u < self.plan.dpu_crash_rate:
+            return FaultKind.CRASH
+        if u < self.plan.dpu_crash_rate + self.plan.dpu_hang_rate:
+            return FaultKind.HANG
+        if u < (self.plan.dpu_crash_rate + self.plan.dpu_hang_rate
+                + self.plan.mram_bitflip_rate):
+            return FaultKind.BITFLIP
+        return None
+
+    def rank_failure_mask(self, num_ranks: int) -> np.ndarray:
+        """Per-rank whole-rank failure decisions for one launch."""
+        self.draws += num_ranks
+        if num_ranks == 0:
+            return np.zeros(0, dtype=bool)
+        u = self.rng.random(num_ranks)
+        return u < self.plan.rank_failure_rate
+
+    # -- payload corruption --------------------------------------------------
+
+    def corrupt_array(self, array: np.ndarray) -> np.ndarray:
+        """Return a copy of ``array`` with one deterministic bit flipped.
+
+        Empty arrays are returned unchanged (nothing to corrupt); callers
+        treat zero-length transfers as trivially valid.
+        """
+        array = np.ascontiguousarray(array)
+        if array.nbytes == 0:
+            return array.copy()
+        raw = bytearray(array.tobytes())
+        byte = int(self.rng.integers(0, len(raw)))
+        bit = int(self.rng.integers(0, 8))
+        raw[byte] ^= 1 << bit
+        corrupted = np.frombuffer(bytes(raw), dtype=array.dtype)
+        return corrupted.reshape(array.shape).copy()
+
+    def __repr__(self) -> str:
+        return f"FaultInjector({self.plan.describe()}, draws={self.draws})"

@@ -1,0 +1,161 @@
+"""Structured record of injected faults and the recovery actions taken.
+
+Every injected event — crash, hang, MRAM bit-flip, transfer corruption,
+rank failure — is appended to a :class:`FaultLog` together with the
+recovery action the resilient runtime chose (retry, quarantine,
+re-dispatch) and the simulated time the recovery cost.  The log rides on
+:class:`repro.kernels.KernelResult` / ``AlgorithmRun`` so experiments can
+report exactly what happened to a degraded machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+#: Event kinds that correspond to *injected hardware faults* (as opposed
+#: to recovery bookkeeping such as ``redispatch`` / ``unrecoverable``).
+INJECTED_KINDS = frozenset(
+    {"crash", "hang", "bitflip", "corruption", "rank-failure"}
+)
+
+
+@dataclass
+class FaultEvent:
+    """One injected fault (or recovery escalation) and its resolution."""
+
+    #: Monotonic event index within the run.
+    index: int
+    #: Fault kind: ``crash`` / ``hang`` / ``bitflip`` / ``corruption`` /
+    #: ``rank-failure`` / ``unrecoverable``.
+    kind: str
+    #: Operation during which it was injected: ``scatter`` / ``launch`` /
+    #: ``gather`` / ``redispatch``.
+    op: str
+    #: Affected DPU (or the first DPU of a failed rank).
+    dpu_id: int
+    #: Rank of the affected DPU (topology bookkeeping).
+    rank_id: int = -1
+    #: Recovery action taken: ``retry`` / ``retry-ok`` / ``quarantine`` /
+    #: ``redispatch`` / ``none`` / ``fatal``.
+    action: str = "none"
+    #: Retries spent resolving this event.
+    retries: int = 0
+    #: Simulated recovery time charged (seconds).
+    recovery_s: float = 0.0
+    #: Execution phase the recovery time belongs to (``load`` /
+    #: ``kernel`` / ``retrieve``).
+    phase: str = "kernel"
+    #: Free-form context (e.g. the MRAM region name).
+    detail: str = ""
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "index": self.index,
+            "kind": self.kind,
+            "op": self.op,
+            "dpu_id": self.dpu_id,
+            "rank_id": self.rank_id,
+            "action": self.action,
+            "retries": self.retries,
+            "recovery_s": self.recovery_s,
+            "phase": self.phase,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class FaultLog:
+    """Accumulated fault events + aggregate recovery statistics."""
+
+    events: List[FaultEvent] = field(default_factory=list)
+    #: DPUs taken out of service for the rest of the run.
+    quarantined: Set[int] = field(default_factory=set)
+    #: Ranks lost wholesale.
+    failed_ranks: Set[int] = field(default_factory=set)
+
+    def record(self, event: FaultEvent) -> FaultEvent:
+        self.events.append(event)
+        return self.events[-1]
+
+    def add(self, **kwargs) -> FaultEvent:
+        """Append an event, auto-assigning the next index."""
+        return self.record(FaultEvent(index=len(self.events), **kwargs))
+
+    # -- aggregates ----------------------------------------------------------
+
+    @property
+    def num_events(self) -> int:
+        return len(self.events)
+
+    @property
+    def num_injected(self) -> int:
+        """Injected hardware faults (excludes escalation bookkeeping)."""
+        return sum(1 for e in self.events if e.kind in INJECTED_KINDS)
+
+    @property
+    def total_retries(self) -> int:
+        return sum(e.retries for e in self.events)
+
+    @property
+    def num_redispatches(self) -> int:
+        return sum(1 for e in self.events if e.action == "redispatch")
+
+    @property
+    def recovery_seconds(self) -> float:
+        """Total simulated time spent recovering from faults."""
+        return sum(e.recovery_s for e in self.events)
+
+    def recovery_seconds_by_phase(self) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for event in self.events:
+            out[event.phase] = out.get(event.phase, 0.0) + event.recovery_s
+        return out
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for event in self.events:
+            out[event.kind] = out.get(event.kind, 0) + 1
+        return out
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-friendly aggregate view (for reports / ``--json``)."""
+        return {
+            "events": self.num_events,
+            "injected": self.num_injected,
+            "by_kind": self.counts_by_kind(),
+            "retries": self.total_retries,
+            "redispatches": self.num_redispatches,
+            "quarantined_dpus": sorted(self.quarantined),
+            "failed_ranks": sorted(self.failed_ranks),
+            "recovery_s": self.recovery_seconds,
+            "recovery_s_by_phase": self.recovery_seconds_by_phase(),
+        }
+
+    def schedule(self) -> List[tuple]:
+        """Compact (kind, op, dpu_id) tuples — the *fault schedule*.
+
+        Two runs of the same workload under the same :class:`FaultPlan`
+        seed must produce equal schedules (determinism contract).
+        """
+        return [(e.kind, e.op, e.dpu_id) for e in self.events]
+
+    def format_report(self, limit: Optional[int] = 20) -> str:
+        """Human-readable event table (first ``limit`` events)."""
+        lines = [
+            "fault log: "
+            f"{self.num_injected} injected, {self.total_retries} retries, "
+            f"{len(self.quarantined)} quarantined DPU(s), "
+            f"{self.num_redispatches} re-dispatches, "
+            f"{self.recovery_seconds * 1e3:.3f} ms recovery",
+        ]
+        shown = self.events if limit is None else self.events[:limit]
+        for e in shown:
+            lines.append(
+                f"  [{e.index:4d}] {e.op:<10} dpu={e.dpu_id:<5} "
+                f"{e.kind:<12} -> {e.action:<11} "
+                f"retries={e.retries} +{e.recovery_s * 1e6:.0f}us"
+            )
+        if limit is not None and len(self.events) > limit:
+            lines.append(f"  ... {len(self.events) - limit} more events")
+        return "\n".join(lines)

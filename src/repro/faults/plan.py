@@ -1,0 +1,150 @@
+"""Fault-injection configuration: what can break, how often, and budgets.
+
+Real UPMEM systems never run with their nominal DPU count: the PrIM
+characterization (Gómez-Luna et al.) reports production DIMMs shipping
+with faulty DPUs disabled (e.g. 2,524 of 2,560 usable), and ALPHA-PIM
+itself evaluates such a partially-degraded machine.  A :class:`FaultPlan`
+describes a reproducible fault environment for the simulator: per-DPU
+crash / hang / MRAM-bit-flip probabilities per kernel launch, per-leg
+transfer-corruption probability, whole-rank failure probability, and the
+recovery budgets (retry count, backoff, quarantine threshold) the
+resilient host runtime works with.
+
+Everything is derived from a single ``seed``: the same plan over the
+same workload produces the same fault schedule, so degraded-machine
+experiments are exactly reproducible.
+
+The default plan is **fully disabled** — all rates zero — so the
+simulator's happy path is bit-identical to a build without this module
+unless a caller opts in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import UpmemError
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded description of the fault environment for one run.
+
+    Rates are probabilities per *opportunity*: crash / hang / MRAM
+    bit-flip per DPU per kernel launch, corruption per per-DPU transfer
+    leg, rank failure per rank per launch.  All default to zero, i.e.
+    injection off.
+    """
+
+    #: Seed for the deterministic fault schedule.
+    seed: int = 0
+    #: Probability a DPU crashes during one kernel launch.
+    dpu_crash_rate: float = 0.0
+    #: Probability a DPU hangs (host polling timeout) during one launch.
+    dpu_hang_rate: float = 0.0
+    #: Probability one launch silently flips a bit in a DPU's MRAM
+    #: output region (detected only by the checksum at Retrieve).
+    mram_bitflip_rate: float = 0.0
+    #: Probability one per-DPU transfer leg (scatter or gather) is
+    #: corrupted in flight (transient: a retry re-sends clean data).
+    transfer_corruption_rate: float = 0.0
+    #: Probability an entire rank fails during one launch (all of its
+    #: DPUs are lost at once, like a DIMM channel dropping out).
+    rank_failure_rate: float = 0.0
+
+    # -- recovery budgets ----------------------------------------------------
+    #: Bounded retries per faulty operation before escalating.
+    max_retries: int = 3
+    #: First retry backoff (seconds of simulated host time).
+    backoff_base_s: float = 100e-6
+    #: Exponential backoff multiplier between successive retries.
+    backoff_factor: float = 2.0
+    #: Consecutive faults on one DPU before it is quarantined for the
+    #: rest of the run (its tiles re-dispatch onto healthy DPUs).
+    quarantine_after: int = 2
+    #: Simulated host-side polling timeout charged per detected hang.
+    timeout_s: float = 2e-3
+    #: Re-dispatch attempts per tile before the run is declared
+    #: unrecoverable.
+    max_redispatch: int = 3
+
+    def __post_init__(self) -> None:
+        for name in (
+            "dpu_crash_rate",
+            "dpu_hang_rate",
+            "mram_bitflip_rate",
+            "transfer_corruption_rate",
+            "rank_failure_rate",
+        ):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise UpmemError(f"{name} must lie in [0, 1], got {rate}")
+        launch_total = (
+            self.dpu_crash_rate + self.dpu_hang_rate + self.mram_bitflip_rate
+        )
+        if launch_total > 1.0:
+            raise UpmemError(
+                "crash + hang + bitflip rates must sum to <= 1 "
+                f"(got {launch_total})"
+            )
+        if self.max_retries < 0 or self.max_redispatch < 0:
+            raise UpmemError("retry budgets must be non-negative")
+        if self.quarantine_after < 1:
+            raise UpmemError("quarantine_after must be >= 1")
+        if self.backoff_base_s < 0 or self.backoff_factor < 1.0:
+            raise UpmemError("backoff must be non-negative and non-shrinking")
+        if self.timeout_s < 0:
+            raise UpmemError("timeout_s must be non-negative")
+
+    @property
+    def enabled(self) -> bool:
+        """True when any fault mode has a non-zero rate."""
+        return (
+            self.dpu_crash_rate > 0
+            or self.dpu_hang_rate > 0
+            or self.mram_bitflip_rate > 0
+            or self.transfer_corruption_rate > 0
+            or self.rank_failure_rate > 0
+        )
+
+    def backoff_s(self, attempt: int) -> float:
+        """Simulated backoff before retry number ``attempt`` (1-based)."""
+        if attempt <= 0:
+            return 0.0
+        return self.backoff_base_s * self.backoff_factor ** (attempt - 1)
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        """This plan with a different fault schedule seed."""
+        return replace(self, seed=seed)
+
+    @classmethod
+    def disabled(cls) -> "FaultPlan":
+        """An explicit no-injection plan (identical to the default)."""
+        return cls()
+
+    @classmethod
+    def uniform(cls, rate: float, seed: int = 0, **overrides) -> "FaultPlan":
+        """A convenience plan injecting every mode at ``rate``.
+
+        Rank failure is scaled down (one rank takes out 64 DPUs, so a
+        per-launch rank rate equal to the per-DPU rate would dominate).
+        """
+        return cls(
+            seed=seed,
+            dpu_crash_rate=rate,
+            dpu_hang_rate=rate / 2.0,
+            mram_bitflip_rate=rate / 2.0,
+            transfer_corruption_rate=rate,
+            rank_failure_rate=rate / 64.0,
+            **overrides,
+        )
+
+    def describe(self) -> str:
+        if not self.enabled:
+            return "faults: disabled"
+        return (
+            f"faults: seed={self.seed} crash={self.dpu_crash_rate:g} "
+            f"hang={self.dpu_hang_rate:g} bitflip={self.mram_bitflip_rate:g} "
+            f"corruption={self.transfer_corruption_rate:g} "
+            f"rank={self.rank_failure_rate:g}"
+        )

@@ -1,0 +1,663 @@
+"""Fault-tolerant host execution: checksums, retries, quarantine, re-dispatch.
+
+Two layers live here:
+
+:class:`ResilientDpuSet`
+    Wraps a :class:`repro.upmem.host.DpuSet` whose transfer legs and
+    kernel launches can fail per the seeded fault schedule, and drives
+    the recovery state machine the ISSUE's acceptance demands:
+
+    * every transfer is **checksum-validated** (CRC32 of the payload);
+    * a failed leg / launch is **retried** up to ``max_retries`` times
+      with exponential backoff, each retry priced through
+      :meth:`repro.upmem.transfer.TransferModel.retry`;
+    * a DPU whose consecutive-fault streak reaches ``quarantine_after``
+      (or that exhausts its retries) is **quarantined** for the rest of
+      the run;
+    * a quarantined DPU's tile is **re-dispatched** onto a healthy DPU
+      (tile re-transfer + kernel re-run are charged as recovery time);
+    * when no healthy DPU remains, or re-dispatch itself keeps failing,
+      :class:`~repro.errors.UnrecoverableFaultError` is raised.
+
+:class:`FaultTolerantExecutor`
+    Runs any :class:`~repro.kernels.base.PreparedKernel` *through* a
+    resilient set: the kernel's exact output is sharded across the
+    simulated machine, pushed/pulled through the faulty transfer path,
+    and reassembled from the per-DPU shards that survived validation.
+    The reassembled vector is verified bit-for-bit against the kernel's
+    answer — if the recovery protocol ever failed to restore a corrupted
+    shard the executor raises instead of returning wrong data (graceful
+    degradation: fewer DPUs and more seconds, never wrong answers).
+
+Invariant that keeps exact outputs honest: data only ever enters the
+Kernel phase after its scatter was checksum-validated, so the per-DPU
+compute callback may legitimately produce the fault-free shard; every
+corruption after that point must be caught by the Retrieve-side
+validation or the final bit-identity check fails loudly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import UnrecoverableFaultError
+from ..upmem.host import Dpu, DpuSet, DpuState
+from ..upmem.transfer import TransferCost, TransferModel
+from .injector import FaultInjector, FaultKind, checksum
+from .log import FaultEvent, FaultLog
+from .plan import FaultPlan
+
+#: Log ``kind`` strings (FaultKind values plus bookkeeping kinds).
+KIND_REDISPATCH = "redispatch"
+KIND_UNRECOVERABLE = "unrecoverable"
+
+
+class ResilientDpuSet:
+    """A DpuSet with the full detect-retry-quarantine-redispatch policy."""
+
+    def __init__(
+        self,
+        dpu_set: DpuSet,
+        plan: FaultPlan,
+        log: Optional[FaultLog] = None,
+    ) -> None:
+        self.inner = dpu_set
+        self.plan = plan
+        if dpu_set.injector is None:
+            dpu_set.injector = FaultInjector(plan)
+        self.injector: FaultInjector = dpu_set.injector
+        self.log = log if log is not None else FaultLog()
+        self.transfer: TransferModel = dpu_set.transfer
+        #: region -> shard index -> CRC32 of the *true* payload.
+        self._crc: Dict[str, Dict[int, int]] = {}
+        #: region -> shard index -> host-side golden copy (scatter only).
+        self._golden: Dict[str, Dict[int, np.ndarray]] = {}
+        #: region -> victim index -> adoptive DPU index (re-dispatch map).
+        self._adopted: Dict[str, Dict[int, int]] = {}
+        #: region -> compute callback (re-dispatch re-runs tiles with it).
+        self._compute: Dict[str, Callable[[int], np.ndarray]] = {}
+        #: region -> shard index -> latent-bitflip event awaiting detection.
+        self._latent: Dict[str, Dict[int, FaultEvent]] = {}
+        self._rr = 0  # round-robin cursor for adoptive DPU choice
+
+    # -- basic views ----------------------------------------------------------
+
+    @property
+    def num_dpus(self) -> int:
+        return len(self.inner)
+
+    @property
+    def dpus(self) -> List[Dpu]:
+        return self.inner.dpus
+
+    def healthy_ids(self) -> List[int]:
+        return self.inner.healthy_ids()
+
+    def quarantined_ids(self) -> List[int]:
+        return self.inner.quarantined_ids()
+
+    def _rank_of(self, index: int) -> int:
+        return index // self.transfer.system.dpus_per_rank
+
+    def _quarantine(self, index: int) -> None:
+        self.dpus[index].quarantine()
+        self.log.quarantined.add(index)
+
+    def _require_healthy(self, context: str) -> List[int]:
+        healthy = self.healthy_ids()
+        if not healthy:
+            self.log.add(
+                kind=KIND_UNRECOVERABLE, op=context, dpu_id=-1,
+                action="fatal",
+                detail="no healthy DPU left in the set",
+            )
+            raise UnrecoverableFaultError(
+                f"{context}: every DPU in the set is quarantined "
+                f"({len(self.log.quarantined)} of {self.num_dpus})"
+            )
+        return healthy
+
+    # -- region bookkeeping ---------------------------------------------------
+
+    def _region_for(self, name: str, index: int) -> Tuple[str, int]:
+        """(MRAM region, physical DPU) currently holding shard ``index``."""
+        adopted = self._adopted.get(name, {})
+        if index in adopted:
+            return f"{name}@{index}", adopted[index]
+        return name, index
+
+    def _store_shard(self, dpu_index: int, region: str,
+                     array: np.ndarray) -> None:
+        mram = self.dpus[dpu_index].mram
+        if region in mram:
+            mram.replace(region, array)
+        else:
+            mram.store(region, array)
+
+    # -- scatter with validation ----------------------------------------------
+
+    def scatter_arrays(
+        self, name: str, arrays: Sequence[np.ndarray]
+    ) -> TransferCost:
+        """Checksum-validated scatter of one shard per (healthy) DPU.
+
+        ``arrays`` is indexed by *shard* (one per DPU of the full set);
+        shards owned by quarantined DPUs are skipped here — the next
+        :meth:`launch` re-dispatches their work.  Returns the transfer
+        cost including retry/backoff overhead (the overhead share is
+        also recorded on the fault log).
+        """
+        arrays = list(arrays)
+        if len(arrays) != self.num_dpus:
+            from ..errors import TransferError
+
+            raise TransferError(
+                f"got {len(arrays)} shards for {self.num_dpus} DPUs"
+            )
+        healthy = self._require_healthy("scatter")
+        golden = self._golden.setdefault(name, {})
+        crcs = self._crc.setdefault(name, {})
+        for index, array in enumerate(arrays):
+            golden[index] = np.ascontiguousarray(array)
+            crcs[index] = checksum(array)
+
+        cost = self.inner.scatter_arrays(
+            name, [arrays[i] for i in healthy], dpu_ids=healthy
+        )
+        extra_s = 0.0
+        for index in healthy:
+            extra_s += self._validate_scatter_leg(name, index)
+        if extra_s:
+            cost = TransferCost(
+                cost.seconds + extra_s, cost.bytes_moved,
+                cost.num_dpus, cost.kind,
+            )
+        return cost
+
+    def _validate_scatter_leg(self, name: str, index: int) -> float:
+        """Verify the stored payload; retry / quarantine on mismatch."""
+        dpu = self.dpus[index]
+        expected = self._crc[name][index]
+        stored = dpu.mram.load(name)
+        if stored.nbytes == 0 or checksum(stored) == expected:
+            dpu.recover()
+            return 0.0
+
+        golden = self._golden[name][index]
+        nbytes = golden.nbytes
+        spent = 0.0
+        for attempt in range(1, self.plan.max_retries + 1):
+            dpu.mark_faulty(DpuState.CRASHED)
+            retry = self.transfer.retry(
+                nbytes, to_device=True, attempt=attempt,
+                backoff_base_s=self.plan.backoff_base_s,
+                backoff_factor=self.plan.backoff_factor,
+            )
+            spent += retry.seconds
+            payload = golden
+            if self.injector.transfer_fault():
+                payload = self.injector.corrupt_array(golden)
+            self._store_shard(index, name, payload)
+            if checksum(dpu.mram.load(name)) == expected:
+                dpu.recover()
+                self.log.add(
+                    kind=FaultKind.CORRUPTION.value, op="scatter",
+                    dpu_id=index, rank_id=self._rank_of(index),
+                    action="retry-ok", retries=attempt,
+                    recovery_s=spent, phase="load", detail=name,
+                )
+                return spent
+        self._quarantine(index)
+        self.log.add(
+            kind=FaultKind.CORRUPTION.value, op="scatter",
+            dpu_id=index, rank_id=self._rank_of(index),
+            action="quarantine", retries=self.plan.max_retries,
+            recovery_s=spent, phase="load", detail=name,
+        )
+        return spent
+
+    # -- launch with crash / hang / bitflip / rank-failure --------------------
+
+    def launch(
+        self,
+        name: str,
+        compute: Callable[[int], np.ndarray],
+        kernel_seconds: float,
+        tile_bytes: float = 0.0,
+    ) -> float:
+        """Simulate one kernel launch writing shard ``compute(i)`` on DPU i.
+
+        Returns the recovery-time overhead (seconds) this launch cost on
+        top of the fault-free kernel time.  Quarantined DPUs' shards are
+        re-dispatched onto healthy DPUs (adoptive DPUs run the victims'
+        tiles after their own, so V victims over H healthy survivors add
+        ``ceil(V / H)`` extra kernel rounds).
+        """
+        self._compute[name] = compute
+        self._adopted[name] = {}
+        self._latent.setdefault(name, {})
+        crcs = self._crc.setdefault(name, {})
+        overhead = 0.0
+
+        # whole-rank failures first (a dropped channel takes out 64 DPUs)
+        num_ranks = math.ceil(
+            self.num_dpus / self.transfer.system.dpus_per_rank
+        )
+        rank_failed = self.injector.rank_failure_mask(num_ranks)
+        for rank in np.nonzero(rank_failed)[0]:
+            rank = int(rank)
+            if rank in self.log.failed_ranks:
+                continue
+            self.log.failed_ranks.add(rank)
+            per_rank = self.transfer.system.dpus_per_rank
+            members = range(
+                rank * per_rank, min((rank + 1) * per_rank, self.num_dpus)
+            )
+            for index in members:
+                self._quarantine(index)
+            self.log.add(
+                kind=FaultKind.RANK_FAILURE.value, op="launch",
+                dpu_id=rank * per_rank, rank_id=rank,
+                action="quarantine", phase="kernel",
+                detail=f"rank {rank}: {len(list(members))} DPUs lost",
+            )
+
+        self._require_healthy("launch")
+        kinds = self.injector.launch_fault_kinds(self.num_dpus)
+        launch_overhead_s = self.transfer.system.dpu.launch_overhead_s
+
+        for index in range(self.num_dpus):
+            dpu = self.dpus[index]
+            if dpu.is_quarantined:
+                continue
+            overhead += self._launch_one(
+                name, index, kinds[index], compute,
+                kernel_seconds, launch_overhead_s, crcs,
+            )
+
+        # re-dispatch every quarantined DPU's shard onto the survivors
+        victims = [
+            i for i in range(self.num_dpus) if self.dpus[i].is_quarantined
+        ]
+        if victims:
+            healthy = self._require_healthy("redispatch")
+            rounds = math.ceil(len(victims) / len(healthy))
+            extra_kernel_total = kernel_seconds * rounds
+            for victim in victims:
+                overhead += self._redispatch(
+                    name, victim, tile_bytes,
+                    extra_kernel_total / len(victims), phase="kernel",
+                )
+        return overhead
+
+    def _launch_one(
+        self,
+        name: str,
+        index: int,
+        first_kind,
+        compute: Callable[[int], np.ndarray],
+        kernel_seconds: float,
+        launch_overhead_s: float,
+        crcs: Dict[int, int],
+    ) -> float:
+        """Run one DPU's shard, retrying crash/hang; returns overhead."""
+        dpu = self.dpus[index]
+        shard = np.ascontiguousarray(compute(index))
+        kind = first_kind
+        spent = 0.0
+        retries = 0
+
+        while kind in (FaultKind.CRASH, FaultKind.HANG):
+            state = (
+                DpuState.HUNG if kind is FaultKind.HANG else DpuState.CRASHED
+            )
+            dpu.mark_faulty(state)
+            # the faulted attempt's time is lost; a hang additionally
+            # burns the host's polling timeout before it is detected
+            spent += kernel_seconds + launch_overhead_s
+            if kind is FaultKind.HANG:
+                spent += self.plan.timeout_s
+            if (
+                retries >= self.plan.max_retries
+                or dpu.fault_streak >= self.plan.quarantine_after
+            ):
+                self._quarantine(index)
+                self.log.add(
+                    kind=kind.value, op="launch", dpu_id=index,
+                    rank_id=self._rank_of(index), action="quarantine",
+                    retries=retries, recovery_s=spent, phase="kernel",
+                    detail=name,
+                )
+                return spent
+            retries += 1
+            spent += self.plan.backoff_s(retries)
+            kind = self.injector.launch_fault()
+
+        if retries:
+            dpu.recover()
+            self.log.add(
+                kind=(first_kind.value if first_kind else "crash"),
+                op="launch", dpu_id=index, rank_id=self._rank_of(index),
+                action="retry-ok", retries=retries, recovery_s=spent,
+                phase="kernel", detail=name,
+            )
+
+        self._store_shard(index, name, shard)
+        crcs[index] = checksum(shard)
+        if kind is FaultKind.BITFLIP and shard.nbytes > 0:
+            # silent MRAM corruption *after* the checksum was computed —
+            # only the Retrieve-side validation can catch this
+            self._store_shard(index, name, self.injector.corrupt_array(shard))
+            event = self.log.add(
+                kind=FaultKind.BITFLIP.value, op="launch", dpu_id=index,
+                rank_id=self._rank_of(index), action="latent",
+                phase="kernel", detail=name,
+            )
+            self._latent[name][index] = event
+        return spent
+
+    def _redispatch(
+        self,
+        name: str,
+        victim: int,
+        tile_bytes: float,
+        extra_kernel_s: float,
+        phase: str,
+        cause: str = KIND_REDISPATCH,
+    ) -> float:
+        """Re-run shard ``victim`` on a healthy DPU; returns overhead."""
+        healthy = self._require_healthy("redispatch")
+        adoptive = healthy[self._rr % len(healthy)]
+        self._rr += 1
+        compute = self._compute.get(name)
+        if compute is None:
+            # no kernel ran for this region (pure scatter/gather use):
+            # recover from the host-side golden copy instead
+            golden = self._golden.get(name, {})
+            if victim not in golden:
+                raise UnrecoverableFaultError(
+                    f"shard {victim} of region {name!r} has neither a "
+                    f"compute callback nor a golden copy to recover from"
+                )
+            shard = golden[victim]
+        else:
+            shard = np.ascontiguousarray(compute(victim))
+        region = f"{name}@{victim}"
+        self._store_shard(adoptive, region, shard)
+        self._crc.setdefault(name, {})[victim] = checksum(shard)
+        self._adopted.setdefault(name, {})[victim] = adoptive
+        move = self.transfer.serial(
+            int(tile_bytes + shard.nbytes), to_device=True
+        )
+        spent = move.seconds + extra_kernel_s
+        self.log.add(
+            kind=cause, op="redispatch", dpu_id=victim,
+            rank_id=self._rank_of(victim), action="redispatch",
+            recovery_s=spent, phase=phase,
+            detail=f"{name}: tile adopted by DPU {adoptive}",
+        )
+        return spent
+
+    # -- gather with validation ----------------------------------------------
+
+    def gather_arrays(self, name: str) -> Tuple[List[np.ndarray], TransferCost]:
+        """Checksum-validated gather of every shard, in shard order.
+
+        Transient wire corruption is retried; persistent mismatches
+        (latent MRAM bit-flips) escalate to quarantine + re-dispatch of
+        the shard, bounded by ``plan.max_redispatch``.  The returned
+        arrays are the *validated* payloads — their CRCs provably match
+        what the launch computed.
+        """
+        adopted = self._adopted.get(name, {})
+        crcs = self._crc.get(name, {})
+        plain = [
+            i for i in range(self.num_dpus)
+            if i not in adopted and not self.dpus[i].is_quarantined
+        ]
+        received: Dict[int, np.ndarray] = {}
+        bulk, cost = self.inner.gather_arrays(name, dpu_ids=plain) \
+            if plain else ([], self.transfer.gather([0]))
+        for index, array in zip(plain, bulk):
+            received[index] = array
+
+        extra_s = 0.0
+        arrays: List[np.ndarray] = []
+        for index in range(self.num_dpus):
+            if index in received:
+                array, spent = self._validate_gather_leg(
+                    name, index, received[index], crcs.get(index)
+                )
+            else:
+                # adopted (or quarantined-without-adoption) shard: fetch
+                # from the adoptive DPU, re-dispatching first if needed
+                if index not in adopted:
+                    extra_s += self._redispatch(
+                        name, index, 0.0, 0.0, phase="retrieve"
+                    )
+                region, source = self._region_for(name, index)
+                legs, leg_cost = self.inner.gather_arrays(
+                    region, dpu_ids=[source]
+                )
+                extra_s += leg_cost.seconds
+                array, spent = self._validate_gather_leg(
+                    name, index, legs[0], crcs.get(index)
+                )
+            extra_s += spent
+            arrays.append(array)
+
+        total = TransferCost(
+            cost.seconds + extra_s, cost.bytes_moved, cost.num_dpus, "gather"
+        )
+        return arrays, total
+
+    def _validate_gather_leg(
+        self,
+        name: str,
+        index: int,
+        first: np.ndarray,
+        expected: Optional[int],
+    ) -> Tuple[np.ndarray, float]:
+        """Validate one received shard; retry then escalate on mismatch."""
+        if expected is None or first.nbytes == 0 \
+                or checksum(first) == expected:
+            return first, 0.0
+
+        spent = 0.0
+        for redispatch_round in range(self.plan.max_redispatch + 1):
+            region, source = self._region_for(name, index)
+            dpu = self.dpus[source]
+            nbytes = first.nbytes
+            for attempt in range(1, self.plan.max_retries + 1):
+                retry = self.transfer.retry(
+                    nbytes, to_device=False, attempt=attempt,
+                    backoff_base_s=self.plan.backoff_base_s,
+                    backoff_factor=self.plan.backoff_factor,
+                )
+                spent += retry.seconds
+                array = dpu.mram.load(region)
+                if self.injector.transfer_fault():
+                    array = self.injector.corrupt_array(array)
+                if checksum(array) == expected:
+                    latent = self._latent.get(name, {}).pop(index, None)
+                    self.log.add(
+                        kind=FaultKind.CORRUPTION.value, op="gather",
+                        dpu_id=index, rank_id=self._rank_of(index),
+                        action="retry-ok", retries=attempt,
+                        recovery_s=spent, phase="retrieve", detail=name,
+                    )
+                    if latent is not None:
+                        # the flip was repaired upstream (fresh store)
+                        latent.action = "repaired"
+                    return array, spent
+            # retries exhausted: the stored copy itself is bad (latent
+            # bit-flip) or the wire keeps corrupting — give up on this
+            # physical DPU and re-dispatch the shard
+            latent = self._latent.get(name, {}).pop(index, None)
+            if source == index and not dpu.is_quarantined:
+                dpu.mark_faulty(DpuState.CRASHED)
+                self._quarantine(index)
+            action_detail = (
+                "latent MRAM bit-flip" if latent is not None
+                else "persistent gather corruption"
+            )
+            if latent is not None:
+                latent.action = "redispatch"
+            if redispatch_round >= self.plan.max_redispatch:
+                break
+            spent += self._redispatch(
+                name, index, 0.0, 0.0, phase="retrieve",
+                cause=(FaultKind.BITFLIP.value if latent is not None
+                       else FaultKind.CORRUPTION.value),
+            )
+            first = self.dpus[self._region_for(name, index)[1]].mram.load(
+                self._region_for(name, index)[0]
+            )
+            if self.injector.transfer_fault():
+                first = self.injector.corrupt_array(first)
+            if checksum(first) == expected:
+                return first, spent
+
+        self.log.add(
+            kind=KIND_UNRECOVERABLE, op="gather", dpu_id=index,
+            rank_id=self._rank_of(index), action="fatal",
+            recovery_s=spent, phase="retrieve",
+            detail=f"{name}: shard unrecoverable after "
+                   f"{self.plan.max_redispatch} re-dispatches",
+        )
+        raise UnrecoverableFaultError(
+            f"shard {index} of region {name!r} could not be recovered "
+            f"within the retry/re-dispatch budget"
+        )
+
+
+class FaultTolerantExecutor:
+    """Runs prepared kernels through a persistent resilient DPU set.
+
+    One executor lives for a whole algorithm run (a ``MatvecDriver``),
+    so quarantine decisions persist across iterations — a DPU lost in
+    BFS level 2 stays lost for level 3, and its tile keeps riding on a
+    healthy survivor (degraded machine, unchanged answers).
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        system,
+        num_dpus: int,
+    ) -> None:
+        from ..upmem.config import SystemConfig  # noqa: F401  (doc typing)
+
+        self.plan = plan
+        self.system = system
+        self.num_dpus = num_dpus
+        transfer = TransferModel(system)
+        injector = FaultInjector(plan)
+        dpus = [Dpu(i, system.dpu) for i in range(num_dpus)]
+        self.rset = ResilientDpuSet(
+            DpuSet(dpus, transfer, injector=injector), plan
+        )
+        self._tile_bytes_cache: Dict[str, float] = {}
+        self.rounds = 0
+
+    @property
+    def log(self) -> FaultLog:
+        return self.rset.log
+
+    @property
+    def healthy_count(self) -> int:
+        return len(self.rset.healthy_ids())
+
+    def _tile_bytes(self, kernel) -> float:
+        cached = self._tile_bytes_cache.get(kernel.name)
+        if cached is None:
+            try:
+                cached = float(kernel.plan.matrix_bytes_per_dpu().mean())
+            except Exception:
+                cached = 0.0
+            self._tile_bytes_cache[kernel.name] = cached
+        return cached
+
+    def run(self, kernel, x, semiring):
+        """Execute ``kernel.run(x, semiring)`` on the degraded machine.
+
+        Returns a :class:`~repro.kernels.base.KernelResult` whose output
+        is bit-identical to the fault-free run and whose breakdown
+        carries the recovery overhead; the executor's
+        :class:`~repro.faults.log.FaultLog` is attached to the result.
+        """
+        from ..kernels.base import KernelResult
+        from ..sparse.vector import SparseVector
+        from ..types import PhaseBreakdown
+
+        base = kernel.run(x, semiring)
+        y = base.output.to_dense(zero=semiring.zero)
+        x_dense = (
+            x.to_dense(zero=semiring.zero)
+            if isinstance(x, SparseVector) else np.ascontiguousarray(x)
+        )
+        shards_in = np.array_split(x_dense, self.num_dpus)
+        shards_out = np.array_split(y, self.num_dpus)
+        marker = len(self.log.events)
+        self.rounds += 1
+        round_tag = self.rounds
+
+        # region names pin the dtype: MRAM regions are bump-allocated
+        # once, so the payload size per shard must stay stable even if a
+        # policy alternates kernels with different output value types
+        x_region = f"x.{x_dense.dtype}"
+        y_region = f"y.{y.dtype}"
+
+        # costs returned below already ride the kernel's analytic
+        # accounting; the executor folds only the *recovery overhead*,
+        # which the fault log records per phase
+        self.rset.scatter_arrays(x_region, shards_in)
+        self.rset.launch(
+            y_region,
+            lambda i: shards_out[i],
+            kernel_seconds=base.breakdown.kernel,
+            tile_bytes=self._tile_bytes(kernel),
+        )
+        gathered, _gather_cost = self.rset.gather_arrays(y_region)
+
+        y_rec = (
+            np.concatenate(gathered) if gathered
+            else np.empty_like(y)
+        )
+        if y_rec.shape != y.shape or not np.array_equal(y_rec, y):
+            self.log.add(
+                kind=KIND_UNRECOVERABLE, op="merge", dpu_id=-1,
+                action="fatal",
+                detail=f"round {round_tag}: reassembled output does not "
+                       f"match the validated shards",
+            )
+            raise UnrecoverableFaultError(
+                "fault recovery failed to reconstruct the kernel output "
+                "bit-for-bit — refusing to return a wrong answer"
+            )
+
+        overhead = {"load": 0.0, "kernel": 0.0, "retrieve": 0.0}
+        for event in self.log.events[marker:]:
+            if event.phase in overhead:
+                overhead[event.phase] += event.recovery_s
+
+        breakdown = PhaseBreakdown(
+            load=base.breakdown.load + overhead["load"],
+            kernel=base.breakdown.kernel + overhead["kernel"],
+            retrieve=base.breakdown.retrieve + overhead["retrieve"],
+            merge=base.breakdown.merge,
+        )
+        return KernelResult(
+            kernel_name=base.kernel_name,
+            output=base.output,
+            breakdown=breakdown,
+            profile=base.profile,
+            bytes_loaded=base.bytes_loaded,
+            bytes_retrieved=base.bytes_retrieved,
+            achieved_ops=base.achieved_ops,
+            elements_processed=base.elements_processed,
+            fault_log=self.log,
+        )

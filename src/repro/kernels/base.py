@@ -11,7 +11,7 @@ the pieces all kernels share.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 import numpy as np
 
@@ -22,6 +22,9 @@ from ..upmem.config import DpuConfig, SystemConfig
 from ..upmem.isa import InstructionProfile, InstrClass, add_class, multiply_class
 from ..upmem.perfmodel import CycleEstimate, estimate_cycles
 from ..upmem.profile import KernelProfile
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.log import FaultLog
 
 #: Bytes of one COO element on the DPU (int32 row, int32 col, value).
 def coo_element_bytes(dtype: DataType) -> int:
@@ -265,6 +268,11 @@ class KernelResult:
     achieved_ops: float = 0.0
     #: Total elements processed DPU-side (for diagnostics).
     elements_processed: int = 0
+    #: Fault-injection record when the launch ran through the resilient
+    #: execution layer (:mod:`repro.faults`); ``None`` on the fault-free
+    #: happy path.  Note the log is shared across a run's iterations (it
+    #: belongs to the executor), so it accumulates.
+    fault_log: Optional["FaultLog"] = None
 
     @property
     def total_s(self) -> float:

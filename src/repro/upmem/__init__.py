@@ -10,7 +10,7 @@ from .config import (
     TransferConfig,
 )
 from .energy import UpmemEnergyModel
-from .host import Dpu, DpuSet, UpmemSystem
+from .host import Dpu, DpuSet, DpuState, UpmemSystem
 from .interconnect import InterconnectConfig, InterconnectModel
 from .microbench import (
     ThroughputPoint,
@@ -60,6 +60,7 @@ __all__ = [
     "DEFAULT_STUDY_DPUS",
     "Dpu",
     "DpuSet",
+    "DpuState",
     "UpmemSystem",
     "InterconnectConfig",
     "InterconnectModel",

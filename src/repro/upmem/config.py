@@ -10,8 +10,12 @@ instructions of the same tasklet at least 11 cycles apart.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Optional
 
 from ..errors import UpmemError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.plan import FaultPlan
 
 KIB = 1024
 MIB = 1024 * 1024
@@ -142,6 +146,11 @@ class SystemConfig:
     dpu: DpuConfig = field(default_factory=DpuConfig)
     transfer: TransferConfig = field(default_factory=TransferConfig)
     energy: EnergyConfig = field(default_factory=EnergyConfig)
+    #: Optional fault-injection environment (:class:`repro.faults.FaultPlan`).
+    #: ``None`` (the default) keeps the simulator on its bit-exact happy
+    #: path; a plan with non-zero rates arms every ``UpmemSystem`` /
+    #: ``MatvecDriver`` built from this config with seeded injection.
+    faults: Optional["FaultPlan"] = None
 
     def __post_init__(self) -> None:
         if self.num_dpus <= 0:
@@ -178,6 +187,10 @@ class SystemConfig:
     def with_dpus(self, num_dpus: int) -> "SystemConfig":
         """A copy of this config with a different DPU count (Fig. 8)."""
         return replace(self, num_dpus=num_dpus)
+
+    def with_faults(self, plan: Optional["FaultPlan"]) -> "SystemConfig":
+        """A copy of this config with fault injection (en/dis)abled."""
+        return replace(self, faults=plan)
 
 
 #: The paper's evaluated machine: 2,560 DPUs over 20 double-rank DIMMs.

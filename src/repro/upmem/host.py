@@ -5,11 +5,18 @@ set of DPUs, pushes matrix partitions and input vectors into their MRAM
 banks (with the transposition library's parallel transfers), launches the
 kernel binary, and gathers results.  The runtime tracks both the functional
 payloads (real arrays in each simulated MRAM) and the cost of every step.
+
+Fault injection (:mod:`repro.faults`) hooks in here: a :class:`DpuSet`
+armed with a ``FaultInjector`` corrupts transfer legs in flight exactly
+as the seeded fault schedule dictates, and each :class:`Dpu` carries a
+health state (healthy / crashed / hung / quarantined) that the resilient
+execution policy drives.  Without an injector the behaviour is bit-exact
+to the fault-free runtime.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -18,6 +25,19 @@ from .config import DpuConfig, SystemConfig
 from .energy import UpmemEnergyModel
 from .memory import Iram, Mram, Wram
 from .transfer import TransferCost, TransferModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.injector import FaultInjector
+    from ..faults.plan import FaultPlan
+
+
+class DpuState:
+    """Health states of one simulated DPU (plain strings, cheap checks)."""
+
+    HEALTHY = "healthy"
+    CRASHED = "crashed"
+    HUNG = "hung"
+    QUARANTINED = "quarantined"
 
 
 class Dpu:
@@ -29,20 +49,50 @@ class Dpu:
         self.mram = Mram(config.mram_bytes)
         self.wram = Wram(config.wram_bytes)
         self.iram = Iram(config.iram_bytes)
+        self.state = DpuState.HEALTHY
+        #: Consecutive faults observed by the host (quarantine counter).
+        self.fault_streak = 0
 
     @property
     def rank_local_id(self) -> int:
         return self.dpu_id % 64
 
+    @property
+    def is_healthy(self) -> bool:
+        return self.state == DpuState.HEALTHY
+
+    @property
+    def is_quarantined(self) -> bool:
+        return self.state == DpuState.QUARANTINED
+
+    def mark_faulty(self, state: str) -> None:
+        """Record a transient fault (crash / hang) observed by the host."""
+        if self.state != DpuState.QUARANTINED:
+            self.state = state
+        self.fault_streak += 1
+
+    def recover(self) -> None:
+        """A retry succeeded: the DPU is healthy again, streak cleared."""
+        if self.state != DpuState.QUARANTINED:
+            self.state = DpuState.HEALTHY
+            self.fault_streak = 0
+
+    def quarantine(self) -> None:
+        """Take the DPU out of service for the rest of the run."""
+        self.state = DpuState.QUARANTINED
+
     def reset(self) -> None:
-        """Clear all memories (between experiments)."""
+        """Clear all memories and health state (between experiments)."""
         self.mram.reset()
         self.wram.reset()
         self.iram.reset()
+        self.state = DpuState.HEALTHY
+        self.fault_streak = 0
 
     def __repr__(self) -> str:
         return (
-            f"Dpu(id={self.dpu_id}, mram_used={self.mram.used_bytes}B, "
+            f"Dpu(id={self.dpu_id}, state={self.state}, "
+            f"mram_used={self.mram.used_bytes}B, "
             f"wram_used={self.wram.used_bytes}B)"
         )
 
@@ -53,13 +103,29 @@ class DpuSet:
     Mirrors ``dpu_alloc``/``dpu_copy_to``/``dpu_copy_from`` semantics with
     explicit cost accounting: every push/gather returns a
     :class:`~repro.upmem.transfer.TransferCost`.
+
+    When armed with a ``FaultInjector``, each per-DPU transfer leg may be
+    corrupted in flight according to the seeded schedule: a corrupted
+    scatter leg *stores* flipped bytes in the target MRAM, a corrupted
+    gather leg returns flipped bytes to the host while MRAM stays intact
+    (transient wire corruption).  Detection and recovery live one level
+    up, in :class:`repro.faults.ResilientDpuSet`.
     """
 
-    def __init__(self, dpus: List[Dpu], transfer: TransferModel) -> None:
+    def __init__(
+        self,
+        dpus: List[Dpu],
+        transfer: TransferModel,
+        injector: Optional["FaultInjector"] = None,
+    ) -> None:
         if not dpus:
             raise UpmemError("DpuSet needs at least one DPU")
         self.dpus = dpus
         self.transfer = transfer
+        self.injector = injector
+        #: Names that have been scattered/broadcast at least once — used
+        #: to give gather-of-unknown-name a clear error.
+        self._known_regions: set = set()
 
     def __len__(self) -> int:
         return len(self.dpus)
@@ -70,33 +136,93 @@ class DpuSet:
     def __getitem__(self, index: int) -> Dpu:
         return self.dpus[index]
 
+    def _select(self, dpu_ids: Optional[Sequence[int]]) -> List[Dpu]:
+        if dpu_ids is None:
+            return self.dpus
+        return [self.dpus[i] for i in dpu_ids]
+
     # -- data placement -------------------------------------------------------
 
-    def scatter_arrays(self, name: str, arrays: Sequence[np.ndarray]) -> TransferCost:
-        """Push one distinct array per DPU (parallel transfer)."""
-        if len(arrays) != len(self.dpus):
+    def scatter_arrays(
+        self,
+        name: str,
+        arrays: Sequence[np.ndarray],
+        dpu_ids: Optional[Sequence[int]] = None,
+    ) -> TransferCost:
+        """Push one distinct array per DPU (parallel transfer).
+
+        ``dpu_ids`` restricts the transfer to a subset of the set (used
+        by the resilient runtime for per-DPU retries / re-dispatch).
+        """
+        targets = self._select(dpu_ids)
+        if len(arrays) != len(targets):
             raise TransferError(
-                f"got {len(arrays)} arrays for {len(self.dpus)} DPUs"
+                f"got {len(arrays)} arrays for {len(targets)} DPUs"
             )
-        for dpu, array in zip(self.dpus, arrays):
+        corrupt = (
+            self.injector.transfer_fault_mask(len(targets))
+            if self.injector is not None
+            else None
+        )
+        for leg, (dpu, array) in enumerate(zip(targets, arrays)):
+            payload = array
+            if corrupt is not None and corrupt[leg]:
+                payload = self.injector.corrupt_array(array)
             if name in dpu.mram:
-                dpu.mram.replace(name, array)
+                dpu.mram.replace(name, payload)
             else:
-                dpu.mram.store(name, array)
+                dpu.mram.store(name, payload)
+        self._known_regions.add(name)
         return self.transfer.scatter([a.nbytes for a in arrays])
 
     def broadcast_array(self, name: str, array: np.ndarray) -> TransferCost:
         """Push the same array to every DPU (1-D partitioning's Load)."""
-        for dpu in self.dpus:
+        corrupt = (
+            self.injector.transfer_fault_mask(len(self.dpus))
+            if self.injector is not None
+            else None
+        )
+        for leg, dpu in enumerate(self.dpus):
+            payload = array
+            if corrupt is not None and corrupt[leg]:
+                payload = self.injector.corrupt_array(array)
             if name in dpu.mram:
-                dpu.mram.replace(name, array)
+                dpu.mram.replace(name, payload)
             else:
-                dpu.mram.store(name, array)
+                dpu.mram.store(name, payload)
+        self._known_regions.add(name)
         return self.transfer.broadcast(array.nbytes, len(self.dpus))
 
-    def gather_arrays(self, name: str) -> tuple:
-        """Pull the named region from every DPU; returns (arrays, cost)."""
-        arrays = [dpu.mram.load(name) for dpu in self.dpus]
+    def gather_arrays(
+        self,
+        name: str,
+        dpu_ids: Optional[Sequence[int]] = None,
+    ) -> tuple:
+        """Pull the named region from every DPU; returns (arrays, cost).
+
+        Raises :class:`~repro.errors.TransferError` when ``name`` was
+        never scattered or broadcast to this set — previously this
+        surfaced as a confusing ``MramOverflowError`` from the bank.
+        """
+        targets = self._select(dpu_ids)
+        missing = [d.dpu_id for d in targets if name not in d.mram]
+        if missing:
+            known = ", ".join(sorted(self._known_regions)) or "<none>"
+            raise TransferError(
+                f"cannot gather {name!r}: region was never scattered to "
+                f"DPU(s) {missing[:8]} (known regions: {known})"
+            )
+        corrupt = (
+            self.injector.transfer_fault_mask(len(targets))
+            if self.injector is not None
+            else None
+        )
+        arrays = []
+        for leg, dpu in enumerate(targets):
+            array = dpu.mram.load(name)
+            if corrupt is not None and corrupt[leg]:
+                array = self.injector.corrupt_array(array)
+            arrays.append(array)
         cost = self.transfer.gather([a.nbytes for a in arrays])
         return arrays, cost
 
@@ -106,9 +232,19 @@ class DpuSet:
             if name not in dpu.iram:
                 dpu.iram.load_program(name, num_instructions)
 
+    # -- health ---------------------------------------------------------------
+
+    def healthy_ids(self) -> List[int]:
+        """Set-local indices of DPUs still in service."""
+        return [i for i, d in enumerate(self.dpus) if not d.is_quarantined]
+
+    def quarantined_ids(self) -> List[int]:
+        return [i for i, d in enumerate(self.dpus) if d.is_quarantined]
+
     def reset(self) -> None:
         for dpu in self.dpus:
             dpu.reset()
+        self._known_regions.clear()
 
 
 class UpmemSystem:
@@ -124,18 +260,56 @@ class UpmemSystem:
     def dpu_config(self) -> DpuConfig:
         return self.config.dpu
 
-    def allocate(self, num_dpus: int, name: str = "default") -> DpuSet:
-        """Allocate ``num_dpus`` simulated DPUs (like ``dpu_alloc``)."""
+    @property
+    def allocated_dpus(self) -> int:
+        """DPUs currently held across all named sets."""
+        return sum(len(s) for s in self._allocated.values())
+
+    def allocate(
+        self,
+        num_dpus: int,
+        name: str = "default",
+        fault_plan: Optional["FaultPlan"] = None,
+    ) -> DpuSet:
+        """Allocate ``num_dpus`` simulated DPUs (like ``dpu_alloc``).
+
+        Validates the request against the configured machine: the count
+        must be positive, fit the system size, and — together with every
+        other live named set — not exceed the machine's DPU count
+        (re-allocating an existing ``name`` first releases it).  A
+        ``fault_plan`` (or one configured on ``SystemConfig.faults``)
+        arms the set with a seeded fault injector.
+        """
         if num_dpus <= 0:
             raise UpmemError("must allocate at least one DPU")
         if num_dpus > self.config.num_dpus:
             raise UpmemError(
                 f"requested {num_dpus} DPUs; system has {self.config.num_dpus}"
             )
+        self._allocated.pop(name, None)
+        already = self.allocated_dpus
+        if already + num_dpus > self.config.num_dpus:
+            raise UpmemError(
+                f"allocating {num_dpus} DPUs as {name!r} would exceed the "
+                f"system: {already} of {self.config.num_dpus} already "
+                f"allocated ({', '.join(sorted(self._allocated))})"
+            )
+        plan = fault_plan if fault_plan is not None else self.config.faults
+        injector = None
+        if plan is not None and plan.enabled:
+            from ..faults.injector import FaultInjector
+
+            injector = FaultInjector(plan)
         dpus = [Dpu(i, self.config.dpu) for i in range(num_dpus)]
-        dpu_set = DpuSet(dpus, self.transfer)
+        dpu_set = DpuSet(dpus, self.transfer, injector=injector)
         self._allocated[name] = dpu_set
         return dpu_set
+
+    def release(self, name: str = "default") -> None:
+        """Free a named DPU set (like ``dpu_free``)."""
+        if name not in self._allocated:
+            raise UpmemError(f"no allocated DPU set named {name!r}")
+        del self._allocated[name]
 
     def kernel_seconds(self, cycles: float) -> float:
         """Convert worst-DPU cycles to wall-clock kernel time."""

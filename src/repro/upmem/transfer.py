@@ -133,6 +133,29 @@ class TransferModel:
         seconds = self.cfg.launch_latency_s + nbytes / bw
         return TransferCost(seconds, nbytes, 1, "serial")
 
+    def retry(
+        self,
+        nbytes: int,
+        to_device: bool,
+        attempt: int,
+        backoff_base_s: float = 0.0,
+        backoff_factor: float = 2.0,
+    ) -> TransferCost:
+        """Cost of retry number ``attempt`` (1-based) of one transfer leg.
+
+        The resilient runtime (:mod:`repro.faults`) re-issues a failed
+        per-DPU leg serially after an exponential backoff; the simulated
+        wait is charged here so recovery overhead shows up in the same
+        :class:`TransferCost` currency as first-try transfers.
+        """
+        if attempt <= 0:
+            raise TransferError("retry attempt numbering starts at 1")
+        base = self.serial(nbytes, to_device)
+        backoff = backoff_base_s * backoff_factor ** (attempt - 1)
+        return TransferCost(
+            base.seconds + backoff, base.bytes_moved, 1, "retry"
+        )
+
 
 def merge_time_host(
     num_partials: int,

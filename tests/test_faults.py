@@ -1,0 +1,517 @@
+"""Tests for the fault-injection + fault-tolerant execution layer.
+
+Covers the determinism contract (same seed -> same fault schedule), each
+fault mode in isolation, the retry -> quarantine -> re-dispatch state
+machine, the unrecoverable escalation, and the tier-1 safety property:
+with no plan supplied every run is bit-identical to the pre-fault-layer
+simulator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import bfs, pagerank, sssp
+from repro.algorithms.base import MatvecDriver
+from repro.errors import (
+    DpuFaultError,
+    DpuTimeoutError,
+    TransferCorruptionError,
+    TransferError,
+    UnrecoverableFaultError,
+    UpmemError,
+)
+from repro.faults import (
+    FaultInjector,
+    FaultKind,
+    FaultLog,
+    FaultPlan,
+    FaultTolerantExecutor,
+    ResilientDpuSet,
+    checksum,
+)
+from repro.sparse import COOMatrix
+from repro.upmem import Dpu, DpuSet, DpuState, SystemConfig, UpmemSystem
+from repro.upmem.transfer import TransferModel
+
+pytestmark = pytest.mark.faults
+
+
+def small_graph(n=96, seed=3, weighted=False):
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, size=4 * n)
+    dst = (src + rng.integers(1, n, size=4 * n)) % n
+    edges = list({(int(u), int(v)) for u, v in zip(src, dst) if u != v})
+    matrix = COOMatrix.from_edges(edges, num_nodes=n)
+    if weighted:
+        from repro.datasets import add_weights
+
+        matrix = add_weights(matrix, rng=rng)
+    return matrix
+
+
+def make_rset(num_dpus=8, plan=None, system=None):
+    system = system or SystemConfig(num_dpus=max(num_dpus, 64))
+    plan = plan or FaultPlan()
+    transfer = TransferModel(system)
+    dpus = [Dpu(i, system.dpu) for i in range(num_dpus)]
+    inner = DpuSet(dpus, transfer, injector=FaultInjector(plan))
+    return ResilientDpuSet(inner, plan)
+
+
+class ScriptedInjector(FaultInjector):
+    """Injector replaying a fixed script (for exact state-machine tests)."""
+
+    def __init__(self, plan, launch_script=(), transfer_script=()):
+        super().__init__(plan)
+        self._launch = list(launch_script)
+        self._transfer = list(transfer_script)
+
+    def launch_fault_kinds(self, num_dpus):
+        kinds = np.full(num_dpus, None, dtype=object)
+        for i in range(num_dpus):
+            kinds[i] = self._launch.pop(0) if self._launch else None
+        return kinds
+
+    def launch_fault(self):
+        return self._launch.pop(0) if self._launch else None
+
+    def transfer_fault_mask(self, num_legs):
+        out = np.zeros(num_legs, dtype=bool)
+        for i in range(num_legs):
+            out[i] = self._transfer.pop(0) if self._transfer else False
+        return out
+
+    def transfer_fault(self):
+        return self._transfer.pop(0) if self._transfer else False
+
+    def rank_failure_mask(self, num_ranks):
+        return np.zeros(num_ranks, dtype=bool)
+
+
+def scripted_rset(num_dpus=4, plan=None, **scripts):
+    plan = plan or FaultPlan(dpu_crash_rate=0.5)  # enabled, rates unused
+    system = SystemConfig(num_dpus=64)
+    dpus = [Dpu(i, system.dpu) for i in range(num_dpus)]
+    inner = DpuSet(
+        dpus, TransferModel(system),
+        injector=ScriptedInjector(plan, **scripts),
+    )
+    return ResilientDpuSet(inner, plan)
+
+
+class TestFaultPlan:
+    def test_default_is_disabled(self):
+        assert not FaultPlan().enabled
+        assert not FaultPlan.disabled().enabled
+
+    def test_uniform_enables_every_mode(self):
+        plan = FaultPlan.uniform(0.1, seed=4)
+        assert plan.enabled
+        assert plan.dpu_crash_rate == 0.1
+        assert plan.dpu_hang_rate == 0.05
+        assert plan.transfer_corruption_rate == 0.1
+        assert plan.rank_failure_rate > 0
+        assert plan.seed == 4
+
+    def test_rate_validation(self):
+        with pytest.raises(UpmemError):
+            FaultPlan(dpu_crash_rate=1.5)
+        with pytest.raises(UpmemError):
+            FaultPlan(transfer_corruption_rate=-0.1)
+        with pytest.raises(UpmemError):
+            FaultPlan(dpu_crash_rate=0.5, dpu_hang_rate=0.4,
+                      mram_bitflip_rate=0.2)
+        with pytest.raises(UpmemError):
+            FaultPlan(quarantine_after=0)
+        with pytest.raises(UpmemError):
+            FaultPlan(max_retries=-1)
+
+    def test_backoff_is_exponential(self):
+        plan = FaultPlan(backoff_base_s=1e-4, backoff_factor=2.0)
+        assert plan.backoff_s(1) == pytest.approx(1e-4)
+        assert plan.backoff_s(3) == pytest.approx(4e-4)
+        assert plan.backoff_s(0) == 0.0
+
+    def test_with_seed_and_hashable(self):
+        plan = FaultPlan.uniform(0.05, seed=1)
+        assert plan.with_seed(9).seed == 9
+        assert plan.with_seed(9).dpu_crash_rate == plan.dpu_crash_rate
+        # frozen + hashable: SystemConfig stays usable as a cache key
+        assert hash(SystemConfig(num_dpus=64).with_faults(plan)) is not None
+
+    def test_error_hierarchy(self):
+        assert issubclass(DpuTimeoutError, DpuFaultError)
+        assert issubclass(UnrecoverableFaultError, DpuFaultError)
+        assert issubclass(TransferCorruptionError, TransferError)
+        assert issubclass(DpuFaultError, UpmemError)
+
+
+class TestFaultInjector:
+    def test_same_seed_same_decisions(self):
+        plan = FaultPlan.uniform(0.3, seed=17)
+        a, b = FaultInjector(plan), FaultInjector(plan)
+        assert np.array_equal(a.transfer_fault_mask(64),
+                              b.transfer_fault_mask(64))
+        assert list(a.launch_fault_kinds(64)) == list(b.launch_fault_kinds(64))
+        assert np.array_equal(a.rank_failure_mask(8), b.rank_failure_mask(8))
+
+    def test_different_seed_different_schedule(self):
+        plan = FaultPlan.uniform(0.3, seed=17)
+        a = FaultInjector(plan)
+        b = FaultInjector(plan.with_seed(18))
+        assert not np.array_equal(a.transfer_fault_mask(256),
+                                  b.transfer_fault_mask(256))
+
+    def test_reset_rewinds_schedule(self):
+        inj = FaultInjector(FaultPlan.uniform(0.3, seed=5))
+        first = inj.transfer_fault_mask(32)
+        inj.reset()
+        assert np.array_equal(first, inj.transfer_fault_mask(32))
+        assert inj.draws == 32
+
+    def test_corrupt_array_flips_exactly_one_bit(self):
+        inj = FaultInjector(FaultPlan(seed=2))
+        array = np.arange(16, dtype=np.int32)
+        bad = inj.corrupt_array(array)
+        assert bad.shape == array.shape and bad.dtype == array.dtype
+        xor = np.bitwise_xor(array, bad)
+        assert sum(bin(int(v)).count("1") for v in xor) == 1
+        assert checksum(bad) != checksum(array)
+
+    def test_corrupt_empty_array_is_noop(self):
+        inj = FaultInjector(FaultPlan(seed=2))
+        out = inj.corrupt_array(np.empty(0, dtype=np.float32))
+        assert out.size == 0
+
+
+class TestDpuHealth:
+    def test_fault_recover_cycle(self):
+        dpu = Dpu(0, SystemConfig(num_dpus=64).dpu)
+        assert dpu.is_healthy
+        dpu.mark_faulty(DpuState.CRASHED)
+        assert not dpu.is_healthy and dpu.fault_streak == 1
+        dpu.recover()
+        assert dpu.is_healthy and dpu.fault_streak == 0
+
+    def test_quarantine_is_sticky(self):
+        dpu = Dpu(0, SystemConfig(num_dpus=64).dpu)
+        dpu.quarantine()
+        dpu.recover()
+        assert dpu.is_quarantined
+        dpu.mark_faulty(DpuState.CRASHED)
+        assert dpu.is_quarantined
+        dpu.reset()
+        assert dpu.is_healthy
+
+
+class TestAllocateValidation:
+    def test_rejects_non_positive_and_oversize(self):
+        system = UpmemSystem(SystemConfig(num_dpus=128))
+        with pytest.raises(UpmemError):
+            system.allocate(0)
+        with pytest.raises(UpmemError):
+            system.allocate(129)
+
+    def test_rejects_cumulative_overallocation(self):
+        system = UpmemSystem(SystemConfig(num_dpus=128))
+        system.allocate(100, name="a")
+        with pytest.raises(UpmemError, match="exceed"):
+            system.allocate(64, name="b")
+        # re-allocating the same name releases the old set first
+        system.allocate(100, name="a")
+        system.release("a")
+        system.allocate(128, name="c")
+        assert system.allocated_dpus == 128
+
+    def test_release_unknown_name(self):
+        system = UpmemSystem(SystemConfig(num_dpus=128))
+        with pytest.raises(UpmemError):
+            system.release("nope")
+
+    def test_allocate_arms_injector_from_config(self):
+        plan = FaultPlan.uniform(0.1, seed=3)
+        system = UpmemSystem(SystemConfig(num_dpus=128).with_faults(plan))
+        assert system.allocate(8).injector is not None
+        plain = UpmemSystem(SystemConfig(num_dpus=128))
+        assert plain.allocate(8).injector is None
+        assert plain.allocate(8, name="f", fault_plan=plan).injector is not None
+
+
+class TestGatherValidation:
+    def test_gather_unknown_region_raises(self):
+        system = UpmemSystem(SystemConfig(num_dpus=128))
+        dpu_set = system.allocate(4)
+        dpu_set.scatter_arrays(
+            "x", [np.arange(4, dtype=np.int32)] * 4
+        )
+        with pytest.raises(TransferError, match="never scattered"):
+            dpu_set.gather_arrays("y")
+        arrays, _ = dpu_set.gather_arrays("x")
+        assert len(arrays) == 4
+
+    def test_scatter_shape_mismatch(self):
+        system = UpmemSystem(SystemConfig(num_dpus=128))
+        dpu_set = system.allocate(4)
+        with pytest.raises(TransferError):
+            dpu_set.scatter_arrays("x", [np.arange(4)] * 3)
+
+
+class TestResilientRoundTrip:
+    """scatter -> launch -> gather returns validated, exact shards."""
+
+    def _roundtrip(self, rset, n=64):
+        shards = np.array_split(np.arange(n, dtype=np.int64), rset.num_dpus)
+        outs = [s * 2 for s in shards]
+        rset.scatter_arrays("x", shards)
+        rset.launch("y", lambda i: outs[i], kernel_seconds=1e-4)
+        gathered, _ = rset.gather_arrays("y")
+        assert len(gathered) == rset.num_dpus
+        for got, want in zip(gathered, outs):
+            assert np.array_equal(got, want)
+        return rset.log
+
+    def test_fault_free_logs_nothing(self):
+        log = self._roundtrip(make_rset(8))
+        assert log.num_events == 0
+        assert log.recovery_seconds == 0.0
+
+    def test_corruption_only_recovers_by_retry(self):
+        plan = FaultPlan(transfer_corruption_rate=0.4, seed=9)
+        log = self._roundtrip(make_rset(8, plan))
+        assert log.num_injected > 0
+        assert set(log.counts_by_kind()) <= {"corruption", "redispatch"}
+        assert any(e.action == "retry-ok" for e in log.events)
+        assert log.recovery_seconds > 0
+
+    def test_crash_only(self):
+        plan = FaultPlan(dpu_crash_rate=0.4, seed=9)
+        log = self._roundtrip(make_rset(8, plan))
+        kinds = {e.kind for e in log.events if e.kind in
+                 {"crash", "hang", "bitflip", "corruption", "rank-failure"}}
+        assert kinds == {"crash"}
+
+    def test_hang_only_charges_timeout(self):
+        plan = FaultPlan(dpu_hang_rate=0.5, seed=9, timeout_s=5e-3)
+        rset = make_rset(8, plan)
+        log = self._roundtrip(rset)
+        hangs = [e for e in log.events if e.kind == "hang"]
+        assert hangs
+        assert all(e.recovery_s >= plan.timeout_s for e in hangs)
+
+    def test_bitflip_only_detected_at_gather(self):
+        plan = FaultPlan(mram_bitflip_rate=0.5, seed=9)
+        log = self._roundtrip(make_rset(8, plan))
+        flips = [e for e in log.events if e.kind == "bitflip"]
+        assert flips
+        # every latent flip was resolved (repaired by a clean re-read or
+        # re-dispatched), never left pending
+        assert all(e.action in ("repaired", "redispatch") for e in flips)
+
+    def test_rank_failure_quarantines_whole_rank(self):
+        # scan seeds for a schedule where exactly one of two ranks fails
+        for seed in range(40):
+            plan = FaultPlan(rank_failure_rate=0.4, seed=seed)
+            rset = make_rset(128, plan, system=SystemConfig(num_dpus=128))
+            try:
+                log = self._roundtrip(rset, n=512)
+            except UnrecoverableFaultError:
+                continue  # both ranks died this seed; try another
+            if len(log.failed_ranks) == 1:
+                assert len(log.quarantined) >= 64
+                assert len(rset.healthy_ids()) <= 64
+                return
+        pytest.fail("no seed produced a single-rank failure")
+
+    def test_all_ranks_lost_is_unrecoverable(self):
+        plan = FaultPlan(rank_failure_rate=1.0, seed=0)
+        rset = make_rset(64, plan)
+        shards = np.array_split(np.arange(64), 64)
+        rset.scatter_arrays("x", shards)
+        with pytest.raises(UnrecoverableFaultError):
+            rset.launch("y", lambda i: shards[i], kernel_seconds=1e-4)
+        assert any(e.action == "fatal" for e in rset.log.events)
+
+    def test_all_dpus_crashing_is_unrecoverable(self):
+        plan = FaultPlan(dpu_crash_rate=1.0, seed=0)
+        rset = make_rset(4, plan)
+        shards = np.array_split(np.arange(8), 4)
+        rset.scatter_arrays("x", shards)
+        with pytest.raises(UnrecoverableFaultError):
+            rset.launch("y", lambda i: shards[i], kernel_seconds=1e-4)
+
+
+class TestRetryQuarantineStateMachine:
+    def test_transient_crash_retries_then_recovers(self):
+        # DPU 0 crashes twice, then the retry succeeds (quarantine
+        # threshold raised so the streak does not short-circuit)
+        rset = scripted_rset(
+            4,
+            plan=FaultPlan(dpu_crash_rate=0.5, quarantine_after=5),
+            launch_script=[FaultKind.CRASH, None, None, None,
+                           FaultKind.CRASH, None],
+        )
+        shards = np.array_split(np.arange(8, dtype=np.int64), 4)
+        rset.scatter_arrays("x", shards)
+        rset.launch("y", lambda i: shards[i], kernel_seconds=1e-4)
+        events = [e for e in rset.log.events if e.dpu_id == 0]
+        assert events and events[0].action == "retry-ok"
+        assert events[0].retries == 2
+        assert rset.dpus[0].is_healthy
+
+    def test_persistent_crash_quarantines_and_redispatches(self):
+        plan = FaultPlan(dpu_crash_rate=0.5, max_retries=2,
+                         quarantine_after=10)
+        rset = scripted_rset(
+            4, plan=plan,
+            launch_script=[FaultKind.CRASH, None, None, None,
+                           FaultKind.CRASH, FaultKind.CRASH, FaultKind.CRASH],
+        )
+        shards = np.array_split(np.arange(8, dtype=np.int64), 4)
+        rset.scatter_arrays("x", shards)
+        rset.launch("y", lambda i: shards[i], kernel_seconds=1e-4)
+        assert rset.dpus[0].is_quarantined
+        assert 0 in rset.log.quarantined
+        actions = [e.action for e in rset.log.events if e.dpu_id == 0]
+        assert actions == ["quarantine", "redispatch"]
+        # the quarantined DPU's shard still comes back intact
+        gathered, _ = rset.gather_arrays("y")
+        assert np.array_equal(gathered[0], shards[0])
+
+    def test_streak_short_circuits_retries(self):
+        # quarantine_after=2: two consecutive faults quarantine even
+        # though the retry budget (5) is not exhausted
+        plan = FaultPlan(dpu_crash_rate=0.5, max_retries=5,
+                         quarantine_after=2)
+        rset = scripted_rset(
+            2, plan=plan,
+            launch_script=[FaultKind.HANG, None, FaultKind.HANG],
+        )
+        shards = [np.arange(4), np.arange(4, 8)]
+        rset.scatter_arrays("x", shards)
+        rset.launch("y", lambda i: shards[i], kernel_seconds=1e-4)
+        quarantine = [e for e in rset.log.events
+                      if e.dpu_id == 0 and e.action == "quarantine"]
+        assert quarantine and quarantine[0].retries == 1
+
+    def test_quarantine_persists_across_launches(self):
+        plan = FaultPlan(dpu_crash_rate=0.5, max_retries=1,
+                         quarantine_after=1)
+        rset = scripted_rset(2, plan=plan,
+                             launch_script=[FaultKind.CRASH, None])
+        shards = [np.arange(4), np.arange(4, 8)]
+        rset.scatter_arrays("x", shards)
+        rset.launch("y", lambda i: shards[i], kernel_seconds=1e-4)
+        assert rset.dpus[0].is_quarantined
+        # second launch: no new faults scripted, victim still re-dispatched
+        rset.launch("y", lambda i: shards[i] + 1, kernel_seconds=1e-4)
+        gathered, _ = rset.gather_arrays("y")
+        assert np.array_equal(gathered[0], shards[0] + 1)
+        assert rset.dpus[0].is_quarantined
+
+
+class TestAlgorithmsUnderFaults:
+    SYSTEM = SystemConfig(num_dpus=64)
+    PLAN = FaultPlan.uniform(0.05, seed=42)
+
+    def test_bfs_bit_identical(self):
+        matrix = small_graph()
+        clean = bfs(matrix, 0, self.SYSTEM, 64)
+        faulty = bfs(matrix, 0, self.SYSTEM, 64, fault_plan=self.PLAN)
+        assert np.array_equal(clean.values, faulty.values)
+        assert clean.fault_log is None
+        assert faulty.fault_log is not None
+        assert faulty.fault_log.num_injected > 0
+        assert faulty.breakdown.total > clean.breakdown.total
+
+    def test_sssp_bit_identical(self):
+        matrix = small_graph(weighted=True)
+        clean = sssp(matrix, 0, self.SYSTEM, 64)
+        faulty = sssp(matrix, 0, self.SYSTEM, 64, fault_plan=self.PLAN)
+        assert np.array_equal(clean.values, faulty.values)
+
+    def test_pagerank_bit_identical(self):
+        matrix = small_graph()
+        clean = pagerank(matrix, self.SYSTEM, 64)
+        faulty = pagerank(matrix, self.SYSTEM, 64, fault_plan=self.PLAN)
+        assert np.array_equal(clean.values, faulty.values)
+        assert faulty.fault_log.num_injected > 0
+
+    def test_same_seed_same_schedule(self):
+        matrix = small_graph()
+        a = bfs(matrix, 0, self.SYSTEM, 64, fault_plan=self.PLAN)
+        b = bfs(matrix, 0, self.SYSTEM, 64, fault_plan=self.PLAN)
+        assert a.fault_log.schedule() == b.fault_log.schedule()
+        assert a.breakdown.total == pytest.approx(b.breakdown.total)
+
+    def test_different_seed_different_schedule(self):
+        matrix = small_graph()
+        a = bfs(matrix, 0, self.SYSTEM, 64, fault_plan=self.PLAN)
+        b = bfs(matrix, 0, self.SYSTEM, 64,
+                fault_plan=self.PLAN.with_seed(7))
+        assert a.fault_log.schedule() != b.fault_log.schedule()
+
+    def test_system_config_plan_is_picked_up(self):
+        matrix = small_graph()
+        system = self.SYSTEM.with_faults(self.PLAN)
+        run = bfs(matrix, 0, system, 64)
+        assert run.fault_log is not None
+        assert run.fault_log.num_injected > 0
+        assert np.array_equal(
+            run.values, bfs(matrix, 0, self.SYSTEM, 64).values
+        )
+
+    def test_driver_reports_degradation(self):
+        matrix = small_graph()
+        plan = FaultPlan(dpu_crash_rate=0.2, seed=3, max_retries=1,
+                         quarantine_after=1)
+        driver = MatvecDriver(matrix, self.SYSTEM, 64, fault_plan=plan)
+        run = bfs(matrix, 0, self.SYSTEM, 64, driver=driver)
+        assert driver.healthy_dpus < 64
+        assert run.fault_log is driver.fault_log
+        assert len(run.fault_log.quarantined) == 64 - driver.healthy_dpus
+
+    def test_summary_and_report_render(self):
+        matrix = small_graph()
+        run = bfs(matrix, 0, self.SYSTEM, 64, fault_plan=self.PLAN)
+        summary = run.fault_log.summary()
+        assert summary["injected"] == run.fault_log.num_injected
+        assert set(summary["by_kind"])
+        report = run.fault_log.format_report(limit=5)
+        assert "fault log:" in report and "injected" in report
+
+
+class TestDefaultOffRegression:
+    """With injection off, everything is bit-identical to the plain path."""
+
+    def test_disabled_plan_keeps_plain_driver(self):
+        matrix = small_graph()
+        system = SystemConfig(num_dpus=64)
+        driver = MatvecDriver(matrix, system, 64,
+                              fault_plan=FaultPlan.disabled())
+        assert driver._fault_executor is None
+        assert driver.fault_log is None
+        assert driver.healthy_dpus == 64
+
+    def test_runs_identical_with_and_without_disabled_plan(self):
+        matrix = small_graph(weighted=True)
+        system = SystemConfig(num_dpus=64)
+        plain = sssp(matrix, 0, system, 64)
+        explicit = sssp(matrix, 0, system, 64,
+                        fault_plan=FaultPlan.disabled())
+        assert np.array_equal(plain.values, explicit.values)
+        assert plain.breakdown.total == explicit.breakdown.total
+        assert plain.energy.total_j == explicit.energy.total_j
+        assert explicit.fault_log is None
+
+    def test_executor_zero_overhead_under_zero_rates(self):
+        # an armed executor with an all-zero-rate plan must add no events
+        matrix = small_graph()
+        system = SystemConfig(num_dpus=64)
+        executor = FaultTolerantExecutor(FaultPlan(), system, 64)
+        driver = MatvecDriver(matrix, system, 64)
+        driver._fault_executor = executor
+        run = bfs(matrix, 0, system, 64, driver=driver)
+        baseline = bfs(matrix, 0, system, 64)
+        assert run.fault_log.num_events == 0
+        assert np.array_equal(run.values, baseline.values)
+        assert run.breakdown.total == pytest.approx(baseline.breakdown.total)
