@@ -17,6 +17,7 @@ import numpy as np
 
 from ..errors import KernelError
 from ..kernels import BEST_SPMSPV, BEST_SPMV, KernelResult, prepare_kernel
+from ..observability import runtime as _obs
 from ..semiring import Semiring
 from ..sparse.base import SparseMatrix
 from ..sparse.vector import SparseVector
@@ -30,6 +31,7 @@ from ..upmem.transfer import convergence_check_time
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..faults.log import FaultLog
     from ..faults.plan import FaultPlan
+    from ..observability.metrics import MetricsSnapshot
 
 
 class KernelPolicy:
@@ -77,6 +79,10 @@ class AlgorithmRun(RunResult):
     #: Accumulated fault-injection record when the run executed on a
     #: degraded machine (:mod:`repro.faults`); ``None`` otherwise.
     fault_log: Optional["FaultLog"] = None
+    #: Session-cumulative metrics snapshot (counters, gauges,
+    #: histograms, cache hit rates) when an observability session was
+    #: active around the run; ``None`` otherwise.
+    metrics: Optional["MetricsSnapshot"] = None
 
 
 class MatvecDriver:
@@ -148,9 +154,27 @@ class MatvecDriver:
         density = x.density
         kind = policy.choose(iteration, density)
         kernel = self._kernels[kind]
-        if self._fault_executor is not None:
-            return self._fault_executor.run(kernel, x, semiring)
-        return kernel.run(x, semiring)
+        session = _obs.ACTIVE
+        if session is None or session.tracer is None:
+            if session is not None and session.metrics is not None:
+                session.metrics.gauge("frontier.density").set(density)
+            if self._fault_executor is not None:
+                return self._fault_executor.run(kernel, x, semiring)
+            return kernel.run(x, semiring)
+        if session.metrics is not None:
+            session.metrics.gauge("frontier.density").set(density)
+        with session.tracer.span(
+            f"iteration:{iteration}", cat="algorithm",
+            kernel=kind, iteration=iteration, density=round(density, 6),
+            frontier=x.nnz,
+        ):
+            # the span closes at whatever simulated time the kernel's
+            # child spans advanced the clock to (exception-safe)
+            if self._fault_executor is not None:
+                result = self._fault_executor.run(kernel, x, semiring)
+            else:
+                result = kernel.run(x, semiring)
+        return result
 
     def finalize(
         self,
@@ -159,6 +183,9 @@ class MatvecDriver:
         dtype: DataType,
     ) -> AlgorithmRun:
         """Attach energy, utilization and the merged profile to a run."""
+        session = _obs.ACTIVE
+        if session is not None:
+            run.metrics = session.snapshot(include_caches=True)
         if not results:
             run.fault_log = self.fault_log
             return run
@@ -210,13 +237,26 @@ def record_iteration(
 ) -> None:
     """Append one iteration's trace, folding the convergence check into
     Merge time as the paper does (§6.3.1)."""
+    convergence_s = convergence_check_time(convergence_elements)
     breakdown = PhaseBreakdown(
         load=result.breakdown.load,
         kernel=result.breakdown.kernel,
         retrieve=result.breakdown.retrieve,
-        merge=result.breakdown.merge
-        + convergence_check_time(convergence_elements),
+        merge=result.breakdown.merge + convergence_s,
     )
+    session = _obs.ACTIVE
+    if session is not None:
+        if session.tracer is not None and convergence_s > 0:
+            session.tracer.complete(
+                "convergence-check", start=session.tracer.now,
+                duration_s=convergence_s, cat="host", advance=True,
+                iteration=iteration, elements=convergence_elements,
+            )
+        if session.metrics is not None:
+            session.metrics.counter("time.merge").inc(convergence_s)
+            session.metrics.histogram("iteration.seconds").observe(
+                breakdown.total
+            )
     run.add_iteration(
         IterationTrace(
             iteration=iteration,

@@ -25,7 +25,7 @@ from .adaptive import AdaptiveSwitchPolicy
 from .algorithms import bfs, connected_components, pagerank, ppr, sssp
 from .algorithms.base import FixedPolicy
 from .datasets import TABLE2, add_weights, get_dataset
-from .experiments.report import breakdown_chart
+from .experiments.report import breakdown_chart, metrics_report
 from .upmem.config import SystemConfig
 
 ALGORITHMS = ("bfs", "sssp", "ppr", "pagerank", "cc")
@@ -63,6 +63,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="seed of the fault schedule (same seed + same run order "
              "= same faults)",
     )
+    parser.add_argument(
+        "--trace", type=pathlib.Path, default=None, metavar="OUT.json",
+        help="record a span trace of the run and write it in Chrome "
+             "trace-event format (open in chrome://tracing or "
+             "https://ui.perfetto.dev); one process per rank, one "
+             "thread per DPU, fault instant-events inline",
+    )
+    parser.add_argument(
+        "--trace-jsonl", type=pathlib.Path, default=None, metavar="OUT.jsonl",
+        help="additionally write the trace as JSON-lines (one event "
+             "per line, timestamps in simulated seconds)",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="collect and print the metrics registry (bytes per "
+             "transfer leg, per-phase seconds, cycles, retries, cache "
+             "hit rates)",
+    )
     return parser
 
 
@@ -70,6 +88,41 @@ def _make_policy(name: str, matrix):
     if name == "adaptive":
         return AdaptiveSwitchPolicy.for_matrix(matrix)
     return FixedPolicy(name)
+
+
+def _dispatch(args, matrix, system, policy, fault_plan, source):
+    """Run the selected algorithm and return its AlgorithmRun."""
+    if args.algorithm == "bfs":
+        return bfs(matrix, source, system, args.dpus, policy=policy,
+                   dataset=args.dataset, fault_plan=fault_plan)
+    if args.algorithm == "sssp":
+        return sssp(matrix, source, system, args.dpus, policy=policy,
+                    dataset=args.dataset, fault_plan=fault_plan)
+    if args.algorithm == "ppr":
+        return ppr(matrix, source, system, args.dpus, policy=policy,
+                   dataset=args.dataset, fault_plan=fault_plan)
+    if args.algorithm == "pagerank":
+        return pagerank(matrix, system, args.dpus, policy=policy,
+                        dataset=args.dataset, fault_plan=fault_plan)
+    return connected_components(matrix, system, args.dpus, policy=policy,
+                                dataset=args.dataset, fault_plan=fault_plan)
+
+
+def _answer(args, run, matrix, source) -> str:
+    """Format the one-line answer summary for the chosen algorithm."""
+    if args.algorithm == "bfs":
+        reached = int((run.values >= 0).sum())
+        return f"reached {reached}/{matrix.nrows} vertices from {source}"
+    if args.algorithm == "sssp":
+        finite = np.isfinite(run.values)
+        return (f"{int(finite.sum())} reachable vertices; "
+                f"max distance {run.values[finite].max():.0f}")
+    if args.algorithm == "ppr":
+        top = int(np.argsort(run.values)[::-1][1])
+        return f"top recommendation for {source}: vertex {top}"
+    if args.algorithm == "pagerank":
+        return f"highest-ranked vertex: {int(np.argmax(run.values))}"
+    return f"{len(set(run.values.tolist()))} weakly connected components"
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -95,31 +148,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
           f"with {args.dpus} DPUs, policy={policy.describe()}"
           + (f", faults={fault_plan.describe()}" if fault_plan else ""))
 
-    if args.algorithm == "bfs":
-        run = bfs(matrix, source, system, args.dpus, policy=policy,
-                  dataset=args.dataset, fault_plan=fault_plan)
-        reached = int((run.values >= 0).sum())
-        answer = f"reached {reached}/{matrix.nrows} vertices from {source}"
-    elif args.algorithm == "sssp":
-        run = sssp(matrix, source, system, args.dpus, policy=policy,
-                   dataset=args.dataset, fault_plan=fault_plan)
-        finite = np.isfinite(run.values)
-        answer = (f"{int(finite.sum())} reachable vertices; "
-                  f"max distance {run.values[finite].max():.0f}")
-    elif args.algorithm == "ppr":
-        run = ppr(matrix, source, system, args.dpus, policy=policy,
-                  dataset=args.dataset, fault_plan=fault_plan)
-        top = int(np.argsort(run.values)[::-1][1])
-        answer = f"top recommendation for {source}: vertex {top}"
-    elif args.algorithm == "pagerank":
-        run = pagerank(matrix, system, args.dpus, policy=policy,
-                       dataset=args.dataset, fault_plan=fault_plan)
-        answer = f"highest-ranked vertex: {int(np.argmax(run.values))}"
-    else:  # cc
-        run = connected_components(matrix, system, args.dpus,
-                                   policy=policy, dataset=args.dataset,
-                                   fault_plan=fault_plan)
-        answer = f"{len(set(run.values.tolist()))} weakly connected components"
+    session = None
+    if args.trace is not None or args.trace_jsonl is not None or args.metrics:
+        from .observability import ObservabilitySession, activate
+
+        session = activate(ObservabilitySession(
+            trace=args.trace is not None or args.trace_jsonl is not None,
+            metrics=True,
+            dpus_per_rank=system.dpus_per_rank,
+        ))
+    try:
+        run = _dispatch(args, matrix, system, policy, fault_plan, source)
+    finally:
+        if session is not None:
+            from .observability import deactivate
+
+            deactivate()
+    answer = _answer(args, run, matrix, source)
 
     print(f"answer: {answer}")
     print(f"iterations: {run.num_iterations} "
@@ -144,6 +189,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if run.num_iterations > 12:
             print(f"... {run.num_iterations - 12} more iterations")
 
+    if session is not None:
+        if args.metrics and run.metrics is not None:
+            print()
+            print(metrics_report(run.metrics))
+        if session.tracer is not None:
+            from .observability import write_chrome_trace, write_jsonl
+
+            if args.trace is not None:
+                write_chrome_trace(session.tracer, args.trace)
+                print(f"\nwrote {args.trace} "
+                      f"({len(session.tracer.events)} trace events)")
+            if args.trace_jsonl is not None:
+                write_jsonl(session.tracer, args.trace_jsonl,
+                            metrics=run.metrics)
+                print(f"wrote {args.trace_jsonl}")
+
     if args.json is not None:
         payload = {
             "algorithm": run.algorithm,
@@ -156,6 +217,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "utilization_kernel_pct": run.utilization_kernel_pct,
             "faults": run.fault_log.summary()
             if run.fault_log is not None else None,
+            "metrics": run.metrics.as_dict()
+            if run.metrics is not None else None,
             "values": run.values.tolist()
             if run.values.size <= 100_000 else None,
         }

@@ -77,3 +77,56 @@ def fraction_bar(fractions: Dict[str, float], glyphs: Dict[str, str],
         glyph = glyphs.get(name, "?")
         bar += glyph * int(round(fraction * width))
     return bar[:width].ljust(width)
+
+
+def _metric_value(name: str, value: float) -> str:
+    """Human-scaled rendering: bytes -> KiB/MiB, seconds -> ms."""
+    if name.startswith("bytes."):
+        if value >= 1024 * 1024:
+            return f"{value / (1024 * 1024):.2f} MiB"
+        if value >= 1024:
+            return f"{value / 1024:.2f} KiB"
+        return f"{value:.0f} B"
+    if name.startswith("time.") or name.endswith("_s") \
+            or name.endswith(".seconds"):
+        return f"{value * 1e3:.3f} ms"
+    if float(value).is_integer():
+        return f"{int(value)}"
+    return f"{value:.3f}"
+
+
+def metrics_report(snapshot, title: str = "metrics:") -> str:
+    """Render a :class:`~repro.observability.MetricsSnapshot` as text.
+
+    Counters, gauges, histogram summaries and (when captured) the
+    plan/kernel cache hit rates, one aligned ``name  value`` block —
+    the ``--metrics`` CLI output and the experiment reports' appendix.
+    """
+    lines: List[str] = [title] if title else []
+    rows: List[Tuple[str, str]] = []
+    for name, value in snapshot.counters.items():
+        rows.append((name, _metric_value(name, value)))
+    for name, value in snapshot.gauges.items():
+        rows.append((f"{name} (gauge)", _metric_value(name, value)))
+    for name, summary in snapshot.histograms.items():
+        rendered = (
+            f"n={summary['count']} mean={_metric_value(name, summary['mean'])}"
+            f" min={_metric_value(name, summary['min'])}"
+            f" max={_metric_value(name, summary['max'])}"
+        )
+        rows.append((f"{name} (hist)", rendered))
+    if snapshot.caches:
+        for cache_name, stats in snapshot.caches.items():
+            rows.append((
+                f"cache.{cache_name}",
+                f"hits={stats.get('hits', 0)} "
+                f"misses={stats.get('misses', 0)} "
+                f"hit_rate={stats.get('hit_rate', 0.0):.2%}",
+            ))
+    if not rows:
+        lines.append("  (no metrics recorded)")
+        return "\n".join(lines)
+    name_width = max(len(name) for name, _ in rows)
+    for name, value in rows:
+        lines.append(f"  {name.ljust(name_width)}  {value}")
+    return "\n".join(lines)

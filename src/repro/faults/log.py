@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
+from ..observability import runtime as _obs
+
 #: Event kinds that correspond to *injected hardware faults* (as opposed
 #: to recovery bookkeeping such as ``redispatch`` / ``unrecoverable``).
 INJECTED_KINDS = frozenset(
@@ -76,6 +78,28 @@ class FaultLog:
 
     def record(self, event: FaultEvent) -> FaultEvent:
         self.events.append(event)
+        session = _obs.ACTIVE
+        if session is not None:
+            if session.tracer is not None:
+                # the fault log rides the trace timeline as instant
+                # events on the victim DPU's own lane
+                session.tracer.fault_instant(
+                    event.kind, event.dpu_id, op=event.op,
+                    action=event.action, retries=event.retries,
+                    recovery_s=event.recovery_s, phase=event.phase,
+                    detail=event.detail,
+                )
+            if session.metrics is not None:
+                metrics = session.metrics
+                metrics.counter("faults.events").inc()
+                if event.kind in INJECTED_KINDS:
+                    metrics.counter("faults.injected").inc()
+                if event.retries:
+                    metrics.counter("faults.retries").inc(event.retries)
+                if event.action == "redispatch":
+                    metrics.counter("faults.redispatches").inc()
+                if event.recovery_s:
+                    metrics.counter("faults.recovery_s").inc(event.recovery_s)
         return self.events[-1]
 
     def add(self, **kwargs) -> FaultEvent:

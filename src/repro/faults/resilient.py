@@ -44,6 +44,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import UnrecoverableFaultError
+from ..observability import runtime as _obs
 from ..upmem.host import Dpu, DpuSet, DpuState
 from ..upmem.transfer import TransferCost, TransferModel
 from .injector import FaultInjector, FaultKind, checksum
@@ -150,6 +151,20 @@ class ResilientDpuSet:
         cost including retry/backoff overhead (the overhead share is
         also recorded on the fault log).
         """
+        session = _obs.ACTIVE
+        if session is None or session.tracer is None:
+            return self._scatter_arrays(name, arrays)
+        with session.tracer.span(
+            f"resilient:scatter:{name}", cat="resilient", region=name
+        ) as span:
+            cost = self._scatter_arrays(name, arrays)
+            span.set_duration(cost.seconds)
+            span.annotate(bytes=cost.bytes_moved)
+        return cost
+
+    def _scatter_arrays(
+        self, name: str, arrays: Sequence[np.ndarray]
+    ) -> TransferCost:
         arrays = list(arrays)
         if len(arrays) != self.num_dpus:
             from ..errors import TransferError
@@ -236,6 +251,25 @@ class ResilientDpuSet:
         tiles after their own, so V victims over H healthy survivors add
         ``ceil(V / H)`` extra kernel rounds).
         """
+        session = _obs.ACTIVE
+        if session is None or session.tracer is None:
+            return self._launch(name, compute, kernel_seconds, tile_bytes)
+        with session.tracer.span(
+            f"resilient:launch:{name}", cat="resilient", region=name
+        ) as span:
+            overhead = self._launch(name, compute, kernel_seconds, tile_bytes)
+            span.set_duration(overhead)
+            span.annotate(recovery_s=overhead,
+                          quarantined=len(self.quarantined_ids()))
+        return overhead
+
+    def _launch(
+        self,
+        name: str,
+        compute: Callable[[int], np.ndarray],
+        kernel_seconds: float,
+        tile_bytes: float = 0.0,
+    ) -> float:
         self._compute[name] = compute
         self._adopted[name] = {}
         self._latent.setdefault(name, {})
@@ -410,8 +444,22 @@ class ResilientDpuSet:
         (latent MRAM bit-flips) escalate to quarantine + re-dispatch of
         the shard, bounded by ``plan.max_redispatch``.  The returned
         arrays are the *validated* payloads — their CRCs provably match
-        what the launch computed.
+        what the launch computed.  The tracer span around the phase
+        closes even when recovery escalates to
+        :class:`~repro.errors.UnrecoverableFaultError`.
         """
+        session = _obs.ACTIVE
+        if session is None or session.tracer is None:
+            return self._gather_arrays(name)
+        with session.tracer.span(
+            f"resilient:gather:{name}", cat="resilient", region=name
+        ) as span:
+            arrays, cost = self._gather_arrays(name)
+            span.set_duration(cost.seconds)
+            span.annotate(bytes=cost.bytes_moved)
+        return arrays, cost
+
+    def _gather_arrays(self, name: str) -> Tuple[List[np.ndarray], TransferCost]:
         adopted = self._adopted.get(name, {})
         crcs = self._crc.get(name, {})
         plain = [
@@ -660,4 +708,5 @@ class FaultTolerantExecutor:
             achieved_ops=base.achieved_ops,
             elements_processed=base.elements_processed,
             fault_log=self.log,
+            metrics=base.metrics,
         )

@@ -10,11 +10,13 @@ the pieces all kernels share.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, Optional
 
 import numpy as np
 
+from ..observability import runtime as _obs
 from ..partition.base import PartitionPlan
 from ..sparse.vector import SparseVector
 from ..types import DataType, PhaseBreakdown
@@ -25,6 +27,7 @@ from ..upmem.profile import KernelProfile
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..faults.log import FaultLog
+    from ..observability.metrics import MetricsSnapshot
 
 #: Bytes of one COO element on the DPU (int32 row, int32 col, value).
 def coo_element_bytes(dtype: DataType) -> int:
@@ -273,10 +276,114 @@ class KernelResult:
     #: happy path.  Note the log is shared across a run's iterations (it
     #: belongs to the executor), so it accumulates.
     fault_log: Optional["FaultLog"] = None
+    #: Metrics snapshot taken right after this launch when an
+    #: observability session (:mod:`repro.observability`) is active;
+    #: ``None`` otherwise.  Counters are cumulative across the session.
+    metrics: Optional["MetricsSnapshot"] = None
 
     @property
     def total_s(self) -> float:
         return self.breakdown.total
+
+
+def _emit_kernel_spans(tracer, kernel, result, span) -> None:
+    """Lay one scatter/exec/gather span per DPU under a kernel span.
+
+    The simulated machine runs its DPUs in lockstep phases, so every
+    DPU's span starts at the phase boundary; the timeline shows one
+    "process" per rank and one "thread" per DPU (Chrome-trace layout).
+    """
+    breakdown = getattr(result, "breakdown", None)
+    if breakdown is None:  # pragma: no cover - non-standard result type
+        return
+    num_dpus = kernel.num_dpus
+    t = span.start
+    t = tracer.dpu_spans(
+        "scatter", num_dpus, breakdown.load, start=t, cat="transfer",
+        kernel=kernel.name,
+    )
+    t = tracer.dpu_spans(
+        "exec", num_dpus, breakdown.kernel, start=t, cat="exec",
+        kernel=kernel.name,
+    )
+    t = tracer.dpu_spans(
+        "gather", num_dpus, breakdown.retrieve, start=t, cat="transfer",
+        kernel=kernel.name,
+    )
+    if breakdown.merge > 0:
+        tracer.complete("merge", start=t, duration_s=breakdown.merge,
+                        cat="host", kernel=kernel.name)
+    span.set_duration(breakdown.total)
+    span.annotate(
+        load_s=breakdown.load, kernel_s=breakdown.kernel,
+        retrieve_s=breakdown.retrieve, merge_s=breakdown.merge,
+    )
+
+
+def _record_kernel_metrics(session, kernel, result) -> None:
+    """Fold one launch's accounting into the session's metrics registry."""
+    registry = session.metrics
+    if registry is None:
+        return
+    breakdown = getattr(result, "breakdown", None)
+    if breakdown is not None:
+        registry.counter("time.load").inc(breakdown.load)
+        registry.counter("time.kernel").inc(breakdown.kernel)
+        registry.counter("time.retrieve").inc(breakdown.retrieve)
+        registry.counter("time.merge").inc(breakdown.merge)
+    registry.counter("kernel.launches").inc()
+    registry.counter("bytes.loaded").inc(
+        float(getattr(result, "bytes_loaded", 0) or 0)
+    )
+    registry.counter("bytes.retrieved").inc(
+        float(getattr(result, "bytes_retrieved", 0) or 0)
+    )
+    profile = getattr(result, "profile", None)
+    if profile is not None:
+        estimate = getattr(profile, "estimate", None)
+        if estimate is not None:
+            registry.counter("kernel.cycles").inc(estimate.max_cycles)
+        registry.gauge("tasklets.active").set(
+            getattr(profile, "active_tasklets_per_dpu", 0.0)
+        )
+    elements = getattr(result, "elements_processed", 0)
+    if elements:
+        registry.histogram("kernel.elements").observe(float(elements))
+    try:
+        result.metrics = registry.snapshot(include_caches=False)
+    except AttributeError:  # pragma: no cover - read-only result types
+        pass
+
+
+def _observed_run(fn):
+    """Wrap a kernel's ``run`` with the observability dispatch hook.
+
+    Disabled-path cost is a single module-global ``None`` check; with a
+    session active the launch lands as a ``kernel:<name>`` span with
+    per-DPU scatter/exec/gather children plus registry counters.
+    """
+
+    @functools.wraps(fn)
+    def run(self, x, semiring):
+        session = _obs.ACTIVE
+        if session is None:
+            return fn(self, x, semiring)
+        tracer = session.tracer
+        if tracer is None:
+            result = fn(self, x, semiring)
+            _record_kernel_metrics(session, self, result)
+            return result
+        with tracer.span(
+            f"kernel:{self.name}", cat="kernel",
+            kernel=self.name, dpus=self.num_dpus,
+        ) as span:
+            result = fn(self, x, semiring)
+            _emit_kernel_spans(tracer, self, result, span)
+        _record_kernel_metrics(session, self, result)
+        return result
+
+    run.__observed__ = True
+    return run
 
 
 class PreparedKernel:
@@ -288,6 +395,18 @@ class PreparedKernel:
     """
 
     name: str = "abstract"
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        """Auto-instrument every concrete kernel's ``run`` for tracing.
+
+        Each subclass that defines its own ``run`` gets the
+        observability dispatch wrapper — one instrumentation point for
+        every present and future kernel, with no per-kernel edits.
+        """
+        super().__init_subclass__(**kwargs)
+        own_run = cls.__dict__.get("run")
+        if own_run is not None and not getattr(own_run, "__observed__", False):
+            cls.run = _observed_run(own_run)
 
     #: WRAM streaming buffers every kernel statically allocates per
     #: tasklet (matrix stream, vector window, output buffer).

@@ -1,0 +1,77 @@
+"""Observability layer: span tracing, metrics, Chrome-trace export.
+
+ALPHA-PIM is a characterization paper — cycle breakdowns, instruction
+mixes, transfer-cost attribution — so the reproduction carries a
+first-class observability layer for *where inside a run* time, bytes
+and faults land:
+
+* :mod:`~repro.observability.tracer` — a zero-cost-when-disabled span
+  tracer over the monotonic simulated clock, instrumented through the
+  host runtime (scatter/exec/gather), kernel dispatch, the algorithm
+  iteration loop and the fault-recovery state machine;
+* :mod:`~repro.observability.metrics` — a counters/gauges/histograms
+  registry whose :class:`MetricsSnapshot` rides on ``KernelResult`` /
+  ``AlgorithmRun``;
+* :mod:`~repro.observability.export` — JSON-lines and Chrome
+  trace-event exporters (``chrome://tracing`` / Perfetto-loadable, one
+  process per rank, one thread per DPU, fault instant-events inline).
+
+Everything is **off by default**; activate with::
+
+    from repro.observability import observe, write_chrome_trace
+
+    with observe() as session:
+        run = bfs(matrix, 0, system, 512)
+    write_chrome_trace(session.tracer, "bfs.trace.json")
+    print(run.metrics.counters)
+
+or from the CLI: ``python -m repro bfs --trace bfs.trace.json --metrics``.
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    METRIC_NAMES,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+from .runtime import (
+    ObservabilitySession,
+    activate,
+    current,
+    deactivate,
+    observe,
+)
+from .export import (
+    chrome_trace_events,
+    iter_jsonl,
+    trace_summary,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .tracer import HOST_PID, HOST_TID, Span, SpanTracer, TraceEvent
+
+__all__ = [
+    "SpanTracer",
+    "Span",
+    "TraceEvent",
+    "HOST_PID",
+    "HOST_TID",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "METRIC_NAMES",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "ObservabilitySession",
+    "observe",
+    "activate",
+    "deactivate",
+    "current",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "write_jsonl",
+    "iter_jsonl",
+    "trace_summary",
+]

@@ -1,0 +1,133 @@
+"""Trace exporters: JSON-lines and Chrome trace-event format.
+
+Two consumers, two formats:
+
+JSON-lines (:func:`write_jsonl`)
+    One event object per line, timestamps in simulated **seconds** —
+    trivial to stream into ``jq`` / pandas for ad-hoc analysis.
+
+Chrome trace-event format (:func:`write_chrome_trace`)
+    The ``{"traceEvents": [...]}`` JSON object that ``chrome://tracing``
+    and `Perfetto <https://ui.perfetto.dev>`_ load directly, timestamps
+    in **microseconds**.  The simulated machine's topology maps onto the
+    viewer's process/thread tree: one *process* per rank (plus a
+    ``host`` process for host-side spans), one *thread* per DPU, with
+    metadata events naming every lane.  Injected faults ride along as
+    instant events on the lane of the DPU they hit, so a degraded run
+    shows its crashes and retries inline with the scatter/exec/gather
+    spans they perturbed.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, Iterator, List, Optional, Union
+
+from .metrics import MetricsSnapshot
+from .tracer import PH_COMPLETE, PH_INSTANT, SpanTracer
+
+#: Seconds -> Chrome trace microseconds.
+_US = 1e6
+
+
+def chrome_trace_events(tracer: SpanTracer) -> Dict[str, object]:
+    """The tracer's timeline as a Chrome trace-event JSON object."""
+    events: List[Dict[str, object]] = []
+    pids, tids = tracer.lanes()
+    for pid, label in sorted(pids.items()):
+        events.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": label},
+        })
+        events.append({
+            "name": "process_sort_index", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"sort_index": pid},
+        })
+    for (pid, tid), label in sorted(tids.items()):
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+            "args": {"name": label},
+        })
+    for event in tracer.events:
+        entry: Dict[str, object] = {
+            "name": event.name,
+            "cat": event.cat,
+            "ph": event.ph,
+            "ts": event.ts * _US,
+            "pid": event.pid,
+            "tid": event.tid,
+        }
+        if event.ph == PH_COMPLETE:
+            entry["dur"] = event.dur * _US
+        if event.ph == PH_INSTANT:
+            entry["s"] = "t"  # thread-scoped instant
+        if event.args:
+            entry["args"] = _plain(event.args)
+        events.append(entry)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    tracer: SpanTracer, path: Union[str, pathlib.Path]
+) -> pathlib.Path:
+    """Write the timeline as a ``chrome://tracing`` / Perfetto file."""
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(chrome_trace_events(tracer)) + "\n")
+    return path
+
+
+def iter_jsonl(
+    tracer: SpanTracer, metrics: Optional[MetricsSnapshot] = None
+) -> Iterator[str]:
+    """Yield one JSON line per event (plus a final metrics line)."""
+    for event in tracer.events:
+        yield json.dumps(_plain(event.as_dict()), sort_keys=True)
+    if metrics is not None:
+        yield json.dumps(
+            {"metrics": _plain(metrics.as_dict())}, sort_keys=True
+        )
+
+
+def write_jsonl(
+    tracer: SpanTracer,
+    path: Union[str, pathlib.Path],
+    metrics: Optional[MetricsSnapshot] = None,
+) -> pathlib.Path:
+    """Write the timeline (and optional metrics) as JSON-lines."""
+    path = pathlib.Path(path)
+    with path.open("w") as handle:
+        for line in iter_jsonl(tracer, metrics):
+            handle.write(line + "\n")
+    return path
+
+
+def trace_summary(tracer: SpanTracer) -> Dict[str, object]:
+    """Compact aggregate view of a timeline (for reports / asserts)."""
+    spans = [e for e in tracer.events if e.ph == PH_COMPLETE]
+    instants = [e for e in tracer.events if e.ph == PH_INSTANT]
+    by_cat: Dict[str, int] = {}
+    for event in spans:
+        by_cat[event.cat] = by_cat.get(event.cat, 0) + 1
+    return {
+        "events": len(tracer.events),
+        "spans": len(spans),
+        "instants": len(instants),
+        "spans_by_cat": by_cat,
+        "sim_seconds": tracer.now,
+        "lanes": len(tracer.lanes()[1]),
+    }
+
+
+def _plain(value):
+    """Coerce NumPy scalars etc. into plain JSON-serializable types."""
+    if isinstance(value, dict):
+        return {str(k): _plain(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    if hasattr(value, "item") and not isinstance(value, (str, bytes)):
+        try:
+            return value.item()
+        except Exception:  # pragma: no cover - defensive
+            return str(value)
+    return value

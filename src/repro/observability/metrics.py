@@ -1,0 +1,197 @@
+"""Metrics registry: counters, gauges and histograms for the simulator.
+
+PIMulator-style counters for the simulated UPMEM machine: bytes moved
+per transfer leg, simulated seconds per execution phase, kernel cycles,
+active tasklets, fault retries, cache hit rates.  A
+:class:`MetricsRegistry` hands out named instruments on demand;
+:meth:`MetricsRegistry.snapshot` freezes everything into a
+:class:`MetricsSnapshot` that rides on ``KernelResult`` /
+``AlgorithmRun`` and serializes cleanly into reports and ``--json``
+payloads.
+
+Canonical instrument names used by the built-in instrumentation sites
+are collected in :data:`METRIC_NAMES` so dashboards and tests never
+have to guess strings.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+#: Canonical metric names emitted by the built-in instrumentation.
+METRIC_NAMES = {
+    # transfer legs (counters, bytes)
+    "bytes_scatter": "bytes.scatter",
+    "bytes_broadcast": "bytes.broadcast",
+    "bytes_gather": "bytes.gather",
+    "bytes_loaded": "bytes.loaded",
+    "bytes_retrieved": "bytes.retrieved",
+    # per-phase simulated seconds (counters)
+    "time_load": "time.load",
+    "time_kernel": "time.kernel",
+    "time_retrieve": "time.retrieve",
+    "time_merge": "time.merge",
+    # DPU-side execution (counters / gauges)
+    "kernel_cycles": "kernel.cycles",
+    "kernel_launches": "kernel.launches",
+    "kernel_elements": "kernel.elements",
+    "active_tasklets": "tasklets.active",
+    # fault-tolerance (counters)
+    "fault_events": "faults.events",
+    "fault_retries": "faults.retries",
+    "fault_redispatches": "faults.redispatches",
+    "fault_recovery_s": "faults.recovery_s",
+    # algorithm loop (histograms / gauges)
+    "iteration_seconds": "iteration.seconds",
+    "frontier_density": "frontier.density",
+}
+
+
+class Counter:
+    """Monotonically increasing sum."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Last-written value (plus the max ever seen)."""
+
+    __slots__ = ("value", "max_value", "_written")
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self.max_value = 0.0
+        self._written = False
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        self.max_value = value if not self._written \
+            else max(self.max_value, float(value))
+        self._written = True
+
+
+class Histogram:
+    """Streaming summary: count / sum / min / max / mean / rms.
+
+    Deliberately reservoir-free — O(1) memory per instrument keeps the
+    registry safe to leave enabled on million-iteration runs.
+    """
+
+    __slots__ = ("count", "total", "sq_total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.sq_total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.sq_total += value * value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def summary(self) -> Dict[str, float]:
+        if self.count == 0:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                    "mean": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.total / self.count,
+        }
+
+
+@dataclass
+class MetricsSnapshot:
+    """Frozen view of a registry at one instant (JSON-friendly).
+
+    ``caches`` embeds :func:`repro.cache.cache_stats` hit/miss counters
+    when the snapshot was taken with ``include_caches=True`` so cache
+    efficiency lands in the same artifact as the runtime metrics.
+    """
+
+    counters: Dict[str, float] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+    histograms: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    caches: Optional[Dict[str, Dict[str, float]]] = None
+
+    def counter(self, name: str, default: float = 0.0) -> float:
+        return self.counters.get(name, default)
+
+    def as_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {k: dict(v) for k, v in self.histograms.items()},
+        }
+        if self.caches is not None:
+            out["caches"] = self.caches
+        return out
+
+
+class MetricsRegistry:
+    """Create-on-first-use registry of named instruments."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instruments ----------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter()
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge()
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram()
+        return instrument
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def snapshot(self, include_caches: bool = True) -> MetricsSnapshot:
+        """Freeze the registry into an immutable, serializable view."""
+        caches = None
+        if include_caches:
+            from ..cache import cache_stats
+
+            caches = cache_stats()
+        return MetricsSnapshot(
+            counters={k: c.value for k, c in sorted(self._counters.items())},
+            gauges={k: g.value for k, g in sorted(self._gauges.items())},
+            histograms={
+                k: h.summary() for k, h in sorted(self._histograms.items())
+            },
+            caches=caches,
+        )
+
+    def clear(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()

@@ -1,0 +1,106 @@
+"""Active observability session: the single switch the hot paths check.
+
+Instrumentation sites across the host runtime, kernels, algorithms and
+fault layer all follow one pattern::
+
+    from ..observability import runtime as obs
+    ...
+    session = obs.ACTIVE
+    if session is None:
+        # fast path: tracing disabled (the default) — one global read
+        ...
+
+``ACTIVE`` is ``None`` unless an :class:`ObservabilitySession` was
+activated (usually via the :func:`observe` context manager, or the CLI
+``--trace`` / ``--metrics`` flags).  That makes the disabled-path cost
+of the whole observability layer a single attribute load + ``None``
+check per instrumented operation — the <2% ``run_table4`` overhead
+budget enforced by ``benchmarks/test_observability_overhead.py``.
+
+Sessions are process-global rather than thread-local: the simulator is
+single-threaded by construction (the parallelism it models is the
+simulated machine's, not the host's).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from .metrics import MetricsRegistry, MetricsSnapshot
+from .tracer import SpanTracer
+
+#: The active session, or ``None`` when observability is disabled.
+ACTIVE: Optional["ObservabilitySession"] = None
+
+
+class ObservabilitySession:
+    """One tracer + one metrics registry, live for the duration of a run."""
+
+    def __init__(
+        self,
+        trace: bool = True,
+        metrics: bool = True,
+        dpus_per_rank: int = 64,
+        dpu_limit: Optional[int] = None,
+    ) -> None:
+        self.tracer: Optional[SpanTracer] = (
+            SpanTracer(dpus_per_rank=dpus_per_rank, dpu_limit=dpu_limit)
+            if trace else None
+        )
+        self.metrics: Optional[MetricsRegistry] = (
+            MetricsRegistry() if metrics else None
+        )
+
+    def snapshot(self, include_caches: bool = True) -> Optional[MetricsSnapshot]:
+        """Freeze the metrics registry (``None`` when metrics are off)."""
+        if self.metrics is None:
+            return None
+        return self.metrics.snapshot(include_caches=include_caches)
+
+
+def activate(session: ObservabilitySession) -> ObservabilitySession:
+    """Install ``session`` as the process-wide active session."""
+    global ACTIVE
+    ACTIVE = session
+    return session
+
+
+def deactivate() -> None:
+    """Disable observability (restores the zero-cost fast path)."""
+    global ACTIVE
+    ACTIVE = None
+
+
+def current() -> Optional[ObservabilitySession]:
+    """The active session, or ``None``."""
+    return ACTIVE
+
+
+@contextmanager
+def observe(
+    trace: bool = True,
+    metrics: bool = True,
+    dpus_per_rank: int = 64,
+    dpu_limit: Optional[int] = None,
+) -> Iterator[ObservabilitySession]:
+    """Activate a fresh session for the enclosed block::
+
+        with observe() as session:
+            run = bfs(matrix, 0, system, 64)
+        write_chrome_trace(session.tracer, "trace.json")
+
+    Nested ``observe`` blocks stack: the previous session (possibly
+    ``None``) is restored on exit.
+    """
+    global ACTIVE
+    previous = ACTIVE
+    session = ObservabilitySession(
+        trace=trace, metrics=metrics,
+        dpus_per_rank=dpus_per_rank, dpu_limit=dpu_limit,
+    )
+    ACTIVE = session
+    try:
+        yield session
+    finally:
+        ACTIVE = previous

@@ -1,0 +1,278 @@
+"""Span tracer over the *simulated* clock of the UPMEM machine.
+
+The simulator computes phase times analytically (transfer model, cycle
+model), so there is no wall clock worth recording — instead the tracer
+keeps a **monotonic simulated clock** that advances exactly by the
+seconds the models charge.  Every instrumented operation opens a
+:class:`Span` (a context manager, so spans close even when a fault path
+raises mid-phase), optionally declares its analytic duration, and lands
+as one *complete event* on a timeline that the exporters
+(:mod:`repro.observability.export`) can write as JSON-lines or Chrome
+trace-event format.
+
+Timeline layout mirrors the machine topology, as PrIM-style profilers
+do: host-side spans live on a dedicated ``host`` process lane, per-DPU
+scatter/exec/gather spans live on one "process" per **rank** with one
+"thread" per **DPU**, and injected faults appear as instant events on
+the lane of the DPU they hit.
+
+The tracer is never consulted unless the observability session is
+active (see :mod:`repro.observability.runtime`), so the disabled-path
+cost at every instrumentation site is a single global ``None`` check.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+#: Process lane that carries host-side (non-DPU) spans.
+HOST_PID = 0
+#: Thread lane for host spans.
+HOST_TID = 0
+
+#: Chrome trace-event phase codes used by the tracer.
+PH_COMPLETE = "X"
+PH_INSTANT = "i"
+
+
+@dataclass
+class TraceEvent:
+    """One timeline event (complete span or instant marker).
+
+    Timestamps/durations are simulated seconds; the Chrome exporter
+    converts to microseconds, the JSONL exporter keeps seconds.
+    """
+
+    name: str
+    cat: str
+    ph: str
+    ts: float
+    dur: float = 0.0
+    pid: int = HOST_PID
+    tid: int = HOST_TID
+    args: Dict[str, object] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "name": self.name,
+            "cat": self.cat,
+            "ph": self.ph,
+            "ts": self.ts,
+            "pid": self.pid,
+            "tid": self.tid,
+        }
+        if self.ph == PH_COMPLETE:
+            out["dur"] = self.dur
+        if self.args:
+            out["args"] = dict(self.args)
+        return out
+
+
+class Span:
+    """An open span; closes (and lands on the timeline) via the tracer.
+
+    A span either *declares* its analytic duration with
+    :meth:`set_duration` — the simulated clock then advances past its
+    end — or simply closes at whatever time its children advanced the
+    clock to (aggregation spans such as per-iteration wrappers).
+    """
+
+    __slots__ = ("name", "cat", "start", "pid", "tid", "args", "_duration")
+
+    def __init__(self, name: str, cat: str, start: float,
+                 pid: int, tid: int, args: Dict[str, object]) -> None:
+        self.name = name
+        self.cat = cat
+        self.start = start
+        self.pid = pid
+        self.tid = tid
+        self.args = args
+        self._duration: Optional[float] = None
+
+    def set_duration(self, seconds: float) -> None:
+        """Declare the analytic duration of this span (simulated s)."""
+        self._duration = max(float(seconds), 0.0)
+
+    def annotate(self, **kwargs: object) -> None:
+        """Attach key/value arguments to the span."""
+        self.args.update(kwargs)
+
+
+class SpanTracer:
+    """Collects spans and instants on a monotonic simulated clock."""
+
+    def __init__(self, dpus_per_rank: int = 64,
+                 dpu_limit: Optional[int] = None) -> None:
+        #: Simulated clock, seconds (monotonically non-decreasing).
+        self.now = 0.0
+        self.events: List[TraceEvent] = []
+        self.dpus_per_rank = max(int(dpus_per_rank), 1)
+        #: Cap on per-DPU span fan-out (None = trace every DPU).
+        self.dpu_limit = dpu_limit
+        self._open: List[Span] = []
+        #: Lanes seen so far: pid -> name, (pid, tid) -> name.
+        self._pids: Dict[int, str] = {HOST_PID: "host"}
+        self._tids: Dict[Tuple[int, int], str] = {(HOST_PID, HOST_TID): "main"}
+        #: Spans that were force-closed by an exception unwinding.
+        self.aborted_spans = 0
+
+    # -- clock ----------------------------------------------------------------
+
+    def advance(self, seconds: float) -> float:
+        """Move the simulated clock forward; returns the new time."""
+        if seconds > 0:
+            self.now += float(seconds)
+        return self.now
+
+    # -- spans ---------------------------------------------------------------
+
+    @property
+    def open_span_count(self) -> int:
+        """Spans currently open (must be 0 between operations)."""
+        return len(self._open)
+
+    def assert_no_dangling(self) -> None:
+        if self._open:  # pragma: no cover - defensive
+            names = ", ".join(s.name for s in self._open)
+            raise RuntimeError(f"dangling trace spans: {names}")
+
+    @contextmanager
+    def span(self, name: str, cat: str = "host", pid: int = HOST_PID,
+             tid: int = HOST_TID, **args: object) -> Iterator[Span]:
+        """Open a span; it closes (exception-safe) when the block exits."""
+        sp = Span(name, cat, self.now, pid, tid, dict(args))
+        self._open.append(sp)
+        try:
+            yield sp
+        except BaseException:
+            sp.annotate(aborted=True)
+            self.aborted_spans += 1
+            raise
+        finally:
+            self._open.pop()
+            self._close(sp)
+
+    def _close(self, sp: Span) -> None:
+        if sp._duration is not None:
+            end = sp.start + sp._duration
+            self.now = max(self.now, end)
+        else:
+            end = max(self.now, sp.start)
+        self._lane(sp.pid, sp.tid)
+        self.events.append(
+            TraceEvent(
+                name=sp.name, cat=sp.cat, ph=PH_COMPLETE, ts=sp.start,
+                dur=end - sp.start, pid=sp.pid, tid=sp.tid, args=sp.args,
+            )
+        )
+
+    def complete(self, name: str, start: float, duration_s: float,
+                 cat: str = "host", pid: int = HOST_PID, tid: int = HOST_TID,
+                 advance: bool = False, **args: object) -> TraceEvent:
+        """Record an already-finished span directly (no context manager).
+
+        Used for host-side sub-phases whose analytic duration is known
+        up front (e.g. the Merge step).  ``advance=True`` additionally
+        moves the simulated clock past the span's end.
+        """
+        self._lane(pid, tid)
+        event = TraceEvent(
+            name=name, cat=cat, ph=PH_COMPLETE, ts=start,
+            dur=max(float(duration_s), 0.0), pid=pid, tid=tid,
+            args=dict(args),
+        )
+        self.events.append(event)
+        if advance:
+            self.now = max(self.now, start + event.dur)
+        return event
+
+    def instant(self, name: str, cat: str = "event", pid: int = HOST_PID,
+                tid: int = HOST_TID, **args: object) -> TraceEvent:
+        """Record an instant (zero-duration) event at the current time."""
+        self._lane(pid, tid)
+        event = TraceEvent(
+            name=name, cat=cat, ph=PH_INSTANT, ts=self.now,
+            pid=pid, tid=tid, args=dict(args),
+        )
+        self.events.append(event)
+        return event
+
+    # -- per-DPU fan-out ------------------------------------------------------
+
+    def dpu_lane(self, dpu_id: int) -> Tuple[int, int]:
+        """(pid, tid) of a DPU: one process per rank, one thread per DPU."""
+        rank = dpu_id // self.dpus_per_rank
+        return rank + 1, dpu_id  # pid 0 is reserved for the host lane
+
+    def dpu_spans(
+        self,
+        name: str,
+        num_dpus: int,
+        duration_s: float,
+        start: Optional[float] = None,
+        cat: str = "dpu",
+        durations: Optional[Sequence[float]] = None,
+        **args: object,
+    ) -> float:
+        """Emit one complete span per DPU lane (parallel hardware).
+
+        All DPUs start together at ``start`` (default: the current
+        simulated time); per-DPU ``durations`` may refine the uniform
+        ``duration_s``.  Returns the end time of the *slowest* DPU —
+        the tracer clock is **not** advanced (the caller's enclosing
+        phase span owns the clock).
+        """
+        t0 = self.now if start is None else start
+        limit = num_dpus if self.dpu_limit is None \
+            else min(num_dpus, self.dpu_limit)
+        slowest = duration_s
+        for dpu_id in range(limit):
+            dur = duration_s if durations is None else float(durations[dpu_id])
+            slowest = max(slowest, dur)
+            pid, tid = self.dpu_lane(dpu_id)
+            self._lane(pid, tid)
+            self.events.append(
+                TraceEvent(
+                    name=name, cat=cat, ph=PH_COMPLETE, ts=t0, dur=dur,
+                    pid=pid, tid=tid, args=dict(args) if args else {},
+                )
+            )
+        return t0 + slowest
+
+    def fault_instant(self, kind: str, dpu_id: int, **args: object) -> TraceEvent:
+        """An injected-fault marker on the victim DPU's own lane."""
+        if dpu_id is None or dpu_id < 0:
+            pid, tid = HOST_PID, HOST_TID
+        else:
+            pid, tid = self.dpu_lane(dpu_id)
+        return self.instant(f"fault:{kind}", cat="fault", pid=pid, tid=tid,
+                            **args)
+
+    # -- lanes ----------------------------------------------------------------
+
+    def _lane(self, pid: int, tid: int) -> None:
+        if pid not in self._pids:
+            self._pids[pid] = f"rank {pid - 1}" if pid > 0 else "host"
+        key = (pid, tid)
+        if key not in self._tids:
+            self._tids[key] = f"dpu {tid}" if pid > 0 else f"host {tid}"
+
+    def lanes(self) -> Tuple[Dict[int, str], Dict[Tuple[int, int], str]]:
+        """(process names, thread names) seen so far — for exporters."""
+        return dict(self._pids), dict(self._tids)
+
+    # -- summaries ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def span_names(self) -> List[str]:
+        """Names of complete spans in emission order (for golden tests)."""
+        return [e.name for e in self.events if e.ph == PH_COMPLETE]
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.now = 0.0
+        self.aborted_spans = 0

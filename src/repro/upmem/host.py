@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 import numpy as np
 
 from ..errors import TransferError, UpmemError
+from ..observability import runtime as _obs
 from .config import DpuConfig, SystemConfig
 from .energy import UpmemEnergyModel
 from .memory import Iram, Mram, Wram
@@ -29,6 +30,14 @@ from .transfer import TransferCost, TransferModel
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..faults.injector import FaultInjector
     from ..faults.plan import FaultPlan
+
+
+def _record_transfer(session, counter_name: str, cost: TransferCost) -> None:
+    """Fold one transfer leg's volume into the active metrics registry."""
+    if session is None or session.metrics is None:
+        return
+    session.metrics.counter(counter_name).inc(cost.bytes_moved)
+    session.metrics.counter("time.transfer").inc(cost.seconds)
 
 
 class DpuState:
@@ -154,6 +163,26 @@ class DpuSet:
         ``dpu_ids`` restricts the transfer to a subset of the set (used
         by the resilient runtime for per-DPU retries / re-dispatch).
         """
+        session = _obs.ACTIVE
+        if session is None or session.tracer is None:
+            cost = self._scatter_arrays(name, arrays, dpu_ids)
+            _record_transfer(session, "bytes.scatter", cost)
+            return cost
+        with session.tracer.span(
+            f"scatter:{name}", cat="transfer", region=name
+        ) as span:
+            cost = self._scatter_arrays(name, arrays, dpu_ids)
+            span.set_duration(cost.seconds)
+            span.annotate(bytes=cost.bytes_moved, dpus=cost.num_dpus)
+        _record_transfer(session, "bytes.scatter", cost)
+        return cost
+
+    def _scatter_arrays(
+        self,
+        name: str,
+        arrays: Sequence[np.ndarray],
+        dpu_ids: Optional[Sequence[int]] = None,
+    ) -> TransferCost:
         targets = self._select(dpu_ids)
         if len(arrays) != len(targets):
             raise TransferError(
@@ -177,6 +206,21 @@ class DpuSet:
 
     def broadcast_array(self, name: str, array: np.ndarray) -> TransferCost:
         """Push the same array to every DPU (1-D partitioning's Load)."""
+        session = _obs.ACTIVE
+        if session is None or session.tracer is None:
+            cost = self._broadcast_array(name, array)
+            _record_transfer(session, "bytes.broadcast", cost)
+            return cost
+        with session.tracer.span(
+            f"broadcast:{name}", cat="transfer", region=name
+        ) as span:
+            cost = self._broadcast_array(name, array)
+            span.set_duration(cost.seconds)
+            span.annotate(bytes=cost.bytes_moved, dpus=cost.num_dpus)
+        _record_transfer(session, "bytes.broadcast", cost)
+        return cost
+
+    def _broadcast_array(self, name: str, array: np.ndarray) -> TransferCost:
         corrupt = (
             self.injector.transfer_fault_mask(len(self.dpus))
             if self.injector is not None
@@ -203,7 +247,28 @@ class DpuSet:
         Raises :class:`~repro.errors.TransferError` when ``name`` was
         never scattered or broadcast to this set — previously this
         surfaced as a confusing ``MramOverflowError`` from the bank.
+        The tracer span opened around the transfer closes even on that
+        error path (no dangling spans under fault injection).
         """
+        session = _obs.ACTIVE
+        if session is None or session.tracer is None:
+            arrays, cost = self._gather_arrays(name, dpu_ids)
+            _record_transfer(session, "bytes.gather", cost)
+            return arrays, cost
+        with session.tracer.span(
+            f"gather:{name}", cat="transfer", region=name
+        ) as span:
+            arrays, cost = self._gather_arrays(name, dpu_ids)
+            span.set_duration(cost.seconds)
+            span.annotate(bytes=cost.bytes_moved, dpus=cost.num_dpus)
+        _record_transfer(session, "bytes.gather", cost)
+        return arrays, cost
+
+    def _gather_arrays(
+        self,
+        name: str,
+        dpu_ids: Optional[Sequence[int]] = None,
+    ) -> tuple:
         targets = self._select(dpu_ids)
         missing = [d.dpu_id for d in targets if name not in d.mram]
         if missing:

@@ -1,5 +1,7 @@
 """Cross-cutting property-based tests over the whole stack."""
 
+import zlib
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -7,7 +9,7 @@ from hypothesis import strategies as st
 
 from repro.algorithms import FixedPolicy, bfs, bfs_reference
 from repro.kernels import prepare_kernel
-from repro.semiring import BOOLEAN_OR_AND, MIN_PLUS, PLUS_TIMES
+from repro.semiring import BOOLEAN_OR_AND, MAX_MIN, MIN_PLUS, PLUS_TIMES
 from repro.sparse import COOMatrix, random_sparse_vector, spmspv
 from repro.types import DataType
 from repro.upmem import (
@@ -112,6 +114,130 @@ def test_semiring_consistency_across_kernels(seed, density):
         a = spmv.run(x, semiring).output
         b = spmspv.run(x, semiring).output
         assert a == b, semiring.name
+
+
+# ---------------------------------------------------------------------------
+# Differential oracle suite (PR 3): seeded random matrices in all three
+# compressed formats, both kernel families, four semirings, checked
+# bit-for-bit against an independent dense-NumPy oracle (and scipy for
+# ordinary arithmetic).  Every assertion message carries the case seed so
+# a failure is reproducible with `_differential_case(seed, semiring)`.
+# ---------------------------------------------------------------------------
+
+#: Cases per semiring.  Values are chosen so float results are exact
+#: (min/max are order-independent; small-integer float addition is
+#: exact), making bit-agreement a meaningful contract even for float64.
+DIFFERENTIAL_CASES_PER_SEMIRING = 200
+
+DIFFERENTIAL_SEMIRINGS = {
+    "plus_times": (PLUS_TIMES, np.int64),
+    "boolean_or_and": (BOOLEAN_OR_AND, np.int32),
+    "min_plus": (MIN_PLUS, np.float64),
+    "max_min": (MAX_MIN, np.float64),
+}
+
+_DIFFERENTIAL_KERNELS = ("spmv-dcoo", "spmspv-csc-2d")
+
+
+def _seed_base(semiring_name: str) -> int:
+    """Stable per-semiring seed base (``hash`` is process-randomized)."""
+    return zlib.crc32(semiring_name.encode()) % 1_000_000
+
+
+def _differential_case(seed: int, semiring_name: str):
+    """Deterministically regenerate case ``seed`` for one semiring."""
+    semiring, dtype = DIFFERENTIAL_SEMIRINGS[semiring_name]
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(8, 33))
+    density = float(rng.uniform(0.05, 0.4))
+    mask = rng.random((n, n)) < density
+    if not mask.any():
+        mask[rng.integers(0, n), rng.integers(0, n)] = True
+    if semiring_name == "boolean_or_and":
+        values = np.ones((n, n), dtype=dtype)
+    else:
+        values = rng.integers(1, 10, (n, n)).astype(dtype)
+    dense = np.where(mask, values, 0).astype(dtype)
+    x_mask = rng.random(n) < float(rng.uniform(0.1, 0.9))
+    if not x_mask.any():
+        x_mask[rng.integers(0, n)] = True
+    if semiring_name == "boolean_or_and":
+        x_values = np.ones(int(x_mask.sum()), dtype=dtype)
+    else:
+        x_values = rng.integers(1, 10, int(x_mask.sum())).astype(dtype)
+    from repro.sparse import SparseVector
+
+    x = SparseVector(np.flatnonzero(x_mask), x_values, n)
+    matrix = COOMatrix.from_dense(dense)
+    fmt = ("coo", "csr", "csc")[seed % 3]
+    if fmt == "csr":
+        matrix = matrix.to_csr()
+    elif fmt == "csc":
+        matrix = matrix.to_csc()
+    return matrix, dense, mask, x, x_mask, semiring, fmt
+
+
+def _dense_oracle(dense, mask, x, x_mask, semiring):
+    """Independent oracle: dense semiring matvec in plain NumPy.
+
+    Structural semantics: only (stored matrix entry, present vector
+    entry) pairs contribute; rows with no contribution are the additive
+    identity.  Absent operands are filled with the *multiplicative*
+    identity before the elementwise product so no NaNs can appear, then
+    masked out with the additive identity before the row reduction
+    (which is exact for these value distributions).
+    """
+    dtype = dense.dtype
+    one = dtype.type(semiring.one)
+    zero = dtype.type(semiring.zero)
+    a_op = np.where(mask, dense, one)
+    x_dense = np.full(dense.shape[1], one, dtype=dtype)
+    x_dense[x.indices] = x.values
+    prod = semiring.multiply(a_op, x_dense[None, :])
+    prod = np.where(mask & x_mask[None, :], prod, zero)
+    return semiring.add.reduce(prod, axis=1)
+
+
+@pytest.mark.parametrize("semiring_name", sorted(DIFFERENTIAL_SEMIRINGS))
+def test_differential_kernels_vs_numpy_oracle(semiring_name):
+    """200 seeded cases per semiring: SpMV and SpMSpV agree bit-for-bit
+    with the independent dense-NumPy oracle across COO/CSR/CSC."""
+    system = SystemConfig(num_dpus=64)
+    base = _seed_base(semiring_name)
+    formats_seen = set()
+    for case in range(DIFFERENTIAL_CASES_PER_SEMIRING):
+        seed = base + case
+        matrix, dense, mask, x, x_mask, semiring, fmt = \
+            _differential_case(seed, semiring_name)
+        formats_seen.add(fmt)
+        expected = _dense_oracle(dense, mask, x, x_mask, semiring)
+        for kernel_name in _DIFFERENTIAL_KERNELS:
+            kernel = prepare_kernel(kernel_name, matrix,
+                                    1 + seed % 8, system)
+            got = kernel.run(x, semiring).output.to_dense(
+                zero=semiring.zero
+            )
+            assert np.array_equal(got, expected), (
+                f"seed={seed} semiring={semiring_name} "
+                f"kernel={kernel_name} format={fmt}"
+            )
+    assert formats_seen == {"coo", "csr", "csc"}
+
+
+def test_differential_scipy_crosscheck():
+    """For ordinary arithmetic the oracle itself is cross-checked
+    against scipy.sparse on every plus_times case."""
+    scipy_sparse = pytest.importorskip("scipy.sparse")
+    base = _seed_base("plus_times")
+    for case in range(DIFFERENTIAL_CASES_PER_SEMIRING):
+        seed = base + case
+        _, dense, mask, x, x_mask, semiring, _ = \
+            _differential_case(seed, "plus_times")
+        expected = _dense_oracle(dense, mask, x, x_mask, semiring)
+        x_dense = np.zeros(dense.shape[1], dtype=dense.dtype)
+        x_dense[x.indices] = x.values
+        via_scipy = scipy_sparse.csr_array(dense) @ x_dense
+        assert np.array_equal(via_scipy, expected), f"seed={seed}"
 
 
 @settings(max_examples=10, deadline=None)

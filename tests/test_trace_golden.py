@@ -1,0 +1,117 @@
+"""Golden-file regression test for the Chrome trace exporter.
+
+A fully deterministic BFS run (explicit edge list, fixed kernel policy,
+fixed DPU count) is traced and exported; the result is compared
+*structurally* against ``tests/golden/bfs_trace.json``: event sequence
+(name, phase, category, lane) must match exactly, timestamps only have
+to be well-formed (non-negative, parent-contains-child is already
+enforced by the tracer tests).  That keeps the golden stable across
+cost-model retunes while still catching any change to what is emitted,
+where, and in which order.
+
+Regenerate after an intentional exporter change with::
+
+    PYTHONPATH=src python tests/test_trace_golden.py
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.algorithms import FixedPolicy, bfs
+from repro.observability import chrome_trace_events, observe
+from repro.sparse import COOMatrix
+from repro.upmem import SystemConfig
+
+pytestmark = pytest.mark.observability
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "golden" / "bfs_trace.json"
+
+#: A small two-component digraph, written out literally so the trace is
+#: identical on every machine (no RNG anywhere in the run).
+EDGES = [
+    (0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7),
+    (7, 8), (2, 8), (8, 9), (1, 9), (9, 10), (10, 11), (4, 11),
+    (12, 13), (13, 14),
+]
+NUM_NODES = 15
+NUM_DPUS = 4
+
+
+def traced_bfs_doc() -> dict:
+    """Run the canonical BFS under tracing; return the Chrome doc."""
+    matrix = COOMatrix.from_edges(EDGES, num_nodes=NUM_NODES)
+    system = SystemConfig(num_dpus=64)
+    with observe(metrics=False,
+                 dpus_per_rank=system.dpus_per_rank) as session:
+        run = bfs(matrix, 0, system, NUM_DPUS,
+                  policy=FixedPolicy("spmspv"))
+    assert run.converged
+    session.tracer.assert_no_dangling()
+    return chrome_trace_events(session.tracer)
+
+
+def structural_view(doc: dict) -> dict:
+    """Reduce a Chrome doc to its cost-model-independent structure."""
+    events = []
+    for event in doc["traceEvents"]:
+        if event["ph"] == "M":  # metadata handled separately (unordered)
+            continue
+        events.append({
+            "name": event["name"],
+            "ph": event["ph"],
+            "cat": event.get("cat", ""),
+            "pid": event["pid"],
+            "tid": event["tid"],
+        })
+    metadata = sorted(
+        (e["name"], e["pid"], e.get("tid", -1),
+         e.get("args", {}).get("name", e.get("args", {}).get("sort_index")))
+        for e in doc["traceEvents"] if e["ph"] == "M"
+    )
+    return {"events": events, "metadata": metadata}
+
+
+def test_golden_trace_structure_matches():
+    assert GOLDEN_PATH.exists(), (
+        f"missing golden file {GOLDEN_PATH}; regenerate with "
+        "`PYTHONPATH=src python tests/test_trace_golden.py`"
+    )
+    golden = structural_view(json.loads(GOLDEN_PATH.read_text()))
+    current = structural_view(traced_bfs_doc())
+    assert current["metadata"] == golden["metadata"]
+    assert len(current["events"]) == len(golden["events"])
+    for i, (got, want) in enumerate(
+        zip(current["events"], golden["events"])
+    ):
+        assert got == want, f"event {i} diverged: {got} != {want}"
+
+
+def test_golden_trace_timestamps_are_wellformed():
+    doc = traced_bfs_doc()
+    for event in doc["traceEvents"]:
+        if event["ph"] != "X":
+            continue
+        assert event["ts"] >= 0
+        assert event["dur"] >= 0
+
+
+def test_golden_run_is_deterministic():
+    """Two fresh runs emit byte-identical traces (not just structure)."""
+    assert json.dumps(traced_bfs_doc(), sort_keys=True) == \
+        json.dumps(traced_bfs_doc(), sort_keys=True)
+
+
+def test_every_dpu_lane_appears_in_golden():
+    view = structural_view(traced_bfs_doc())
+    exec_lanes = {e["tid"] for e in view["events"] if e["name"] == "exec"}
+    assert exec_lanes == set(range(NUM_DPUS))
+
+
+if __name__ == "__main__":  # regeneration entry point
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(
+        json.dumps(traced_bfs_doc(), indent=1, sort_keys=True) + "\n"
+    )
+    print(f"wrote {GOLDEN_PATH}")
