@@ -1,0 +1,231 @@
+"""Semiring execution-engine speed benchmark (PR 4 tentpole).
+
+Two levels, both written to ``BENCH_PR4.json`` at the repository root:
+
+* **Iteration-kernel microbenchmark** — the two per-iteration
+  primitives every trace/kernel loop spends its time in, measured fast
+  vs legacy (``set_engine_mode``) on the same data:
+
+  - scatter-reduce ``y[rows] (+)= contribs`` over a canonical COO dense
+    enough for the ``reduceat`` path (the regime the segmented path
+    targets — sparser matrices deliberately fall back to ``ufunc.at``
+    and are a wash by construction), and
+  - frontier dedup (``unique_indices`` mask path vs ``np.unique``),
+    the per-level step of every BFS/SSSP trace iteration.
+
+  The combined iteration throughput (iterations/s over reduce + dedup)
+  must improve **>= 1.5x**; measured on the development container it is
+  an order of magnitude.
+
+* **End-to-end** — full ``run_table4`` wall time under the fast engine
+  vs (a) the same commit forced to ``legacy`` mode (cleanest isolation:
+  same process, same machine, only the dispatch differs) and (b) the
+  PR 3 parent commit measured the same day on the same machine
+  (``PR3_TABLE4_WALL_S``).  The budget assertion keeps a return to
+  seed-level scatter-reduce behaviour loudly visible without flaking on
+  slow CI runners.
+
+Reference wall times are frozen from same-day runs at the development
+container (scale=0.3, num_dpus=2048); absolute numbers drift with
+machine load, which is why the acceptance assertions compare fast vs
+legacy *within one process* rather than against the frozen constants.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+import numpy as np
+from conftest import run_once
+
+from repro.cache import clear_caches
+from repro.experiments import DatasetCache, ExperimentConfig, run_table4
+from repro.experiments.table4 import TABLE4_DATASETS, TABLE4_MIN_SCALE
+from repro.semiring import MIN_PLUS, engine_report, set_engine_mode
+from repro.semiring import engine as eng
+from repro.sparse import COOMatrix
+
+#: PR 3 parent commit (92a2a4e) run_table4 wall, measured same-day on
+#: the development container (min of 3; scale=0.3, num_dpus=2048).
+PR3_TABLE4_WALL_S = 3.21
+
+#: PR 3's own frozen artifact (BENCH_PR3.json, measured earlier on the
+#: same container at lower load) — kept for the cross-PR trajectory.
+PR3_FROZEN_TABLE4_WALL_S = 2.64
+
+#: Generous ceiling (~2x the post-PR measurement) so CI noise never
+#: flakes while a real regression still fails.
+TABLE4_WALL_BUDGET_S = 6.5
+
+#: The micro acceptance bar from the issue.
+MIN_MICRO_SPEEDUP = 1.5
+
+BENCH_PATH = pathlib.Path(__file__).parents[1] / "BENCH_PR4.json"
+
+# iteration-kernel workload: frontier-scale dedup + dense scatter-reduce
+MICRO_ROWS = 4_096
+MICRO_DEGREE = 64          # >= MINMAX_SEGMENT_DENSITY: reduceat regime
+MICRO_FRONTIER = 200_000   # dedup hits per iteration
+MICRO_REPS = 25
+
+
+def _micro_matrix(rng) -> COOMatrix:
+    nnz = MICRO_ROWS * MICRO_DEGREE
+    keys = rng.choice(MICRO_ROWS * MICRO_ROWS, size=nnz, replace=False)
+    keys.sort()
+    return COOMatrix.from_sorted(
+        keys // MICRO_ROWS, keys % MICRO_ROWS,
+        rng.random(nnz), (MICRO_ROWS, MICRO_ROWS),
+    )
+
+
+def _time(fn, reps: int = MICRO_REPS) -> float:
+    fn()  # warm (segment cache, allocator)
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        fn()
+    return (time.perf_counter() - t0) / reps
+
+
+def _micro_pass() -> dict:
+    """Time reduce + dedup under both engine modes on identical data."""
+    rng = np.random.default_rng(4)
+    coo = _micro_matrix(rng)
+    contribs = rng.random(coo.nnz)
+    frontier = rng.integers(0, MICRO_ROWS, MICRO_FRONTIER)
+
+    out = {}
+    for mode in ("fast", "legacy"):
+        set_engine_mode(mode)
+        reduce_s = _time(
+            lambda: eng.row_reduce(MIN_PLUS, coo, contribs, dtype=np.float64)
+        )
+        dedup_s = _time(lambda: eng.unique_indices(frontier, MICRO_ROWS))
+        out[mode] = {
+            "reduce_ms": round(reduce_s * 1e3, 4),
+            "dedup_ms": round(dedup_s * 1e3, 4),
+            "iterations_per_s": round(1.0 / (reduce_s + dedup_s), 1),
+        }
+    set_engine_mode(None)
+
+    # bit-identity of the measured work, one more time, in the bench
+    set_engine_mode("fast")
+    fast_y = eng.row_reduce(MIN_PLUS, coo, contribs, dtype=np.float64)
+    fast_u = eng.unique_indices(frontier, MICRO_ROWS)
+    set_engine_mode("legacy")
+    legacy_y = eng.row_reduce(MIN_PLUS, coo, contribs, dtype=np.float64)
+    legacy_u = eng.unique_indices(frontier, MICRO_ROWS)
+    set_engine_mode(None)
+    assert fast_y.tobytes() == legacy_y.tobytes()
+    assert np.array_equal(fast_u, legacy_u)
+
+    out["speedup"] = {
+        "reduce": round(out["legacy"]["reduce_ms"]
+                        / max(out["fast"]["reduce_ms"], 1e-9), 2),
+        "dedup": round(out["legacy"]["dedup_ms"]
+                       / max(out["fast"]["dedup_ms"], 1e-9), 2),
+        "iteration_throughput": round(
+            out["fast"]["iterations_per_s"]
+            / max(out["legacy"]["iterations_per_s"], 1e-9), 2
+        ),
+    }
+    return out
+
+
+def _table4_config(config: ExperimentConfig) -> ExperimentConfig:
+    if config.scale >= TABLE4_MIN_SCALE:
+        return config
+    return ExperimentConfig(
+        scale=TABLE4_MIN_SCALE,
+        num_dpus=max(config.num_dpus, 2048),
+        seed=config.seed,
+        datasets=config.datasets,
+    )
+
+
+def _table4_wall(t4_config: ExperimentConfig, mode) -> float:
+    set_engine_mode(mode)
+    try:
+        clear_caches()
+        cache = DatasetCache(t4_config)
+        t0 = time.perf_counter()
+        result = run_table4(t4_config, cache)
+        wall = time.perf_counter() - t0
+        assert len(result.rows) == 3 * len(TABLE4_DATASETS)
+        return wall
+    finally:
+        set_engine_mode(None)
+
+
+def test_engine_speed_and_budget(benchmark, config, report_dir):
+    micro = _micro_pass()
+
+    t4_config = _table4_config(config)
+    # interleave fast/legacy runs so load drift hits both sides alike
+    fast_walls, legacy_walls = [], []
+    legacy_walls.append(_table4_wall(t4_config, "legacy"))
+    fast_walls.append(
+        run_once(benchmark, lambda: _table4_wall(t4_config, "fast"))
+    )
+    engine_stats = engine_report()
+    legacy_walls.append(_table4_wall(t4_config, "legacy"))
+    fast_walls.append(_table4_wall(t4_config, "fast"))
+    fast_s, legacy_s = min(fast_walls), min(legacy_walls)
+
+    payload = {
+        "benchmark": "semiring execution engine "
+                     "(segmented reductions + sort-free dedup)",
+        "config": {
+            "scale": t4_config.scale,
+            "num_dpus": t4_config.num_dpus,
+            "datasets": list(TABLE4_DATASETS),
+            "micro": {
+                "rows": MICRO_ROWS,
+                "avg_degree": MICRO_DEGREE,
+                "frontier": MICRO_FRONTIER,
+                "reps": MICRO_REPS,
+            },
+        },
+        "baseline": {
+            "pr3_same_day_table4_wall_s": PR3_TABLE4_WALL_S,
+            "pr3_frozen_table4_wall_s": PR3_FROZEN_TABLE4_WALL_S,
+        },
+        "micro": micro,
+        "now": {
+            "table4_wall_s_fast": round(fast_s, 3),
+            "table4_wall_s_legacy": round(legacy_s, 3),
+            "table4_fast_runs": [round(w, 3) for w in fast_walls],
+            "table4_legacy_runs": [round(w, 3) for w in legacy_walls],
+            "e2e_speedup_vs_legacy": round(legacy_s / fast_s, 3),
+            "e2e_speedup_vs_pr3_same_day": round(
+                PR3_TABLE4_WALL_S / fast_s, 3
+            ),
+        },
+        "engine": engine_stats,
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    (report_dir / "semiring_engine.txt").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    # ---- acceptance -----------------------------------------------------
+    micro_speedup = micro["speedup"]["iteration_throughput"]
+    assert micro_speedup >= MIN_MICRO_SPEEDUP, (
+        f"iteration-kernel speedup {micro_speedup}x is below the "
+        f"{MIN_MICRO_SPEEDUP}x bar (fast={micro['fast']}, "
+        f"legacy={micro['legacy']})"
+    )
+    assert fast_s < TABLE4_WALL_BUDGET_S, (
+        f"run_table4 regressed: {fast_s:.2f}s (budget "
+        f"{TABLE4_WALL_BUDGET_S}s)"
+    )
+    # the engine must not lose to its own legacy mode end-to-end
+    assert fast_s <= legacy_s * 1.05, (
+        f"fast engine slower than legacy end-to-end: "
+        f"{fast_s:.3f}s vs {legacy_s:.3f}s"
+    )
+    # the fast paths actually carried the run
+    assert engine_stats["paths"].get("sum_bincount", 0) > 0
+    assert engine_stats["paths"].get("unique_mask", 0) > 0

@@ -20,6 +20,7 @@ import numpy as np
 
 from ..errors import ReproError
 from ..semiring import MIN_PLUS
+from ..semiring import engine as _engine
 from ..sparse.base import SparseMatrix
 from ..sparse.coo import COOMatrix
 from ..sparse.vector import SparseVector
@@ -149,7 +150,9 @@ def sssp_delta_stepping(
             settled.append(frontier)
         # phase 2: heavy edges once, from everything settled in the bucket
         if heavy_driver is not None and settled:
-            all_settled = np.unique(np.concatenate(settled))
+            all_settled = _engine.unique_indices(
+                np.concatenate(settled), dist.shape[0]
+            )
             relax(heavy_driver, all_settled)
         bucket_index += 1
 

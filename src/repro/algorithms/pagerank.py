@@ -14,6 +14,7 @@ import numpy as np
 
 from ..errors import ReproError
 from ..semiring import PLUS_TIMES
+from ..semiring import engine as _engine
 from ..sparse.base import SparseMatrix
 from ..sparse.vector import SparseVector
 from ..types import DataType
@@ -53,9 +54,10 @@ def pagerank(
         norm, system, num_dpus, fault_plan=fault_plan
     )
 
-    out_strength = np.zeros(n)
     coo = norm.to_coo()
-    np.add.at(out_strength, coo.cols, coo.values.astype(np.float64))
+    out_strength = _engine.reduce_by_index(
+        PLUS_TIMES, coo.cols, coo.values.astype(np.float64), n
+    )
     dangling = out_strength <= 0
 
     rank = np.full(n, 1.0 / n)
@@ -105,16 +107,18 @@ def pagerank_reference(
     """Dense power-iteration reference for validation."""
     n = matrix.nrows
     coo = matrix.to_coo()
-    col_sums = np.zeros(n)
-    np.add.at(col_sums, coo.cols, coo.values.astype(np.float64))
+    col_sums = _engine.reduce_by_index(
+        PLUS_TIMES, coo.cols, coo.values.astype(np.float64), n
+    )
     scale = np.divide(1.0, col_sums, out=np.zeros(n), where=col_sums > 0)
     norm_vals = coo.values.astype(np.float64) * scale[coo.cols]
     dangling = col_sums <= 0
 
     rank = np.full(n, 1.0 / n)
     for _ in range(max_iters):
-        spread = np.zeros(n)
-        np.add.at(spread, coo.rows, norm_vals * rank[coo.cols])
+        spread = _engine.row_reduce(
+            PLUS_TIMES, coo, norm_vals * rank[coo.cols], dtype=np.float64
+        )
         new_rank = (
             (1.0 - alpha) * (spread + float(rank[dangling].sum()) / n)
             + alpha / n

@@ -20,6 +20,7 @@ import numpy as np
 
 from ..errors import ReproError
 from ..semiring import PLUS_TIMES
+from ..semiring import engine as _engine
 from ..sparse.base import SparseMatrix
 from ..sparse.coo import COOMatrix
 from ..sparse.vector import SparseVector
@@ -40,8 +41,9 @@ def normalize_columns(matrix: SparseMatrix) -> COOMatrix:
     all-zero and are handled by teleport redistribution at run time).
     """
     coo = matrix.to_coo()
-    col_sums = np.zeros(coo.ncols)
-    np.add.at(col_sums, coo.cols, coo.values.astype(np.float64))
+    col_sums = _engine.reduce_by_index(
+        PLUS_TIMES, coo.cols, coo.values.astype(np.float64), coo.ncols
+    )
     scale = np.divide(
         1.0, col_sums, out=np.zeros_like(col_sums), where=col_sums > 0
     )
@@ -82,9 +84,10 @@ def ppr(
         norm, system, num_dpus, fault_plan=fault_plan
     )
 
-    out_strength = np.zeros(n)
     coo = norm.to_coo()
-    np.add.at(out_strength, coo.cols, coo.values.astype(np.float64))
+    out_strength = _engine.reduce_by_index(
+        PLUS_TIMES, coo.cols, coo.values.astype(np.float64), n
+    )
     dangling = out_strength <= 0
 
     rank = np.zeros(n, dtype=np.float64)

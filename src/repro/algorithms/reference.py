@@ -13,6 +13,8 @@ from typing import Dict, List
 
 import numpy as np
 
+from ..semiring import PLUS_TIMES
+from ..semiring import engine as _engine
 from ..sparse.base import SparseMatrix
 
 
@@ -73,8 +75,9 @@ def ppr_reference(
     """Personalized PageRank by dense power iteration."""
     n = matrix.nrows
     coo = matrix.to_coo()
-    col_sums = np.zeros(n)
-    np.add.at(col_sums, coo.cols, coo.values.astype(np.float64))
+    col_sums = _engine.reduce_by_index(
+        PLUS_TIMES, coo.cols, coo.values.astype(np.float64), n
+    )
     scale = np.divide(1.0, col_sums, out=np.zeros(n), where=col_sums > 0)
     norm_vals = coo.values.astype(np.float64) * scale[coo.cols]
     dangling = col_sums <= 0
@@ -82,8 +85,11 @@ def ppr_reference(
     rank = np.zeros(n)
     rank[source] = 1.0
     for _ in range(max_iters):
-        spread = np.zeros(n)
-        np.add.at(spread, coo.rows, norm_vals * rank[coo.cols])
+        # the O(nnz) hot loop of the dense power iteration rides the
+        # vectorized engine (sorted rows -> sort-free reduction)
+        spread = _engine.row_reduce(
+            PLUS_TIMES, coo, norm_vals * rank[coo.cols], dtype=np.float64
+        )
         new_rank = (1.0 - alpha) * spread
         new_rank[source] += alpha + (1.0 - alpha) * float(rank[dangling].sum())
         if np.abs(new_rank - rank).sum() < tol:

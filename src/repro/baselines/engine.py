@@ -15,6 +15,13 @@ with platform-specific cost models:
   overhead dominates, which is why the paper's GPU SSSP times are nearly
   dataset-independent (~13 ms).  The model is launch overhead per
   iteration plus a gather-throughput term.
+
+The traces themselves are produced by :mod:`repro.baselines.workload`,
+whose O(nnz) accumulations route through the vectorized semiring
+execution engine (:mod:`repro.semiring.engine`) — the same reduce
+primitive the PIM kernels use, so functional agreement between baseline
+and PIM runs is by construction, and ``REPRO_SEMIRING_ENGINE=legacy``
+flips *both* sides back to ``ufunc.at`` for differential checks.
 """
 
 from __future__ import annotations

@@ -16,6 +16,8 @@ import numpy as np
 
 from ..algorithms.ppr import DEFAULT_ALPHA, DEFAULT_MAX_ITERS, DEFAULT_TOL
 from ..errors import ReproError
+from ..semiring import PLUS_TIMES
+from ..semiring import engine as _engine
 from ..sparse.base import SparseMatrix
 
 
@@ -66,7 +68,7 @@ def bfs_trace(matrix: SparseMatrix, source: int) -> WorkloadTrace:
         edges = int((stops - starts).sum())
         reached = _neighbors(csc, frontier)
         fresh = reached[levels[reached] < 0]
-        fresh = np.unique(fresh)
+        fresh = _engine.unique_indices(fresh, n)
         level += 1
         levels[fresh] = level
         trace.iterations.append(
@@ -118,8 +120,9 @@ def ppr_trace(
     """Power-iteration PPR; every iteration touches all edges."""
     n = matrix.nrows
     coo = matrix.to_coo()
-    col_sums = np.zeros(n)
-    np.add.at(col_sums, coo.cols, coo.values.astype(np.float64))
+    col_sums = _engine.reduce_by_index(
+        PLUS_TIMES, coo.cols, coo.values.astype(np.float64), n
+    )
     scale = np.divide(1.0, col_sums, out=np.zeros(n), where=col_sums > 0)
     norm_vals = coo.values.astype(np.float64) * scale[coo.cols]
     dangling = col_sums <= 0
@@ -128,8 +131,11 @@ def ppr_trace(
     rank[source] = 1.0
     trace = WorkloadTrace("ppr", rank)
     for _ in range(max_iters):
-        spread = np.zeros(n)
-        np.add.at(spread, coo.rows, norm_vals * rank[coo.cols])
+        # same vectorized reduce primitive the PIM kernels use, so the
+        # baseline's answers stay bit-identical to theirs by construction
+        spread = _engine.row_reduce(
+            PLUS_TIMES, coo, norm_vals * rank[coo.cols], dtype=np.float64
+        )
         new_rank = (1.0 - alpha) * spread
         new_rank[source] += alpha + (1.0 - alpha) * float(rank[dangling].sum())
         delta = float(np.abs(new_rank - rank).sum())
@@ -173,7 +179,7 @@ def _relax(csc, frontier: np.ndarray, dist: np.ndarray) -> np.ndarray:
     if not np.any(better):
         return np.empty(0, dtype=np.int64)
     np.minimum.at(dist, heads[better], candidate[better])
-    return np.unique(heads[better])
+    return _engine.unique_indices(heads[better], dist.shape[0])
 
 
 def _excl_cumsum(a: np.ndarray) -> np.ndarray:

@@ -268,16 +268,28 @@ def cached_plan(
 
 
 def cache_stats() -> Dict[str, Dict[str, float]]:
-    """Hit/miss counters of both global caches (for reports/benches)."""
+    """Hit/miss counters of the global caches (for reports/benches).
+
+    ``semiring_engine`` carries the PR 4 execution engine's per-path
+    dispatch counters (fast-path dispatches count as hits) plus its
+    row-segment structure-cache counters, so traces show which reduce
+    path each kernel took.
+    """
+    from .semiring import engine as _engine  # local: engine lazy-imports us
+
     return {
         "plan_cache": PLAN_CACHE.stats.as_dict(),
         "kernel_cache": KERNEL_CACHE.stats.as_dict(),
+        "semiring_engine": _engine.engine_report(),
     }
 
 
 def clear_caches() -> None:
-    """Drop all cached plans/kernels and reset the counters."""
+    """Drop all cached plans/kernels/segments and reset the counters."""
+    from .semiring import engine as _engine  # local: avoids import cycle
+
     PLAN_CACHE.clear()
     KERNEL_CACHE.clear()
     PLAN_CACHE.stats.reset()
     KERNEL_CACHE.stats.reset()
+    _engine.reset_stats()

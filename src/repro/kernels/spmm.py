@@ -19,6 +19,7 @@ from ..errors import KernelError
 from ..cache import cached_plan
 from ..partition import dcoo
 from ..semiring import Semiring
+from ..semiring import engine as _engine
 from ..sparse.base import SparseMatrix
 from ..types import DataType, PhaseBreakdown
 from ..upmem.config import SystemConfig
@@ -101,14 +102,14 @@ class PreparedSpMM(PreparedKernel):
 
         # ---- Kernel: matrix streamed once, semiring work x K ---------------
         coo = self._matrix.to_coo()
-        out = semiring.zeros(
-            self.shape[0] * k,
-            dtype=np.result_type(coo.values.dtype, x_block.dtype),
-        ).reshape(self.shape[0], k)
         contribs = semiring.combine(
             coo.values[:, None], x_block[coo.cols, :]
         )
-        semiring.add.at(out, coo.rows, contribs)
+        # sorted COO rows: segmented engine reduce over all K columns
+        out = _engine.row_reduce(
+            semiring, coo, contribs,
+            dtype=np.result_type(coo.values.dtype, x_block.dtype),
+        )
 
         cost = _spmm_element_cost(
             self.dtype, int(self._in_lens.max()), k

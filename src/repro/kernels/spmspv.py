@@ -33,6 +33,7 @@ from ..errors import KernelError
 from ..partition import colwise, grid2d, rowwise
 from ..partition.base import PartitionPlan
 from ..semiring import Semiring
+from ..semiring import engine as _engine
 from ..sparse.base import SparseMatrix
 from ..sparse.csc import CSCMatrix
 from ..sparse.ops import _ranges_to_flat
@@ -124,13 +125,15 @@ class PreparedSpMSpV(PreparedKernel):
 
         # ---- functional compute + per-DPU activity ------------------------
         rows, cols, vals, x_expanded = self._active_structure(x)
-        dense_out = semiring.zeros(
-            self.shape[0], dtype=np.result_type(vals.dtype, x.values.dtype)
-        )
+        out_dtype = np.result_type(vals.dtype, x.values.dtype)
         if rows.size:
-            semiring.scatter_reduce(
-                dense_out, rows, semiring.combine(vals, x_expanded)
+            # unsorted active rows: vectorized engine reduce (PR 4)
+            dense_out = _engine.reduce_by_index(
+                semiring, rows, semiring.combine(vals, x_expanded),
+                self.shape[0], dtype=out_dtype,
             )
+        else:
+            dense_out = semiring.zeros(self.shape[0], dtype=out_dtype)
         output = SparseVector.from_dense(dense_out, zero=semiring.zero)
 
         dpu_of_entry = self._bucket(rows, cols) if rows.size else np.empty(0, int)
@@ -245,7 +248,7 @@ class PreparedSpMSpV(PreparedKernel):
             return np.zeros(num_dpus)
         # partial outputs: count distinct rows touched per DPU
         keys = dpu_of_entry.astype(np.int64) * self.shape[0] + rows
-        unique_keys = np.unique(keys)
+        unique_keys = _engine.unique_indices(keys)
         dpu_ids = unique_keys // self.shape[0]
         return np.bincount(dpu_ids, minlength=num_dpus).astype(np.float64)
 

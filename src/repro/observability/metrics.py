@@ -46,6 +46,19 @@ METRIC_NAMES = {
     # algorithm loop (histograms / gauges)
     "iteration_seconds": "iteration.seconds",
     "frontier_density": "frontier.density",
+    # semiring execution engine reduce-path dispatches (counters);
+    # one per reduce_by_index call, named by the path taken
+    "engine_sum_bincount": "engine.reduce.sum_bincount",
+    "engine_minmax_reduceat": "engine.reduce.minmax_reduceat",
+    "engine_or_mask": "engine.reduce.or_mask",
+    "engine_fallback": "engine.reduce.fallback",
+    "engine_generic": "engine.reduce.generic",
+    "engine_legacy": "engine.reduce.legacy",
+    # sort-free index dedup (engine.unique_indices)
+    "engine_unique_mask": "engine.reduce.unique_mask",
+    "engine_unique_sorted": "engine.reduce.unique_sorted",
+    "engine_unique_sort": "engine.reduce.unique_sort",
+    "engine_unique_legacy": "engine.reduce.unique_legacy",
 }
 
 

@@ -1,5 +1,15 @@
 """Algebraic semirings for linear-algebraic graph algorithms (Table 1)."""
 
+from .engine import (
+    engine_mode,
+    engine_report,
+    reduce_by_index,
+    reduce_mode,
+    row_reduce,
+    row_segments,
+    set_engine_mode,
+    unique_indices,
+)
 from .semiring import Semiring, validate_semiring
 from .standard import (
     ALGORITHM_SEMIRINGS,
@@ -23,4 +33,12 @@ __all__ = [
     "ALGORITHM_SEMIRINGS",
     "get_semiring",
     "register_semiring",
+    "engine_mode",
+    "set_engine_mode",
+    "engine_report",
+    "reduce_mode",
+    "reduce_by_index",
+    "row_reduce",
+    "row_segments",
+    "unique_indices",
 ]

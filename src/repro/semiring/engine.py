@@ -1,0 +1,469 @@
+"""Vectorized semiring execution engine (PR 4 tentpole).
+
+Every algorithm iteration funnels through one primitive: *scatter-reduce*
+``y[i] (+)= c`` over the matrix row indices — the O(nnz) inner loop of
+``spmv_dense`` / ``spmspv`` executed by every kernel, every baseline and
+every BFS/SSSP/PPR iteration (paper §2.1, §4.1: graph algorithms *are*
+semiring SpMV).  The generic implementation is ``np.ufunc.at``, NumPy's
+unbuffered indexed reduce.  This module replaces it with structure-aware
+segmented reductions wherever that is *bit-identical* and measurably
+faster, and keeps ``ufunc.at`` as the differential oracle (selectable
+via ``REPRO_SEMIRING_ENGINE=legacy``).
+
+Three layers:
+
+**Fast reduce primitives** — dispatched per :class:`Semiring` via its
+``reduce_mode`` (declared on the semiring or inferred from the additive
+ufunc):
+
+``sum``
+    ``np.bincount(indices, weights=contribs)``.  bincount accumulates
+    sequentially in input order with a float64 accumulator — bitwise
+    identical to ``np.add.at`` on a fresh float64 target, and exact for
+    integer values below 2**53 (the overflow caveat is documented in
+    DESIGN.md decision 7).  float32 targets stay on ``ufunc.at``: their
+    in-dtype accumulation cannot be reproduced by bincount.
+``min`` / ``max``
+    ``ufunc.reduceat`` over precomputed segment boundaries when the
+    indices are sorted (min/max are exact and order-independent, so
+    pairwise regrouping cannot change a single bit) *and* the matrix is
+    dense enough per row (``MINMAX_SEGMENT_DENSITY``) — ``reduceat``
+    pays a per-segment cost, so sparse graphs stay on NumPy >= 2's
+    optimized ``ufunc.at``, which is bit-identical anyway.  Unsorted
+    indices stay on ``ufunc.at`` too — measured: the argsort needed to
+    build segments on the fly costs more than it saves.
+``or``
+    Declared by semirings whose additive monoid is OR over a
+    ``{zero, one}`` domain (BFS).  Sorted indices ride the ``max``
+    reduceat path; for unsorted indices a masked-assignment primitive
+    (:func:`or_mask_reduce`) exists but benchmarks *slower* than
+    NumPy >= 2's optimized ``maximum.at`` on this container, so the
+    default dispatch keeps ``ufunc.at`` there (see docs/PERFORMANCE.md
+    for the measurements).
+
+A companion primitive, :func:`unique_indices`, replaces ``np.unique``
+on bounded index domains (frontier dedup, distinct-row counts) with
+O(size + k) boolean masking or O(k) run-boundary dedup — byte-identical
+output at 40-140x the speed; it was the single biggest per-iteration
+cost the end-to-end profile exposed.
+
+**Structure caching** — for SpMV over a fixed matrix the row index
+array is constant across iterations, so :func:`row_segments` computes
+the CSR-style row pointer once per matrix and memoizes it both on the
+COO instance and in a content-keyed LRU (keyed via
+:func:`repro.cache.matrix_fingerprint`), so the structurally-rebound
+matrices produced by PR 1's :class:`~repro.cache.PlanCache` share one
+segment build.  Canonical ``COOMatrix`` rows are already sorted, so no
+sorting ever happens on the iteration path.
+
+**Observability** — every dispatch bumps a per-path counter.  The
+aggregate is exposed through :func:`engine_report` /
+:func:`repro.cache.cache_stats` (key ``"semiring_engine"``) and, when a
+PR 3 observability session is active, through ``engine.reduce.<path>``
+counters in its :class:`~repro.observability.metrics.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional
+
+import numpy as np
+
+from .semiring import Semiring
+
+#: Engine modes: ``fast`` uses the vectorized paths where bit-identical,
+#: ``legacy`` forces ``ufunc.at`` everywhere (the differential oracle).
+FAST = "fast"
+LEGACY = "legacy"
+
+#: Environment escape hatch: ``REPRO_SEMIRING_ENGINE=legacy`` restores
+#: the PR 3 behaviour without touching code.
+ENV_VAR = "REPRO_SEMIRING_ENGINE"
+
+#: Reduce mode inferred from the additive ufunc when the semiring does
+#: not declare one.
+_MODE_BY_UFUNC = {np.add: "sum", np.minimum: "min", np.maximum: "max"}
+
+#: Entries kept in the content-keyed row-segment LRU.
+SEGMENT_CACHE_ENTRIES = 128
+
+#: Minimum average segment length (nnz per output row) for the
+#: ``reduceat`` path to beat ``ufunc.at``.  ``reduceat`` pays a
+#: per-segment setup cost, so on sparse real-world graphs (average
+#: degree ~8) NumPy >= 2's optimized ``ufunc.at`` wins; the measured
+#: crossover on this container is ~24 contributions per segment
+#: (docs/PERFORMANCE.md has the sweep).  Both sides of the gate are
+#: bit-identical — this threshold is purely a speed heuristic.
+MINMAX_SEGMENT_DENSITY = 24.0
+
+#: Mask-based dedup is profitable while the index-domain size stays
+#: within this multiple of the number of indices (beyond it the
+#: O(domain) mask zero/scan outweighs the O(k log k) sort it replaces).
+UNIQUE_MASK_MAX_RATIO = 64
+
+_MODE_OVERRIDE: Optional[str] = None
+_SEGMENTS = None  # lazy _LruDict (repro.cache imports would cycle here)
+_OBS = None  # lazy repro.observability.runtime module
+
+
+class EngineStats:
+    """Per-path dispatch counters plus segment-cache hit/miss counters.
+
+    ``as_dict`` deliberately carries ``hits`` / ``misses`` / ``hit_rate``
+    keys (fast-path dispatches count as hits, fallbacks and legacy
+    dispatches as misses) so the generic cache-report renderers in
+    ``repro.experiments.report`` display it like any other cache.
+    """
+
+    __slots__ = ("paths", "segment_hits", "segment_misses")
+
+    #: Paths counted as vectorized fast-path service.
+    FAST_PATHS = (
+        "sum_bincount", "minmax_reduceat", "or_mask",
+        "unique_mask", "unique_sorted",
+    )
+
+    def __init__(self) -> None:
+        self.paths: Dict[str, int] = {}
+        self.segment_hits = 0
+        self.segment_misses = 0
+
+    def count(self, path: str) -> None:
+        self.paths[path] = self.paths.get(path, 0) + 1
+
+    @property
+    def fast(self) -> int:
+        return sum(self.paths.get(p, 0) for p in self.FAST_PATHS)
+
+    @property
+    def slow(self) -> int:
+        return sum(
+            n for p, n in self.paths.items() if p not in self.FAST_PATHS
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        fast, slow = self.fast, self.slow
+        total = fast + slow
+        return {
+            "mode": engine_mode(),
+            "hits": fast,
+            "misses": slow,
+            "hit_rate": round(fast / total, 4) if total else 0.0,
+            "paths": dict(sorted(self.paths.items())),
+            "segment_hits": self.segment_hits,
+            "segment_misses": self.segment_misses,
+        }
+
+    def reset(self) -> None:
+        self.paths.clear()
+        self.segment_hits = self.segment_misses = 0
+
+
+#: Process-wide dispatch counters (reset by ``repro.cache.clear_caches``).
+STATS = EngineStats()
+
+
+def engine_mode() -> str:
+    """The active engine mode: ``set_engine_mode`` override, else the
+    ``REPRO_SEMIRING_ENGINE`` environment variable, else ``fast``."""
+    if _MODE_OVERRIDE is not None:
+        return _MODE_OVERRIDE
+    mode = os.environ.get(ENV_VAR, FAST).strip().lower()
+    return LEGACY if mode == LEGACY else FAST
+
+
+def set_engine_mode(mode: Optional[str]) -> None:
+    """Force ``fast`` / ``legacy``; ``None`` restores env-var control."""
+    global _MODE_OVERRIDE
+    if mode is not None and mode not in (FAST, LEGACY):
+        raise ValueError(
+            f"engine mode must be {FAST!r} or {LEGACY!r}, got {mode!r}"
+        )
+    _MODE_OVERRIDE = mode
+
+
+def reduce_mode(semiring: Semiring) -> str:
+    """The semiring's reduce mode: declared, else inferred, else generic."""
+    declared = getattr(semiring, "reduce_mode", None)
+    if declared is not None:
+        return declared
+    return _MODE_BY_UFUNC.get(semiring.add, "generic")
+
+
+def engine_report() -> Dict[str, object]:
+    """Dispatch counters in cache-report shape (see :class:`EngineStats`)."""
+    return STATS.as_dict()
+
+
+def reset_stats() -> None:
+    """Zero the dispatch counters and drop the segment LRU."""
+    STATS.reset()
+    if _SEGMENTS is not None:
+        _SEGMENTS.clear()
+
+
+# ---------------------------------------------------------------------------
+# structure caching
+# ---------------------------------------------------------------------------
+
+
+def _segment_lru():
+    global _SEGMENTS
+    if _SEGMENTS is None:
+        from ..cache import _LruDict  # lazy: cache -> sparse -> semiring
+
+        _SEGMENTS = _LruDict(SEGMENT_CACHE_ENTRIES)
+    return _SEGMENTS
+
+
+def row_segments(coo) -> np.ndarray:
+    """CSR-style row pointer of a canonical (row-sorted) COO matrix.
+
+    Memoized on the instance (``_row_segments`` slot) and in a
+    content-keyed LRU so the value-rebound copies minted by the plan
+    cache share one build.  When the matrix already carries a memoized
+    CSR conversion its ``row_ptr`` is reused directly — ``indptr`` *is*
+    the segment boundary array, no sorting anywhere.
+    """
+    seg = getattr(coo, "_row_segments", None)
+    if seg is not None:
+        STATS.segment_hits += 1
+        return seg
+    from ..cache import matrix_fingerprint  # lazy import (cycle)
+
+    structure = matrix_fingerprint(coo)[0]
+    lru = _segment_lru()
+    seg = lru.touch(structure)
+    if seg is None:
+        csr = getattr(coo, "_csr", None)
+        if csr is not None:
+            seg = csr.row_ptr
+        else:
+            counts = np.bincount(coo.rows, minlength=coo.nrows)
+            seg = np.zeros(coo.nrows + 1, dtype=np.int64)
+            np.cumsum(counts, out=seg[1:])
+        lru.store(structure, seg)
+        STATS.segment_misses += 1
+    else:
+        STATS.segment_hits += 1
+    try:
+        coo._row_segments = seg
+    except AttributeError:  # pragma: no cover - foreign COO-likes
+        pass
+    return seg
+
+
+# ---------------------------------------------------------------------------
+# fast reduce primitives
+# ---------------------------------------------------------------------------
+
+
+def _count(path: str) -> None:
+    STATS.count(path)
+    global _OBS
+    if _OBS is None:
+        from ..observability import runtime as _runtime  # lazy (cycle)
+
+        _OBS = _runtime
+    session = _OBS.ACTIVE
+    if session is not None and session.metrics is not None:
+        session.metrics.counter("engine.reduce." + path).inc()
+
+
+def _legacy(semiring: Semiring, y, indices, contribs, path: str):
+    _count(path)
+    semiring.add.at(y, indices, contribs)
+    return y
+
+
+def _sum_ok(y: np.ndarray, semiring: Semiring) -> bool:
+    """bincount reproduces ``add.at`` bit-for-bit on this target?
+
+    Requires additive identity 0, and a float64 or integer target:
+    bincount's float64 accumulator matches float64 ``add.at`` exactly
+    and is exact for integer sums below 2**53; float32's in-dtype
+    accumulation and bool's saturating OR cannot be reproduced.
+    """
+    if semiring.zero != 0:
+        return False
+    kind = y.dtype.kind
+    return (kind == "f" and y.dtype.itemsize == 8) or kind in "iu"
+
+
+def or_mask_reduce(y: np.ndarray, indices, contribs, semiring: Semiring):
+    """Boolean-masking OR primitive over a declared ``{zero, one}`` domain.
+
+    ``y[i] OR= c`` degenerates to "set ``one`` wherever any contribution
+    is non-zero".  Bit-identical to ``maximum.at`` *only* when every
+    contribution is ``zero`` or ``one`` — which semirings declaring
+    ``reduce_mode='or'`` guarantee by construction (BFS: unit weights
+    AND unit frontier).  Kept as a primitive and exercised by the
+    equivalence suite; the default dispatch prefers ``maximum.at`` for
+    unsorted indices because NumPy >= 2's ``ufunc.at`` benchmarks faster
+    than the mask build (docs/PERFORMANCE.md).
+    """
+    hit = indices[contribs != semiring.zero]
+    y[hit] = y.dtype.type(semiring.one)
+    return y
+
+
+def reduce_by_index(
+    semiring: Semiring,
+    indices: np.ndarray,
+    contribs: np.ndarray,
+    size: int,
+    dtype=None,
+    segments: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """``y = identity(size); y[indices] (+)= contribs`` — vectorized.
+
+    Bit-identical to building a fresh identity vector with
+    ``semiring.zeros`` and applying ``semiring.add.at`` (the legacy
+    path), for every standard semiring and dtype; the fast paths are
+    only taken where that contract provably holds.
+
+    Parameters
+    ----------
+    segments:
+        Optional CSR-style boundary array (``len == size + 1``) valid
+        *only* when ``indices`` is sorted ascending with ``segments[i]``
+        delimiting the contributions of output ``i`` (e.g.
+        :func:`row_segments` of a canonical COO whose ``rows`` are the
+        indices).  Enables the sort-free ``reduceat`` path for
+        min/max/or monoids.
+    contribs:
+        1-D, or 2-D ``(len(indices), k)`` for blocked SpMM reductions.
+    """
+    contribs = np.asarray(contribs)
+    if dtype is None:
+        dtype = contribs.dtype
+    if contribs.ndim == 2:
+        k = contribs.shape[1]
+        y = semiring.zeros(size * k, dtype=dtype).reshape(size, k)
+    else:
+        y = semiring.zeros(size, dtype=dtype)
+    if contribs.shape[0] == 0:
+        return y
+    indices = np.asarray(indices)
+    if engine_mode() == LEGACY:
+        return _legacy(semiring, y, indices, contribs, "legacy")
+    mode = reduce_mode(semiring)
+    if mode == "sum":
+        return _sum_fast(semiring, y, indices, contribs, size)
+    if mode in ("min", "max", "or"):
+        if segments is not None:
+            return _segmented_fast(semiring, y, contribs, segments)
+        # unsorted min/max/or: measured slower to sort or mask than
+        # NumPy >= 2's optimized ufunc.at — fall back deliberately
+        return _legacy(semiring, y, indices, contribs, "fallback")
+    return _legacy(semiring, y, indices, contribs, "generic")
+
+
+def _sum_fast(semiring, y, indices, contribs, size):
+    if not _sum_ok(y, semiring):
+        return _legacy(semiring, y, indices, contribs, "fallback")
+    if contribs.ndim == 2:
+        # per-column bincount: same sequential input-order accumulation
+        # per output column as 2-D add.at, k small for blocked SpMM
+        for j in range(y.shape[1]):
+            summed = np.bincount(
+                indices, weights=contribs[:, j], minlength=size
+            )
+            y[:, j] = summed if y.dtype == np.float64 \
+                else summed.astype(y.dtype)
+        _count("sum_bincount")
+        return y
+    summed = np.bincount(indices, weights=contribs, minlength=size)
+    _count("sum_bincount")
+    if y.dtype == np.float64:
+        return summed
+    return summed.astype(y.dtype)
+
+
+def _segmented_fast(semiring, y, contribs, segments):
+    """Grouped ``reduceat`` over precomputed sorted-row boundaries.
+
+    Empty segments have equal consecutive boundaries, so the start of
+    the next *non-empty* segment always equals the end of the current
+    one: ``reduceat`` over the non-empty starts reduces exactly one
+    segment per output and the identity rows are never touched.
+    min/max are exact and order-independent, so the regrouping is
+    bit-identical to ``ufunc.at``.
+    """
+    nonempty = segments[1:] > segments[:-1]
+    starts = segments[:-1][nonempty]
+    if starts.size:
+        reduced = semiring.add.reduceat(contribs, starts, axis=0)
+        y[nonempty] = reduced
+    _count("minmax_reduceat")
+    return y
+
+
+def row_reduce(
+    semiring: Semiring,
+    coo,
+    contribs: np.ndarray,
+    dtype=None,
+) -> np.ndarray:
+    """Scatter-reduce ``contribs`` over ``coo.rows`` into a fresh vector.
+
+    The SpMV-shaped entry point: canonical ``COOMatrix`` rows are sorted,
+    so min/max/or monoids get the cached-segment ``reduceat`` path with
+    zero per-iteration sorting — but only when the matrix is dense
+    enough per row for ``reduceat`` to win (``MINMAX_SEGMENT_DENSITY``);
+    sparser matrices deliberately fall back to NumPy's optimized
+    ``ufunc.at``, which is bit-identical.  Legacy mode skips segment
+    building entirely.
+    """
+    segments = None
+    if (
+        engine_mode() == FAST
+        and reduce_mode(semiring) in ("min", "max", "or")
+        and coo.nnz >= MINMAX_SEGMENT_DENSITY * max(coo.nrows, 1)
+    ):
+        segments = row_segments(coo)
+    return reduce_by_index(
+        semiring, coo.rows, contribs, coo.nrows,
+        dtype=dtype, segments=segments,
+    )
+
+
+def unique_indices(indices: np.ndarray, size: Optional[int] = None) -> np.ndarray:
+    """Sorted unique of non-negative integer indices — sort-free.
+
+    Drop-in for ``np.unique`` on index arrays (the frontier-dedup step
+    of every BFS/SSSP trace iteration and the per-DPU distinct-row
+    count in SpMSpV output sizing), with the structure-aware paths:
+
+    * ``size`` given (all indices in ``[0, size)``): O(size + k)
+      boolean masking instead of an O(k log k) sort — measured ~40x
+      faster at frontier scale.  Used only while ``size`` stays within
+      ``UNIQUE_MASK_MAX_RATIO`` of ``k`` so tiny inputs over huge
+      domains don't pay an O(domain) scan.
+    * already-sorted input (common when indices derive from canonical
+      structures): O(k) run-boundary dedup after an O(k) sortedness
+      check.
+    * anything else, and always in legacy mode: ``np.unique``.
+
+    Every path returns the same values in the same (ascending) order
+    and the input's dtype — bit-identical to ``np.unique``.
+    """
+    indices = np.asarray(indices)
+    if indices.size == 0 or engine_mode() == LEGACY:
+        if indices.size:
+            _count("unique_legacy")
+        return np.unique(indices)
+    if size is not None and size <= UNIQUE_MASK_MAX_RATIO * indices.size:
+        _count("unique_mask")
+        mask = np.zeros(size, dtype=bool)
+        mask[indices] = True
+        return np.flatnonzero(mask).astype(indices.dtype, copy=False)
+    if bool((indices[1:] >= indices[:-1]).all()):
+        _count("unique_sorted")
+        keep = np.empty(indices.size, dtype=bool)
+        keep[0] = True
+        np.not_equal(indices[1:], indices[:-1], out=keep[1:])
+        return indices[keep]
+    _count("unique_sort")
+    return np.unique(indices)

@@ -11,7 +11,7 @@ algorithm.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
@@ -40,6 +40,13 @@ class Semiring:
     commutative_multiply:
         Whether ``multiply`` commutes (true for every semiring the paper
         uses; recorded for completeness).
+    reduce_mode:
+        Optional declaration of the additive monoid's reduction class
+        for :mod:`repro.semiring.engine` (``"sum"``, ``"min"``,
+        ``"max"``, ``"or"`` or ``"generic"``).  ``None`` (the default)
+        lets the engine infer the mode from the ``add`` ufunc.
+        Declaring ``"or"`` additionally asserts the semiring's value
+        domain is ``{zero, one}`` (BFS), enabling masking shortcuts.
     """
 
     name: str
@@ -48,6 +55,7 @@ class Semiring:
     zero: float
     one: float
     commutative_multiply: bool = True
+    reduce_mode: Optional[str] = None
 
     # -- elementwise API used by the kernels ---------------------------------
 
@@ -56,10 +64,24 @@ class Semiring:
         return self.multiply(np.asarray(a), np.asarray(b))
 
     def reduce(self, values: np.ndarray):
-        """``(+)``-reduction of an array; ``zero`` if empty."""
+        """``(+)``-reduction of an array; a dtype-correct ``zero`` if empty.
+
+        The empty case returns ``values.dtype.type(zero)`` — not the
+        Python-float ``zero`` — so integer/bool pipelines are never
+        silently promoted to float by an empty frontier.  Infinite
+        identities that an integer dtype cannot represent are returned
+        as float64, mirroring :meth:`zeros`.
+        """
         values = np.asarray(values)
         if values.size == 0:
-            return self.zero
+            dtype = values.dtype
+            if (
+                isinstance(self.zero, float)
+                and np.isinf(self.zero)
+                and not np.issubdtype(dtype, np.floating)
+            ):
+                dtype = np.dtype(np.float64)
+            return dtype.type(self.zero)
         return self.add.reduce(values)
 
     def scatter_reduce(self, target: np.ndarray, indices: np.ndarray, contribs) -> None:

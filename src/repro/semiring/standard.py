@@ -36,6 +36,9 @@ BOOLEAN_OR_AND = Semiring(
     multiply=np.minimum,
     zero=0,
     one=1,
+    # declares the {0, 1} value domain: the execution engine may treat
+    # the additive monoid as OR (masking / segmented-max shortcuts)
+    reduce_mode="or",
 )
 
 #: Tropical (min, +) over R union {+inf} — SSSP relaxation.

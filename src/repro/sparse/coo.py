@@ -31,6 +31,7 @@ class COOMatrix(SparseMatrix):
 
     __slots__ = (
         "rows", "cols", "values", "shape", "_fingerprint", "_csr", "_csc",
+        "_row_segments",
     )
 
     def __init__(self, rows, cols, values, shape: Tuple[int, int]) -> None:
@@ -61,6 +62,7 @@ class COOMatrix(SparseMatrix):
         self._fingerprint = None
         self._csr = None
         self._csc = None
+        self._row_segments = None
 
     # -- constructors --------------------------------------------------------
 
@@ -100,6 +102,7 @@ class COOMatrix(SparseMatrix):
         self._fingerprint = None
         self._csr = None
         self._csc = None
+        self._row_segments = None
         return self
 
     @classmethod
@@ -188,8 +191,9 @@ class COOMatrix(SparseMatrix):
             # several variants and should pay the pointer build once.
             return self._csr
         row_ptr = np.zeros(self.nrows + 1, dtype=np.int64)
-        np.add.at(row_ptr, self.rows + 1, 1)
-        np.cumsum(row_ptr, out=row_ptr)
+        np.cumsum(
+            np.bincount(self.rows, minlength=self.nrows), out=row_ptr[1:]
+        )
         # entries are already row-major sorted; the internal invariant
         # makes re-validation in the CSR constructor redundant
         self._csr = CSRMatrix(
@@ -209,8 +213,9 @@ class COOMatrix(SparseMatrix):
         # full ``lexsort((rows, cols))`` at roughly half the cost.
         order = np.argsort(self.cols, kind="stable")
         col_ptr = np.zeros(self.ncols + 1, dtype=np.int64)
-        np.add.at(col_ptr, self.cols + 1, 1)
-        np.cumsum(col_ptr, out=col_ptr)
+        np.cumsum(
+            np.bincount(self.cols, minlength=self.ncols), out=col_ptr[1:]
+        )
         self._csc = CSCMatrix(
             col_ptr, self.rows[order], self.values[order], self.shape,
             validate=False,
@@ -283,12 +288,8 @@ class COOMatrix(SparseMatrix):
 
     def row_counts(self) -> np.ndarray:
         """Non-zeros per row (out of the stored orientation)."""
-        counts = np.zeros(self.nrows, dtype=np.int64)
-        np.add.at(counts, self.rows, 1)
-        return counts
+        return np.bincount(self.rows, minlength=self.nrows)
 
     def col_counts(self) -> np.ndarray:
         """Non-zeros per column."""
-        counts = np.zeros(self.ncols, dtype=np.int64)
-        np.add.at(counts, self.cols, 1)
-        return counts
+        return np.bincount(self.cols, minlength=self.ncols)

@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..semiring import PLUS_TIMES, Semiring
+from ..semiring import engine as _engine
 from .base import SparseMatrix
 from .vector import SparseVector
 
@@ -28,10 +29,12 @@ def spmv_dense(
     matrix._check_vector(len(x))
     x = np.asarray(x)
     coo = matrix.to_coo()
-    y = semiring.zeros(matrix.nrows, dtype=_result_dtype(coo.values, x))
     contribs = semiring.combine(coo.values, x[coo.cols])
-    semiring.scatter_reduce(y, coo.rows, contribs)
-    return y
+    # canonical COO rows are sorted: the engine reuses the matrix's
+    # cached row segments and reduces without ufunc.at (PR 4)
+    return _engine.row_reduce(
+        semiring, coo, contribs, dtype=_result_dtype(coo.values, x)
+    )
 
 
 def spmspv(
@@ -46,9 +49,7 @@ def spmspv(
     """
     matrix._check_vector(x.size)
     csc = matrix.to_csc()
-    dense_out = semiring.zeros(
-        matrix.nrows, dtype=_result_dtype(csc.values, x.values)
-    )
+    out_dtype = _result_dtype(csc.values, x.values)
     starts, stops = csc.active_slices(x.indices)
     lengths = stops - starts
     if lengths.sum() > 0:
@@ -58,7 +59,14 @@ def spmspv(
         vals = csc.values[flat]
         x_per_entry = np.repeat(x.values, lengths)
         contribs = semiring.combine(vals, x_per_entry)
-        semiring.scatter_reduce(dense_out, rows, contribs)
+        # active-column rows are unsorted: the engine picks the
+        # order-insensitive fast path (bincount for sums) or falls
+        # back to ufunc.at where bit-identity demands it
+        dense_out = _engine.reduce_by_index(
+            semiring, rows, contribs, matrix.nrows, dtype=out_dtype
+        )
+    else:
+        dense_out = semiring.zeros(matrix.nrows, dtype=out_dtype)
     return SparseVector.from_dense(dense_out, zero=semiring.zero)
 
 

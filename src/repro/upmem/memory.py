@@ -117,6 +117,28 @@ class Mram(_BumpAllocator):
             )
         self._data[name] = np.ascontiguousarray(array)
 
+    def put(self, name: str, array: np.ndarray) -> None:
+        """Store-or-replace in one call — the host's batch-transfer path.
+
+        Equivalent to ``store`` for a new region and ``replace`` for an
+        existing one, but with a single allocation lookup and no
+        ``ascontiguousarray`` call for already-contiguous payloads.
+        :class:`~repro.upmem.host.DpuSet` calls this once per DPU per
+        transfer leg, so on a 2,048-DPU scatter the saved bookkeeping is
+        2,048 dict probes + 2,048 no-op contiguity copies per region.
+        """
+        allocation = self.allocations.get(name)
+        if allocation is None:
+            self.store(name, array)
+            return
+        if array.nbytes > allocation.size:
+            raise MramOverflowError(
+                f"replacement for {name!r} exceeds its reserved region"
+            )
+        self._data[name] = (
+            array if array.flags.c_contiguous else np.ascontiguousarray(array)
+        )
+
     def reset(self) -> None:
         super().reset()
         self._data.clear()

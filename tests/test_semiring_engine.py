@@ -1,0 +1,483 @@
+"""Differential equivalence suite for the vectorized semiring engine.
+
+PR 4 replaces the generic ``np.ufunc.at`` scatter-reduce with
+structure-aware fast paths (``bincount`` for sums, ``reduceat`` over
+cached segments for min/max/or).  The engine's contract is *bitwise*
+equivalence with the legacy path on a fresh identity target; this suite
+enforces it with >= 200 seeded random cases per standard semiring,
+crossing:
+
+* index patterns — unsorted with duplicates, sorted with duplicates
+  (and cached segments), empty, all-one-target, and no-contribution
+  outputs interleaved with heavy collision outputs;
+* dtypes — int32, float32, float64 and bool;
+* both engine entry points — ``reduce_by_index`` (with and without
+  segments) and the matrix-level ``row_reduce``.
+
+Every assertion message carries the case seed so a failure reproduces
+with ``_engine_case(seed, semiring_name)`` (same style as the PR 3
+differential oracle suite in ``test_properties.py``).
+"""
+
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.semiring import (
+    BOOLEAN_OR_AND,
+    MAX_MIN,
+    MIN_PLUS,
+    PLUS_TIMES,
+    Semiring,
+)
+from repro.semiring import engine as eng
+from repro.sparse import COOMatrix
+
+#: Seeded cases per semiring (x4 semirings = 960 total, >= 200 required).
+CASES_PER_SEMIRING = 240
+
+#: dtype pool; bool is swapped for int32 on semirings whose identities
+#: cannot live in bool (min_plus/max_min use +-inf).
+DTYPES = (np.int32, np.float32, np.float64, np.bool_)
+
+SEMIRINGS = {
+    "plus_times": PLUS_TIMES,
+    "boolean_or_and": BOOLEAN_OR_AND,
+    "min_plus": MIN_PLUS,
+    "max_min": MAX_MIN,
+}
+
+
+def _seed_base(name: str) -> int:
+    """Stable per-semiring seed base (``hash`` is process-randomized)."""
+    return zlib.crc32(("engine:" + name).encode()) % 1_000_000
+
+
+def _engine_case(seed: int, semiring_name: str):
+    """Deterministically regenerate case ``seed`` for one semiring.
+
+    Returns ``(indices, contribs, size, sorted_flag)``; ``indices`` may
+    be empty, unsorted, duplicated, or concentrated on few outputs.
+    """
+    semiring = SEMIRINGS[semiring_name]
+    rng = np.random.default_rng(seed)
+    size = int(rng.integers(1, 80))
+    dtype = np.dtype(DTYPES[seed % len(DTYPES)])
+    if dtype == np.bool_ and isinstance(semiring.zero, float) \
+            and np.isinf(semiring.zero):
+        dtype = np.dtype(np.int32)  # bool cannot hold an inf identity
+    pattern = seed % 5
+    if pattern == 0:
+        nnz = 0
+    elif pattern == 1:
+        nnz = int(rng.integers(1, 4))          # nearly empty
+    elif pattern == 2:
+        nnz = int(rng.integers(size, 4 * size + 1))  # heavy duplicates
+    else:
+        nnz = int(rng.integers(1, 2 * size + 1))
+    indices = rng.integers(0, size, nnz)
+    if pattern == 2:
+        # collision-heavy: squeeze all contributions onto a few outputs
+        indices = indices % max(1, size // 4)
+    is_sorted = bool(seed % 2)
+    if is_sorted:
+        indices = np.sort(indices)
+    if semiring_name == "boolean_or_and":
+        # declared {zero, one} domain (the 'or' reduce-mode contract)
+        contribs = rng.integers(0, 2, nnz).astype(dtype)
+    elif dtype == np.bool_:
+        contribs = rng.integers(0, 2, nnz).astype(dtype)
+    else:
+        contribs = rng.integers(1, 10, nnz).astype(dtype)
+    return indices.astype(np.int64), contribs, size, is_sorted
+
+
+def _segments_of(indices: np.ndarray, size: int) -> np.ndarray:
+    counts = np.bincount(indices, minlength=size) if indices.size \
+        else np.zeros(size, dtype=np.int64)
+    seg = np.zeros(size + 1, dtype=np.int64)
+    np.cumsum(counts, out=seg[1:])
+    return seg
+
+
+def _legacy_reduce(semiring: Semiring, indices, contribs, size, dtype):
+    y = semiring.zeros(size, dtype=dtype)
+    if contribs.shape[0]:
+        semiring.add.at(y, indices, contribs)
+    return y
+
+
+def _assert_bit_identical(fast, legacy, msg):
+    assert fast.dtype == legacy.dtype, f"{msg}: dtype {fast.dtype} != {legacy.dtype}"
+    assert fast.shape == legacy.shape, f"{msg}: shape {fast.shape} != {legacy.shape}"
+    assert fast.tobytes() == legacy.tobytes(), (
+        f"{msg}: outputs differ bitwise "
+        f"(max |delta| where comparable: "
+        f"{np.max(np.abs(fast.astype(np.float64) - legacy.astype(np.float64))) if fast.size else 0})"
+    )
+
+
+@pytest.fixture(autouse=True)
+def _restore_engine_mode():
+    # Pin fast mode so path-dispatch assertions hold even when the
+    # suite itself runs under REPRO_SEMIRING_ENGINE=legacy (the CI
+    # differential leg); tests that need legacy set it explicitly.
+    eng.set_engine_mode("fast")
+    yield
+    eng.set_engine_mode(None)
+
+
+@pytest.mark.parametrize("semiring_name", sorted(SEMIRINGS))
+def test_engine_bitwise_equivalent_to_legacy(semiring_name):
+    """240 seeded cases per semiring: every fast path == ufunc.at bitwise."""
+    semiring = SEMIRINGS[semiring_name]
+    base = _seed_base(semiring_name)
+    fast_paths_taken = set()
+    for case in range(CASES_PER_SEMIRING):
+        seed = base + case
+        indices, contribs, size, is_sorted = _engine_case(seed, semiring_name)
+        legacy = _legacy_reduce(
+            semiring, indices, contribs, size, contribs.dtype
+        )
+        before = dict(eng.STATS.paths)
+        eng.set_engine_mode("fast")
+        fast = eng.reduce_by_index(
+            semiring, indices, contribs, size, dtype=contribs.dtype
+        )
+        if is_sorted:
+            seg = _segments_of(indices, size)
+            fast_seg = eng.reduce_by_index(
+                semiring, indices, contribs, size,
+                dtype=contribs.dtype, segments=seg,
+            )
+            _assert_bit_identical(
+                fast_seg, legacy,
+                f"seed={seed} semiring={semiring_name} path=segments",
+            )
+        eng.set_engine_mode("legacy")
+        via_engine_legacy = eng.reduce_by_index(
+            semiring, indices, contribs, size, dtype=contribs.dtype
+        )
+        eng.set_engine_mode(None)
+        for path, n in eng.STATS.paths.items():
+            if n > before.get(path, 0):
+                fast_paths_taken.add(path)
+        _assert_bit_identical(
+            fast, legacy, f"seed={seed} semiring={semiring_name} path=auto"
+        )
+        _assert_bit_identical(
+            via_engine_legacy, legacy,
+            f"seed={seed} semiring={semiring_name} path=legacy",
+        )
+    # the sweep must actually exercise a vectorized path (not all fallback)
+    assert fast_paths_taken & set(eng.EngineStats.FAST_PATHS), (
+        f"{semiring_name}: no fast path taken in {CASES_PER_SEMIRING} cases "
+        f"(paths seen: {sorted(fast_paths_taken)})"
+    )
+
+
+@pytest.mark.parametrize("semiring_name", sorted(SEMIRINGS))
+def test_row_reduce_matches_legacy_on_matrices(semiring_name):
+    """Matrix-level entry point: cached segments across repeat iterations."""
+    semiring = SEMIRINGS[semiring_name]
+    base = _seed_base(semiring_name) + 10_000
+    for case in range(25):
+        seed = base + case
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(5, 40))
+        mask = rng.random((n, n)) < 0.25
+        values = np.where(mask, rng.integers(1, 10, (n, n)), 0)
+        if semiring_name == "boolean_or_and":
+            values = np.where(mask, 1, 0)
+        matrix = COOMatrix.from_dense(values.astype(np.int32))
+        coo = matrix.to_coo()
+        contribs = coo.values.astype(np.float64)
+        legacy = _legacy_reduce(
+            semiring, coo.rows, contribs, n, np.float64
+        )
+        for repeat in range(3):  # 2nd/3rd iterations hit cached segments
+            fast = eng.row_reduce(semiring, coo, contribs, dtype=np.float64)
+            _assert_bit_identical(
+                fast, legacy,
+                f"seed={seed} semiring={semiring_name} repeat={repeat}",
+            )
+
+
+def test_or_mask_primitive_matches_maximum_at():
+    """The masking primitive itself (kept for {0,1} domains) is exact."""
+    for seed in range(50):
+        rng = np.random.default_rng(seed)
+        size = int(rng.integers(1, 60))
+        nnz = int(rng.integers(0, 3 * size + 1))
+        indices = rng.integers(0, size, nnz)
+        contribs = rng.integers(0, 2, nnz).astype(np.int32)
+        legacy = _legacy_reduce(
+            BOOLEAN_OR_AND, indices, contribs, size, np.int32
+        )
+        fast = eng.or_mask_reduce(
+            BOOLEAN_OR_AND.zeros(size, np.int32), indices, contribs,
+            BOOLEAN_OR_AND,
+        )
+        _assert_bit_identical(fast, legacy, f"seed={seed} path=or_mask")
+
+
+def test_reduce_by_index_2d_blocked():
+    """2-D (SpMM-shaped) contributions: per-column bit-identity."""
+    for seed in range(30):
+        rng = np.random.default_rng(seed)
+        size = int(rng.integers(2, 40))
+        nnz = int(rng.integers(0, 3 * size))
+        k = int(rng.integers(1, 6))
+        indices = np.sort(rng.integers(0, size, nnz)).astype(np.int64)
+        contribs = rng.integers(1, 9, (nnz, k)).astype(np.float64)
+        seg = _segments_of(indices, size)
+        for semiring in (PLUS_TIMES, MIN_PLUS, MAX_MIN):
+            y = semiring.zeros(size * k, np.float64).reshape(size, k)
+            if nnz:
+                semiring.add.at(y, indices, contribs)
+            fast = eng.reduce_by_index(
+                semiring, indices, contribs, size,
+                dtype=np.float64, segments=seg,
+            )
+            _assert_bit_identical(
+                fast, y, f"seed={seed} semiring={semiring.name} 2d"
+            )
+
+
+class TestEngineDispatch:
+    """The declared dispatch matrix is actually what runs."""
+
+    def _path_taken(self, fn):
+        before = dict(eng.STATS.paths)
+        fn()
+        after = eng.STATS.paths
+        return {p for p in after if after[p] > before.get(p, 0)}
+
+    def test_sum_float64_uses_bincount(self):
+        idx = np.array([0, 2, 2, 1], dtype=np.int64)
+        c = np.ones(4)
+        paths = self._path_taken(
+            lambda: eng.reduce_by_index(PLUS_TIMES, idx, c, 3)
+        )
+        assert "sum_bincount" in paths
+
+    def test_sum_float32_falls_back(self):
+        """float32 accumulates in-dtype under add.at; bincount cannot
+        reproduce that, so the engine must not try."""
+        idx = np.array([0, 0, 1], dtype=np.int64)
+        c = np.ones(3, dtype=np.float32)
+        paths = self._path_taken(
+            lambda: eng.reduce_by_index(PLUS_TIMES, idx, c, 2)
+        )
+        assert "fallback" in paths
+
+    def test_min_with_segments_uses_reduceat(self):
+        idx = np.array([0, 0, 2], dtype=np.int64)
+        c = np.array([3.0, 1.0, 2.0])
+        seg = _segments_of(idx, 3)
+        paths = self._path_taken(
+            lambda: eng.reduce_by_index(
+                MIN_PLUS, idx, c, 3, segments=seg
+            )
+        )
+        assert "minmax_reduceat" in paths
+
+    def test_legacy_mode_forces_ufunc_at(self):
+        eng.set_engine_mode("legacy")
+        try:
+            idx = np.array([0, 1], dtype=np.int64)
+            paths = self._path_taken(
+                lambda: eng.reduce_by_index(PLUS_TIMES, idx, np.ones(2), 2)
+            )
+            assert paths == {"legacy"}
+        finally:
+            eng.set_engine_mode(None)
+
+    def test_generic_semiring_falls_back(self):
+        odd = Semiring(
+            name="logical-xor-and", add=np.logical_xor,
+            multiply=np.logical_and, zero=0, one=1,
+        )
+        idx = np.array([0, 0, 1], dtype=np.int64)
+        c = np.array([True, True, True])
+        legacy = _legacy_reduce(odd, idx, c, 2, np.bool_)
+        paths = self._path_taken(
+            lambda: eng.reduce_by_index(odd, idx, c, 2, dtype=np.bool_)
+        )
+        assert "generic" in paths
+        assert np.array_equal(
+            eng.reduce_by_index(odd, idx, c, 2, dtype=np.bool_), legacy
+        )
+
+    def test_mode_override_and_env_validation(self):
+        with pytest.raises(ValueError):
+            eng.set_engine_mode("turbo")
+        eng.set_engine_mode("legacy")
+        assert eng.engine_mode() == "legacy"
+        eng.set_engine_mode(None)
+        assert eng.engine_mode() in ("fast", "legacy")
+
+    def test_env_escape_hatch(self, monkeypatch):
+        eng.set_engine_mode(None)  # env only wins without an override
+        monkeypatch.setenv(eng.ENV_VAR, "legacy")
+        assert eng.engine_mode() == "legacy"
+        monkeypatch.setenv(eng.ENV_VAR, "fast")
+        assert eng.engine_mode() == "fast"
+
+
+class TestStructureCache:
+    def test_segments_match_csr_indptr(self):
+        rng = np.random.default_rng(3)
+        matrix = COOMatrix.from_dense(
+            ((rng.random((30, 30)) < 0.2) * 1).astype(np.int32)
+        )
+        coo = matrix.to_coo()
+        seg = eng.row_segments(coo)
+        assert np.array_equal(seg, matrix.to_csr().row_ptr)
+
+    def test_instance_memo_and_content_key(self):
+        from repro.cache import clear_caches
+
+        clear_caches()
+        rng = np.random.default_rng(4)
+        dense = ((rng.random((25, 25)) < 0.3) * 1).astype(np.int32)
+        a = COOMatrix.from_dense(dense)
+        seg_a = eng.row_segments(a)
+        assert eng.STATS.segment_misses == 1
+        # same instance: memo hit, no second build
+        assert eng.row_segments(a) is seg_a
+        # value-rebound twin (same structure, new instance): content hit
+        twin = COOMatrix.from_sorted(
+            a.rows, a.cols, a.values * 2, a.shape
+        )
+        assert eng.row_segments(twin) is seg_a
+        assert eng.STATS.segment_misses == 1
+        assert eng.STATS.segment_hits >= 2
+
+    def test_stats_exposed_via_cache_stats(self):
+        from repro.cache import cache_stats, clear_caches
+
+        clear_caches()
+        report = cache_stats()
+        assert "semiring_engine" in report
+        engine_stats = report["semiring_engine"]
+        assert engine_stats["hits"] == 0 and engine_stats["misses"] == 0
+        eng.reduce_by_index(
+            PLUS_TIMES, np.array([0], dtype=np.int64), np.ones(1), 1
+        )
+        after = cache_stats()["semiring_engine"]
+        assert after["hits"] + after["misses"] == 1
+        assert set(after) >= {
+            "mode", "hits", "misses", "hit_rate", "paths",
+            "segment_hits", "segment_misses",
+        }
+
+
+class TestEmptyReduceDtype:
+    """Satellite regression: Semiring.reduce on empty input keeps dtype."""
+
+    @pytest.mark.parametrize("dtype", [np.int32, np.int64, np.float32,
+                                       np.float64, np.bool_])
+    def test_plus_times_empty(self, dtype):
+        out = PLUS_TIMES.reduce(np.empty(0, dtype=dtype))
+        assert np.asarray(out).dtype == np.dtype(dtype)
+        assert out == 0
+
+    def test_boolean_empty_stays_bool(self):
+        out = BOOLEAN_OR_AND.reduce(np.empty(0, dtype=np.bool_))
+        assert np.asarray(out).dtype == np.bool_
+        assert out == False  # noqa: E712 - exact identity
+
+    @pytest.mark.parametrize("semiring,expected", [
+        (MIN_PLUS, np.inf), (MAX_MIN, -np.inf),
+    ])
+    def test_infinite_identity_upcasts_integers(self, semiring, expected):
+        # integer dtypes cannot hold the identity: float64, like zeros()
+        out = semiring.reduce(np.empty(0, dtype=np.int32))
+        assert np.asarray(out).dtype == np.float64
+        assert out == expected
+        # float32 *can* hold inf: stays float32
+        out32 = semiring.reduce(np.empty(0, dtype=np.float32))
+        assert np.asarray(out32).dtype == np.float32
+
+    def test_nonempty_unchanged(self):
+        assert PLUS_TIMES.reduce(np.array([1, 2, 3])) == 6
+        assert MIN_PLUS.reduce(np.array([3.0, 1.0])) == 1.0
+
+
+class TestUniqueIndices:
+    """Sort-free dedup primitive: bit-identical to np.unique on every path."""
+
+    def test_mask_path_matches_unique(self):
+        base = _seed_base("unique-mask")
+        for case in range(60):
+            seed = base + case
+            rng = np.random.default_rng(seed)
+            size = int(rng.integers(1, 5000))
+            k = int(rng.integers(0, 4 * size))
+            idx = rng.integers(0, size, k).astype(
+                rng.choice([np.int32, np.int64])
+            )
+            got = eng.unique_indices(idx, size)
+            want = np.unique(idx)
+            assert got.dtype == want.dtype, f"seed={seed}"
+            assert np.array_equal(got, want), f"seed={seed}"
+
+    def test_sorted_path_over_huge_domain(self):
+        eng.reset_stats()
+        idx = np.sort(
+            np.random.default_rng(7).integers(0, 1 << 40, 50_000)
+        )
+        got = eng.unique_indices(idx)  # no size: mask impossible
+        assert np.array_equal(got, np.unique(idx))
+        assert eng.STATS.paths.get("unique_sorted", 0) == 1
+
+    def test_unsorted_huge_domain_falls_back_to_sort(self):
+        eng.reset_stats()
+        idx = np.random.default_rng(8).integers(0, 1 << 40, 10_000)
+        got = eng.unique_indices(idx)
+        assert np.array_equal(got, np.unique(idx))
+        assert eng.STATS.paths.get("unique_sort", 0) == 1
+
+    def test_legacy_mode_uses_np_unique(self):
+        eng.set_engine_mode("legacy")
+        idx = np.array([3, 1, 2, 1], dtype=np.int64)
+        assert np.array_equal(
+            eng.unique_indices(idx, 10), np.unique(idx)
+        )
+
+    def test_empty_input(self):
+        out = eng.unique_indices(np.empty(0, dtype=np.int32), 5)
+        assert out.size == 0 and out.dtype == np.int32
+
+
+class TestDensityGate:
+    """row_reduce only builds segments when reduceat can win."""
+
+    def test_sparse_matrix_falls_back(self):
+        eng.reset_stats()
+        rng = np.random.default_rng(11)
+        n, nnz = 500, 1000  # avg degree 2 << MINMAX_SEGMENT_DENSITY
+        keys = rng.choice(n * n, size=nnz, replace=False)
+        rows, cols = np.sort(keys) // n, np.sort(keys) % n
+        coo = COOMatrix(rows, cols, rng.random(nnz), (n, n))
+        eng.row_reduce(MIN_PLUS, coo, rng.random(coo.nnz))
+        assert eng.STATS.paths.get("fallback", 0) == 1
+        assert eng.STATS.paths.get("minmax_reduceat", 0) == 0
+
+    def test_dense_matrix_uses_reduceat(self):
+        eng.reset_stats()
+        rng = np.random.default_rng(12)
+        n = 64
+        nnz = int(eng.MINMAX_SEGMENT_DENSITY * n) + n
+        keys = rng.choice(n * n, size=nnz, replace=False)
+        rows, cols = np.sort(keys) // n, np.sort(keys) % n
+        coo = COOMatrix(rows, cols, rng.random(nnz), (n, n))
+        contribs = rng.random(coo.nnz)
+        fast = eng.row_reduce(MIN_PLUS, coo, contribs)
+        assert eng.STATS.paths.get("minmax_reduceat", 0) == 1
+        eng.set_engine_mode("legacy")
+        legacy = eng.row_reduce(MIN_PLUS, coo, contribs)
+        assert fast.dtype == legacy.dtype
+        assert fast.tobytes() == legacy.tobytes()
