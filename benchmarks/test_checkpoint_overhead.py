@@ -1,0 +1,186 @@
+"""Checkpoint overhead benchmark (PR 5 tentpole gate).
+
+Two contracts from the checkpoint layer's design:
+
+1. **Disabled = free.**  ``checkpoint=None`` (the universal default)
+   must cost nothing beyond one ``None`` check per iteration: a full
+   ``run_table4`` pass (min of 5, after warm-up) must stay within 2%
+   of the frozen PR 4 baseline measured at the commit before the
+   checkpoint layer landed, on the same scale/DPU knobs.
+2. **Enabled = cheap and invisible.**  Snapshots charge zero simulated
+   time (checkpointed runs are bit-identical to plain runs in every
+   reported number — pinned by ``tests/test_checkpoint.py``); the
+   *host-side* cost per cadence, the record sizes, and the restore
+   latency are measured here and reported for context (not gated).
+
+Results go to ``BENCH_PR5.json`` at the repository root.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+import numpy as np
+
+from repro.ioutil import atomic_write_json
+from repro.algorithms import pagerank
+from repro.checkpoint import (
+    CheckpointConfig,
+    CheckpointPolicy,
+    MemoryCheckpointStore,
+)
+from repro.experiments import DatasetCache, ExperimentConfig, run_table4
+from repro.experiments.table4 import TABLE4_DATASETS, TABLE4_MIN_SCALE
+from repro.sparse import COOMatrix
+from repro.upmem import SystemConfig
+
+#: run_table4 wall seconds measured at the PR 4 commit with
+#: scale=TABLE4_MIN_SCALE and num_dpus=2048, the same knobs
+#: _table4_config pins below (warm-up discarded, min of 5).
+PR4_TABLE4_BASELINE_S = 2.68
+
+#: The gate: the checkpoint-off path may add at most 2% on top of the
+#: frozen baseline.
+DISABLED_OVERHEAD_BUDGET = 0.02
+
+#: Snapshot cadences measured on the enabled path (iterations between
+#: records).
+CADENCES = (1, 5, 25)
+
+BENCH_PATH = pathlib.Path(__file__).parents[1] / "BENCH_PR5.json"
+
+
+def _table4_config(config: ExperimentConfig) -> ExperimentConfig:
+    """Pin the exact knobs the PR 4 baseline was measured with."""
+    return ExperimentConfig(
+        scale=max(config.scale, TABLE4_MIN_SCALE),
+        num_dpus=max(config.num_dpus, 2048),
+        seed=config.seed,
+        datasets=config.datasets,
+    )
+
+
+def _bench_graph():
+    """A mid-size scale-free-ish graph: enough iterations and state for
+    checkpoint cost to register above timer noise."""
+    rng = np.random.default_rng(99)
+    n = 3000
+    src = rng.integers(0, n, size=8 * n)
+    dst = (src + rng.zipf(1.6, size=8 * n)) % n
+    edges = list({(int(u), int(v)) for u, v in zip(src, dst) if u != v})
+    return COOMatrix.from_edges(edges, num_nodes=n)
+
+
+def _timed_pagerank(matrix, system, checkpoint=None, repeats=5):
+    walls = []
+    run = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        run = pagerank(matrix, system, 64, checkpoint=checkpoint)
+        walls.append(time.perf_counter() - t0)
+    return run, min(walls)
+
+
+def test_checkpoint_overhead(config, report_dir):
+    t4_config = _table4_config(config)
+
+    # ---- disabled path: warm-up + min-of-5 run_table4, 2% budget --------
+    run_table4(t4_config, DatasetCache(t4_config))
+    walls = []
+    for _ in range(5):
+        cache = DatasetCache(t4_config)
+        t0 = time.perf_counter()
+        result = run_table4(t4_config, cache)
+        walls.append(time.perf_counter() - t0)
+    disabled_wall_s = min(walls)
+    assert len(result.rows) == 3 * len(TABLE4_DATASETS)
+
+    # ---- enabled path: host cost per cadence (context, not gated) -------
+    matrix = _bench_graph()
+    system = SystemConfig(num_dpus=64)
+    base_run, base_s = _timed_pagerank(matrix, system)
+
+    cadence_rows = {}
+    last_store = None
+    for every in CADENCES:
+        # fresh store per timed repeat: otherwise repeat 2+ would just
+        # resume from repeat 1's final record and measure nothing
+        walls_ck = []
+        run = store = None
+        for _ in range(5):
+            store = MemoryCheckpointStore()
+            ck_config = CheckpointConfig(
+                store=store,
+                policy=CheckpointPolicy(every_iterations=every),
+            )
+            t0 = time.perf_counter()
+            run = pagerank(matrix, system, 64, checkpoint=ck_config)
+            walls_ck.append(time.perf_counter() - t0)
+        wall_s = min(walls_ck)
+        # enabled runs report the same numbers (zero simulated time)
+        assert run.values.tobytes() == base_run.values.tobytes()
+        assert run.breakdown.as_dict() == base_run.breakdown.as_dict()
+        records = run.checkpoint["records_written"]
+        # the converging iteration breaks out before its commit point,
+        # so a 40-iteration run snapshots 39 times at cadence 1
+        assert records >= (base_run.num_iterations - 1) // every, (
+            f"cadence every-{every}: too few records written"
+        )
+        cadence_rows[f"every_{every}"] = {
+            "wall_s_min": round(wall_s, 4),
+            "overhead_vs_off": round(wall_s / base_s - 1.0, 4),
+            "records_per_run": records,
+            "bytes_per_record": (
+                run.checkpoint["bytes_written"] // max(records, 1)
+            ),
+        }
+        last_store = store
+
+    # ---- restore latency (resume from the final record) -----------------
+    resume_config = CheckpointConfig(store=last_store, resume=True)
+    t0 = time.perf_counter()
+    resumed = pagerank(matrix, system, 64, checkpoint=resume_config)
+    restore_s = time.perf_counter() - t0
+    assert resumed.checkpoint["restore_count"] == 1
+    assert resumed.values.tobytes() == base_run.values.tobytes()
+
+    # ---- artifact --------------------------------------------------------
+    overhead_vs_baseline = disabled_wall_s / PR4_TABLE4_BASELINE_S - 1.0
+    payload = {
+        "benchmark": "checkpoint overhead (disabled path gated, enabled "
+                     "cadences + restore latency for context)",
+        "config": {
+            "scale": t4_config.scale,
+            "num_dpus": t4_config.num_dpus,
+            "bench_graph_nodes": matrix.nrows,
+            "bench_graph_edges": matrix.nnz,
+        },
+        "baseline": {"pr4_table4_wall_s": PR4_TABLE4_BASELINE_S},
+        "now": {
+            "table4_wall_s_runs": [round(w, 3) for w in walls],
+            "table4_wall_s_min": round(disabled_wall_s, 3),
+            "overhead_vs_pr4_baseline": round(overhead_vs_baseline, 4),
+            "budget": DISABLED_OVERHEAD_BUDGET,
+        },
+        "enabled": {
+            "pagerank_off_wall_s": round(base_s, 4),
+            "iterations": base_run.num_iterations,
+            "cadences": cadence_rows,
+            "restore_wall_s": round(restore_s, 4),
+        },
+    }
+    atomic_write_json(BENCH_PATH, payload)
+    (report_dir / "checkpoint_overhead.txt").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    # ---- the gate --------------------------------------------------------
+    assert disabled_wall_s <= PR4_TABLE4_BASELINE_S * (
+        1.0 + DISABLED_OVERHEAD_BUDGET
+    ), (
+        f"checkpoint-off overhead blew the 2% budget: min-of-5 "
+        f"run_table4 {disabled_wall_s:.3f}s vs PR 4 baseline "
+        f"{PR4_TABLE4_BASELINE_S:.3f}s"
+    )

@@ -26,6 +26,7 @@ import pytest
 
 from conftest import run_once
 
+from repro.ioutil import atomic_write_json
 from repro.algorithms import bfs, pagerank
 from repro.faults import FaultPlan
 from repro.experiments import ExperimentConfig
@@ -150,7 +151,7 @@ def test_fault_tolerance_sweep(benchmark, config, cache, report_dir):
         },
         "sweep": rows,
     }
-    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    atomic_write_json(BENCH_PATH, payload)
     (report_dir / "fault_tolerance.txt").write_text(
         json.dumps(payload, indent=2) + "\n"
     )

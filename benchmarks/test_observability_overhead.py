@@ -26,6 +26,7 @@ import numpy as np
 
 from conftest import run_once
 
+from repro.ioutil import atomic_write_json
 from repro.algorithms import FixedPolicy, bfs
 from repro.experiments import DatasetCache, ExperimentConfig, run_table4
 from repro.experiments.table4 import TABLE4_DATASETS, TABLE4_MIN_SCALE
@@ -148,7 +149,7 @@ def test_disabled_overhead_and_enabled_completeness(benchmark, config,
             "faults_injected": faulted_run.fault_log.num_injected,
         },
     }
-    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    atomic_write_json(BENCH_PATH, payload)
     (report_dir / "observability_overhead.txt").write_text(
         json.dumps(payload, indent=2) + "\n"
     )

@@ -27,6 +27,7 @@ import time
 
 from conftest import run_once
 
+from repro.ioutil import atomic_write_json
 from repro.cache import cache_stats, clear_caches
 from repro.experiments import DatasetCache, ExperimentConfig, run_table4
 from repro.experiments.table4 import TABLE4_DATASETS, TABLE4_MIN_SCALE
@@ -127,7 +128,7 @@ def test_prep_speed_and_budget(benchmark, config, report_dir):
             "run_table4": table4_stats,
         },
     }
-    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    atomic_write_json(BENCH_PATH, payload)
     (report_dir / "prep_speed.txt").write_text(
         json.dumps(payload, indent=2) + "\n"
     )

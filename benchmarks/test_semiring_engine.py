@@ -40,6 +40,7 @@ import time
 import numpy as np
 from conftest import run_once
 
+from repro.ioutil import atomic_write_json
 from repro.cache import clear_caches
 from repro.experiments import DatasetCache, ExperimentConfig, run_table4
 from repro.experiments.table4 import TABLE4_DATASETS, TABLE4_MIN_SCALE
@@ -205,7 +206,7 @@ def test_engine_speed_and_budget(benchmark, config, report_dir):
         },
         "engine": engine_stats,
     }
-    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    atomic_write_json(BENCH_PATH, payload)
     (report_dir / "semiring_engine.txt").write_text(
         json.dumps(payload, indent=2) + "\n"
     )

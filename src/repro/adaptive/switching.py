@@ -77,6 +77,15 @@ class AdaptiveSwitchPolicy(KernelPolicy):
         """Forget the sticky switch (reuse the policy for another run)."""
         self._switched = False
 
+    # -- checkpoint protocol --------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """The sticky latch is the policy's only mutable state."""
+        return {"switched": bool(self._switched)}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._switched = bool(state.get("switched", False))
+
     def describe(self) -> str:
         cls_name = self.graph_class.value if self.graph_class else "manual"
         return f"adaptive({cls_name}@{self.threshold:.0%})"

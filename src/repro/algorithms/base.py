@@ -50,6 +50,20 @@ class KernelPolicy:
     def describe(self) -> str:
         return type(self).__name__
 
+    # -- checkpoint protocol --------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-able mutable state; stateless policies return ``{}``.
+
+        Stateful policies (e.g. the adaptive switch's sticky latch)
+        override both hooks so a resumed run makes the same kernel
+        choices the uninterrupted run would have.
+        """
+        return {}
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+
 
 class FixedPolicy(KernelPolicy):
     """Always run the same kernel kind."""
@@ -83,6 +97,10 @@ class AlgorithmRun(RunResult):
     #: histograms, cache hit rates) when an observability session was
     #: active around the run; ``None`` otherwise.
     metrics: Optional["MetricsSnapshot"] = None
+    #: Checkpoint session report (records written, restores, resume
+    #: point) when the run executed under a
+    #: :class:`~repro.checkpoint.CheckpointConfig`; ``None`` otherwise.
+    checkpoint: Optional[dict] = None
 
 
 class MatvecDriver:
@@ -129,6 +147,38 @@ class MatvecDriver:
         if self._fault_executor is None:
             return None
         return self._fault_executor.log
+
+    def rebuild_fault_executor(self, salt: int = 1) -> None:
+        """Replace a fatally-degraded machine with a fresh one.
+
+        Called by the checkpoint session after
+        :class:`~repro.errors.UnrecoverableFaultError`: builds a new
+        :class:`~repro.faults.resilient.FaultTolerantExecutor` with the
+        same plan but a *reseeded* injector (``salt`` folds the machine
+        generation into the seed — replaying the old RNG would
+        deterministically reproduce the fatal fault schedule), carries
+        the cumulative fault log forward, and pre-quarantines every DPU
+        on a permanently failed rank so the replacement machine never
+        re-dispatches onto known-dead hardware.
+        """
+        if self._fault_executor is None:
+            return
+        from ..faults.resilient import FaultTolerantExecutor
+
+        old = self._fault_executor
+        plan = old.plan.with_seed(
+            (old.plan.seed * 1_000_003 + int(salt)) % (2**63 - 1)
+        )
+        fresh = FaultTolerantExecutor(plan, self.system, self.num_dpus)
+        # continuity: one cumulative log per run, across machine deaths
+        fresh.rset.log = old.log
+        dpus_per_rank = self.system.dpus_per_rank
+        for rank in sorted(old.log.failed_ranks):
+            start = int(rank) * dpus_per_rank
+            for dpu_id in range(start, min(start + dpus_per_rank,
+                                           self.num_dpus)):
+                fresh.rset._quarantine(dpu_id)
+        self._fault_executor = fresh
 
     @property
     def healthy_dpus(self) -> int:

@@ -14,6 +14,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..checkpoint.manager import CheckpointConfig, open_checkpoint
 from ..errors import ReproError
 from ..semiring import BOOLEAN_OR_AND
 from ..sparse.base import SparseMatrix
@@ -36,6 +37,7 @@ def bfs(
     driver: Optional[MatvecDriver] = None,
     dataset: str = "",
     fault_plan=None,
+    checkpoint: Optional[CheckpointConfig] = None,
 ) -> AlgorithmRun:
     """Run BFS from ``source``; returns levels (-1 for unreachable).
 
@@ -48,6 +50,8 @@ def bfs(
     ``fault_plan`` (:class:`repro.faults.FaultPlan`) runs every matvec
     through the resilient execution layer: levels stay bit-identical,
     ``run.fault_log`` records the injected faults and their recovery.
+    A ``checkpoint`` config snapshots resumable state per the policy and
+    makes the run restartable after a crash, bit-identically.
     """
     n = matrix.nrows
     if not 0 <= source < n:
@@ -56,42 +60,64 @@ def bfs(
     driver = driver or MatvecDriver(
         matrix, system, num_dpus, fault_plan=fault_plan
     )
-
-    levels = np.full(n, -1, dtype=np.int64)
-    levels[source] = 0
-    visited = np.zeros(n, dtype=bool)
-    visited[source] = True
-    frontier = SparseVector.basis(source, n, value=np.int32(1))
-
     run = AlgorithmRun(algorithm="bfs", dataset=dataset, policy=policy.describe())
-    results = []
-    level = 0
+    ck = open_checkpoint(
+        checkpoint, algorithm="bfs", run=run, drivers=(driver,), policy=policy
+    )
     max_iters = MAX_LEVELS_FACTOR * n + 1
 
-    while frontier.nnz > 0 and level < max_iters:
-        density = frontier.density
-        result = driver.step(frontier, BOOLEAN_OR_AND, policy, level)
-        results.append(result)
+    def body(snapshot):
+        state = ck.begin(snapshot)
+        results = ck.results
+        if state is None:
+            levels = np.full(n, -1, dtype=np.int64)
+            levels[source] = 0
+            visited = np.zeros(n, dtype=bool)
+            visited[source] = True
+            frontier = SparseVector.basis(source, n, value=np.int32(1))
+            level = 0
+        else:
+            levels = state["levels"]
+            visited = state["visited"]
+            frontier = SparseVector(
+                state["frontier_indices"], state["frontier_values"], n
+            )
+            level = int(state["level"])
 
-        # host-side: mask out already-visited vertices, assign levels
-        reached = result.output.indices
-        fresh = reached[~visited[reached]]
-        level += 1
-        visited[fresh] = True
-        levels[fresh] = level
+        while frontier.nnz > 0 and level < max_iters:
+            ck.crashpoint(level)
+            density = frontier.density
+            result = driver.step(frontier, BOOLEAN_OR_AND, policy, level)
+            results.append(result)
 
-        record_iteration(
-            run,
-            iteration=level - 1,
-            result=result,
-            density=density,
-            frontier_size=frontier.nnz,
-            convergence_elements=n,
-        )
-        frontier = SparseVector(
-            fresh, np.ones(fresh.shape[0], dtype=np.int32), n
-        )
+            # host-side: mask out already-visited vertices, assign levels
+            reached = result.output.indices
+            fresh = reached[~visited[reached]]
+            level += 1
+            visited[fresh] = True
+            levels[fresh] = level
 
-    run.values = levels
-    run.converged = frontier.nnz == 0
-    return driver.finalize(run, results, DataType.INT32)
+            record_iteration(
+                run,
+                iteration=level - 1,
+                result=result,
+                density=density,
+                frontier_size=frontier.nnz,
+                convergence_elements=n,
+            )
+            frontier = SparseVector(
+                fresh, np.ones(fresh.shape[0], dtype=np.int32), n
+            )
+            ck.commit(level - 1, lambda: {
+                "levels": levels,
+                "visited": visited,
+                "frontier_indices": frontier.indices,
+                "frontier_values": frontier.values,
+                "level": level,
+            })
+
+        run.values = levels
+        run.converged = frontier.nnz == 0
+        return driver.finalize(run, results, DataType.INT32)
+
+    return ck.execute(body)

@@ -21,6 +21,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..checkpoint.manager import CheckpointConfig, open_checkpoint
 from ..errors import ReproError
 from ..semiring import MIN_PLUS
 from ..sparse.base import SparseMatrix
@@ -58,6 +59,7 @@ def connected_components(
     driver: Optional[MatvecDriver] = None,
     dataset: str = "",
     fault_plan=None,
+    checkpoint: Optional[CheckpointConfig] = None,
 ) -> AlgorithmRun:
     """Weakly connected component labels (smallest member index wins).
 
@@ -72,38 +74,59 @@ def connected_components(
     driver = driver or MatvecDriver(
         propagation, system, num_dpus, fault_plan=fault_plan
     )
-
-    labels = np.arange(n, dtype=np.float64)
-    # the initial frontier is every vertex (all labels are fresh)
-    frontier = SparseVector(np.arange(n), labels.copy(), n)
     run = AlgorithmRun(algorithm="cc", dataset=dataset, policy=policy.describe())
-    results = []
-    iteration = 0
+    ck = open_checkpoint(
+        checkpoint, algorithm="cc", run=run, drivers=(driver,), policy=policy
+    )
 
-    while frontier.nnz > 0 and iteration < n:
-        density = frontier.density
-        result = driver.step(frontier, MIN_PLUS, policy, iteration)
-        results.append(result)
+    def body(snapshot):
+        state = ck.begin(snapshot)
+        results = ck.results
+        if state is None:
+            labels = np.arange(n, dtype=np.float64)
+            # the initial frontier is every vertex (all labels are fresh)
+            frontier = SparseVector(np.arange(n), labels.copy(), n)
+            iteration = 0
+        else:
+            labels = state["labels"]
+            frontier = SparseVector(
+                state["frontier_indices"], state["frontier_values"], n
+            )
+            iteration = int(state["iteration"])
 
-        candidates = result.output
-        improved_mask = candidates.values < labels[candidates.indices]
-        improved = candidates.indices[improved_mask]
-        labels[improved] = candidates.values[improved_mask]
+        while frontier.nnz > 0 and iteration < n:
+            ck.crashpoint(iteration)
+            density = frontier.density
+            result = driver.step(frontier, MIN_PLUS, policy, iteration)
+            results.append(result)
 
-        record_iteration(
-            run,
-            iteration=iteration,
-            result=result,
-            density=density,
-            frontier_size=frontier.nnz,
-            convergence_elements=n,
-        )
-        frontier = SparseVector(improved, labels[improved], n)
-        iteration += 1
+            candidates = result.output
+            improved_mask = candidates.values < labels[candidates.indices]
+            improved = candidates.indices[improved_mask]
+            labels[improved] = candidates.values[improved_mask]
 
-    run.values = labels.astype(np.int64)
-    run.converged = frontier.nnz == 0
-    return driver.finalize(run, results, DataType.INT32)
+            record_iteration(
+                run,
+                iteration=iteration,
+                result=result,
+                density=density,
+                frontier_size=frontier.nnz,
+                convergence_elements=n,
+            )
+            frontier = SparseVector(improved, labels[improved], n)
+            iteration += 1
+            ck.commit(iteration - 1, lambda: {
+                "labels": labels,
+                "frontier_indices": frontier.indices,
+                "frontier_values": frontier.values,
+                "iteration": iteration,
+            })
+
+        run.values = labels.astype(np.int64)
+        run.converged = frontier.nnz == 0
+        return driver.finalize(run, results, DataType.INT32)
+
+    return ck.execute(body)
 
 
 def connected_components_reference(matrix: SparseMatrix) -> np.ndarray:

@@ -18,6 +18,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..checkpoint.manager import CheckpointConfig, open_checkpoint
 from ..errors import ReproError
 from ..semiring import MIN_PLUS
 from ..semiring import engine as _engine
@@ -67,12 +68,17 @@ def sssp_delta_stepping(
     dataset: str = "",
     max_buckets: int = 100_000,
     fault_plan=None,
+    checkpoint: Optional[CheckpointConfig] = None,
 ) -> AlgorithmRun:
     """Shortest distances from ``source`` by bucketed relaxation.
 
     Produces exactly the same distances as :func:`repro.algorithms.sssp`
     (both are exact); they differ only in how many kernel launches the
     schedule needs.
+
+    Checkpoints commit at *bucket* boundaries (the natural consistency
+    points of delta-stepping); the chaos-schedule iteration space is
+    therefore the bucket index, not the relaxation step.
     """
     n = matrix.nrows
     if not 0 <= source < n:
@@ -96,70 +102,92 @@ def sssp_delta_stepping(
         if heavy.nnz else None
     )
 
-    dist = np.full(n, np.inf)
-    dist[source] = 0.0
     run = AlgorithmRun(
         algorithm="sssp-delta", dataset=dataset,
         policy=f"delta-stepping({delta:.3g})/{policy.describe()}",
     )
-    results = []
-    step = 0
-    bucket_index = 0
+    ck = open_checkpoint(
+        checkpoint, algorithm="sssp-delta", run=run,
+        drivers=tuple(
+            d for d in (light_driver, heavy_driver) if d is not None
+        ),
+        policy=policy,
+    )
 
-    def relax(driver, frontier_ids):
-        """One (min, +) matvec from the given vertices; returns improved."""
-        nonlocal step
-        x = SparseVector(frontier_ids, dist[frontier_ids], n)
-        result = driver.step(x, MIN_PLUS, policy, step)
-        results.append(result)
-        record_iteration(
-            run, iteration=step, result=result, density=x.density,
-            frontier_size=x.nnz, convergence_elements=n,
-        )
-        step += 1
-        candidates = result.output
-        better = candidates.values < dist[candidates.indices]
-        improved = candidates.indices[better]
-        dist[improved] = candidates.values[better]
-        return improved
+    def body(snapshot):
+        state = ck.begin(snapshot)
+        results = ck.results
+        if state is None:
+            dist = np.full(n, np.inf)
+            dist[source] = 0.0
+            step = 0
+            bucket_index = 0
+        else:
+            dist = state["dist"]
+            step = int(state["step"])
+            bucket_index = int(state["bucket_index"])
 
-    while bucket_index < max_buckets:
-        in_bucket = np.nonzero(
-            (dist >= bucket_index * delta)
-            & (dist < (bucket_index + 1) * delta)
-        )[0]
-        if in_bucket.size == 0:
-            finite = np.isfinite(dist)
-            pending = finite & (dist >= (bucket_index + 1) * delta)
-            remaining = np.isinf(dist).all() or not pending.any()
-            if not pending.any():
-                break
-            bucket_index += 1
-            continue
-
-        settled = []
-        frontier = in_bucket
-        # phase 1: settle the bucket over light edges
-        while frontier.size and light_driver is not None:
-            settled.append(frontier)
-            improved = relax(light_driver, frontier)
-            frontier = improved[
-                (dist[improved] < (bucket_index + 1) * delta)
-            ]
-        if frontier.size and light_driver is None:
-            settled.append(frontier)
-        # phase 2: heavy edges once, from everything settled in the bucket
-        if heavy_driver is not None and settled:
-            all_settled = _engine.unique_indices(
-                np.concatenate(settled), dist.shape[0]
+        def relax(driver, frontier_ids):
+            """One (min, +) matvec from the given vertices; returns improved."""
+            nonlocal step
+            x = SparseVector(frontier_ids, dist[frontier_ids], n)
+            result = driver.step(x, MIN_PLUS, policy, step)
+            results.append(result)
+            record_iteration(
+                run, iteration=step, result=result, density=x.density,
+                frontier_size=x.nnz, convergence_elements=n,
             )
-            relax(heavy_driver, all_settled)
-        bucket_index += 1
+            step += 1
+            candidates = result.output
+            better = candidates.values < dist[candidates.indices]
+            improved = candidates.indices[better]
+            dist[improved] = candidates.values[better]
+            return improved
 
-    run.values = dist
-    run.converged = True
-    driver = light_driver or heavy_driver
-    return driver.finalize(run, results, _weight_dtype(matrix))
+        while bucket_index < max_buckets:
+            ck.crashpoint(bucket_index)
+            in_bucket = np.nonzero(
+                (dist >= bucket_index * delta)
+                & (dist < (bucket_index + 1) * delta)
+            )[0]
+            if in_bucket.size == 0:
+                finite = np.isfinite(dist)
+                pending = finite & (dist >= (bucket_index + 1) * delta)
+                if not pending.any():
+                    break
+                bucket_index += 1
+                continue
+
+            settled = []
+            frontier = in_bucket
+            # phase 1: settle the bucket over light edges
+            while frontier.size and light_driver is not None:
+                settled.append(frontier)
+                improved = relax(light_driver, frontier)
+                frontier = improved[
+                    (dist[improved] < (bucket_index + 1) * delta)
+                ]
+            if frontier.size and light_driver is None:
+                settled.append(frontier)
+            # phase 2: heavy edges once, from everything settled in bucket
+            if heavy_driver is not None and settled:
+                all_settled = _engine.unique_indices(
+                    np.concatenate(settled), dist.shape[0]
+                )
+                relax(heavy_driver, all_settled)
+            bucket_index += 1
+            ck.commit(bucket_index - 1, lambda: {
+                "dist": dist,
+                "step": step,
+                "bucket_index": bucket_index,
+            })
+
+        run.values = dist
+        run.converged = True
+        driver = light_driver or heavy_driver
+        return driver.finalize(run, results, _weight_dtype(matrix))
+
+    return ck.execute(body)
 
 
 def _weight_dtype(matrix: SparseMatrix) -> DataType:

@@ -17,6 +17,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ..checkpoint.manager import CheckpointConfig, open_checkpoint
 from ..errors import ReproError
 from ..kernels.spmm import prepare_spmm
 from ..semiring import BOOLEAN_OR_AND
@@ -33,6 +34,7 @@ def multi_source_bfs(
     system: SystemConfig,
     num_dpus: int,
     dataset: str = "",
+    checkpoint: Optional[CheckpointConfig] = None,
 ) -> AlgorithmRun:
     """BFS levels from every source at once; returns an (N, K) level array.
 
@@ -49,69 +51,87 @@ def multi_source_bfs(
     k = len(sources)
 
     kernel = prepare_spmm(matrix, num_dpus, system)
-    levels = np.full((n, k), -1, dtype=np.int64)
-    frontier = np.zeros((n, k), dtype=np.int32)
-    for column, source in enumerate(sources):
-        levels[source, column] = 0
-        frontier[source, column] = 1
-    visited = frontier.astype(bool)
-
     run = AlgorithmRun(
         algorithm="msbfs", dataset=dataset, policy=f"spmm-batch-{k}"
     )
-    results = []
-    level = 0
+    ck = open_checkpoint(checkpoint, algorithm="msbfs", run=run)
 
-    while frontier.any() and level <= n:
-        density = float(frontier.any(axis=1).mean())
-        result = kernel.run(frontier, BOOLEAN_OR_AND)
-        results.append(result)
+    def body(snapshot):
+        state = ck.begin(snapshot)
+        results = ck.results
+        if state is None:
+            levels = np.full((n, k), -1, dtype=np.int64)
+            frontier = np.zeros((n, k), dtype=np.int32)
+            for column, source in enumerate(sources):
+                levels[source, column] = 0
+                frontier[source, column] = 1
+            visited = frontier.astype(bool)
+            level = 0
+        else:
+            levels = state["levels"]
+            frontier = state["frontier"]
+            visited = state["visited"]
+            level = int(state["level"])
 
-        reached = result.output.astype(bool)
-        fresh = reached & ~visited
-        level += 1
-        visited |= fresh
-        levels[fresh] = level
+        while frontier.any() and level <= n:
+            ck.crashpoint(level)
+            density = float(frontier.any(axis=1).mean())
+            result = kernel.run(frontier, BOOLEAN_OR_AND)
+            results.append(result)
 
-        breakdown = PhaseBreakdown(
-            load=result.breakdown.load,
-            kernel=result.breakdown.kernel,
-            retrieve=result.breakdown.retrieve,
-            merge=result.breakdown.merge + convergence_check_time(n * k),
-        )
-        run.add_iteration(
-            IterationTrace(
-                iteration=level - 1,
-                kernel_name="spmm-dcoo",
-                input_density=density,
-                breakdown=breakdown,
-                frontier_size=int(frontier.sum()),
-                bytes_loaded=result.bytes_loaded,
-                bytes_retrieved=result.bytes_retrieved,
+            reached = result.output.astype(bool)
+            fresh = reached & ~visited
+            level += 1
+            visited |= fresh
+            levels[fresh] = level
+
+            breakdown = PhaseBreakdown(
+                load=result.breakdown.load,
+                kernel=result.breakdown.kernel,
+                retrieve=result.breakdown.retrieve,
+                merge=result.breakdown.merge + convergence_check_time(n * k),
             )
+            run.add_iteration(
+                IterationTrace(
+                    iteration=level - 1,
+                    kernel_name="spmm-dcoo",
+                    input_density=density,
+                    breakdown=breakdown,
+                    frontier_size=int(frontier.sum()),
+                    bytes_loaded=result.bytes_loaded,
+                    bytes_retrieved=result.bytes_retrieved,
+                )
+            )
+            frontier = fresh.astype(np.int32)
+            ck.commit(level - 1, lambda: {
+                "levels": levels,
+                "frontier": frontier,
+                "visited": visited,
+                "level": level,
+            })
+
+        run.values = levels
+        run.converged = not frontier.any()
+        run.achieved_ops = sum(r.achieved_ops for r in results)
+
+        # energy accounting (same model the single-vector driver applies)
+        from ..upmem.energy import UpmemEnergyModel
+
+        energy_model = UpmemEnergyModel(system)
+        instructions = sum(
+            r.profile.instructions.dispatch_slots for r in results
         )
-        frontier = fresh.astype(np.int32)
+        dma_bytes = sum(r.profile.instructions.dma_bytes for r in results)
+        transfer_bytes = sum(
+            r.bytes_loaded + r.bytes_retrieved for r in results
+        )
+        run.energy = energy_model.run_energy(
+            run.breakdown, instructions, dma_bytes, transfer_bytes,
+            num_dpus=num_dpus,
+        )
+        return run
 
-    run.values = levels
-    run.converged = not frontier.any()
-    run.achieved_ops = sum(r.achieved_ops for r in results)
-
-    # energy accounting (same model the single-vector driver applies)
-    from ..upmem.energy import UpmemEnergyModel
-
-    energy_model = UpmemEnergyModel(system)
-    instructions = sum(
-        r.profile.instructions.dispatch_slots for r in results
-    )
-    dma_bytes = sum(r.profile.instructions.dma_bytes for r in results)
-    transfer_bytes = sum(
-        r.bytes_loaded + r.bytes_retrieved for r in results
-    )
-    run.energy = energy_model.run_energy(
-        run.breakdown, instructions, dma_bytes, transfer_bytes,
-        num_dpus=num_dpus,
-    )
-    return run
+    return ck.execute(body)
 
 
 def closeness_centrality_estimate(

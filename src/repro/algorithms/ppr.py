@@ -18,6 +18,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..checkpoint.manager import CheckpointConfig, open_checkpoint
 from ..errors import ReproError
 from ..semiring import PLUS_TIMES
 from ..semiring import engine as _engine
@@ -66,6 +67,7 @@ def ppr(
     max_iters: int = DEFAULT_MAX_ITERS,
     pre_normalized: bool = False,
     fault_plan=None,
+    checkpoint: Optional[CheckpointConfig] = None,
 ) -> AlgorithmRun:
     """Personalized PageRank from ``source``; returns the rank vector.
 
@@ -84,43 +86,62 @@ def ppr(
         norm, system, num_dpus, fault_plan=fault_plan
     )
 
+    # recomputed deterministically per invocation (not checkpointed)
     coo = norm.to_coo()
     out_strength = _engine.reduce_by_index(
         PLUS_TIMES, coo.cols, coo.values.astype(np.float64), n
     )
     dangling = out_strength <= 0
 
-    rank = np.zeros(n, dtype=np.float64)
-    rank[source] = 1.0
     run = AlgorithmRun(algorithm="ppr", dataset=dataset, policy=policy.describe())
-    results = []
-    converged = False
+    ck = open_checkpoint(
+        checkpoint, algorithm="ppr", run=run, drivers=(driver,), policy=policy
+    )
 
-    for iteration in range(max_iters):
-        x = SparseVector.from_dense(rank.astype(np.float32), zero=0.0)
-        density = x.density
-        result = driver.step(x, PLUS_TIMES, policy, iteration)
-        results.append(result)
+    def body(snapshot):
+        state = ck.begin(snapshot)
+        results = ck.results
+        if state is None:
+            rank = np.zeros(n, dtype=np.float64)
+            rank[source] = 1.0
+            start = 0
+        else:
+            rank = state["rank"]
+            start = int(state["iteration"])
+        converged = False
 
-        spread = result.output.to_dense(zero=0.0).astype(np.float64)
-        dangling_mass = float(rank[dangling].sum())
-        new_rank = (1.0 - alpha) * spread
-        new_rank[source] += alpha + (1.0 - alpha) * dangling_mass
+        for iteration in range(start, max_iters):
+            ck.crashpoint(iteration)
+            x = SparseVector.from_dense(rank.astype(np.float32), zero=0.0)
+            density = x.density
+            result = driver.step(x, PLUS_TIMES, policy, iteration)
+            results.append(result)
 
-        delta = float(np.abs(new_rank - rank).sum())
-        record_iteration(
-            run,
-            iteration=iteration,
-            result=result,
-            density=density,
-            frontier_size=x.nnz,
-            convergence_elements=n,
-        )
-        rank = new_rank
-        if delta < tol:
-            converged = True
-            break
+            spread = result.output.to_dense(zero=0.0).astype(np.float64)
+            dangling_mass = float(rank[dangling].sum())
+            new_rank = (1.0 - alpha) * spread
+            new_rank[source] += alpha + (1.0 - alpha) * dangling_mass
 
-    run.values = rank
-    run.converged = converged
-    return driver.finalize(run, results, DataType.FLOAT32)
+            delta = float(np.abs(new_rank - rank).sum())
+            record_iteration(
+                run,
+                iteration=iteration,
+                result=result,
+                density=density,
+                frontier_size=x.nnz,
+                convergence_elements=n,
+            )
+            rank = new_rank
+            if delta < tol:
+                converged = True
+                break
+            ck.commit(iteration, lambda: {
+                "rank": rank,
+                "iteration": iteration + 1,
+            })
+
+        run.values = rank
+        run.converged = converged
+        return driver.finalize(run, results, DataType.FLOAT32)
+
+    return ck.execute(body)

@@ -13,6 +13,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..checkpoint.manager import CheckpointConfig, open_checkpoint
 from ..errors import ReproError
 from ..semiring import MIN_PLUS
 from ..sparse.base import SparseMatrix
@@ -31,6 +32,7 @@ def sssp(
     driver: Optional[MatvecDriver] = None,
     dataset: str = "",
     fault_plan=None,
+    checkpoint: Optional[CheckpointConfig] = None,
 ) -> AlgorithmRun:
     """Shortest distances from ``source`` (inf for unreachable vertices).
 
@@ -50,40 +52,60 @@ def sssp(
     driver = driver or MatvecDriver(
         matrix, system, num_dpus, fault_plan=fault_plan
     )
-
-    dist = np.full(n, np.inf)
-    dist[source] = 0.0
-    frontier = SparseVector.basis(source, n, value=0.0)
-
     run = AlgorithmRun(algorithm="sssp", dataset=dataset, policy=policy.describe())
-    results = []
-    iteration = 0
+    ck = open_checkpoint(
+        checkpoint, algorithm="sssp", run=run, drivers=(driver,), policy=policy
+    )
 
-    while frontier.nnz > 0 and iteration < n:
-        density = frontier.density
-        result = driver.step(frontier, MIN_PLUS, policy, iteration)
-        results.append(result)
+    def body(snapshot):
+        state = ck.begin(snapshot)
+        results = ck.results
+        if state is None:
+            dist = np.full(n, np.inf)
+            dist[source] = 0.0
+            frontier = SparseVector.basis(source, n, value=0.0)
+            iteration = 0
+        else:
+            dist = state["dist"]
+            frontier = SparseVector(
+                state["frontier_indices"], state["frontier_values"], n
+            )
+            iteration = int(state["iteration"])
 
-        # host-side relaxation: keep strictly improved distances
-        candidates = result.output
-        improved_mask = candidates.values < dist[candidates.indices]
-        improved = candidates.indices[improved_mask]
-        dist[improved] = candidates.values[improved_mask]
+        while frontier.nnz > 0 and iteration < n:
+            ck.crashpoint(iteration)
+            density = frontier.density
+            result = driver.step(frontier, MIN_PLUS, policy, iteration)
+            results.append(result)
 
-        record_iteration(
-            run,
-            iteration=iteration,
-            result=result,
-            density=density,
-            frontier_size=frontier.nnz,
-            convergence_elements=n,
-        )
-        frontier = SparseVector(improved, dist[improved], n)
-        iteration += 1
+            # host-side relaxation: keep strictly improved distances
+            candidates = result.output
+            improved_mask = candidates.values < dist[candidates.indices]
+            improved = candidates.indices[improved_mask]
+            dist[improved] = candidates.values[improved_mask]
 
-    run.values = dist
-    run.converged = frontier.nnz == 0
-    return driver.finalize(run, results, _weight_dtype(matrix))
+            record_iteration(
+                run,
+                iteration=iteration,
+                result=result,
+                density=density,
+                frontier_size=frontier.nnz,
+                convergence_elements=n,
+            )
+            frontier = SparseVector(improved, dist[improved], n)
+            iteration += 1
+            ck.commit(iteration - 1, lambda: {
+                "dist": dist,
+                "frontier_indices": frontier.indices,
+                "frontier_values": frontier.values,
+                "iteration": iteration,
+            })
+
+        run.values = dist
+        run.converged = frontier.nnz == 0
+        return driver.finalize(run, results, _weight_dtype(matrix))
+
+    return ck.execute(body)
 
 
 def _weight_dtype(matrix: SparseMatrix) -> DataType:

@@ -1,0 +1,42 @@
+"""Checkpoint/restore subsystem for iterative algorithm runs.
+
+Versioned, CRC-validated snapshots of everything an iterative algorithm
+needs to resume bit-identically after a machine death: the algorithm's
+own vectors, the run's iteration traces and phase accounting, kernel
+accounting for ``finalize``, kernel-policy state, and the fault layer's
+live RNG/health/log state.  See :mod:`repro.checkpoint.manager` for the
+driver-loop integration and :mod:`repro.checkpoint.chaos` for the
+seeded machine-kill soak harness.
+"""
+
+from .chaos import CrashSchedule, SimulatedCrash
+from .codec import decode, encode
+from .manager import CheckpointConfig, CheckpointSession, open_checkpoint
+from .policy import CheckpointPolicy
+from .record import MAGIC, VERSION, inspect_record, pack_record, unpack_record
+from .state import KernelAccounting
+from .store import (
+    CheckpointStore,
+    DirectoryCheckpointStore,
+    MemoryCheckpointStore,
+)
+
+__all__ = [
+    "MAGIC",
+    "VERSION",
+    "CheckpointConfig",
+    "CheckpointPolicy",
+    "CheckpointSession",
+    "CheckpointStore",
+    "CrashSchedule",
+    "DirectoryCheckpointStore",
+    "KernelAccounting",
+    "MemoryCheckpointStore",
+    "SimulatedCrash",
+    "decode",
+    "encode",
+    "inspect_record",
+    "open_checkpoint",
+    "pack_record",
+    "unpack_record",
+]

@@ -1,0 +1,163 @@
+"""Chaos harness: seeded machine-kill schedules for soak testing.
+
+The PrIM-style operational reality this subsystem defends against is a
+machine that dies at an arbitrary point of a long iterative run — so the
+chaos layer kills the *simulated host process* at scheduled points:
+
+* before an iteration's kernel launch (``pre-step``),
+* right after an iteration committed its host-side state (``post-step``),
+* **during a checkpoint write** (``torn_write_records``), leaving a torn
+  record at the final path to prove the CRC/magic rejection path.
+
+A :class:`CrashSchedule` is *single-shot per point*: once a crash fired
+it is remembered, so the resumed run sails past the same iteration —
+exactly like a real crash, which doesn't repeat just because you
+rebooted.  The same schedule object must therefore be passed to the
+resumed invocation (the harness owns it across simulated reboots).
+
+:class:`SimulatedCrash` deliberately derives from ``BaseException``-side
+``Exception`` but **not** from :class:`~repro.errors.ReproError`: no
+library ``except ReproError`` handler may swallow a machine death.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+import numpy as np
+
+
+class SimulatedCrash(Exception):
+    """The simulated host died (power cut / OOM-kill / kernel panic).
+
+    Raised by :meth:`CrashSchedule` hooks at scheduled points; the chaos
+    harness catches it *outside* the algorithm call and re-invokes with
+    ``resume`` armed, modelling a process restart.
+    """
+
+
+class CrashSchedule:
+    """Deterministic, single-shot plan of where the machine dies.
+
+    Parameters
+    ----------
+    crash_iterations:
+        Iterations at whose ``pre-step`` crashpoint the machine dies
+        (before that iteration's kernel work happens).
+    post_commit_iterations:
+        Iterations right *after* whose host-side update + checkpoint
+        commit the machine dies (work done, possibly checkpointed).
+    torn_write_records:
+        Checkpoint record sequence numbers (0-based, in commit order)
+        whose *write* is torn: only ``torn_fraction`` of the record's
+        bytes land at the final path before the machine dies mid-write.
+    torn_fraction:
+        Fraction of the record written before the crash (default 0.5).
+    """
+
+    def __init__(
+        self,
+        crash_iterations: Iterable[int] = (),
+        post_commit_iterations: Iterable[int] = (),
+        torn_write_records: Iterable[int] = (),
+        torn_fraction: float = 0.5,
+    ) -> None:
+        if not 0.0 <= torn_fraction < 1.0:
+            raise ValueError("torn_fraction must lie in [0, 1)")
+        self.crash_iterations: Set[int] = set(int(i) for i in crash_iterations)
+        self.post_commit_iterations: Set[int] = set(
+            int(i) for i in post_commit_iterations
+        )
+        self.torn_write_records: Set[int] = set(
+            int(i) for i in torn_write_records
+        )
+        self.torn_fraction = float(torn_fraction)
+        #: Points that already fired (single-shot semantics).
+        self.fired: Set[Tuple[str, int]] = set()
+        #: Total machine deaths this schedule inflicted.
+        self.crashes = 0
+        #: Checkpoint records written so far (monotonic across reboots).
+        self.records_written = 0
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        max_iteration: int,
+        num_crashes: int = 1,
+        torn_writes: int = 0,
+        torn_fraction: float = 0.5,
+    ) -> "CrashSchedule":
+        """A reproducible random schedule (the soak-matrix constructor).
+
+        Picks ``num_crashes`` distinct kill points in
+        ``[0, max_iteration]`` (mixing pre-step and post-commit kills)
+        and optionally marks the first ``torn_writes`` checkpoint
+        records after the first kill as torn.
+        """
+        rng = np.random.default_rng(seed)
+        count = min(int(num_crashes), max_iteration + 1)
+        points = rng.choice(max_iteration + 1, size=count, replace=False)
+        pre, post = [], []
+        for point in sorted(int(p) for p in points):
+            (pre if rng.random() < 0.5 else post).append(point)
+        torn = []
+        if torn_writes > 0:
+            torn = sorted(
+                int(r) for r in rng.choice(
+                    max(max_iteration, 1), size=min(torn_writes, max_iteration),
+                    replace=False,
+                )
+            )
+        return cls(
+            crash_iterations=pre,
+            post_commit_iterations=post,
+            torn_write_records=torn,
+            torn_fraction=torn_fraction,
+        )
+
+    # -- hooks consulted by the CheckpointSession -----------------------------
+
+    def should_crash(self, iteration: int, phase: str = "pre-step") -> bool:
+        """Single-shot: does the machine die at this (iteration, phase)?"""
+        table = (
+            self.crash_iterations if phase == "pre-step"
+            else self.post_commit_iterations
+        )
+        key = (phase, int(iteration))
+        if int(iteration) in table and key not in self.fired:
+            self.fired.add(key)
+            self.crashes += 1
+            return True
+        return False
+
+    def torn_fraction_for_next_record(self) -> Optional[float]:
+        """Consulted per checkpoint write; non-None = die mid-write.
+
+        Advances the record counter either way so sequence numbers stay
+        aligned with commit order across reboots.
+        """
+        seq = self.records_written
+        self.records_written += 1
+        key = ("torn-write", seq)
+        if seq in self.torn_write_records and key not in self.fired:
+            self.fired.add(key)
+            self.crashes += 1
+            return self.torn_fraction
+        return None
+
+    def describe(self) -> str:
+        return (
+            f"crash@pre-step{sorted(self.crash_iterations)} "
+            f"post-commit{sorted(self.post_commit_iterations)} "
+            f"torn-writes{sorted(self.torn_write_records)}"
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "crash_iterations": sorted(self.crash_iterations),
+            "post_commit_iterations": sorted(self.post_commit_iterations),
+            "torn_write_records": sorted(self.torn_write_records),
+            "torn_fraction": self.torn_fraction,
+            "crashes": self.crashes,
+        }

@@ -1,0 +1,143 @@
+"""Safe, exact, pickle-free serialization of checkpoint state trees.
+
+A checkpoint payload is a JSON-like tree (dict / list / str / int /
+float / bool / None) whose leaves may also be NumPy arrays.  The codec
+lays it out as::
+
+    u32 manifest_len | manifest JSON (utf-8) | blob0 | blob1 | ...
+
+where the manifest is the tree with every array replaced by a
+placeholder ``{"__nd__": [blob_index, dtype_str, shape]}`` plus a blob
+offset table.  Properties the checkpoint subsystem relies on:
+
+exactness
+    Arrays round-trip byte-for-byte (raw buffers).  Python floats
+    round-trip exactly (``json`` emits shortest-repr, which is
+    read back to the identical IEEE-754 double).  Ints are arbitrary
+    precision — PCG64 bit-generator state words (128-bit) survive.
+
+safety
+    No ``pickle``: decoding attacker-controlled bytes can build only
+    dicts, lists, scalars and arrays — never execute code.
+
+determinism
+    ``encode`` is a pure function of the tree (dict insertion order is
+    preserved, arrays are serialized as C-contiguous buffers), so
+    identical states produce identical payloads.
+
+Not supported (by design, and rejected loudly): object-dtype arrays,
+arbitrary Python objects, non-string dict keys.  Tuples are encoded as
+lists — callers must not rely on tuple identity after a round-trip.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+from ..errors import CheckpointCorruptError, CheckpointError
+
+_LEN = struct.Struct("<I")
+
+
+def encode(tree: Any) -> bytes:
+    """Serialize a state tree to one payload blob."""
+    blobs: List[bytes] = []
+    manifest_tree = _strip(tree, blobs)
+    offsets: List[Tuple[int, int]] = []
+    cursor = 0
+    for blob in blobs:
+        offsets.append((cursor, len(blob)))
+        cursor += len(blob)
+    manifest = json.dumps(
+        {"root": manifest_tree, "blobs": offsets},
+        separators=(",", ":"), allow_nan=True,
+    ).encode("utf-8")
+    return _LEN.pack(len(manifest)) + manifest + b"".join(blobs)
+
+
+def decode(payload: bytes) -> Any:
+    """Reconstruct the state tree from :func:`encode`'s output."""
+    if len(payload) < _LEN.size:
+        raise CheckpointCorruptError("payload shorter than manifest header")
+    (manifest_len,) = _LEN.unpack_from(payload)
+    body_start = _LEN.size + manifest_len
+    if body_start > len(payload):
+        raise CheckpointCorruptError("manifest extends past payload end")
+    try:
+        doc = json.loads(payload[_LEN.size:body_start].decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise CheckpointCorruptError(f"manifest is not valid JSON: {exc}")
+    blob_table = doc.get("blobs")
+    if not isinstance(blob_table, list):
+        raise CheckpointCorruptError("manifest missing blob table")
+    body = payload[body_start:]
+    blobs: List[bytes] = []
+    for entry in blob_table:
+        offset, nbytes = int(entry[0]), int(entry[1])
+        chunk = body[offset:offset + nbytes]
+        if len(chunk) != nbytes:
+            raise CheckpointCorruptError("array blob extends past payload end")
+        blobs.append(chunk)
+    return _rebuild(doc.get("root"), blobs)
+
+
+# -- internals ----------------------------------------------------------------
+
+def _strip(node: Any, blobs: List[bytes]) -> Any:
+    """Replace array leaves with placeholders, collecting raw buffers."""
+    if isinstance(node, np.ndarray):
+        if node.dtype == object:
+            raise CheckpointError(
+                "object-dtype arrays cannot be checkpointed"
+            )
+        array = np.ascontiguousarray(node)
+        index = len(blobs)
+        blobs.append(array.tobytes())
+        return {"__nd__": [index, array.dtype.str, list(array.shape)]}
+    if isinstance(node, np.generic):
+        # NumPy scalars: exact via their native Python equivalents
+        # (np.float64 -> float keeps the same IEEE-754 bits).
+        return _strip(node.item(), blobs)
+    if isinstance(node, dict):
+        out: Dict[str, Any] = {}
+        for key, value in node.items():
+            if not isinstance(key, str):
+                raise CheckpointError(
+                    f"checkpoint dict keys must be strings, got {key!r}"
+                )
+            if key == "__nd__":
+                raise CheckpointError(
+                    "'__nd__' is reserved for array placeholders"
+                )
+            out[key] = _strip(value, blobs)
+        return out
+    if isinstance(node, (list, tuple)):
+        return [_strip(value, blobs) for value in node]
+    if node is None or isinstance(node, (bool, int, str)):
+        return node
+    if isinstance(node, float):
+        return node  # json repr round-trips doubles exactly
+    raise CheckpointError(
+        f"cannot checkpoint values of type {type(node).__name__}"
+    )
+
+
+def _rebuild(node: Any, blobs: List[bytes]) -> Any:
+    if isinstance(node, dict):
+        placeholder = node.get("__nd__")
+        if placeholder is not None and len(node) == 1:
+            index, dtype_str, shape = placeholder
+            try:
+                raw = blobs[int(index)]
+                array = np.frombuffer(raw, dtype=np.dtype(dtype_str))
+                return array.reshape([int(s) for s in shape]).copy()
+            except (IndexError, TypeError, ValueError) as exc:
+                raise CheckpointCorruptError(f"bad array placeholder: {exc}")
+        return {key: _rebuild(value, blobs) for key, value in node.items()}
+    if isinstance(node, list):
+        return [_rebuild(value, blobs) for value in node]
+    return node

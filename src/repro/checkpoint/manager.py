@@ -1,0 +1,338 @@
+"""Checkpoint session: the driver-loop side of checkpoint/resume.
+
+One :class:`CheckpointSession` wraps one algorithm invocation.  The
+algorithm's loop body is handed to :meth:`CheckpointSession.execute` as
+a closure taking a *snapshot* (``None`` = fresh start)::
+
+    ck = open_checkpoint(checkpoint, algorithm="bfs", run=run,
+                         drivers=(driver,), policy=policy)
+
+    def body(snapshot):
+        state = ck.begin(snapshot)          # None or the saved algo state
+        results = ck.results                # restored accounting included
+        ...
+        while not converged:
+            ck.crashpoint(iteration)        # chaos: scheduled machine kill
+            ... one kernel step + host update + record_iteration ...
+            ck.commit(iteration, lambda: {...resumable state...})
+        return driver.finalize(run, results, dtype)
+
+    return ck.execute(body)
+
+Disabled (``checkpoint=None`` — the default everywhere) the session is
+a null object: ``begin`` returns ``None``, ``commit``/``crashpoint``
+return immediately, ``execute`` calls the body once.  The enabled path
+costs one snapshot per policy firing; a snapshot charges **zero
+simulated time** (checkpoint I/O overlaps the accelerator timeline the
+models account), which is what makes checkpointed runs bit-identical to
+plain runs in every reported number.
+
+Recovery paths handled by :meth:`execute`:
+
+simulated crash (:class:`~repro.checkpoint.chaos.SimulatedCrash`)
+    *Not* caught here — it unwinds out of the whole invocation like a
+    real process death.  The chaos harness re-invokes the algorithm; the
+    new session's ``execute`` finds the latest valid record and resumes
+    with **full fault-layer state restore**, so the resumed run is
+    bit-identical to an uninterrupted one.
+
+unrecoverable hardware fault (:class:`~repro.errors.UnrecoverableFaultError`)
+    Caught here (bounded by ``max_restores``): every driver's fault
+    executor is rebuilt as a fresh machine — same topology, permanently
+    failed ranks pre-quarantined, injector **reseeded** (replaying the
+    old RNG would deterministically reproduce the fatal schedule) — and
+    the body restarts from the latest valid checkpoint.  Values stay
+    exact; timing legitimately diverges (a different machine recovered).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence
+
+from ..errors import CheckpointError, UnrecoverableFaultError
+from ..observability import runtime as _obs
+from ..types import PhaseBreakdown
+from . import codec
+from .chaos import CrashSchedule, SimulatedCrash
+from .policy import CheckpointPolicy
+from .state import (
+    accounting_from_dict,
+    accounting_to_dict,
+    fault_state,
+    restore_fault_state,
+    trace_from_dict,
+    trace_to_dict,
+)
+from .store import CheckpointStore, MemoryCheckpointStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..algorithms.base import AlgorithmRun, KernelPolicy
+
+
+@dataclass
+class CheckpointConfig:
+    """Everything a caller decides about checkpointing one run."""
+
+    #: Record persistence backend.
+    store: CheckpointStore = field(default_factory=MemoryCheckpointStore)
+    #: Snapshot cadence (default: after every iteration).
+    policy: CheckpointPolicy = CheckpointPolicy(every_iterations=1)
+    #: Resume from the store's latest valid record when one exists.
+    resume: bool = True
+    #: In-process restore attempts after UnrecoverableFaultError before
+    #: the error propagates.
+    max_restores: int = 8
+    #: Keep only the newest N records after each save (None = keep all).
+    prune_keep: Optional[int] = None
+    #: Chaos testing: scheduled machine kills (None = no chaos).
+    crash_schedule: Optional[CrashSchedule] = None
+
+
+class CheckpointSession:
+    """Checkpoint/restore state machine around one algorithm invocation."""
+
+    def __init__(
+        self,
+        config: Optional[CheckpointConfig],
+        algorithm: str,
+        run: "AlgorithmRun",
+        drivers: Sequence[Any] = (),
+        policy: Optional["KernelPolicy"] = None,
+    ) -> None:
+        self.config = config
+        self.algorithm = algorithm
+        self.run = run
+        self.drivers = tuple(drivers)
+        self.policy = policy
+        self.enabled = config is not None
+        #: The algorithm's live results list (restored accounting + new
+        #: KernelResults); algorithms append to this exact object.
+        self.results: List[Any] = []
+        self._iters_since = 0
+        self._sim_at_last = 0.0
+        self._fresh_faults = False
+        self._machine_generation = 0
+        self._restored_seq: Optional[int] = None
+        # -- report counters --
+        self.records_written = 0
+        self.bytes_written = 0
+        self.restore_count = 0
+        self.resumed_from_iteration: Optional[int] = None
+
+    # -- the outer retry loop -------------------------------------------------
+
+    def execute(self, body: Callable[[Optional[Dict]], "AlgorithmRun"]):
+        """Run ``body`` with resume + bounded unrecoverable-fault retry."""
+        if not self.enabled:
+            return body(None)
+        snapshot = self._load_latest() if self.config.resume else None
+        restores_left = self.config.max_restores
+        while True:
+            try:
+                run = body(snapshot)
+                break
+            except UnrecoverableFaultError:
+                if restores_left <= 0:
+                    raise
+                restores_left -= 1
+                self._machine_generation += 1
+                self._rebuild_drivers()
+                self._fresh_faults = True
+                # fall back to the latest valid record; with none, the
+                # rebuilt machine restarts the run from scratch (the
+                # no-checkpoint outcome, minus the dead ranks)
+                snapshot = self._load_latest()
+        run.checkpoint = self.report()
+        return run
+
+    # -- body-side hooks ------------------------------------------------------
+
+    def begin(self, snapshot: Optional[Dict]) -> Optional[Dict]:
+        """Reset/restore run history; returns the saved algo state."""
+        self.results = []
+        self._iters_since = 0
+        if not self.enabled or snapshot is None:
+            self._reset_run_history()
+            self._sim_at_last = self.run.breakdown.total
+            self._fresh_faults = False
+            return None
+        self._reset_run_history()
+        for trace_dict in snapshot["traces"]:
+            self.run.add_iteration(trace_from_dict(trace_dict))
+        self.results = [
+            accounting_from_dict(d) for d in snapshot["results"]
+        ]
+        if self.policy is not None:
+            self.policy.load_state_dict(dict(snapshot.get("policy") or {}))
+        if not self._fresh_faults:
+            for driver, fstate in zip(
+                self.drivers, snapshot.get("faults") or []
+            ):
+                executor = getattr(driver, "_fault_executor", None)
+                if executor is not None and fstate is not None:
+                    restore_fault_state(executor, fstate)
+        self._fresh_faults = False
+        self._sim_at_last = self.run.breakdown.total
+        self.restore_count += 1
+        self.resumed_from_iteration = int(snapshot["iteration"])
+        session = _obs.ACTIVE
+        if session is not None:
+            if session.metrics is not None:
+                session.metrics.counter("checkpoint.restore_count").inc()
+            if session.tracer is not None:
+                session.tracer.instant(
+                    "checkpoint:restore", cat="checkpoint",
+                    iteration=self.resumed_from_iteration,
+                    seq=self._restored_seq,
+                )
+        return snapshot["algo"]
+
+    def crashpoint(self, iteration: int, phase: str = "pre-step") -> None:
+        """Chaos hook: die here if the schedule says so."""
+        if not self.enabled:
+            return
+        schedule = self.config.crash_schedule
+        if schedule is not None and schedule.should_crash(iteration, phase):
+            raise SimulatedCrash(
+                f"{self.algorithm}: machine killed at iteration "
+                f"{iteration} ({phase})"
+            )
+
+    def commit(
+        self, iteration: int, state_fn: Callable[[], Dict[str, Any]]
+    ) -> bool:
+        """One iteration finished; snapshot if the policy says it's time.
+
+        ``state_fn`` is called lazily — only when a record is actually
+        written — and must return the algorithm's full resumable state.
+        Returns True when a record was written.
+        """
+        if not self.enabled:
+            return False
+        self._iters_since += 1
+        sim_now = self.run.breakdown.total
+        schedule = self.config.crash_schedule
+        wrote = False
+        if self.config.policy.due(
+            self._iters_since, sim_now - self._sim_at_last
+        ):
+            wrote = self._save(int(iteration), sim_now, state_fn)
+        if schedule is not None and schedule.should_crash(
+            iteration, "post-step"
+        ):
+            raise SimulatedCrash(
+                f"{self.algorithm}: machine killed after iteration "
+                f"{iteration} (post-step)"
+            )
+        return wrote
+
+    # -- report ---------------------------------------------------------------
+
+    def report(self) -> Dict[str, Any]:
+        """JSON-friendly summary attached to ``run.checkpoint``."""
+        return {
+            "enabled": self.enabled,
+            "records_written": self.records_written,
+            "bytes_written": self.bytes_written,
+            "restore_count": self.restore_count,
+            "resumed_from_iteration": self.resumed_from_iteration,
+            "machine_generation": self._machine_generation,
+        }
+
+    # -- internals ------------------------------------------------------------
+
+    def _reset_run_history(self) -> None:
+        self.run.iterations.clear()
+        self.run.breakdown = PhaseBreakdown()
+
+    def _save(
+        self, iteration: int, sim_now: float,
+        state_fn: Callable[[], Dict[str, Any]],
+    ) -> bool:
+        snapshot = {
+            "algorithm": self.algorithm,
+            "iteration": iteration,
+            "sim_seconds": sim_now,
+            "algo": state_fn(),
+            "traces": [trace_to_dict(t) for t in self.run.iterations],
+            "results": [accounting_to_dict(r) for r in self.results],
+            "faults": [
+                fault_state(driver._fault_executor)
+                if getattr(driver, "_fault_executor", None) is not None
+                else None
+                for driver in self.drivers
+            ],
+            "policy": (
+                self.policy.state_dict() if self.policy is not None else {}
+            ),
+        }
+        payload = codec.encode(snapshot)
+        schedule = self.config.crash_schedule
+        torn = (
+            schedule.torn_fraction_for_next_record()
+            if schedule is not None else None
+        )
+        if torn is not None:
+            # the machine dies mid-write: a torn record lands at the
+            # final path and the process is gone before any bookkeeping
+            self.config.store.save_torn(payload, torn)
+            raise SimulatedCrash(
+                f"{self.algorithm}: machine killed during checkpoint "
+                f"write at iteration {iteration} (torn record)"
+            )
+        _seq, nbytes = self.config.store.save(payload)
+        self.records_written += 1
+        self.bytes_written += nbytes
+        self._iters_since = 0
+        self._sim_at_last = sim_now
+        if self.config.prune_keep is not None:
+            self.config.store.prune(self.config.prune_keep)
+        session = _obs.ACTIVE
+        if session is not None:
+            if session.metrics is not None:
+                session.metrics.counter("checkpoint.records").inc()
+                session.metrics.counter("checkpoint.bytes_written").inc(
+                    nbytes
+                )
+            if session.tracer is not None:
+                session.tracer.instant(
+                    "checkpoint:save", cat="checkpoint",
+                    iteration=iteration, bytes=nbytes, seq=_seq,
+                )
+        return True
+
+    def _load_latest(self) -> Optional[Dict]:
+        found = self.config.store.latest_valid()
+        if found is None:
+            self._restored_seq = None
+            return None
+        seq, payload = found
+        snapshot = codec.decode(payload)
+        saved_algorithm = snapshot.get("algorithm")
+        if saved_algorithm != self.algorithm:
+            raise CheckpointError(
+                f"checkpoint store holds a {saved_algorithm!r} run, "
+                f"cannot resume {self.algorithm!r} from it"
+            )
+        self._restored_seq = seq
+        return snapshot
+
+    def _rebuild_drivers(self) -> None:
+        for driver in self.drivers:
+            rebuild = getattr(driver, "rebuild_fault_executor", None)
+            if rebuild is not None:
+                rebuild(salt=self._machine_generation)
+
+
+def open_checkpoint(
+    config: Optional[CheckpointConfig],
+    algorithm: str,
+    run: "AlgorithmRun",
+    drivers: Sequence[Any] = (),
+    policy: Optional["KernelPolicy"] = None,
+) -> CheckpointSession:
+    """Build the (possibly disabled) session for one algorithm run."""
+    return CheckpointSession(
+        config, algorithm=algorithm, run=run, drivers=drivers, policy=policy
+    )

@@ -1,0 +1,66 @@
+"""When to checkpoint: every k iterations and/or every t simulated seconds.
+
+The policy consumes *deltas since the last checkpoint* so it composes
+cleanly with restores (counters reset when a snapshot is taken or
+restored).  Both triggers may be armed at once; the checkpoint fires
+when either is due.  A disabled policy (neither trigger) never fires —
+useful for "resume-only" sessions that read checkpoints but write none.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import CheckpointError
+
+
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """Snapshot cadence for one algorithm run.
+
+    ``every_iterations=k``
+        checkpoint after every k committed iterations;
+    ``every_sim_seconds=t``
+        checkpoint once at least ``t`` *simulated* seconds of algorithm
+        time accumulated since the last snapshot (the machine's analytic
+        clock, not the host wall clock — deterministic across hosts).
+    """
+
+    every_iterations: Optional[int] = None
+    every_sim_seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.every_iterations is not None and self.every_iterations < 1:
+            raise CheckpointError("every_iterations must be >= 1")
+        if self.every_sim_seconds is not None and self.every_sim_seconds <= 0:
+            raise CheckpointError("every_sim_seconds must be positive")
+
+    @property
+    def enabled(self) -> bool:
+        return (
+            self.every_iterations is not None
+            or self.every_sim_seconds is not None
+        )
+
+    def due(self, iterations_since: int, sim_seconds_since: float) -> bool:
+        """Should we snapshot, given progress since the last snapshot?"""
+        if (
+            self.every_iterations is not None
+            and iterations_since >= self.every_iterations
+        ):
+            return True
+        if (
+            self.every_sim_seconds is not None
+            and sim_seconds_since >= self.every_sim_seconds
+        ):
+            return True
+        return False
+
+    def describe(self) -> str:
+        parts = []
+        if self.every_iterations is not None:
+            parts.append(f"every {self.every_iterations} iteration(s)")
+        if self.every_sim_seconds is not None:
+            parts.append(f"every {self.every_sim_seconds:g} sim-seconds")
+        return " or ".join(parts) if parts else "never"

@@ -1,0 +1,81 @@
+"""Versioned, CRC-validated checkpoint record framing.
+
+Every checkpoint is one self-validating binary record::
+
+    +----------+---------+--------+--------------+-------------+---------+
+    | magic 8B | ver u16 | flags  | payload u64  | crc32 u32   | payload |
+    | APIMCKP1 |         | u16    | length       | of payload  | bytes   |
+    +----------+---------+--------+--------------+-------------+---------+
+
+The header is fixed-size little-endian (:data:`HEADER`).  A record is
+*valid* iff the magic matches, the version is known, the blob is long
+enough to hold the declared payload, and the payload's CRC32 matches the
+header.  Anything else — a torn write that truncated the payload, a
+bit-flip in the header or body, a file from a future schema — raises
+:class:`~repro.errors.CheckpointCorruptError`, and the restore path
+falls back to the previous record.
+
+The framing is deliberately independent of the payload codec
+(:mod:`repro.checkpoint.codec`): version bumps of either layer are
+detected here before a single payload byte is interpreted.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Tuple
+
+from ..errors import CheckpointCorruptError
+
+#: File magic: ALPHA-PIM checkpoint, framing generation 1.
+MAGIC = b"APIMCKP1"
+
+#: Current record schema version (header + payload codec contract).
+VERSION = 1
+
+#: ``<`` magic ver flags payload_len crc32`` — 24 bytes.
+HEADER = struct.Struct("<8sHHQI")
+
+
+def pack_record(payload: bytes, version: int = VERSION, flags: int = 0) -> bytes:
+    """Frame ``payload`` as one validated checkpoint record."""
+    return HEADER.pack(
+        MAGIC, version, flags, len(payload), zlib.crc32(payload)
+    ) + payload
+
+
+def unpack_record(blob: bytes) -> bytes:
+    """Validate a record and return its payload.
+
+    Raises :class:`~repro.errors.CheckpointCorruptError` on any
+    validation failure (bad magic, unknown version, truncated payload,
+    CRC mismatch) — the caller treats the record as torn and falls back.
+    """
+    return inspect_record(blob)[1]
+
+
+def inspect_record(blob: bytes) -> Tuple[int, bytes]:
+    """Validate a record; return ``(version, payload)``."""
+    if len(blob) < HEADER.size:
+        raise CheckpointCorruptError(
+            f"record truncated inside the header "
+            f"({len(blob)} < {HEADER.size} bytes)"
+        )
+    magic, version, _flags, length, crc = HEADER.unpack_from(blob)
+    if magic != MAGIC:
+        raise CheckpointCorruptError(f"bad magic {magic!r} (want {MAGIC!r})")
+    if version > VERSION or version < 1:
+        raise CheckpointCorruptError(
+            f"unknown checkpoint schema version {version} "
+            f"(this build reads <= {VERSION})"
+        )
+    payload = blob[HEADER.size:HEADER.size + length]
+    if len(payload) != length:
+        raise CheckpointCorruptError(
+            f"record torn: header declares {length} payload bytes, "
+            f"only {len(payload)} present"
+        )
+    if zlib.crc32(payload) != crc:
+        raise CheckpointCorruptError("payload CRC32 mismatch")
+    return version, payload

@@ -1,0 +1,221 @@
+"""State capture/restore helpers: traces, kernel accounting, fault state.
+
+Everything the :class:`~repro.checkpoint.manager.CheckpointSession`
+snapshots beyond the algorithm's own vectors lives here:
+
+* per-iteration :class:`~repro.types.IterationTrace` records (the run's
+  observable history — restored by *re-accumulating them in original
+  order*, so ``run.breakdown`` float sums are bit-identical);
+* per-kernel-result accounting (:class:`KernelAccounting`), a light
+  duck-type of :class:`~repro.kernels.base.KernelResult` carrying
+  exactly the attributes :meth:`MatvecDriver.finalize` reads — profiles,
+  byte counts, achieved ops — without the output vectors;
+* the fault layer's live state: injector RNG position, per-DPU health,
+  quarantine sets, re-dispatch cursor and the event log, so a resumed
+  run's fault schedule continues exactly where the crash cut it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+import numpy as np
+
+from ..types import IterationTrace, PhaseBreakdown
+from ..upmem.isa import InstrClass, InstructionProfile
+from ..upmem.profile import KernelProfile
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.resilient import FaultTolerantExecutor
+
+
+# -- phase breakdowns ---------------------------------------------------------
+
+def breakdown_to_dict(breakdown: PhaseBreakdown) -> Dict[str, float]:
+    return {
+        "load": breakdown.load,
+        "kernel": breakdown.kernel,
+        "retrieve": breakdown.retrieve,
+        "merge": breakdown.merge,
+    }
+
+
+def breakdown_from_dict(data: Dict[str, float]) -> PhaseBreakdown:
+    return PhaseBreakdown(
+        load=float(data["load"]),
+        kernel=float(data["kernel"]),
+        retrieve=float(data["retrieve"]),
+        merge=float(data["merge"]),
+    )
+
+
+# -- iteration traces ---------------------------------------------------------
+
+def trace_to_dict(trace: IterationTrace) -> Dict[str, Any]:
+    return {
+        "iteration": int(trace.iteration),
+        "kernel_name": trace.kernel_name,
+        "input_density": float(trace.input_density),
+        "breakdown": breakdown_to_dict(trace.breakdown),
+        "frontier_size": int(trace.frontier_size),
+        "bytes_loaded": int(trace.bytes_loaded),
+        "bytes_retrieved": int(trace.bytes_retrieved),
+    }
+
+
+def trace_from_dict(data: Dict[str, Any]) -> IterationTrace:
+    return IterationTrace(
+        iteration=int(data["iteration"]),
+        kernel_name=str(data["kernel_name"]),
+        input_density=float(data["input_density"]),
+        breakdown=breakdown_from_dict(data["breakdown"]),
+        frontier_size=int(data["frontier_size"]),
+        bytes_loaded=int(data["bytes_loaded"]),
+        bytes_retrieved=int(data["bytes_retrieved"]),
+    )
+
+
+# -- kernel profiles / per-result accounting ---------------------------------
+
+def profile_to_dict(profile: KernelProfile) -> Dict[str, Any]:
+    """Serialize the parts of a profile that survive ``merge_profiles``.
+
+    The optional per-DPU cycle estimate is dropped: nothing downstream
+    of an algorithm run reads it off *merged* profiles, and it holds
+    arrays per DPU that would dominate record size.
+    """
+    return {
+        "kernel_name": profile.kernel_name,
+        "counts": {
+            klass.value: int(count)
+            for klass, count in profile.instructions.counts.items()
+        },
+        "dma_bytes": int(profile.instructions.dma_bytes),
+        "mutex_acquires": int(profile.instructions.mutex_acquires),
+        "rf_pair_fraction": float(profile.instructions.rf_pair_fraction),
+        "num_dpus": int(profile.num_dpus),
+        "active_tasklets_per_dpu": float(profile.active_tasklets_per_dpu),
+    }
+
+
+def profile_from_dict(data: Dict[str, Any]) -> KernelProfile:
+    instructions = InstructionProfile(
+        counts={
+            InstrClass(klass): int(count)
+            for klass, count in data["counts"].items()
+        },
+        dma_bytes=int(data["dma_bytes"]),
+        mutex_acquires=int(data["mutex_acquires"]),
+        rf_pair_fraction=float(data["rf_pair_fraction"]),
+    )
+    return KernelProfile(
+        kernel_name=str(data["kernel_name"]),
+        instructions=instructions,
+        estimate=None,
+        num_dpus=int(data["num_dpus"]),
+        active_tasklets_per_dpu=float(data["active_tasklets_per_dpu"]),
+    )
+
+
+@dataclass
+class KernelAccounting:
+    """What ``finalize`` needs from a past iteration's KernelResult.
+
+    Restored runs rebuild their ``results`` list from these instead of
+    full :class:`~repro.kernels.base.KernelResult` objects (whose output
+    vectors are already folded into the algorithm state).  Attribute
+    names deliberately match ``KernelResult`` so ``finalize`` can
+    duck-type over a mixed list.
+    """
+
+    kernel_name: str
+    profile: KernelProfile
+    bytes_loaded: int
+    bytes_retrieved: int
+    achieved_ops: float
+
+
+def accounting_to_dict(result: Any) -> Dict[str, Any]:
+    """Serialize a KernelResult *or* KernelAccounting (duck-typed).
+
+    SpMM results carry no top-level ``kernel_name``; fall back to the
+    profile's (always present).
+    """
+    name = getattr(result, "kernel_name", None) or result.profile.kernel_name
+    return {
+        "kernel_name": name,
+        "profile": profile_to_dict(result.profile),
+        "bytes_loaded": int(result.bytes_loaded),
+        "bytes_retrieved": int(result.bytes_retrieved),
+        "achieved_ops": float(result.achieved_ops),
+    }
+
+
+def accounting_from_dict(data: Dict[str, Any]) -> KernelAccounting:
+    return KernelAccounting(
+        kernel_name=str(data["kernel_name"]),
+        profile=profile_from_dict(data["profile"]),
+        bytes_loaded=int(data["bytes_loaded"]),
+        bytes_retrieved=int(data["bytes_retrieved"]),
+        achieved_ops=float(data["achieved_ops"]),
+    )
+
+
+# -- fault-layer state --------------------------------------------------------
+
+def fault_state(executor: "FaultTolerantExecutor") -> Dict[str, Any]:
+    """Snapshot everything that makes the next injector draw what it is.
+
+    The injector's PCG64 position, per-DPU health + fault streaks, the
+    re-dispatch round-robin cursor, the executor round counter and the
+    full fault log: restoring these into an identically-built executor
+    makes every subsequent fault decision — and therefore every recovery
+    action and its simulated cost — match the uninterrupted run exactly.
+    """
+    rset = executor.rset
+    return {
+        "rounds": int(executor.rounds),
+        "rr": int(rset._rr),
+        "draws": int(rset.injector.draws),
+        "rng": rset.injector.rng.bit_generator.state,
+        "dpu_states": [str(dpu.state) for dpu in rset.dpus],
+        "fault_streaks": [int(dpu.fault_streak) for dpu in rset.dpus],
+        "log": rset.log.to_dict(),
+    }
+
+
+def restore_fault_state(
+    executor: "FaultTolerantExecutor", state: Dict[str, Any]
+) -> None:
+    """Rewind a fresh executor to a captured fault-layer state."""
+    from ..faults.log import FaultLog
+
+    rset = executor.rset
+    executor.rounds = int(state["rounds"])
+    rset._rr = int(state["rr"])
+    rset.injector.draws = int(state["draws"])
+    rset.injector.rng.bit_generator.state = state["rng"]
+    for dpu, health, streak in zip(
+        rset.dpus, state["dpu_states"], state["fault_streaks"]
+    ):
+        dpu.state = str(health)
+        dpu.fault_streak = int(streak)
+    log = FaultLog.from_dict(state["log"])
+    rset.log = log
+    # per-region bookkeeping is rebuilt from scratch every iteration
+    # (scatter overwrites goldens/CRCs, launch resets adoption maps);
+    # entries can only be live *inside* an iteration, and checkpoints
+    # commit at iteration boundaries — start clean.
+    rset._crc.clear()
+    rset._golden.clear()
+    rset._adopted.clear()
+    rset._compute.clear()
+    rset._latent.clear()
+
+
+def rng_generator_state(rng: Optional[np.random.Generator]) -> Optional[dict]:
+    """JSON-able bit-generator state of a NumPy Generator (or None)."""
+    if rng is None:
+        return None
+    return rng.bit_generator.state

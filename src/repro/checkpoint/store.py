@@ -1,0 +1,176 @@
+"""Checkpoint stores: append records, restore the latest *valid* one.
+
+Two backends share one contract:
+
+:class:`MemoryCheckpointStore`
+    Records in a process-local list — the benchmarking / soak-testing
+    backend (no filesystem noise in overhead measurements).
+
+:class:`DirectoryCheckpointStore`
+    One file per record (``ckpt-00000007.bin``) in a directory, written
+    atomically (tmp file + rename via :mod:`repro.ioutil`) so a crash
+    *between* records never tears one.  Records from previous process
+    lifetimes are picked up on construction — this is what makes CLI
+    ``--resume`` work across real process restarts.
+
+Both expose :meth:`~CheckpointStore.latest_valid`, which walks records
+newest -> oldest and returns the first that passes the full framing
+validation (magic, version, length, CRC32) — torn or corrupted records
+are skipped, never restored from.  The chaos harness writes torn
+records through :meth:`~CheckpointStore.save_torn`, which bypasses the
+atomic path on purpose (modelling a non-atomic filesystem or a lost
+flush) to prove that fallback.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..errors import CheckpointCorruptError
+from ..ioutil import atomic_write_bytes
+from .record import pack_record, unpack_record
+
+_RECORD_RE = re.compile(r"^ckpt-(\d{8})\.bin$")
+
+
+class CheckpointStore:
+    """Abstract record store; subclasses provide the byte persistence."""
+
+    # -- byte-level interface (subclass responsibility) -----------------------
+
+    def _write(self, seq: int, blob: bytes) -> None:
+        raise NotImplementedError
+
+    def _read(self, seq: int) -> bytes:
+        raise NotImplementedError
+
+    def sequence_numbers(self) -> List[int]:
+        """All record sequence numbers present, ascending."""
+        raise NotImplementedError
+
+    def delete(self, seq: int) -> None:
+        raise NotImplementedError
+
+    # -- record-level interface ----------------------------------------------
+
+    def next_sequence(self) -> int:
+        seqs = self.sequence_numbers()
+        return (seqs[-1] + 1) if seqs else 0
+
+    def save(self, payload: bytes) -> Tuple[int, int]:
+        """Frame and persist ``payload``; returns ``(seq, record_bytes)``."""
+        blob = pack_record(payload)
+        seq = self.next_sequence()
+        self._write(seq, blob)
+        return seq, len(blob)
+
+    def save_torn(self, payload: bytes, fraction: float) -> int:
+        """Chaos hook: persist only a prefix of the record (torn write).
+
+        Models a crash mid-write on storage without atomic replace (or a
+        reordered/lost flush): the final location ends up holding a
+        prefix whose CRC cannot match.  Returns the (doomed) sequence
+        number.
+        """
+        blob = pack_record(payload)
+        keep = max(int(len(blob) * fraction), 1)
+        seq = self.next_sequence()
+        self._write(seq, blob[:keep])
+        return seq
+
+    def load(self, seq: int) -> bytes:
+        """Validated payload of record ``seq`` (raises on corruption)."""
+        return unpack_record(self._read(seq))
+
+    def latest_valid(self) -> Optional[Tuple[int, bytes]]:
+        """Newest record that validates, as ``(seq, payload)``.
+
+        Walks newest -> oldest, skipping records that fail magic /
+        version / length / CRC validation (torn writes, partial flushes,
+        bit rot).  Returns ``None`` when no valid record exists.
+        """
+        for seq in reversed(self.sequence_numbers()):
+            try:
+                return seq, self.load(seq)
+            except (CheckpointCorruptError, OSError):
+                continue
+        return None
+
+    def prune(self, keep: int = 2) -> int:
+        """Drop all but the newest ``keep`` records; returns #deleted."""
+        seqs = self.sequence_numbers()
+        doomed = seqs[:-keep] if keep > 0 else seqs
+        for seq in doomed:
+            self.delete(seq)
+        return len(doomed)
+
+    def __len__(self) -> int:
+        return len(self.sequence_numbers())
+
+
+class MemoryCheckpointStore(CheckpointStore):
+    """Records in memory — survives simulated crashes (the harness holds
+    the store object across "reboots"), not real process exits."""
+
+    def __init__(self) -> None:
+        self._records: Dict[int, bytes] = {}
+
+    def _write(self, seq: int, blob: bytes) -> None:
+        self._records[seq] = bytes(blob)
+
+    def _read(self, seq: int) -> bytes:
+        return self._records[seq]
+
+    def sequence_numbers(self) -> List[int]:
+        return sorted(self._records)
+
+    def delete(self, seq: int) -> None:
+        self._records.pop(seq, None)
+
+    def corrupt(self, seq: int, offset: int = 0, flip: int = 0xFF) -> None:
+        """Test hook: XOR one byte of a stored record in place."""
+        blob = bytearray(self._records[seq])
+        blob[offset] ^= flip
+        self._records[seq] = bytes(blob)
+
+
+class DirectoryCheckpointStore(CheckpointStore):
+    """One atomically-written file per record in ``directory``."""
+
+    def __init__(self, directory: Union[str, pathlib.Path]) -> None:
+        self.directory = pathlib.Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, seq: int) -> pathlib.Path:
+        return self.directory / f"ckpt-{seq:08d}.bin"
+
+    def _write(self, seq: int, blob: bytes) -> None:
+        atomic_write_bytes(self.path_for(seq), blob)
+
+    def save_torn(self, payload: bytes, fraction: float) -> int:
+        # deliberately NON-atomic: the torn prefix must land at the
+        # final path, as it would on storage that lost the flush
+        blob = pack_record(payload)
+        keep = max(int(len(blob) * fraction), 1)
+        seq = self.next_sequence()
+        self.path_for(seq).write_bytes(blob[:keep])
+        return seq
+
+    def _read(self, seq: int) -> bytes:
+        return self.path_for(seq).read_bytes()
+
+    def sequence_numbers(self) -> List[int]:
+        seqs = []
+        for entry in self.directory.iterdir():
+            match = _RECORD_RE.match(entry.name)
+            if match:
+                seqs.append(int(match.group(1)))
+        return sorted(seqs)
+
+    def delete(self, seq: int) -> None:
+        try:
+            self.path_for(seq).unlink()
+        except OSError:  # pragma: no cover - already gone
+            pass

@@ -14,7 +14,6 @@ breakdown; ``--json`` additionally writes the machine-readable result.
 from __future__ import annotations
 
 import argparse
-import json
 import pathlib
 import sys
 from typing import Optional, Sequence
@@ -81,6 +80,23 @@ def build_parser() -> argparse.ArgumentParser:
              "transfer leg, per-phase seconds, cycles, retries, cache "
              "hit rates)",
     )
+    parser.add_argument(
+        "--checkpoint-dir", type=pathlib.Path, default=None, metavar="DIR",
+        help="enable checkpointing: write CRC-framed snapshot records "
+             "to DIR (one atomically-written file per record) so an "
+             "interrupted run can be resumed with --resume",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=1, metavar="N",
+        help="snapshot cadence in committed iterations "
+             "(default: 1, i.e. after every iteration)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume from the newest valid record in --checkpoint-dir "
+             "(torn or corrupt records are skipped); without a valid "
+             "record the run starts from scratch",
+    )
     return parser
 
 
@@ -90,22 +106,44 @@ def _make_policy(name: str, matrix):
     return FixedPolicy(name)
 
 
-def _dispatch(args, matrix, system, policy, fault_plan, source):
+def _make_checkpoint(args):
+    """Build the CheckpointConfig from CLI flags (None = disabled)."""
+    if args.checkpoint_dir is None:
+        return None
+    from .checkpoint import (
+        CheckpointConfig,
+        CheckpointPolicy,
+        DirectoryCheckpointStore,
+    )
+
+    return CheckpointConfig(
+        store=DirectoryCheckpointStore(args.checkpoint_dir),
+        policy=CheckpointPolicy(every_iterations=max(args.checkpoint_every, 1)),
+        resume=args.resume,
+    )
+
+
+def _dispatch(args, matrix, system, policy, fault_plan, source, checkpoint):
     """Run the selected algorithm and return its AlgorithmRun."""
     if args.algorithm == "bfs":
         return bfs(matrix, source, system, args.dpus, policy=policy,
-                   dataset=args.dataset, fault_plan=fault_plan)
+                   dataset=args.dataset, fault_plan=fault_plan,
+                   checkpoint=checkpoint)
     if args.algorithm == "sssp":
         return sssp(matrix, source, system, args.dpus, policy=policy,
-                    dataset=args.dataset, fault_plan=fault_plan)
+                    dataset=args.dataset, fault_plan=fault_plan,
+                    checkpoint=checkpoint)
     if args.algorithm == "ppr":
         return ppr(matrix, source, system, args.dpus, policy=policy,
-                   dataset=args.dataset, fault_plan=fault_plan)
+                   dataset=args.dataset, fault_plan=fault_plan,
+                   checkpoint=checkpoint)
     if args.algorithm == "pagerank":
         return pagerank(matrix, system, args.dpus, policy=policy,
-                        dataset=args.dataset, fault_plan=fault_plan)
+                        dataset=args.dataset, fault_plan=fault_plan,
+                        checkpoint=checkpoint)
     return connected_components(matrix, system, args.dpus, policy=policy,
-                                dataset=args.dataset, fault_plan=fault_plan)
+                                dataset=args.dataset, fault_plan=fault_plan,
+                                checkpoint=checkpoint)
 
 
 def _answer(args, run, matrix, source) -> str:
@@ -157,8 +195,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             metrics=True,
             dpus_per_rank=system.dpus_per_rank,
         ))
+    checkpoint = _make_checkpoint(args)
     try:
-        run = _dispatch(args, matrix, system, policy, fault_plan, source)
+        run = _dispatch(
+            args, matrix, system, policy, fault_plan, source, checkpoint
+        )
     finally:
         if session is not None:
             from .observability import deactivate
@@ -178,6 +219,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if run.fault_log is not None:
         print()
         print(run.fault_log.format_report())
+    if run.checkpoint is not None and run.checkpoint.get("enabled"):
+        ck = run.checkpoint
+        resumed = ck.get("resumed_from_iteration")
+        print(f"checkpoint: {ck['records_written']} record(s), "
+              f"{ck['bytes_written']} bytes"
+              + (f", resumed from iteration {resumed}"
+                 if resumed is not None else ""))
     if run.iterations:
         rows = [
             (f"iter {t.iteration} [{t.kernel_name} @ "
@@ -217,12 +265,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "utilization_kernel_pct": run.utilization_kernel_pct,
             "faults": run.fault_log.summary()
             if run.fault_log is not None else None,
+            "checkpoint": run.checkpoint,
             "metrics": run.metrics.as_dict()
             if run.metrics is not None else None,
             "values": run.values.tolist()
             if run.values.size <= 100_000 else None,
         }
-        args.json.write_text(json.dumps(payload, indent=2) + "\n")
+        from .ioutil import atomic_write_json
+
+        atomic_write_json(args.json, payload)
         print(f"\nwrote {args.json}")
     return 0
 

@@ -74,6 +74,18 @@ class UnrecoverableFaultError(DpuFaultError):
     """
 
 
+class CheckpointError(ReproError):
+    """Checkpoint/restore subsystem misuse or configuration error."""
+
+
+class CheckpointCorruptError(CheckpointError):
+    """A checkpoint record failed validation (magic / version / length /
+    CRC).  The restore path treats this as a torn or corrupted record and
+    falls back to the previous valid one — it never restores from a
+    record that raises this.
+    """
+
+
 class KernelError(ReproError):
     """A kernel was invoked with an unsupported configuration."""
 

@@ -53,16 +53,16 @@ class FaultEvent:
 
     def as_dict(self) -> Dict[str, object]:
         return {
-            "index": self.index,
-            "kind": self.kind,
-            "op": self.op,
-            "dpu_id": self.dpu_id,
-            "rank_id": self.rank_id,
-            "action": self.action,
-            "retries": self.retries,
-            "recovery_s": self.recovery_s,
-            "phase": self.phase,
-            "detail": self.detail,
+            "index": int(self.index),
+            "kind": str(self.kind),
+            "op": str(self.op),
+            "dpu_id": int(self.dpu_id),
+            "rank_id": int(self.rank_id),
+            "action": str(self.action),
+            "retries": int(self.retries),
+            "recovery_s": float(self.recovery_s),
+            "phase": str(self.phase),
+            "detail": str(self.detail),
         }
 
 
@@ -150,11 +150,42 @@ class FaultLog:
             "by_kind": self.counts_by_kind(),
             "retries": self.total_retries,
             "redispatches": self.num_redispatches,
-            "quarantined_dpus": sorted(self.quarantined),
-            "failed_ranks": sorted(self.failed_ranks),
+            # sorted lists of plain ints: ``quarantined`` is a Set that
+            # may hold numpy integers, neither of which JSON serializes
+            "quarantined_dpus": sorted(int(i) for i in self.quarantined),
+            "failed_ranks": sorted(int(r) for r in self.failed_ranks),
             "recovery_s": self.recovery_seconds,
             "recovery_s_by_phase": self.recovery_seconds_by_phase(),
         }
+
+    # -- lossless round-trip (checkpoint serialization) ----------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """Lossless JSON-able form (unlike :meth:`summary`, an aggregate).
+
+        Sets become sorted lists of plain ints so the result is stable
+        and JSON-serializable; :meth:`from_dict` restores them to sets.
+        """
+        return {
+            "events": [e.as_dict() for e in self.events],
+            "quarantined": sorted(int(i) for i in self.quarantined),
+            "failed_ranks": sorted(int(r) for r in self.failed_ranks),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FaultLog":
+        """Rebuild a log captured by :meth:`to_dict`.
+
+        Events are constructed directly — **not** via :meth:`record` —
+        so restoring a log never re-emits tracer instants or bumps fault
+        metrics counters for events that already happened.
+        """
+        log = cls()
+        for event_dict in data.get("events", []):
+            log.events.append(FaultEvent(**event_dict))
+        log.quarantined = set(int(i) for i in data.get("quarantined", []))
+        log.failed_ranks = set(int(r) for r in data.get("failed_ranks", []))
+        return log
 
     def schedule(self) -> List[tuple]:
         """Compact (kind, op, dpu_id) tuples — the *fault schedule*.

@@ -1,0 +1,97 @@
+"""Atomic file writes: tmp-file in the same directory + ``os.replace``.
+
+A crashed run must never leave a *torn* report, trace or checkpoint at
+its final path: readers either see the previous complete version of the
+file or the new complete version, never a prefix.  The standard POSIX
+recipe is implemented once here and reused by
+
+* the checkpoint store (:mod:`repro.checkpoint.store`),
+* the trace exporters (:mod:`repro.observability.export`),
+* the ``BENCH_*.json`` benchmark writers.
+
+``os.replace`` is atomic on POSIX and on Windows (same filesystem), and
+the temp file is created *next to* the target so the rename never
+crosses a filesystem boundary.  ``fsync`` before the rename makes the
+content durable-before-visible on crash-consistent filesystems; the
+checkpoint layer's per-record CRC (:mod:`repro.checkpoint.record`)
+stays as defense-in-depth for storage that reorders or loses the flush
+anyway.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+from contextlib import contextmanager
+from typing import IO, Iterator, Union
+
+PathLike = Union[str, pathlib.Path]
+
+
+@contextmanager
+def atomic_writer(
+    path: PathLike, mode: str = "w", encoding: str = "utf-8"
+) -> Iterator[IO]:
+    """Context manager yielding a handle onto a same-directory temp file.
+
+    On clean exit the temp file is fsynced and atomically renamed onto
+    ``path``; on exception it is removed and ``path`` is left untouched.
+
+    >>> with atomic_writer("report.json") as handle:
+    ...     handle.write("{}")
+    """
+    path = pathlib.Path(path)
+    directory = path.parent if str(path.parent) else pathlib.Path(".")
+    if "b" in mode:
+        encoding = None  # type: ignore[assignment]
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(directory), prefix=f".{path.name}.", suffix=".tmp"
+    )
+    handle = os.fdopen(fd, mode, encoding=encoding)
+    try:
+        yield handle
+        handle.flush()
+        try:
+            os.fsync(handle.fileno())
+        except OSError:  # pragma: no cover - exotic filesystems
+            pass
+        handle.close()
+        os.replace(tmp_name, str(path))
+    except BaseException:
+        try:
+            handle.close()
+        finally:
+            try:
+                os.unlink(tmp_name)
+            except OSError:  # pragma: no cover - already gone
+                pass
+        raise
+
+
+def atomic_write_bytes(path: PathLike, data: bytes) -> pathlib.Path:
+    """Atomically replace ``path``'s content with ``data``."""
+    path = pathlib.Path(path)
+    with atomic_writer(path, mode="wb") as handle:
+        handle.write(data)
+    return path
+
+
+def atomic_write_text(
+    path: PathLike, text: str, encoding: str = "utf-8"
+) -> pathlib.Path:
+    """Atomically replace ``path``'s content with ``text``."""
+    path = pathlib.Path(path)
+    with atomic_writer(path, mode="w", encoding=encoding) as handle:
+        handle.write(text)
+    return path
+
+
+def atomic_write_json(
+    path: PathLike, payload: object, indent: int = 2, **dumps_kwargs
+) -> pathlib.Path:
+    """Atomically write ``payload`` as JSON (trailing newline included)."""
+    return atomic_write_text(
+        path, json.dumps(payload, indent=indent, **dumps_kwargs) + "\n"
+    )

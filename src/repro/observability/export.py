@@ -24,6 +24,7 @@ import json
 import pathlib
 from typing import Dict, Iterator, List, Optional, Union
 
+from ..ioutil import atomic_write_json, atomic_writer
 from .metrics import MetricsSnapshot
 from .tracer import PH_COMPLETE, PH_INSTANT, SpanTracer
 
@@ -71,10 +72,13 @@ def chrome_trace_events(tracer: SpanTracer) -> Dict[str, object]:
 def write_chrome_trace(
     tracer: SpanTracer, path: Union[str, pathlib.Path]
 ) -> pathlib.Path:
-    """Write the timeline as a ``chrome://tracing`` / Perfetto file."""
+    """Write the timeline as a ``chrome://tracing`` / Perfetto file.
+
+    The write is atomic (tmp + rename via :mod:`repro.ioutil`): a crash
+    mid-export never leaves a truncated trace at the final path.
+    """
     path = pathlib.Path(path)
-    path.write_text(json.dumps(chrome_trace_events(tracer)) + "\n")
-    return path
+    return atomic_write_json(path, chrome_trace_events(tracer), indent=None)
 
 
 def iter_jsonl(
@@ -94,9 +98,13 @@ def write_jsonl(
     path: Union[str, pathlib.Path],
     metrics: Optional[MetricsSnapshot] = None,
 ) -> pathlib.Path:
-    """Write the timeline (and optional metrics) as JSON-lines."""
+    """Write the timeline (and optional metrics) as JSON-lines.
+
+    Atomic like :func:`write_chrome_trace` — readers never observe a
+    partially-written file.
+    """
     path = pathlib.Path(path)
-    with path.open("w") as handle:
+    with atomic_writer(path) as handle:
         for line in iter_jsonl(tracer, metrics):
             handle.write(line + "\n")
     return path

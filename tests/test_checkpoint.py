@@ -1,0 +1,568 @@
+"""Unit tests for the checkpoint/restore subsystem (PR 5 tentpole).
+
+Covers the record framing (magic / version / length / CRC rejection),
+the pickle-free codec's exactness, policies, both store backends, the
+atomic-write helper, the FaultLog round-trip regression (satellite),
+kernel-policy state capture, restore-time cache behaviour (satellite)
+and the driver-level unrecoverable-fault rebuild path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from conftest import random_graph
+from repro.adaptive import AdaptiveSwitchPolicy
+from repro.algorithms import bfs, sssp
+from repro.algorithms.base import FixedPolicy, MatvecDriver
+from repro.cache import cache_stats, clear_caches
+from repro.checkpoint import (
+    MAGIC,
+    VERSION,
+    CheckpointConfig,
+    CheckpointPolicy,
+    CrashSchedule,
+    DirectoryCheckpointStore,
+    MemoryCheckpointStore,
+    SimulatedCrash,
+    decode,
+    encode,
+    open_checkpoint,
+    pack_record,
+    unpack_record,
+)
+from repro.checkpoint.record import HEADER
+from repro.errors import (
+    CheckpointCorruptError,
+    CheckpointError,
+    UnrecoverableFaultError,
+)
+from repro.faults import FaultLog, FaultPlan
+from repro.ioutil import atomic_write_json, atomic_writer
+from repro.upmem import SystemConfig
+
+pytestmark = pytest.mark.checkpoint
+
+
+@pytest.fixture
+def graph():
+    return random_graph(n=96, avg_degree=4.0, seed=3)
+
+
+@pytest.fixture
+def system():
+    return SystemConfig(num_dpus=64)
+
+
+# -- record framing -----------------------------------------------------------
+
+class TestRecordFraming:
+    def test_round_trip(self):
+        payload = b"the quick brown fox" * 100
+        assert unpack_record(pack_record(payload)) == payload
+
+    def test_empty_payload(self):
+        assert unpack_record(pack_record(b"")) == b""
+
+    def test_header_magic_and_version(self):
+        blob = pack_record(b"x")
+        magic, version, _flags, length, _crc = HEADER.unpack_from(blob)
+        assert magic == MAGIC
+        assert version == VERSION
+        assert length == 1
+
+    def test_truncated_header_rejected(self):
+        with pytest.raises(CheckpointCorruptError):
+            unpack_record(b"APIM")
+
+    def test_bad_magic_rejected(self):
+        blob = bytearray(pack_record(b"payload"))
+        blob[0] ^= 0xFF
+        with pytest.raises(CheckpointCorruptError, match="magic"):
+            unpack_record(bytes(blob))
+
+    def test_future_version_rejected(self):
+        blob = bytearray(pack_record(b"payload"))
+        blob[8] = 0xFF  # version word (little-endian, after 8-byte magic)
+        with pytest.raises(CheckpointCorruptError, match="version"):
+            unpack_record(bytes(blob))
+
+    def test_torn_record_rejected(self):
+        blob = pack_record(b"a" * 1000)
+        for fraction in (0.1, 0.5, 0.99):
+            keep = int(len(blob) * fraction)
+            with pytest.raises(CheckpointCorruptError):
+                unpack_record(blob[:keep])
+
+    def test_bit_rot_rejected(self):
+        blob = bytearray(pack_record(b"b" * 256))
+        blob[-1] ^= 0x01  # flip a payload bit
+        with pytest.raises(CheckpointCorruptError, match="CRC"):
+            unpack_record(bytes(blob))
+
+
+# -- codec --------------------------------------------------------------------
+
+class TestCodec:
+    def test_scalar_tree_round_trip(self):
+        tree = {
+            "a": 1, "b": -2.5, "c": "text", "d": None, "e": True,
+            "nested": {"list": [1, 2.0, "three", False, None]},
+        }
+        assert decode(encode(tree)) == tree
+
+    def test_array_bit_identity(self):
+        rng = np.random.default_rng(0)
+        arrays = {
+            "f64": rng.standard_normal(257),
+            "f32": rng.standard_normal(64).astype(np.float32),
+            "i64": rng.integers(-(2**62), 2**62, 33),
+            "i32": rng.integers(-100, 100, 5).astype(np.int32),
+            "bool": rng.random(77) > 0.5,
+            "with_inf": np.array([np.inf, -np.inf, 0.0, np.nan]),
+            "matrix": rng.standard_normal((13, 7)),
+            "empty": np.empty(0, dtype=np.int64),
+        }
+        out = decode(encode(arrays))
+        for key, array in arrays.items():
+            assert out[key].dtype == array.dtype, key
+            assert out[key].shape == array.shape, key
+            assert out[key].tobytes() == array.tobytes(), key
+
+    def test_pcg64_state_round_trip(self):
+        rng = np.random.default_rng(12345)
+        rng.random(100)
+        state = rng.bit_generator.state  # holds 128-bit ints
+        restored = decode(encode(state))
+        fresh = np.random.default_rng(0)
+        fresh.bit_generator.state = restored
+        assert np.array_equal(rng.random(50), fresh.random(50))
+
+    def test_float_exactness(self):
+        values = [0.1, 1e-300, 1.7976931348623157e308, -0.0, 2**-1074]
+        out = decode(encode({"v": values}))
+        for a, b in zip(values, out["v"]):
+            assert np.float64(a).tobytes() == np.float64(b).tobytes()
+
+    def test_object_dtype_rejected(self):
+        with pytest.raises(CheckpointError):
+            encode({"bad": np.array([object()], dtype=object)})
+
+    def test_non_string_keys_rejected(self):
+        with pytest.raises(CheckpointError):
+            encode({1: "no"})
+
+    def test_reserved_key_rejected(self):
+        with pytest.raises(CheckpointError):
+            encode({"__nd__": [0, "<f8", [1]]})
+
+    def test_arbitrary_object_rejected(self):
+        with pytest.raises(CheckpointError):
+            encode({"fn": lambda: None})
+
+    def test_truncated_payload_rejected(self):
+        payload = encode({"a": np.arange(100)})
+        with pytest.raises(CheckpointCorruptError):
+            decode(payload[: len(payload) // 2])
+        with pytest.raises(CheckpointCorruptError):
+            decode(b"\x01")
+
+    def test_deterministic(self):
+        tree = {"x": np.arange(10), "y": [1.5, "z"], "n": 42}
+        assert encode(tree) == encode(tree)
+
+
+# -- policy -------------------------------------------------------------------
+
+class TestCheckpointPolicy:
+    def test_every_iterations(self):
+        policy = CheckpointPolicy(every_iterations=3)
+        assert not policy.due(2, 0.0)
+        assert policy.due(3, 0.0)
+        assert policy.due(4, 0.0)
+
+    def test_every_sim_seconds(self):
+        policy = CheckpointPolicy(every_sim_seconds=1.0)
+        assert not policy.due(100, 0.5)
+        assert policy.due(0, 1.0)
+
+    def test_either_trigger(self):
+        policy = CheckpointPolicy(every_iterations=5, every_sim_seconds=2.0)
+        assert policy.due(5, 0.0)
+        assert policy.due(0, 2.5)
+        assert not policy.due(4, 1.9)
+
+    def test_disabled_policy_never_fires(self):
+        policy = CheckpointPolicy()
+        assert not policy.enabled
+        assert not policy.due(10**6, 10**6)
+        assert policy.describe() == "never"
+
+    def test_validation(self):
+        with pytest.raises(CheckpointError):
+            CheckpointPolicy(every_iterations=0)
+        with pytest.raises(CheckpointError):
+            CheckpointPolicy(every_sim_seconds=0.0)
+
+
+# -- stores -------------------------------------------------------------------
+
+class TestStores:
+    @pytest.fixture(params=["memory", "directory"])
+    def store(self, request, tmp_path):
+        if request.param == "memory":
+            return MemoryCheckpointStore()
+        return DirectoryCheckpointStore(tmp_path / "ckpts")
+
+    def test_save_load(self, store):
+        seq, nbytes = store.save(b"first")
+        assert seq == 0 and nbytes > len(b"first")
+        assert store.load(0) == b"first"
+        assert store.save(b"second")[0] == 1
+        assert len(store) == 2
+
+    def test_latest_valid_skips_torn(self, store):
+        store.save(b"good-old")
+        store.save_torn(b"doomed", fraction=0.5)
+        found = store.latest_valid()
+        assert found is not None
+        seq, payload = found
+        assert seq == 0 and payload == b"good-old"
+
+    def test_latest_valid_none_when_all_bad(self, store):
+        assert store.latest_valid() is None
+        store.save_torn(b"doomed", fraction=0.3)
+        assert store.latest_valid() is None
+
+    def test_prune(self, store):
+        for i in range(5):
+            store.save(b"r%d" % i)
+        assert store.prune(keep=2) == 3
+        assert store.sequence_numbers() == [3, 4]
+        assert store.latest_valid()[0] == 4
+
+    def test_memory_corrupt_hook(self):
+        store = MemoryCheckpointStore()
+        store.save(b"payload-a")
+        store.save(b"payload-b")
+        store.corrupt(1, offset=30)
+        seq, payload = store.latest_valid()
+        assert seq == 0 and payload == b"payload-a"
+
+    def test_directory_survives_reopen(self, tmp_path):
+        first = DirectoryCheckpointStore(tmp_path / "ck")
+        first.save(b"persisted")
+        second = DirectoryCheckpointStore(tmp_path / "ck")
+        assert second.latest_valid() == (0, b"persisted")
+        assert second.next_sequence() == 1
+
+    def test_directory_files_named_by_sequence(self, tmp_path):
+        store = DirectoryCheckpointStore(tmp_path / "ck")
+        store.save(b"x")
+        assert (tmp_path / "ck" / "ckpt-00000000.bin").exists()
+        # stray files are ignored
+        (tmp_path / "ck" / "notes.txt").write_text("ignore me")
+        assert store.sequence_numbers() == [0]
+
+
+# -- ioutil (satellite) -------------------------------------------------------
+
+class TestAtomicWrites:
+    def test_success_replaces_atomically(self, tmp_path):
+        target = tmp_path / "out.json"
+        target.write_text("old")
+        with atomic_writer(target) as handle:
+            handle.write("new")
+        assert target.read_text() == "new"
+        assert os.listdir(tmp_path) == ["out.json"]  # no temp litter
+
+    def test_failure_leaves_target_untouched(self, tmp_path):
+        target = tmp_path / "out.json"
+        target.write_text("old")
+        with pytest.raises(RuntimeError):
+            with atomic_writer(target) as handle:
+                handle.write("partial")
+                raise RuntimeError("crash mid-write")
+        assert target.read_text() == "old"
+        assert os.listdir(tmp_path) == ["out.json"]
+
+    def test_json_helper(self, tmp_path):
+        target = tmp_path / "report.json"
+        atomic_write_json(target, {"k": [1, 2]})
+        assert json.loads(target.read_text()) == {"k": [1, 2]}
+        assert target.read_text().endswith("\n")
+
+
+# -- FaultLog round-trip (satellite regression) -------------------------------
+
+class TestFaultLogRoundTrip:
+    def _sample_log(self):
+        log = FaultLog()
+        log.add(kind="crash", op="launch", dpu_id=3, rank_id=0,
+                action="retry-ok", retries=2, recovery_s=1.5e-4,
+                phase="kernel", detail="y.int32")
+        log.add(kind="bitflip", op="gather", dpu_id=np.int64(7), rank_id=0,
+                action="redispatch", recovery_s=3e-5, phase="retrieve")
+        log.quarantined.add(np.int64(7))
+        log.failed_ranks.add(np.int64(1))
+        return log
+
+    def test_lossless_round_trip(self):
+        log = self._sample_log()
+        restored = FaultLog.from_dict(log.to_dict())
+        assert restored.schedule() == log.schedule()
+        assert [e.as_dict() for e in restored.events] == \
+            [e.as_dict() for e in log.events]
+        assert restored.quarantined == {7}
+        assert restored.failed_ranks == {1}
+        # sets restored as sets, not lists
+        assert isinstance(restored.quarantined, set)
+
+    def test_summary_json_serializable(self):
+        """Regression: np.int64 members of `quarantined` broke --json."""
+        log = self._sample_log()
+        text = json.dumps(log.summary())
+        parsed = json.loads(text)
+        assert parsed["quarantined_dpus"] == [7]
+        assert parsed["failed_ranks"] == [1]
+
+    def test_to_dict_json_serializable(self):
+        assert json.loads(json.dumps(self._sample_log().to_dict()))
+
+    def test_from_dict_emits_no_observability(self):
+        """Restoring a log must not re-emit tracer/metrics events."""
+        from repro.observability import (
+            ObservabilitySession,
+            activate,
+            deactivate,
+        )
+
+        data = self._sample_log().to_dict()
+        session = activate(ObservabilitySession(trace=True, metrics=True))
+        try:
+            FaultLog.from_dict(data)
+            assert len(session.tracer.events) == 0
+            snapshot = session.metrics.snapshot()
+            assert snapshot.counters.get("faults.events", 0) == 0
+        finally:
+            deactivate()
+
+
+# -- kernel-policy state ------------------------------------------------------
+
+class TestPolicyState:
+    def test_fixed_policy_stateless(self):
+        policy = FixedPolicy("spmv")
+        assert policy.state_dict() == {}
+        policy.load_state_dict({})  # no-op
+
+    def test_adaptive_sticky_latch_round_trips(self):
+        policy = AdaptiveSwitchPolicy(threshold=0.2)
+        assert policy.state_dict() == {"switched": False}
+        policy.choose(0, density=0.5)  # flips the latch
+        assert policy.state_dict() == {"switched": True}
+
+        fresh = AdaptiveSwitchPolicy(threshold=0.2)
+        fresh.load_state_dict(policy.state_dict())
+        # sticky: stays on spmv even below the threshold
+        assert fresh.choose(1, density=0.01) == "spmv"
+
+
+# -- session behaviour --------------------------------------------------------
+
+class TestCheckpointSession:
+    def test_disabled_session_is_null_object(self, graph, system):
+        baseline = bfs(graph, 0, system, 64)
+        assert baseline.checkpoint is None  # default path untouched
+
+    def test_enabled_run_matches_disabled_bit_for_bit(self, graph, system):
+        baseline = bfs(graph, 0, system, 64)
+        config = CheckpointConfig(store=MemoryCheckpointStore())
+        checked = bfs(graph, 0, system, 64, checkpoint=config)
+        assert np.array_equal(baseline.values, checked.values)
+        assert baseline.breakdown.total == checked.breakdown.total
+        assert baseline.energy.total_j == checked.energy.total_j
+        assert checked.checkpoint["records_written"] == \
+            len(checked.iterations)
+        assert checked.checkpoint["bytes_written"] > 0
+
+    def test_cadence_every_k(self, graph, system):
+        config = CheckpointConfig(
+            store=MemoryCheckpointStore(),
+            policy=CheckpointPolicy(every_iterations=3),
+        )
+        run = bfs(graph, 0, system, 64, checkpoint=config)
+        assert run.checkpoint["records_written"] == \
+            len(run.iterations) // 3
+
+    def test_sim_seconds_cadence(self, graph, system):
+        plain = bfs(graph, 0, system, 64)
+        target = plain.breakdown.total / 2.5
+        config = CheckpointConfig(
+            store=MemoryCheckpointStore(),
+            policy=CheckpointPolicy(every_sim_seconds=target),
+        )
+        run = bfs(graph, 0, system, 64, checkpoint=config)
+        assert 1 <= run.checkpoint["records_written"] < len(run.iterations)
+
+    def test_prune_keep(self, graph, system):
+        store = MemoryCheckpointStore()
+        config = CheckpointConfig(store=store, prune_keep=2)
+        bfs(graph, 0, system, 64, checkpoint=config)
+        assert len(store) == 2
+
+    def test_algorithm_mismatch_rejected(self, graph, system):
+        store = MemoryCheckpointStore()
+        config = CheckpointConfig(store=store)
+        bfs(graph, 0, system, 64, checkpoint=config)
+        with pytest.raises(CheckpointError, match="cannot resume"):
+            sssp(
+                random_graph(n=96, avg_degree=4.0, seed=3, weights="random"),
+                0, system, 64, checkpoint=config,
+            )
+
+    def test_resume_false_ignores_existing_records(self, graph, system):
+        store = MemoryCheckpointStore()
+        config = CheckpointConfig(store=store)
+        bfs(graph, 0, system, 64, checkpoint=config)
+        fresh = CheckpointConfig(store=store, resume=False)
+        run = bfs(graph, 0, system, 64, checkpoint=fresh)
+        assert run.checkpoint["restore_count"] == 0
+
+    def test_zero_sim_time_overhead(self, graph, system):
+        """Snapshots charge no simulated seconds (timeline-neutral)."""
+        plain = bfs(graph, 0, system, 64)
+        config = CheckpointConfig(store=MemoryCheckpointStore())
+        checked = bfs(graph, 0, system, 64, checkpoint=config)
+        assert plain.breakdown.as_dict() == checked.breakdown.as_dict()
+
+    def test_open_checkpoint_factory(self, graph, system):
+        from repro.algorithms.base import AlgorithmRun
+
+        run = AlgorithmRun(algorithm="bfs", dataset="t")
+        session = open_checkpoint(None, algorithm="bfs", run=run)
+        assert not session.enabled
+        sentinel = object()
+        assert session.execute(lambda snap: sentinel) is sentinel
+
+
+# -- restore-time cache interaction (satellite) -------------------------------
+
+class TestRestoreCacheInteraction:
+    def test_resumed_run_hits_plan_cache(self, graph, system):
+        """A resumed invocation reuses cached partitioning: the plan and
+        kernel caches serve the rebuilt MatvecDriver without any cold
+        re-partitioning (no new misses)."""
+        clear_caches()
+        schedule = CrashSchedule(crash_iterations=[2])
+        config = CheckpointConfig(
+            store=MemoryCheckpointStore(), crash_schedule=schedule
+        )
+        with pytest.raises(SimulatedCrash):
+            bfs(graph, 0, system, 64, checkpoint=config)
+        before = cache_stats()
+        resumed = bfs(graph, 0, system, 64, checkpoint=config)
+        after = cache_stats()
+        assert resumed.checkpoint["restore_count"] == 1
+
+        for cache in ("plan_cache", "kernel_cache"):
+            assert after[cache]["misses"] == before[cache]["misses"], (
+                f"{cache}: resume caused a cold re-partition"
+            )
+        # The kernel cache fronts the plan cache: a warm resume is served
+        # straight from it (the plan cache is never consulted again).
+        warm_hits = (
+            after["kernel_cache"]["hits"]
+            + after["kernel_cache"]["structural_hits"]
+        )
+        cold_hits = (
+            before["kernel_cache"]["hits"]
+            + before["kernel_cache"]["structural_hits"]
+        )
+        assert warm_hits > cold_hits, "kernel_cache: no warm hit on resume"
+
+
+# -- unrecoverable-fault rebuild (driver layer) -------------------------------
+
+class TestUnrecoverableRecovery:
+    def test_rebuild_and_resume_from_checkpoint(self, graph, system):
+        baseline = bfs(graph, 0, system, 64)
+        plan = FaultPlan.uniform(0.01, seed=5)
+        driver = MatvecDriver(graph, system, 64, fault_plan=plan)
+        real_step = driver.step
+        state = {"calls": 0}
+
+        def fatal_once(x, semiring, policy, iteration):
+            state["calls"] += 1
+            if iteration == 3 and state["calls"] <= 4:
+                raise UnrecoverableFaultError("machine died")
+            return real_step(x, semiring, policy, iteration)
+
+        driver.step = fatal_once
+        config = CheckpointConfig(store=MemoryCheckpointStore())
+        run = bfs(graph, 0, system, 64, driver=driver, checkpoint=config)
+        assert np.array_equal(baseline.values, run.values)
+        assert run.checkpoint["machine_generation"] == 1
+        assert run.checkpoint["restore_count"] >= 1
+
+    def test_bounded_restores_then_propagates(self, graph, system):
+        hostile = FaultPlan(seed=1, rank_failure_rate=1.0)
+        config = CheckpointConfig(
+            store=MemoryCheckpointStore(), max_restores=2
+        )
+        with pytest.raises(UnrecoverableFaultError):
+            bfs(graph, 0, system, 64, fault_plan=hostile, checkpoint=config)
+
+    def test_rebuild_reseeds_injector_and_quarantines_failed_ranks(
+        self, graph, system
+    ):
+        plan = FaultPlan.uniform(0.02, seed=9)
+        driver = MatvecDriver(graph, system, 64, fault_plan=plan)
+        old = driver._fault_executor
+        old.log.failed_ranks.add(0)
+        driver.rebuild_fault_executor(salt=1)
+        fresh = driver._fault_executor
+        assert fresh is not old
+        assert fresh.plan.seed != plan.seed
+        assert fresh.log is old.log  # cumulative log carried forward
+        assert fresh.healthy_count == 0  # the only rank was dead
+
+    def test_rebuild_noop_without_fault_layer(self, graph, system):
+        driver = MatvecDriver(graph, system, 64)
+        driver.rebuild_fault_executor(salt=1)
+        assert driver._fault_executor is None
+
+
+# -- observability spans/metrics ----------------------------------------------
+
+class TestCheckpointObservability:
+    def test_save_and_restore_events(self, graph, system):
+        from repro.observability import (
+            ObservabilitySession,
+            activate,
+            deactivate,
+        )
+
+        schedule = CrashSchedule(crash_iterations=[2])
+        config = CheckpointConfig(
+            store=MemoryCheckpointStore(), crash_schedule=schedule
+        )
+        session = activate(ObservabilitySession(trace=True, metrics=True))
+        try:
+            with pytest.raises(SimulatedCrash):
+                bfs(graph, 0, system, 64, checkpoint=config)
+            run = bfs(graph, 0, system, 64, checkpoint=config)
+            names = [e.name for e in session.tracer.events]
+            assert "checkpoint:save" in names
+            assert "checkpoint:restore" in names
+            counters = session.metrics.snapshot().counters
+            assert counters["checkpoint.records"] == \
+                run.checkpoint["records_written"] + 2  # pre-crash saves
+            assert counters["checkpoint.restore_count"] == 1
+            assert counters["checkpoint.bytes_written"] > 0
+        finally:
+            deactivate()

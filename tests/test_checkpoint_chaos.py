@@ -1,0 +1,343 @@
+"""Chaos soak harness: crash/resume bit-identity across the algorithm zoo.
+
+Property under test: *a run that is killed at arbitrary points — between
+iterations, right after a commit, or in the middle of a checkpoint write
+— and then resumed from its checkpoint store produces exactly the
+numbers the uninterrupted run produces.*  "Exactly" means bit-identity:
+result vectors compare equal as raw bytes, every per-iteration trace
+matches field for field, the float phase sums agree to the last ulp,
+and (when a :class:`~repro.faults.FaultPlan` is armed) the injected
+fault schedule of the stitched-together run equals the uninterrupted
+one's event for event.
+
+The seeded soak reads ``REPRO_CHAOS_SEED`` from the environment
+(default 0) so a CI matrix can sweep schedules without code changes::
+
+    REPRO_CHAOS_SEED=2 pytest -m checkpoint tests/test_checkpoint_chaos.py
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from conftest import random_graph
+
+from repro.algorithms import (
+    bfs,
+    connected_components,
+    multi_source_bfs,
+    pagerank,
+    ppr,
+    sssp,
+    sssp_delta_stepping,
+)
+from repro.checkpoint import (
+    CheckpointConfig,
+    CheckpointPolicy,
+    CrashSchedule,
+    DirectoryCheckpointStore,
+    MemoryCheckpointStore,
+    SimulatedCrash,
+)
+from repro.faults import FaultPlan
+from repro.upmem.config import SystemConfig
+
+pytestmark = pytest.mark.checkpoint
+
+#: CI soak matrix knob: which random crash schedule this process runs.
+CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "0"))
+
+NUM_DPUS = 64
+
+# Hard cap on chaos re-invocations: a schedule with K kill points needs
+# at most K + 1 attempts (each kill fires single-shot).
+MAX_ATTEMPTS = 16
+
+
+@pytest.fixture()
+def system():
+    return SystemConfig(num_dpus=NUM_DPUS)
+
+
+@pytest.fixture()
+def graph():
+    return random_graph(n=96, avg_degree=4.0, seed=11)
+
+
+@pytest.fixture()
+def wgraph():
+    return random_graph(n=96, avg_degree=4.0, seed=11, weights="random")
+
+
+# -- the algorithm zoo --------------------------------------------------------
+#
+# name -> callable(graph, wgraph, system, checkpoint, fault_plan) -> run
+
+RUNNERS = {
+    "bfs": lambda g, w, s, ck, fp: bfs(
+        g, 0, s, NUM_DPUS, checkpoint=ck, fault_plan=fp
+    ),
+    "sssp": lambda g, w, s, ck, fp: sssp(
+        w, 0, s, NUM_DPUS, checkpoint=ck, fault_plan=fp
+    ),
+    "ppr": lambda g, w, s, ck, fp: ppr(
+        g, 3, s, NUM_DPUS, checkpoint=ck, fault_plan=fp
+    ),
+    "pagerank": lambda g, w, s, ck, fp: pagerank(
+        g, s, NUM_DPUS, checkpoint=ck, fault_plan=fp
+    ),
+    "cc": lambda g, w, s, ck, fp: connected_components(
+        g, s, NUM_DPUS, checkpoint=ck, fault_plan=fp
+    ),
+    "delta": lambda g, w, s, ck, fp: sssp_delta_stepping(
+        w, 0, s, NUM_DPUS, checkpoint=ck, fault_plan=fp
+    ),
+    "msbfs": lambda g, w, s, ck, fp: multi_source_bfs(
+        g, [0, 5, 17], s, NUM_DPUS, checkpoint=ck
+    ),
+}
+
+#: Runners that accept a fault plan (msbfs has no fault-layer path).
+FAULTABLE = ("bfs", "sssp", "ppr", "pagerank", "cc", "delta")
+
+
+def run_until_done(runner, graph, wgraph, system, config):
+    """Invoke the algorithm under chaos until an attempt completes.
+
+    Each :class:`SimulatedCrash` models one machine death; re-invoking
+    with the same config is the "operator restarts the job" step.
+    """
+    crashes = 0
+    for _ in range(MAX_ATTEMPTS):
+        try:
+            return runner(graph, wgraph, system, config, None), crashes
+        except SimulatedCrash:
+            crashes += 1
+    raise AssertionError(f"still crashing after {MAX_ATTEMPTS} attempts")
+
+
+def assert_bit_identical(expected, actual, faults: bool = False):
+    """Full observable-state equality between two AlgorithmRuns."""
+    assert actual.values.dtype == expected.values.dtype
+    assert actual.values.shape == expected.values.shape
+    assert actual.values.tobytes() == expected.values.tobytes()
+    assert actual.converged == expected.converged
+    assert actual.num_iterations == expected.num_iterations
+    assert actual.breakdown.as_dict() == expected.breakdown.as_dict()
+    assert actual.achieved_ops == expected.achieved_ops
+    assert actual.energy.total_j == expected.energy.total_j
+    for t_exp, t_act in zip(expected.iterations, actual.iterations):
+        assert t_act.iteration == t_exp.iteration
+        assert t_act.kernel_name == t_exp.kernel_name
+        assert t_act.input_density == t_exp.input_density
+        assert t_act.breakdown.as_dict() == t_exp.breakdown.as_dict()
+        assert t_act.frontier_size == t_exp.frontier_size
+        assert t_act.bytes_loaded == t_exp.bytes_loaded
+        assert t_act.bytes_retrieved == t_exp.bytes_retrieved
+    if faults:
+        assert expected.fault_log is not None
+        assert actual.fault_log is not None
+        assert actual.fault_log.schedule() == expected.fault_log.schedule()
+        assert actual.fault_log.summary() == expected.fault_log.summary()
+
+
+# -- crash/resume bit-identity grid -------------------------------------------
+
+class TestCrashResumeGrid:
+    @pytest.mark.parametrize("name", sorted(RUNNERS))
+    @pytest.mark.parametrize("kill", [0, 1, 2])
+    def test_single_crash_resume(self, name, kill, graph, wgraph, system):
+        runner = RUNNERS[name]
+        baseline = runner(graph, wgraph, system, None, None)
+        if kill >= baseline.num_iterations:
+            pytest.skip("schedule kills after convergence")
+        config = CheckpointConfig(
+            store=MemoryCheckpointStore(),
+            crash_schedule=CrashSchedule(crash_iterations=[kill]),
+        )
+        resumed, crashes = run_until_done(
+            runner, graph, wgraph, system, config
+        )
+        assert crashes == 1
+        assert_bit_identical(baseline, resumed)
+        assert resumed.checkpoint["enabled"]
+        if kill > 0:
+            assert resumed.checkpoint["resumed_from_iteration"] == kill - 1
+
+    @pytest.mark.parametrize("name", sorted(RUNNERS))
+    def test_multi_crash_resume(self, name, graph, wgraph, system):
+        """Two machine deaths (one pre-step, one post-commit) in one run."""
+        runner = RUNNERS[name]
+        baseline = runner(graph, wgraph, system, None, None)
+        if baseline.num_iterations < 4:
+            pytest.skip("run too short for a two-kill schedule")
+        config = CheckpointConfig(
+            store=MemoryCheckpointStore(),
+            crash_schedule=CrashSchedule(
+                crash_iterations=[1],
+                post_commit_iterations=[2],
+            ),
+        )
+        resumed, crashes = run_until_done(
+            runner, graph, wgraph, system, config
+        )
+        assert crashes == 2
+        assert_bit_identical(baseline, resumed)
+
+
+# -- chaos layered over fault injection ---------------------------------------
+
+class TestCrashResumeUnderFaults:
+    @pytest.mark.parametrize("name", FAULTABLE)
+    def test_fault_schedule_survives_resume(
+        self, name, graph, wgraph, system
+    ):
+        """Crash + resume with an armed FaultPlan: the stitched run's
+        injected faults (and their recovery costs) equal the
+        uninterrupted run's, because the checkpoint carries the
+        injector's RNG position and the DPU health table."""
+        runner = RUNNERS[name]
+        plan = FaultPlan.uniform(0.02, seed=CHAOS_SEED + 40)
+
+        def with_faults(g, w, s, ck, _fp):
+            return runner(g, w, s, ck, plan)
+
+        baseline = with_faults(graph, wgraph, system, None, None)
+        if baseline.num_iterations < 3:
+            pytest.skip("run converges before the kill point")
+        config = CheckpointConfig(
+            store=MemoryCheckpointStore(),
+            crash_schedule=CrashSchedule(crash_iterations=[2]),
+        )
+        resumed, crashes = run_until_done(
+            with_faults, graph, wgraph, system, config
+        )
+        assert crashes == 1
+        assert_bit_identical(baseline, resumed, faults=True)
+
+
+# -- torn checkpoint writes ---------------------------------------------------
+
+class TestTornWrites:
+    def test_torn_record_falls_back_to_previous(
+        self, graph, system, tmp_path
+    ):
+        """The machine dies mid-checkpoint-write at record 2; resume
+        skips the truncated file and restores record 1 — still
+        bit-identical, just re-executing one extra iteration."""
+        baseline = bfs(graph, 0, system, NUM_DPUS)
+        assert baseline.num_iterations >= 4
+        store = DirectoryCheckpointStore(tmp_path)
+        config = CheckpointConfig(
+            store=store,
+            crash_schedule=CrashSchedule(
+                torn_write_records=[2], torn_fraction=0.4
+            ),
+        )
+        resumed, crashes = run_until_done(
+            RUNNERS["bfs"], graph, None, system, config
+        )
+        assert crashes == 1
+        assert_bit_identical(baseline, resumed)
+        # torn file exists on disk but was never served
+        latest = store.latest_valid()
+        assert latest is not None
+        assert resumed.checkpoint["resumed_from_iteration"] == 1
+
+    def test_first_record_torn_resumes_from_scratch(
+        self, graph, system, tmp_path
+    ):
+        """When the very first checkpoint write is the torn one there is
+        no valid record at restart: the run starts over from iteration 0
+        and still matches the baseline."""
+        baseline = bfs(graph, 0, system, NUM_DPUS)
+        store = DirectoryCheckpointStore(tmp_path)
+        config = CheckpointConfig(
+            store=store,
+            crash_schedule=CrashSchedule(
+                torn_write_records=[0], torn_fraction=0.6
+            ),
+        )
+        resumed, crashes = run_until_done(
+            RUNNERS["bfs"], graph, None, system, config
+        )
+        assert crashes == 1
+        assert_bit_identical(baseline, resumed)
+        assert resumed.checkpoint["resumed_from_iteration"] is None
+
+    def test_bit_rot_record_is_skipped(self, graph, system):
+        """A record corrupted at rest (CRC mismatch) is skipped by
+        latest_valid() during resume."""
+        baseline = bfs(graph, 0, system, NUM_DPUS)
+        store = MemoryCheckpointStore()
+        config = CheckpointConfig(
+            store=store,
+            crash_schedule=CrashSchedule(crash_iterations=[3]),
+        )
+        with pytest.raises(SimulatedCrash):
+            RUNNERS["bfs"](graph, None, system, config, None)
+        # flip a byte in the newest record's payload
+        newest = max(store.sequence_numbers())
+        store.corrupt(newest, offset=40)
+        resumed = RUNNERS["bfs"](graph, None, system, config, None)
+        assert_bit_identical(baseline, resumed)
+        assert resumed.checkpoint["resumed_from_iteration"] < 3
+
+
+# -- seeded soak (the CI chaos matrix entry point) ----------------------------
+
+class TestSeededSoak:
+    @pytest.mark.parametrize("case", range(4))
+    def test_random_schedule_soak(self, case, graph, wgraph, system):
+        """Random kill points + torn writes from the matrix seed, over a
+        rotating algorithm: whatever the schedule does, the stitched run
+        must equal the uninterrupted run bit for bit."""
+        name = sorted(RUNNERS)[(CHAOS_SEED + case) % len(RUNNERS)]
+        runner = RUNNERS[name]
+        baseline = runner(graph, wgraph, system, None, None)
+        horizon = max(baseline.num_iterations - 1, 1)
+        schedule = CrashSchedule.seeded(
+            seed=CHAOS_SEED * 101 + case,
+            max_iteration=horizon,
+            num_crashes=min(2, horizon + 1),
+            torn_writes=1 if horizon > 2 else 0,
+        )
+        config = CheckpointConfig(
+            store=MemoryCheckpointStore(), crash_schedule=schedule
+        )
+        resumed, crashes = run_until_done(
+            runner, graph, wgraph, system, config
+        )
+        assert crashes == schedule.crashes
+        assert_bit_identical(baseline, resumed)
+
+    def test_soak_with_faults_and_directory_store(
+        self, graph, system, tmp_path
+    ):
+        """End-to-end worst case: fault injection armed, records on
+        disk, a seeded schedule with two kills and a torn write."""
+        plan = FaultPlan.uniform(0.015, seed=CHAOS_SEED + 7)
+        baseline = bfs(graph, 0, system, NUM_DPUS, fault_plan=plan)
+        horizon = max(baseline.num_iterations - 1, 1)
+        schedule = CrashSchedule.seeded(
+            seed=CHAOS_SEED * 31 + 5,
+            max_iteration=horizon,
+            num_crashes=min(2, horizon + 1),
+            torn_writes=1 if horizon > 2 else 0,
+        )
+        config = CheckpointConfig(
+            store=DirectoryCheckpointStore(tmp_path),
+            crash_schedule=schedule,
+        )
+
+        def with_faults(g, w, s, ck, _fp):
+            return bfs(g, 0, s, NUM_DPUS, checkpoint=ck, fault_plan=plan)
+
+        resumed, crashes = run_until_done(
+            with_faults, graph, None, system, config
+        )
+        assert crashes == schedule.crashes
+        assert_bit_identical(baseline, resumed, faults=True)
