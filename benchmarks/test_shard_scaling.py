@@ -1,0 +1,151 @@
+"""Shard-runtime benchmark (PR 6 tentpole gate).
+
+Three contracts from the shard-scheduled runtime's design:
+
+1. **The launch path got faster.**  A full ``run_table4`` pass (min of
+   5, after warm-up) must beat the frozen PR 5 baseline by at least
+   1.5x on the same scale/DPU knobs — the zero-churn vectorized launch
+   path (ndarray ``from_edges``, packed dedup keys, array-sliced plan
+   rebinds, trace memoization) is where the time comes from.
+2. **Overlap changes no reported number.**  ``run_table4`` under the
+   default overlapped schedule and under ``REPRO_SHARD_EXEC=lockstep``
+   must produce bit-identical rows: same kernel seconds, same totals,
+   same utilization, same energy.  The pipeline reshapes only the
+   internal timeline.
+3. **Overlap pays off where the model says it should.**  The
+   1 -> 2,560-DPU sweep must show positive makespan savings at full
+   machine scale (40 ranks, where the aggregate DPU<->host peaks cap
+   the concurrent per-rank legs) and only issue-gap-bounded overhead
+   below it.
+
+Results go to ``BENCH_PR6.json`` at the repository root.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from repro.ioutil import atomic_write_json
+from repro.experiments import (
+    DatasetCache,
+    ExperimentConfig,
+    run_shard_scaling,
+    run_table4,
+)
+from repro.experiments.table4 import TABLE4_DATASETS, TABLE4_MIN_SCALE
+from repro.upmem.sharding import shard_mode_override
+
+#: run_table4 wall seconds measured at the PR 5 commit with
+#: scale=TABLE4_MIN_SCALE and num_dpus=2048, the same knobs
+#: _table4_config pins below (warm-up discarded, min of 5).
+PR5_TABLE4_BASELINE_S = 2.45
+
+#: The gate: the launch-path rework must clear at least this speedup
+#: over the frozen PR 5 baseline.
+REQUIRED_SPEEDUP = 1.5
+
+BENCH_PATH = pathlib.Path(__file__).parents[1] / "BENCH_PR6.json"
+
+
+def _table4_config(config: ExperimentConfig) -> ExperimentConfig:
+    """Pin the exact knobs the PR 5 baseline was measured with."""
+    return ExperimentConfig(
+        scale=max(config.scale, TABLE4_MIN_SCALE),
+        num_dpus=max(config.num_dpus, 2048),
+        seed=config.seed,
+        datasets=config.datasets,
+    )
+
+
+def _row_numbers(result):
+    """Every reported number of a Table4Result, exactly as reported."""
+    return [
+        (
+            row.algorithm, row.dataset,
+            row.cpu.seconds, row.gpu.seconds,
+            row.upmem_kernel_s, row.upmem_total_s,
+            row.upmem_util_kernel_pct, row.upmem_util_total_pct,
+            row.upmem_energy_j,
+        )
+        for row in result.rows
+    ]
+
+
+def test_shard_runtime(config, report_dir):
+    t4_config = _table4_config(config)
+
+    # ---- perf gate: warm-up + min-of-5 run_table4 ------------------------
+    run_table4(t4_config, DatasetCache(t4_config))
+    walls = []
+    for _ in range(5):
+        cache = DatasetCache(t4_config)
+        t0 = time.perf_counter()
+        overlapped_result = run_table4(t4_config, cache)
+        walls.append(time.perf_counter() - t0)
+    wall_s = min(walls)
+    assert len(overlapped_result.rows) == 3 * len(TABLE4_DATASETS)
+
+    # ---- differential: lockstep reproduces every reported number --------
+    with shard_mode_override("lockstep"):
+        lockstep_result = run_table4(t4_config, DatasetCache(t4_config))
+    assert _row_numbers(overlapped_result) == _row_numbers(lockstep_result), (
+        "overlapped run_table4 reported different numbers than lockstep"
+    )
+
+    # ---- scaling sweep: 1 -> 2,560 DPUs, overlapped vs lockstep ---------
+    scaling = run_shard_scaling(t4_config)
+    assert scaling.differential_holds(), (
+        "a sweep point reported different numbers between modes"
+    )
+    full_machine = [p for p in scaling.points if p.num_dpus == 2560]
+    assert full_machine and all(p.saved_s > 0 for p in full_machine), (
+        "no makespan savings at full machine scale (40 ranks)"
+    )
+
+    # ---- artifact --------------------------------------------------------
+    speedup = PR5_TABLE4_BASELINE_S / wall_s
+    payload = {
+        "benchmark": "shard-scheduled runtime (run_table4 launch-path "
+                     "speedup gated; overlapped-vs-lockstep makespans "
+                     "for the DPU sweep)",
+        "config": {
+            "scale": t4_config.scale,
+            "num_dpus": t4_config.num_dpus,
+            "sweep_graph500_scale": scaling.graph500_scale,
+            "sweep_nodes": scaling.num_nodes,
+            "sweep_edges": scaling.num_edges,
+        },
+        "baseline": {"pr5_table4_wall_s": PR5_TABLE4_BASELINE_S},
+        "now": {
+            "table4_wall_s_runs": [round(w, 3) for w in walls],
+            "table4_wall_s_min": round(wall_s, 3),
+            "speedup_vs_pr5_baseline": round(speedup, 3),
+            "required_speedup": REQUIRED_SPEEDUP,
+            "lockstep_bit_identical": True,
+        },
+        "scaling": [
+            {
+                "kernel": p.kernel,
+                "num_dpus": p.num_dpus,
+                "num_ranks": p.num_ranks,
+                "lockstep_s": round(p.lockstep_s, 9),
+                "overlapped_s": round(p.overlapped_s, 9),
+                "saved_s": round(p.saved_s, 9),
+                "saved_pct": round(p.saved_pct, 3),
+            }
+            for p in scaling.points
+        ],
+    }
+    atomic_write_json(BENCH_PATH, payload)
+    (report_dir / "shard_scaling.txt").write_text(
+        scaling.format_report() + "\n\n" + json.dumps(payload, indent=2) + "\n"
+    )
+
+    # ---- the gate --------------------------------------------------------
+    assert wall_s * REQUIRED_SPEEDUP <= PR5_TABLE4_BASELINE_S, (
+        f"launch-path speedup below {REQUIRED_SPEEDUP}x: min-of-5 "
+        f"run_table4 {wall_s:.3f}s vs PR 5 baseline "
+        f"{PR5_TABLE4_BASELINE_S:.3f}s"
+    )

@@ -31,6 +31,7 @@ from ..sparse.coo import COOMatrix
 from ..sparse.vector import SparseVector
 from ..types import DataType
 from ..upmem.config import SystemConfig
+from ..upmem.sharding import shard_mode_override
 from .base import AlgorithmRun, FixedPolicy, KernelPolicy, MatvecDriver, record_iteration
 
 
@@ -42,6 +43,7 @@ def betweenness_centrality(
     policy: Optional[KernelPolicy] = None,
     dataset: str = "",
     normalized: bool = False,
+    shard_exec: Optional[str] = None,
 ) -> AlgorithmRun:
     """Brandes betweenness accumulated over the given source sample.
 
@@ -49,6 +51,12 @@ def betweenness_centrality(
     the standard unbiased estimator.  Edge directions are respected
     (directed betweenness).
     """
+    if shard_exec is not None:
+        with shard_mode_override(shard_exec):
+            return betweenness_centrality(
+                matrix, sources, system, num_dpus, policy=policy,
+                dataset=dataset, normalized=normalized,
+            )
     n = matrix.nrows
     sources = list(sources)
     if not sources:

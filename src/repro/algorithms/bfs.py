@@ -21,6 +21,7 @@ from ..sparse.base import SparseMatrix
 from ..sparse.vector import SparseVector
 from ..types import DataType
 from ..upmem.config import SystemConfig
+from ..upmem.sharding import shard_mode_override
 from .base import AlgorithmRun, FixedPolicy, KernelPolicy, MatvecDriver, record_iteration
 
 #: Safety valve: a connected graph finishes in < N levels; this guards
@@ -38,6 +39,7 @@ def bfs(
     dataset: str = "",
     fault_plan=None,
     checkpoint: Optional[CheckpointConfig] = None,
+    shard_exec: Optional[str] = None,
 ) -> AlgorithmRun:
     """Run BFS from ``source``; returns levels (-1 for unreachable).
 
@@ -120,4 +122,5 @@ def bfs(
         run.converged = frontier.nnz == 0
         return driver.finalize(run, results, DataType.INT32)
 
-    return ck.execute(body)
+    with shard_mode_override(shard_exec):
+        return ck.execute(body)

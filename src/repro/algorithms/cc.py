@@ -29,6 +29,7 @@ from ..sparse.coo import COOMatrix
 from ..sparse.vector import SparseVector
 from ..types import DataType
 from ..upmem.config import SystemConfig
+from ..upmem.sharding import shard_mode_override
 from .base import AlgorithmRun, FixedPolicy, KernelPolicy, MatvecDriver, record_iteration
 
 
@@ -60,6 +61,7 @@ def connected_components(
     dataset: str = "",
     fault_plan=None,
     checkpoint: Optional[CheckpointConfig] = None,
+    shard_exec: Optional[str] = None,
 ) -> AlgorithmRun:
     """Weakly connected component labels (smallest member index wins).
 
@@ -126,7 +128,8 @@ def connected_components(
         run.converged = frontier.nnz == 0
         return driver.finalize(run, results, DataType.INT32)
 
-    return ck.execute(body)
+    with shard_mode_override(shard_exec):
+        return ck.execute(body)
 
 
 def connected_components_reference(matrix: SparseMatrix) -> np.ndarray:

@@ -27,6 +27,7 @@ from ..sparse.coo import COOMatrix
 from ..sparse.vector import SparseVector
 from ..types import DataType
 from ..upmem.config import SystemConfig
+from ..upmem.sharding import shard_mode_override
 from .base import AlgorithmRun, FixedPolicy, KernelPolicy, MatvecDriver, record_iteration
 
 
@@ -69,6 +70,7 @@ def sssp_delta_stepping(
     max_buckets: int = 100_000,
     fault_plan=None,
     checkpoint: Optional[CheckpointConfig] = None,
+    shard_exec: Optional[str] = None,
 ) -> AlgorithmRun:
     """Shortest distances from ``source`` by bucketed relaxation.
 
@@ -187,7 +189,8 @@ def sssp_delta_stepping(
         driver = light_driver or heavy_driver
         return driver.finalize(run, results, _weight_dtype(matrix))
 
-    return ck.execute(body)
+    with shard_mode_override(shard_exec):
+        return ck.execute(body)
 
 
 def _weight_dtype(matrix: SparseMatrix) -> DataType:

@@ -24,6 +24,7 @@ from ..semiring import BOOLEAN_OR_AND
 from ..sparse.base import SparseMatrix
 from ..types import DataType, IterationTrace, PhaseBreakdown
 from ..upmem.config import SystemConfig
+from ..upmem.sharding import shard_mode_override
 from ..upmem.transfer import convergence_check_time
 from .base import AlgorithmRun
 
@@ -35,6 +36,7 @@ def multi_source_bfs(
     num_dpus: int,
     dataset: str = "",
     checkpoint: Optional[CheckpointConfig] = None,
+    shard_exec: Optional[str] = None,
 ) -> AlgorithmRun:
     """BFS levels from every source at once; returns an (N, K) level array.
 
@@ -131,7 +133,8 @@ def multi_source_bfs(
         )
         return run
 
-    return ck.execute(body)
+    with shard_mode_override(shard_exec):
+        return ck.execute(body)
 
 
 def closeness_centrality_estimate(

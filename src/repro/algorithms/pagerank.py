@@ -20,6 +20,7 @@ from ..sparse.base import SparseMatrix
 from ..sparse.vector import SparseVector
 from ..types import DataType
 from ..upmem.config import SystemConfig
+from ..upmem.sharding import shard_mode_override
 from .base import AlgorithmRun, FixedPolicy, KernelPolicy, MatvecDriver, record_iteration
 from .ppr import DEFAULT_ALPHA, DEFAULT_MAX_ITERS, DEFAULT_TOL, normalize_columns
 
@@ -37,6 +38,7 @@ def pagerank(
     pre_normalized: bool = False,
     fault_plan=None,
     checkpoint: Optional[CheckpointConfig] = None,
+    shard_exec: Optional[str] = None,
 ) -> AlgorithmRun:
     """Classic PageRank: uniform teleport, dangling mass spread evenly.
 
@@ -117,7 +119,8 @@ def pagerank(
         run.converged = converged
         return driver.finalize(run, results, DataType.FLOAT32)
 
-    return ck.execute(body)
+    with shard_mode_override(shard_exec):
+        return ck.execute(body)
 
 
 def pagerank_reference(

@@ -27,6 +27,7 @@ from ..sparse.coo import COOMatrix
 from ..sparse.vector import SparseVector
 from ..types import DataType
 from ..upmem.config import SystemConfig
+from ..upmem.sharding import shard_mode_override
 from .base import AlgorithmRun, FixedPolicy, KernelPolicy, MatvecDriver, record_iteration
 
 DEFAULT_ALPHA = 0.15
@@ -68,6 +69,7 @@ def ppr(
     pre_normalized: bool = False,
     fault_plan=None,
     checkpoint: Optional[CheckpointConfig] = None,
+    shard_exec: Optional[str] = None,
 ) -> AlgorithmRun:
     """Personalized PageRank from ``source``; returns the rank vector.
 
@@ -144,4 +146,5 @@ def ppr(
         run.converged = converged
         return driver.finalize(run, results, DataType.FLOAT32)
 
-    return ck.execute(body)
+    with shard_mode_override(shard_exec):
+        return ck.execute(body)

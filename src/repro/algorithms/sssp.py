@@ -20,6 +20,7 @@ from ..sparse.base import SparseMatrix
 from ..sparse.vector import SparseVector
 from ..types import DataType
 from ..upmem.config import SystemConfig
+from ..upmem.sharding import shard_mode_override
 from .base import AlgorithmRun, FixedPolicy, KernelPolicy, MatvecDriver, record_iteration
 
 
@@ -33,6 +34,7 @@ def sssp(
     dataset: str = "",
     fault_plan=None,
     checkpoint: Optional[CheckpointConfig] = None,
+    shard_exec: Optional[str] = None,
 ) -> AlgorithmRun:
     """Shortest distances from ``source`` (inf for unreachable vertices).
 
@@ -105,7 +107,8 @@ def sssp(
         run.converged = frontier.nnz == 0
         return driver.finalize(run, results, _weight_dtype(matrix))
 
-    return ck.execute(body)
+    with shard_mode_override(shard_exec):
+        return ck.execute(body)
 
 
 def _weight_dtype(matrix: SparseMatrix) -> DataType:

@@ -9,12 +9,14 @@ and useful (relaxation) operations.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import List
+from typing import Callable, List, Tuple
 
 import numpy as np
 
 from ..algorithms.ppr import DEFAULT_ALPHA, DEFAULT_MAX_ITERS, DEFAULT_TOL
+from ..cache import matrix_fingerprint
 from ..errors import ReproError
 from ..semiring import PLUS_TIMES
 from ..semiring import engine as _engine
@@ -51,8 +53,46 @@ class WorkloadTrace:
         return sum(it.useful_ops for it in self.iterations)
 
 
+#: Content-keyed memo of finished traces.  The CPU and GPU engines run the
+#: same logical algorithm on the same matrix (that is the point — answers
+#: must agree bit for bit), so without this every comparison run computes
+#: each trace twice, and warm benchmark reps recompute all of them.  The
+#: key hashes matrix *content* (structure + values digests), never object
+#: identity, so a hit is bit-identical to a recompute by construction.
+#: Traces are treated as immutable after construction; callers only read.
+_TRACE_MEMO: "OrderedDict[Tuple, WorkloadTrace]" = OrderedDict()
+_TRACE_MEMO_MAX_ENTRIES = 128
+
+
+def clear_trace_memo() -> None:
+    """Drop memoized baseline traces (wired into ``repro.cache.clear_caches``)."""
+    _TRACE_MEMO.clear()
+
+
+def _memoized_trace(
+    key: Tuple, builder: Callable[[], WorkloadTrace]
+) -> WorkloadTrace:
+    trace = _TRACE_MEMO.get(key)
+    if trace is not None:
+        _TRACE_MEMO.move_to_end(key)
+        return trace
+    trace = builder()
+    _TRACE_MEMO[key] = trace
+    while len(_TRACE_MEMO) > _TRACE_MEMO_MAX_ENTRIES:
+        _TRACE_MEMO.popitem(last=False)
+    return trace
+
+
 def bfs_trace(matrix: SparseMatrix, source: int) -> WorkloadTrace:
-    """Level-synchronous BFS with per-level work counts."""
+    """Level-synchronous BFS with per-level work counts (memoized)."""
+    structure, values = matrix_fingerprint(matrix)
+    return _memoized_trace(
+        ("bfs", structure, values, source),
+        lambda: _bfs_trace_impl(matrix, source),
+    )
+
+
+def _bfs_trace_impl(matrix: SparseMatrix, source: int) -> WorkloadTrace:
     n = matrix.nrows
     if not 0 <= source < n:
         raise ReproError(f"source {source} out of range")
@@ -83,7 +123,15 @@ def bfs_trace(matrix: SparseMatrix, source: int) -> WorkloadTrace:
 
 
 def sssp_trace(matrix: SparseMatrix, source: int) -> WorkloadTrace:
-    """Frontier-driven Bellman-Ford with per-round work counts."""
+    """Frontier-driven Bellman-Ford with per-round work counts (memoized)."""
+    structure, values = matrix_fingerprint(matrix)
+    return _memoized_trace(
+        ("sssp", structure, values, source),
+        lambda: _sssp_trace_impl(matrix, source),
+    )
+
+
+def _sssp_trace_impl(matrix: SparseMatrix, source: int) -> WorkloadTrace:
     n = matrix.nrows
     if not 0 <= source < n:
         raise ReproError(f"source {source} out of range")
@@ -117,7 +165,21 @@ def ppr_trace(
     tol: float = DEFAULT_TOL,
     max_iters: int = DEFAULT_MAX_ITERS,
 ) -> WorkloadTrace:
-    """Power-iteration PPR; every iteration touches all edges."""
+    """Power-iteration PPR; every iteration touches all edges (memoized)."""
+    structure, values = matrix_fingerprint(matrix)
+    return _memoized_trace(
+        ("ppr", structure, values, source, alpha, tol, max_iters),
+        lambda: _ppr_trace_impl(matrix, source, alpha, tol, max_iters),
+    )
+
+
+def _ppr_trace_impl(
+    matrix: SparseMatrix,
+    source: int,
+    alpha: float,
+    tol: float,
+    max_iters: int,
+) -> WorkloadTrace:
     n = matrix.nrows
     coo = matrix.to_coo()
     col_sums = _engine.reduce_by_index(

@@ -40,7 +40,7 @@ from typing import Callable, Dict, Tuple
 
 import numpy as np
 
-from .partition.base import Partition, PartitionPlan
+from .partition.base import LazyPartitions, Partition, PartitionPlan
 from .sparse.base import SparseMatrix
 from .sparse.coo import COOMatrix
 
@@ -148,6 +148,11 @@ def rebind_plan_values(plan: PartitionPlan, values: np.ndarray) -> PartitionPlan
     values = np.asarray(values)
     permuted = values[plan.element_order] if plan.element_order is not None \
         else values
+    donor_parts = plan.partitions
+    if isinstance(donor_parts, LazyPartitions):
+        # SoA plans rebind in O(1): structure arrays are shared, only the
+        # values binding changes — no per-DPU tile reconstruction.
+        return replace(plan, partitions=donor_parts.with_values(permuted))
     offsets = np.concatenate(([0], np.cumsum(counts))).tolist()
     from_sorted = COOMatrix.from_sorted
     partitions = []
@@ -286,6 +291,7 @@ def cache_stats() -> Dict[str, Dict[str, float]]:
 
 def clear_caches() -> None:
     """Drop all cached plans/kernels/segments and reset the counters."""
+    from .baselines import workload as _workload  # local: avoids import cycle
     from .semiring import engine as _engine  # local: avoids import cycle
 
     PLAN_CACHE.clear()
@@ -293,3 +299,4 @@ def clear_caches() -> None:
     PLAN_CACHE.stats.reset()
     KERNEL_CACHE.stats.reset()
     _engine.reset_stats()
+    _workload.clear_trace_memo()

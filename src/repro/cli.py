@@ -92,6 +92,14 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: 1, i.e. after every iteration)",
     )
     parser.add_argument(
+        "--shard-exec", choices=("overlapped", "lockstep"), default=None,
+        help="shard execution mode: 'overlapped' pipelines rank-level "
+             "scatter/exec/gather on the simulated timeline, 'lockstep' "
+             "is the legacy phase-barrier model; results and reported "
+             "phase totals are bit-identical in both (default: "
+             "$REPRO_SHARD_EXEC or overlapped)",
+    )
+    parser.add_argument(
         "--resume", action="store_true",
         help="resume from the newest valid record in --checkpoint-dir "
              "(torn or corrupt records are skipped); without a valid "
@@ -196,10 +204,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             dpus_per_rank=system.dpus_per_rank,
         ))
     checkpoint = _make_checkpoint(args)
+    from .upmem.sharding import shard_mode_override
+
     try:
-        run = _dispatch(
-            args, matrix, system, policy, fault_plan, source, checkpoint
-        )
+        with shard_mode_override(args.shard_exec):
+            run = _dispatch(
+                args, matrix, system, policy, fault_plan, source, checkpoint
+            )
     finally:
         if session is not None:
             from .observability import deactivate

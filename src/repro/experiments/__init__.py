@@ -28,6 +28,11 @@ from .interconnect import InterconnectResult, run_interconnect_ablation
 from .export import export_json, load_json, result_to_dict
 from .report import breakdown_chart, fraction_bar, stacked_bar
 from .scaling import ScalingResult, run_scaling_study
+from .shard_scaling import (
+    ShardScalingPoint,
+    ShardScalingResult,
+    run_shard_scaling,
+)
 from .table2_exp import Table2Result, run_table2
 from .table4 import (
     PAPER_KERNEL_SPEEDUPS,
@@ -78,6 +83,9 @@ __all__ = [
     "load_json",
     "result_to_dict",
     "run_scaling_study",
+    "run_shard_scaling",
+    "ShardScalingPoint",
+    "ShardScalingResult",
     "ScalingResult",
     "AblationResult",
     "run_model_agreement",

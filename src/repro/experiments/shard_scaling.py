@@ -1,0 +1,136 @@
+"""Shard-scheduling scaling study (PR 6): overlapped vs lockstep makespan.
+
+Sweeps the DPU count from a single DPU to the paper's full 2,560-DPU
+machine on Graph500-style RMAT graphs (edge factor 16, scales beyond the
+Table-2 datasets) and records, per SpMV launch, the phase-barrier
+(lockstep) total against the shard-pipelined (overlapped) makespan the
+:class:`~repro.upmem.ShardScheduler` prices.
+
+The sweep doubles as a differential check: for every point the kernel is
+also run in lockstep mode and its :class:`~repro.types.PhaseBreakdown`
+must match the overlapped run bit-for-bit — the pipeline only reshapes
+the timeline, never the reported currency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..datasets.generators import rmat
+from ..kernels.spmv import prepare_spmv_1d, prepare_spmv_2d
+from ..semiring import PLUS_TIMES
+from ..upmem.config import SystemConfig
+from ..upmem.sharding import shard_mode_override
+from .common import ExperimentConfig, format_table
+
+#: The DPU sweep: one DPU -> one rank -> the paper's full machine.
+DPU_SWEEP: Tuple[int, ...] = (1, 64, 256, 512, 1024, 2048, 2560)
+
+#: Graph500-style RMAT edge factor (edges per vertex).
+EDGE_FACTOR = 16
+
+
+@dataclass
+class ShardScalingPoint:
+    num_dpus: int
+    num_ranks: int
+    kernel: str
+    lockstep_s: float
+    overlapped_s: float
+    breakdown_identical: bool
+
+    @property
+    def saved_s(self) -> float:
+        return self.lockstep_s - self.overlapped_s
+
+    @property
+    def saved_pct(self) -> float:
+        return 100.0 * self.saved_s / max(self.lockstep_s, 1e-12)
+
+
+@dataclass
+class ShardScalingResult:
+    graph500_scale: int
+    num_nodes: int
+    num_edges: int
+    points: List[ShardScalingPoint] = field(default_factory=list)
+
+    def differential_holds(self) -> bool:
+        """Lockstep and overlapped report identical breakdowns everywhere."""
+        return all(p.breakdown_identical for p in self.points)
+
+    def max_saved_pct(self) -> float:
+        return max((p.saved_pct for p in self.points), default=0.0)
+
+    def format_report(self) -> str:
+        rows = [
+            (p.kernel, p.num_dpus, p.num_ranks,
+             p.lockstep_s * 1e3, p.overlapped_s * 1e3,
+             p.saved_s * 1e3, p.saved_pct)
+            for p in self.points
+        ]
+        return format_table(
+            ("kernel", "dpus", "ranks", "lockstep ms", "overlap ms",
+             "saved ms", "saved %"),
+            rows,
+            title=f"shard scaling (rmat-{self.graph500_scale}, "
+                  f"ef={EDGE_FACTOR})",
+        )
+
+
+def _dense(output) -> bytes:
+    """Output payload as bytes, whether the kernel returned dense or sparse."""
+    if hasattr(output, "tobytes"):
+        return output.tobytes()
+    return output.indices.tobytes() + output.values.tobytes()
+
+
+def _launch(prepare, matrix, num_dpus: int, system: SystemConfig, x):
+    """One kernel launch in both modes; returns the two results."""
+    with shard_mode_override("overlapped"):
+        overlapped = prepare(matrix, num_dpus, system).run(x, PLUS_TIMES)
+    with shard_mode_override("lockstep"):
+        lockstep = prepare(matrix, num_dpus, system).run(x, PLUS_TIMES)
+    return overlapped, lockstep
+
+
+def run_shard_scaling(
+    config: ExperimentConfig,
+    graph500_scale: int = 14,
+    dpu_counts: Sequence[int] = DPU_SWEEP,
+) -> ShardScalingResult:
+    matrix = rmat(graph500_scale, EDGE_FACTOR, rng=config.rng())
+    result = ShardScalingResult(
+        graph500_scale=graph500_scale,
+        num_nodes=matrix.nrows,
+        num_edges=matrix.nnz,
+    )
+    x = np.ones(matrix.shape[1])
+    for num_dpus in dpu_counts:
+        system = SystemConfig(num_dpus=num_dpus)
+        for name, prepare in (
+            ("spmv-1d", prepare_spmv_1d), ("spmv-2d", prepare_spmv_2d)
+        ):
+            over, lock = _launch(prepare, matrix, num_dpus, system, x)
+            identical = (
+                over.breakdown.as_dict() == lock.breakdown.as_dict()
+                and _dense(over.output) == _dense(lock.output)
+                and lock.shard_timeline is None
+            )
+            timeline = over.shard_timeline
+            overlapped_s = (
+                timeline.makespan_s if timeline is not None
+                else over.breakdown.total
+            )
+            result.points.append(ShardScalingPoint(
+                num_dpus=num_dpus,
+                num_ranks=system.num_ranks,
+                kernel=name,
+                lockstep_s=over.breakdown.total,
+                overlapped_s=overlapped_s,
+                breakdown_identical=identical,
+            ))
+    return result

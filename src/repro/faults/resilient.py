@@ -629,6 +629,34 @@ class FaultTolerantExecutor:
             self._tile_bytes_cache[kernel.name] = cached
         return cached
 
+    def _degraded_timeline(self, kernel, base):
+        """The launch's overlapped timeline under degraded scheduling.
+
+        Ranks whose every DPU is quarantined are dropped from the shard
+        schedule (``skipped``): their legs take zero time and their issue
+        slots are reclaimed by the survivors.  Returns ``None`` outside
+        overlapped mode (the kernel attached no timeline).
+        """
+        timeline = getattr(base, "shard_timeline", None)
+        if timeline is None:
+            return None
+        quarantined = self.rset.quarantined_ids()
+        if not quarantined:
+            return timeline
+        q = np.zeros(self.num_dpus, dtype=bool)
+        q[np.asarray(quarantined, dtype=np.int64)] = True
+        bounds = timeline.dpu_bounds
+        counts = np.add.reduceat(q.astype(np.int64), bounds[:-1])
+        skipped = counts == np.diff(bounds)
+        if not skipped.any():
+            return timeline
+        scheduler = getattr(kernel, "_shard_scheduler", None)
+        if scheduler is None:
+            from ..upmem.host import ShardScheduler
+
+            scheduler = ShardScheduler(self.system)
+        return scheduler.reschedule(timeline, skipped)
+
     def run(self, kernel, x, semiring):
         """Execute ``kernel.run(x, semiring)`` on the degraded machine.
 
@@ -687,6 +715,8 @@ class FaultTolerantExecutor:
                 "bit-for-bit — refusing to return a wrong answer"
             )
 
+        timeline = self._degraded_timeline(kernel, base)
+
         overhead = {"load": 0.0, "kernel": 0.0, "retrieve": 0.0}
         for event in self.log.events[marker:]:
             if event.phase in overhead:
@@ -709,4 +739,5 @@ class FaultTolerantExecutor:
             elements_processed=base.elements_processed,
             fault_log=self.log,
             metrics=base.metrics,
+            shard_timeline=timeline,
         )

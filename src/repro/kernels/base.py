@@ -28,6 +28,7 @@ from ..upmem.profile import KernelProfile
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..faults.log import FaultLog
     from ..observability.metrics import MetricsSnapshot
+    from ..upmem.sharding import ShardTimeline
 
 #: Bytes of one COO element on the DPU (int32 row, int32 col, value).
 def coo_element_bytes(dtype: DataType) -> int:
@@ -280,10 +281,71 @@ class KernelResult:
     #: observability session (:mod:`repro.observability`) is active;
     #: ``None`` otherwise.  Counters are cumulative across the session.
     metrics: Optional["MetricsSnapshot"] = None
+    #: Per-rank pipelined schedule of this launch when the shard
+    #: executor runs in ``overlapped`` mode and the launch spans more
+    #: than one rank; ``None`` in lockstep mode.  Pure observability:
+    #: the ``breakdown`` above (and the output) are identical in both
+    #: modes — the timeline only *additionally* prices the overlap.
+    shard_timeline: Optional["ShardTimeline"] = None
 
     @property
     def total_s(self) -> float:
         return self.breakdown.total
+
+
+def compute_shard_timeline(
+    kernel,
+    breakdown: PhaseBreakdown,
+    gather_bytes_per_dpu: np.ndarray,
+    load_bytes_per_dpu: Optional[np.ndarray] = None,
+    broadcast_nbytes: Optional[int] = None,
+    grid_segment_bytes: Optional[np.ndarray] = None,
+    grid_rows: Optional[int] = None,
+):
+    """The overlapped per-rank schedule of one launch, or ``None``.
+
+    Returns ``None`` in lockstep mode or when the launch fits a single
+    rank (nothing to overlap).  The load leg is a per-DPU scatter
+    (``load_bytes_per_dpu``), a replicated broadcast
+    (``broadcast_nbytes``), or a 2-D grid's replicated column segments
+    (``grid_segment_bytes`` + ``grid_rows``) — exactly the three Load
+    shapes the kernels price; the exec leg reuses the lockstep kernel
+    phase so the timeline stays consistent with the reported breakdown.
+    """
+    from ..upmem import sharding as _sharding
+
+    if _sharding.shard_mode() != "overlapped":
+        return None
+    system = kernel.system
+    if kernel.num_dpus <= system.dpus_per_rank:
+        return None
+    from ..upmem.host import ShardScheduler
+
+    scheduler = getattr(kernel, "_shard_scheduler", None)
+    if scheduler is None:
+        scheduler = ShardScheduler(system)
+        kernel._shard_scheduler = scheduler
+    bounds = scheduler.shard_bounds(kernel.num_dpus)
+    transfer = scheduler.transfer
+    if grid_segment_bytes is not None:
+        scatter_s = transfer.shard_grid_seconds(
+            grid_segment_bytes, int(grid_rows), bounds
+        )
+    elif broadcast_nbytes is not None:
+        scatter_s = transfer.shard_broadcast_seconds(
+            int(broadcast_nbytes), bounds
+        )
+    else:
+        scatter_s = transfer.shard_scatter_seconds(
+            load_bytes_per_dpu, bounds, to_device=True
+        )
+    gather_s = transfer.shard_scatter_seconds(
+        gather_bytes_per_dpu, bounds, to_device=False
+    )
+    return scheduler.timeline(
+        bounds, scatter_s, breakdown.kernel, gather_s,
+        breakdown.merge, breakdown.total,
+    )
 
 
 def _emit_kernel_spans(tracer, kernel, result, span) -> None:
@@ -318,6 +380,13 @@ def _emit_kernel_spans(tracer, kernel, result, span) -> None:
         load_s=breakdown.load, kernel_s=breakdown.kernel,
         retrieve_s=breakdown.retrieve, merge_s=breakdown.merge,
     )
+    timeline = getattr(result, "shard_timeline", None)
+    if timeline is not None:
+        tracer.shard_spans(timeline, start=span.start, kernel=kernel.name)
+        span.annotate(
+            shard_makespan_s=timeline.makespan_s,
+            shard_overlap_saved_s=timeline.overlap_saved_s,
+        )
 
 
 def _record_kernel_metrics(session, kernel, result) -> None:
@@ -349,6 +418,12 @@ def _record_kernel_metrics(session, kernel, result) -> None:
     elements = getattr(result, "elements_processed", 0)
     if elements:
         registry.histogram("kernel.elements").observe(float(elements))
+    timeline = getattr(result, "shard_timeline", None)
+    if timeline is not None:
+        registry.counter("shard.makespan").inc(timeline.makespan_s)
+        registry.counter("shard.overlap_saved").inc(
+            max(timeline.overlap_saved_s, 0.0)
+        )
     try:
         result.metrics = registry.snapshot(include_caches=False)
     except AttributeError:  # pragma: no cover - read-only result types

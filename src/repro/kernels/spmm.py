@@ -31,6 +31,7 @@ from .base import (
     PerElementCost,
     PreparedKernel,
     assemble_timing,
+    compute_shard_timeline,
     coo_element_bytes,
     streaming_cost,
 )
@@ -42,13 +43,15 @@ class SpMMResult:
 
     def __init__(self, output: np.ndarray, breakdown: PhaseBreakdown,
                  profile: KernelProfile, bytes_loaded: int,
-                 bytes_retrieved: int, achieved_ops: float) -> None:
+                 bytes_retrieved: int, achieved_ops: float,
+                 shard_timeline=None) -> None:
         self.output = output
         self.breakdown = breakdown
         self.profile = profile
         self.bytes_loaded = bytes_loaded
         self.bytes_retrieved = bytes_retrieved
         self.achieved_ops = achieved_ops
+        self.shard_timeline = shard_timeline
 
     @property
     def total_s(self) -> float:
@@ -97,8 +100,10 @@ class PreparedSpMM(PreparedKernel):
 
         # ---- Load: K dense segments per tile column -----------------------
         grid_rows, grid_cols = self.plan.grid
-        segment_bytes = (self._in_lens[:grid_cols] * itemsize * k).tolist()
-        load = self._transfer.grid_scatter(segment_bytes, grid_rows)
+        load_bytes_per_dpu = self._in_lens * itemsize * k
+        load = self._transfer.grid_scatter(
+            load_bytes_per_dpu[:grid_cols], grid_rows
+        )
 
         # ---- Kernel: matrix streamed once, semiring work x K ---------------
         coo = self._matrix.to_coo()
@@ -131,9 +136,8 @@ class PreparedSpMM(PreparedKernel):
         )
 
         # ---- Retrieve + Merge ------------------------------------------------
-        retrieve = self._transfer.gather(
-            (self._out_lens * itemsize * k).tolist()
-        )
+        out_bytes = self._out_lens * itemsize * k
+        retrieve = self._transfer.gather(out_bytes)
         merge_s = merge_time_host(
             grid_cols, int(self._out_lens.max()) * k
         )
@@ -145,16 +149,22 @@ class PreparedSpMM(PreparedKernel):
             num_dpus=self.num_dpus,
             active_tasklets_per_dpu=active_tasklets,
         )
+        breakdown = PhaseBreakdown(
+            load=load.seconds, kernel=kernel_s,
+            retrieve=retrieve.seconds, merge=merge_s,
+        )
         return SpMMResult(
             output=out,
-            breakdown=PhaseBreakdown(
-                load=load.seconds, kernel=kernel_s,
-                retrieve=retrieve.seconds, merge=merge_s,
-            ),
+            breakdown=breakdown,
             profile=profile,
             bytes_loaded=load.bytes_moved,
             bytes_retrieved=retrieve.bytes_moved,
             achieved_ops=2.0 * float(self._elements.sum()) * k,
+            shard_timeline=compute_shard_timeline(
+                self, breakdown, out_bytes,
+                grid_segment_bytes=load_bytes_per_dpu[:grid_cols],
+                grid_rows=grid_rows,
+            ),
         )
 
 

@@ -50,6 +50,7 @@ from .base import (
     PreparedKernel,
     assemble_timing,
     compressed_entry_bytes,
+    compute_shard_timeline,
     coo_element_bytes,
     indexed_element_bytes,
 )
@@ -146,24 +147,27 @@ class PreparedSpMSpV(PreparedKernel):
 
         # ---- Load -----------------------------------------------------------
         x_bytes_local = active_cols_local * entry_bytes
+        grid_segment_bytes = grid_rows = None
         if self.variant in ("coo", "csr", "csc-r"):
-            load = self._transfer.broadcast(x.nnz * entry_bytes, num_dpus)
-            x_dma = np.full(num_dpus, float(x.nnz * entry_bytes))
+            broadcast_nbytes = x.nnz * entry_bytes
+            load_bytes_per_dpu = None
+            load = self._transfer.broadcast(broadcast_nbytes, num_dpus)
+            x_dma = np.full(num_dpus, float(broadcast_nbytes))
         elif self.variant == "csc-2d" and self.plan.grid is not None:
             # one compressed segment per grid column, replicated down the
             # grid rows at the chip-burst discount
             grid_rows, grid_cols = self.plan.grid
-            segment_bytes = np.maximum(
-                x_bytes_local[:grid_cols], 8
-            ).astype(np.int64)
-            load = self._transfer.grid_scatter(
-                segment_bytes.tolist(), grid_rows
-            )
+            broadcast_nbytes = None
+            load_bytes_per_dpu = None
+            grid_segment_bytes = np.maximum(
+                x_bytes_local, 8
+            ).astype(np.int64)[:grid_cols]
+            load = self._transfer.grid_scatter(grid_segment_bytes, grid_rows)
             x_dma = x_bytes_local.astype(np.float64)
         else:
-            load = self._transfer.scatter(
-                np.maximum(x_bytes_local, 8).astype(np.int64).tolist()
-            )
+            broadcast_nbytes = None
+            load_bytes_per_dpu = np.maximum(x_bytes_local, 8).astype(np.int64)
+            load = self._transfer.scatter(load_bytes_per_dpu)
             x_dma = x_bytes_local.astype(np.float64)
 
         # ---- Kernel ------------------------------------------------------------
@@ -181,8 +185,8 @@ class PreparedSpMSpV(PreparedKernel):
         out_bytes = np.minimum(
             np.maximum(out_entries * entry_bytes, 8),
             np.maximum(self._rows_per_dpu * itemsize, 8),
-        )
-        retrieve = self._transfer.gather(out_bytes.astype(np.int64).tolist())
+        ).astype(np.int64)
+        retrieve = self._transfer.gather(out_bytes)
 
         # ---- Merge ------------------------------------------------------------
         if self.plan.needs_merge:
@@ -197,20 +201,28 @@ class PreparedSpMSpV(PreparedKernel):
             num_dpus=num_dpus,
             active_tasklets_per_dpu=active_tasklets,
         )
+        breakdown = PhaseBreakdown(
+            load=load.seconds,
+            kernel=kernel_s,
+            retrieve=retrieve.seconds,
+            merge=merge_s,
+        )
         return KernelResult(
             kernel_name=self.name,
             output=output,
-            breakdown=PhaseBreakdown(
-                load=load.seconds,
-                kernel=kernel_s,
-                retrieve=retrieve.seconds,
-                merge=merge_s,
-            ),
+            breakdown=breakdown,
             profile=profile,
             bytes_loaded=load.bytes_moved,
             bytes_retrieved=retrieve.bytes_moved,
             achieved_ops=2.0 * float(matched.sum()),
             elements_processed=int(matched.sum()),
+            shard_timeline=compute_shard_timeline(
+                self, breakdown, out_bytes,
+                load_bytes_per_dpu=load_bytes_per_dpu,
+                broadcast_nbytes=broadcast_nbytes,
+                grid_segment_bytes=grid_segment_bytes,
+                grid_rows=grid_rows,
+            ),
         )
 
     # -- variant-specific pieces ---------------------------------------------------

@@ -31,6 +31,7 @@ from .base import (
     PerElementCost,
     PreparedKernel,
     assemble_timing,
+    compute_shard_timeline,
     coo_element_bytes,
     streaming_cost,
 )
@@ -108,17 +109,16 @@ class PreparedSpMV(PreparedKernel):
 
         # -- Load: dense input vector (broadcast or per-tile segments) ------
         if self.plan.grid is None:
-            load = self._transfer.broadcast(
-                self.shape[1] * itemsize, self.num_dpus
-            )
+            broadcast_nbytes = self.shape[1] * itemsize
+            grid_segment_bytes = grid_rows = None
+            load = self._transfer.broadcast(broadcast_nbytes, self.num_dpus)
         else:
             # DPUs in one grid column share the same dense segment, so the
             # replication across grid rows rides the chip-burst discount
             grid_rows, grid_cols = self.plan.grid
-            segment_bytes = (
-                self._in_lens[:grid_cols] * itemsize
-            ).tolist()
-            load = self._transfer.grid_scatter(segment_bytes, grid_rows)
+            broadcast_nbytes = None
+            grid_segment_bytes = (self._in_lens * itemsize)[:grid_cols]
+            load = self._transfer.grid_scatter(grid_segment_bytes, grid_rows)
 
         # -- Kernel: functional result + analytic timing --------------------
         y_dense = spmv_dense(self._matrix, x_dense, semiring)
@@ -148,7 +148,8 @@ class PreparedSpMV(PreparedKernel):
                     + self.system.dpu.cycles_to_seconds(estimate.max_cycles))
 
         # -- Retrieve: dense partial output slices ---------------------------
-        retrieve = self._transfer.gather((self._out_lens * itemsize).tolist())
+        out_bytes = self._out_lens * itemsize
+        retrieve = self._transfer.gather(out_bytes)
 
         # -- Merge: combine boundary/tile partials on the host ----------------
         if self.plan.needs_merge:
@@ -171,20 +172,27 @@ class PreparedSpMV(PreparedKernel):
             active_tasklets_per_dpu=active_tasklets,
         )
         output = SparseVector.from_dense(y_dense, zero=semiring.zero)
+        breakdown = PhaseBreakdown(
+            load=load.seconds,
+            kernel=kernel_s,
+            retrieve=retrieve.seconds,
+            merge=merge_s,
+        )
         return KernelResult(
             kernel_name=self.name,
             output=output,
-            breakdown=PhaseBreakdown(
-                load=load.seconds,
-                kernel=kernel_s,
-                retrieve=retrieve.seconds,
-                merge=merge_s,
-            ),
+            breakdown=breakdown,
             profile=profile,
             bytes_loaded=load.bytes_moved,
             bytes_retrieved=retrieve.bytes_moved,
             achieved_ops=useful_ops(instr_profile),
             elements_processed=int(self._elements.sum()),
+            shard_timeline=compute_shard_timeline(
+                self, breakdown, out_bytes,
+                broadcast_nbytes=broadcast_nbytes,
+                grid_segment_bytes=grid_segment_bytes,
+                grid_rows=grid_rows,
+            ),
         )
 
 

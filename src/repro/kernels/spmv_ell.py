@@ -33,6 +33,7 @@ from .base import (
     PerElementCost,
     PreparedKernel,
     assemble_timing,
+    compute_shard_timeline,
 )
 from .spmv import X_CACHE_BYTES, _datatype_of, gather_miss_rate
 
@@ -118,9 +119,8 @@ class PreparedSpMVELL(PreparedKernel):
             + self.system.dpu.cycles_to_seconds(estimate.max_cycles)
         )
 
-        retrieve = self._transfer.gather(
-            (self._out_lens * itemsize).tolist()
-        )
+        out_bytes = self._out_lens * itemsize
+        retrieve = self._transfer.gather(out_bytes)
 
         profile = KernelProfile(
             kernel_name=self.name,
@@ -129,18 +129,23 @@ class PreparedSpMVELL(PreparedKernel):
             num_dpus=self.num_dpus,
             active_tasklets_per_dpu=active_tasklets,
         )
+        breakdown = PhaseBreakdown(
+            load=load.seconds, kernel=kernel_s,
+            retrieve=retrieve.seconds, merge=0.0,
+        )
         return KernelResult(
             kernel_name=self.name,
             output=SparseVector.from_dense(y_dense, zero=semiring.zero),
-            breakdown=PhaseBreakdown(
-                load=load.seconds, kernel=kernel_s,
-                retrieve=retrieve.seconds, merge=0.0,
-            ),
+            breakdown=breakdown,
             profile=profile,
             bytes_loaded=load.bytes_moved,
             bytes_retrieved=retrieve.bytes_moved,
             achieved_ops=2.0 * float(self._matrix.nnz),
             elements_processed=int(self._slots.sum()),
+            shard_timeline=compute_shard_timeline(
+                self, breakdown, out_bytes,
+                broadcast_nbytes=self.shape[1] * itemsize,
+            ),
         )
 
 

@@ -52,6 +52,12 @@ METRIC_NAMES = {
     "engine_minmax_reduceat": "engine.reduce.minmax_reduceat",
     "engine_or_mask": "engine.reduce.or_mask",
     "engine_fallback": "engine.reduce.fallback",
+    # why a fallback dispatch left the fast path (counter per reason:
+    # the full name is the prefix + "." + reason slug)
+    "engine_fallback_reason": "engine.reduce.fallback_reason",
+    # shard scheduler (counters, simulated seconds per launch)
+    "shard_makespan": "shard.makespan",
+    "shard_overlap_saved": "shard.overlap_saved",
     "engine_generic": "engine.reduce.generic",
     "engine_legacy": "engine.reduce.legacy",
     # sort-free index dedup (engine.unique_indices)

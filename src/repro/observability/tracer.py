@@ -36,6 +36,11 @@ HOST_TID = 0
 PH_COMPLETE = "X"
 PH_INSTANT = "i"
 
+#: Thread lane carrying a rank's *shard schedule* spans (overlapped
+#: executor).  Deliberately far above any real DPU id so it never
+#: collides with per-DPU thread lanes inside a rank's process lane.
+SHARD_TID = 1 << 20
+
 
 @dataclass
 class TraceEvent:
@@ -241,6 +246,39 @@ class SpanTracer:
             )
         return t0 + slowest
 
+    def shard_spans(self, timeline, start: float, kernel: str) -> None:
+        """Lay one scatter/exec/gather span per *shard* on its rank lane.
+
+        ``timeline`` is a :class:`repro.upmem.sharding.ShardTimeline`;
+        spans land on a dedicated ``shard`` thread inside each rank's
+        process lane, offset from ``start`` (the enclosing kernel span's
+        start), so the overlapped pipeline reads directly off the Chrome
+        timeline next to the lockstep per-DPU lanes.  The clock is not
+        advanced — the phase-barrier breakdown still owns it.
+        """
+        skipped = timeline.skipped
+        for k in range(timeline.num_shards):
+            if skipped is not None and skipped[k]:
+                continue
+            pid = k + 1  # shard k schedules rank k's DPUs
+            self._lane(pid, SHARD_TID)
+            for name, t0, t1 in (
+                ("shard-scatter", timeline.scatter_start[k],
+                 timeline.scatter_end[k]),
+                ("shard-exec", timeline.scatter_end[k],
+                 timeline.exec_end[k]),
+                ("shard-gather", timeline.gather_start[k],
+                 timeline.gather_end[k]),
+            ):
+                self.events.append(
+                    TraceEvent(
+                        name=name, cat="shard", ph=PH_COMPLETE,
+                        ts=start + float(t0), dur=float(t1 - t0),
+                        pid=pid, tid=SHARD_TID,
+                        args={"kernel": kernel, "shard": k},
+                    )
+                )
+
     def fault_instant(self, kind: str, dpu_id: int, **args: object) -> TraceEvent:
         """An injected-fault marker on the victim DPU's own lane."""
         if dpu_id is None or dpu_id < 0:
@@ -257,7 +295,10 @@ class SpanTracer:
             self._pids[pid] = f"rank {pid - 1}" if pid > 0 else "host"
         key = (pid, tid)
         if key not in self._tids:
-            self._tids[key] = f"dpu {tid}" if pid > 0 else f"host {tid}"
+            if pid > 0 and tid == SHARD_TID:
+                self._tids[key] = "shard"
+            else:
+                self._tids[key] = f"dpu {tid}" if pid > 0 else f"host {tid}"
 
     def lanes(self) -> Tuple[Dict[int, str], Dict[Tuple[int, int], str]]:
         """(process names, thread names) seen so far — for exporters."""

@@ -7,12 +7,14 @@ from .balance import (
     imbalance_factor,
     tasklet_element_shares,
 )
-from .base import Partition, PartitionPlan
+from .base import LazyPartitions, Partition, PartitionPlan, ShardPlan
 from .strategies import colwise, coo_nnz, dcoo, grid2d, rowwise
 
 __all__ = [
+    "LazyPartitions",
     "Partition",
     "PartitionPlan",
+    "ShardPlan",
     "rowwise",
     "colwise",
     "grid2d",

@@ -14,7 +14,7 @@ for what the real system stores once per DPU bank.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -81,12 +81,143 @@ class Partition:
         raise PartitionError(f"unknown format {self.fmt!r}")
 
 
+class LazyPartitions:
+    """Batched SoA storage for a plan's partitions.
+
+    Planners used to build one :class:`Partition` (and one
+    :class:`COOMatrix`) per DPU eagerly — 73k+ Python tile objects per
+    ``run_table4`` at bench scale, none of which the kernels touch on the
+    hot launch path (they consume the plan-level ``out_lens`` /
+    ``in_lens`` / ``nnz_counts`` aggregates instead).  This container
+    keeps the partition-sorted element arrays plus per-DPU offsets and
+    materializes a :class:`Partition` view only when someone indexes it
+    (validation, MRAM-fit checks, tests).
+
+    ``with_values`` produces a sibling sharing structure arrays but bound
+    to a new values array — the O(1)-per-plan core of
+    :func:`repro.cache.rebind_plan_values`.
+    """
+
+    __slots__ = (
+        "rows", "cols", "values", "offsets", "fmt",
+        "row_starts", "row_stops", "col_starts", "col_stops",
+        "shape_rows", "shape_cols", "global_rows", "_cache",
+    )
+
+    def __init__(
+        self,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        values: np.ndarray,
+        offsets: np.ndarray,
+        fmt: str,
+        row_starts: np.ndarray,
+        row_stops: np.ndarray,
+        col_starts: np.ndarray,
+        col_stops: np.ndarray,
+        shape_rows: np.ndarray,
+        shape_cols: np.ndarray,
+        global_rows: bool = False,
+    ) -> None:
+        self.rows = rows
+        self.cols = cols
+        self.values = values
+        self.offsets = offsets
+        self.fmt = fmt
+        self.row_starts = row_starts
+        self.row_stops = row_stops
+        self.col_starts = col_starts
+        self.col_stops = col_stops
+        self.shape_rows = shape_rows
+        self.shape_cols = shape_cols
+        self.global_rows = global_rows
+        self._cache: Dict[int, Partition] = {}
+
+    def __len__(self) -> int:
+        return len(self.row_starts)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self)))]
+        n = len(self)
+        if index < 0:
+            index += n
+        if not 0 <= index < n:
+            raise IndexError(f"partition index {index} out of range")
+        cached = self._cache.get(index)
+        if cached is not None:
+            return cached
+        lo = int(self.offsets[index])
+        hi = int(self.offsets[index + 1])
+        block = COOMatrix.from_sorted(
+            self.rows[lo:hi],
+            self.cols[lo:hi],
+            self.values[lo:hi],
+            (int(self.shape_rows[index]), int(self.shape_cols[index])),
+        )
+        partition = Partition(
+            dpu_id=index,
+            coo_block=block,
+            fmt=self.fmt,
+            row_range=(int(self.row_starts[index]), int(self.row_stops[index])),
+            col_range=(int(self.col_starts[index]), int(self.col_stops[index])),
+            global_rows=self.global_rows,
+        )
+        self._cache[index] = partition
+        return partition
+
+    def __iter__(self):
+        for i in range(len(self)):
+            yield self[i]
+
+    def with_values(self, values: np.ndarray) -> "LazyPartitions":
+        """A structural twin bound to ``values`` (already partition-sorted)."""
+        return LazyPartitions(
+            self.rows, self.cols, values, self.offsets, self.fmt,
+            self.row_starts, self.row_stops,
+            self.col_starts, self.col_stops,
+            self.shape_rows, self.shape_cols, self.global_rows,
+        )
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """One rank's slice of a :class:`PartitionPlan` — the unit the shard
+    scheduler issues independently (§ docs/SHARDING.md).
+
+    The per-DPU accounting arrays are views into the parent plan's
+    aggregates; ``row_range`` / ``col_range`` give the global output slice
+    this shard produces and the input segment it needs, so a scheduler can
+    stage scatter(shard k+1) while shard k executes.
+    """
+
+    shard_id: int
+    dpu_start: int
+    dpu_stop: int
+    out_lens: np.ndarray
+    in_lens: np.ndarray
+    nnz_counts: np.ndarray
+    row_range: Tuple[int, int]
+    col_range: Tuple[int, int]
+
+    @property
+    def num_dpus(self) -> int:
+        return self.dpu_stop - self.dpu_start
+
+    @property
+    def nnz(self) -> int:
+        return int(self.nnz_counts.sum())
+
+
 @dataclass
 class PartitionPlan:
     """A full matrix-to-DPUs assignment."""
 
     strategy: str
-    partitions: List[Partition]
+    partitions: Sequence[Partition]
     shape: Tuple[int, int]
     #: (grid_rows, grid_cols) for 2-D strategies, None for 1-D.
     grid: Optional[Tuple[int, int]] = None
@@ -136,8 +267,13 @@ class PartitionPlan:
         if counts is not None and self.out_lens is not None \
                 and self.in_lens is not None:
             # all partitions of a plan share one storage format and dtype
-            fmt = self.partitions[0].fmt
-            value_bytes = self.partitions[0].coo_block.values.dtype.itemsize
+            parts = self.partitions
+            if isinstance(parts, LazyPartitions):
+                fmt = parts.fmt
+                value_bytes = parts.values.dtype.itemsize
+            else:
+                fmt = parts[0].fmt
+                value_bytes = parts[0].coo_block.values.dtype.itemsize
             if fmt == "coo":
                 return counts * (2 * _INDEX_BYTES + value_bytes)
             per_entry = counts * (_INDEX_BYTES + value_bytes)
@@ -183,3 +319,66 @@ class PartitionPlan:
                 f"DPU {self.partitions[worst].dpu_id} needs "
                 f"{int(needed[worst])} bytes but MRAM holds {mram_bytes}"
             )
+
+    def dpu_row_ranges(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-DPU global output-row ``[start, stop)`` as two arrays."""
+        parts = self.partitions
+        if isinstance(parts, LazyPartitions):
+            return parts.row_starts, parts.row_stops
+        starts = np.fromiter(
+            (p.row_range[0] for p in parts), dtype=np.int64, count=len(parts))
+        stops = np.fromiter(
+            (p.row_range[1] for p in parts), dtype=np.int64, count=len(parts))
+        return starts, stops
+
+    def dpu_col_ranges(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-DPU global input-column ``[start, stop)`` as two arrays."""
+        parts = self.partitions
+        if isinstance(parts, LazyPartitions):
+            return parts.col_starts, parts.col_stops
+        starts = np.fromiter(
+            (p.col_range[0] for p in parts), dtype=np.int64, count=len(parts))
+        stops = np.fromiter(
+            (p.col_range[1] for p in parts), dtype=np.int64, count=len(parts))
+        return starts, stops
+
+    def shard_plans(self, dpus_per_rank: int) -> List[ShardPlan]:
+        """Decompose the plan into rank-level subproblems.
+
+        Shard ``k`` owns DPUs ``[k * dpus_per_rank, (k+1) * dpus_per_rank)``
+        — exactly the hardware rank boundary, so a shard's scatter rides one
+        rank's memory channels and can proceed concurrently with another
+        shard's execution.  Every DPU lands in exactly one shard.
+        """
+        if dpus_per_rank <= 0:
+            raise PartitionError("dpus_per_rank must be positive")
+        num_dpus = self.num_dpus
+        out_lens = self.out_lens
+        in_lens = self.in_lens
+        if out_lens is None:
+            row_starts, row_stops = self.dpu_row_ranges()
+            out_lens = row_stops - row_starts
+        else:
+            row_starts, row_stops = self.dpu_row_ranges()
+        if in_lens is None:
+            col_starts, col_stops = self.dpu_col_ranges()
+            in_lens = col_stops - col_starts
+        else:
+            col_starts, col_stops = self.dpu_col_ranges()
+        counts = self.nnz_per_dpu()
+        shards: List[ShardPlan] = []
+        for shard_id, start in enumerate(range(0, num_dpus, dpus_per_rank)):
+            stop = min(start + dpus_per_rank, num_dpus)
+            shards.append(ShardPlan(
+                shard_id=shard_id,
+                dpu_start=start,
+                dpu_stop=stop,
+                out_lens=out_lens[start:stop],
+                in_lens=in_lens[start:stop],
+                nnz_counts=counts[start:stop],
+                row_range=(int(row_starts[start:stop].min()),
+                           int(row_stops[start:stop].max())),
+                col_range=(int(col_starts[start:stop].min()),
+                           int(col_stops[start:stop].max())),
+            ))
+        return shards

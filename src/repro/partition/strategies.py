@@ -25,7 +25,7 @@ from ..errors import PartitionError
 from ..sparse.base import SparseMatrix
 from ..sparse.coo import COOMatrix
 from .balance import balanced_boundaries, even_boundaries, grid_shape
-from .base import Partition, PartitionPlan
+from .base import LazyPartitions, PartitionPlan
 
 _FORMATS = ("coo", "csr", "csc")
 
@@ -81,26 +81,15 @@ def rowwise(matrix: SparseMatrix, num_dpus: int, fmt: str = "csc") -> PartitionP
     )
     # one vectorized re-base instead of per-block arithmetic
     rows_rebased = rows - np.repeat(bounds[:-1], counts)
-    bounds_list = bounds.tolist()
-    offs = offsets.tolist()
     ncols = coo.ncols
-    partitions = []
-    for dpu_id in range(parts):
-        lo, hi = offs[dpu_id], offs[dpu_id + 1]
-        start, stop = bounds_list[dpu_id], bounds_list[dpu_id + 1]
-        block = COOMatrix.from_sorted(
-            rows_rebased[lo:hi], cols[lo:hi], vals[lo:hi],
-            (stop - start, ncols),
-        )
-        partitions.append(
-            Partition(
-                dpu_id=dpu_id,
-                coo_block=block,
-                fmt=fmt,
-                row_range=(start, stop),
-                col_range=(0, ncols),
-            )
-        )
+    zeros = np.zeros(parts, dtype=np.int64)
+    full_cols = np.full(parts, ncols, dtype=np.int64)
+    partitions = LazyPartitions(
+        rows_rebased, cols, vals, offsets, fmt,
+        row_starts=bounds[:-1], row_stops=bounds[1:],
+        col_starts=zeros, col_stops=full_cols,
+        shape_rows=np.diff(bounds), shape_cols=full_cols,
+    )
     plan = PartitionPlan(
         strategy=f"rowwise-{fmt}",
         partitions=partitions,
@@ -132,26 +121,15 @@ def colwise(matrix: SparseMatrix, num_dpus: int, fmt: str = "csc") -> PartitionP
         coo, dpu_of, parts
     )
     cols_rebased = cols - np.repeat(bounds[:-1], counts)
-    bounds_list = bounds.tolist()
-    offs = offsets.tolist()
     nrows = coo.nrows
-    partitions = []
-    for dpu_id in range(parts):
-        lo, hi = offs[dpu_id], offs[dpu_id + 1]
-        start, stop = bounds_list[dpu_id], bounds_list[dpu_id + 1]
-        block = COOMatrix.from_sorted(
-            rows[lo:hi], cols_rebased[lo:hi], vals[lo:hi],
-            (nrows, stop - start),
-        )
-        partitions.append(
-            Partition(
-                dpu_id=dpu_id,
-                coo_block=block,
-                fmt=fmt,
-                row_range=(0, nrows),
-                col_range=(start, stop),
-            )
-        )
+    zeros = np.zeros(parts, dtype=np.int64)
+    full_rows = np.full(parts, nrows, dtype=np.int64)
+    partitions = LazyPartitions(
+        rows, cols_rebased, vals, offsets, fmt,
+        row_starts=zeros, row_stops=full_rows,
+        col_starts=bounds[:-1], col_stops=bounds[1:],
+        shape_rows=full_rows, shape_cols=np.diff(bounds),
+    )
     plan = PartitionPlan(
         strategy=f"colwise-{fmt}",
         partitions=partitions,
@@ -194,30 +172,12 @@ def _grid_plan(
     row_spans = np.repeat(np.diff(row_bounds), grid_cols)
     col_spans = np.tile(np.diff(col_bounds), grid_rows)
 
-    r0_list = tile_r0.tolist()
-    c0_list = tile_c0.tolist()
-    r_span = row_spans.tolist()
-    c_span = col_spans.tolist()
-    offs = offsets.tolist()
-    from_sorted = COOMatrix.from_sorted
-    partitions = []
-    for dpu_id in range(num_tiles):
-        lo, hi = offs[dpu_id], offs[dpu_id + 1]
-        r0, c0 = r0_list[dpu_id], c0_list[dpu_id]
-        height, width = r_span[dpu_id], c_span[dpu_id]
-        tile = from_sorted(
-            rows_rebased[lo:hi], cols_rebased[lo:hi], vals[lo:hi],
-            (height, width),
-        )
-        partitions.append(
-            Partition(
-                dpu_id=dpu_id,
-                coo_block=tile,
-                fmt=fmt,
-                row_range=(r0, r0 + height),
-                col_range=(c0, c0 + width),
-            )
-        )
+    partitions = LazyPartitions(
+        rows_rebased, cols_rebased, vals, offsets, fmt,
+        row_starts=tile_r0, row_stops=tile_r0 + row_spans,
+        col_starts=tile_c0, col_stops=tile_c0 + col_spans,
+        shape_rows=row_spans, shape_cols=col_spans,
+    )
     plan = PartitionPlan(
         strategy=strategy,
         partitions=partitions,
@@ -281,30 +241,25 @@ def coo_nnz(matrix: SparseMatrix, num_dpus: int) -> PartitionPlan:
     coo = _check(matrix, num_dpus)
     parts = min(num_dpus, max(coo.nnz, 1))
     bounds = even_boundaries(coo.nnz, parts)
-    bounds_list = bounds.tolist()
-    partitions = []
-    out_lens = np.zeros(parts, dtype=np.int64)
-    for dpu_id in range(parts):
-        start, stop = bounds_list[dpu_id], bounds_list[dpu_id + 1]
-        chunk = coo.nnz_chunk(start, stop)
-        if chunk.nnz:
-            # chunks are row-major slices, so the row span is just the
-            # first/last element — no min/max scan needed
-            row_lo = int(chunk.rows[0])
-            row_hi = int(chunk.rows[-1]) + 1
-        else:
-            row_lo = row_hi = 0
-        out_lens[dpu_id] = row_hi - row_lo
-        partitions.append(
-            Partition(
-                dpu_id=dpu_id,
-                coo_block=chunk,
-                fmt="coo",
-                row_range=(row_lo, row_hi),
-                col_range=(0, coo.ncols),
-                global_rows=True,
-            )
-        )
+    counts = np.diff(bounds)
+    # chunks are row-major slices, so each chunk's row span is just its
+    # first/last element — no per-chunk min/max scan needed
+    nonempty = counts > 0
+    row_lo = np.zeros(parts, dtype=np.int64)
+    row_hi = np.zeros(parts, dtype=np.int64)
+    if coo.nnz:
+        row_lo[nonempty] = coo.rows[bounds[:-1][nonempty]]
+        row_hi[nonempty] = coo.rows[bounds[1:][nonempty] - 1] + 1
+    full_cols = np.full(parts, coo.ncols, dtype=np.int64)
+    partitions = LazyPartitions(
+        coo.rows, coo.cols, coo.values, bounds, "coo",
+        row_starts=row_lo, row_stops=row_hi,
+        col_starts=np.zeros(parts, dtype=np.int64), col_stops=full_cols,
+        shape_rows=np.full(parts, coo.nrows, dtype=np.int64),
+        shape_cols=full_cols,
+        global_rows=True,
+    )
+    out_lens = row_hi - row_lo
     plan = PartitionPlan(
         strategy="coo-nnz",
         partitions=partitions,

@@ -116,7 +116,8 @@ class EngineStats:
     ``repro.experiments.report`` display it like any other cache.
     """
 
-    __slots__ = ("paths", "segment_hits", "segment_misses")
+    __slots__ = ("paths", "segment_hits", "segment_misses",
+                 "fallback_reasons")
 
     #: Paths counted as vectorized fast-path service.
     FAST_PATHS = (
@@ -128,9 +129,16 @@ class EngineStats:
         self.paths: Dict[str, int] = {}
         self.segment_hits = 0
         self.segment_misses = 0
+        #: Why fallback dispatches left the fast path, per reason slug
+        #: (``density_gate`` / ``in_dtype_accumulation`` / ...).
+        self.fallback_reasons: Dict[str, int] = {}
 
     def count(self, path: str) -> None:
         self.paths[path] = self.paths.get(path, 0) + 1
+
+    def count_reason(self, reason: str) -> None:
+        self.fallback_reasons[reason] = \
+            self.fallback_reasons.get(reason, 0) + 1
 
     @property
     def fast(self) -> int:
@@ -153,10 +161,12 @@ class EngineStats:
             "paths": dict(sorted(self.paths.items())),
             "segment_hits": self.segment_hits,
             "segment_misses": self.segment_misses,
+            "fallback_reasons": dict(sorted(self.fallback_reasons.items())),
         }
 
     def reset(self) -> None:
         self.paths.clear()
+        self.fallback_reasons.clear()
         self.segment_hits = self.segment_misses = 0
 
 
@@ -271,8 +281,16 @@ def _count(path: str) -> None:
         session.metrics.counter("engine.reduce." + path).inc()
 
 
-def _legacy(semiring: Semiring, y, indices, contribs, path: str):
+def _legacy(semiring: Semiring, y, indices, contribs, path: str,
+            reason: Optional[str] = None):
     _count(path)
+    if reason is not None:
+        STATS.count_reason(reason)
+        session = _OBS.ACTIVE if _OBS is not None else None
+        if session is not None and session.metrics is not None:
+            session.metrics.counter(
+                "engine.reduce.fallback_reason." + reason
+            ).inc()
     semiring.add.at(y, indices, contribs)
     return y
 
@@ -315,6 +333,7 @@ def reduce_by_index(
     size: int,
     dtype=None,
     segments: Optional[np.ndarray] = None,
+    no_segments_reason: str = "unsorted_indices",
 ) -> np.ndarray:
     """``y = identity(size); y[indices] (+)= contribs`` — vectorized.
 
@@ -356,13 +375,17 @@ def reduce_by_index(
             return _segmented_fast(semiring, y, contribs, segments)
         # unsorted min/max/or: measured slower to sort or mask than
         # NumPy >= 2's optimized ufunc.at — fall back deliberately
-        return _legacy(semiring, y, indices, contribs, "fallback")
+        return _legacy(semiring, y, indices, contribs, "fallback",
+                       reason=no_segments_reason)
     return _legacy(semiring, y, indices, contribs, "generic")
 
 
 def _sum_fast(semiring, y, indices, contribs, size):
     if not _sum_ok(y, semiring):
-        return _legacy(semiring, y, indices, contribs, "fallback")
+        reason = ("nonzero_identity" if semiring.zero != 0
+                  else "in_dtype_accumulation")
+        return _legacy(semiring, y, indices, contribs, "fallback",
+                       reason=reason)
     if contribs.ndim == 2:
         # per-column bincount: same sequential input-order accumulation
         # per output column as 2-D add.at, k small for blocked SpMM
@@ -417,15 +440,15 @@ def row_reduce(
     building entirely.
     """
     segments = None
-    if (
-        engine_mode() == FAST
-        and reduce_mode(semiring) in ("min", "max", "or")
-        and coo.nnz >= MINMAX_SEGMENT_DENSITY * max(coo.nrows, 1)
-    ):
-        segments = row_segments(coo)
+    reason = "unsorted_indices"
+    if engine_mode() == FAST and reduce_mode(semiring) in ("min", "max", "or"):
+        if coo.nnz >= MINMAX_SEGMENT_DENSITY * max(coo.nrows, 1):
+            segments = row_segments(coo)
+        else:
+            reason = "density_gate"
     return reduce_by_index(
         semiring, coo.rows, contribs, coo.nrows,
-        dtype=dtype, segments=segments,
+        dtype=dtype, segments=segments, no_segments_reason=reason,
     )
 
 

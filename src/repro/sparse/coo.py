@@ -118,15 +118,27 @@ class COOMatrix(SparseMatrix):
         Edge ``(u, v)`` sets ``A[v, u] = w`` so that ``y = A @ x`` propagates
         values *along* edges (the paper's ``v = A^T v`` BFS formulation with
         A stored pre-transposed).  Duplicate edges are dropped.
+
+        ``edges`` may be an ``(m, 2)`` integer ndarray (the generators'
+        native output — consumed zero-copy), or any iterable of ``(u, v)``
+        pairs.
         """
-        edge_array = np.asarray(list(edges), dtype=np.int64)
+        if isinstance(edges, np.ndarray):
+            edge_array = edges
+            if edge_array.dtype != np.int64:
+                edge_array = edge_array.astype(np.int64)
+        else:
+            edge_array = np.asarray(
+                edges if isinstance(edges, (list, tuple)) else list(edges),
+                dtype=np.int64,
+            )
         if edge_array.size == 0:
             return cls.empty(num_nodes, dtype=dtype)
         if edge_array.ndim != 2 or edge_array.shape[1] != 2:
             raise SparseFormatError("edges must be (u, v) pairs")
         src, dst = edge_array[:, 0], edge_array[:, 1]
         if weights is None:
-            vals = np.ones(src.shape[0], dtype=dtype)
+            vals = None
         else:
             vals = np.asarray(weights, dtype=dtype)
             if vals.shape[0] != src.shape[0]:
@@ -136,11 +148,32 @@ class COOMatrix(SparseMatrix):
                 raise SparseFormatError("edge endpoint out of range")
             if dst.min() < 0 or dst.max() >= num_nodes:
                 raise SparseFormatError("edge endpoint out of range")
-        # drop duplicate (dst, src) pairs, keeping the first occurrence;
-        # np.unique returns keys sorted ascending, which for the combined
-        # key is exactly the canonical (row, col) lexicographic order — so
-        # the trusted constructor applies and no second sort is needed
-        keys = dst.astype(np.int64) * num_nodes + src
+        # drop duplicate (dst, src) pairs on a packed 64-bit key: endpoints
+        # are validated < num_nodes (< 2^32), so ``(dst << 32) | src`` is a
+        # bijective key whose ascending order is exactly the canonical
+        # (row, col) lexicographic order — the trusted constructor applies
+        # and no second sort is needed
+        keys = (dst << 32) | src
+        if vals is None:
+            # unit-weight adjacency: every survivor has the same value, so
+            # dedup is a plain in-place sort (we own ``keys``) plus a
+            # neighbour-compare mask, and the (row, col) coordinates decode
+            # straight out of the surviving keys.  This beats both
+            # ``np.unique`` flavours at graph scale: ``return_index=True``
+            # forces an argsort, and the hash-based path is slower than
+            # sorting when most elements are already unique.
+            keys.sort()
+            mask = np.empty(keys.shape, dtype=bool)
+            mask[0] = True
+            np.not_equal(keys[1:], keys[:-1], out=mask[1:])
+            unique_keys = keys if mask.all() else keys[mask]
+            return cls.from_sorted(
+                unique_keys >> 32,
+                unique_keys & 0xFFFFFFFF,
+                np.ones(unique_keys.shape[0], dtype=dtype),
+                (num_nodes, num_nodes),
+            )
+        # weighted input: keep the first occurrence's weight per coordinate
         __, unique_pos = np.unique(keys, return_index=True)
         return cls.from_sorted(
             dst[unique_pos], src[unique_pos], vals[unique_pos],

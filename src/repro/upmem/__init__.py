@@ -10,7 +10,13 @@ from .config import (
     TransferConfig,
 )
 from .energy import UpmemEnergyModel
-from .host import Dpu, DpuSet, DpuState, UpmemSystem
+from .host import Dpu, DpuSet, DpuState, ShardScheduler, UpmemSystem
+from .sharding import (
+    ShardTimeline,
+    set_shard_mode,
+    shard_mode,
+    shard_mode_override,
+)
 from .interconnect import InterconnectConfig, InterconnectModel
 from .microbench import (
     ThroughputPoint,
@@ -62,6 +68,11 @@ __all__ = [
     "DpuSet",
     "DpuState",
     "UpmemSystem",
+    "ShardScheduler",
+    "ShardTimeline",
+    "shard_mode",
+    "set_shard_mode",
+    "shard_mode_override",
     "InterconnectConfig",
     "InterconnectModel",
     "TaskletProgram",

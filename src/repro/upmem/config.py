@@ -105,6 +105,13 @@ class TransferConfig:
     #: Per-rank share of the aggregate bandwidth is capped at this value,
     #: so few-rank configurations do not see the full aggregate.
     per_rank_bw: float = 180e6
+    #: Host-side cost to *enqueue* one asynchronous per-rank transfer
+    #: (the SDK's ``DPU_XFER_ASYNC`` path the shard scheduler models).
+    #: Unlike ``launch_latency_s`` — which each transfer call still pays
+    #: inside its own duration — only this small dispatch cost serializes
+    #: between successive shard issues; the calls' setup latencies then
+    #: overlap with in-flight data movement.
+    async_issue_gap_s: float = 2e-6
 
     def effective_bw(self, num_ranks: int, to_device: bool) -> float:
         """Usable bandwidth with ``num_ranks`` ranks transferring."""

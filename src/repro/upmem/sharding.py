@@ -1,0 +1,117 @@
+"""Shard execution mode + the overlapped per-rank timeline model.
+
+The host runtime treats each hardware rank as an independently
+schedulable **shard** (:meth:`repro.partition.PartitionPlan.shard_plans`).
+Two execution modes price a kernel launch on the simulated timeline:
+
+``lockstep`` (the legacy model)
+    Every phase is a machine-wide barrier: scatter to all DPUs, execute
+    everywhere, gather from all DPUs, merge.  This is exactly the
+    :class:`~repro.types.PhaseBreakdown` currency the paper's tables
+    report, and it is what both modes keep reporting — results, cycle
+    totals and transfer totals are bit-identical across modes.
+
+``overlapped`` (the default)
+    The host issues scatter(shard k+1) while shard k executes, the way a
+    SUMMA pipeline hides its broadcasts.  Each shard's transfer rides its
+    own rank's memory channels at the per-rank bandwidth cap, so
+    transfers of different shards proceed concurrently; the host
+    serializes only the *issue* of each parallel-transfer call (one
+    ``launch_latency_s`` gap).  The resulting per-rank pipelined makespan
+    is attached to the launch as a :class:`ShardTimeline` — extra
+    observability (tracer lanes, metrics), never a change to results or
+    to the reported phase totals.
+
+Mode selection follows the PR 4 semiring-engine pattern exactly:
+``REPRO_SHARD_EXEC=lockstep`` in the environment, or
+:func:`set_shard_mode` programmatically (used by the CLI flag and the
+differential test suite).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import UpmemError
+
+ENV_VAR = "REPRO_SHARD_EXEC"
+MODES = ("overlapped", "lockstep")
+
+_OVERRIDE: Optional[str] = None
+
+
+def _validate(mode: str) -> str:
+    if mode not in MODES:
+        raise UpmemError(
+            f"unknown shard execution mode {mode!r}; expected one of {MODES}"
+        )
+    return mode
+
+
+def shard_mode() -> str:
+    """The active shard execution mode (override > env > default)."""
+    if _OVERRIDE is not None:
+        return _OVERRIDE
+    env = os.environ.get(ENV_VAR)
+    if env:
+        return _validate(env.strip().lower())
+    return "overlapped"
+
+
+def set_shard_mode(mode: Optional[str]) -> None:
+    """Force a shard execution mode (``None`` restores env/default)."""
+    global _OVERRIDE
+    _OVERRIDE = None if mode is None else _validate(mode)
+
+
+@contextmanager
+def shard_mode_override(mode: Optional[str]):
+    """Temporarily force a shard mode (no-op when ``mode`` is ``None``)."""
+    global _OVERRIDE
+    if mode is None:
+        yield
+        return
+    previous = _OVERRIDE
+    set_shard_mode(mode)
+    try:
+        yield
+    finally:
+        _OVERRIDE = previous
+
+
+@dataclass(frozen=True)
+class ShardTimeline:
+    """Per-shard event times of one overlapped kernel launch (seconds,
+    relative to the launch start).
+
+    Arrays are indexed by shard.  ``makespan_s`` is the pipelined
+    completion time (including merge); ``lockstep_s`` is the same
+    launch's phase-barrier total — the number the :class:`PhaseBreakdown`
+    reports in both modes.  ``skipped`` marks shards whose rank is fully
+    quarantined (degraded-mode scheduling): they get zero-duration legs
+    and consume no issue slot.
+    """
+
+    dpu_bounds: np.ndarray
+    scatter_start: np.ndarray
+    scatter_end: np.ndarray
+    exec_end: np.ndarray
+    gather_start: np.ndarray
+    gather_end: np.ndarray
+    makespan_s: float
+    lockstep_s: float
+    skipped: Optional[np.ndarray] = None
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.dpu_bounds) - 1
+
+    @property
+    def overlap_saved_s(self) -> float:
+        """Timeline seconds hidden by the pipeline vs the barrier model."""
+        return self.lockstep_s - self.makespan_s

@@ -125,6 +125,78 @@ class TransferModel:
             seconds, int(sizes.sum()) * grid_rows, num_dpus, "grid-scatter"
         )
 
+    def shard_scatter_seconds(
+        self,
+        per_dpu_bytes: np.ndarray,
+        shard_bounds: np.ndarray,
+        to_device: bool = True,
+    ) -> np.ndarray:
+        """Per-shard seconds for distinct-buffer transfer legs.
+
+        One entry per shard ``[shard_bounds[k], shard_bounds[k+1])``, each
+        priced like :meth:`scatter`/:meth:`gather` but confined to its own
+        rank: padded to the shard's largest buffer and moved at the
+        *per-rank* bandwidth — the channel a shard actually owns while
+        other shards transfer or execute concurrently.  Vectorized with
+        one ``reduceat`` so the overlapped timeline costs O(num_dpus) per
+        launch, not O(num_shards) model invocations.
+        """
+        sizes = np.asarray(per_dpu_bytes, dtype=np.int64)
+        bounds = np.asarray(shard_bounds, dtype=np.int64)
+        if sizes.size == 0 or len(bounds) < 2:
+            raise TransferError("shard transfer needs buffers and bounds")
+        granule = np.maximum(
+            np.maximum.reduceat(sizes, bounds[:-1]), self.cfg.min_bytes_per_dpu
+        )
+        padded = granule * np.diff(bounds)
+        bw = self.cfg.effective_bw(1, to_device)
+        return self.cfg.launch_latency_s + padded / bw
+
+    def shard_grid_seconds(
+        self,
+        per_segment_bytes: np.ndarray,
+        grid_rows: int,
+        shard_bounds: np.ndarray,
+    ) -> np.ndarray:
+        """Per-shard seconds for a 2-D grid's segment replication.
+
+        The lockstep :meth:`grid_scatter` discounts replication down grid
+        rows by the chip burst factor; the same *total* discounted volume
+        is what the shards move — split evenly across the concurrently
+        transferring shards, each at its rank's bandwidth, so an uncapped
+        configuration reproduces the lockstep data time exactly and a
+        capped one (aggregate < ranks x per-rank) pipelines faster.
+        """
+        sizes = np.asarray(per_segment_bytes, dtype=np.int64)
+        bounds = np.asarray(shard_bounds, dtype=np.int64)
+        if sizes.size == 0 or grid_rows <= 0 or len(bounds) < 2:
+            raise TransferError("shard grid transfer needs segments and bounds")
+        granule = max(int(sizes.max()), self.cfg.min_bytes_per_dpu)
+        copies = max(grid_rows / self.cfg.chip_replication_factor, 1.0)
+        padded = granule * sizes.size * copies
+        num_shards = len(bounds) - 1
+        bw = self.cfg.effective_bw(1, to_device=True)
+        return np.full(
+            num_shards,
+            self.cfg.launch_latency_s + padded / num_shards / bw,
+        )
+
+    def shard_broadcast_seconds(
+        self, nbytes: int, shard_bounds: np.ndarray
+    ) -> np.ndarray:
+        """Per-shard seconds for replicating one buffer to each shard's
+        DPUs (the broadcast leg of 1-D partitionings), with the chip-level
+        replication discount of :meth:`broadcast`."""
+        bounds = np.asarray(shard_bounds, dtype=np.int64)
+        if nbytes < 0 or len(bounds) < 2:
+            raise TransferError("shard broadcast needs a size and bounds")
+        granule = max(nbytes, self.cfg.min_bytes_per_dpu)
+        copies = np.maximum(
+            np.diff(bounds) / self.cfg.chip_replication_factor, 1.0
+        )
+        bw = self.cfg.effective_bw(1, to_device=True)
+        return self.cfg.launch_latency_s + granule * copies / bw
+
     def serial(self, nbytes: int, to_device: bool) -> TransferCost:
         """A single-DPU (serial) transfer."""
         if nbytes < 0:

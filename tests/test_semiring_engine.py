@@ -481,3 +481,139 @@ class TestDensityGate:
         legacy = eng.row_reduce(MIN_PLUS, coo, contribs)
         assert fast.dtype == legacy.dtype
         assert fast.tobytes() == legacy.tobytes()
+
+
+class TestFallbackReasons:
+    """Every fallback dispatch is attributed to a reason label (PR 6)."""
+
+    def setup_method(self):
+        eng.reset_stats()
+        # reason labels attribute *fast-mode* fallbacks; pin the mode so
+        # the CI legacy-engine differential leg doesn't change the topic
+        eng.set_engine_mode("fast")
+
+    def teardown_method(self):
+        eng.set_engine_mode(None)
+
+    def test_density_gate_reason(self):
+        rng = np.random.default_rng(21)
+        n, nnz = 500, 1000  # avg degree 2 << MINMAX_SEGMENT_DENSITY
+        keys = rng.choice(n * n, size=nnz, replace=False)
+        rows, cols = np.sort(keys) // n, np.sort(keys) % n
+        coo = COOMatrix(rows, cols, rng.random(nnz), (n, n))
+        eng.row_reduce(MIN_PLUS, coo, rng.random(coo.nnz))
+        assert eng.STATS.fallback_reasons == {"density_gate": 1}
+
+    def test_in_dtype_accumulation_reason(self):
+        idx = np.array([0, 0, 1], dtype=np.int64)
+        eng.reduce_by_index(PLUS_TIMES, idx, np.ones(3, dtype=np.float32), 2)
+        assert eng.STATS.fallback_reasons == {"in_dtype_accumulation": 1}
+
+    def test_unsorted_indices_reason(self):
+        idx = np.array([2, 0, 1], dtype=np.int64)
+        eng.reduce_by_index(MIN_PLUS, idx, np.ones(3), 3)
+        assert eng.STATS.fallback_reasons == {"unsorted_indices": 1}
+
+    def test_reasons_cover_every_fallback(self):
+        """The reason counts always sum to the fallback path count."""
+        rng = np.random.default_rng(22)
+        for _ in range(5):
+            idx = rng.integers(0, 50, size=200)
+            eng.reduce_by_index(MIN_PLUS, idx, rng.random(200), 50)
+            eng.reduce_by_index(
+                PLUS_TIMES, idx, rng.random(200, dtype=np.float32), 50
+            )
+        assert (
+            sum(eng.STATS.fallback_reasons.values())
+            == eng.STATS.paths.get("fallback", 0)
+        )
+        assert "fallback_reasons" in eng.STATS.as_dict()
+
+    def test_metrics_counter_carries_reason(self):
+        from repro.observability import ObservabilitySession, activate, deactivate
+
+        session = activate(ObservabilitySession(trace=False, metrics=True))
+        try:
+            idx = np.array([0, 0, 1], dtype=np.int64)
+            eng.reduce_by_index(
+                PLUS_TIMES, idx, np.ones(3, dtype=np.float32), 2
+            )
+            counters = {
+                name: c.value
+                for name, c in session.metrics._counters.items()
+            }
+        finally:
+            deactivate()
+        assert counters.get(
+            "engine.reduce.fallback_reason.in_dtype_accumulation"
+        ) == 1.0
+
+
+class TestBenchShapeFastPath:
+    """The hot BFS / PageRank loops ride the vectorized paths at the
+    Table-4 bench shapes (scale-0.3 amazon0302, the perf-gate workload).
+
+    The PIM-side float32 reduces *must* stay on ``ufunc.at`` for bit
+    identity — the reason label attributes them — but the wall-clock-hot
+    CPU trace loops (frontier dedup, float64 rank accumulation) have no
+    such excuse.
+    """
+
+    @pytest.fixture(scope="class")
+    def bench_matrix(self):
+        from repro.datasets import get_dataset
+
+        spec = get_dataset("A302")
+        return spec.generate(scale=0.3, rng=np.random.default_rng(7))
+
+    @pytest.fixture(autouse=True)
+    def _fast_mode(self):
+        eng.set_engine_mode("fast")
+        yield
+        eng.set_engine_mode(None)
+
+    def test_pagerank_hot_loop_all_fast(self, bench_matrix):
+        from repro.algorithms import pagerank_reference
+        from repro.cache import clear_caches
+
+        clear_caches()
+        eng.reset_stats()
+        pagerank_reference(bench_matrix)
+        stats = eng.STATS
+        assert stats.paths.get("sum_bincount", 0) > 0
+        assert stats.paths.get("fallback", 0) == 0
+        assert stats.paths.get("legacy", 0) == 0
+        assert stats.fast == sum(stats.paths.values())
+
+    def test_bfs_hot_loop_dedup_fast(self, bench_matrix):
+        from repro.baselines import workload as wl
+        from repro.cache import clear_caches
+
+        clear_caches()
+        eng.reset_stats()
+        wl.clear_trace_memo()
+        wl.bfs_trace(bench_matrix, 0)
+        stats = eng.STATS
+        # the per-level frontier dedup is the hot primitive: the masked /
+        # run-boundary fast paths must carry the bulk of the levels
+        fast_dedup = (
+            stats.paths.get("unique_mask", 0)
+            + stats.paths.get("unique_sorted", 0)
+        )
+        assert fast_dedup > 0
+        assert fast_dedup >= stats.paths.get("unique_sort", 0)
+        assert stats.paths.get("fallback", 0) == 0
+
+    def test_pim_pagerank_fallbacks_are_attributed(self, bench_matrix):
+        from repro.algorithms import pagerank
+        from repro.cache import clear_caches
+        from repro.upmem.config import SystemConfig
+
+        clear_caches()
+        eng.reset_stats()
+        pagerank(bench_matrix, SystemConfig(num_dpus=512), 512)
+        stats = eng.STATS
+        assert (
+            sum(stats.fallback_reasons.values())
+            == stats.paths.get("fallback", 0)
+        )

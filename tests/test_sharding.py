@@ -1,0 +1,443 @@
+"""Differential suite for the shard-scheduled runtime (PR 6 tentpole).
+
+The contract: **overlapped mode changes only the simulated timeline's
+internal schedule, never a result and never a reported number.**  Every
+algorithm, every value array, every phase breakdown, every cycle and
+transfer total must be bit-identical between ``REPRO_SHARD_EXEC=lockstep``
+(the legacy phase-barrier model) and the default overlapped schedule —
+including under fault injection and across a checkpoint crash/resume that
+switches modes mid-run.
+
+Plus unit coverage of the three new pieces: rank-level
+:class:`~repro.partition.ShardPlan` decomposition,
+:class:`~repro.upmem.ShardScheduler` pipelining (issue-gap serialization,
+gather recurrence, degraded-mode slot reclaim) and the
+:class:`~repro.upmem.ShardTimeline` invariants.
+"""
+
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    betweenness_centrality,
+    bfs,
+    connected_components,
+    multi_source_bfs,
+    pagerank,
+    ppr,
+    sssp,
+    sssp_delta_stepping,
+)
+from repro.cache import clear_caches
+from repro.checkpoint import CheckpointConfig, MemoryCheckpointStore
+from repro.checkpoint.chaos import CrashSchedule, SimulatedCrash
+from repro.datasets import add_weights, get_dataset
+from repro.errors import UpmemError
+from repro.faults import FaultPlan
+from repro.partition import ShardPlan, dcoo, rowwise
+from repro.semiring import PLUS_TIMES
+from repro.upmem import (
+    ShardScheduler,
+    ShardTimeline,
+    set_shard_mode,
+    shard_mode,
+    shard_mode_override,
+)
+from repro.upmem.config import SystemConfig
+from repro.upmem.sharding import ENV_VAR
+
+NUM_DPUS = 256  # 4 ranks: enough shards to pipeline, small enough to be fast
+
+
+@pytest.fixture(scope="module")
+def graph():
+    spec = get_dataset("A302")
+    return spec.generate(scale=0.05, rng=np.random.default_rng(7))
+
+
+@pytest.fixture(scope="module")
+def weighted(graph):
+    return add_weights(graph, rng=np.random.default_rng(11))
+
+
+@pytest.fixture(scope="module")
+def system():
+    return SystemConfig(num_dpus=NUM_DPUS)
+
+
+@pytest.fixture(autouse=True)
+def _clean_mode():
+    set_shard_mode(None)
+    yield
+    set_shard_mode(None)
+
+
+def _runs_equal(a, b):
+    """Bit-exact equality of two AlgorithmRuns' reported numbers."""
+    assert a.values.dtype == b.values.dtype
+    assert a.values.tobytes() == b.values.tobytes()
+    assert a.num_iterations == b.num_iterations
+    assert a.converged == b.converged
+    assert a.breakdown.as_dict() == b.breakdown.as_dict()
+    assert a.energy.total_j == b.energy.total_j
+    for ta, tb in zip(a.iterations, b.iterations):
+        assert ta.breakdown.as_dict() == tb.breakdown.as_dict()
+        assert ta.kernel_name == tb.kernel_name
+
+
+# ---------------------------------------------------------------------------
+# mode selection
+# ---------------------------------------------------------------------------
+
+
+class TestShardMode:
+    def test_default_is_overlapped(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        assert shard_mode() == "overlapped"
+
+    def test_env_var_selects_lockstep(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "lockstep")
+        assert shard_mode() == "lockstep"
+
+    def test_env_var_rejects_unknown(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "pipelined")
+        with pytest.raises(UpmemError):
+            shard_mode()
+
+    def test_set_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "lockstep")
+        set_shard_mode("overlapped")
+        assert shard_mode() == "overlapped"
+        set_shard_mode(None)
+        assert shard_mode() == "lockstep"
+
+    def test_override_contextmanager_restores(self):
+        set_shard_mode("overlapped")
+        with shard_mode_override("lockstep"):
+            assert shard_mode() == "lockstep"
+        assert shard_mode() == "overlapped"
+
+    def test_override_none_is_noop(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        with shard_mode_override(None):
+            assert shard_mode() == "overlapped"
+
+    def test_set_rejects_unknown(self):
+        with pytest.raises(UpmemError):
+            set_shard_mode("barrier")
+
+
+# ---------------------------------------------------------------------------
+# ShardPlan decomposition
+# ---------------------------------------------------------------------------
+
+
+class TestShardPlans:
+    def test_rank_decomposition_covers_all_dpus(self, graph, system):
+        plan = rowwise(graph, NUM_DPUS)
+        shards = plan.shard_plans(system.dpus_per_rank)
+        assert len(shards) == NUM_DPUS // system.dpus_per_rank
+        assert shards[0].dpu_start == 0
+        assert shards[-1].dpu_stop == NUM_DPUS
+        for a, b in zip(shards, shards[1:]):
+            assert a.dpu_stop == b.dpu_start
+        assert sum(s.num_dpus for s in shards) == NUM_DPUS
+
+    def test_shard_nnz_partitions_total(self, graph):
+        plan = rowwise(graph, NUM_DPUS)
+        shards = plan.shard_plans(64)
+        assert sum(s.nnz for s in shards) == graph.nnz
+
+    def test_shard_row_ranges_nest_in_plan(self, graph):
+        plan = rowwise(graph, NUM_DPUS)
+        for shard in plan.shard_plans(64):
+            assert isinstance(shard, ShardPlan)
+            lo, hi = shard.row_range
+            assert 0 <= lo <= hi <= graph.nrows
+            assert shard.out_lens.shape == (shard.num_dpus,)
+            assert shard.nnz_counts.shape == (shard.num_dpus,)
+
+    def test_partial_last_shard(self, graph):
+        plan = rowwise(graph, 96)
+        shards = plan.shard_plans(64)
+        assert [s.num_dpus for s in shards] == [64, 32]
+
+    def test_2d_plan_shards(self, graph):
+        plan = dcoo(graph, NUM_DPUS)
+        shards = plan.shard_plans(64)
+        assert sum(s.num_dpus for s in shards) == NUM_DPUS
+        assert sum(s.nnz for s in shards) == graph.nnz
+
+
+# ---------------------------------------------------------------------------
+# ShardScheduler timeline model
+# ---------------------------------------------------------------------------
+
+
+class TestShardScheduler:
+    def _timeline(self, system, num_shards=4, skipped=None, exec_s=1e-3):
+        sched = ShardScheduler(system)
+        bounds = sched.shard_bounds(num_shards * system.dpus_per_rank)
+        scatter = np.full(num_shards, 2e-4)
+        gather = np.full(num_shards, 3e-4)
+        return sched, sched.timeline(
+            bounds, scatter, exec_s, gather,
+            merge_s=1e-4, lockstep_s=5e-3, skipped=skipped,
+        )
+
+    def test_bounds_are_rank_aligned(self, system):
+        sched = ShardScheduler(system)
+        bounds = sched.shard_bounds(200)
+        assert bounds.tolist() == [0, 64, 128, 192, 200]
+
+    def test_scatter_issue_serializes_by_gap(self, system):
+        _, tl = self._timeline(system)
+        gap = system.transfer.async_issue_gap_s
+        starts = tl.scatter_start
+        assert np.allclose(np.diff(starts), gap)
+        assert starts[0] == 0.0
+
+    def test_gather_never_precedes_exec(self, system):
+        _, tl = self._timeline(system)
+        assert (tl.gather_start >= tl.exec_end - 1e-18).all()
+        assert (tl.gather_end >= tl.gather_start).all()
+
+    def test_gather_issue_recurrence_monotone(self, system):
+        _, tl = self._timeline(system)
+        gap = system.transfer.async_issue_gap_s
+        assert (np.diff(tl.gather_start) >= gap - 1e-18).all()
+
+    def test_makespan_includes_merge(self, system):
+        _, tl = self._timeline(system)
+        assert tl.makespan_s == pytest.approx(float(tl.gather_end.max()) + 1e-4)
+        assert tl.overlap_saved_s == pytest.approx(5e-3 - tl.makespan_s)
+
+    def test_skipped_shards_zeroed_and_slot_reclaimed(self, system):
+        skipped = np.array([False, True, False, False])
+        _, tl = self._timeline(system, skipped=skipped)
+        assert tl.scatter_start[1] == tl.scatter_end[1]
+        assert tl.exec_end[1] == tl.scatter_end[1]
+        assert tl.gather_end[1] == tl.gather_start[1]
+        # shard 2 inherits issue slot 1: its scatter starts one gap after
+        # shard 0, not two
+        gap = system.transfer.async_issue_gap_s
+        assert tl.scatter_start[2] == pytest.approx(gap)
+
+    def test_reschedule_preserves_lockstep_total(self, system):
+        sched, tl = self._timeline(system)
+        skipped = np.array([False, False, True, False])
+        degraded = sched.reschedule(tl, skipped)
+        assert degraded.lockstep_s == tl.lockstep_s
+        assert degraded.skipped is not None and degraded.skipped[2]
+        assert degraded.makespan_s <= tl.makespan_s + 1e-18
+
+    def test_timeline_is_shard_timeline(self, system):
+        _, tl = self._timeline(system)
+        assert isinstance(tl, ShardTimeline)
+        assert tl.num_shards == 4
+
+
+# ---------------------------------------------------------------------------
+# kernel attachment
+# ---------------------------------------------------------------------------
+
+
+class TestKernelAttachment:
+    def test_overlapped_attaches_timeline(self, graph, system):
+        from repro.kernels.spmv import prepare_spmv_1d
+
+        clear_caches()
+        set_shard_mode("overlapped")
+        kernel = prepare_spmv_1d(graph, NUM_DPUS, system)
+        result = kernel.run(np.ones(graph.shape[1]), PLUS_TIMES)
+        tl = result.shard_timeline
+        assert tl is not None
+        assert tl.num_shards == NUM_DPUS // system.dpus_per_rank
+        # the lockstep currency is the reported breakdown, untouched
+        assert tl.lockstep_s == pytest.approx(result.breakdown.total)
+
+    def test_lockstep_attaches_nothing(self, graph, system):
+        from repro.kernels.spmv import prepare_spmv_1d
+
+        clear_caches()
+        set_shard_mode("lockstep")
+        kernel = prepare_spmv_1d(graph, NUM_DPUS, system)
+        result = kernel.run(np.ones(graph.shape[1]), PLUS_TIMES)
+        assert result.shard_timeline is None
+
+    def test_single_rank_attaches_nothing(self, graph):
+        from repro.kernels.spmv import prepare_spmv_1d
+
+        clear_caches()
+        set_shard_mode("overlapped")
+        system = SystemConfig(num_dpus=64)
+        kernel = prepare_spmv_1d(graph, 64, system)
+        result = kernel.run(np.ones(graph.shape[1]), PLUS_TIMES)
+        assert result.shard_timeline is None
+
+    def test_overlap_overhead_bounded_by_issue_gaps(self, graph, system):
+        """Below the aggregate-bandwidth caps the per-shard legs equal the
+        lockstep legs exactly, so the pipeline's only cost is the serial
+        async-issue gaps — the makespan never exceeds the barrier total
+        by more than one gap per shard pair (scatter + gather issues)."""
+        from repro.kernels.spmv import prepare_spmv_1d, prepare_spmv_2d
+        from repro.kernels.spmv_ell import prepare_spmv_ell
+
+        clear_caches()
+        set_shard_mode("overlapped")
+        x = np.ones(graph.shape[1])
+        gap = system.transfer.async_issue_gap_s
+        for prep in (prepare_spmv_1d, prepare_spmv_2d, prepare_spmv_ell):
+            tl = prep(graph, NUM_DPUS, system).run(x, PLUS_TIMES).shard_timeline
+            assert tl is not None
+            bound = tl.lockstep_s + 2 * tl.num_shards * gap
+            assert tl.makespan_s <= bound + 1e-12, prep.__name__
+
+    def test_overlap_saves_time_when_aggregate_bw_caps_bind(self, graph):
+        """At full machine scale the aggregate DPU->host peak (4.7 GB/s)
+        is slower than 40 concurrent per-rank gathers, so the pipelined
+        schedule genuinely hides transfer time."""
+        from repro.kernels.spmv import prepare_spmv_1d, prepare_spmv_2d
+
+        clear_caches()
+        set_shard_mode("overlapped")
+        system = SystemConfig(num_dpus=2560)
+        x = np.ones(graph.shape[1])
+        for prep in (prepare_spmv_1d, prepare_spmv_2d):
+            tl = prep(graph, 2560, system).run(x, PLUS_TIMES).shard_timeline
+            assert tl is not None
+            assert tl.overlap_saved_s > 0, prep.__name__
+
+
+# ---------------------------------------------------------------------------
+# the differential contract: every algorithm, both modes, bit-identical
+# ---------------------------------------------------------------------------
+
+
+def _run_algorithm(name, graph, weighted, system, mode):
+    clear_caches()
+    kwargs = dict(shard_exec=mode)
+    if name == "bfs":
+        return bfs(graph, 0, system, NUM_DPUS, **kwargs)
+    if name == "sssp":
+        return sssp(weighted, 0, system, NUM_DPUS, **kwargs)
+    if name == "ppr":
+        return ppr(graph, 3, system, NUM_DPUS, **kwargs)
+    if name == "pagerank":
+        return pagerank(graph, system, NUM_DPUS, **kwargs)
+    if name == "cc":
+        return connected_components(graph, system, NUM_DPUS, **kwargs)
+    if name == "delta_stepping":
+        return sssp_delta_stepping(weighted, 0, system, NUM_DPUS, **kwargs)
+    if name == "msbfs":
+        return multi_source_bfs(graph, [0, 5, 9], system, NUM_DPUS, **kwargs)
+    if name == "bc":
+        return betweenness_centrality(graph, [0, 5], system, NUM_DPUS, **kwargs)
+    raise AssertionError(name)
+
+
+ALGORITHMS = (
+    "bfs", "sssp", "ppr", "pagerank", "cc", "delta_stepping", "msbfs", "bc",
+)
+
+
+class TestDifferentialAllAlgorithms:
+    @pytest.mark.parametrize("name", ALGORITHMS)
+    def test_overlapped_matches_lockstep(self, name, graph, weighted, system):
+        overlapped = _run_algorithm(name, graph, weighted, system, "overlapped")
+        lockstep = _run_algorithm(name, graph, weighted, system, "lockstep")
+        _runs_equal(overlapped, lockstep)
+
+    def test_overlapped_timeline_rides_iterations(self, graph, system):
+        """Overlapped mode is pure observability: the timelines exist on
+        the per-iteration kernel results, the totals stay lockstep."""
+        from repro.observability import (
+            ObservabilitySession,
+            activate,
+            deactivate,
+        )
+
+        clear_caches()
+        session = activate(ObservabilitySession(
+            trace=True, metrics=True, dpus_per_rank=system.dpus_per_rank,
+        ))
+        try:
+            bfs(graph, 0, system, NUM_DPUS, shard_exec="overlapped")
+            cats = {e.cat for e in session.tracer.events}
+            assert "shard" in cats
+            counters = session.metrics.snapshot(include_caches=False).counters
+            assert counters.get("shard.makespan", 0.0) > 0.0
+        finally:
+            deactivate()
+
+
+class TestDifferentialUnderFaults:
+    def test_bfs_with_faults_bit_identical(self, graph, weighted, system):
+        plan = FaultPlan.uniform(0.02, seed=5)
+        runs = {}
+        for mode in ("overlapped", "lockstep"):
+            clear_caches()
+            runs[mode] = bfs(
+                graph, 0, system, NUM_DPUS,
+                fault_plan=plan, shard_exec=mode,
+            )
+        _runs_equal(runs["overlapped"], runs["lockstep"])
+        # the *fault schedule* is also identical: same events, same
+        # recovery accounting in both modes
+        assert (runs["overlapped"].fault_log.summary()
+                == runs["lockstep"].fault_log.summary())
+
+    def test_degraded_rank_reclaims_issue_slots(self, graph, system):
+        """Quarantining every DPU of a rank drops its shard from the
+        overlapped schedule (skipped mask via the resilient runtime)."""
+        from repro.faults.resilient import FaultTolerantExecutor
+
+        clear_caches()
+        set_shard_mode("overlapped")
+        plan = FaultPlan.uniform(0.0, seed=1)
+        executor = FaultTolerantExecutor(plan, system, NUM_DPUS)
+        for dpu in range(64, 128):  # quarantine rank 1 wholesale
+            executor.rset.dpus[dpu].quarantine()
+
+        from repro.kernels.spmv import prepare_spmv_1d
+
+        kernel = prepare_spmv_1d(graph, NUM_DPUS, system)
+        result = executor.run(kernel, np.ones(graph.shape[1]), PLUS_TIMES)
+        tl = result.shard_timeline
+        assert tl is not None and tl.skipped is not None
+        assert tl.skipped.tolist() == [False, True, False, False]
+        assert tl.scatter_start[1] == tl.scatter_end[1]  # zero-duration legs
+
+
+class TestDifferentialAcrossCheckpointResume:
+    @pytest.mark.parametrize(
+        "crash_mode,resume_mode",
+        [("overlapped", "lockstep"), ("lockstep", "overlapped")],
+    )
+    def test_mode_switch_across_resume(
+        self, crash_mode, resume_mode, graph, system
+    ):
+        """Crash mid-shard-sequence in one mode, resume in the other:
+        checkpointed state is schedule-independent, so the stitched run
+        still reproduces the single-mode answer bit-for-bit."""
+        clear_caches()
+        reference = bfs(graph, 0, system, NUM_DPUS, shard_exec="lockstep")
+
+        store = MemoryCheckpointStore()
+        schedule = CrashSchedule(crash_iterations=[2])
+        clear_caches()
+        with pytest.raises(SimulatedCrash):
+            bfs(
+                graph, 0, system, NUM_DPUS, shard_exec=crash_mode,
+                checkpoint=CheckpointConfig(
+                    store=store, crash_schedule=schedule
+                ),
+            )
+        resumed = bfs(
+            graph, 0, system, NUM_DPUS, shard_exec=resume_mode,
+            checkpoint=CheckpointConfig(store=store),
+        )
+        assert resumed.checkpoint["restore_count"] == 1
+        assert resumed.values.tobytes() == reference.values.tobytes()
+        assert resumed.converged == reference.converged
