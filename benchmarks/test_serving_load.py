@@ -1,0 +1,111 @@
+"""Serving-layer load benchmark (PR 7 tentpole gate).
+
+One seeded closed-loop burst is replayed twice against identical
+services — once healthy, once with the pinned rank-kill fault plan (plan
+seed 0 on the 2-rank 128-DPU layout kills rank 1 mid-burst) — and the
+two SLO reports land side by side in ``BENCH_PR7.json`` at the
+repository root: p50/p99 latency, completed qps, shed / retry /
+degraded counts per phase.
+
+Gates (the degraded-mode SLO, in benchmark form):
+
+* both phases account for every submitted query,
+* the healthy phase completes everything with zero degradation,
+* the degraded phase still completes everything — the deaths show up as
+  retries + degraded completions, not as lost or wrong answers (answer
+  bit-identity itself is pinned by ``tests/test_serving_chaos.py``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pathlib
+import time
+
+import numpy as np
+
+from conftest import run_once
+
+from repro.faults import FaultPlan
+from repro.ioutil import atomic_write_json
+from repro.serving import GraphService, LoadgenConfig, run_load
+from repro.sparse import COOMatrix
+from repro.upmem import SystemConfig
+
+NUM_DPUS = 128  # two ranks: the kill leaves a surviving rank
+RANK_KILL_PLAN = FaultPlan(
+    seed=0,
+    rank_failure_rate=0.02,
+    dpu_crash_rate=0.01,
+    transfer_corruption_rate=0.01,
+)
+BURST = LoadgenConfig(graph="g", tenants=3, queries_per_tenant=4, seed=42)
+
+BENCH_PATH = pathlib.Path(__file__).parents[1] / "BENCH_PR7.json"
+
+
+def _graph(n: int = 120, avg_degree: float = 5.0, seed: int = 3):
+    rng = np.random.default_rng(seed)
+    nnz = int(n * avg_degree)
+    edges = rng.integers(0, n, size=(nnz, 2))
+    edges = edges[edges[:, 0] != edges[:, 1]]
+    weights = rng.integers(1, 9, size=len(edges)).astype(np.int32)
+    return COOMatrix.from_edges(edges, n, weights=weights)
+
+
+def _serve_phase(matrix, fault_plan=None):
+    system = SystemConfig(num_dpus=NUM_DPUS)
+    service = GraphService(system, NUM_DPUS)
+    service.add_graph("g", matrix, fault_plan=fault_plan)
+
+    async def scenario():
+        async with service:
+            return await run_load(service, BURST)
+
+    report, _ = asyncio.run(scenario())
+    return report
+
+
+def test_serving_load_healthy_vs_degraded(benchmark):
+    matrix = _graph()
+
+    healthy = _serve_phase(matrix)
+    degraded = run_once(
+        benchmark, lambda: _serve_phase(matrix, fault_plan=RANK_KILL_PLAN)
+    )
+
+    assert healthy.accounted and degraded.accounted
+    assert healthy.completed == healthy.submitted
+    assert healthy.degraded_completions == 0
+    # a rank died mid-burst, yet nothing was lost: the cost is paid in
+    # shard re-dispatch and degraded-flagged completions, not in missing
+    # answers (service-level retries only fire when a whole launch dies)
+    assert degraded.completed == degraded.submitted
+    assert degraded.degraded_completions > 0
+
+    payload = {
+        "benchmark": "serving-load",
+        "written_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "num_dpus": NUM_DPUS,
+        "loadgen": {
+            "mode": BURST.mode,
+            "tenants": BURST.tenants,
+            "queries_per_tenant": BURST.queries_per_tenant,
+            "seed": BURST.seed,
+            "algorithms": list(BURST.algorithms),
+        },
+        "fault_plan": {
+            "seed": RANK_KILL_PLAN.seed,
+            "rank_failure_rate": RANK_KILL_PLAN.rank_failure_rate,
+            "dpu_crash_rate": RANK_KILL_PLAN.dpu_crash_rate,
+            "transfer_corruption_rate":
+                RANK_KILL_PLAN.transfer_corruption_rate,
+        },
+        "healthy": healthy.as_dict(),
+        "degraded": degraded.as_dict(),
+        "p99_slowdown_x": (
+            degraded.p99_latency_s / healthy.p99_latency_s
+            if healthy.p99_latency_s > 0 else None
+        ),
+    }
+    atomic_write_json(BENCH_PATH, payload)

@@ -20,10 +20,11 @@ Load/Kernel/Retrieve/Merge accounting as BFS.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
+from ..checkpoint.manager import CheckpointConfig, open_checkpoint
 from ..errors import ReproError
 from ..semiring import PLUS_TIMES
 from ..sparse.base import SparseMatrix
@@ -43,19 +44,33 @@ def betweenness_centrality(
     policy: Optional[KernelPolicy] = None,
     dataset: str = "",
     normalized: bool = False,
+    fault_plan=None,
+    checkpoint: Optional[CheckpointConfig] = None,
     shard_exec: Optional[str] = None,
+    iteration_hook: Optional[Callable[[int], None]] = None,
 ) -> AlgorithmRun:
     """Brandes betweenness accumulated over the given source sample.
 
     Exact when ``sources`` covers every vertex; a uniform sample gives
     the standard unbiased estimator.  Edge directions are respected
     (directed betweenness).
+
+    A ``fault_plan`` runs both sweeps' matvecs through the resilient
+    execution layer (centrality stays bit-identical; ``run.fault_log``
+    records the injected faults); a ``checkpoint`` config snapshots
+    resumable state at *source* boundaries — the natural consistency
+    points of Brandes, since one source's forward and backward sweeps
+    share intermediate state that is cheaper to recompute than to
+    persist.  ``iteration_hook`` fires before every matvec step with the
+    global step counter (deadline watchdogs cancel between steps).
     """
     if shard_exec is not None:
         with shard_mode_override(shard_exec):
             return betweenness_centrality(
                 matrix, sources, system, num_dpus, policy=policy,
                 dataset=dataset, normalized=normalized,
+                fault_plan=fault_plan, checkpoint=checkpoint,
+                iteration_hook=iteration_hook,
             )
     n = matrix.nrows
     sources = list(sources)
@@ -68,70 +83,102 @@ def betweenness_centrality(
     pattern = _unit_pattern(matrix)
     transposed = pattern.transpose()
     policy = policy or FixedPolicy("spmspv")
-    forward_driver = MatvecDriver(pattern, system, num_dpus)
-    backward_driver = MatvecDriver(transposed, system, num_dpus)
+    forward_driver = MatvecDriver(
+        pattern, system, num_dpus, fault_plan=fault_plan
+    )
+    backward_driver = MatvecDriver(
+        transposed, system, num_dpus, fault_plan=fault_plan
+    )
 
-    centrality = np.zeros(n)
     run = AlgorithmRun(
         algorithm="bc", dataset=dataset, policy=policy.describe()
     )
-    results = []
-    step = 0
+    ck = open_checkpoint(
+        checkpoint, algorithm="bc", run=run,
+        drivers=(forward_driver, backward_driver), policy=policy,
+    )
 
-    for source in sources:
-        sigma = np.zeros(n)
-        sigma[source] = 1.0
-        depth = np.full(n, -1, dtype=np.int64)
-        depth[source] = 0
-        frontiers = [np.array([source], dtype=np.int64)]
+    def body(snapshot):
+        state = ck.begin(snapshot)
+        results = ck.results
+        if state is None:
+            centrality = np.zeros(n)
+            source_index = 0
+            step = 0
+        else:
+            centrality = state["centrality"]
+            source_index = int(state["source_index"])
+            step = int(state["step"])
 
-        # ---- forward sweep: BFS levels + shortest-path counts ------------
-        while True:
-            frontier = frontiers[-1]
-            x = SparseVector(frontier, sigma[frontier], n)
-            result = forward_driver.step(x, PLUS_TIMES, policy, step)
-            results.append(result)
-            record_iteration(
-                run, iteration=step, result=result,
-                density=x.density, frontier_size=x.nnz,
-                convergence_elements=n,
-            )
-            step += 1
-            candidates = result.output
-            fresh_mask = depth[candidates.indices] < 0
-            fresh = candidates.indices[fresh_mask]
-            if fresh.size == 0:
-                break
-            depth[fresh] = len(frontiers)
-            sigma[fresh] = candidates.values[fresh_mask]
-            frontiers.append(fresh)
+        while source_index < len(sources):
+            ck.crashpoint(source_index)
+            source = sources[source_index]
+            sigma = np.zeros(n)
+            sigma[source] = 1.0
+            depth = np.full(n, -1, dtype=np.int64)
+            depth[source] = 0
+            frontiers = [np.array([source], dtype=np.int64)]
 
-        # ---- backward sweep: dependency accumulation -----------------------
-        delta = np.zeros(n)
-        for level in range(len(frontiers) - 1, 0, -1):
-            deeper = frontiers[level]
-            coeff = (1.0 + delta[deeper]) / sigma[deeper]
-            x = SparseVector(deeper, coeff, n)
-            result = backward_driver.step(x, PLUS_TIMES, policy, step)
-            results.append(result)
-            record_iteration(
-                run, iteration=step, result=result,
-                density=x.density, frontier_size=x.nnz,
-                convergence_elements=n,
-            )
-            step += 1
-            pulled = result.output.to_dense(zero=0.0)
-            shallower = frontiers[level - 1]
-            delta[shallower] += sigma[shallower] * pulled[shallower]
+            # ---- forward sweep: BFS levels + shortest-path counts --------
+            while True:
+                if iteration_hook is not None:
+                    iteration_hook(step)
+                frontier = frontiers[-1]
+                x = SparseVector(frontier, sigma[frontier], n)
+                result = forward_driver.step(x, PLUS_TIMES, policy, step)
+                results.append(result)
+                record_iteration(
+                    run, iteration=step, result=result,
+                    density=x.density, frontier_size=x.nnz,
+                    convergence_elements=n,
+                )
+                step += 1
+                candidates = result.output
+                fresh_mask = depth[candidates.indices] < 0
+                fresh = candidates.indices[fresh_mask]
+                if fresh.size == 0:
+                    break
+                depth[fresh] = len(frontiers)
+                sigma[fresh] = candidates.values[fresh_mask]
+                frontiers.append(fresh)
 
-        delta[source] = 0.0
-        centrality += delta
+            # ---- backward sweep: dependency accumulation -----------------
+            delta = np.zeros(n)
+            for level in range(len(frontiers) - 1, 0, -1):
+                if iteration_hook is not None:
+                    iteration_hook(step)
+                deeper = frontiers[level]
+                coeff = (1.0 + delta[deeper]) / sigma[deeper]
+                x = SparseVector(deeper, coeff, n)
+                result = backward_driver.step(x, PLUS_TIMES, policy, step)
+                results.append(result)
+                record_iteration(
+                    run, iteration=step, result=result,
+                    density=x.density, frontier_size=x.nnz,
+                    convergence_elements=n,
+                )
+                step += 1
+                pulled = result.output.to_dense(zero=0.0)
+                shallower = frontiers[level - 1]
+                delta[shallower] += sigma[shallower] * pulled[shallower]
 
-    if normalized and n > 2:
-        centrality /= (n - 1) * (n - 2)
-    run.values = centrality
-    run.converged = True
-    return forward_driver.finalize(run, results, DataType.FLOAT32)
+            delta[source] = 0.0
+            centrality += delta
+            source_index += 1
+            ck.commit(source_index - 1, lambda: {
+                "centrality": centrality,
+                "source_index": source_index,
+                "step": step,
+            })
+
+        values = centrality
+        if normalized and n > 2:
+            values = centrality / ((n - 1) * (n - 2))
+        run.values = values
+        run.converged = True
+        return forward_driver.finalize(run, results, DataType.FLOAT32)
+
+    return ck.execute(body)
 
 
 def betweenness_reference(

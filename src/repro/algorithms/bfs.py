@@ -10,7 +10,7 @@ see each other's output slices.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -40,6 +40,7 @@ def bfs(
     fault_plan=None,
     checkpoint: Optional[CheckpointConfig] = None,
     shard_exec: Optional[str] = None,
+    iteration_hook: Optional[Callable[[int], None]] = None,
 ) -> AlgorithmRun:
     """Run BFS from ``source``; returns levels (-1 for unreachable).
 
@@ -54,6 +55,9 @@ def bfs(
     ``run.fault_log`` records the injected faults and their recovery.
     A ``checkpoint`` config snapshots resumable state per the policy and
     makes the run restartable after a crash, bit-identically.
+    ``iteration_hook`` is called with the iteration number before every
+    kernel step — the serving layer's deadline/cancellation watchdog;
+    an exception it raises cancels the run between iterations.
     """
     n = matrix.nrows
     if not 0 <= source < n:
@@ -88,6 +92,8 @@ def bfs(
 
         while frontier.nnz > 0 and level < max_iters:
             ck.crashpoint(level)
+            if iteration_hook is not None:
+                iteration_hook(level)
             density = frontier.density
             result = driver.step(frontier, BOOLEAN_OR_AND, policy, level)
             results.append(result)

@@ -17,7 +17,7 @@ GraphChallenge inputs are).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -62,6 +62,7 @@ def connected_components(
     fault_plan=None,
     checkpoint: Optional[CheckpointConfig] = None,
     shard_exec: Optional[str] = None,
+    iteration_hook: Optional[Callable[[int], None]] = None,
 ) -> AlgorithmRun:
     """Weakly connected component labels (smallest member index wins).
 
@@ -98,6 +99,8 @@ def connected_components(
 
         while frontier.nnz > 0 and iteration < n:
             ck.crashpoint(iteration)
+            if iteration_hook is not None:
+                iteration_hook(iteration)
             density = frontier.density
             result = driver.step(frontier, MIN_PLUS, policy, iteration)
             results.append(result)

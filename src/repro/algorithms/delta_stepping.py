@@ -14,7 +14,7 @@ graphs.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -71,6 +71,7 @@ def sssp_delta_stepping(
     fault_plan=None,
     checkpoint: Optional[CheckpointConfig] = None,
     shard_exec: Optional[str] = None,
+    iteration_hook: Optional[Callable[[int], None]] = None,
 ) -> AlgorithmRun:
     """Shortest distances from ``source`` by bucketed relaxation.
 
@@ -148,6 +149,8 @@ def sssp_delta_stepping(
 
         while bucket_index < max_buckets:
             ck.crashpoint(bucket_index)
+            if iteration_hook is not None:
+                iteration_hook(bucket_index)
             in_bucket = np.nonzero(
                 (dist >= bucket_index * delta)
                 & (dist < (bucket_index + 1) * delta)

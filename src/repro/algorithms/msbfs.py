@@ -13,7 +13,7 @@ matrices.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
@@ -37,6 +37,7 @@ def multi_source_bfs(
     dataset: str = "",
     checkpoint: Optional[CheckpointConfig] = None,
     shard_exec: Optional[str] = None,
+    iteration_hook: Optional[Callable[[int], None]] = None,
 ) -> AlgorithmRun:
     """BFS levels from every source at once; returns an (N, K) level array.
 
@@ -77,6 +78,8 @@ def multi_source_bfs(
 
         while frontier.any() and level <= n:
             ck.crashpoint(level)
+            if iteration_hook is not None:
+                iteration_hook(level)
             density = float(frontier.any(axis=1).mean())
             result = kernel.run(frontier, BOOLEAN_OR_AND)
             results.append(result)

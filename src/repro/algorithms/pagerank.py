@@ -8,7 +8,7 @@ workload and the obvious first thing a downstream user will ask for.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -39,6 +39,7 @@ def pagerank(
     fault_plan=None,
     checkpoint: Optional[CheckpointConfig] = None,
     shard_exec: Optional[str] = None,
+    iteration_hook: Optional[Callable[[int], None]] = None,
 ) -> AlgorithmRun:
     """Classic PageRank: uniform teleport, dangling mass spread evenly.
 
@@ -86,6 +87,8 @@ def pagerank(
 
         for iteration in range(start, max_iters):
             ck.crashpoint(iteration)
+            if iteration_hook is not None:
+                iteration_hook(iteration)
             x = SparseVector.from_dense(rank.astype(np.float32), zero=0.0)
             result = driver.step(x, PLUS_TIMES, policy, iteration)
             results.append(result)

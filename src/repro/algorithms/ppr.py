@@ -14,7 +14,7 @@ are software-emulated on the DPU (§6.3.1).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -70,6 +70,7 @@ def ppr(
     fault_plan=None,
     checkpoint: Optional[CheckpointConfig] = None,
     shard_exec: Optional[str] = None,
+    iteration_hook: Optional[Callable[[int], None]] = None,
 ) -> AlgorithmRun:
     """Personalized PageRank from ``source``; returns the rank vector.
 
@@ -114,6 +115,8 @@ def ppr(
 
         for iteration in range(start, max_iters):
             ck.crashpoint(iteration)
+            if iteration_hook is not None:
+                iteration_hook(iteration)
             x = SparseVector.from_dense(rank.astype(np.float32), zero=0.0)
             density = x.density
             result = driver.step(x, PLUS_TIMES, policy, iteration)

@@ -9,7 +9,7 @@ improves — at most N-1 rounds on any graph with non-negative weights.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -35,6 +35,7 @@ def sssp(
     fault_plan=None,
     checkpoint: Optional[CheckpointConfig] = None,
     shard_exec: Optional[str] = None,
+    iteration_hook: Optional[Callable[[int], None]] = None,
 ) -> AlgorithmRun:
     """Shortest distances from ``source`` (inf for unreachable vertices).
 
@@ -76,6 +77,8 @@ def sssp(
 
         while frontier.nnz > 0 and iteration < n:
             ck.crashpoint(iteration)
+            if iteration_hook is not None:
+                iteration_hook(iteration)
             density = frontier.density
             result = driver.step(frontier, MIN_PLUS, policy, iteration)
             results.append(result)

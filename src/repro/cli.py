@@ -172,6 +172,11 @@ def _answer(args, run, matrix, source) -> str:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in ("serve", "load"):
+        from .serving.cli import serving_main
+
+        return serving_main(argv)
     parser = build_parser()
     args = parser.parse_args(argv)
 

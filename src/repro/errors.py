@@ -86,6 +86,38 @@ class CheckpointCorruptError(CheckpointError):
     """
 
 
+class ServingError(ReproError):
+    """Base class for multi-tenant serving-layer errors (:mod:`repro.serving`)."""
+
+
+class RejectedError(ServingError):
+    """A query was shed at admission instead of being queued.
+
+    Structured load-shedding: the service refuses work it cannot finish
+    rather than letting the admission queue grow without bound.
+    ``reason`` is one of ``"quota"`` (the tenant's token bucket is
+    empty), ``"queue-full"`` (the bounded admission queue is at
+    capacity), ``"graph-not-resident"`` (the request names a graph the
+    service does not hold), or ``"circuit-open"`` (the target graph's
+    circuit breaker is open after a failure streak).
+    """
+
+    def __init__(self, reason: str, message: str) -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+class DeadlineExceededError(ServingError):
+    """A query's wall-clock deadline passed before it could complete.
+
+    Raised at admission (the deadline is already in the past), at
+    dequeue (the query expired while waiting), or between algorithm
+    iterations by the deadline watchdog hook — a query that can no
+    longer meet its deadline is cancelled cheaply, not completed
+    pointlessly.
+    """
+
+
 class KernelError(ReproError):
     """A kernel was invoked with an unsupported configuration."""
 

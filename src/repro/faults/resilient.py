@@ -660,17 +660,29 @@ class FaultTolerantExecutor:
     def run(self, kernel, x, semiring):
         """Execute ``kernel.run(x, semiring)`` on the degraded machine.
 
-        Returns a :class:`~repro.kernels.base.KernelResult` whose output
-        is bit-identical to the fault-free run and whose breakdown
-        carries the recovery overhead; the executor's
+        Returns a :class:`~repro.kernels.base.KernelResult` (or, for
+        dense-block SpMM launches, a
+        :class:`~repro.kernels.spmm.SpMMResult`) whose output is
+        bit-identical to the fault-free run and whose breakdown carries
+        the recovery overhead; the executor's
         :class:`~repro.faults.log.FaultLog` is attached to the result.
+
+        Both vector kernels (SparseVector in/out) and batched block
+        kernels (dense ``(N, K)`` ndarray in/out, e.g. the serving
+        layer's fused multi-source launches) are supported: block shards
+        split along the row axis, so each DPU's shard is a contiguous
+        row slab of the block.
         """
         from ..kernels.base import KernelResult
         from ..sparse.vector import SparseVector
         from ..types import PhaseBreakdown
 
         base = kernel.run(x, semiring)
-        y = base.output.to_dense(zero=semiring.zero)
+        block_output = isinstance(base.output, np.ndarray)
+        y = (
+            np.ascontiguousarray(base.output) if block_output
+            else base.output.to_dense(zero=semiring.zero)
+        )
         x_dense = (
             x.to_dense(zero=semiring.zero)
             if isinstance(x, SparseVector) else np.ascontiguousarray(x)
@@ -681,11 +693,13 @@ class FaultTolerantExecutor:
         self.rounds += 1
         round_tag = self.rounds
 
-        # region names pin the dtype: MRAM regions are bump-allocated
-        # once, so the payload size per shard must stay stable even if a
-        # policy alternates kernels with different output value types
-        x_region = f"x.{x_dense.dtype}"
-        y_region = f"y.{y.dtype}"
+        # region names pin the dtype (and the batch width for blocks):
+        # MRAM regions are bump-allocated once, so the payload size per
+        # shard must stay stable even if a policy alternates kernels
+        # with different output value types or batch sizes
+        width = f".k{x_dense.shape[1]}" if x_dense.ndim == 2 else ""
+        x_region = f"x.{x_dense.dtype}{width}"
+        y_region = f"y.{y.dtype}{width}"
 
         # costs returned below already ride the kernel's analytic
         # accounting; the executor folds only the *recovery overhead*,
@@ -728,6 +742,20 @@ class FaultTolerantExecutor:
             retrieve=base.breakdown.retrieve + overhead["retrieve"],
             merge=base.breakdown.merge,
         )
+        if block_output:
+            from ..kernels.spmm import SpMMResult
+
+            result = SpMMResult(
+                output=base.output,
+                breakdown=breakdown,
+                profile=base.profile,
+                bytes_loaded=base.bytes_loaded,
+                bytes_retrieved=base.bytes_retrieved,
+                achieved_ops=base.achieved_ops,
+                shard_timeline=timeline,
+            )
+            result.fault_log = self.log
+            return result
         return KernelResult(
             kernel_name=base.kernel_name,
             output=base.output,

@@ -1,0 +1,60 @@
+"""Resilient multi-tenant graph-query serving layer.
+
+Turns the library into a long-running service (ROADMAP item 1): an
+asyncio front-end (:class:`GraphService`) accepting concurrent
+BFS/SSSP/PPR/PageRank/CC queries from many tenants against shared
+resident graphs, with robustness as the headline contract:
+
+* **admission control** — per-tenant token-bucket quotas and a bounded
+  admission queue that sheds load with a structured
+  :class:`~repro.errors.RejectedError` instead of growing unboundedly;
+* **deadlines & cancellation** — every request carries a wall-clock
+  deadline, enforced at admission, at dequeue, and between algorithm
+  iterations via the iteration-hook watchdog;
+* **retry / backoff + hedging** — transient
+  :class:`~repro.errors.DpuFaultError` /
+  :class:`~repro.errors.TransferCorruptionError` failures are retried
+  with exponential backoff (the PR 2 pricing), hedged onto a fresh
+  machine after a streak, behind a per-graph circuit breaker;
+* **graceful degradation** — a quarantined rank mid-burst does not stop
+  the service: completed queries stay bit-identical (the PR 2 resilient
+  executor's contract), in-flight queries re-dispatch or resume from the
+  PR 5 checkpoint layer, and the PR 6 degraded-mode shard scheduler
+  reclaims the dead rank's issue slots;
+* **batched query fusion** — compatible same-graph single-source queries
+  fuse into one multi-source kernel pass (:mod:`repro.serving.batched`),
+  the ``msbfs`` pattern generalized to batched SSSP and PPR.
+
+:mod:`repro.serving.loadgen` ships a seeded closed/open-loop load
+generator reporting p50/p99 latency, queries/sec and shed/retry/degraded
+counts; ``python -m repro serve`` / ``python -m repro load`` expose the
+service on the command line.  See ``docs/SERVING.md``.
+"""
+
+from .admission import AdmissionController, TokenBucket
+from .batched import BatchedSpmmDriver, batched_bfs, batched_ppr, batched_sssp
+from .breaker import CircuitBreaker
+from .loadgen import LoadgenConfig, LoadReport, run_load
+from .procpool import serve_batch
+from .request import QueryRequest, QueryResult, QueryStatus, TenantConfig
+from .service import GraphService, RetryPolicy
+
+__all__ = [
+    "AdmissionController",
+    "BatchedSpmmDriver",
+    "CircuitBreaker",
+    "GraphService",
+    "LoadReport",
+    "LoadgenConfig",
+    "QueryRequest",
+    "QueryResult",
+    "QueryStatus",
+    "RetryPolicy",
+    "TenantConfig",
+    "TokenBucket",
+    "batched_bfs",
+    "batched_ppr",
+    "batched_sssp",
+    "run_load",
+    "serve_batch",
+]

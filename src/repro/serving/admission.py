@@ -1,0 +1,78 @@
+"""Admission control: token-bucket quotas and a bounded queue.
+
+The service never queues unboundedly — load beyond capacity is shed
+*at admission* with a structured :class:`~repro.errors.RejectedError`
+naming the reason, so clients can tell "slow down" (quota) from "scale
+up" (queue-full) from "wrong address" (graph-not-resident).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..errors import RejectedError
+from .request import TenantConfig
+
+
+class TokenBucket:
+    """Standard token bucket on an externally supplied clock.
+
+    The clock is injected (the service passes its own ``now``) so tests
+    drive admission deterministically without sleeping.
+    """
+
+    def __init__(self, config: TenantConfig, now: float = 0.0) -> None:
+        self.rate = float(config.rate)
+        self.burst = float(config.burst)
+        self.tokens = float(config.burst)
+        self._last = now
+
+    def try_acquire(self, now: float, cost: float = 1.0) -> bool:
+        """Take ``cost`` tokens if available; refill lazily first."""
+        elapsed = max(0.0, now - self._last)
+        self._last = now
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        if self.tokens >= cost:
+            self.tokens -= cost
+            return True
+        return False
+
+
+class AdmissionController:
+    """Gate keeping the service's queue bounded and tenants in quota."""
+
+    def __init__(self, queue_capacity: int, default_tenant: TenantConfig) -> None:
+        if queue_capacity < 1:
+            raise ValueError("queue capacity must be >= 1")
+        self.queue_capacity = int(queue_capacity)
+        self.default_tenant = default_tenant
+        self._tenant_configs: Dict[str, TenantConfig] = {}
+        self._buckets: Dict[str, TokenBucket] = {}
+
+    def configure_tenant(self, tenant: str, config: TenantConfig) -> None:
+        """Install (or replace) a tenant's quota; resets its bucket."""
+        self._tenant_configs[tenant] = config
+        self._buckets.pop(tenant, None)
+
+    def admit(self, tenant: str, queue_depth: int, now: float) -> None:
+        """Raise :class:`RejectedError` unless the request may enqueue.
+
+        Check order matters for the error a client sees: quota first
+        (per-tenant, actionable by the tenant), then global queue depth
+        (actionable by the operator).
+        """
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            config = self._tenant_configs.get(tenant, self.default_tenant)
+            bucket = self._buckets[tenant] = TokenBucket(config, now)
+        if not bucket.try_acquire(now):
+            raise RejectedError(
+                "quota",
+                f"tenant {tenant!r} exceeded its admission quota "
+                f"({bucket.rate:g} qps, burst {bucket.burst:g})",
+            )
+        if queue_depth >= self.queue_capacity:
+            raise RejectedError(
+                "queue-full",
+                f"admission queue at capacity ({self.queue_capacity})",
+            )

@@ -1,0 +1,438 @@
+"""Query fusion: K compatible single-source queries, one kernel pass.
+
+The ``msbfs`` insight (stream the matrix once per level for K sources)
+generalized into the serving layer's batching engine:
+
+* **batched BFS** — K boolean frontier columns through OR/AND SpMM,
+* **batched SSSP** — K tentative-distance columns through (min, +) SpMM
+  (min-plus source columns; exact, since min is order-independent),
+* **batched PPR** — K personalization columns through (+, x) SpMM on the
+  shared column-stochastic matrix.
+
+Each loop supports **per-column cancellation**: a ``cancel_hook`` fires
+between iterations with the iteration number and may return a boolean
+``(K,)`` mask of columns to stop advancing (the service's deadline
+watchdog).  Cancelling column ``j`` zeroes/freezes only that column —
+SpMM output column ``j`` depends only on input column ``j``, so the
+surviving columns' answers are bit-identical to an uncancelled run.
+
+:class:`BatchedSpmmDriver` duck-types :class:`~repro.algorithms.base
+.MatvecDriver` closely enough (``_fault_executor``,
+``rebuild_fault_executor``, ``finalize``) that the PR 5 checkpoint
+session and the PR 2 resilient executor drive batched runs unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..checkpoint.manager import CheckpointConfig, open_checkpoint
+from ..errors import ReproError
+from ..kernels.spmm import SpMMResult, prepare_spmm
+from ..observability import runtime as _obs
+from ..semiring import BOOLEAN_OR_AND, MIN_PLUS, PLUS_TIMES, Semiring
+from ..semiring import engine as _engine
+from ..sparse.base import SparseMatrix
+from ..types import DataType, IterationTrace, PhaseBreakdown
+from ..upmem.config import SystemConfig
+from ..upmem.transfer import convergence_check_time
+from ..algorithms.base import AlgorithmRun, MatvecDriver
+from ..algorithms.ppr import DEFAULT_ALPHA, DEFAULT_MAX_ITERS, DEFAULT_TOL
+
+#: ``cancel_hook(iteration) -> None | (K,) bool mask`` of columns to
+#: cancel now.  Raising aborts the whole batch (every column expired).
+CancelHook = Callable[[int], Optional[np.ndarray]]
+
+
+class BatchedSpmmDriver:
+    """SpMM launcher with the MatvecDriver's resilience surface.
+
+    Holds one prepared SpMM partitioning per resident matrix and an
+    optional :class:`~repro.faults.resilient.FaultTolerantExecutor`, so
+    quarantine decisions persist across the queries served on this
+    graph — exactly the persistent-machine semantics a service needs.
+    """
+
+    def __init__(
+        self,
+        matrix: SparseMatrix,
+        system: SystemConfig,
+        num_dpus: int,
+        fault_plan=None,
+    ) -> None:
+        self.matrix = matrix
+        self.system = system
+        self.num_dpus = num_dpus
+        self.kernel = prepare_spmm(matrix, num_dpus, system)
+        from ..upmem.energy import UpmemEnergyModel
+
+        self._energy_model = UpmemEnergyModel(system)
+        plan = fault_plan if fault_plan is not None \
+            else getattr(system, "faults", None)
+        self._fault_executor = None
+        if plan is not None and plan.enabled:
+            from ..faults.resilient import FaultTolerantExecutor
+
+            self._fault_executor = FaultTolerantExecutor(
+                plan, system, num_dpus
+            )
+
+    # Borrowed verbatim from MatvecDriver: these methods touch only
+    # ``_fault_executor`` / ``system`` / ``num_dpus`` / ``_energy_model``,
+    # all of which this class provides — sharing the implementations
+    # keeps the checkpoint/resilience contract in one place.
+    fault_log = MatvecDriver.fault_log
+    healthy_dpus = MatvecDriver.healthy_dpus
+    rebuild_fault_executor = MatvecDriver.rebuild_fault_executor
+    finalize = MatvecDriver.finalize
+
+    def run_block(
+        self, x_block: np.ndarray, semiring: Semiring, iteration: int
+    ) -> SpMMResult:
+        """One fused SpMM pass, through the resilient layer if armed."""
+        session = _obs.ACTIVE
+        if session is None or session.tracer is None:
+            if self._fault_executor is not None:
+                return self._fault_executor.run(self.kernel, x_block, semiring)
+            return self.kernel.run(x_block, semiring)
+        with session.tracer.span(
+            f"batched-iteration:{iteration}", cat="serving",
+            kernel=self.kernel.name, iteration=iteration,
+            batch=int(x_block.shape[1]),
+        ):
+            if self._fault_executor is not None:
+                return self._fault_executor.run(self.kernel, x_block, semiring)
+            return self.kernel.run(x_block, semiring)
+
+
+def _check_sources(sources: Sequence[int], n: int) -> list:
+    sources = list(sources)
+    if not sources:
+        raise ReproError("need at least one source")
+    for source in sources:
+        if not 0 <= source < n:
+            raise ReproError(f"source {source} out of range for {n} nodes")
+    return sources
+
+
+def _apply_cancel(
+    cancel_hook: Optional[CancelHook], iteration: int, k: int
+) -> Optional[np.ndarray]:
+    """Normalize the hook's answer to a (K,) bool mask (or None)."""
+    if cancel_hook is None:
+        return None
+    mask = cancel_hook(iteration)
+    if mask is None:
+        return None
+    mask = np.asarray(mask, dtype=bool)
+    if mask.shape != (k,):
+        raise ReproError(
+            f"cancel mask shape {mask.shape} != ({k},)"
+        )
+    return mask
+
+
+def _record_block_iteration(
+    run: AlgorithmRun,
+    result: SpMMResult,
+    iteration: int,
+    density: float,
+    frontier_size: int,
+    n: int,
+    k: int,
+) -> None:
+    """msbfs-style trace entry with the convergence check folded in."""
+    convergence_s = convergence_check_time(n * k)
+    breakdown = PhaseBreakdown(
+        load=result.breakdown.load,
+        kernel=result.breakdown.kernel,
+        retrieve=result.breakdown.retrieve,
+        merge=result.breakdown.merge + convergence_s,
+    )
+    session = _obs.ACTIVE
+    if session is not None and session.metrics is not None:
+        session.metrics.counter("time.merge").inc(convergence_s)
+        session.metrics.histogram("iteration.seconds").observe(
+            breakdown.total
+        )
+    run.add_iteration(
+        IterationTrace(
+            iteration=iteration,
+            kernel_name="spmm-dcoo",
+            input_density=density,
+            breakdown=breakdown,
+            frontier_size=frontier_size,
+            bytes_loaded=result.bytes_loaded,
+            bytes_retrieved=result.bytes_retrieved,
+        )
+    )
+
+
+def batched_bfs(
+    driver: BatchedSpmmDriver,
+    sources: Sequence[int],
+    dataset: str = "",
+    checkpoint: Optional[CheckpointConfig] = None,
+    cancel_hook: Optional[CancelHook] = None,
+) -> AlgorithmRun:
+    """K BFS traversals in one SpMM pass per level.
+
+    ``run.values[v, j]`` is vertex ``v``'s level from ``sources[j]``
+    (-1 if unreachable, or if column ``j`` was cancelled before the
+    traversal reached ``v``); ``run.cancelled_columns[j]`` records the
+    cancellation.  Uncancelled columns equal
+    :func:`repro.algorithms.bfs.bfs` levels bit-for-bit.
+    """
+    n = driver.matrix.nrows
+    sources = _check_sources(sources, n)
+    k = len(sources)
+    run = AlgorithmRun(
+        algorithm="batched-bfs", dataset=dataset, policy=f"spmm-batch-{k}"
+    )
+    ck = open_checkpoint(
+        checkpoint, algorithm="batched-bfs", run=run, drivers=(driver,)
+    )
+
+    def body(snapshot):
+        state = ck.begin(snapshot)
+        results = ck.results
+        if state is None:
+            levels = np.full((n, k), -1, dtype=np.int64)
+            frontier = np.zeros((n, k), dtype=np.int32)
+            for column, source in enumerate(sources):
+                levels[source, column] = 0
+                frontier[source, column] = 1
+            visited = frontier.astype(bool)
+            cancelled = np.zeros(k, dtype=bool)
+            level = 0
+        else:
+            levels = state["levels"]
+            frontier = state["frontier"]
+            visited = state["visited"]
+            cancelled = state["cancelled"]
+            level = int(state["level"])
+
+        while frontier.any() and level <= n:
+            ck.crashpoint(level)
+            newly = _apply_cancel(cancel_hook, level, k)
+            if newly is not None and newly.any():
+                cancelled |= newly
+                frontier[:, newly] = 0
+                if not frontier.any():
+                    break
+            density = float(frontier.any(axis=1).mean())
+            result = driver.run_block(frontier, BOOLEAN_OR_AND, level)
+            results.append(result)
+
+            reached = result.output.astype(bool)
+            fresh = reached & ~visited
+            fresh[:, cancelled] = False
+            level += 1
+            visited |= fresh
+            levels[fresh] = level
+            _record_block_iteration(
+                run, result, level - 1, density,
+                int(frontier.sum()), n, k,
+            )
+            frontier = fresh.astype(np.int32)
+            ck.commit(level - 1, lambda: {
+                "levels": levels,
+                "frontier": frontier,
+                "visited": visited,
+                "cancelled": cancelled,
+                "level": level,
+            })
+
+        run.values = levels
+        run.converged = not frontier.any()
+        run.cancelled_columns = cancelled
+        return driver.finalize(run, results, DataType.INT32)
+
+    return ck.execute(body)
+
+
+def batched_sssp(
+    driver: BatchedSpmmDriver,
+    sources: Sequence[int],
+    dataset: str = "",
+    checkpoint: Optional[CheckpointConfig] = None,
+    cancel_hook: Optional[CancelHook] = None,
+) -> AlgorithmRun:
+    """K Bellman-Ford relaxations in one (min, +) SpMM pass per round.
+
+    The frontier block carries each column's last-improved tentative
+    distances (+inf elsewhere — the min-plus zero, so non-frontier
+    entries contribute nothing).  ``run.values[v, j]`` is the distance
+    from ``sources[j]`` (inf if unreachable / cancelled early).
+    Uncancelled columns equal :func:`repro.algorithms.sssp.sssp`
+    bit-for-bit: min is order-independent, and both paths propose
+    exactly ``dist[u] + w(u, v)``.
+    """
+    n = driver.matrix.nrows
+    sources = _check_sources(sources, n)
+    values = driver.matrix.to_coo().values
+    if values.size and float(values.min()) < 0:
+        raise ReproError("SSSP requires non-negative edge weights")
+    k = len(sources)
+    run = AlgorithmRun(
+        algorithm="batched-sssp", dataset=dataset, policy=f"spmm-batch-{k}"
+    )
+    ck = open_checkpoint(
+        checkpoint, algorithm="batched-sssp", run=run, drivers=(driver,)
+    )
+
+    def body(snapshot):
+        state = ck.begin(snapshot)
+        results = ck.results
+        if state is None:
+            dist = np.full((n, k), np.inf)
+            frontier = np.full((n, k), np.inf)
+            for column, source in enumerate(sources):
+                dist[source, column] = 0.0
+                frontier[source, column] = 0.0
+            cancelled = np.zeros(k, dtype=bool)
+            iteration = 0
+        else:
+            dist = state["dist"]
+            frontier = state["frontier"]
+            cancelled = state["cancelled"]
+            iteration = int(state["iteration"])
+
+        while np.isfinite(frontier).any() and iteration < n:
+            ck.crashpoint(iteration)
+            newly = _apply_cancel(cancel_hook, iteration, k)
+            if newly is not None and newly.any():
+                cancelled |= newly
+                frontier[:, newly] = np.inf
+                if not np.isfinite(frontier).any():
+                    break
+            active = np.isfinite(frontier)
+            density = float(active.any(axis=1).mean())
+            frontier_size = int(active.sum())
+            result = driver.run_block(frontier, MIN_PLUS, iteration)
+            results.append(result)
+
+            candidates = result.output
+            improved = candidates < dist
+            improved[:, cancelled] = False
+            dist = np.where(improved, candidates, dist)
+            frontier = np.where(improved, dist, np.inf)
+            _record_block_iteration(
+                run, result, iteration, density, frontier_size, n, k,
+            )
+            iteration += 1
+            ck.commit(iteration - 1, lambda: {
+                "dist": dist,
+                "frontier": frontier,
+                "cancelled": cancelled,
+                "iteration": iteration,
+            })
+
+        run.values = dist
+        run.converged = not np.isfinite(frontier).any()
+        run.cancelled_columns = cancelled
+        return driver.finalize(run, results, DataType.FLOAT32)
+
+    return ck.execute(body)
+
+
+def batched_ppr(
+    driver: BatchedSpmmDriver,
+    sources: Sequence[int],
+    dataset: str = "",
+    alpha: float = DEFAULT_ALPHA,
+    tol: float = DEFAULT_TOL,
+    max_iters: int = DEFAULT_MAX_ITERS,
+    checkpoint: Optional[CheckpointConfig] = None,
+    cancel_hook: Optional[CancelHook] = None,
+) -> AlgorithmRun:
+    """K personalized PageRank columns in one (+, x) SpMM pass per round.
+
+    ``driver`` must hold the **column-stochastic** matrix (the shared
+    :func:`repro.algorithms.ppr.normalize_columns` output).  Converged
+    columns freeze (their ranks stop updating, matching the
+    single-source early exit); cancelled columns freeze at their last
+    committed iterate.  Uncancelled columns equal
+    :func:`repro.algorithms.ppr.ppr` bit-for-bit: the extra zero-valued
+    contributions SpMM folds in are exact additive identities, so the
+    float accumulation order of the nonzero terms is unchanged.
+    """
+    n = driver.matrix.nrows
+    sources = _check_sources(sources, n)
+    if not 0.0 < alpha < 1.0:
+        raise ReproError("alpha must lie strictly between 0 and 1")
+    k = len(sources)
+
+    coo = driver.matrix.to_coo()
+    out_strength = _engine.reduce_by_index(
+        PLUS_TIMES, coo.cols, coo.values.astype(np.float64), n
+    )
+    dangling = out_strength <= 0
+
+    run = AlgorithmRun(
+        algorithm="batched-ppr", dataset=dataset, policy=f"spmm-batch-{k}"
+    )
+    ck = open_checkpoint(
+        checkpoint, algorithm="batched-ppr", run=run, drivers=(driver,)
+    )
+    source_cols = np.array(sources, dtype=np.int64)
+
+    def body(snapshot):
+        state = ck.begin(snapshot)
+        results = ck.results
+        if state is None:
+            rank = np.zeros((n, k), dtype=np.float64)
+            rank[source_cols, np.arange(k)] = 1.0
+            active = np.ones(k, dtype=bool)
+            cancelled = np.zeros(k, dtype=bool)
+            start = 0
+        else:
+            rank = state["rank"]
+            active = state["active"]
+            cancelled = state["cancelled"]
+            start = int(state["iteration"])
+
+        for iteration in range(start, max_iters):
+            if not active.any():
+                break
+            ck.crashpoint(iteration)
+            newly = _apply_cancel(cancel_hook, iteration, k)
+            if newly is not None and newly.any():
+                cancelled |= newly
+                active &= ~newly
+                if not active.any():
+                    break
+            x_block = rank.astype(np.float32)
+            density = float((x_block != 0).any(axis=1).mean())
+            frontier_size = int((x_block != 0).sum())
+            result = driver.run_block(x_block, PLUS_TIMES, iteration)
+            results.append(result)
+
+            spread = result.output.astype(np.float64)
+            dangling_mass = rank[dangling, :].sum(axis=0)
+            new_rank = (1.0 - alpha) * spread
+            new_rank[source_cols, np.arange(k)] += (
+                alpha + (1.0 - alpha) * dangling_mass
+            )
+            delta = np.abs(new_rank - rank).sum(axis=0)
+            # frozen (converged or cancelled) columns keep their iterate
+            rank = np.where(active[None, :], new_rank, rank)
+            _record_block_iteration(
+                run, result, iteration, density, frontier_size, n, k,
+            )
+            active &= delta >= tol
+            ck.commit(iteration, lambda: {
+                "rank": rank,
+                "active": active,
+                "cancelled": cancelled,
+                "iteration": iteration + 1,
+            })
+
+        run.values = rank
+        run.converged = not (active | cancelled).any()
+        run.cancelled_columns = cancelled
+        return driver.finalize(run, results, DataType.FLOAT32)
+
+    return ck.execute(body)

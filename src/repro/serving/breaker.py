@@ -1,0 +1,55 @@
+"""Per-graph circuit breaker.
+
+When a graph's kernel executions fail repeatedly (a machine so degraded
+that even the resilient layer's retries exhaust), continuing to admit
+queries for it just converts them into slow failures.  The breaker trips
+after a failure streak, fails subsequent queries *fast* at admission
+("circuit-open"), and half-opens after a cooldown to let one probe
+through — the classic three-state breaker on the service clock.
+"""
+
+from __future__ import annotations
+
+
+class CircuitBreaker:
+    """closed -> open -> half-open -> (closed | open) on an injected clock."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(self, failure_threshold: int = 3,
+                 cooldown_s: float = 1.0) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure threshold must be >= 1")
+        self.failure_threshold = int(failure_threshold)
+        self.cooldown_s = float(cooldown_s)
+        self.state = self.CLOSED
+        self.failure_streak = 0
+        self.opened_at = 0.0
+        self.trips = 0
+
+    def allow(self, now: float) -> bool:
+        """May a request proceed?  Transitions open -> half-open here."""
+        if self.state == self.CLOSED:
+            return True
+        if self.state == self.OPEN:
+            if now - self.opened_at >= self.cooldown_s:
+                self.state = self.HALF_OPEN
+                return True  # the probe
+            return False
+        # HALF_OPEN: one probe in flight is enough; hold the rest back
+        return False
+
+    def on_success(self) -> None:
+        self.failure_streak = 0
+        self.state = self.CLOSED
+
+    def on_failure(self, now: float) -> None:
+        self.failure_streak += 1
+        if self.state == self.HALF_OPEN or \
+                self.failure_streak >= self.failure_threshold:
+            if self.state != self.OPEN:
+                self.trips += 1
+            self.state = self.OPEN
+            self.opened_at = now

@@ -1,0 +1,181 @@
+"""``python -m repro serve`` / ``python -m repro load`` subcommands.
+
+``serve`` admits a scripted burst of queries against one resident graph
+and prints each outcome — a smoke-test of the serving path; ``load``
+drives the seeded load generator (closed or open loop), prints the SLO
+report, and optionally writes it as JSON (the shape
+``benchmarks/test_serving_load.py`` persists to ``BENCH_PR7.json``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import pathlib
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..datasets import TABLE2, add_weights, get_dataset
+from ..upmem.config import SystemConfig
+from .loadgen import LoadgenConfig, generate_requests, run_load
+from .request import QueryStatus, TenantConfig
+from .service import GraphService
+
+
+def build_serving_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro {serve,load}",
+        description="Multi-tenant serving layer over the simulated "
+                    "UPMEM PIM system.",
+    )
+    parser.add_argument("command", choices=("serve", "load"))
+    parser.add_argument("--dataset", default="A302",
+                        help=f"Table-2 abbreviation ({', '.join(TABLE2)})")
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="fraction of the published node count")
+    parser.add_argument("--dpus", type=int, default=512)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--tenants", type=int, default=4)
+    parser.add_argument("--queries", type=int, default=32,
+                        help="serve: total queries; load closed-loop: "
+                             "queries per tenant; load open-loop: total "
+                             "arrivals")
+    parser.add_argument("--mode", choices=("closed", "open"),
+                        default="closed", help="load: arrival discipline")
+    parser.add_argument("--rate", type=float, default=500.0,
+                        help="load open-loop: mean arrival rate (qps)")
+    parser.add_argument("--deadline", type=float, default=None,
+                        help="per-query deadline in seconds (default: none)")
+    parser.add_argument("--algorithms", default="bfs,sssp,ppr",
+                        help="comma-separated query mix")
+    parser.add_argument("--max-batch", type=int, default=16,
+                        help="query-fusion batch width")
+    parser.add_argument("--queue", type=int, default=64,
+                        help="admission queue capacity")
+    parser.add_argument("--quota-qps", type=float, default=50.0,
+                        help="per-tenant token refill rate")
+    parser.add_argument("--quota-burst", type=float, default=20.0,
+                        help="per-tenant token bucket depth")
+    parser.add_argument("--fault-rate", type=float, default=0.0,
+                        help="arm fault injection at this rate "
+                             "(FaultPlan.uniform)")
+    parser.add_argument("--fault-seed", type=int, default=0)
+    parser.add_argument("--processes", action="store_true",
+                        help="serve: answer the burst offline on a "
+                             "process pool instead of the async service")
+    parser.add_argument("--json", type=pathlib.Path, default=None,
+                        help="write the report as JSON")
+    return parser
+
+
+def _build_service(args, matrix) -> GraphService:
+    system = SystemConfig(num_dpus=max(args.dpus, 64))
+    service = GraphService(
+        system, args.dpus,
+        queue_capacity=args.queue,
+        max_batch=args.max_batch,
+        default_tenant=TenantConfig(
+            rate=args.quota_qps, burst=args.quota_burst
+        ),
+    )
+    fault_plan = None
+    if args.fault_rate > 0:
+        from ..faults import FaultPlan
+
+        fault_plan = FaultPlan.uniform(args.fault_rate, seed=args.fault_seed)
+    service.add_graph(args.dataset, matrix, fault_plan=fault_plan)
+    return service
+
+
+def _load_matrix(args):
+    rng = np.random.default_rng(args.seed)
+    spec = get_dataset(args.dataset)
+    matrix = spec.generate(scale=args.scale, rng=rng)
+    algorithms = tuple(args.algorithms.split(","))
+    if "sssp" in algorithms:
+        matrix = add_weights(matrix, rng=rng)
+    return matrix, algorithms, spec
+
+
+def serving_main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_serving_parser().parse_args(argv)
+    matrix, algorithms, spec = _load_matrix(args)
+    print(f"{args.command.upper()} {spec.name} "
+          f"({matrix.nrows} nodes, {matrix.nnz} edges), "
+          f"{args.dpus} DPUs, mix={','.join(algorithms)}")
+
+    if args.command == "serve" and args.processes:
+        return _serve_offline(args, matrix, algorithms)
+
+    service = _build_service(args, matrix)
+    config = LoadgenConfig(
+        graph=args.dataset,
+        mode=args.mode,
+        tenants=args.tenants,
+        queries_per_tenant=args.queries,
+        total_queries=args.queries,
+        rate_qps=args.rate,
+        algorithms=algorithms,
+        deadline_s=args.deadline,
+        seed=args.seed,
+    )
+
+    async def main():
+        async with service:
+            return await run_load(service, config)
+
+    report, results = asyncio.run(main())
+
+    if args.command == "serve":
+        for result in results:
+            line = f"  #{result.request_id} {result.algorithm:8s} " \
+                   f"[{result.tenant}] {result.status.value}"
+            if result.status is QueryStatus.COMPLETED:
+                line += (f"  batch={result.batch_size} "
+                         f"sim={result.sim_time_s * 1e3:.2f}ms"
+                         + (" degraded" if result.degraded else ""))
+            elif result.reason:
+                line += f" ({result.reason})"
+            print(line)
+    _print_report(report)
+    if args.json is not None:
+        from ..ioutil import atomic_write_json
+
+        atomic_write_json(args.json, report.as_dict())
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _serve_offline(args, matrix, algorithms) -> int:
+    """Offline burst on the process pool (ShardScheduler.map_shards)."""
+    from .procpool import serve_batch
+
+    system = SystemConfig(num_dpus=max(args.dpus, 64))
+    config = LoadgenConfig(
+        graph=args.dataset, tenants=args.tenants,
+        queries_per_tenant=args.queries, algorithms=algorithms,
+        seed=args.seed,
+    )
+    requests = generate_requests(config, matrix.nrows)
+    queries = [
+        {"algorithm": r.algorithm, "source": r.source} for r in requests
+    ]
+    answers = serve_batch(
+        matrix, system, args.dpus, queries, processes=True
+    )
+    print(f"answered {len(answers)} queries on the process pool")
+    return 0
+
+
+def _print_report(report) -> None:
+    print(f"report[{report.mode}] seed={report.seed}: "
+          f"{report.completed}/{report.submitted} completed, "
+          f"{report.shed} shed, {report.deadline} deadline, "
+          f"{report.failed} failed "
+          f"(accounted: {report.accounted})")
+    print(f"  latency p50={report.p50_latency_s * 1e3:.2f}ms "
+          f"p99={report.p99_latency_s * 1e3:.2f}ms  "
+          f"qps={report.qps:.1f}  mean batch={report.mean_batch:.2f}")
+    print(f"  retries={report.retries} hedges={report.hedges} "
+          f"degraded={report.degraded_completions}")

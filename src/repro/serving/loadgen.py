@@ -1,0 +1,212 @@
+"""Seeded load generator + SLO report for the serving layer.
+
+Two standard load shapes:
+
+* **closed-loop** — ``tenants`` workers each submit
+  ``queries_per_tenant`` queries back-to-back (think: interactive
+  clients awaiting each answer); offered load adapts to service speed;
+* **open-loop** — arrivals fire at ``rate_qps`` with exponential
+  inter-arrival gaps regardless of completions (think: an upstream
+  queue); overload shows up as shed/deadline counts instead of
+  coordinated-omission-flattered latency.
+
+Everything is seeded: the query mix, sources and arrival gaps come from
+one ``numpy`` generator, so a report is reproducible run-to-run — the
+property the degraded-mode SLO comparison (healthy vs. rank-killed, same
+seed) rests on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ReproError
+from .request import FUSABLE_ALGORITHMS, QueryRequest, QueryResult, QueryStatus
+from .service import GraphService
+
+
+@dataclass(frozen=True)
+class LoadgenConfig:
+    """One load-generation scenario (fully determined by ``seed``)."""
+
+    graph: str = "default"
+    mode: str = "closed"  #: "closed" or "open"
+    tenants: int = 4
+    queries_per_tenant: int = 8  #: closed-loop: queries per worker
+    total_queries: int = 64      #: open-loop: total arrivals
+    rate_qps: float = 500.0      #: open-loop: mean arrival rate
+    algorithms: Tuple[str, ...] = ("bfs", "sssp", "ppr")
+    deadline_s: Optional[float] = None
+    seed: int = 0
+
+
+@dataclass
+class LoadReport:
+    """Latency + SLO accounting for one load run."""
+
+    mode: str
+    seed: int
+    wall_s: float
+    submitted: int
+    completed: int
+    shed: int
+    deadline: int
+    failed: int
+    retries: int
+    hedges: int
+    degraded_completions: int
+    batches: int
+    fused_queries: int
+    p50_latency_s: float
+    p99_latency_s: float
+    qps: float
+    mean_batch: float
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def accounted(self) -> bool:
+        """Does every submitted query have exactly one outcome?"""
+        return self.submitted == (
+            self.completed + self.shed + self.deadline + self.failed
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "mode": self.mode,
+            "seed": self.seed,
+            "wall_s": self.wall_s,
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "shed": self.shed,
+            "deadline": self.deadline,
+            "failed": self.failed,
+            "retries": self.retries,
+            "hedges": self.hedges,
+            "degraded_completions": self.degraded_completions,
+            "batches": self.batches,
+            "fused_queries": self.fused_queries,
+            "p50_latency_s": self.p50_latency_s,
+            "p99_latency_s": self.p99_latency_s,
+            "qps": self.qps,
+            "mean_batch": self.mean_batch,
+            "accounted": self.accounted,
+            "counters": dict(self.counters),
+        }
+
+
+def generate_requests(
+    config: LoadgenConfig, num_vertices: int
+) -> List[QueryRequest]:
+    """The scenario's deterministic query list (seeded mix + sources)."""
+    rng = np.random.default_rng(config.seed)
+    if config.mode == "closed":
+        total = config.tenants * config.queries_per_tenant
+    elif config.mode == "open":
+        total = config.total_queries
+    else:
+        raise ReproError(f"unknown loadgen mode {config.mode!r}")
+    requests = []
+    for i in range(total):
+        algorithm = str(rng.choice(config.algorithms))
+        source = (
+            int(rng.integers(num_vertices))
+            if algorithm in FUSABLE_ALGORITHMS else None
+        )
+        requests.append(QueryRequest(
+            tenant=f"tenant-{i % config.tenants}",
+            graph=config.graph,
+            algorithm=algorithm,
+            source=source,
+            deadline_s=config.deadline_s,
+        ))
+    return requests
+
+
+async def run_load(
+    service: GraphService, config: LoadgenConfig
+) -> Tuple[LoadReport, List[QueryResult]]:
+    """Drive one scenario against a started service; returns the report.
+
+    Counters in the report are *deltas* over this run (the service's own
+    counters are cumulative), so healthy and degraded phases of one
+    service can be reported separately.
+    """
+    graph = service.graph(config.graph)
+    num_vertices = graph.matrix.nrows
+    requests = generate_requests(config, num_vertices)
+    before = service.counter_snapshot()
+    latency_mark = len(service.latencies)
+    started = service.clock()
+
+    if config.mode == "closed":
+        per_tenant: Dict[str, List[QueryRequest]] = {}
+        for request in requests:
+            per_tenant.setdefault(request.tenant, []).append(request)
+
+        async def worker(items: Sequence[QueryRequest]):
+            outcomes = []
+            for request in items:
+                outcomes.append(await service.submit_outcome(request))
+            return outcomes
+
+        nested = await asyncio.gather(
+            *(worker(items) for items in per_tenant.values())
+        )
+        results = [r for sub in nested for r in sub]
+    else:
+        rng = np.random.default_rng(config.seed + 1)
+        gaps = rng.exponential(1.0 / config.rate_qps, size=len(requests))
+        tasks = []
+        for request, gap in zip(requests, gaps):
+            await asyncio.sleep(float(gap))
+            tasks.append(
+                asyncio.ensure_future(service.submit_outcome(request))
+            )
+        results = list(await asyncio.gather(*tasks))
+
+    wall_s = max(service.clock() - started, 1e-12)
+    after = service.counter_snapshot()
+    delta = {
+        key: after.get(key, 0) - before.get(key, 0)
+        for key in set(after) | set(before)
+    }
+    latencies = np.asarray(service.latencies[latency_mark:], dtype=float)
+    completed = sum(
+        1 for r in results if r.status is QueryStatus.COMPLETED
+    )
+    shed = sum(1 for r in results if r.status is QueryStatus.SHED)
+    deadline = sum(
+        1 for r in results if r.status is QueryStatus.DEADLINE
+    )
+    failed = sum(1 for r in results if r.status is QueryStatus.FAILED)
+    batches = delta.get("batches", 0)
+    fused = delta.get("fused_queries", 0)
+    report = LoadReport(
+        mode=config.mode,
+        seed=config.seed,
+        wall_s=wall_s,
+        submitted=len(results),
+        completed=completed,
+        shed=shed,
+        deadline=deadline,
+        failed=failed,
+        retries=delta.get("retries", 0),
+        hedges=delta.get("hedges", 0),
+        degraded_completions=delta.get("degraded_completions", 0),
+        batches=batches,
+        fused_queries=fused,
+        p50_latency_s=(
+            float(np.percentile(latencies, 50)) if latencies.size else 0.0
+        ),
+        p99_latency_s=(
+            float(np.percentile(latencies, 99)) if latencies.size else 0.0
+        ),
+        qps=completed / wall_s,
+        mean_batch=(fused / batches) if batches else 0.0,
+        counters={k: v for k, v in sorted(delta.items()) if v},
+    )
+    return report, results

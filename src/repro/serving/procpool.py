@@ -1,0 +1,106 @@
+"""Process-parallel offline batch serving.
+
+The online :class:`~repro.serving.service.GraphService` fuses queries
+into batched kernel passes on one simulated machine; the *offline* path
+here answers a large, known-up-front query list by fanning whole queries
+out across worker **processes** through
+:meth:`repro.upmem.host.ShardScheduler.map_shards` — the real workload
+ROADMAP item 5 left open for the scheduler's ``processes=True`` mode.
+
+Each worker process rebuilds the graph from plain picklable arrays and
+runs the query fault-free, so the process-parallel answers are
+bit-identical to the in-process ones (the differential test in
+``tests/test_serving.py`` holds the two paths against each other).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ReproError
+from ..sparse.base import SparseMatrix
+from ..sparse.coo import COOMatrix
+from ..upmem.config import SystemConfig
+from ..upmem.host import ShardScheduler
+
+
+def _matrix_payload(matrix: SparseMatrix) -> Dict[str, object]:
+    coo = matrix.to_coo()
+    return {
+        "rows": coo.rows,
+        "cols": coo.cols,
+        "values": coo.values,
+        "shape": coo.shape,
+    }
+
+
+def run_query_payload(payload: Dict[str, object]) -> np.ndarray:
+    """Answer one query from a picklable payload (worker entry point).
+
+    Module-level by necessity: :class:`~concurrent.futures
+    .ProcessPoolExecutor` pickles the callable by qualified name, so a
+    closure or lambda would not survive the trip to the worker.
+    """
+    from ..algorithms.bfs import bfs
+    from ..algorithms.cc import connected_components
+    from ..algorithms.pagerank import pagerank
+    from ..algorithms.ppr import ppr
+    from ..algorithms.sssp import sssp
+
+    matrix = COOMatrix(
+        payload["rows"], payload["cols"], payload["values"],
+        payload["shape"],
+    )
+    system: SystemConfig = payload["system"]
+    num_dpus: int = payload["num_dpus"]
+    algorithm: str = payload["algorithm"]
+    source = payload.get("source")
+    params: Dict[str, float] = payload.get("params") or {}
+
+    if algorithm == "bfs":
+        run = bfs(matrix, source, system, num_dpus)
+    elif algorithm == "sssp":
+        run = sssp(matrix, source, system, num_dpus)
+    elif algorithm == "ppr":
+        run = ppr(matrix, source, system, num_dpus, **params)
+    elif algorithm == "pagerank":
+        run = pagerank(matrix, system, num_dpus, **params)
+    elif algorithm == "cc":
+        run = connected_components(matrix, system, num_dpus)
+    else:
+        raise ReproError(f"unknown algorithm {algorithm!r}")
+    return run.values
+
+
+def serve_batch(
+    matrix: SparseMatrix,
+    system: SystemConfig,
+    num_dpus: int,
+    queries: Sequence[Dict[str, object]],
+    processes: bool = False,
+    scheduler: Optional[ShardScheduler] = None,
+) -> List[np.ndarray]:
+    """Answer ``queries`` against one graph, optionally process-parallel.
+
+    ``queries`` are dicts with ``algorithm`` plus optional ``source`` /
+    ``params`` (e.g. ``{"algorithm": "bfs", "source": 3}``).  With
+    ``processes=True`` the scheduler fans the payloads out over a
+    process pool; answers come back in query order either way, and the
+    two modes are bit-identical.
+    """
+    base = _matrix_payload(matrix)
+    payloads = []
+    for query in queries:
+        payload = dict(base)
+        payload["system"] = system
+        payload["num_dpus"] = num_dpus
+        payload["algorithm"] = query["algorithm"]
+        payload["source"] = query.get("source")
+        payload["params"] = query.get("params")
+        payloads.append(payload)
+    scheduler = scheduler or ShardScheduler(system)
+    return scheduler.map_shards(
+        run_query_payload, payloads, processes=processes
+    )

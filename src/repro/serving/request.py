@@ -1,0 +1,101 @@
+"""Request/response types for the serving layer.
+
+A :class:`QueryRequest` is the unit the service admits, batches and
+executes; a :class:`QueryResult` is the unit it returns — including for
+requests that never ran (shed, expired, failed), so the loadgen's SLO
+accounting closes: ``submitted == completed + shed + deadline + failed``.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+#: Algorithms the service can run.  The first three are single-source
+#: queries and fuse into batched multi-source kernel passes; the last two
+#: are whole-graph analytics whose answers are source-independent, so a
+#: burst of them collapses into ONE shared run.
+FUSABLE_ALGORITHMS = ("bfs", "sssp", "ppr")
+GLOBAL_ALGORITHMS = ("pagerank", "cc")
+ALGORITHMS = FUSABLE_ALGORITHMS + GLOBAL_ALGORITHMS
+
+_request_ids = itertools.count()
+
+
+class QueryStatus(enum.Enum):
+    """Terminal state of a query, one per request, always exactly one."""
+
+    COMPLETED = "completed"  #: answered; ``values`` holds the result
+    SHED = "shed"            #: rejected at admission (see ``reason``)
+    DEADLINE = "deadline"    #: cancelled at dequeue or between iterations
+    FAILED = "failed"        #: retries exhausted / unrecoverable fault
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """Per-tenant admission policy.
+
+    ``rate`` tokens refill per second of *service clock*; ``burst`` is
+    the bucket depth (peak short-term admission).  The defaults admit a
+    steady 50 qps with bursts of 20 — generous for tests, tight enough
+    that a storm trips the quota path.
+    """
+
+    rate: float = 50.0
+    burst: float = 20.0
+
+
+@dataclass
+class QueryRequest:
+    """One tenant query against a resident graph.
+
+    ``deadline_s`` is a *relative* budget from submission, in service
+    clock seconds; ``None`` means no deadline.  ``params`` tunes
+    algorithm knobs (e.g. ``{"alpha": 0.2}`` for PPR) and participates
+    in the fusion key — only queries with identical params fuse.
+    """
+
+    tenant: str
+    graph: str
+    algorithm: str
+    source: Optional[int] = None
+    deadline_s: Optional[float] = None
+    params: Tuple[Tuple[str, float], ...] = ()
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+
+    @property
+    def fusion_key(self) -> Tuple[str, str, Tuple[Tuple[str, float], ...]]:
+        """Queries sharing this key may run in one kernel pass."""
+        return (self.graph, self.algorithm, self.params)
+
+
+@dataclass
+class QueryResult:
+    """Outcome handed back to the submitting tenant."""
+
+    request_id: int
+    tenant: str
+    graph: str
+    algorithm: str
+    status: QueryStatus
+    #: admission-rejection reason ("quota" / "queue-full" /
+    #: "graph-not-resident" / "circuit-open") or deadline stage
+    #: ("admission" / "dequeue" / "iteration"); empty when completed.
+    reason: str = ""
+    values: Optional[np.ndarray] = None
+    #: wall-clock seconds from submission to resolution (service clock).
+    latency_s: float = 0.0
+    #: simulated PIM seconds the batch this query rode spent executing.
+    sim_time_s: float = 0.0
+    #: transient-fault retries the carrying batch consumed.
+    retries: int = 0
+    #: true when the answer was produced on a degraded machine (at least
+    #: one DPU quarantined / rank lost while the batch ran).
+    degraded: bool = False
+    #: number of fused queries in the kernel pass that produced this
+    #: answer (1 = ran alone).
+    batch_size: int = 1

@@ -1,0 +1,657 @@
+"""The asyncio serving front-end: GraphService.
+
+One service instance owns a set of *resident graphs* (shared prepared
+kernels + persistent fault-layer machines), an admission controller, a
+per-graph circuit breaker, and a single-threaded dispatcher that drains
+the bounded queue in *fused batches* — compatible queued queries run as
+one multi-source kernel pass (:mod:`repro.serving.batched`), and bursts
+of source-free analytics (pagerank / cc) collapse into one shared run.
+
+The robustness ladder a request climbs:
+
+1. **admission** — resident-graph check, circuit breaker, deadline,
+   tenant quota, bounded queue (:class:`AdmissionController`);
+2. **dequeue** — expired requests are cancelled before any kernel runs;
+3. **execution** — between iterations the deadline watchdog cancels
+   expired batch columns; transient faults retry with backoff (hedged
+   onto a rebuilt machine after a streak); unrecoverable machine deaths
+   resume from the in-memory PR 5 checkpoint store;
+4. **resolution** — exactly one :class:`QueryResult` per admitted
+   request, so the SLO arithmetic closes:
+   ``submitted == completed + shed + deadline + failed``.
+
+The service clock is injectable (default ``time.monotonic``): tests
+drive admission-rate refill, breaker cooldowns and deadline expiry
+deterministically without sleeping.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import collections
+import time
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional
+
+import numpy as np
+
+from ..algorithms.base import MatvecDriver
+from ..algorithms.cc import connected_components, symmetrize_unweighted
+from ..algorithms.pagerank import pagerank
+from ..algorithms.ppr import normalize_columns
+from ..checkpoint import CheckpointConfig, MemoryCheckpointStore
+from ..errors import (
+    DeadlineExceededError,
+    DpuFaultError,
+    RejectedError,
+    ReproError,
+    TransferCorruptionError,
+)
+from ..observability import runtime as _obs
+from ..sparse.base import SparseMatrix
+from ..upmem.config import SystemConfig
+from .admission import AdmissionController
+from .batched import BatchedSpmmDriver, batched_bfs, batched_ppr, batched_sssp
+from .breaker import CircuitBreaker
+from .request import (
+    ALGORITHMS,
+    FUSABLE_ALGORITHMS,
+    QueryRequest,
+    QueryResult,
+    QueryStatus,
+    TenantConfig,
+)
+
+#: Failure types the retry/hedging layer treats as transient.
+TRANSIENT_ERRORS = (DpuFaultError, TransferCorruptionError)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry/backoff/hedging knobs for transient batch failures.
+
+    ``max_attempts`` bounds total tries; backoff between attempt ``i``
+    and ``i + 1`` is ``backoff_base_s * backoff_factor**(i - 1)`` (the
+    same exponential shape the PR 2 transfer-retry pricing uses).  After
+    ``hedge_after`` failed attempts the next try is *hedged*: the
+    graph's fault-layer machine is rebuilt (reseeded injector,
+    known-dead ranks pre-quarantined) so a retry does not deterministically
+    replay the fatal schedule.
+    """
+
+    max_attempts: int = 3
+    backoff_base_s: float = 0.002
+    backoff_factor: float = 2.0
+    hedge_after: int = 1
+
+    def backoff_s(self, attempt: int) -> float:
+        return self.backoff_base_s * self.backoff_factor ** max(
+            0, attempt - 1
+        )
+
+
+class ResidentGraph:
+    """A graph loaded into the service: shared kernels, one machine.
+
+    Drivers are built lazily per algorithm family and *persist* across
+    queries — quarantine decisions survive, exactly like a long-running
+    appliance whose degraded ranks stay degraded until the operator
+    swaps hardware (``rebuild_machines``).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        matrix: SparseMatrix,
+        system: SystemConfig,
+        num_dpus: int,
+        fault_plan=None,
+        breaker: Optional[CircuitBreaker] = None,
+        checkpoint_restores: int = 4,
+    ) -> None:
+        self.name = name
+        self.matrix = matrix
+        self.system = system
+        self.num_dpus = num_dpus
+        self.fault_plan = fault_plan
+        self.breaker = breaker or CircuitBreaker()
+        self.checkpoint_restores = int(checkpoint_restores)
+        self._drivers: Dict[str, object] = {}
+        self._normalized = None
+        self._symmetrized = None
+
+    # -- lazy driver construction -------------------------------------------
+
+    def _normalized_matrix(self):
+        if self._normalized is None:
+            self._normalized = normalize_columns(self.matrix)
+        return self._normalized
+
+    def _symmetrized_matrix(self):
+        if self._symmetrized is None:
+            self._symmetrized = symmetrize_unweighted(self.matrix)
+        return self._symmetrized
+
+    def driver_for(self, algorithm: str):
+        """The persistent driver serving ``algorithm`` on this graph."""
+        driver = self._drivers.get(algorithm)
+        if driver is not None:
+            return driver
+        if algorithm in ("bfs", "sssp"):
+            driver = BatchedSpmmDriver(
+                self.matrix, self.system, self.num_dpus,
+                fault_plan=self.fault_plan,
+            )
+            self._drivers["bfs"] = self._drivers["sssp"] = driver
+        elif algorithm == "ppr":
+            driver = BatchedSpmmDriver(
+                self._normalized_matrix(), self.system, self.num_dpus,
+                fault_plan=self.fault_plan,
+            )
+            self._drivers["ppr"] = driver
+        elif algorithm == "pagerank":
+            driver = MatvecDriver(
+                self._normalized_matrix(), self.system, self.num_dpus,
+                fault_plan=self.fault_plan,
+            )
+            self._drivers["pagerank"] = driver
+        elif algorithm == "cc":
+            driver = MatvecDriver(
+                self._symmetrized_matrix(), self.system, self.num_dpus,
+                fault_plan=self.fault_plan,
+            )
+            self._drivers["cc"] = driver
+        else:
+            raise ReproError(f"unknown algorithm {algorithm!r}")
+        return driver
+
+    def checkpoint_config(self) -> Optional[CheckpointConfig]:
+        """Fresh in-memory checkpoint session for one batch execution."""
+        if self.checkpoint_restores <= 0:
+            return None
+        return CheckpointConfig(
+            store=MemoryCheckpointStore(),
+            resume=True,
+            max_restores=self.checkpoint_restores,
+        )
+
+    @property
+    def degraded(self) -> bool:
+        """Has this graph's machine lost any DPU to quarantine?"""
+        for driver in set(self._drivers.values()):
+            log = driver.fault_log
+            if log is not None and (log.quarantined or log.failed_ranks):
+                return True
+        return False
+
+    def rebuild_machines(self, salt: int) -> None:
+        """Hedge: swap every armed driver onto a fresh machine."""
+        for driver in set(self._drivers.values()):
+            driver.rebuild_fault_executor(salt)
+
+
+@dataclass
+class _Pending:
+    """A queued admitted request."""
+
+    request: QueryRequest
+    future: asyncio.Future
+    submitted_at: float
+    deadline_at: Optional[float]  # absolute service-clock time, or None
+
+
+class GraphService:
+    """Multi-tenant graph-query service over the simulated PIM machine."""
+
+    def __init__(
+        self,
+        system: SystemConfig,
+        num_dpus: int,
+        queue_capacity: int = 64,
+        max_batch: int = 16,
+        default_tenant: Optional[TenantConfig] = None,
+        retry: Optional[RetryPolicy] = None,
+        clock: Optional[Callable[[], float]] = None,
+        breaker_factory: Callable[[], CircuitBreaker] = CircuitBreaker,
+    ) -> None:
+        self.system = system
+        self.num_dpus = num_dpus
+        self.max_batch = int(max_batch)
+        self.retry = retry or RetryPolicy()
+        self.clock = clock or time.monotonic
+        self.admission = AdmissionController(
+            queue_capacity, default_tenant or TenantConfig()
+        )
+        self._breaker_factory = breaker_factory
+        self._graphs: Dict[str, ResidentGraph] = {}
+        self._queue: Deque[_Pending] = collections.deque()
+        self.counters: Dict[str, int] = collections.defaultdict(int)
+        self.latencies: List[float] = []
+        self._wakeup: Optional[asyncio.Event] = None
+        self._dispatcher: Optional[asyncio.Task] = None
+        self._closed = False
+
+    # -- graph residency ------------------------------------------------------
+
+    def add_graph(
+        self,
+        name: str,
+        matrix: SparseMatrix,
+        fault_plan=None,
+        checkpoint_restores: int = 4,
+    ) -> ResidentGraph:
+        """Load a graph into the service (prepares shared kernels lazily)."""
+        graph = ResidentGraph(
+            name, matrix, self.system, self.num_dpus,
+            fault_plan=fault_plan,
+            breaker=self._breaker_factory(),
+            checkpoint_restores=checkpoint_restores,
+        )
+        self._graphs[name] = graph
+        return graph
+
+    def graph(self, name: str) -> ResidentGraph:
+        return self._graphs[name]
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def start(self) -> None:
+        if self._dispatcher is not None:
+            raise ReproError("service already started")
+        self._closed = False
+        self._wakeup = asyncio.Event()
+        self._dispatcher = asyncio.ensure_future(self._dispatch_loop())
+
+    async def stop(self) -> None:
+        """Drain the queue, then stop the dispatcher."""
+        if self._dispatcher is None:
+            return
+        self._closed = True
+        self._wakeup.set()
+        await self._dispatcher
+        self._dispatcher = None
+
+    async def __aenter__(self) -> "GraphService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # -- submission -----------------------------------------------------------
+
+    def submit_nowait(self, request: QueryRequest) -> asyncio.Future:
+        """Admit (or shed) a request; returns the future of its result.
+
+        Raises :class:`RejectedError` (reason = "graph-not-resident" /
+        "circuit-open" / "quota" / "queue-full") or
+        :class:`DeadlineExceededError` when the request is shed at
+        admission — nothing is queued in that case.
+        """
+        now = self.clock()
+        self._count("submitted")
+        if request.algorithm not in ALGORITHMS:
+            raise ReproError(f"unknown algorithm {request.algorithm!r}")
+        graph = self._graphs.get(request.graph)
+        if graph is None:
+            self._count("shed_graph_not_resident")
+            raise RejectedError(
+                "graph-not-resident",
+                f"graph {request.graph!r} is not resident "
+                f"(loaded: {sorted(self._graphs)})",
+            )
+        if not graph.breaker.allow(now):
+            self._count("shed_circuit_open")
+            raise RejectedError(
+                "circuit-open",
+                f"graph {request.graph!r} circuit breaker is open "
+                f"(streak {graph.breaker.failure_streak})",
+            )
+        if request.deadline_s is not None and request.deadline_s <= 0:
+            self._count("deadline_admission")
+            raise DeadlineExceededError(
+                f"request {request.request_id} arrived with an expired "
+                f"deadline ({request.deadline_s:g}s)"
+            )
+        try:
+            self.admission.admit(request.tenant, len(self._queue), now)
+        except RejectedError as exc:
+            self._count(f"shed_{exc.reason.replace('-', '_')}")
+            raise
+        self._count("admitted")
+        deadline_at = (
+            now + request.deadline_s if request.deadline_s is not None
+            else None
+        )
+        pending = _Pending(
+            request=request,
+            future=asyncio.get_running_loop().create_future(),
+            submitted_at=now,
+            deadline_at=deadline_at,
+        )
+        self._queue.append(pending)
+        if self._wakeup is not None:
+            self._wakeup.set()
+        return pending.future
+
+    async def submit(self, request: QueryRequest) -> QueryResult:
+        """Admit and await one request (raises on admission shed)."""
+        return await self.submit_nowait(request)
+
+    async def submit_outcome(self, request: QueryRequest) -> QueryResult:
+        """Like :meth:`submit`, but sheds become results, not exceptions.
+
+        Every submission yields exactly one :class:`QueryResult`, which
+        is what load generators and SLO accounting want.
+        """
+        try:
+            future = self.submit_nowait(request)
+        except RejectedError as exc:
+            return QueryResult(
+                request_id=request.request_id, tenant=request.tenant,
+                graph=request.graph, algorithm=request.algorithm,
+                status=QueryStatus.SHED, reason=exc.reason,
+            )
+        except DeadlineExceededError:
+            return QueryResult(
+                request_id=request.request_id, tenant=request.tenant,
+                graph=request.graph, algorithm=request.algorithm,
+                status=QueryStatus.DEADLINE, reason="admission",
+            )
+        return await future
+
+    # -- dispatcher -----------------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            await self._wakeup.wait()
+            self._wakeup.clear()
+            while self._queue:
+                batch = self._take_batch()
+                if batch:
+                    await self._execute_batch(batch)
+                # let submitters observe resolved futures promptly
+                await asyncio.sleep(0)
+            if self._closed:
+                return
+
+    def _take_batch(self) -> List[_Pending]:
+        """Pop the head-of-line request plus every fusable companion.
+
+        Requests whose deadline already passed are cancelled here — the
+        *dequeue* enforcement point — and never reach a kernel.
+        """
+        now = self.clock()
+        head: Optional[_Pending] = None
+        while self._queue and head is None:
+            candidate = self._queue.popleft()
+            if self._expire(candidate, now, "dequeue"):
+                continue
+            head = candidate
+        if head is None:
+            return []
+        batch = [head]
+        key = head.request.fusion_key
+        kept: Deque[_Pending] = collections.deque()
+        while self._queue and len(batch) < self.max_batch:
+            candidate = self._queue.popleft()
+            if self._expire(candidate, now, "dequeue"):
+                continue
+            if candidate.request.fusion_key == key:
+                batch.append(candidate)
+            else:
+                kept.append(candidate)
+        kept.extend(self._queue)
+        self._queue = kept
+        return batch
+
+    def _expire(self, pending: _Pending, now: float, stage: str) -> bool:
+        if pending.deadline_at is None or now <= pending.deadline_at:
+            return False
+        self._count(f"deadline_{stage}")
+        self._resolve(pending, QueryResult(
+            request_id=pending.request.request_id,
+            tenant=pending.request.tenant,
+            graph=pending.request.graph,
+            algorithm=pending.request.algorithm,
+            status=QueryStatus.DEADLINE, reason=stage,
+            latency_s=now - pending.submitted_at,
+        ))
+        return True
+
+    def _resolve(self, pending: _Pending, result: QueryResult) -> None:
+        if pending.future.done():
+            return
+        if result.status is QueryStatus.COMPLETED:
+            self._count("completed")
+            self.latencies.append(result.latency_s)
+            if result.degraded:
+                self._count("degraded_completions")
+        elif result.status is QueryStatus.FAILED:
+            self._count("failed")
+        session = _obs.ACTIVE
+        if session is not None and session.tracer is not None:
+            session.tracer.instant(
+                "serving:resolve", cat="serving",
+                request=result.request_id, tenant=result.tenant,
+                algorithm=result.algorithm, status=result.status.value,
+                reason=result.reason,
+            )
+        pending.future.set_result(result)
+
+    # -- execution ------------------------------------------------------------
+
+    async def _execute_batch(self, batch: List[_Pending]) -> None:
+        request = batch[0].request
+        graph = self._graphs[request.graph]
+        self._count("batches")
+        self._count("fused_queries", len(batch))
+        retries = 0
+        for attempt in range(1, self.retry.max_attempts + 1):
+            hedged = attempt > 1 and attempt > self.retry.hedge_after
+            if hedged:
+                graph.rebuild_machines(salt=attempt)
+                self._count("hedges")
+            try:
+                self._run_batch(graph, batch, retries)
+            except TRANSIENT_ERRORS:
+                graph.breaker.on_failure(self.clock())
+                if attempt == self.retry.max_attempts:
+                    now = self.clock()
+                    for pending in batch:
+                        self._resolve(pending, QueryResult(
+                            request_id=pending.request.request_id,
+                            tenant=pending.request.tenant,
+                            graph=pending.request.graph,
+                            algorithm=pending.request.algorithm,
+                            status=QueryStatus.FAILED,
+                            reason="retries-exhausted",
+                            latency_s=now - pending.submitted_at,
+                            retries=retries,
+                        ))
+                    return
+                retries += 1
+                self._count("retries")
+                await asyncio.sleep(self.retry.backoff_s(attempt))
+            except DeadlineExceededError:
+                # every member of a shared (pagerank/cc) run expired
+                now = self.clock()
+                for pending in batch:
+                    self._count("deadline_iteration")
+                    self._resolve(pending, QueryResult(
+                        request_id=pending.request.request_id,
+                        tenant=pending.request.tenant,
+                        graph=pending.request.graph,
+                        algorithm=pending.request.algorithm,
+                        status=QueryStatus.DEADLINE, reason="iteration",
+                        latency_s=now - pending.submitted_at,
+                        retries=retries,
+                    ))
+                return
+            else:
+                graph.breaker.on_success()
+                return
+
+    def _run_batch(
+        self, graph: ResidentGraph, batch: List[_Pending], retries: int
+    ) -> None:
+        """One execution attempt; resolves every member on success."""
+        request = batch[0].request
+        algorithm = request.algorithm
+        params = dict(request.params)
+        session = _obs.ACTIVE
+        sim_start = (
+            session.tracer.now
+            if session is not None and session.tracer is not None else 0.0
+        )
+
+        if algorithm in FUSABLE_ALGORITHMS:
+            run, cancelled = self._run_fused(graph, batch, params)
+        else:
+            run, cancelled = self._run_shared(graph, batch, params)
+
+        now = self.clock()
+        sim_elapsed = run.breakdown.total
+        degraded = graph.degraded
+        if session is not None and session.tracer is not None:
+            for pending in batch:
+                session.tracer.complete(
+                    f"serving:request:{pending.request.request_id}",
+                    start=sim_start, duration_s=sim_elapsed, cat="serving",
+                    tenant=pending.request.tenant, algorithm=algorithm,
+                    batch=len(batch),
+                )
+        for j, pending in enumerate(batch):
+            if cancelled[j]:
+                self._count("deadline_iteration")
+                self._resolve(pending, QueryResult(
+                    request_id=pending.request.request_id,
+                    tenant=pending.request.tenant,
+                    graph=pending.request.graph,
+                    algorithm=algorithm,
+                    status=QueryStatus.DEADLINE, reason="iteration",
+                    latency_s=now - pending.submitted_at,
+                    sim_time_s=sim_elapsed, retries=retries,
+                    degraded=degraded, batch_size=len(batch),
+                ))
+                continue
+            values = (
+                run.values[:, j].copy() if algorithm in FUSABLE_ALGORITHMS
+                else run.values.copy()
+            )
+            self._resolve(pending, QueryResult(
+                request_id=pending.request.request_id,
+                tenant=pending.request.tenant,
+                graph=pending.request.graph,
+                algorithm=algorithm,
+                status=QueryStatus.COMPLETED,
+                values=values,
+                latency_s=now - pending.submitted_at,
+                sim_time_s=sim_elapsed, retries=retries,
+                degraded=degraded, batch_size=len(batch),
+            ))
+
+    def _deadline_mask(self, batch: List[_Pending]) -> np.ndarray:
+        now = self.clock()
+        return np.array([
+            p.deadline_at is not None and now > p.deadline_at
+            for p in batch
+        ], dtype=bool)
+
+    def _run_fused(
+        self,
+        graph: ResidentGraph,
+        batch: List[_Pending],
+        params: Dict[str, float],
+    ):
+        """Fused multi-source pass for bfs / sssp / ppr queries."""
+        algorithm = batch[0].request.algorithm
+        driver = graph.driver_for(algorithm)
+        sources = [p.request.source for p in batch]
+        for pending, source in zip(batch, sources):
+            if source is None:
+                raise ReproError(
+                    f"{algorithm} request {pending.request.request_id} "
+                    f"needs a source vertex"
+                )
+
+        def cancel_hook(_iteration: int) -> np.ndarray:
+            return self._deadline_mask(batch)
+
+        kwargs = dict(
+            dataset=graph.name,
+            checkpoint=graph.checkpoint_config(),
+            cancel_hook=cancel_hook,
+        )
+        if algorithm == "bfs":
+            run = batched_bfs(driver, sources, **kwargs)
+        elif algorithm == "sssp":
+            run = batched_sssp(driver, sources, **kwargs)
+        else:
+            run = batched_ppr(driver, sources, **kwargs, **params)
+        return run, run.cancelled_columns
+
+    def _run_shared(
+        self,
+        graph: ResidentGraph,
+        batch: List[_Pending],
+        params: Dict[str, float],
+    ):
+        """One shared run answering a whole batch of pagerank/cc queries.
+
+        Source-free analytics are the degenerate fusion case: every
+        query in the batch receives the same (bit-identical) answer, so
+        the batch costs exactly one run.  The iteration hook aborts only
+        when *every* member has expired; members that expire while the
+        run completes for others are still accounted as deadline misses.
+        """
+        algorithm = batch[0].request.algorithm
+        driver = graph.driver_for(algorithm)
+
+        def iteration_hook(_iteration: int) -> None:
+            if self._deadline_mask(batch).all():
+                raise DeadlineExceededError(
+                    f"all {len(batch)} fused {algorithm} queries expired"
+                )
+
+        kwargs = dict(
+            dataset=graph.name,
+            driver=driver,
+            checkpoint=graph.checkpoint_config(),
+            iteration_hook=iteration_hook,
+        )
+        if algorithm == "pagerank":
+            run = pagerank(
+                graph._normalized_matrix(), self.system, self.num_dpus,
+                pre_normalized=True, **kwargs, **params,
+            )
+        else:
+            run = connected_components(
+                graph.matrix, self.system, self.num_dpus, **kwargs,
+            )
+        return run, self._deadline_mask(batch)
+
+    # -- accounting -----------------------------------------------------------
+
+    def _count(self, name: str, value: int = 1) -> None:
+        self.counters[name] += value
+        session = _obs.ACTIVE
+        if session is not None and session.metrics is not None:
+            session.metrics.counter(f"serving.{name}").inc(value)
+
+    def counter_snapshot(self) -> Dict[str, int]:
+        return dict(self.counters)
+
+    def slo_accounting_closes(self) -> bool:
+        """`submitted == completed + shed + deadline + failed` (+queued)."""
+        c = self.counters
+        shed = sum(v for k, v in c.items() if k.startswith("shed_"))
+        deadline = sum(
+            v for k, v in c.items() if k.startswith("deadline_")
+        )
+        resolved = c["completed"] + shed + deadline + c["failed"]
+        return c["submitted"] == resolved + len(self._queue)

@@ -102,3 +102,65 @@ class TestBetweenness:
         a = betweenness_centrality(graph, [0, 3], system, DPUS)
         b = betweenness_centrality(weighted, [0, 3], system, DPUS)
         assert np.allclose(a.values, b.values)
+
+
+@pytest.mark.faults
+class TestBetweennessResilience:
+    """BC through the fault/checkpoint plumbing (PR 7 satellite)."""
+
+    NUM_DPUS = 128  # two ranks: rank loss is survivable, not fatal
+    SOURCES = [0, 7, 21]
+
+    @pytest.fixture
+    def big_system(self):
+        return SystemConfig(num_dpus=self.NUM_DPUS)
+
+    @pytest.fixture
+    def graph(self):
+        return random_graph(n=80, avg_degree=4, seed=0)
+
+    def clean_run(self, graph, big_system):
+        return betweenness_centrality(
+            graph, self.SOURCES, big_system, self.NUM_DPUS
+        )
+
+    @pytest.mark.parametrize("seed", [0, 11])
+    def test_bit_identical_under_5pct_faults(self, graph, big_system, seed):
+        from repro.faults import FaultPlan
+
+        clean = self.clean_run(graph, big_system)
+        run = betweenness_centrality(
+            graph, self.SOURCES, big_system, self.NUM_DPUS,
+            fault_plan=FaultPlan.uniform(0.05, seed=seed),
+        )
+        assert run.fault_log is not None
+        assert len(run.fault_log.events) > 0
+        assert run.values.tobytes() == clean.values.tobytes()
+
+    def test_checkpoint_resume_at_source_boundary(self, graph, big_system):
+        from repro.checkpoint import (
+            CheckpointConfig,
+            CrashSchedule,
+            MemoryCheckpointStore,
+            SimulatedCrash,
+        )
+
+        clean = self.clean_run(graph, big_system)
+        store = MemoryCheckpointStore()
+        config = CheckpointConfig(
+            store=store, resume=True,
+            crash_schedule=CrashSchedule(crash_iterations=[2]),
+        )
+        with pytest.raises(SimulatedCrash):
+            betweenness_centrality(
+                graph, self.SOURCES, big_system, self.NUM_DPUS,
+                checkpoint=config,
+            )
+        assert len(store) >= 1  # source boundaries 0 and 1 committed
+
+        resumed = betweenness_centrality(
+            graph, self.SOURCES, big_system, self.NUM_DPUS,
+            checkpoint=config,
+        )
+        assert resumed.checkpoint["resumed_from_iteration"] is not None
+        assert resumed.values.tobytes() == clean.values.tobytes()

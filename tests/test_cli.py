@@ -54,3 +54,46 @@ class TestMain:
     def test_unknown_dataset_fails(self):
         with pytest.raises(Exception):
             main(["bfs", "--dataset", "nope", "--scale", "0.05"])
+
+
+@pytest.mark.serving
+class TestServingCommands:
+    """``serve`` / ``load`` route through the serving subparser."""
+
+    COMMON = ["--dataset", "face", "--scale", "0.02", "--dpus", "128",
+              "--tenants", "2", "--queries", "3"]
+
+    def test_serve_prints_per_query_outcomes(self, capsys):
+        assert main(["serve", *self.COMMON]) == 0
+        out = capsys.readouterr().out
+        assert "SERVE" in out
+        assert "completed" in out
+        assert "accounted: True" in out
+
+    def test_load_closed_loop_report(self, capsys):
+        assert main(["load", *self.COMMON]) == 0
+        out = capsys.readouterr().out
+        assert "report[closed]" in out
+        assert "latency p50=" in out
+
+    def test_load_open_loop_json(self, tmp_path, capsys):
+        target = tmp_path / "report.json"
+        assert main([
+            "load", *self.COMMON, "--mode", "open",
+            "--rate", "2000", "--json", str(target),
+        ]) == 0
+        payload = json.loads(target.read_text())
+        assert payload["mode"] == "open"
+        assert payload["accounted"] is True
+        assert payload["submitted"] == 3  # open loop: total arrivals
+
+    def test_serve_with_faults_still_accounts(self, capsys):
+        assert main([
+            "serve", *self.COMMON, "--fault-rate", "0.05",
+        ]) == 0
+        assert "accounted: True" in capsys.readouterr().out
+
+    def test_serve_on_process_pool(self, capsys):
+        assert main(["serve", *self.COMMON, "--processes"]) == 0
+        out = capsys.readouterr().out
+        assert "process pool" in out

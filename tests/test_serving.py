@@ -1,0 +1,548 @@
+"""Serving-layer functional tests: admission, deadlines, fusion, retry.
+
+The clock-dependent paths (quota refill, breaker cooldown, deadline
+expiry) all run on an injected fake clock, so every enforcement point —
+admission, dequeue, between iterations — is exercised deterministically
+without sleeping.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from conftest import random_graph
+
+from repro.algorithms.bfs import bfs
+from repro.algorithms.pagerank import pagerank
+from repro.algorithms.ppr import normalize_columns, ppr
+from repro.algorithms.sssp import sssp
+from repro.errors import DeadlineExceededError, DpuFaultError, RejectedError
+from repro.serving import (
+    CircuitBreaker,
+    GraphService,
+    LoadgenConfig,
+    QueryRequest,
+    QueryStatus,
+    TenantConfig,
+    TokenBucket,
+    batched_bfs,
+    batched_ppr,
+    batched_sssp,
+    run_load,
+    serve_batch,
+)
+from repro.serving.batched import BatchedSpmmDriver
+from repro.serving.service import RetryPolicy
+from repro.upmem.config import SystemConfig
+
+pytestmark = pytest.mark.serving
+
+NUM_DPUS = 64
+
+
+class FakeClock:
+    """Deterministic service clock: advances only when told (or per call)."""
+
+    def __init__(self, auto_advance: float = 0.0) -> None:
+        self.t = 0.0
+        self.auto_advance = auto_advance
+
+    def __call__(self) -> float:
+        self.t += self.auto_advance
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+@pytest.fixture()
+def system():
+    return SystemConfig(num_dpus=NUM_DPUS)
+
+
+@pytest.fixture()
+def wgraph():
+    return random_graph(n=120, avg_degree=5.0, seed=3, weights="random")
+
+
+def make_service(system, wgraph, **kwargs) -> GraphService:
+    service = GraphService(system, NUM_DPUS, **kwargs)
+    service.add_graph("g", wgraph)
+    return service
+
+
+def run_async(coro):
+    return asyncio.run(coro)
+
+
+# -- admission primitives -----------------------------------------------------
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        bucket = TokenBucket(TenantConfig(rate=10.0, burst=2.0), now=0.0)
+        assert bucket.try_acquire(0.0)
+        assert bucket.try_acquire(0.0)
+        assert not bucket.try_acquire(0.0)  # burst exhausted
+        assert bucket.try_acquire(0.1)      # 0.1s * 10/s = 1 token back
+        assert not bucket.try_acquire(0.1)
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(TenantConfig(rate=100.0, burst=3.0), now=0.0)
+        for _ in range(3):
+            assert bucket.try_acquire(10.0)
+        assert not bucket.try_acquire(10.0)
+
+
+class TestCircuitBreaker:
+    def test_trips_after_streak_and_half_opens(self):
+        breaker = CircuitBreaker(failure_threshold=2, cooldown_s=1.0)
+        assert breaker.allow(0.0)
+        breaker.on_failure(0.0)
+        assert breaker.allow(0.0)  # one failure: still closed
+        breaker.on_failure(0.0)
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.trips == 1
+        assert not breaker.allow(0.5)           # cooling down
+        assert breaker.allow(1.5)               # half-open probe
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert not breaker.allow(1.5)           # only one probe
+        breaker.on_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_failure_reopens(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=1.0)
+        breaker.on_failure(0.0)
+        assert breaker.allow(2.0)  # probe
+        breaker.on_failure(2.0)
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow(2.5)
+
+
+# -- batched fusion engine ----------------------------------------------------
+
+class TestBatchedBitIdentity:
+    SOURCES = [0, 7, 23, 64]
+
+    def test_batched_bfs_matches_single_source(self, system, wgraph):
+        driver = BatchedSpmmDriver(wgraph, system, NUM_DPUS)
+        run = batched_bfs(driver, self.SOURCES)
+        for j, source in enumerate(self.SOURCES):
+            single = bfs(wgraph, source, system, NUM_DPUS)
+            assert run.values[:, j].tobytes() == single.values.tobytes()
+
+    def test_batched_sssp_matches_single_source(self, system, wgraph):
+        driver = BatchedSpmmDriver(wgraph, system, NUM_DPUS)
+        run = batched_sssp(driver, self.SOURCES)
+        for j, source in enumerate(self.SOURCES):
+            single = sssp(wgraph, source, system, NUM_DPUS)
+            assert run.values[:, j].tobytes() == single.values.tobytes()
+
+    def test_batched_ppr_matches_single_source(self, system, wgraph):
+        driver = BatchedSpmmDriver(
+            normalize_columns(wgraph), system, NUM_DPUS
+        )
+        run = batched_ppr(driver, self.SOURCES)
+        for j, source in enumerate(self.SOURCES):
+            single = ppr(wgraph, source, system, NUM_DPUS)
+            assert run.values[:, j].tobytes() == single.values.tobytes()
+
+    def test_cancelled_column_leaves_others_bit_identical(
+        self, system, wgraph
+    ):
+        driver = BatchedSpmmDriver(wgraph, system, NUM_DPUS)
+        full = batched_bfs(driver, self.SOURCES)
+
+        def cancel_second(iteration):
+            mask = np.zeros(len(self.SOURCES), dtype=bool)
+            mask[1] = iteration >= 1
+            return mask
+
+        partial = batched_bfs(
+            driver, self.SOURCES, cancel_hook=cancel_second
+        )
+        assert partial.cancelled_columns.tolist() == [
+            False, True, False, False,
+        ]
+        for j in (0, 2, 3):
+            assert (
+                partial.values[:, j].tobytes()
+                == full.values[:, j].tobytes()
+            )
+        # the cancelled column stopped early: no level beyond iteration 1
+        assert partial.values[:, 1].max() <= 1
+
+
+# -- service: admission control ----------------------------------------------
+
+class TestAdmission:
+    def test_quota_shed_with_structured_reason(self, system, wgraph):
+        clock = FakeClock()
+        service = make_service(system, wgraph, clock=clock)
+        service.admission.configure_tenant(
+            "greedy", TenantConfig(rate=0.0, burst=2.0)
+        )
+
+        async def scenario():
+            async with service:
+                outcomes = [
+                    await service.submit_outcome(QueryRequest(
+                        tenant="greedy", graph="g",
+                        algorithm="bfs", source=i,
+                    ))
+                    for i in range(5)
+                ]
+            return outcomes
+
+        outcomes = run_async(scenario())
+        statuses = [o.status for o in outcomes]
+        assert statuses.count(QueryStatus.COMPLETED) == 2
+        assert statuses.count(QueryStatus.SHED) == 3
+        for shed in outcomes[2:]:
+            assert shed.reason == "quota"
+        assert service.counters["shed_quota"] == 3
+        assert service.slo_accounting_closes()
+
+    def test_bounded_queue_sheds_queue_full(self, system, wgraph):
+        clock = FakeClock()
+        service = make_service(
+            system, wgraph, clock=clock, queue_capacity=2,
+            default_tenant=TenantConfig(rate=1000.0, burst=1000.0),
+        )
+
+        async def scenario():
+            # no dispatcher yet: the queue can only fill
+            futures, rejections = [], []
+            for i in range(5):
+                try:
+                    futures.append(service.submit_nowait(QueryRequest(
+                        tenant="t", graph="g", algorithm="bfs", source=i,
+                    )))
+                except RejectedError as exc:
+                    rejections.append(exc)
+            assert service.queue_depth == 2  # bounded, provably
+            assert len(rejections) == 3
+            assert all(r.reason == "queue-full" for r in rejections)
+            async with service:
+                pass  # drain on stop
+            return await asyncio.gather(*futures)
+
+        results = run_async(scenario())
+        assert all(r.status is QueryStatus.COMPLETED for r in results)
+        assert service.slo_accounting_closes()
+
+    def test_graph_not_resident(self, system, wgraph):
+        service = make_service(system, wgraph)
+
+        async def scenario():
+            async with service:
+                with pytest.raises(RejectedError) as info:
+                    await service.submit(QueryRequest(
+                        tenant="t", graph="nope", algorithm="bfs", source=0,
+                    ))
+            return info.value
+
+        exc = run_async(scenario())
+        assert exc.reason == "graph-not-resident"
+        assert service.counters["shed_graph_not_resident"] == 1
+
+
+# -- service: deadlines at all three enforcement points -----------------------
+
+class TestDeadlines:
+    def test_expired_at_admission(self, system, wgraph):
+        service = make_service(system, wgraph, clock=FakeClock())
+
+        async def scenario():
+            async with service:
+                return await service.submit_outcome(QueryRequest(
+                    tenant="t", graph="g", algorithm="bfs", source=0,
+                    deadline_s=0.0,
+                ))
+
+        outcome = run_async(scenario())
+        assert outcome.status is QueryStatus.DEADLINE
+        assert outcome.reason == "admission"
+        assert service.counters["deadline_admission"] == 1
+
+    def test_expired_at_dequeue(self, system, wgraph):
+        clock = FakeClock()
+        service = make_service(system, wgraph, clock=clock)
+
+        async def scenario():
+            await service.start()
+            future = service.submit_nowait(QueryRequest(
+                tenant="t", graph="g", algorithm="bfs", source=0,
+                deadline_s=0.5,
+            ))
+            clock.advance(1.0)  # expires while queued, before any kernel
+            result = await future
+            await service.stop()
+            return result
+
+        result = run_async(scenario())
+        assert result.status is QueryStatus.DEADLINE
+        assert result.reason == "dequeue"
+        assert service.counters["deadline_dequeue"] == 1
+        assert service.slo_accounting_closes()
+
+    def test_cancelled_between_iterations(self, system, wgraph):
+        # every clock read advances time, so the deadline passes while
+        # the traversal is mid-flight -> the iteration watchdog cancels
+        clock = FakeClock(auto_advance=0.01)
+        service = make_service(system, wgraph, clock=clock)
+
+        async def scenario():
+            async with service:
+                return await service.submit_outcome(QueryRequest(
+                    tenant="t", graph="g", algorithm="bfs", source=0,
+                    deadline_s=0.05,
+                ))
+
+        result = run_async(scenario())
+        assert result.status is QueryStatus.DEADLINE
+        assert result.reason == "iteration"
+        assert service.counters["deadline_iteration"] == 1
+        assert service.slo_accounting_closes()
+
+    def test_shared_run_aborts_when_all_members_expire(
+        self, system, wgraph
+    ):
+        clock = FakeClock(auto_advance=0.01)
+        service = make_service(system, wgraph, clock=clock)
+
+        async def scenario():
+            async with service:
+                return await asyncio.gather(*(
+                    service.submit_outcome(QueryRequest(
+                        tenant="t", graph="g", algorithm="pagerank",
+                        deadline_s=0.05,
+                    ))
+                    for _ in range(2)
+                ))
+
+        results = run_async(scenario())
+        assert all(r.status is QueryStatus.DEADLINE for r in results)
+        assert all(r.reason == "iteration" for r in results)
+        assert service.slo_accounting_closes()
+
+
+# -- service: fusion ----------------------------------------------------------
+
+class TestFusion:
+    def test_queued_bfs_queries_fuse_into_one_batch(self, system, wgraph):
+        service = make_service(system, wgraph)
+        sources = [0, 7, 23, 64]
+
+        async def scenario():
+            futures = [
+                service.submit_nowait(QueryRequest(
+                    tenant=f"t{i}", graph="g", algorithm="bfs",
+                    source=source,
+                ))
+                for i, source in enumerate(sources)
+            ]
+            async with service:
+                pass
+            return await asyncio.gather(*futures)
+
+        results = run_async(scenario())
+        assert service.counters["batches"] == 1
+        assert all(r.batch_size == len(sources) for r in results)
+        for result, source in zip(results, sources):
+            single = bfs(wgraph, source, system, NUM_DPUS)
+            assert result.values.tobytes() == single.values.tobytes()
+
+    def test_incompatible_queries_do_not_fuse(self, system, wgraph):
+        service = make_service(system, wgraph)
+
+        async def scenario():
+            futures = [
+                service.submit_nowait(QueryRequest(
+                    tenant="t", graph="g", algorithm=a, source=s,
+                ))
+                for a, s in (("bfs", 0), ("sssp", 0), ("bfs", 7))
+            ]
+            async with service:
+                pass
+            return await asyncio.gather(*futures)
+
+        results = run_async(scenario())
+        assert service.counters["batches"] == 2  # {bfs, bfs} + {sssp}
+        assert all(r.status is QueryStatus.COMPLETED for r in results)
+
+    def test_global_queries_share_one_run(self, system, wgraph):
+        service = make_service(system, wgraph)
+
+        async def scenario():
+            futures = [
+                service.submit_nowait(QueryRequest(
+                    tenant=f"t{i}", graph="g", algorithm="pagerank",
+                ))
+                for i in range(3)
+            ]
+            async with service:
+                pass
+            return await asyncio.gather(*futures)
+
+        results = run_async(scenario())
+        assert service.counters["batches"] == 1
+        reference = pagerank(wgraph, system, NUM_DPUS)
+        for result in results:
+            assert result.values.tobytes() == reference.values.tobytes()
+
+
+# -- service: retry / hedging / circuit breaker -------------------------------
+
+class TestRetriesAndBreaker:
+    def test_transient_failure_retries_then_completes(
+        self, system, wgraph
+    ):
+        service = make_service(
+            system, wgraph,
+            retry=RetryPolicy(max_attempts=3, backoff_base_s=1e-6),
+        )
+        real = service._run_batch
+        failures = {"left": 1}
+
+        def flaky(graph, batch, retries):
+            if failures["left"] > 0:
+                failures["left"] -= 1
+                raise DpuFaultError("injected transient launch failure")
+            return real(graph, batch, retries)
+
+        service._run_batch = flaky
+
+        async def scenario():
+            async with service:
+                return await service.submit(QueryRequest(
+                    tenant="t", graph="g", algorithm="bfs", source=0,
+                ))
+
+        result = run_async(scenario())
+        assert result.status is QueryStatus.COMPLETED
+        assert result.retries == 1
+        assert service.counters["retries"] == 1
+        single = bfs(wgraph, 0, system, NUM_DPUS)
+        assert result.values.tobytes() == single.values.tobytes()
+
+    def test_hedge_rebuilds_machine_after_streak(self, system, wgraph):
+        service = make_service(
+            system, wgraph,
+            retry=RetryPolicy(
+                max_attempts=3, backoff_base_s=1e-6, hedge_after=1
+            ),
+        )
+        real = service._run_batch
+        failures = {"left": 2}
+
+        def flaky(graph, batch, retries):
+            if failures["left"] > 0:
+                failures["left"] -= 1
+                raise DpuFaultError("injected transient launch failure")
+            return real(graph, batch, retries)
+
+        service._run_batch = flaky
+
+        async def scenario():
+            async with service:
+                return await service.submit(QueryRequest(
+                    tenant="t", graph="g", algorithm="bfs", source=0,
+                ))
+
+        result = run_async(scenario())
+        assert result.status is QueryStatus.COMPLETED
+        assert service.counters["hedges"] >= 1
+
+    def test_breaker_fails_fast_then_half_opens(self, system, wgraph):
+        clock = FakeClock()
+        service = make_service(
+            system, wgraph, clock=clock,
+            retry=RetryPolicy(max_attempts=2, backoff_base_s=1e-6),
+            breaker_factory=lambda: CircuitBreaker(
+                failure_threshold=1, cooldown_s=10.0
+            ),
+        )
+        service._run_batch = lambda graph, batch, retries: (_ for _ in ()).throw(
+            DpuFaultError("injected persistent failure")
+        )
+
+        async def scenario():
+            async with service:
+                first = await service.submit_outcome(QueryRequest(
+                    tenant="t", graph="g", algorithm="bfs", source=0,
+                ))
+                fast_fail = await service.submit_outcome(QueryRequest(
+                    tenant="t", graph="g", algorithm="bfs", source=1,
+                ))
+                clock.advance(60.0)  # past the cooldown: half-open probe
+                probe = await service.submit_outcome(QueryRequest(
+                    tenant="t", graph="g", algorithm="bfs", source=2,
+                ))
+            return first, fast_fail, probe
+
+        first, fast_fail, probe = run_async(scenario())
+        assert first.status is QueryStatus.FAILED
+        assert first.reason == "retries-exhausted"
+        assert fast_fail.status is QueryStatus.SHED
+        assert fast_fail.reason == "circuit-open"
+        assert probe.status is QueryStatus.FAILED  # probe admitted, ran
+        assert service.counters["shed_circuit_open"] == 1
+        assert service.graph("g").breaker.state == CircuitBreaker.OPEN
+        assert service.slo_accounting_closes()
+
+
+# -- loadgen ------------------------------------------------------------------
+
+class TestLoadgen:
+    def test_closed_loop_report_accounts_everything(self, system, wgraph):
+        service = make_service(system, wgraph)
+        config = LoadgenConfig(
+            graph="g", tenants=3, queries_per_tenant=4, seed=9,
+        )
+
+        async def scenario():
+            async with service:
+                return await run_load(service, config)
+
+        report, results = run_async(scenario())
+        assert report.submitted == 12
+        assert report.accounted
+        assert report.completed > 0
+        assert report.qps > 0
+        assert report.p99_latency_s >= report.p50_latency_s > 0
+        assert service.slo_accounting_closes()
+
+    def test_same_seed_same_workload(self, system, wgraph):
+        from repro.serving.loadgen import generate_requests
+
+        config = LoadgenConfig(graph="g", tenants=2, queries_per_tenant=5)
+        a = generate_requests(config, wgraph.nrows)
+        b = generate_requests(config, wgraph.nrows)
+        assert [(r.tenant, r.algorithm, r.source) for r in a] == \
+               [(r.tenant, r.algorithm, r.source) for r in b]
+
+
+# -- offline process-pool path ------------------------------------------------
+
+class TestProcessPoolServing:
+    QUERIES = [
+        {"algorithm": "bfs", "source": 0},
+        {"algorithm": "sssp", "source": 7},
+        {"algorithm": "pagerank"},
+        {"algorithm": "cc"},
+    ]
+
+    def test_process_parallel_differential(self, system, wgraph):
+        inline = serve_batch(
+            wgraph, system, NUM_DPUS, self.QUERIES, processes=False
+        )
+        pooled = serve_batch(
+            wgraph, system, NUM_DPUS, self.QUERIES, processes=True
+        )
+        assert len(inline) == len(pooled) == len(self.QUERIES)
+        for a, b in zip(inline, pooled):
+            assert a.dtype == b.dtype
+            assert a.tobytes() == b.tobytes()

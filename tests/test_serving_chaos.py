@@ -1,0 +1,264 @@
+"""Chaos-serving soak: rank kills, torn checkpoints, deadline storms.
+
+The degraded-mode SLO contract under test: when a rank dies mid-burst
+the service keeps answering, every completed answer is **bit-identical**
+to a fault-free run of the same seeded workload, and every query that
+did *not* complete is accounted for as shed / deadline / failed —
+nothing disappears and nothing is silently wrong.
+
+The fault seeds are pinned empirically against the 2-rank (128-DPU)
+layout: plan seed 0 kills rank 1 mid-burst (everything still completes,
+degraded); plan seed 10 kills both ranks (retries exhaust, a tail of
+queries fails).  ``num_dpus`` must stay >= 128 here — with a single
+rank, a rank failure is whole-machine loss and nothing can degrade
+gracefully.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+
+import numpy as np
+import pytest
+
+from conftest import random_graph
+
+from repro.checkpoint import (
+    CheckpointConfig,
+    CrashSchedule,
+    MemoryCheckpointStore,
+    SimulatedCrash,
+)
+from repro.faults import FaultPlan
+from repro.serving import (
+    GraphService,
+    LoadgenConfig,
+    QueryStatus,
+    TenantConfig,
+    batched_bfs,
+    run_load,
+)
+from repro.serving.batched import BatchedSpmmDriver
+from repro.serving.service import RetryPolicy
+from repro.upmem.config import SystemConfig
+
+pytestmark = pytest.mark.serving
+
+NUM_DPUS = 128  # two ranks: rank loss must be survivable, not fatal
+
+#: Empirically pinned chaos plans (see module docstring).
+RANK_KILL_PLAN = FaultPlan(
+    seed=0,
+    rank_failure_rate=0.02,
+    dpu_crash_rate=0.01,
+    transfer_corruption_rate=0.01,
+)
+MACHINE_LOSS_PLAN = RANK_KILL_PLAN.with_seed(10)
+
+BURST = LoadgenConfig(graph="g", tenants=3, queries_per_tenant=4, seed=42)
+
+
+@pytest.fixture()
+def system():
+    return SystemConfig(num_dpus=NUM_DPUS)
+
+
+@pytest.fixture()
+def wgraph():
+    return random_graph(n=120, avg_degree=5.0, seed=3, weights="random")
+
+
+def serve_burst(system, wgraph, *, fault_plan=None, config=BURST,
+                **service_kwargs):
+    service = GraphService(system, NUM_DPUS, **service_kwargs)
+    service.add_graph("g", wgraph, fault_plan=fault_plan)
+
+    async def scenario():
+        async with service:
+            return await run_load(service, config)
+
+    report, results = asyncio.run(scenario())
+    return service, report, results
+
+
+def assert_completed_bit_identical(results, reference_results):
+    """Every completed answer equals the fault-free run's, byte-for-byte."""
+    compared = 0
+    for got, want in zip(results, reference_results):
+        # same seeded workload => same request stream, position by position
+        assert (got.tenant, got.algorithm) == (want.tenant, want.algorithm)
+        if got.status is not QueryStatus.COMPLETED:
+            continue
+        assert want.status is QueryStatus.COMPLETED
+        assert got.values.tobytes() == want.values.tobytes(), (
+            f"wrong answer under faults: request #{got.request_id} "
+            f"({got.algorithm})"
+        )
+        compared += 1
+    return compared
+
+
+class TestRankKillMidBurst:
+    def test_degraded_mode_slo(self, system, wgraph):
+        _, reference_report, reference = serve_burst(system, wgraph)
+        assert reference_report.completed == reference_report.submitted
+        assert reference_report.degraded_completions == 0
+
+        service, report, results = serve_burst(
+            system, wgraph, fault_plan=RANK_KILL_PLAN
+        )
+
+        # the rank actually died...
+        fault_log = service.graph("g").driver_for("bfs").fault_log
+        assert fault_log is not None and fault_log.failed_ranks
+        assert service.graph("g").degraded
+
+        # ...and the service absorbed it: everything still answered,
+        # flagged degraded, and bit-identical to the fault-free run
+        assert report.accounted
+        assert report.completed == report.submitted
+        assert report.degraded_completions > 0
+        compared = assert_completed_bit_identical(results, reference)
+        assert compared == report.completed
+        assert service.slo_accounting_closes()
+
+    def test_machine_loss_fails_loudly_never_wrongly(self, system, wgraph):
+        _, _, reference = serve_burst(system, wgraph)
+        service, report, results = serve_burst(
+            system, wgraph,
+            fault_plan=MACHINE_LOSS_PLAN,
+            retry=RetryPolicy(max_attempts=3, backoff_base_s=1e-5),
+        )
+
+        # both ranks die: a tail of queries must FAIL (or shed on the
+        # tripped breaker) -- but no completed answer may be wrong
+        assert report.accounted
+        assert report.failed + report.shed > 0
+        assert report.completed < report.submitted
+        assert_completed_bit_identical(results, reference)
+        failures = [r for r in results if r.status is QueryStatus.FAILED]
+        assert all(r.reason == "retries-exhausted" for r in failures)
+        breaker = service.graph("g").breaker
+        assert breaker.trips >= 1
+        assert service.slo_accounting_closes()
+
+
+class TestTornCheckpointOnResume:
+    def test_corrupt_newest_record_resume_bit_identical(
+        self, system, wgraph
+    ):
+        sources = [0, 7, 23, 64]
+        clean = batched_bfs(
+            BatchedSpmmDriver(wgraph, system, NUM_DPUS), sources
+        )
+
+        store = MemoryCheckpointStore()
+        schedule = CrashSchedule(crash_iterations=[2])
+        config = CheckpointConfig(
+            store=store, resume=True, crash_schedule=schedule
+        )
+        with pytest.raises(SimulatedCrash):
+            batched_bfs(
+                BatchedSpmmDriver(wgraph, system, NUM_DPUS),
+                sources, checkpoint=config,
+            )
+        assert len(store) >= 2  # levels 0 and 1 committed before death
+
+        # storage lost the newest record's integrity across the "reboot"
+        store.corrupt(store.sequence_numbers()[-1])
+
+        resumed = batched_bfs(
+            BatchedSpmmDriver(wgraph, system, NUM_DPUS),
+            sources, checkpoint=config,
+        )
+        assert resumed.values.tobytes() == clean.values.tobytes()
+        assert resumed.checkpoint["resumed_from_iteration"] is not None
+        # the corrupt record was skipped: resume point predates the crash
+        assert resumed.checkpoint["resumed_from_iteration"] < 2
+
+    def test_torn_write_skipped_on_resume(self, system, wgraph):
+        sources = [0, 7, 23]
+        clean = batched_bfs(
+            BatchedSpmmDriver(wgraph, system, NUM_DPUS), sources
+        )
+
+        store = MemoryCheckpointStore()
+        schedule = CrashSchedule(torn_write_records=[1])
+        config = CheckpointConfig(
+            store=store, resume=True, crash_schedule=schedule
+        )
+        with pytest.raises(SimulatedCrash):
+            batched_bfs(
+                BatchedSpmmDriver(wgraph, system, NUM_DPUS),
+                sources, checkpoint=config,
+            )
+
+        resumed = batched_bfs(
+            BatchedSpmmDriver(wgraph, system, NUM_DPUS),
+            sources, checkpoint=config,
+        )
+        assert resumed.values.tobytes() == clean.values.tobytes()
+        assert resumed.checkpoint["resumed_from_iteration"] is not None
+
+
+class TestDeadlineStorm:
+    def test_storm_sheds_on_time_never_wrongly(self, system, wgraph):
+        _, _, reference = serve_burst(system, wgraph)
+        service, report, results = serve_burst(
+            system, wgraph,
+            config=LoadgenConfig(
+                graph="g", tenants=3, queries_per_tenant=4, seed=42,
+                deadline_s=1e-5,
+            ),
+        )
+        assert report.accounted
+        assert report.deadline > 0
+        for result in results:
+            if result.status is QueryStatus.DEADLINE:
+                assert result.reason in (
+                    "admission", "dequeue", "iteration"
+                )
+                assert result.values is None
+        assert_completed_bit_identical(results, reference)
+        assert service.slo_accounting_closes()
+
+
+class TestSeededSoak:
+    """CI seed sweep: any fault seed, the invariants must hold.
+
+    Unlike the pinned-seed tests above, this one makes no claim about
+    *which* queries survive — only the universal SLO contract: every
+    query accounted, every completed answer bit-identical to fault-free.
+    ``REPRO_SERVING_CHAOS_SEED`` selects the fault schedule.
+    """
+
+    def test_env_seeded_fault_soak(self, system, wgraph):
+        seed = int(os.environ.get("REPRO_SERVING_CHAOS_SEED", "0"))
+        _, _, reference = serve_burst(system, wgraph)
+        service, report, results = serve_burst(
+            system, wgraph,
+            fault_plan=RANK_KILL_PLAN.with_seed(seed),
+            retry=RetryPolicy(max_attempts=3, backoff_base_s=1e-5),
+        )
+        assert report.accounted
+        assert_completed_bit_identical(results, reference)
+        assert service.slo_accounting_closes()
+
+
+class TestQuotaStorm:
+    def test_exhausted_tenants_shed_cleanly(self, system, wgraph):
+        service, report, results = serve_burst(
+            system, wgraph,
+            default_tenant=TenantConfig(rate=0.0, burst=1.0),
+        )
+        assert report.accounted
+        # each of the 3 tenants gets exactly its burst allowance
+        assert report.completed == BURST.tenants
+        assert report.shed == report.submitted - BURST.tenants
+        assert all(
+            r.reason == "quota"
+            for r in results if r.status is QueryStatus.SHED
+        )
+        assert service.counters["shed_quota"] == report.shed
+        assert service.slo_accounting_closes()
