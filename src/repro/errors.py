@@ -98,8 +98,10 @@ class RejectedError(ServingError):
     ``reason`` is one of ``"quota"`` (the tenant's token bucket is
     empty), ``"queue-full"`` (the bounded admission queue is at
     capacity), ``"graph-not-resident"`` (the request names a graph the
-    service does not hold), or ``"circuit-open"`` (the target graph's
-    circuit breaker is open after a failure streak).
+    service does not hold), ``"invalid-source"`` (a single-source query
+    without a source vertex, or one outside the graph), or
+    ``"circuit-open"`` (the target graph's circuit breaker is open
+    after a failure streak).
     """
 
     def __init__(self, reason: str, message: str) -> None:

@@ -57,10 +57,16 @@ class AdmissionController:
     def admit(self, tenant: str, queue_depth: int, now: float) -> None:
         """Raise :class:`RejectedError` unless the request may enqueue.
 
-        Check order matters for the error a client sees: quota first
-        (per-tenant, actionable by the tenant), then global queue depth
-        (actionable by the operator).
+        Check order matters: the global queue-depth gate runs *before*
+        the token bucket, so a request shed as ``queue-full`` (the
+        operator's problem) does not also burn the tenant's quota —
+        otherwise an overloaded service double-penalizes every tenant.
         """
+        if queue_depth >= self.queue_capacity:
+            raise RejectedError(
+                "queue-full",
+                f"admission queue at capacity ({self.queue_capacity})",
+            )
         bucket = self._buckets.get(tenant)
         if bucket is None:
             config = self._tenant_configs.get(tenant, self.default_tenant)
@@ -70,9 +76,4 @@ class AdmissionController:
                 "quota",
                 f"tenant {tenant!r} exceeded its admission quota "
                 f"({bucket.rate:g} qps, burst {bucket.burst:g})",
-            )
-        if queue_depth >= self.queue_capacity:
-            raise RejectedError(
-                "queue-full",
-                f"admission queue at capacity ({self.queue_capacity})",
             )

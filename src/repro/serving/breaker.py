@@ -27,6 +27,7 @@ class CircuitBreaker:
         self.state = self.CLOSED
         self.failure_streak = 0
         self.opened_at = 0.0
+        self.probe_at = 0.0
         self.trips = 0
 
     def allow(self, now: float) -> bool:
@@ -36,10 +37,29 @@ class CircuitBreaker:
         if self.state == self.OPEN:
             if now - self.opened_at >= self.cooldown_s:
                 self.state = self.HALF_OPEN
+                self.probe_at = now
                 return True  # the probe
             return False
-        # HALF_OPEN: one probe in flight is enough; hold the rest back
+        # HALF_OPEN: one probe in flight is enough; hold the rest back.
+        # But a probe can vanish after admission without reaching
+        # on_success/on_failure (shed by quota or queue depth, expired
+        # at dequeue) — after a further cooldown a replacement probe is
+        # issued so the breaker never wedges rejecting forever.
+        if now - self.probe_at >= self.cooldown_s:
+            self.probe_at = now
+            return True
         return False
+
+    def on_probe_lost(self, now: float) -> None:
+        """The in-flight probe was shed before running: re-open.
+
+        A shed probe says nothing about the graph's health, so the
+        streak and trip count are untouched — the breaker just goes
+        back to cooling down from ``now``.
+        """
+        if self.state == self.HALF_OPEN:
+            self.state = self.OPEN
+            self.opened_at = now
 
     def on_success(self) -> None:
         self.failure_streak = 0

@@ -83,8 +83,10 @@ class QueryResult:
     algorithm: str
     status: QueryStatus
     #: admission-rejection reason ("quota" / "queue-full" /
-    #: "graph-not-resident" / "circuit-open") or deadline stage
-    #: ("admission" / "dequeue" / "iteration"); empty when completed.
+    #: "graph-not-resident" / "invalid-source" / "circuit-open"),
+    #: deadline stage ("admission" / "dequeue" / "iteration"), or a
+    #: failure cause ("retries-exhausted" / "internal-error: ...");
+    #: empty when completed.
     reason: str = ""
     values: Optional[np.ndarray] = None
     #: wall-clock seconds from submission to resolution (service clock).

@@ -9,8 +9,9 @@ of source-free analytics (pagerank / cc) collapse into one shared run.
 
 The robustness ladder a request climbs:
 
-1. **admission** — resident-graph check, circuit breaker, deadline,
-   tenant quota, bounded queue (:class:`AdmissionController`);
+1. **admission** — resident-graph + source-vertex validation, circuit
+   breaker, deadline, then bounded queue *before* tenant quota (a
+   queue-full shed must not burn quota; :class:`AdmissionController`);
 2. **dequeue** — expired requests are cancelled before any kernel runs;
 3. **execution** — between iterations the deadline watchdog cancels
    expired batch columns; transient faults retry with backoff (hedged
@@ -288,14 +289,17 @@ class GraphService:
         """Admit (or shed) a request; returns the future of its result.
 
         Raises :class:`RejectedError` (reason = "graph-not-resident" /
-        "circuit-open" / "quota" / "queue-full") or
+        "invalid-source" / "circuit-open" / "quota" / "queue-full") or
         :class:`DeadlineExceededError` when the request is shed at
-        admission — nothing is queued in that case.
+        admission — nothing is queued in that case.  An unknown
+        algorithm is a caller bug, not load: it raises
+        :class:`ReproError` before anything is counted, so the SLO
+        arithmetic never sees the request.
         """
-        now = self.clock()
-        self._count("submitted")
         if request.algorithm not in ALGORITHMS:
             raise ReproError(f"unknown algorithm {request.algorithm!r}")
+        now = self.clock()
+        self._count("submitted")
         graph = self._graphs.get(request.graph)
         if graph is None:
             self._count("shed_graph_not_resident")
@@ -304,6 +308,16 @@ class GraphService:
                 f"graph {request.graph!r} is not resident "
                 f"(loaded: {sorted(self._graphs)})",
             )
+        if request.algorithm in FUSABLE_ALGORITHMS:
+            source = request.source
+            if source is None or not 0 <= source < graph.matrix.nrows:
+                self._count("shed_invalid_source")
+                raise RejectedError(
+                    "invalid-source",
+                    f"{request.algorithm} request {request.request_id} "
+                    f"needs a source vertex in [0, {graph.matrix.nrows}) "
+                    f"(got {source!r})",
+                )
         if not graph.breaker.allow(now):
             self._count("shed_circuit_open")
             raise RejectedError(
@@ -311,7 +325,13 @@ class GraphService:
                 f"graph {request.graph!r} circuit breaker is open "
                 f"(streak {graph.breaker.failure_streak})",
             )
+        # after a True allow(), HALF_OPEN means THIS request is the
+        # breaker's probe — if a later gate sheds it, the breaker must
+        # hear, or it would wait forever for a verdict that never comes
+        probe = graph.breaker.state == CircuitBreaker.HALF_OPEN
         if request.deadline_s is not None and request.deadline_s <= 0:
+            if probe:
+                graph.breaker.on_probe_lost(now)
             self._count("deadline_admission")
             raise DeadlineExceededError(
                 f"request {request.request_id} arrived with an expired "
@@ -320,6 +340,8 @@ class GraphService:
         try:
             self.admission.admit(request.tenant, len(self._queue), now)
         except RejectedError as exc:
+            if probe:
+                graph.breaker.on_probe_lost(now)
             self._count(f"shed_{exc.reason.replace('-', '_')}")
             raise
         self._count("admitted")
@@ -373,11 +395,37 @@ class GraphService:
             while self._queue:
                 batch = self._take_batch()
                 if batch:
-                    await self._execute_batch(batch)
+                    try:
+                        await self._execute_batch(batch)
+                    except Exception as exc:  # noqa: BLE001
+                        # the dispatcher is the single consumer for
+                        # every tenant — if it dies, every queued
+                        # future hangs forever.  Whatever escapes the
+                        # retry/deadline handling fails THIS batch,
+                        # loudly, and the loop keeps draining.
+                        self._fail_batch(batch, exc)
                 # let submitters observe resolved futures promptly
                 await asyncio.sleep(0)
             if self._closed:
                 return
+
+    def _fail_batch(self, batch: List[_Pending], exc: Exception) -> None:
+        """Resolve a batch as FAILED after an unexpected executor error."""
+        now = self.clock()
+        self._count("internal_errors")
+        graph = self._graphs.get(batch[0].request.graph)
+        if graph is not None:
+            graph.breaker.on_failure(now)
+        for pending in batch:
+            self._resolve(pending, QueryResult(
+                request_id=pending.request.request_id,
+                tenant=pending.request.tenant,
+                graph=pending.request.graph,
+                algorithm=pending.request.algorithm,
+                status=QueryStatus.FAILED,
+                reason=f"internal-error: {type(exc).__name__}",
+                latency_s=now - pending.submitted_at,
+            ))
 
     def _take_batch(self) -> List[_Pending]:
         """Pop the head-of-line request plus every fusable companion.

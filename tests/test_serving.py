@@ -19,8 +19,14 @@ from repro.algorithms.bfs import bfs
 from repro.algorithms.pagerank import pagerank
 from repro.algorithms.ppr import normalize_columns, ppr
 from repro.algorithms.sssp import sssp
-from repro.errors import DeadlineExceededError, DpuFaultError, RejectedError
+from repro.errors import (
+    DeadlineExceededError,
+    DpuFaultError,
+    RejectedError,
+    ReproError,
+)
 from repro.serving import (
+    AdmissionController,
     CircuitBreaker,
     GraphService,
     LoadgenConfig,
@@ -96,6 +102,19 @@ class TestTokenBucket:
         assert not bucket.try_acquire(10.0)
 
 
+class TestAdmissionController:
+    def test_queue_full_does_not_consume_quota(self):
+        controller = AdmissionController(1, TenantConfig(rate=0.0, burst=1.0))
+        with pytest.raises(RejectedError) as info:
+            controller.admit("t", queue_depth=1, now=0.0)
+        assert info.value.reason == "queue-full"
+        # the overload shed did not burn the tenant's only token
+        controller.admit("t", queue_depth=0, now=0.0)
+        with pytest.raises(RejectedError) as info:
+            controller.admit("t", queue_depth=0, now=0.0)
+        assert info.value.reason == "quota"
+
+
 class TestCircuitBreaker:
     def test_trips_after_streak_and_half_opens(self):
         breaker = CircuitBreaker(failure_threshold=2, cooldown_s=1.0)
@@ -119,6 +138,28 @@ class TestCircuitBreaker:
         breaker.on_failure(2.0)
         assert breaker.state == CircuitBreaker.OPEN
         assert not breaker.allow(2.5)
+
+    def test_lost_probe_reopens_with_fresh_cooldown(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=1.0)
+        breaker.on_failure(0.0)
+        assert breaker.allow(1.5)  # probe admitted...
+        breaker.on_probe_lost(1.5)  # ...then shed before running
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.trips == 1  # a shed probe is not a trip
+        assert not breaker.allow(2.0)  # fresh cooldown from 1.5
+        assert breaker.allow(2.6)  # next probe
+
+    def test_stale_probe_replaced_after_cooldown(self):
+        # a probe that expires at dequeue never reports back; the
+        # breaker must not reject forever waiting for its verdict
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=1.0)
+        breaker.on_failure(0.0)
+        assert breaker.allow(1.0)  # probe vanishes silently
+        assert not breaker.allow(1.5)
+        assert breaker.allow(2.5)  # replacement probe
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        breaker.on_success()
+        assert breaker.state == CircuitBreaker.CLOSED
 
 
 # -- batched fusion engine ----------------------------------------------------
@@ -491,6 +532,127 @@ class TestRetriesAndBreaker:
         assert probe.status is QueryStatus.FAILED  # probe admitted, ran
         assert service.counters["shed_circuit_open"] == 1
         assert service.graph("g").breaker.state == CircuitBreaker.OPEN
+        assert service.slo_accounting_closes()
+
+
+# -- service: malformed requests must never kill the dispatcher ---------------
+
+class TestDispatcherResilience:
+    """Malformed or unlucky requests shed or fail loudly — the single
+    dispatcher task survives, so other tenants' futures always resolve."""
+
+    def test_missing_or_out_of_range_source_sheds(self, system, wgraph):
+        service = make_service(system, wgraph)
+
+        async def scenario():
+            async with service:
+                missing = await service.submit_outcome(QueryRequest(
+                    tenant="t", graph="g", algorithm="bfs",
+                ))
+                oob = await service.submit_outcome(QueryRequest(
+                    tenant="t", graph="g", algorithm="sssp",
+                    source=wgraph.nrows,
+                ))
+                good = await service.submit_outcome(QueryRequest(
+                    tenant="t", graph="g", algorithm="bfs", source=0,
+                ))
+            return missing, oob, good
+
+        missing, oob, good = run_async(scenario())
+        for shed in (missing, oob):
+            assert shed.status is QueryStatus.SHED
+            assert shed.reason == "invalid-source"
+        assert good.status is QueryStatus.COMPLETED  # dispatcher alive
+        assert service.counters["shed_invalid_source"] == 2
+        assert service.slo_accounting_closes()
+
+    def test_unknown_algorithm_is_uncounted_caller_error(
+        self, system, wgraph
+    ):
+        service = make_service(system, wgraph)
+
+        async def scenario():
+            async with service:
+                with pytest.raises(ReproError, match="unknown algorithm"):
+                    service.submit_nowait(QueryRequest(
+                        tenant="t", graph="g", algorithm="katz", source=0,
+                    ))
+
+        run_async(scenario())
+        assert service.counters["submitted"] == 0
+        assert service.slo_accounting_closes()
+
+    def test_unexpected_executor_error_fails_batch_not_dispatcher(
+        self, system, wgraph
+    ):
+        service = make_service(system, wgraph)
+        real = service._run_batch
+        boom = {"left": 1}
+
+        def broken(graph, batch, retries):
+            if boom["left"]:
+                boom["left"] -= 1
+                raise ReproError("injected non-transient executor bug")
+            return real(graph, batch, retries)
+
+        service._run_batch = broken
+
+        async def scenario():
+            async with service:
+                first = await service.submit_outcome(QueryRequest(
+                    tenant="t", graph="g", algorithm="bfs", source=0,
+                ))
+                second = await service.submit_outcome(QueryRequest(
+                    tenant="t", graph="g", algorithm="bfs", source=1,
+                ))
+            return first, second
+
+        first, second = run_async(scenario())
+        assert first.status is QueryStatus.FAILED
+        assert first.reason == "internal-error: ReproError"
+        assert second.status is QueryStatus.COMPLETED  # loop kept draining
+        assert service.counters["internal_errors"] == 1
+        assert service.slo_accounting_closes()
+
+    def test_probe_shed_by_quota_reopens_breaker(self, system, wgraph):
+        clock = FakeClock()
+        service = make_service(
+            system, wgraph, clock=clock,
+            retry=RetryPolicy(max_attempts=1, backoff_base_s=1e-6),
+            breaker_factory=lambda: CircuitBreaker(
+                failure_threshold=1, cooldown_s=10.0
+            ),
+        )
+        service.admission.configure_tenant(
+            "t", TenantConfig(rate=0.0, burst=1.0)
+        )
+        service._run_batch = lambda graph, batch, retries: (
+            (_ for _ in ()).throw(DpuFaultError("injected"))
+        )
+
+        async def scenario():
+            async with service:
+                first = await service.submit_outcome(QueryRequest(
+                    tenant="t", graph="g", algorithm="bfs", source=0,
+                ))  # burns the only token, trips the breaker
+                clock.advance(60.0)
+                probe = await service.submit_outcome(QueryRequest(
+                    tenant="t", graph="g", algorithm="bfs", source=1,
+                ))  # admitted as the probe, then shed by quota
+                behind = await service.submit_outcome(QueryRequest(
+                    tenant="t", graph="g", algorithm="bfs", source=2,
+                ))  # breaker re-opened, not wedged half-open
+            return first, probe, behind
+
+        first, probe, behind = run_async(scenario())
+        assert first.status is QueryStatus.FAILED
+        assert probe.status is QueryStatus.SHED
+        assert probe.reason == "quota"
+        assert behind.status is QueryStatus.SHED
+        assert behind.reason == "circuit-open"
+        breaker = service.graph("g").breaker
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.opened_at == 60.0  # fresh cooldown from the shed
         assert service.slo_accounting_closes()
 
 
