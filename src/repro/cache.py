@@ -215,6 +215,41 @@ class PlanCache:
         self._full.store(full_key, plan)
         return plan
 
+    def donor_entries(self, structure: str):
+        """Cached plans for one sparsity structure, newest first.
+
+        Returns ``[((strategy, num_dpus, fmt), plan), ...]`` — everything
+        this cache knows how to build for a matrix with that structure
+        digest.  Used by ``repro.dynamic.compaction.recycle_plans`` to
+        enumerate which plans a freshly compacted snapshot should be
+        re-seeded with.
+        """
+        return [
+            (key[1:], plan)
+            for key, plan in reversed(list(self._structural.items()))
+            if key[0] == structure
+        ]
+
+    def seed(
+        self,
+        matrix: SparseMatrix,
+        strategy: str,
+        num_dpus: int,
+        fmt: str,
+        plan: PartitionPlan,
+    ) -> None:
+        """Pre-populate the cache with an externally built plan.
+
+        Stores under both the structural and the full key for this
+        matrix, so the next :meth:`get` is a *full* hit.  Seeding is not
+        counted as a hit or miss — only subsequent lookups move the
+        counters.
+        """
+        structure, values = matrix_fingerprint(matrix)
+        base_key = (strategy, num_dpus, fmt)
+        self._structural.store((structure,) + base_key, plan)
+        self._full.store((structure, values) + base_key, plan)
+
     def clear(self) -> None:
         self._full.clear()
         self._structural.clear()

@@ -177,6 +177,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from .serving.cli import serving_main
 
         return serving_main(argv)
+    if argv and argv[0] == "mutate":
+        from .dynamic.cli import mutate_main
+
+        return mutate_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
 

@@ -1,0 +1,32 @@
+"""Mutable resident graphs: batched edge churn + incremental repair.
+
+The static pipeline treats every graph as a one-shot input; this package
+makes a resident graph *writable* while keeping the economics that make
+PIM serving viable: partitions stay resident, plan/kernel caches stay
+warm across mutations, and queries between compactions are answered
+against a CSR-tile + delta overlay snapshot.
+
+* :class:`MutableGraph` — delta-overlay mutable graph over the canonical
+  COO matrix (batched inserts/deletes, threshold compaction, plan
+  recycling through the PR 6 fixed-bounds replanner).
+* :func:`bfs_repair` / :func:`cc_repair` / :func:`delta_ppr` —
+  incremental algorithm variants returning the same
+  :class:`~repro.algorithms.base.AlgorithmRun` type as the full runs.
+
+See ``docs/DYNAMIC.md`` for the overlay/compaction design and the
+incremental-vs-full equivalence guarantees.
+"""
+
+from .incremental import bfs_repair, cc_repair, delta_ppr, DELTA_PPR_TOL_FACTOR
+from .mutable import EdgeBatch, MutableGraph, MutationReport, random_edge_batch
+
+__all__ = [
+    "EdgeBatch",
+    "MutableGraph",
+    "MutationReport",
+    "random_edge_batch",
+    "bfs_repair",
+    "cc_repair",
+    "delta_ppr",
+    "DELTA_PPR_TOL_FACTOR",
+]

@@ -1,0 +1,110 @@
+"""Plan recycling across mutable-graph snapshots.
+
+Every fresh :meth:`~repro.dynamic.mutable.MutableGraph.snapshot` has a new
+sparsity structure, so the global :data:`~repro.cache.PLAN_CACHE` would
+miss and replan from scratch on the next query — exactly the preparation
+cost the cache exists to amortize (PR 2).  This module closes the gap: it
+enumerates every plan the cache holds for the *previous* snapshot's
+structure and re-buckets the new matrix onto the donor plan's existing
+band/tile boundaries, seeding the cache under the new structure digest.
+
+Re-bucketing skips the nnz-balancing pass (the expensive, structure-
+dependent part of planning) and keeps the partition geometry stable, so
+downstream shard schedules and vector segmentations are unchanged.  The
+trade-off is that boundaries chosen for the old sparsity pattern drift
+out of balance as the graph churns; a cache eviction or an explicit
+:func:`~repro.cache.clear_caches` restores balanced planning.
+
+``coo-nnz`` plans are the exception: their chunk boundaries are
+*positional* in the element stream, so donor boundaries are meaningless
+for a matrix with different nnz — those are rebuilt fresh (still cheap:
+even splits, no balancing scan).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..cache import PLAN_CACHE, matrix_fingerprint
+from ..observability import runtime as _obs
+from ..partition.base import PartitionPlan
+from ..partition.strategies import (
+    _grid_plan,
+    colwise_with_bounds,
+    coo_nnz,
+    rowwise_with_bounds,
+)
+from ..sparse.base import SparseMatrix
+from ..sparse.coo import COOMatrix
+
+
+def replan_like(
+    donor_plan: PartitionPlan,
+    coo: COOMatrix,
+    num_dpus: int,
+    strategy: str,
+    fmt: str,
+) -> Optional[PartitionPlan]:
+    """Partition ``coo`` with ``donor_plan``'s geometry.
+
+    ``strategy``/``fmt`` are the plan-cache key components (short
+    strategy names: ``rowwise``/``colwise``/``grid2d``/``dcoo``/
+    ``coo-nnz``).  Returns ``None`` for strategies this module does not
+    know how to recycle.
+    """
+    if strategy == "rowwise":
+        return rowwise_with_bounds(coo, donor_plan.row_bounds, fmt)
+    if strategy == "colwise":
+        return colwise_with_bounds(coo, donor_plan.col_bounds, fmt)
+    if strategy in ("grid2d", "dcoo"):
+        name = "dcoo" if strategy == "dcoo" else f"grid2d-{fmt}"
+        return _grid_plan(
+            coo,
+            num_dpus,
+            fmt,
+            np.asarray(donor_plan.row_bounds, dtype=np.int64),
+            np.asarray(donor_plan.col_bounds, dtype=np.int64),
+            name,
+        )
+    if strategy == "coo-nnz":
+        return coo_nnz(coo, num_dpus)
+    return None
+
+
+def recycle_plans(
+    donor_matrix: Optional[SparseMatrix], matrix: SparseMatrix
+) -> int:
+    """Seed :data:`PLAN_CACHE` for ``matrix`` from ``donor_matrix``'s plans.
+
+    Called by :class:`~repro.dynamic.mutable.MutableGraph` whenever a new
+    snapshot materializes.  Returns the number of plans seeded.  A donor
+    entry that cannot be recycled (unknown strategy, or a pathological
+    bounds/shape mismatch) is skipped rather than failing the snapshot —
+    the worst case is a plain cache miss later.
+    """
+    if donor_matrix is None or donor_matrix is matrix:
+        return 0
+    donor_structure, _ = matrix_fingerprint(donor_matrix)
+    structure, _ = matrix_fingerprint(matrix)
+    if donor_structure == structure:
+        return 0
+    entries = PLAN_CACHE.donor_entries(donor_structure)
+    if not entries:
+        return 0
+    coo = matrix.to_coo()
+    seeded = 0
+    for (strategy, num_dpus, fmt), donor_plan in entries:
+        try:
+            plan = replan_like(donor_plan, coo, num_dpus, strategy, fmt)
+        except Exception:  # noqa: BLE001 — recycling is best-effort
+            continue
+        if plan is None:
+            continue
+        PLAN_CACHE.seed(coo, strategy, num_dpus, fmt, plan)
+        seeded += 1
+    session = _obs.ACTIVE
+    if seeded and session is not None and session.metrics is not None:
+        session.metrics.counter("dynamic.plans_recycled").inc(seeded)
+    return seeded

@@ -1,0 +1,506 @@
+"""Incremental repair of BFS / CC / PPR answers after a churn batch.
+
+Each function takes the *new* graph snapshot plus the previous answer and
+returns the same :class:`~repro.algorithms.base.AlgorithmRun` type as the
+full algorithm — bit-identical values for BFS and CC, and within a
+documented tolerance for PPR — while restricting the PIM work to the
+region a batch actually touched:
+
+* :func:`bfs_repair` — a host-side *support cascade* invalidates every
+  vertex whose shortest-path tree was cut by a delete (processing
+  candidates in ascending old-level order, so each validity check sees
+  final verdicts for all shallower vertices), then frontier-restricted
+  (min, +) relaxation waves repair the invalidated region and absorb
+  inserted shortcut edges.  Levels are exact hop counts (small integers
+  in float64), so the result is bit-identical to a full re-run.
+* :func:`cc_repair` — inserts are pure host work: a union-find over the
+  previous component labels (minimum label wins, matching the full
+  algorithm's min-id convention) — zero matvecs.  Deletes reset labels
+  inside the *affected* components only and re-propagate there; the
+  affected set is closed under the new graph's edges (every new edge was
+  either an old edge or an insert, both of which connect vertices of one
+  post-insert component), so the restricted propagation is exact.
+* :func:`delta_ppr` — warm-starts the power iteration from the previous
+  rank vector.  The fixpoint map is a (1 - alpha) contraction in L1, so
+  stopping when a step moves less than ``tol`` leaves the answer within
+  ``tol * (1 - alpha) / alpha`` of the true fixpoint; incremental and
+  full runs therefore agree within
+  ``DELTA_PPR_TOL_FACTOR * tol * (1 - alpha) / alpha``
+  (~1.13e-5 at the default alpha=0.15, tol=1e-6 — the tolerance
+  ``tests/test_dynamic.py`` pins and ``docs/DYNAMIC.md`` tabulates).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..algorithms.base import (
+    AlgorithmRun,
+    FixedPolicy,
+    KernelPolicy,
+    MatvecDriver,
+    record_iteration,
+)
+from ..algorithms.cc import symmetrize_unweighted
+from ..algorithms.ppr import (
+    DEFAULT_ALPHA,
+    DEFAULT_MAX_ITERS,
+    DEFAULT_TOL,
+    normalize_columns,
+)
+from ..checkpoint.manager import CheckpointConfig, open_checkpoint
+from ..errors import ReproError
+from ..semiring import MIN_PLUS, PLUS_TIMES
+from ..semiring import engine as _engine
+from ..sparse.base import SparseMatrix
+from ..sparse.coo import COOMatrix
+from ..sparse.vector import SparseVector
+from ..types import DataType
+from ..upmem.config import SystemConfig
+from ..upmem.sharding import shard_mode_override
+from .mutable import EdgeBatch
+
+#: Incremental-vs-full PPR agreement bound, in units of
+#: ``tol * (1 - alpha) / alpha``: both runs stop within
+#: ``tol * (1 - alpha) / alpha`` of the shared fixpoint (contraction
+#: mapping residual bound), so they differ by at most twice that.
+DELTA_PPR_TOL_FACTOR = 2.0
+
+#: Same safety valve as ``repro.algorithms.bfs``.
+_MAX_LEVELS_FACTOR = 2
+
+
+def _unit_min_plus_matrix(matrix: SparseMatrix) -> COOMatrix:
+    """``matrix`` with every stored value forced to 1 (hop weights).
+
+    BFS repair relaxes hop distances with (min, +), which needs unit edge
+    weights.  The common case — a :meth:`COOMatrix.from_edges` adjacency —
+    already stores integer ones and is returned as-is (same object, warm
+    caches); anything else gets a values-only rebuild, which the plan
+    cache resolves as a structural hit.
+    """
+    coo = matrix.to_coo()
+    vals = coo.values
+    if vals.size == 0 or (vals.dtype.kind in "iu" and bool((vals == 1).all())):
+        return coo
+    return COOMatrix.from_sorted(
+        coo.rows, coo.cols, np.ones(vals.shape[0], dtype=np.int32), coo.shape
+    )
+
+
+def _support_cascade(
+    coo: COOMatrix, prev_levels: np.ndarray, batch: EdgeBatch
+) -> tuple:
+    """``(dist, invalid, pushes)`` after delete-driven invalidation.
+
+    A vertex ``v`` with old level ``L > 0`` keeps its level iff some
+    in-neighbor in the *new* matrix is still valid at level ``L - 1``.
+    Candidates are processed in ascending old-level order (a heap), so
+    every support check only reads verdicts that are already final:
+    invalidating ``v`` can only enqueue vertices at level ``L + 1``.
+    """
+    n = coo.nrows
+    csr = coo.to_csr()
+    csc = coo.to_csc()
+    prev = prev_levels
+    dist = np.where(prev >= 0, prev.astype(np.float64), np.inf)
+    invalid = np.zeros(n, dtype=bool)
+    heap = []
+    for u, v in batch.deletes.tolist():
+        lv = int(prev[v])
+        # only a deleted tree-capable edge (u one level above v) can cut
+        # v's support; deletes of absent edges fail the check harmlessly
+        if lv > 0 and prev[u] == lv - 1:
+            heapq.heappush(heap, (lv, v))
+    pushes = len(heap)
+    while heap:
+        lv, v = heapq.heappop(heap)
+        if invalid[v]:
+            continue
+        in_nbrs = csr.col_indices[csr.row_ptr[v]:csr.row_ptr[v + 1]]
+        if in_nbrs.size and bool(
+            ((~invalid[in_nbrs]) & (prev[in_nbrs] == lv - 1)).any()
+        ):
+            continue
+        invalid[v] = True
+        dist[v] = np.inf
+        out_nbrs = csc.row_indices[csc.col_ptr[v]:csc.col_ptr[v + 1]]
+        for t in out_nbrs[prev[out_nbrs] == lv + 1].tolist():
+            if not invalid[t]:
+                heapq.heappush(heap, (lv + 1, t))
+                pushes += 1
+    return dist, invalid, pushes
+
+
+def bfs_repair(
+    matrix: SparseMatrix,
+    source: int,
+    system: SystemConfig,
+    num_dpus: int,
+    *,
+    prev_levels: np.ndarray,
+    batch: EdgeBatch,
+    policy: Optional[KernelPolicy] = None,
+    driver: Optional[MatvecDriver] = None,
+    dataset: str = "",
+    fault_plan=None,
+    checkpoint: Optional[CheckpointConfig] = None,
+    shard_exec: Optional[str] = None,
+    iteration_hook: Optional[Callable[[int], None]] = None,
+) -> AlgorithmRun:
+    """Repair BFS levels after ``batch``; bit-identical to a full re-run.
+
+    ``matrix`` is the *post-batch* snapshot (pre-transposed adjacency,
+    as :func:`repro.algorithms.bfs.bfs` takes); ``prev_levels`` the
+    answer on the pre-batch graph from the same ``source``.  A shared
+    ``driver`` must be prepared on the unit-weight form of ``matrix``
+    (see :func:`_unit_min_plus_matrix`).
+    """
+    n = matrix.nrows
+    if not 0 <= source < n:
+        raise ReproError(f"source {source} out of range for {n} nodes")
+    prev = np.asarray(prev_levels, dtype=np.int64)
+    if prev.shape != (n,):
+        raise ReproError("prev_levels must have one entry per vertex")
+    unit = _unit_min_plus_matrix(matrix)
+    policy = policy or FixedPolicy("spmspv")
+    driver = driver or MatvecDriver(
+        unit, system, num_dpus, fault_plan=fault_plan
+    )
+    run = AlgorithmRun(
+        algorithm="bfs-repair", dataset=dataset, policy=policy.describe()
+    )
+    ck = open_checkpoint(
+        checkpoint, algorithm="bfs-repair", run=run, drivers=(driver,),
+        policy=policy,
+    )
+    max_iters = _MAX_LEVELS_FACTOR * n + 1
+
+    def body(snapshot):
+        state = ck.begin(snapshot)
+        results = ck.results
+        if state is None:
+            dist, invalid, pushes = _support_cascade(unit, prev, batch)
+            # seed frontier: settled vertices adjacent to the repair
+            # region — valid in-neighbors of invalidated vertices, plus
+            # tails of inserted edges that can offer a shortcut
+            frontier_mask = np.zeros(n, dtype=bool)
+            if invalid.any():
+                tails = unit.cols[invalid[unit.rows]]
+                frontier_mask[tails[np.isfinite(dist[tails])]] = True
+            if batch.num_inserts:
+                tails = batch.inserts[:, 0]
+                frontier_mask[tails[np.isfinite(dist[tails])]] = True
+            seeds = np.flatnonzero(frontier_mask)
+            run.repair_stats = {
+                "invalidated": int(invalid.sum()),
+                "cascade_pushes": pushes,
+                "seed_frontier": int(seeds.size),
+            }
+            frontier = SparseVector(seeds, dist[seeds], n)
+            iteration = 0
+        else:
+            dist = state["dist"]
+            frontier = SparseVector(
+                state["frontier_indices"], state["frontier_values"], n
+            )
+            iteration = int(state["iteration"])
+
+        while frontier.nnz > 0 and iteration < max_iters:
+            ck.crashpoint(iteration)
+            if iteration_hook is not None:
+                iteration_hook(iteration)
+            density = frontier.density
+            result = driver.step(frontier, MIN_PLUS, policy, iteration)
+            results.append(result)
+
+            candidates = result.output
+            improved_mask = candidates.values < dist[candidates.indices]
+            improved = candidates.indices[improved_mask]
+            dist[improved] = candidates.values[improved_mask]
+
+            record_iteration(
+                run,
+                iteration=iteration,
+                result=result,
+                density=density,
+                frontier_size=frontier.nnz,
+                convergence_elements=n,
+            )
+            frontier = SparseVector(improved, dist[improved], n)
+            iteration += 1
+            ck.commit(iteration - 1, lambda: {
+                "dist": dist,
+                "frontier_indices": frontier.indices,
+                "frontier_values": frontier.values,
+                "iteration": iteration,
+            })
+
+        run.values = np.where(np.isfinite(dist), dist, -1.0).astype(np.int64)
+        run.converged = frontier.nnz == 0
+        return driver.finalize(run, results, DataType.INT32)
+
+    with shard_mode_override(shard_exec):
+        return ck.execute(body)
+
+
+def _union_labels(labels: np.ndarray, inserts: np.ndarray) -> int:
+    """Merge component labels across inserted edges, in place.
+
+    Union-find over the *label values* (min root wins, preserving the
+    full algorithm's min-vertex-id convention).  Returns the number of
+    effective unions.
+    """
+    parent: dict = {}
+
+    def find(x: int) -> int:
+        root = x
+        while parent.get(root, root) != root:
+            root = parent[root]
+        while parent.get(x, x) != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    unions = 0
+    for u, v in inserts.tolist():
+        ra, rb = find(int(labels[u])), find(int(labels[v]))
+        if ra != rb:
+            parent[max(ra, rb)] = min(ra, rb)
+            unions += 1
+    if unions:
+        keys = np.fromiter(sorted(parent), dtype=np.int64)
+        roots = np.fromiter((find(int(k)) for k in keys), dtype=np.int64,
+                            count=keys.size)
+        pos = np.searchsorted(keys, labels)
+        pos_c = np.minimum(pos, keys.size - 1)
+        hit = keys[pos_c] == labels
+        labels[hit] = roots[pos_c[hit]]
+    return unions
+
+
+def cc_repair(
+    matrix: SparseMatrix,
+    system: SystemConfig,
+    num_dpus: int,
+    *,
+    prev_labels: np.ndarray,
+    batch: EdgeBatch,
+    propagation: Optional[COOMatrix] = None,
+    policy: Optional[KernelPolicy] = None,
+    driver: Optional[MatvecDriver] = None,
+    dataset: str = "",
+    fault_plan=None,
+    checkpoint: Optional[CheckpointConfig] = None,
+    shard_exec: Optional[str] = None,
+    iteration_hook: Optional[Callable[[int], None]] = None,
+) -> AlgorithmRun:
+    """Repair weakly-connected-component labels after ``batch``.
+
+    Bit-identical to :func:`repro.algorithms.cc.connected_components` on
+    the post-batch graph.  Inserts cost zero matvecs; deletes trigger a
+    label-propagation recompute restricted to the affected components.
+    Pass ``propagation`` (the symmetrized post-batch matrix) to reuse a
+    shared ``driver``'s partitioning.
+    """
+    n = matrix.nrows
+    if n == 0:
+        raise ReproError("cannot label an empty graph")
+    prev = np.asarray(prev_labels, dtype=np.int64)
+    if prev.shape != (n,):
+        raise ReproError("prev_labels must have one entry per vertex")
+    labels0 = prev.copy()
+    unions = _union_labels(labels0, batch.inserts) if batch.num_inserts else 0
+
+    # components touched by a delete must be recomputed from scratch —
+    # post-insert labels, so insert-rescued connectivity is respected
+    affected = np.unique(
+        labels0[batch.deletes.reshape(-1)]
+    ) if batch.num_deletes else np.empty(0, dtype=np.int64)
+    affected_mask = (
+        np.isin(labels0, affected) if affected.size
+        else np.zeros(n, dtype=bool)
+    )
+    seeds = np.flatnonzero(affected_mask)
+
+    prop = propagation if propagation is not None \
+        else symmetrize_unweighted(matrix)
+    policy = policy or FixedPolicy("spmspv")
+    driver = driver or MatvecDriver(
+        prop, system, num_dpus, fault_plan=fault_plan
+    )
+    run = AlgorithmRun(
+        algorithm="cc-repair", dataset=dataset, policy=policy.describe()
+    )
+    run.repair_stats = {
+        "unions": unions,
+        "affected_components": int(affected.size),
+        "affected_vertices": int(seeds.size),
+    }
+    ck = open_checkpoint(
+        checkpoint, algorithm="cc-repair", run=run, drivers=(driver,),
+        policy=policy,
+    )
+
+    def body(snapshot):
+        state = ck.begin(snapshot)
+        results = ck.results
+        if state is None:
+            labels = labels0.astype(np.float64)
+            # the affected region restarts from per-vertex labels; the
+            # affected set is closed under the new graph's edges, so
+            # propagation can neither leak out of it nor miss a merge
+            labels[seeds] = seeds
+            frontier = SparseVector(seeds, labels[seeds], n)
+            iteration = 0
+        else:
+            labels = state["labels"]
+            frontier = SparseVector(
+                state["frontier_indices"], state["frontier_values"], n
+            )
+            iteration = int(state["iteration"])
+
+        while frontier.nnz > 0 and iteration < n:
+            ck.crashpoint(iteration)
+            if iteration_hook is not None:
+                iteration_hook(iteration)
+            density = frontier.density
+            result = driver.step(frontier, MIN_PLUS, policy, iteration)
+            results.append(result)
+
+            candidates = result.output
+            improved_mask = candidates.values < labels[candidates.indices]
+            improved = candidates.indices[improved_mask]
+            labels[improved] = candidates.values[improved_mask]
+
+            record_iteration(
+                run,
+                iteration=iteration,
+                result=result,
+                density=density,
+                frontier_size=frontier.nnz,
+                convergence_elements=n,
+            )
+            frontier = SparseVector(improved, labels[improved], n)
+            iteration += 1
+            ck.commit(iteration - 1, lambda: {
+                "labels": labels,
+                "frontier_indices": frontier.indices,
+                "frontier_values": frontier.values,
+                "iteration": iteration,
+            })
+
+        run.values = labels.astype(np.int64)
+        run.converged = frontier.nnz == 0
+        return driver.finalize(run, results, DataType.INT32)
+
+    with shard_mode_override(shard_exec):
+        return ck.execute(body)
+
+
+def delta_ppr(
+    matrix: SparseMatrix,
+    source: int,
+    system: SystemConfig,
+    num_dpus: int,
+    *,
+    prev_rank: np.ndarray,
+    alpha: float = DEFAULT_ALPHA,
+    tol: float = DEFAULT_TOL,
+    max_iters: int = DEFAULT_MAX_ITERS,
+    pre_normalized: bool = False,
+    policy: Optional[KernelPolicy] = None,
+    driver: Optional[MatvecDriver] = None,
+    dataset: str = "",
+    fault_plan=None,
+    checkpoint: Optional[CheckpointConfig] = None,
+    shard_exec: Optional[str] = None,
+    iteration_hook: Optional[Callable[[int], None]] = None,
+) -> AlgorithmRun:
+    """Personalized PageRank on the post-batch graph, warm-started.
+
+    Runs the same power iteration as :func:`repro.algorithms.ppr.ppr`
+    but from ``prev_rank`` instead of ``e_source`` — after a small batch
+    the old rank is near the new fixpoint and the contraction converges
+    in a handful of push rounds.  Agreement with a cold full run is
+    bounded by ``DELTA_PPR_TOL_FACTOR * tol * (1 - alpha) / alpha``.
+    """
+    n = matrix.nrows
+    if not 0 <= source < n:
+        raise ReproError(f"source {source} out of range for {n} nodes")
+    if not 0.0 < alpha < 1.0:
+        raise ReproError("alpha must lie strictly between 0 and 1")
+    prev = np.asarray(prev_rank, dtype=np.float64)
+    if prev.shape != (n,):
+        raise ReproError("prev_rank must have one entry per vertex")
+    norm = matrix if pre_normalized else normalize_columns(matrix)
+    policy = policy or FixedPolicy("spmspv")
+    driver = driver or MatvecDriver(
+        norm, system, num_dpus, fault_plan=fault_plan
+    )
+
+    coo = norm.to_coo()
+    out_strength = _engine.reduce_by_index(
+        PLUS_TIMES, coo.cols, coo.values.astype(np.float64), n
+    )
+    dangling = out_strength <= 0
+
+    run = AlgorithmRun(
+        algorithm="ppr-delta", dataset=dataset, policy=policy.describe()
+    )
+    ck = open_checkpoint(
+        checkpoint, algorithm="ppr-delta", run=run, drivers=(driver,),
+        policy=policy,
+    )
+
+    def body(snapshot):
+        state = ck.begin(snapshot)
+        results = ck.results
+        if state is None:
+            rank = prev.copy()
+            start = 0
+        else:
+            rank = state["rank"]
+            start = int(state["iteration"])
+        converged = False
+
+        for iteration in range(start, max_iters):
+            ck.crashpoint(iteration)
+            if iteration_hook is not None:
+                iteration_hook(iteration)
+            x = SparseVector.from_dense(rank.astype(np.float32), zero=0.0)
+            density = x.density
+            result = driver.step(x, PLUS_TIMES, policy, iteration)
+            results.append(result)
+
+            spread = result.output.to_dense(zero=0.0).astype(np.float64)
+            dangling_mass = float(rank[dangling].sum())
+            new_rank = (1.0 - alpha) * spread
+            new_rank[source] += alpha + (1.0 - alpha) * dangling_mass
+
+            delta = float(np.abs(new_rank - rank).sum())
+            record_iteration(
+                run,
+                iteration=iteration,
+                result=result,
+                density=density,
+                frontier_size=x.nnz,
+                convergence_elements=n,
+            )
+            rank = new_rank
+            if delta < tol:
+                converged = True
+                break
+            ck.commit(iteration, lambda: {
+                "rank": rank,
+                "iteration": iteration + 1,
+            })
+
+        run.values = rank
+        run.converged = converged
+        return driver.finalize(run, results, DataType.FLOAT32)
+
+    with shard_mode_override(shard_exec):
+        return ck.execute(body)

@@ -1,0 +1,467 @@
+"""Delta-overlay mutable graph over the resident partitioned matrix.
+
+The real-machine pattern this follows is PyGim's resident data
+structure: the partitioned matrix tiles live on the DPUs and are *not*
+rebuilt per update.  Batched edge churn lands in small host-side delta
+buffers (one per DPU row band on the simulated machine); queries run
+against an **overlay snapshot** — the canonical base COO merged with the
+pending deltas through the PR 1 trusted ``from_sorted`` fast path — and
+once the pending delta fraction crosses a threshold the overlay is
+**compacted** into a new base.  Both on snapshot and on compaction the
+partition plans of the previous structure are *recycled*: the new matrix
+is re-bucketed onto the donor plan's existing DPU bounds (no re-balancing
+pass) and seeded into the content-keyed :data:`~repro.cache.PLAN_CACHE`,
+so the serving layer's kernel preparation stays warm across writes.
+
+Key invariants:
+
+* every :meth:`MutableGraph.snapshot` is a canonical, immutable
+  :class:`~repro.sparse.coo.COOMatrix` — ``tobytes()``-identical to a
+  from-scratch rebuild of the same edge set (the churn-oracle property
+  ``tests/test_dynamic.py`` pins);
+* at **zero pending deltas** the snapshot *is* the base object, so the
+  content-keyed caches hit fully and an overlay query costs the same as
+  a static resident-graph query (the ≤10% overhead gate in
+  ``BENCH_PR8.json``);
+* readers hold plain object references: a snapshot taken before a write
+  is never mutated by it (snapshot isolation for in-flight queries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ReproError
+from ..observability import runtime as _obs
+from ..partition.balance import even_boundaries
+from ..sparse.base import SparseMatrix
+from ..sparse.coo import COOMatrix
+
+#: Bytes one delta element occupies in a per-DPU delta-COO buffer:
+#: (row, col) as int32 pair + value word + op/pad word, DMA-aligned.
+DELTA_ELEMENT_BYTES = 16
+
+#: Pending-delta fraction of the base nnz that triggers compaction.
+DEFAULT_COMPACT_THRESHOLD = 0.25
+
+
+def _pack(rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+    """Bijective 64-bit key whose ascending order is canonical row-major."""
+    return (rows.astype(np.int64) << 32) | cols.astype(np.int64)
+
+
+def _member(sorted_keys: np.ndarray, keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """``(mask, pos)``: which of ``keys`` occur in ``sorted_keys`` (sorted)."""
+    pos = np.searchsorted(sorted_keys, keys)
+    mask = pos < sorted_keys.size
+    if mask.any():
+        hit = np.flatnonzero(mask)
+        mask[hit] = sorted_keys[pos[hit]] == keys[hit]
+    return mask, pos
+
+
+def _merge_sorted(
+    keys_a: np.ndarray, vals_a: np.ndarray,
+    keys_b: np.ndarray, vals_b: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Merge two disjoint sorted (keys, values) streams, staying sorted."""
+    if keys_b.size == 0:
+        return keys_a, vals_a
+    if keys_a.size == 0:
+        return keys_b, vals_b
+    positions = np.searchsorted(keys_a, keys_b)
+    return (
+        np.insert(keys_a, positions, keys_b),
+        np.insert(vals_a, positions, vals_b),
+    )
+
+
+@dataclass(frozen=True)
+class EdgeBatch:
+    """One batched mutation: edge inserts then deletes, graph orientation.
+
+    Edges are ``(u, v)`` pairs in the :meth:`COOMatrix.from_edges`
+    convention (edge u->v stores ``A[v, u]``).  Within a batch the
+    inserts apply first and deletes second; a later insert of the same
+    edge wins (upsert).  ``insert_weights`` defaults to unit weight in
+    the base matrix's dtype.
+    """
+
+    inserts: np.ndarray
+    deletes: np.ndarray
+    insert_weights: Optional[np.ndarray] = None
+
+    @classmethod
+    def of(
+        cls,
+        inserts: Sequence[Tuple[int, int]] = (),
+        deletes: Sequence[Tuple[int, int]] = (),
+        weights=None,
+    ) -> "EdgeBatch":
+        """Build a batch from plain ``(u, v)`` pair sequences."""
+        ins = np.asarray(list(inserts), dtype=np.int64).reshape(-1, 2)
+        dels = np.asarray(list(deletes), dtype=np.int64).reshape(-1, 2)
+        w = None if weights is None else np.asarray(weights)
+        return cls(ins, dels, w)
+
+    @property
+    def num_inserts(self) -> int:
+        return int(self.inserts.shape[0])
+
+    @property
+    def num_deletes(self) -> int:
+        return int(self.deletes.shape[0])
+
+    @property
+    def num_edges(self) -> int:
+        return self.num_inserts + self.num_deletes
+
+    def __post_init__(self):
+        ins = np.asarray(self.inserts, dtype=np.int64).reshape(-1, 2)
+        dels = np.asarray(self.deletes, dtype=np.int64).reshape(-1, 2)
+        object.__setattr__(self, "inserts", ins)
+        object.__setattr__(self, "deletes", dels)
+        if self.insert_weights is not None:
+            w = np.asarray(self.insert_weights)
+            if w.shape[0] != ins.shape[0]:
+                raise ReproError(
+                    f"insert_weights length {w.shape[0]} does not match "
+                    f"{ins.shape[0]} inserts"
+                )
+            object.__setattr__(self, "insert_weights", w)
+
+
+def random_edge_batch(
+    rng: np.random.Generator,
+    num_nodes: int,
+    num_inserts: int = 8,
+    num_deletes: int = 4,
+    edge_pool: Optional[np.ndarray] = None,
+) -> EdgeBatch:
+    """A seeded random churn batch (loadgen / soak / CLI helper).
+
+    ``edge_pool`` (an ``(m, 2)`` array of existing edges) biases deletes
+    toward edges that actually exist; without it deletes are uniform
+    pairs and mostly no-ops on sparse graphs.
+    """
+    ins = rng.integers(0, num_nodes, size=(num_inserts, 2), dtype=np.int64)
+    if num_deletes and edge_pool is not None and len(edge_pool):
+        pick = rng.integers(0, len(edge_pool), size=num_deletes)
+        dels = np.asarray(edge_pool, dtype=np.int64)[pick]
+    else:
+        dels = rng.integers(0, num_nodes, size=(num_deletes, 2), dtype=np.int64)
+    return EdgeBatch(ins, dels)
+
+
+@dataclass
+class MutationReport:
+    """What one :meth:`MutableGraph.apply` call actually did."""
+
+    inserted: int = 0       #: new edges added
+    updated: int = 0        #: existing edges whose weight changed
+    deleted: int = 0        #: existing edges removed
+    noop_inserts: int = 0   #: inserts matching an existing edge + weight
+    noop_deletes: int = 0   #: deletes of absent edges
+    compacted: bool = False #: did this batch trigger a compaction
+    pending: int = 0        #: overlay delta elements after the batch
+    version: int = 0        #: graph version after the batch
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "inserted": self.inserted,
+            "updated": self.updated,
+            "deleted": self.deleted,
+            "noop_inserts": self.noop_inserts,
+            "noop_deletes": self.noop_deletes,
+            "compacted": self.compacted,
+            "pending": self.pending,
+            "version": self.version,
+        }
+
+
+class MutableGraph:
+    """A mutable resident graph: base COO + sorted delta overlay.
+
+    State is three sorted key sets over packed ``(row << 32) | col``
+    coordinates:
+
+    * ``base`` — the last compacted canonical matrix;
+    * ``del`` ⊆ base — base edges masked out by deletes;
+    * ``ins`` — edges added (or re-weighted) on top, disjoint from the
+      *surviving* base set (an upsert of a base edge masks the base copy
+      and carries the new value in ``ins``).
+
+    ``snapshot()`` materializes ``base − del + ins`` through one
+    mask-and-merge pass and the trusted ``from_sorted`` constructor; the
+    result is cached per version and bit-identical to a from-scratch
+    rebuild of the same edge set.
+    """
+
+    def __init__(
+        self,
+        matrix: SparseMatrix,
+        compact_threshold: float = DEFAULT_COMPACT_THRESHOLD,
+        name: str = "",
+    ) -> None:
+        if compact_threshold <= 0:
+            raise ReproError("compact_threshold must be positive")
+        self.name = name
+        self.compact_threshold = float(compact_threshold)
+        self._base = matrix.to_coo()
+        self._base_keys = _pack(self._base.rows, self._base.cols)
+        empty_keys = np.empty(0, dtype=np.int64)
+        self._ins_keys = empty_keys
+        self._ins_vals = np.empty(0, dtype=self._base.values.dtype)
+        self._del_keys = empty_keys.copy()
+        self._version = 0
+        self._snapshot: Optional[COOMatrix] = self._base
+        #: matrix whose cached plans the next snapshot recycles from
+        self._donor: COOMatrix = self._base
+        self.stats: Dict[str, int] = {
+            "batches": 0, "inserted": 0, "updated": 0, "deleted": 0,
+            "noop_inserts": 0, "noop_deletes": 0, "compactions": 0,
+            "snapshots_built": 0, "plans_recycled": 0,
+        }
+
+    # -- views ----------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return self._base.nrows
+
+    @property
+    def version(self) -> int:
+        """Bumped on every applied batch (and on explicit compaction)."""
+        return self._version
+
+    @property
+    def pending_deltas(self) -> int:
+        """Overlay elements not yet compacted into the base tiles."""
+        return int(self._ins_keys.size + self._del_keys.size)
+
+    @property
+    def delta_fraction(self) -> float:
+        return self.pending_deltas / max(self._base.nnz, 1)
+
+    @property
+    def nnz(self) -> int:
+        return self._base.nnz - int(self._del_keys.size) + int(self._ins_keys.size)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Is edge ``u -> v`` present in the effective graph?"""
+        key = np.asarray([(int(v) << 32) | int(u)], dtype=np.int64)
+        if _member(self._ins_keys, key)[0][0]:
+            return True
+        in_base = _member(self._base_keys, key)[0][0]
+        return bool(in_base and not _member(self._del_keys, key)[0][0])
+
+    def edge_array(self) -> np.ndarray:
+        """Effective ``(u, v)`` edge list (for loadgen delete pools)."""
+        snap = self.snapshot()
+        return np.column_stack((snap.cols, snap.rows))
+
+    # -- mutation -------------------------------------------------------------
+
+    def apply(self, batch: EdgeBatch) -> MutationReport:
+        """Apply one insert/delete batch; compacts past the threshold."""
+        report = MutationReport()
+        dtype = self._base.values.dtype
+        if batch.num_inserts:
+            keys = _pack(batch.inserts[:, 1], batch.inserts[:, 0])
+            coords = batch.inserts
+            bad = (coords < 0) | (coords >= self.num_nodes)
+            if bad.any():
+                raise ReproError(
+                    f"insert endpoint out of range for {self.num_nodes} nodes"
+                )
+            weights = (
+                np.ones(batch.num_inserts, dtype=dtype)
+                if batch.insert_weights is None
+                else batch.insert_weights.astype(dtype)
+            )
+            # within-batch upsert: later occurrence of a key wins
+            order = np.argsort(keys, kind="stable")
+            keys, weights = keys[order], weights[order]
+            last = np.ones(keys.shape[0], dtype=bool)
+            last[:-1] = keys[1:] != keys[:-1]
+            self._apply_inserts(keys[last], weights[last], report)
+        if batch.num_deletes:
+            coords = batch.deletes
+            bad = (coords < 0) | (coords >= self.num_nodes)
+            if bad.any():
+                raise ReproError(
+                    f"delete endpoint out of range for {self.num_nodes} nodes"
+                )
+            keys = np.unique(_pack(batch.deletes[:, 1], batch.deletes[:, 0]))
+            self._apply_deletes(keys, report)
+        self._version += 1
+        self._snapshot = None
+        self.stats["batches"] += 1
+        for key in ("inserted", "updated", "deleted",
+                    "noop_inserts", "noop_deletes"):
+            self.stats[key] += getattr(report, key)
+        self._count("batches")
+        self._count("inserted", report.inserted)
+        self._count("deleted", report.deleted)
+        if self.delta_fraction > self.compact_threshold:
+            self.compact()
+            report.compacted = True
+        report.pending = self.pending_deltas
+        report.version = self._version
+        return report
+
+    def _apply_inserts(
+        self, keys: np.ndarray, weights: np.ndarray, report: MutationReport
+    ) -> None:
+        in_ins, ins_pos = _member(self._ins_keys, keys)
+        if in_ins.any():
+            # re-weight pending inserts in place (values array is owned)
+            self._ins_vals = self._ins_vals.copy()
+            hit = np.flatnonzero(in_ins)
+            changed = self._ins_vals[ins_pos[hit]] != weights[hit]
+            self._ins_vals[ins_pos[hit]] = weights[hit]
+            report.updated += int(changed.sum())
+            report.noop_inserts += int((~changed).sum())
+        rest = ~in_ins
+        keys_r, weights_r = keys[rest], weights[rest]
+        in_base, base_pos = _member(self._base_keys, keys_r)
+        in_del, _ = _member(self._del_keys, keys_r)
+        # base edge, not deleted, same weight -> pure no-op
+        live_base = in_base & ~in_del
+        same = np.zeros(keys_r.shape[0], dtype=bool)
+        if live_base.any():
+            hit = np.flatnonzero(live_base)
+            same[hit] = self._base.values[base_pos[hit]] == weights_r[hit]
+        report.noop_inserts += int(same.sum())
+        # base edge, not deleted, new weight -> mask base copy + overlay
+        upsert = live_base & ~same
+        if upsert.any():
+            self._del_keys = _merge_sorted(
+                self._del_keys, self._del_keys, keys_r[upsert],
+                keys_r[upsert],
+            )[0]
+        report.updated += int(upsert.sum())
+        # everything else that is not a live identical base edge goes to ins:
+        # new edges, upserts, and re-inserts of deleted base edges (whose
+        # base copies stay masked)
+        add = ~live_base | upsert
+        report.inserted += int((add & ~in_base).sum())
+        report.inserted += int((add & in_base & in_del).sum())
+        if add.any():
+            self._ins_keys, self._ins_vals = _merge_sorted(
+                self._ins_keys, self._ins_vals, keys_r[add], weights_r[add]
+            )
+
+    def _apply_deletes(self, keys: np.ndarray, report: MutationReport) -> None:
+        in_ins, _ = _member(self._ins_keys, keys)
+        if in_ins.any():
+            # drop pending-overlay copies; masked base copies stay masked
+            drop_mask, _ = _member(keys[in_ins], self._ins_keys)
+            self._ins_keys = self._ins_keys[~drop_mask]
+            self._ins_vals = self._ins_vals[~drop_mask]
+        in_base, _ = _member(self._base_keys, keys)
+        in_del, _ = _member(self._del_keys, keys)
+        fresh = in_base & ~in_del
+        if fresh.any():
+            new_dels = keys[fresh]
+            self._del_keys = _merge_sorted(
+                self._del_keys, self._del_keys, new_dels, new_dels
+            )[0]
+        # a delete "lands" when it removed a live edge: either a base edge
+        # not previously masked, or a pending overlay insert
+        landed = fresh | in_ins
+        report.deleted += int(landed.sum())
+        report.noop_deletes += int((~landed).sum())
+        self._count("deleted_requested", int(keys.size))
+
+    # -- snapshot / compaction ------------------------------------------------
+
+    def snapshot(self) -> COOMatrix:
+        """The effective matrix at the current version (cached, immutable).
+
+        With zero pending deltas this returns the base object itself —
+        identical fingerprint, fully warm plan/kernel caches.
+        """
+        if self._snapshot is not None:
+            return self._snapshot
+        if self.pending_deltas == 0:
+            self._snapshot = self._base
+            return self._snapshot
+        keep = np.ones(self._base_keys.size, dtype=bool)
+        if self._del_keys.size:
+            mask, _ = _member(self._del_keys, self._base_keys)
+            keep = ~mask
+        kept_keys = self._base_keys[keep]
+        kept_vals = self._base.values[keep]
+        keys, vals = _merge_sorted(
+            kept_keys, kept_vals, self._ins_keys,
+            self._ins_vals.astype(self._base.values.dtype),
+        )
+        snap = COOMatrix.from_sorted(
+            keys >> np.int64(32), keys & np.int64(0xFFFFFFFF), vals,
+            self._base.shape,
+        )
+        self.stats["snapshots_built"] += 1
+        self._count("snapshots_built")
+        self._recycle_plans(snap)
+        self._snapshot = snap
+        return snap
+
+    def compact(self) -> None:
+        """Fold pending deltas into a new base (tile rebuild, plans warm)."""
+        snap = self.snapshot()
+        if snap is self._base:
+            return
+        self._base = snap
+        self._base_keys = _pack(snap.rows, snap.cols)
+        self._ins_keys = np.empty(0, dtype=np.int64)
+        self._ins_vals = np.empty(0, dtype=self._base.values.dtype)
+        self._del_keys = np.empty(0, dtype=np.int64)
+        self.stats["compactions"] += 1
+        self._count("compactions")
+
+    def _recycle_plans(self, snap: COOMatrix) -> None:
+        from .compaction import recycle_plans
+
+        recycled = recycle_plans(self._donor, snap)
+        self.stats["plans_recycled"] += recycled
+        if recycled:
+            self._count("plans_recycled", recycled)
+        self._donor = snap
+
+    # -- delta transfer layout ------------------------------------------------
+
+    def delta_layout(
+        self, batches: Sequence[EdgeBatch], num_dpus: int
+    ) -> np.ndarray:
+        """Per-DPU delta-buffer bytes for scattering ``batches``.
+
+        Delta elements ride to the DPU owning the target row band (even
+        bands — the resident tiles' row ownership); the serving layer
+        prices this through :class:`~repro.upmem.transfer.TransferModel`
+        and runs it through the fault injector like any other scatter.
+        """
+        if num_dpus <= 0:
+            raise ReproError("delta layout needs at least one DPU")
+        rows = [
+            np.concatenate((b.inserts[:, 1], b.deletes[:, 1]))
+            for b in batches if b.num_edges
+        ]
+        parts = min(num_dpus, max(self.num_nodes, 1))
+        if not rows:
+            return np.zeros(parts, dtype=np.int64)
+        target = np.concatenate(rows)
+        bounds = even_boundaries(self.num_nodes, parts)
+        dpu_of = np.searchsorted(bounds[1:-1], target, side="right")
+        counts = np.bincount(dpu_of, minlength=parts).astype(np.int64)
+        return counts * DELTA_ELEMENT_BYTES
+
+    # -- observability --------------------------------------------------------
+
+    def _count(self, name: str, value: int = 1) -> None:
+        session = _obs.ACTIVE
+        if session is not None and session.metrics is not None and value:
+            session.metrics.counter(f"dynamic.{name}").inc(value)

@@ -609,6 +609,7 @@ class FaultTolerantExecutor:
             DpuSet(dpus, transfer, injector=injector), plan
         )
         self._tile_bytes_cache: Dict[str, float] = {}
+        self._fallback_scheduler = None
         self.rounds = 0
 
     @property
@@ -652,9 +653,14 @@ class FaultTolerantExecutor:
             return timeline
         scheduler = getattr(kernel, "_shard_scheduler", None)
         if scheduler is None:
+            # one fallback scheduler per executor, so its reschedule
+            # memo survives across launches instead of dying with a
+            # throwaway instance
+            scheduler = self._fallback_scheduler
+        if scheduler is None:
             from ..upmem.host import ShardScheduler
 
-            scheduler = ShardScheduler(self.system)
+            scheduler = self._fallback_scheduler = ShardScheduler(self.system)
         return scheduler.reschedule(timeline, skipped)
 
     def run(self, kernel, x, semiring):

@@ -8,7 +8,15 @@ from .balance import (
     tasklet_element_shares,
 )
 from .base import LazyPartitions, Partition, PartitionPlan, ShardPlan
-from .strategies import colwise, coo_nnz, dcoo, grid2d, rowwise
+from .strategies import (
+    colwise,
+    colwise_with_bounds,
+    coo_nnz,
+    dcoo,
+    grid2d,
+    rowwise,
+    rowwise_with_bounds,
+)
 
 __all__ = [
     "LazyPartitions",
@@ -16,7 +24,9 @@ __all__ = [
     "PartitionPlan",
     "ShardPlan",
     "rowwise",
+    "rowwise_with_bounds",
     "colwise",
+    "colwise_with_bounds",
     "grid2d",
     "coo_nnz",
     "dcoo",

@@ -75,6 +75,27 @@ def rowwise(matrix: SparseMatrix, num_dpus: int, fmt: str = "csc") -> PartitionP
     coo = _check(matrix, num_dpus)
     parts = min(num_dpus, max(coo.nrows, 1))
     bounds = balanced_boundaries(coo.row_counts(), parts)
+    return _rowwise_plan(coo, bounds, fmt)
+
+
+def rowwise_with_bounds(
+    matrix: SparseMatrix, row_bounds: np.ndarray, fmt: str = "csc"
+) -> PartitionPlan:
+    """Row-band partitioning onto *fixed* band boundaries.
+
+    Skips the nnz-balancing pass and re-buckets this matrix's elements
+    onto a donor plan's bands — the replanning primitive behind
+    :func:`repro.dynamic.compaction.recycle_plans`.  Bands may drift out
+    of balance as the graph churns; a later balanced replan (plain
+    :func:`rowwise` after cache eviction) restores it.
+    """
+    _validate_fmt(fmt)
+    coo = _check(matrix, len(row_bounds) - 1)
+    return _rowwise_plan(coo, np.asarray(row_bounds, dtype=np.int64), fmt)
+
+
+def _rowwise_plan(coo: COOMatrix, bounds: np.ndarray, fmt: str) -> PartitionPlan:
+    parts = len(bounds) - 1
     dpu_of = np.searchsorted(bounds[1:-1], coo.rows, side="right")
     order, rows, cols, vals, counts, offsets = _bucketed_blocks(
         coo, dpu_of, parts
@@ -116,6 +137,23 @@ def colwise(matrix: SparseMatrix, num_dpus: int, fmt: str = "csc") -> PartitionP
     coo = _check(matrix, num_dpus)
     parts = min(num_dpus, max(coo.ncols, 1))
     bounds = balanced_boundaries(coo.col_counts(), parts)
+    return _colwise_plan(coo, bounds, fmt)
+
+
+def colwise_with_bounds(
+    matrix: SparseMatrix, col_bounds: np.ndarray, fmt: str = "csc"
+) -> PartitionPlan:
+    """Column-band partitioning onto *fixed* band boundaries.
+
+    The column-band analogue of :func:`rowwise_with_bounds`.
+    """
+    _validate_fmt(fmt)
+    coo = _check(matrix, len(col_bounds) - 1)
+    return _colwise_plan(coo, np.asarray(col_bounds, dtype=np.int64), fmt)
+
+
+def _colwise_plan(coo: COOMatrix, bounds: np.ndarray, fmt: str) -> PartitionPlan:
+    parts = len(bounds) - 1
     dpu_of = np.searchsorted(bounds[1:-1], coo.cols, side="right")
     order, rows, cols, vals, counts, offsets = _bucketed_blocks(
         coo, dpu_of, parts

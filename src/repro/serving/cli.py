@@ -49,6 +49,14 @@ def build_serving_parser() -> argparse.ArgumentParser:
                         help="per-query deadline in seconds (default: none)")
     parser.add_argument("--algorithms", default="bfs,sssp,ppr",
                         help="comma-separated query mix")
+    parser.add_argument("--write-mix", type=float, default=0.0,
+                        metavar="FRACTION",
+                        help="fraction of requests that are graph writes "
+                             "(batched edge churn via 'mutate'; default 0)")
+    parser.add_argument("--write-inserts", type=int, default=6,
+                        help="edge inserts per generated write batch")
+    parser.add_argument("--write-deletes", type=int, default=3,
+                        help="edge deletes per generated write batch")
     parser.add_argument("--max-batch", type=int, default=16,
                         help="query-fusion batch width")
     parser.add_argument("--queue", type=int, default=64,
@@ -119,6 +127,9 @@ def serving_main(argv: Optional[Sequence[str]] = None) -> int:
         algorithms=algorithms,
         deadline_s=args.deadline,
         seed=args.seed,
+        write_fraction=args.write_mix,
+        write_inserts=args.write_inserts,
+        write_deletes=args.write_deletes,
     )
 
     async def main():
@@ -135,6 +146,11 @@ def serving_main(argv: Optional[Sequence[str]] = None) -> int:
                 line += (f"  batch={result.batch_size} "
                          f"sim={result.sim_time_s * 1e3:.2f}ms"
                          + (" degraded" if result.degraded else ""))
+                if result.mutation is not None:
+                    line += (f" write(+{result.mutation['inserted']}"
+                             f"/~{result.mutation['updated']}"
+                             f"/-{result.mutation['deleted']}"
+                             f" v{result.mutation['version']})")
             elif result.reason:
                 line += f" ({result.reason})"
             print(line)
@@ -178,4 +194,5 @@ def _print_report(report) -> None:
           f"p99={report.p99_latency_s * 1e3:.2f}ms  "
           f"qps={report.qps:.1f}  mean batch={report.mean_batch:.2f}")
     print(f"  retries={report.retries} hedges={report.hedges} "
-          f"degraded={report.degraded_completions}")
+          f"degraded={report.degraded_completions}"
+          + (f" mutations={report.mutations}" if report.mutations else ""))

@@ -25,7 +25,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import ReproError
-from .request import FUSABLE_ALGORITHMS, QueryRequest, QueryResult, QueryStatus
+from .request import (
+    FUSABLE_ALGORITHMS,
+    MUTATE,
+    QueryRequest,
+    QueryResult,
+    QueryStatus,
+)
 from .service import GraphService
 
 
@@ -42,6 +48,12 @@ class LoadgenConfig:
     algorithms: Tuple[str, ...] = ("bfs", "sssp", "ppr")
     deadline_s: Optional[float] = None
     seed: int = 0
+    #: fraction of requests that are graph writes (``mutate``); 0 keeps
+    #: the request stream byte-identical to pre-write-mix seeds.
+    write_fraction: float = 0.0
+    #: inserts and deletes per generated write batch.
+    write_inserts: int = 6
+    write_deletes: int = 3
 
 
 @dataclass
@@ -65,6 +77,7 @@ class LoadReport:
     p99_latency_s: float
     qps: float
     mean_batch: float
+    mutations: int = 0
     counters: Dict[str, int] = field(default_factory=dict)
 
     @property
@@ -93,6 +106,7 @@ class LoadReport:
             "p99_latency_s": self.p99_latency_s,
             "qps": self.qps,
             "mean_batch": self.mean_batch,
+            "mutations": self.mutations,
             "accounted": self.accounted,
             "counters": dict(self.counters),
         }
@@ -109,8 +123,28 @@ def generate_requests(
         total = config.total_queries
     else:
         raise ReproError(f"unknown loadgen mode {config.mode!r}")
+    if not 0.0 <= config.write_fraction <= 1.0:
+        raise ReproError("write_fraction must lie in [0, 1]")
     requests = []
     for i in range(total):
+        # the write coin is only tossed when a write mix is requested,
+        # so write_fraction=0 scenarios replay pre-write-mix seeds with
+        # a byte-identical rng stream
+        if config.write_fraction > 0 and rng.random() < config.write_fraction:
+            from ..dynamic import random_edge_batch
+
+            requests.append(QueryRequest(
+                tenant=f"tenant-{i % config.tenants}",
+                graph=config.graph,
+                algorithm=MUTATE,
+                deadline_s=config.deadline_s,
+                edges=random_edge_batch(
+                    rng, num_vertices,
+                    num_inserts=config.write_inserts,
+                    num_deletes=config.write_deletes,
+                ),
+            ))
+            continue
         algorithm = str(rng.choice(config.algorithms))
         source = (
             int(rng.integers(num_vertices))
@@ -207,6 +241,7 @@ async def run_load(
         ),
         qps=completed / wall_s,
         mean_batch=(fused / batches) if batches else 0.0,
+        mutations=delta.get("mutations", 0),
         counters={k: v for k, v in sorted(delta.items()) if v},
     )
     return report, results

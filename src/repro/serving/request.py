@@ -16,12 +16,16 @@ from typing import Optional, Tuple
 import numpy as np
 
 #: Algorithms the service can run.  The first three are single-source
-#: queries and fuse into batched multi-source kernel passes; the last two
+#: queries and fuse into batched multi-source kernel passes; the next two
 #: are whole-graph analytics whose answers are source-independent, so a
-#: burst of them collapses into ONE shared run.
+#: burst of them collapses into ONE shared run.  ``mutate`` is the write
+#: kind: consecutive same-graph writes fuse into one delta scatter, and
+#: a write acts as a fusion *barrier* for reads on the same graph
+#: (per-graph FIFO — reads admitted after a write never run before it).
 FUSABLE_ALGORITHMS = ("bfs", "sssp", "ppr")
 GLOBAL_ALGORITHMS = ("pagerank", "cc")
-ALGORITHMS = FUSABLE_ALGORITHMS + GLOBAL_ALGORITHMS
+MUTATE = "mutate"
+ALGORITHMS = FUSABLE_ALGORITHMS + GLOBAL_ALGORITHMS + (MUTATE,)
 
 _request_ids = itertools.count()
 
@@ -65,6 +69,10 @@ class QueryRequest:
     source: Optional[int] = None
     deadline_s: Optional[float] = None
     params: Tuple[Tuple[str, float], ...] = ()
+    #: write payload for ``mutate`` requests: a
+    #: :class:`repro.dynamic.EdgeBatch` (required for mutate, ignored
+    #: otherwise).
+    edges: Optional[object] = None
     request_id: int = field(default_factory=lambda: next(_request_ids))
 
     @property
@@ -101,3 +109,7 @@ class QueryResult:
     #: number of fused queries in the kernel pass that produced this
     #: answer (1 = ran alone).
     batch_size: int = 1
+    #: for completed ``mutate`` requests: the
+    #: :meth:`repro.dynamic.MutationReport.as_dict` of what the write
+    #: did (edges inserted/deleted, compaction, resulting version).
+    mutation: Optional[dict] = None

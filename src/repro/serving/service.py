@@ -41,6 +41,7 @@ from ..algorithms.cc import connected_components, symmetrize_unweighted
 from ..algorithms.pagerank import pagerank
 from ..algorithms.ppr import normalize_columns
 from ..checkpoint import CheckpointConfig, MemoryCheckpointStore
+from ..dynamic.mutable import MutableGraph
 from ..errors import (
     DeadlineExceededError,
     DpuFaultError,
@@ -48,15 +49,18 @@ from ..errors import (
     ReproError,
     TransferCorruptionError,
 )
+from ..faults.injector import FaultInjector
 from ..observability import runtime as _obs
 from ..sparse.base import SparseMatrix
 from ..upmem.config import SystemConfig
+from ..upmem.transfer import TransferModel
 from .admission import AdmissionController
 from .batched import BatchedSpmmDriver, batched_bfs, batched_ppr, batched_sssp
 from .breaker import CircuitBreaker
 from .request import (
     ALGORITHMS,
     FUSABLE_ALGORITHMS,
+    MUTATE,
     QueryRequest,
     QueryResult,
     QueryStatus,
@@ -111,30 +115,72 @@ class ResidentGraph:
         checkpoint_restores: int = 4,
     ) -> None:
         self.name = name
-        self.matrix = matrix
+        self.mutable = MutableGraph(matrix, name=name)
         self.system = system
         self.num_dpus = num_dpus
         self.fault_plan = fault_plan
         self.breaker = breaker or CircuitBreaker()
         self.checkpoint_restores = int(checkpoint_restores)
         self._drivers: Dict[str, object] = {}
+        self._drivers_version = self.mutable.version
         self._normalized = None
         self._symmetrized = None
+        self._write_injector: Optional[FaultInjector] = None
+
+    @property
+    def matrix(self) -> SparseMatrix:
+        """The current overlay snapshot — immutable, safe to hold across
+        a write (in-flight readers keep the version they started on)."""
+        return self.mutable.snapshot()
 
     # -- lazy driver construction -------------------------------------------
 
+    def _refresh_drivers(self) -> None:
+        """Drop derived state from before the graph's current version.
+
+        A write bumps the graph version; drivers, the normalized and the
+        symmetrized matrix are all derived from the old snapshot and are
+        rebuilt lazily on the next query.  Thanks to plan recycling the
+        rebuild is cheap (plan-cache full hits on donor bounds), but the
+        fault machine starts fresh — a write is a hardware swap from the
+        quarantine ledger's point of view.
+        """
+        if self._drivers_version != self.mutable.version:
+            self._drivers = {}
+            self._normalized = None
+            self._symmetrized = None
+            self._drivers_version = self.mutable.version
+
     def _normalized_matrix(self):
+        self._refresh_drivers()
         if self._normalized is None:
             self._normalized = normalize_columns(self.matrix)
         return self._normalized
 
     def _symmetrized_matrix(self):
+        self._refresh_drivers()
         if self._symmetrized is None:
             self._symmetrized = symmetrize_unweighted(self.matrix)
         return self._symmetrized
 
+    def write_injector(self) -> Optional[FaultInjector]:
+        """Seeded injector for delta-scatter corruption (None = off).
+
+        Separate from the kernel machines' injectors so the read and
+        write fault schedules stay independently deterministic.
+        """
+        if self.fault_plan is None or not self.fault_plan.enabled:
+            return None
+        if self._write_injector is None:
+            plan = self.fault_plan.with_seed(
+                (self.fault_plan.seed * 1_000_003 + 97) % (2**63 - 1)
+            )
+            self._write_injector = FaultInjector(plan)
+        return self._write_injector
+
     def driver_for(self, algorithm: str):
         """The persistent driver serving ``algorithm`` on this graph."""
+        self._refresh_drivers()
         driver = self._drivers.get(algorithm)
         if driver is not None:
             return driver
@@ -220,6 +266,7 @@ class GraphService:
         self.max_batch = int(max_batch)
         self.retry = retry or RetryPolicy()
         self.clock = clock or time.monotonic
+        self._transfer = TransferModel(system)
         self.admission = AdmissionController(
             queue_capacity, default_tenant or TenantConfig()
         )
@@ -298,6 +345,12 @@ class GraphService:
         """
         if request.algorithm not in ALGORITHMS:
             raise ReproError(f"unknown algorithm {request.algorithm!r}")
+        if request.algorithm == MUTATE and request.edges is None:
+            # a write without a payload is a caller bug, like an unknown
+            # algorithm — rejected before anything is counted
+            raise ReproError(
+                f"mutate request {request.request_id} carries no edge batch"
+            )
         now = self.clock()
         self._count("submitted")
         graph = self._graphs.get(request.graph)
@@ -453,6 +506,15 @@ class GraphService:
                 batch.append(candidate)
             else:
                 kept.append(candidate)
+                # write barrier: a mutate and any other request on the
+                # same graph must not be reordered around each other —
+                # stop the fusion scan so per-graph FIFO holds and every
+                # read runs against the snapshot of its admission epoch
+                if candidate.request.graph == head.request.graph and (
+                    head.request.algorithm == MUTATE
+                    or candidate.request.algorithm == MUTATE
+                ):
+                    break
         kept.extend(self._queue)
         self._queue = kept
         return batch
@@ -551,6 +613,9 @@ class GraphService:
         request = batch[0].request
         algorithm = request.algorithm
         params = dict(request.params)
+        if algorithm == MUTATE:
+            self._run_mutations(graph, batch, retries)
+            return
         session = _obs.ACTIVE
         sim_start = (
             session.tracer.now
@@ -598,6 +663,65 @@ class GraphService:
                 algorithm=algorithm,
                 status=QueryStatus.COMPLETED,
                 values=values,
+                latency_s=now - pending.submitted_at,
+                sim_time_s=sim_elapsed, retries=retries,
+                degraded=degraded, batch_size=len(batch),
+            ))
+
+    def _run_mutations(
+        self, graph: ResidentGraph, batch: List[_Pending], retries: int
+    ) -> None:
+        """Apply a fused same-graph write batch as one priced delta scatter.
+
+        Order of operations matters for exactly-once semantics under the
+        retry loop: endpoint ranges are validated and the corruption
+        verdict for the scatter is drawn *before* any batch is applied,
+        so a transient abort leaves the graph untouched and a retry
+        re-runs the whole attempt without double-applying edges.  Once
+        batches start applying nothing can fail, so a write that
+        resolves COMPLETED was applied exactly once.
+        """
+        edge_batches = [p.request.edges for p in batch]
+        n = graph.mutable.num_nodes
+        for pending, eb in zip(batch, edge_batches):
+            for arr in (eb.inserts, eb.deletes):
+                if arr.size and ((arr < 0).any() or (arr >= n).any()):
+                    raise ReproError(
+                        f"mutate request {pending.request.request_id} has "
+                        f"an endpoint out of range for {n} nodes"
+                    )
+        layout = graph.mutable.delta_layout(edge_batches, self.num_dpus)
+        injector = graph.write_injector()
+        active_legs = int(np.count_nonzero(layout))
+        if injector is not None and active_legs:
+            # only legs that carry delta bytes are real transfers — a
+            # small batch targets a handful of row bands, not every DPU
+            corrupted = injector.transfer_fault_mask(active_legs)
+            if corrupted.any():
+                self._count("write_faults")
+                raise TransferCorruptionError(
+                    f"delta scatter corrupted on {int(corrupted.sum())} of "
+                    f"{active_legs} legs"
+                )
+        cost = self._transfer.scatter(layout) if layout.size else None
+        sim_elapsed = cost.seconds if cost is not None else 0.0
+        reports = [graph.mutable.apply(eb) for eb in edge_batches]
+        now = self.clock()
+        degraded = graph.degraded
+        self._count("mutations", len(batch))
+        self._count("edges_inserted", sum(r.inserted for r in reports))
+        self._count("edges_deleted", sum(r.deleted for r in reports))
+        compactions = sum(1 for r in reports if r.compacted)
+        if compactions:
+            self._count("compactions", compactions)
+        for pending, report in zip(batch, reports):
+            self._resolve(pending, QueryResult(
+                request_id=pending.request.request_id,
+                tenant=pending.request.tenant,
+                graph=pending.request.graph,
+                algorithm=MUTATE,
+                status=QueryStatus.COMPLETED,
+                mutation=report.as_dict(),
                 latency_s=now - pending.submitted_at,
                 sim_time_s=sim_elapsed, retries=retries,
                 degraded=degraded, batch_size=len(batch),

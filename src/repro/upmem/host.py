@@ -16,6 +16,7 @@ to the fault-free runtime.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 import numpy as np
@@ -413,19 +414,37 @@ class ShardScheduler:
     for real wall-clock parallelism on large shard batches.
     """
 
+    #: LRU depth of the reschedule memo — a handful of distinct
+    #: (timeline, skip-mask) shapes recur per run; 128 is generous.
+    RESCHEDULE_CACHE_SIZE = 128
+
     def __init__(self, system: SystemConfig,
                  max_workers: Optional[int] = None) -> None:
         self.system = system
         self.transfer = TransferModel(system)
         self.max_workers = max_workers
+        self._bounds_cache: Dict[int, np.ndarray] = {}
+        self._reschedule_cache: "OrderedDict[tuple, object]" = OrderedDict()
+        self.reschedule_hits = 0
+        self.reschedule_misses = 0
 
     def shard_bounds(self, num_dpus: int) -> np.ndarray:
-        """DPU boundaries of the rank-level shards (last may be partial)."""
+        """DPU boundaries of the rank-level shards (last may be partial).
+
+        Memoized per ``num_dpus`` — degraded-mode rescheduling used to
+        recompute this on every launch; callers must treat the returned
+        array as read-only.
+        """
         if num_dpus <= 0:
             raise UpmemError("shard schedule needs at least one DPU")
-        step = self.system.dpus_per_rank
-        bounds = np.arange(0, num_dpus, step, dtype=np.int64)
-        return np.append(bounds, num_dpus)
+        cached = self._bounds_cache.get(num_dpus)
+        if cached is None:
+            step = self.system.dpus_per_rank
+            bounds = np.arange(0, num_dpus, step, dtype=np.int64)
+            cached = np.append(bounds, num_dpus)
+            cached.setflags(write=False)
+            self._bounds_cache[num_dpus] = cached
+        return cached
 
     def timeline(
         self,
@@ -500,15 +519,40 @@ class ShardScheduler:
         issue slot is reclaimed (degraded-mode scheduling).  Leg
         durations are recovered from the timeline's own event times, so
         no kernel state is needed.
+
+        Memoized per (leg durations, skip mask): a long degraded run
+        replays the same handful of timeline shapes every iteration, and
+        re-pipelining is pure, so identical inputs return the cached
+        :class:`~repro.upmem.sharding.ShardTimeline` object.
         """
         scatter_s = timeline.scatter_end - timeline.scatter_start
         exec_s = timeline.exec_end - timeline.scatter_end
         gather_s = timeline.gather_end - timeline.gather_start
         merge_s = timeline.makespan_s - float(timeline.gather_end.max())
-        return self.timeline(
+        skipped = np.asarray(skipped, dtype=bool)
+        key = (
+            timeline.dpu_bounds.tobytes(),
+            scatter_s.tobytes(),
+            exec_s.tobytes(),
+            gather_s.tobytes(),
+            merge_s,
+            timeline.lockstep_s,
+            skipped.tobytes(),
+        )
+        cached = self._reschedule_cache.get(key)
+        if cached is not None:
+            self.reschedule_hits += 1
+            self._reschedule_cache.move_to_end(key)
+            return cached
+        self.reschedule_misses += 1
+        rescheduled = self.timeline(
             timeline.dpu_bounds, scatter_s, exec_s, gather_s,
             merge_s, timeline.lockstep_s, skipped=skipped,
         )
+        self._reschedule_cache[key] = rescheduled
+        if len(self._reschedule_cache) > self.RESCHEDULE_CACHE_SIZE:
+            self._reschedule_cache.popitem(last=False)
+        return rescheduled
 
     def map_shards(self, fn, shard_args: Sequence, processes: bool = False):
         """Apply ``fn`` to each shard argument, optionally on a process

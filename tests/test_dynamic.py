@@ -1,0 +1,346 @@
+"""Differential churn-oracle suite for mutable resident graphs (PR 8).
+
+Two oracles, both fully seeded:
+
+* **Matrix identity** — after every churn batch, the overlay snapshot
+  (and any compaction it triggered) must be ``tobytes()``-identical to a
+  from-scratch canonical rebuild of the same effective edge set; 20
+  seeds x 10 batches = 200 verified churn cases.
+* **Incremental vs full** — after every batch, :func:`bfs_repair` and
+  :func:`cc_repair` must be bit-identical to full recomputes on the
+  post-batch snapshot, and :func:`delta_ppr` must agree within the
+  documented contraction bound
+  ``DELTA_PPR_TOL_FACTOR * tol * (1 - alpha) / alpha``.
+
+Every assert carries the seed that reproduces it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import random_graph
+
+from repro.algorithms import bfs, connected_components, ppr
+from repro.algorithms.ppr import DEFAULT_ALPHA, DEFAULT_TOL
+from repro.cache import PLAN_CACHE, cached_plan
+from repro.dynamic import (
+    DELTA_PPR_TOL_FACTOR,
+    EdgeBatch,
+    MutableGraph,
+    bfs_repair,
+    cc_repair,
+    delta_ppr,
+    random_edge_batch,
+)
+from repro.errors import ReproError
+from repro.partition import rowwise
+from repro.sparse.coo import COOMatrix
+from repro.upmem.config import SystemConfig
+
+pytestmark = pytest.mark.dynamic
+
+NUM_DPUS = 32
+PPR_BOUND = DELTA_PPR_TOL_FACTOR * DEFAULT_TOL \
+    * (1.0 - DEFAULT_ALPHA) / DEFAULT_ALPHA
+
+
+@pytest.fixture(scope="module")
+def system():
+    return SystemConfig(num_dpus=64)
+
+
+# ---------------------------------------------------------------------------
+# oracle helpers
+# ---------------------------------------------------------------------------
+
+
+def oracle_edges(matrix: COOMatrix) -> dict:
+    """``{(row, col): value}`` reference model of the stored matrix."""
+    return {
+        (int(r), int(c)): v
+        for r, c, v in zip(matrix.rows, matrix.cols, matrix.values)
+    }
+
+
+def oracle_apply(edges: dict, batch: EdgeBatch, dtype) -> None:
+    """Apply one batch to the dict model with MutableGraph semantics:
+    inserts first (later insert wins), deletes second."""
+    if batch.num_inserts:
+        weights = (
+            np.ones(batch.num_inserts, dtype=dtype)
+            if batch.insert_weights is None
+            else batch.insert_weights.astype(dtype)
+        )
+        for (u, v), w in zip(batch.inserts.tolist(), weights):
+            edges[(int(v), int(u))] = w
+    for u, v in batch.deletes.tolist():
+        edges.pop((int(v), int(u)), None)
+
+
+def oracle_matrix(edges: dict, shape, dtype) -> COOMatrix:
+    """Canonical from-scratch rebuild of the dict model."""
+    if not edges:
+        empty = np.empty(0, dtype=np.int64)
+        return COOMatrix.from_sorted(
+            empty, empty, np.empty(0, dtype=dtype), shape
+        )
+    keys = sorted(edges)
+    rows = np.array([k[0] for k in keys], dtype=np.int64)
+    cols = np.array([k[1] for k in keys], dtype=np.int64)
+    vals = np.array([edges[k] for k in keys], dtype=dtype)
+    return COOMatrix.from_sorted(rows, cols, vals, shape)
+
+
+def assert_matrices_identical(snap: COOMatrix, expected: COOMatrix, tag: str):
+    assert snap.shape == expected.shape, tag
+    assert snap.rows.tobytes() == expected.rows.tobytes(), tag
+    assert snap.cols.tobytes() == expected.cols.tobytes(), tag
+    assert snap.values.dtype == expected.values.dtype, tag
+    assert snap.values.tobytes() == expected.values.tobytes(), tag
+
+
+# ---------------------------------------------------------------------------
+# matrix-identity churn oracle: 20 seeds x 10 batches = 200 cases
+# ---------------------------------------------------------------------------
+
+
+class TestChurnMatrixOracle:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_overlay_matches_rebuild_across_batches(self, seed):
+        """Every one of 10 batches leaves the snapshot tobytes-identical
+        to a from-scratch rebuild (overlaid and compacted alike)."""
+        base = random_graph(n=40, avg_degree=4.0, seed=100 + seed)
+        mutable = MutableGraph(base, compact_threshold=0.3)
+        edges = oracle_edges(base)
+        rng = np.random.default_rng(seed)
+        compactions = 0
+        for step in range(10):
+            batch = random_edge_batch(
+                rng, 40, num_inserts=int(rng.integers(0, 12)),
+                num_deletes=int(rng.integers(0, 8)),
+                edge_pool=mutable.edge_array(),
+            )
+            report = mutable.apply(batch)
+            compactions += int(report.compacted)
+            oracle_apply(edges, batch, base.values.dtype)
+            assert_matrices_identical(
+                mutable.snapshot(),
+                oracle_matrix(edges, base.shape, base.values.dtype),
+                f"seed {seed} batch {step}",
+            )
+        # churn at this rate must have exercised the compaction path
+        assert mutable.version == 10, f"seed {seed}"
+        assert mutable.stats["compactions"] == compactions
+
+    @pytest.mark.parametrize("seed", (3, 17))
+    def test_explicit_compaction_is_identity(self, seed):
+        base = random_graph(n=40, avg_degree=4.0, seed=seed)
+        mutable = MutableGraph(base, compact_threshold=10.0)  # never auto
+        edges = oracle_edges(base)
+        rng = np.random.default_rng(seed)
+        batch = random_edge_batch(rng, 40, edge_pool=mutable.edge_array())
+        mutable.apply(batch)
+        oracle_apply(edges, batch, base.values.dtype)
+        mutable.compact()
+        assert mutable.pending_deltas == 0, f"seed {seed}"
+        assert_matrices_identical(
+            mutable.snapshot(),
+            oracle_matrix(edges, base.shape, base.values.dtype),
+            f"seed {seed} post-compact",
+        )
+
+
+# ---------------------------------------------------------------------------
+# overlay semantics (unit level)
+# ---------------------------------------------------------------------------
+
+
+class TestOverlaySemantics:
+    def test_zero_pending_snapshot_is_base_object(self):
+        base = random_graph(n=30, seed=1)
+        mutable = MutableGraph(base)
+        # identical object => identical fingerprint => warm caches
+        assert mutable.snapshot() is base.to_coo()
+        existing = mutable.edge_array()[:3]
+        batch = EdgeBatch.of(
+            inserts=existing,
+            deletes=[] if mutable.has_edge(0, 0) else [(0, 0)],
+        )
+        report = mutable.apply(batch)
+        # same-value re-inserts and absent-edge deletes are recognized as
+        # no-ops: zero pending deltas, so the snapshot stays the base
+        # object and every cache stays warm
+        assert report.noop_inserts == 3 and report.noop_deletes == 1
+        assert report.pending == 0
+        assert mutable.snapshot() is base.to_coo()
+
+    def test_upsert_then_delete_then_reinsert(self):
+        base = COOMatrix.from_edges(np.array([[0, 1], [1, 2]]), 4)
+        mutable = MutableGraph(base)
+        edges = oracle_edges(base.to_coo())
+        steps = (
+            EdgeBatch.of(inserts=[(0, 1)]),            # upsert existing
+            EdgeBatch.of(deletes=[(0, 1)]),            # delete base edge
+            EdgeBatch.of(inserts=[(0, 1)]),            # re-insert after del
+            EdgeBatch.of(inserts=[(2, 3)], deletes=[(2, 3)]),  # same batch
+        )
+        for i, batch in enumerate(steps):
+            mutable.apply(batch)
+            oracle_apply(edges, batch, base.values.dtype)
+            assert_matrices_identical(
+                mutable.snapshot(),
+                oracle_matrix(edges, base.shape, base.values.dtype),
+                f"step {i}",
+            )
+        assert mutable.has_edge(0, 1)
+        assert not mutable.has_edge(2, 3)
+
+    def test_out_of_range_endpoints_rejected(self):
+        mutable = MutableGraph(random_graph(n=10, seed=0))
+        with pytest.raises(ReproError):
+            mutable.apply(EdgeBatch.of(inserts=[(0, 10)]))
+        with pytest.raises(ReproError):
+            mutable.apply(EdgeBatch.of(deletes=[(-1, 0)]))
+        assert mutable.version == 0  # nothing applied
+
+    def test_delta_layout_prices_target_rows(self):
+        mutable = MutableGraph(random_graph(n=64, seed=0))
+        batch = EdgeBatch.of(inserts=[(5, 0), (6, 0)], deletes=[(7, 63)])
+        layout = mutable.delta_layout([batch], num_dpus=2)
+        assert layout.tolist() == [32, 16]  # 16 bytes per delta element
+
+
+# ---------------------------------------------------------------------------
+# plan recycling across snapshots
+# ---------------------------------------------------------------------------
+
+
+class TestPlanRecycling:
+    def test_snapshot_seeds_full_cache_hits(self, system):
+        base = random_graph(n=60, avg_degree=4.0, seed=5)
+        mutable = MutableGraph(base)
+        # warm the cache on the pre-churn structure
+        donor_snap = mutable.snapshot()
+        donor = cached_plan(
+            donor_snap, "rowwise", NUM_DPUS, "csc",
+            lambda: rowwise(donor_snap, NUM_DPUS, fmt="csc"),
+        )
+        mutable.apply(EdgeBatch.of(inserts=[(0, 59), (59, 0)]))
+        snap = mutable.snapshot()
+        hits_before = PLAN_CACHE.stats.hits
+        recycled = cached_plan(
+            snap, "rowwise", NUM_DPUS, "csc",
+            lambda: rowwise(snap, NUM_DPUS, fmt="csc"),
+        )
+        assert PLAN_CACHE.stats.hits == hits_before + 1, \
+            "expected a full hit on the recycled plan"
+        assert recycled.row_bounds.tolist() == donor.row_bounds.tolist()
+        assert mutable.stats["plans_recycled"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# incremental vs full differential grid
+# ---------------------------------------------------------------------------
+
+
+class TestIncrementalDifferential:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_repairs_match_full_recompute(self, seed, system):
+        """Three sequential batches; after each, incremental BFS/CC are
+        bit-identical to full recomputes and delta-PPR is within the
+        contraction bound.  Previous answers compound (each repair feeds
+        the next), which is the production access pattern."""
+        n = 50
+        base = random_graph(n=n, avg_degree=4.0, seed=200 + seed)
+        mutable = MutableGraph(base)
+        source = int(np.random.default_rng(seed).integers(n))
+        prev_bfs = bfs(mutable.snapshot(), source, system, NUM_DPUS).values
+        prev_cc = connected_components(
+            mutable.snapshot(), system, NUM_DPUS
+        ).values
+        prev_ppr = ppr(mutable.snapshot(), source, system, NUM_DPUS).values
+        rng = np.random.default_rng(seed)
+        for step in range(3):
+            batch = random_edge_batch(
+                rng, n, num_inserts=6, num_deletes=4,
+                edge_pool=mutable.edge_array(),
+            )
+            mutable.apply(batch)
+            snap = mutable.snapshot()
+            tag = f"seed {seed} batch {step}"
+
+            repaired = bfs_repair(
+                snap, source, system, NUM_DPUS,
+                prev_levels=prev_bfs, batch=batch,
+            )
+            full = bfs(snap, source, system, NUM_DPUS)
+            assert repaired.values.dtype == full.values.dtype, tag
+            assert repaired.values.tobytes() == full.values.tobytes(), \
+                f"bfs diverged: {tag}"
+            prev_bfs = repaired.values
+
+            relabeled = cc_repair(
+                snap, system, NUM_DPUS, prev_labels=prev_cc, batch=batch,
+            )
+            full_cc = connected_components(snap, system, NUM_DPUS)
+            assert relabeled.values.tobytes() == full_cc.values.tobytes(), \
+                f"cc diverged: {tag}"
+            prev_cc = relabeled.values
+
+            reranked = delta_ppr(
+                snap, source, system, NUM_DPUS, prev_rank=prev_ppr,
+            )
+            full_ppr = ppr(snap, source, system, NUM_DPUS)
+            diff = float(np.abs(reranked.values - full_ppr.values).max())
+            assert diff <= PPR_BOUND, \
+                f"ppr drift {diff:.3e} > {PPR_BOUND:.3e}: {tag}"
+            prev_ppr = reranked.values
+
+    def test_insert_only_cc_repair_needs_no_matvecs(self, system):
+        base = random_graph(n=50, avg_degree=3.0, seed=9)
+        mutable = MutableGraph(base)
+        prev = connected_components(mutable.snapshot(), system, NUM_DPUS)
+        batch = EdgeBatch.of(inserts=[(0, 25), (25, 49)])
+        mutable.apply(batch)
+        run = cc_repair(
+            mutable.snapshot(), system, NUM_DPUS,
+            prev_labels=prev.values, batch=batch,
+        )
+        assert run.num_iterations == 0
+        full = connected_components(mutable.snapshot(), system, NUM_DPUS)
+        assert run.values.tobytes() == full.values.tobytes()
+
+    def test_bfs_repair_reports_repair_stats(self, system):
+        base = random_graph(n=50, avg_degree=4.0, seed=4)
+        mutable = MutableGraph(base)
+        prev = bfs(mutable.snapshot(), 0, system, NUM_DPUS)
+        batch = random_edge_batch(
+            np.random.default_rng(4), 50, num_inserts=4, num_deletes=6,
+            edge_pool=mutable.edge_array(),
+        )
+        mutable.apply(batch)
+        run = bfs_repair(
+            mutable.snapshot(), 0, system, NUM_DPUS,
+            prev_levels=prev.values, batch=batch,
+        )
+        stats = run.repair_stats
+        assert set(stats) == {
+            "invalidated", "cascade_pushes", "seed_frontier"
+        }
+        assert all(v >= 0 for v in stats.values())
+
+    def test_repair_rejects_bad_inputs(self, system):
+        base = random_graph(n=20, seed=0)
+        mutable = MutableGraph(base)
+        batch = EdgeBatch.of(inserts=[(0, 1)])
+        with pytest.raises(ReproError):
+            bfs_repair(mutable.snapshot(), 99, system, NUM_DPUS,
+                       prev_levels=np.zeros(20, dtype=np.int64), batch=batch)
+        with pytest.raises(ReproError):
+            cc_repair(mutable.snapshot(), system, NUM_DPUS,
+                      prev_labels=np.zeros(3, dtype=np.int64), batch=batch)
+        with pytest.raises(ReproError):
+            delta_ppr(mutable.snapshot(), 0, system, NUM_DPUS,
+                      prev_rank=np.zeros(5))

@@ -1,0 +1,225 @@
+"""Churn chaos: faults and crash/resume during incremental repair.
+
+Three layers of adversity, all seeded:
+
+* **Fault-injected repair** — incremental BFS/CC/PPR under
+  ``FaultPlan.uniform(0.05)`` must stay bit-identical (PPR: bit-identical
+  too — the resilient executor replays corrupted legs, it never changes
+  values) to the fault-free repair.
+* **Mid-churn crash/resume** — a checkpointed repair killed between
+  iterations resumes to the same answer as an uninterrupted run.
+* **Serving interleavings** — seeded insert/delete/query mixes through
+  :class:`GraphService` with write-path fault injection: SLO accounting
+  closes, retried writes apply exactly once, and the final resident
+  matrix equals the dict-model oracle.
+
+``REPRO_DYNAMIC_CHAOS_SEED`` re-seeds the soak case for overnight runs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+
+import numpy as np
+import pytest
+
+from conftest import random_graph
+
+from repro.algorithms import bfs, connected_components, ppr
+from repro.checkpoint import CheckpointConfig, MemoryCheckpointStore
+from repro.checkpoint.chaos import CrashSchedule, SimulatedCrash
+from repro.dynamic import (
+    MutableGraph,
+    bfs_repair,
+    cc_repair,
+    delta_ppr,
+    random_edge_batch,
+)
+from repro.faults import FaultPlan
+from repro.serving import GraphService, QueryRequest, QueryStatus
+from repro.serving.request import MUTATE
+from repro.upmem.config import SystemConfig
+from test_dynamic import (
+    assert_matrices_identical,
+    oracle_apply,
+    oracle_edges,
+    oracle_matrix,
+)
+
+pytestmark = pytest.mark.dynamic
+
+NUM_DPUS = 32
+SOAK_SEED = int(os.environ.get("REPRO_DYNAMIC_CHAOS_SEED", "0"))
+
+
+@pytest.fixture(scope="module")
+def system():
+    return SystemConfig(num_dpus=64)
+
+
+def _churned(seed, n=50):
+    """(mutable, batch, snapshot, prev answers) after one seeded batch."""
+    base = random_graph(n=n, avg_degree=4.0, seed=300 + seed)
+    mutable = MutableGraph(base)
+    system = SystemConfig(num_dpus=64)
+    prev = {
+        "bfs": bfs(mutable.snapshot(), 0, system, NUM_DPUS).values,
+        "cc": connected_components(
+            mutable.snapshot(), system, NUM_DPUS
+        ).values,
+        "ppr": ppr(mutable.snapshot(), 0, system, NUM_DPUS).values,
+    }
+    batch = random_edge_batch(
+        np.random.default_rng(seed), n, num_inserts=6, num_deletes=5,
+        edge_pool=mutable.edge_array(),
+    )
+    mutable.apply(batch)
+    return mutable, batch, mutable.snapshot(), prev
+
+
+class TestFaultInjectedRepair:
+    @pytest.mark.parametrize("seed", (SOAK_SEED, 3, 7))
+    def test_repairs_identical_under_faults(self, seed, system):
+        """uniform(0.05) faults during repair never change a value."""
+        _, batch, snap, prev = _churned(seed)
+        plan = FaultPlan.uniform(0.05, seed=seed)
+
+        clean = bfs_repair(snap, 0, system, NUM_DPUS,
+                           prev_levels=prev["bfs"], batch=batch)
+        faulty = bfs_repair(snap, 0, system, NUM_DPUS,
+                            prev_levels=prev["bfs"], batch=batch,
+                            fault_plan=plan)
+        assert clean.values.tobytes() == faulty.values.tobytes(), \
+            f"bfs repair diverged under faults (seed {seed})"
+
+        clean = cc_repair(snap, system, NUM_DPUS,
+                          prev_labels=prev["cc"], batch=batch)
+        faulty = cc_repair(snap, system, NUM_DPUS,
+                           prev_labels=prev["cc"], batch=batch,
+                           fault_plan=plan)
+        assert clean.values.tobytes() == faulty.values.tobytes(), \
+            f"cc repair diverged under faults (seed {seed})"
+
+        clean = delta_ppr(snap, 0, system, NUM_DPUS, prev_rank=prev["ppr"])
+        faulty = delta_ppr(snap, 0, system, NUM_DPUS, prev_rank=prev["ppr"],
+                           fault_plan=plan)
+        assert clean.values.tobytes() == faulty.values.tobytes(), \
+            f"delta-ppr diverged under faults (seed {seed})"
+
+
+class TestCrashResumeMidChurn:
+    def _multi_iteration_case(self, system):
+        """First seed whose fault-free BFS repair runs >= 3 iterations
+        (so a crash at iteration 1 lands mid-repair)."""
+        for seed in range(24):
+            mutable, batch, snap, prev = _churned(seed)
+            probe = bfs_repair(snap, 0, system, NUM_DPUS,
+                               prev_levels=prev["bfs"], batch=batch)
+            if probe.num_iterations >= 3:
+                return seed, batch, snap, prev, probe
+        raise AssertionError("no seed produced a >=3 iteration repair")
+
+    def test_bfs_repair_crash_resume(self, system):
+        seed, batch, snap, prev, reference = \
+            self._multi_iteration_case(system)
+        store = MemoryCheckpointStore()
+        with pytest.raises(SimulatedCrash):
+            bfs_repair(
+                snap, 0, system, NUM_DPUS,
+                prev_levels=prev["bfs"], batch=batch,
+                checkpoint=CheckpointConfig(
+                    store=store,
+                    crash_schedule=CrashSchedule(crash_iterations=[1]),
+                ),
+            )
+        resumed = bfs_repair(
+            snap, 0, system, NUM_DPUS,
+            prev_levels=prev["bfs"], batch=batch,
+            checkpoint=CheckpointConfig(store=store),
+        )
+        assert resumed.checkpoint["restore_count"] == 1
+        assert resumed.values.tobytes() == reference.values.tobytes(), \
+            f"crash/resume diverged (seed {seed})"
+
+    def test_delta_ppr_crash_resume(self, system):
+        seed = SOAK_SEED
+        _, _, snap, prev = _churned(seed)
+        reference = delta_ppr(snap, 0, system, NUM_DPUS,
+                              prev_rank=prev["ppr"])
+        assert reference.num_iterations >= 3, f"seed {seed}"
+        store = MemoryCheckpointStore()
+        with pytest.raises(SimulatedCrash):
+            delta_ppr(
+                snap, 0, system, NUM_DPUS, prev_rank=prev["ppr"],
+                checkpoint=CheckpointConfig(
+                    store=store,
+                    crash_schedule=CrashSchedule(crash_iterations=[2]),
+                ),
+            )
+        resumed = delta_ppr(
+            snap, 0, system, NUM_DPUS, prev_rank=prev["ppr"],
+            checkpoint=CheckpointConfig(store=store),
+        )
+        assert resumed.values.tobytes() == reference.values.tobytes(), \
+            f"ppr crash/resume diverged (seed {seed})"
+
+
+class TestServingChurnChaos:
+    @pytest.mark.parametrize("seed", (SOAK_SEED, 5))
+    def test_interleaved_writes_and_reads_under_faults(self, seed):
+        """Seeded insert/delete/query interleaving with write-path fault
+        injection: every request resolves exactly once, retried writes
+        apply exactly once, and the resident matrix matches the oracle."""
+        n = 60
+        base = random_graph(n=n, avg_degree=4.0, seed=400 + seed)
+        system = SystemConfig(num_dpus=64)
+        service = GraphService(system, NUM_DPUS, max_batch=4)
+        service.add_graph(
+            "g", base, fault_plan=FaultPlan.uniform(0.05, seed=seed)
+        )
+        edges = oracle_edges(base)
+        rng = np.random.default_rng(seed)
+        requests = []
+        for i in range(24):
+            roll = rng.random()
+            if roll < 0.4:
+                batch = random_edge_batch(
+                    rng, n, num_inserts=4, num_deletes=3
+                )
+                requests.append(QueryRequest(
+                    tenant=f"tenant-{i % 3}", graph="g",
+                    algorithm=MUTATE, edges=batch,
+                ))
+            else:
+                requests.append(QueryRequest(
+                    tenant=f"tenant-{i % 3}", graph="g",
+                    algorithm=str(rng.choice(("bfs", "cc"))),
+                    source=int(rng.integers(n)),
+                ))
+
+        async def main():
+            async with service:
+                return await asyncio.gather(
+                    *(service.submit_outcome(r) for r in requests)
+                )
+
+        results = asyncio.run(main())
+        assert len(results) == len(requests)
+        completed_writes = 0
+        for request, result in zip(requests, results):
+            assert result.status in (
+                QueryStatus.COMPLETED, QueryStatus.FAILED
+            ), f"seed {seed}: unexpected {result.status}"
+            if request.algorithm == MUTATE and \
+                    result.status is QueryStatus.COMPLETED:
+                completed_writes += 1
+                oracle_apply(edges, request.edges, base.values.dtype)
+        mutable = service.graph("g").mutable
+        assert mutable.version == completed_writes, f"seed {seed}"
+        assert_matrices_identical(
+            mutable.snapshot(),
+            oracle_matrix(edges, base.shape, base.values.dtype),
+            f"seed {seed}: resident matrix diverged from oracle",
+        )
+        assert service.slo_accounting_closes()

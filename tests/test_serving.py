@@ -708,3 +708,167 @@ class TestProcessPoolServing:
         for a, b in zip(inline, pooled):
             assert a.dtype == b.dtype
             assert a.tobytes() == b.tobytes()
+
+
+# -- write mix (PR 8: batched edge churn through the service) -----------------
+
+class TestWriteMix:
+    def test_write_mix_accounting_closes(self, system, wgraph):
+        """Read/write mix: every request resolves exactly once, the
+        mutations counter matches completed writes, and the resident
+        graph's version equals the number of applied batches."""
+        service = make_service(system, wgraph)
+        config = LoadgenConfig(
+            graph="g", tenants=4, queries_per_tenant=8,
+            write_fraction=0.3, seed=13,
+        )
+
+        async def main():
+            async with service:
+                return await run_load(service, config)
+
+        report, results = run_async(main())
+        assert report.accounted
+        assert report.mutations > 0
+        completed_writes = sum(
+            1 for r in results
+            if r.algorithm == "mutate" and r.status is QueryStatus.COMPLETED
+        )
+        assert report.mutations == completed_writes
+        assert service.graph("g").mutable.version == completed_writes
+        for result in results:
+            if result.algorithm == "mutate" and \
+                    result.status is QueryStatus.COMPLETED:
+                assert result.mutation is not None
+                assert result.mutation["version"] >= 1
+
+    def test_zero_write_fraction_stream_byte_identical(self, wgraph):
+        """write_fraction=0 must not consume extra rng draws, so legacy
+        seeded scenarios replay identically."""
+        from repro.serving.loadgen import generate_requests
+
+        legacy = generate_requests(
+            LoadgenConfig(graph="g", tenants=3, queries_per_tenant=6,
+                          seed=21),
+            wgraph.nrows,
+        )
+        explicit = generate_requests(
+            LoadgenConfig(graph="g", tenants=3, queries_per_tenant=6,
+                          seed=21, write_fraction=0.0),
+            wgraph.nrows,
+        )
+        assert [(r.tenant, r.algorithm, r.source) for r in legacy] == \
+               [(r.tenant, r.algorithm, r.source) for r in explicit]
+
+    def test_write_barrier_fifo_ordering(self, system, wgraph):
+        """Reads fuse up to (never across) a same-graph write; writes
+        fuse with writes; a read behind a write stays behind it."""
+        from repro.dynamic import EdgeBatch
+        from repro.serving.request import MUTATE
+
+        service = make_service(system, wgraph)
+
+        async def main():
+            reads_a = [
+                service.submit_nowait(QueryRequest(
+                    tenant="t", graph="g", algorithm="bfs", source=i,
+                )) for i in range(2)
+            ]
+            writes = [
+                service.submit_nowait(QueryRequest(
+                    tenant="t", graph="g", algorithm=MUTATE,
+                    edges=EdgeBatch.of(inserts=[(0, i)]),
+                )) for i in range(2)
+            ]
+            read_b = service.submit_nowait(QueryRequest(
+                tenant="t", graph="g", algorithm="bfs", source=5,
+            ))
+            del reads_a, writes, read_b
+            first = service._take_batch()
+            second = service._take_batch()
+            third = service._take_batch()
+            return (
+                [p.request.algorithm for p in first],
+                [p.request.algorithm for p in second],
+                [p.request.algorithm for p in third],
+            )
+
+        first, second, third = run_async(main())
+        assert first == ["bfs", "bfs"]       # reads fuse, stop at barrier
+        assert second == ["mutate", "mutate"]  # writes fuse with writes
+        assert third == ["bfs"]              # trailing read stays behind
+
+    def test_mutate_mid_batched_bfs_pins_snapshot(self, system, wgraph):
+        """A write landing between iterations of an in-flight batched
+        BFS never corrupts it: the run is pinned to the snapshot that
+        was resident at admission."""
+        from repro.dynamic import random_edge_batch
+
+        service = make_service(system, wgraph)
+        graph = service.graph("g")
+        sources = [0, 3, 9]
+        reference = batched_bfs(graph.driver_for("bfs"), sources)
+
+        mutated = {"done": False}
+
+        def cancel_hook(iteration: int) -> np.ndarray:
+            if iteration == 1 and not mutated["done"]:
+                batch = random_edge_batch(
+                    np.random.default_rng(2), wgraph.nrows,
+                    num_inserts=8, num_deletes=4,
+                    edge_pool=graph.mutable.edge_array(),
+                )
+                graph.mutable.apply(batch)
+                mutated["done"] = True
+            return np.zeros(len(sources), dtype=bool)
+
+        pinned = graph.driver_for("bfs")
+        version_before = graph.mutable.version
+        in_flight = batched_bfs(pinned, sources, cancel_hook=cancel_hook)
+        assert mutated["done"]
+        assert graph.mutable.version == version_before + 1
+        assert in_flight.values.tobytes() == reference.values.tobytes(), \
+            "in-flight read saw the concurrent write"
+        # the NEXT read resolves a fresh driver on the new snapshot
+        refreshed = graph.driver_for("bfs")
+        assert refreshed is not pinned
+        post = batched_bfs(refreshed, sources)
+        full = bfs(graph.matrix, 0, system, NUM_DPUS)
+        assert post.values[:, 0].tobytes() == full.values.tobytes()
+
+    def test_write_faults_retry_exactly_once(self, system, wgraph):
+        """Transfer corruption on the write path is transient: the batch
+        retries, but the mutation applies exactly once."""
+        from repro.faults import FaultPlan
+        from repro.dynamic import EdgeBatch
+        from repro.serving.request import MUTATE
+
+        service = make_service(system, wgraph)
+        # make_service resident graph has no fault plan; re-add with one
+        plan = FaultPlan(transfer_corruption_rate=0.6, seed=3)
+        service.add_graph("faulty", wgraph, fault_plan=plan)
+
+        async def main():
+            async with service:
+                results = []
+                for i in range(8):
+                    results.append(await service.submit_outcome(
+                        QueryRequest(
+                            tenant="t", graph="faulty", algorithm=MUTATE,
+                            edges=EdgeBatch.of(inserts=[(0, 10 + i)]),
+                        )
+                    ))
+                return results
+
+        results = run_async(main())
+        counters = service.counter_snapshot()
+        assert counters.get("write_faults", 0) >= 1, \
+            "corruption rate 0.6 over 8 writes drew no fault"
+        completed = [
+            r for r in results if r.status is QueryStatus.COMPLETED
+        ]
+        # exactly-once: the resident version counts each completed batch
+        # once, no matter how many retries its scatter needed
+        assert service.graph("faulty").mutable.version == len(completed)
+        assert any(r.retries > 0 for r in completed) or \
+            all(r.status is QueryStatus.FAILED for r in results)

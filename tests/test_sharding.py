@@ -237,6 +237,53 @@ class TestShardScheduler:
         assert isinstance(tl, ShardTimeline)
         assert tl.num_shards == 4
 
+    def test_shard_bounds_memoized(self, system):
+        sched = ShardScheduler(system)
+        bounds = sched.shard_bounds(200)
+        assert sched.shard_bounds(200) is bounds
+        assert not bounds.flags.writeable
+        assert sched.shard_bounds(128) is not bounds
+
+    def test_reschedule_memoized_per_timeline_and_mask(self, system):
+        """Degraded mode replays the same timeline shapes every launch;
+        identical (legs, skip-mask) inputs must be cache hits, not
+        recomputations (the pre-memo behavior)."""
+        sched, tl = self._timeline(system)
+        skipped = np.array([False, True, False, False])
+        first = sched.reschedule(tl, skipped)
+        assert (sched.reschedule_hits, sched.reschedule_misses) == (0, 1)
+        assert sched.reschedule(tl, skipped) is first
+        assert (sched.reschedule_hits, sched.reschedule_misses) == (1, 1)
+        # a different skip mask is a genuinely different schedule
+        other = sched.reschedule(tl, np.array([True, False, False, False]))
+        assert other is not first
+        assert sched.reschedule_misses == 2
+        # cached answer equals a fresh scheduler's computation
+        fresh = ShardScheduler(system).reschedule(tl, skipped)
+        assert np.allclose(first.gather_end, fresh.gather_end)
+        assert first.makespan_s == fresh.makespan_s
+
+    def test_degraded_executor_reuses_reschedule_cache(self, system, graph):
+        """A persistent rank loss reschedules every iteration with the
+        same skip mask; the executor-attached scheduler must serve those
+        from cache."""
+        from repro.faults.resilient import FaultTolerantExecutor
+        from repro.kernels.spmv import prepare_spmv_1d
+        from repro.upmem.sharding import shard_mode_override
+
+        executor = FaultTolerantExecutor(FaultPlan.disabled(), system, NUM_DPUS)
+        for i in range(system.dpus_per_rank):  # rank 0 fully lost
+            executor.rset._quarantine(i)
+        with shard_mode_override("overlapped"):
+            kernel = prepare_spmv_1d(graph, NUM_DPUS, system)
+            for _ in range(4):
+                executor.run(kernel, np.ones(graph.shape[1]), PLUS_TIMES)
+        sched = getattr(kernel, "_shard_scheduler", None) \
+            or executor._fallback_scheduler
+        assert sched is not None
+        assert sched.reschedule_hits >= 1
+        assert sched.reschedule_misses >= 1
+
 
 # ---------------------------------------------------------------------------
 # kernel attachment
