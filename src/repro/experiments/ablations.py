@@ -137,6 +137,10 @@ def run_model_agreement(
     """
     rng = np.random.default_rng(seed)
     cfg = replace(DpuConfig(), sustained_ipc=1.0)
+    # Deliberately bypasses the fast timing model: this ablation measures
+    # analytic-model-vs-simulator drift, so the cycle-exact pipeline is
+    # the reference oracle here (it still benefits from the vectorized
+    # stream synthesis + stream cache).
     pipeline = RevolverPipeline(cfg)
     ratios: List[float] = []
     for i in range(num_workloads):

@@ -78,11 +78,18 @@ class Fig9to11Result:
         fig9_rows: List[Tuple] = []
         fig10_rows: List[Tuple] = []
         fig11_rows: List[Tuple] = []
+        truncated: List[Tuple[str, str, str, float]] = []
         for c in self.cells:
             cb, mix = c.cycle_breakdown, c.instruction_mix
             sim_issue = (
                 f"{c.pipeline_sim.issue_fraction:.3f}" if c.pipeline_sim else "-"
             )
+            if c.pipeline_sim is not None and c.pipeline_sim.scale < 1.0:
+                sim_issue += "*"
+                truncated.append(
+                    (c.kernel, c.dataset, f"{c.density:.0%}",
+                     c.pipeline_sim.scale)
+                )
             fig9_rows.append(
                 (c.kernel, c.dataset, f"{c.density:.0%}", cb["issue"],
                  cb["memory"], cb["revolver"], cb["rf"], sim_issue)
@@ -99,13 +106,23 @@ class Fig9to11Result:
                 (c.kernel, c.dataset, f"{c.density:.0%}", mix["arith"],
                  mix["loadstore"], mix["dma"], mix["sync"], mix["control"])
             )
+        fig9_table = format_table(
+            ["kernel", "dataset", "density", "issue", "memory",
+             "revolver", "rf", "cyclesim issue"],
+            fig9_rows,
+            title="Fig. 9 — DPU cycle breakdown (fractions of total)",
+        )
+        if truncated:
+            notes = ", ".join(
+                f"{k}/{d}@{dens} x{scale:.3f}"
+                for k, d, dens, scale in truncated
+            )
+            fig9_table += (
+                "\n* cycle-sim stream truncated to the max_instructions "
+                f"cap; profile scaled by: {notes}"
+            )
         return "\n\n".join([
-            format_table(
-                ["kernel", "dataset", "density", "issue", "memory",
-                 "revolver", "rf", "cyclesim issue"],
-                fig9_rows,
-                title="Fig. 9 — DPU cycle breakdown (fractions of total)",
-            ),
+            fig9_table,
             format_table(
                 ["kernel", "dataset", "density", "active threads (analytic)",
                  "active threads (cyclesim)"],

@@ -46,7 +46,18 @@ from .pipeline import (
     MUTEX_UNLOCK,
     PipelineStats,
     RevolverPipeline,
+    StreamTable,
     synthesize_stream,
+    synthesize_stream_table,
+)
+from .fastmodel import (
+    TimingCoefficients,
+    calibrate,
+    default_coefficients,
+    predict_pipeline_stats,
+    set_timing_mode,
+    timing_mode,
+    timing_mode_override,
 )
 from .profile import KernelProfile, merge_profiles, useful_ops
 from .transfer import (
@@ -99,9 +110,18 @@ __all__ = [
     "EXPANSION",
     "RevolverPipeline",
     "PipelineStats",
+    "StreamTable",
     "synthesize_stream",
+    "synthesize_stream_table",
     "MUTEX_NONE",
     "MUTEX_UNLOCK",
+    "TimingCoefficients",
+    "calibrate",
+    "default_coefficients",
+    "predict_pipeline_stats",
+    "timing_mode",
+    "set_timing_mode",
+    "timing_mode_override",
     "CycleEstimate",
     "estimate_cycles",
     "estimate_from_profiles",

@@ -30,6 +30,42 @@ from .isa import EXPANSION, Instruction, InstructionProfile, InstrClass
 MUTEX_NONE = -1
 MUTEX_UNLOCK = -2
 
+#: Fixed class order used when synthesizing streams (the body classes in
+#: the order the legacy per-instruction emitter visited them).
+_BODY_ORDER = (
+    InstrClass.ARITH,
+    InstrClass.MUL32,
+    InstrClass.FADD,
+    InstrClass.FMUL,
+    InstrClass.LOADSTORE,
+    InstrClass.CONTROL,
+)
+
+#: Stable integer codes for the ndarray op tables (index into _CLASS_LIST).
+_CLASS_LIST = (
+    InstrClass.ARITH,
+    InstrClass.MUL32,
+    InstrClass.FADD,
+    InstrClass.FMUL,
+    InstrClass.LOADSTORE,
+    InstrClass.DMA,
+    InstrClass.SYNC,
+    InstrClass.CONTROL,
+)
+_CLASS_CODE = {k: i for i, k in enumerate(_CLASS_LIST)}
+_CONTROL_CODE = _CLASS_CODE[InstrClass.CONTROL]
+_SYNC_CODE = _CLASS_CODE[InstrClass.SYNC]
+_DMA_CODE = _CLASS_CODE[InstrClass.DMA]
+_EXPANSION_BY_CODE = np.array(
+    [EXPANSION[k] for k in _CLASS_LIST], dtype=np.int64
+)
+
+#: Synthesized streams memoized across the density sweep (PR 9): both the
+#: ndarray op table and the materialized Instruction list are content-keyed
+#: on (profile counts, DMA volume, lock structure, rf fraction, seed, cap).
+_STREAM_CACHE_ENTRIES = 256
+_STREAM_CACHE: "Dict[tuple, StreamTable]" = {}
+
 
 @dataclass
 class PipelineStats:
@@ -43,6 +79,11 @@ class PipelineStats:
     instructions_issued: int = 0
     active_thread_cycles: float = 0.0
     class_issued: Dict[InstrClass, int] = field(default_factory=dict)
+    #: Truncation factor applied to the profile before simulation: 1.0 when
+    #: the stream fit under ``max_instructions``, otherwise the ``scaled()``
+    #: shrink factor (PR 9 satellite — lets Fig. 9 reports flag truncated
+    #: cells instead of silently presenting scaled-down streams as full).
+    scale: float = 1.0
 
     @property
     def idle_cycles(self) -> int:
@@ -236,6 +277,228 @@ class RevolverPipeline:
             stats.idle_revolver += span
 
 
+@dataclass
+class StreamTable:
+    """A synthesized micro-op stream as parallel ndarrays.
+
+    Column-oriented twin of the ``List[Instruction]`` representation:
+    ``code[i]`` indexes :data:`_CLASS_LIST`, and the remaining columns
+    carry the per-op payload.  The closed-form timing model
+    (:mod:`repro.upmem.fastmodel`) consumes the arrays directly; the
+    cycle-exact simulator gets the materialized ``Instruction`` list via
+    :meth:`instructions` (built once, then cached on the table).
+    """
+
+    code: np.ndarray
+    dma_bytes: np.ndarray
+    mutex_id: np.ndarray
+    rf_pair: np.ndarray
+    _instructions: Optional[List[Instruction]] = None
+
+    def __len__(self) -> int:
+        return int(self.code.shape[0])
+
+    def instructions(self) -> List[Instruction]:
+        """Materialize (and cache) the ``Instruction`` list."""
+        if self._instructions is None:
+            self._instructions = [
+                Instruction(_CLASS_LIST[c], dma_bytes=b, mutex_id=m, rf_pair=r)
+                for c, b, m, r in zip(
+                    self.code.tolist(),
+                    self.dma_bytes.tolist(),
+                    self.mutex_id.tolist(),
+                    self.rf_pair.tolist(),
+                )
+            ]
+        return self._instructions
+
+
+def _stream_cache_key(
+    work: InstructionProfile, seed: int
+) -> tuple:
+    """Content key for a post-scaling profile + seed."""
+    return (
+        tuple(work.count(k) for k in _CLASS_LIST),
+        work.dma_bytes,
+        work.mutex_acquires,
+        work.rf_pair_fraction,
+        seed,
+    )
+
+
+def synthesize_stream_table(
+    profile: InstructionProfile,
+    seed: int = 0,
+    max_instructions: int = 50_000,
+) -> StreamTable:
+    """Vectorized :func:`synthesize_stream` returning a :class:`StreamTable`.
+
+    Bit-identical to the legacy per-``Instruction`` emitter (differentially
+    pinned by ``tests/test_timing_model.py``), built from ndarray op tables
+    instead of Python-object appends, and content-key-memoized so the
+    Fig. 9-11 density sweep synthesizes each distinct (profile, seed)
+    stream once.
+    """
+    work = profile
+    if profile.dispatch_slots > max_instructions and profile.dispatch_slots > 0:
+        work = profile.scaled(max_instructions / profile.dispatch_slots)
+
+    key = _stream_cache_key(work, seed)
+    cached = _STREAM_CACHE.get(key)
+    if cached is not None:
+        return cached
+
+    table = _build_stream_table(work, seed)
+    if len(_STREAM_CACHE) >= _STREAM_CACHE_ENTRIES:
+        _STREAM_CACHE.pop(next(iter(_STREAM_CACHE)))
+    _STREAM_CACHE[key] = table
+    return table
+
+
+def _build_stream_table(work: InstructionProfile, seed: int) -> StreamTable:
+    rng = np.random.default_rng(seed)
+    dma_count = work.count(InstrClass.DMA)
+    dma_chunk = work.dma_bytes // dma_count if dma_count else 0
+
+    sync_total = work.count(InstrClass.SYNC)
+    lock_pairs = min(work.mutex_acquires, sync_total // 2)
+    plain_sync = sync_total - 2 * lock_pairs
+
+    body_counts = [work.count(k) for k in _BODY_ORDER]
+    body_total = sum(body_counts)
+    events = body_total + dma_count + lock_pairs + plain_sync
+    empty = np.empty(0, dtype=np.int64)
+    if events == 0:
+        return StreamTable(
+            code=empty,
+            dma_bytes=empty,
+            mutex_id=empty,
+            rf_pair=np.empty(0, dtype=bool),
+            _instructions=[],
+        )
+
+    # interleave DMA / lock events uniformly through the body (identical
+    # position maths to the legacy emitter; np.unique stands in for the
+    # legacy ``set`` dedup of clipped lock positions)
+    dma_pos = (
+        np.unique(np.linspace(0, events - 1, num=dma_count, dtype=np.int64))
+        if dma_count
+        else empty
+    )
+    lock_pos = (
+        np.unique(
+            np.minimum(
+                np.linspace(0, events - 1, num=lock_pairs, dtype=np.int64) + 1,
+                events - 1,
+            )
+        )
+        if lock_pairs
+        else empty
+    )
+    mutex_id = int(rng.integers(0, 4)) if lock_pairs else 0
+    rf_period = (
+        int(round(1.0 / work.rf_pair_fraction))
+        if work.rf_pair_fraction > 0
+        else 0
+    )
+
+    # positions not claimed by a DMA or lock event take body ops (greedy
+    # most-under-emitted class first), then plain SYNCs once the body is
+    # exhausted, then nothing
+    special = np.zeros(events, dtype=bool)
+    special[dma_pos] = True
+    special[lock_pos] = True
+    plain_idx = np.flatnonzero(~special)
+
+    # greedy proportional emission == stable descending sort of per-instance
+    # priorities (count - i) / count with ties broken by body-class order
+    # (body-class codes ascend in _BODY_ORDER, so the code is the tiebreak)
+    inst_code = np.repeat(
+        np.array([_CLASS_CODE[k] for k in _BODY_ORDER], dtype=np.int64),
+        body_counts,
+    )
+    inst_prio = np.concatenate(
+        [
+            (c - np.arange(c, dtype=np.float64)) / c
+            for c in body_counts
+            if c > 0
+        ]
+    ) if body_total else np.empty(0, dtype=np.float64)
+    body_seq = inst_code[np.lexsort((inst_code, -inst_prio))]
+    rf_flags = (
+        (np.arange(1, body_total + 1, dtype=np.int64) % rf_period) == 0
+        if rf_period > 0
+        else np.zeros(body_total, dtype=bool)
+    )
+
+    n_sync = min(plain_sync, max(0, plain_idx.shape[0] - body_total))
+
+    # pre-expansion sequence: order ops by (position, intra-position rank);
+    # a position emits its DMA first, then the lock pair
+    seq_pos = np.concatenate(
+        [
+            dma_pos,
+            np.repeat(lock_pos, 2),
+            plain_idx[: body_total + n_sync],
+        ]
+    )
+    seq_rank = np.concatenate(
+        [
+            np.zeros(dma_pos.shape[0], dtype=np.int64),
+            np.tile(np.array([1, 2], dtype=np.int64), lock_pos.shape[0]),
+            np.ones(body_total + n_sync, dtype=np.int64),
+        ]
+    )
+    seq_code = np.concatenate(
+        [
+            np.full(dma_pos.shape[0], _DMA_CODE, dtype=np.int64),
+            np.full(2 * lock_pos.shape[0], _SYNC_CODE, dtype=np.int64),
+            body_seq,
+            np.full(n_sync, _SYNC_CODE, dtype=np.int64),
+        ]
+    )
+    seq_bytes = np.zeros(seq_code.shape[0], dtype=np.int64)
+    seq_bytes[: dma_pos.shape[0]] = dma_chunk
+    seq_mutex = np.full(seq_code.shape[0], MUTEX_NONE, dtype=np.int64)
+    seq_mutex[dma_pos.shape[0] : dma_pos.shape[0] + 2 * lock_pos.shape[0]] = (
+        np.tile(np.array([mutex_id, MUTEX_UNLOCK], dtype=np.int64),
+                lock_pos.shape[0])
+    )
+    seq_rf = np.zeros(seq_code.shape[0], dtype=bool)
+    body_at = dma_pos.shape[0] + 2 * lock_pos.shape[0]
+    seq_rf[body_at : body_at + body_total] = rf_flags
+
+    order = np.lexsort((seq_rank, seq_pos))
+    seq_code = seq_code[order]
+    seq_bytes = seq_bytes[order]
+    seq_mutex = seq_mutex[order]
+    seq_rf = seq_rf[order]
+
+    # expand multi-slot classes into unit micro-ops: SYNC gains one CONTROL
+    # micro-op, MUL32/FADD/FMUL repeat (slots - 1) bare copies; payload and
+    # rf flags stay on the first micro-op only
+    slots = _EXPANSION_BY_CODE[seq_code]
+    slots[seq_code == _DMA_CODE] = 1
+    slots[seq_code == _SYNC_CODE] = 2
+    src = np.repeat(np.arange(seq_code.shape[0], dtype=np.int64), slots)
+    starts = np.cumsum(slots) - slots
+    first = np.zeros(src.shape[0], dtype=bool)
+    first[starts] = True
+
+    out_code = seq_code[src]
+    out_code[~first & (out_code == _SYNC_CODE)] = _CONTROL_CODE
+    out_bytes = np.where(first, seq_bytes[src], 0)
+    out_mutex = np.where(first, seq_mutex[src], MUTEX_NONE)
+    out_rf = seq_rf[src] & first
+
+    return StreamTable(
+        code=out_code,
+        dma_bytes=out_bytes,
+        mutex_id=out_mutex,
+        rf_pair=out_rf,
+    )
+
+
 def synthesize_stream(
     profile: InstructionProfile,
     seed: int = 0,
@@ -249,7 +512,23 @@ def synthesize_stream(
     ops and (for shared outputs) lock/update/unlock sequences.  Multi-slot
     classes (MUL32, FADD, FMUL, SYNC) are expanded into that many unit
     micro-ops so the pipeline model only handles single-slot dispatches.
+
+    Since PR 9 this is a thin wrapper over the vectorized (and memoized)
+    :func:`synthesize_stream_table`; the emitted stream is bit-identical
+    to the original per-``Instruction`` emitter, which survives as
+    :func:`_synthesize_stream_reference` for the differential tests.
     """
+    return synthesize_stream_table(
+        profile, seed=seed, max_instructions=max_instructions
+    ).instructions()
+
+
+def _synthesize_stream_reference(
+    profile: InstructionProfile,
+    seed: int = 0,
+    max_instructions: int = 50_000,
+) -> List[Instruction]:
+    """The pre-PR-9 scalar emitter, kept as the bit-identity oracle."""
     work = profile
     if profile.dispatch_slots > max_instructions and profile.dispatch_slots > 0:
         work = profile.scaled(max_instructions / profile.dispatch_slots)

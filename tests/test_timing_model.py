@@ -1,0 +1,370 @@
+"""Differential tests for the calibrated closed-form timing model (PR 9).
+
+The fast path must stay within the stated tolerance of the cycle-exact
+simulator everywhere it serves, fall back honestly everywhere else, and
+leave ``REPRO_TIMING_MODEL=exact`` bit-identical to the pre-PR pipeline
+(pinned by ``tests/golden/pipeline_stats.json``).  Seeds are printed in
+assert messages so failures are reproducible in isolation.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.errors import UpmemError
+from repro.upmem import (
+    DpuConfig,
+    InstructionProfile,
+    InstrClass,
+    KernelProfile,
+    RevolverPipeline,
+    merge_profiles,
+    synthesize_stream,
+    synthesize_stream_table,
+    timing_mode_override,
+)
+from repro.upmem import fastmodel
+from repro.upmem.fastmodel import (
+    TimingCoefficients,
+    calibrate,
+    default_coefficients,
+    predict,
+)
+from repro.upmem.pipeline import _synthesize_stream_reference
+from repro.upmem.profile import clear_sim_cache
+
+pytestmark = pytest.mark.timing
+
+GOLDEN = Path(__file__).parent / "golden" / "pipeline_stats.json"
+
+#: Stated tolerance of the fast path, in absolute breakdown-fraction
+#: units (docs/TIMING_MODEL.md).
+TOLERANCE = 0.02
+
+
+@pytest.fixture(autouse=True)
+def _fresh_timing_state():
+    fastmodel.STATS.reset()
+    clear_sim_cache()
+    yield
+    fastmodel.STATS.reset()
+    clear_sim_cache()
+
+
+def _spec_profile(spec) -> InstructionProfile:
+    p = InstructionProfile(rf_pair_fraction=spec["rf"])
+    for name, count in spec["counts"].items():
+        if count:
+            p.add(InstrClass(name), count)
+    if spec["dma_n"]:
+        p.add_dma(spec["dma_bytes"], spec["dma_n"])
+    p.mutex_acquires = spec["mutex"]
+    return p
+
+
+def _stats_dict(stats):
+    return {
+        "cycles": stats.cycles,
+        "issue_cycles": stats.issue_cycles,
+        "idle_memory": stats.idle_memory,
+        "idle_revolver": stats.idle_revolver,
+        "idle_rf": stats.idle_rf,
+        "instructions_issued": stats.instructions_issued,
+        "active_thread_cycles": stats.active_thread_cycles,
+        "class_issued": {
+            k.value: v for k, v in stats.class_issued.items()
+        },
+    }
+
+
+def _exact_stats(profile, tasklets, seed, cap, cfg):
+    streams = [
+        synthesize_stream(profile, seed=seed + t, max_instructions=cap)
+        for t in range(tasklets)
+    ]
+    streams = [s for s in streams if s] or [[]]
+    return RevolverPipeline(cfg).run(streams)
+
+
+class TestModeSelection:
+    def test_default_is_fast(self, monkeypatch):
+        monkeypatch.delenv(fastmodel.ENV_VAR, raising=False)
+        assert fastmodel.timing_mode() == "fast"
+
+    def test_env_var_forces_exact(self, monkeypatch):
+        monkeypatch.setenv(fastmodel.ENV_VAR, "exact")
+        assert fastmodel.timing_mode() == "exact"
+
+    def test_override_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(fastmodel.ENV_VAR, "exact")
+        with timing_mode_override("fast"):
+            assert fastmodel.timing_mode() == "fast"
+        assert fastmodel.timing_mode() == "exact"
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(UpmemError):
+            fastmodel.set_timing_mode("approximate")
+
+
+class TestFastVsExactGrid:
+    def test_grid_within_tolerance(self):
+        """Every in-envelope grid cell matches the exact simulator to
+        within the stated breakdown-fraction tolerance."""
+        cfg = DpuConfig()
+        rng = np.random.default_rng(987)
+        served = 0
+        for prof, tasklets, seed in fastmodel._grid_profiles(rng, 120):
+            cap = max(4000 // tasklets, 1)
+            stats, reason = predict(
+                prof, tasklets, seed=seed, max_instructions=cap, config=cfg
+            )
+            if stats is None:
+                continue
+            served += 1
+            exact = _exact_stats(prof, tasklets, seed, cap, cfg)
+            ctx = f"(stream seed={seed}, tasklets={tasklets})"
+            bf, be = stats.breakdown_fractions(), exact.breakdown_fractions()
+            for k in bf:
+                assert abs(bf[k] - be[k]) <= TOLERANCE, (
+                    f"{k} fraction off by {abs(bf[k] - be[k]):.4f} {ctx}"
+                )
+            assert abs(
+                stats.avg_active_threads - exact.avg_active_threads
+            ) / tasklets <= TOLERANCE, (
+                f"active-thread utilization off {ctx}"
+            )
+            assert abs(stats.ipc - exact.ipc) <= TOLERANCE, f"ipc off {ctx}"
+            # bookkeeping terms are table-driven: exact, not approximate
+            assert stats.instructions_issued == exact.instructions_issued, ctx
+            assert stats.issue_cycles == exact.issue_cycles, ctx
+            assert stats.idle_rf == exact.idle_rf, ctx
+            assert stats.class_issued == exact.class_issued, ctx
+        # the grid must actually exercise the fast path
+        assert served >= 40, f"only {served} grid cells served (seed=987)"
+
+    def test_locked_multitasklet_streams_are_refused(self):
+        prof = InstructionProfile()
+        prof.add(InstrClass.ARITH, 40)
+        prof.add(InstrClass.SYNC, 8)
+        prof.mutex_acquires = 4
+        stats, reason = predict(prof, tasklets=8, seed=3)
+        assert stats is None
+        assert reason == "lock_contention"
+        # uncontended single-tasklet locks stay on the fast path
+        stats, reason = predict(prof, tasklets=1, seed=3)
+        assert stats is not None, f"unexpected fallback: {reason}"
+
+    def test_out_of_envelope_dma_is_refused(self):
+        coeffs = default_coefficients()
+        assert coeffs is not None, "shipped timing_coeffs.json missing"
+        hi = coeffs.envelope["dma_latency_max"][1]
+        prof = InstructionProfile()
+        prof.add(InstrClass.ARITH, 50)
+        # one transfer far past the calibrated latency range
+        prof.add_dma(int(hi * 40), 1)
+        stats, reason = predict(prof, tasklets=4, seed=11)
+        assert stats is None
+        assert reason == "envelope:dma_latency_max"
+
+
+class TestDispatch:
+    def _profile(self, mutex=0):
+        p = InstructionProfile()
+        p.add(InstrClass.ARITH, 4000)
+        p.add(InstrClass.CONTROL, 1500)
+        p.add(InstrClass.SYNC, 200)
+        p.add_dma(6400, 100)
+        p.mutex_acquires = mutex
+        return KernelProfile(
+            kernel_name="k", instructions=p.scaled(64 * 8),
+            num_dpus=64, active_tasklets_per_dpu=8.0,
+        )
+
+    def test_fast_dispatch_counts_hit(self):
+        kp = self._profile()
+        with timing_mode_override("fast"):
+            kp.simulate_representative_dpu(max_instructions=6000)
+        assert fastmodel.STATS.fastpath_hits == 1
+        assert fastmodel.STATS.exact_runs == 0
+
+    def test_fallback_is_bit_exact_and_counted(self):
+        kp = self._profile(mutex=40 * 64 * 8)
+        cfg = DpuConfig()
+        with timing_mode_override("fast"):
+            got = kp.simulate_representative_dpu(
+                config=cfg, max_instructions=6000, seed=5
+            )
+        assert fastmodel.STATS.fallback_reasons == {"lock_contention": 1}
+        per_tasklet = kp.instructions.scaled(1.0 / (64 * 8))
+        exact = _exact_stats(per_tasklet, 8, 5, 6000 // 8, cfg)
+        assert _stats_dict(got) == _stats_dict(exact)
+
+    def test_exact_mode_forces_simulator(self):
+        kp = self._profile()
+        with timing_mode_override("exact"):
+            kp.simulate_representative_dpu(max_instructions=6000)
+        assert fastmodel.STATS.fastpath_hits == 0
+        assert fastmodel.STATS.fallback_reasons == {"mode_exact": 1}
+
+    def test_memo_answers_repeats_with_isolated_copies(self):
+        kp = self._profile()
+        with timing_mode_override("fast"):
+            first = kp.simulate_representative_dpu(max_instructions=6000)
+            first.class_issued.clear()  # must not corrupt the memo
+            first.cycles = -1
+            second = kp.simulate_representative_dpu(max_instructions=6000)
+        assert fastmodel.STATS.memo_hits == 1
+        assert second.cycles > 0
+        assert second.class_issued, "memoized class counts were shared"
+
+    def test_scale_surfaces_truncation(self):
+        kp = self._profile()
+        with timing_mode_override("exact"):
+            full = kp.simulate_representative_dpu(max_instructions=200_000)
+            cut = kp.simulate_representative_dpu(max_instructions=800)
+        assert full.scale == 1.0
+        assert 0.0 < cut.scale < 1.0
+
+
+class TestGoldenBitIdentity:
+    """``REPRO_TIMING_MODEL=exact`` reproduces the pre-PR simulator
+    bit-for-bit (the golden file was generated before the fast model and
+    the vectorized stream synthesis landed)."""
+
+    def test_pipeline_cases(self):
+        data = json.loads(GOLDEN.read_text())
+        cfg = DpuConfig()
+        for case in data["pipeline"]:
+            spec = case["spec"]
+            prof = _spec_profile(spec)
+            streams = [
+                synthesize_stream(prof, seed=spec["seed"] + t)
+                for t in range(spec["tasklets"])
+            ]
+            got = _stats_dict(RevolverPipeline(cfg).run(streams))
+            assert got == case["stats"], (
+                f"pipeline stats drifted (seed={spec['seed']}, "
+                f"tasklets={spec['tasklets']})"
+            )
+
+    def test_representative_dpu_cases(self):
+        data = json.loads(GOLDEN.read_text())
+        with timing_mode_override("exact"):
+            for case in data["representative_dpu"]:
+                spec = case["spec"]
+                prof = _spec_profile(spec)
+                kp = KernelProfile(
+                    kernel_name="golden",
+                    instructions=prof.scaled(64 * spec["tasklets"]),
+                    num_dpus=64,
+                    active_tasklets_per_dpu=float(spec["tasklets"]),
+                )
+                got = _stats_dict(
+                    kp.simulate_representative_dpu(
+                        max_instructions=6000, seed=spec["seed"]
+                    )
+                )
+                assert got == case["stats"], (
+                    f"representative-DPU stats drifted "
+                    f"(seed={spec['seed']}, tasklets={spec['tasklets']})"
+                )
+
+
+class TestCoefficients:
+    def test_roundtrip(self, tmp_path):
+        coeffs = calibrate(cases=40, grid_seed=4242, max_instructions=1500)
+        path = tmp_path / "coeffs.json"
+        coeffs.save(path)
+        loaded = TimingCoefficients.load(path)
+        assert loaded.to_dict() == coeffs.to_dict()
+
+    def test_roundtripped_fit_predicts_identically(self, tmp_path):
+        coeffs = calibrate(cases=40, grid_seed=4242, max_instructions=1500)
+        path = tmp_path / "coeffs.json"
+        coeffs.save(path)
+        loaded = TimingCoefficients.load(path)
+        prof = InstructionProfile()
+        prof.add(InstrClass.ARITH, 60)
+        prof.add_dma(640, 4)
+        a, _ = predict(prof, tasklets=6, seed=9, coefficients=coeffs)
+        b, _ = predict(prof, tasklets=6, seed=9, coefficients=loaded)
+        assert a is not None and b is not None
+        assert _stats_dict(a) == _stats_dict(b)
+
+    def test_config_mismatch_falls_back(self):
+        prof = InstructionProfile()
+        prof.add(InstrClass.ARITH, 60)
+        stats, reason = predict(
+            prof, tasklets=4, config=DpuConfig(dispatch_gap_cycles=7)
+        )
+        assert stats is None
+        assert reason == "config_mismatch"
+
+    def test_shipped_residuals_within_tolerance(self):
+        coeffs = default_coefficients()
+        assert coeffs is not None, "shipped timing_coeffs.json missing"
+        for target, quantiles in coeffs.residuals.items():
+            assert quantiles["max"] <= TOLERANCE, (
+                f"shipped {target} residual max {quantiles['max']:.4f} "
+                f"exceeds the stated tolerance"
+            )
+
+
+class TestStreamSynthesis:
+    def test_vectorized_matches_reference_emitter(self):
+        """The ndarray stream builder is bit-identical to the legacy
+        per-Instruction emitter across the profile space."""
+        rng = np.random.default_rng(20260808)
+        for case in range(60):
+            prof = InstructionProfile(
+                rf_pair_fraction=float(rng.choice([0.0, 0.05, 0.08, 0.31]))
+            )
+            for klass in (
+                InstrClass.ARITH, InstrClass.MUL32, InstrClass.FADD,
+                InstrClass.FMUL, InstrClass.LOADSTORE, InstrClass.CONTROL,
+                InstrClass.SYNC,
+            ):
+                count = int(rng.integers(0, 90))
+                if count:
+                    prof.add(klass, count)
+            transfers = int(rng.integers(0, 12))
+            if transfers:
+                prof.add_dma(int(rng.integers(0, 9000)), transfers)
+            sync = prof.count(InstrClass.SYNC)
+            prof.mutex_acquires = int(rng.integers(0, sync + 1))
+            seed = int(rng.integers(0, 1000))
+            cap = int(rng.choice([60, 400, 50_000]))
+            got = synthesize_stream_table(
+                prof, seed=seed, max_instructions=cap
+            ).instructions()
+            want = _synthesize_stream_reference(
+                prof, seed=seed, max_instructions=cap
+            )
+            assert got == want, (
+                f"stream drift (case={case}, seed={seed}, cap={cap})"
+            )
+
+    def test_empty_profile_synthesizes_empty_stream(self):
+        assert synthesize_stream(InstructionProfile()) == []
+
+
+class TestMergeProfiles:
+    def test_generator_input_counts_correctly(self):
+        """Regression: generators were exhausted by the merge loop, so the
+        post-loop len(list(...)) saw 0 and the tasklet average was wrong."""
+        def make(n):
+            for i in range(n):
+                yield KernelProfile(
+                    kernel_name=f"it{i}",
+                    num_dpus=64,
+                    active_tasklets_per_dpu=12.0,
+                )
+        from_gen = merge_profiles("merged", make(4))
+        from_list = merge_profiles("merged", list(make(4)))
+        assert from_gen.active_tasklets_per_dpu == pytest.approx(12.0)
+        assert (
+            from_gen.active_tasklets_per_dpu
+            == from_list.active_tasklets_per_dpu
+        )
