@@ -1,0 +1,163 @@
+"""Gray-failure serving benchmark (PR 10 perf-smoke gate).
+
+One seeded closed-loop burst replays three times against identical
+services: healthy, 5% fail-slow with speculative tile hedging, and the
+same fail-slow mix with hedging disabled.  The side-by-side report lands
+in ``BENCH_PR10.json`` at the repository root: wall and *simulated*
+p50/p99 per phase, plus hedge win/waste rates pulled from the resident
+graph's fault logs.
+
+Gates (the chaos acceptance criteria, in benchmark form):
+
+* every phase accounts for and completes every submitted query — gray
+  failures cost time, never answers (bit-identity itself is pinned by
+  ``tests/test_grayfailure.py``);
+* with hedging, the straggler mix keeps simulated p99 within 3x the
+  fault-free p99;
+* without hedging the same fault schedule is no faster — hedging only
+  removes straggler wait, it never adds critical-path time.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pathlib
+import time
+from dataclasses import replace
+
+import numpy as np
+
+from conftest import run_once
+
+from repro.faults import FaultPlan
+from repro.ioutil import atomic_write_json
+from repro.serving import GraphService, LoadgenConfig, run_load
+from repro.sparse import COOMatrix
+from repro.upmem import SystemConfig
+
+NUM_DPUS = 128
+SLOW_RATE = 0.05
+STRAGGLER_PLAN = FaultPlan(seed=0).with_fail_slow(SLOW_RATE)
+UNHEDGED_PLAN = replace(STRAGGLER_PLAN, hedging=False)
+BURST = LoadgenConfig(graph="g", tenants=3, queries_per_tenant=6, seed=42)
+
+BENCH_PATH = pathlib.Path(__file__).parents[1] / "BENCH_PR10.json"
+
+
+def _graph(n: int = 120, avg_degree: float = 5.0, seed: int = 3):
+    rng = np.random.default_rng(seed)
+    nnz = int(n * avg_degree)
+    edges = rng.integers(0, n, size=(nnz, 2))
+    edges = edges[edges[:, 0] != edges[:, 1]]
+    weights = rng.integers(1, 9, size=len(edges)).astype(np.int32)
+    return COOMatrix.from_edges(edges, n, weights=weights)
+
+
+def _serve_phase(matrix, fault_plan=None):
+    system = SystemConfig(num_dpus=NUM_DPUS)
+    service = GraphService(system, NUM_DPUS)
+    service.add_graph("g", matrix, fault_plan=fault_plan)
+
+    async def scenario():
+        async with service:
+            return await run_load(service, BURST)
+
+    report, results = asyncio.run(scenario())
+    sim = sorted(r.sim_time_s for r in results if r.sim_time_s > 0)
+    hedge_stats = {"stragglers": 0, "hedges_won": 0, "hedges_wasted": 0}
+    for driver in set(service.graph("g")._drivers.values()):
+        log = driver.fault_log
+        if log is None:
+            continue
+        hedge_stats["stragglers"] += log.num_stragglers
+        hedge_stats["hedges_won"] += log.num_hedges_won
+        hedge_stats["hedges_wasted"] += log.num_hedges_wasted
+    return report, sim, hedge_stats
+
+
+def _pct(sorted_vals, q):
+    if not sorted_vals:
+        return 0.0
+    return float(np.quantile(np.asarray(sorted_vals), q))
+
+
+def test_gray_failure_hedging_bounds_tail(benchmark):
+    matrix = _graph()
+
+    healthy, healthy_sim, _ = _serve_phase(matrix)
+    hedged, hedged_sim, hedged_stats = run_once(
+        benchmark, lambda: _serve_phase(matrix, fault_plan=STRAGGLER_PLAN)
+    )
+    unhedged, unhedged_sim, unhedged_stats = _serve_phase(
+        matrix, fault_plan=UNHEDGED_PLAN
+    )
+
+    for report in (healthy, hedged, unhedged):
+        assert report.accounted
+        assert report.completed == report.submitted
+
+    healthy_p99 = _pct(healthy_sim, 0.99)
+    hedged_p99 = _pct(hedged_sim, 0.99)
+    unhedged_p99 = _pct(unhedged_sim, 0.99)
+
+    # the straggler mix actually fired, and hedging engaged
+    assert hedged_stats["stragglers"] > 0
+    assert hedged_stats["hedges_won"] + hedged_stats["hedges_wasted"] > 0
+    assert unhedged_stats["hedges_won"] == 0
+
+    # chaos gate: hedging keeps the simulated tail within 3x fault-free
+    assert hedged_p99 <= 3.0 * healthy_p99, (
+        f"hedged sim p99 {hedged_p99:.3e}s blew the 3x budget over "
+        f"healthy {healthy_p99:.3e}s (plan seed={STRAGGLER_PLAN.seed})"
+    )
+    # and disabling hedging never makes the same schedule faster
+    assert unhedged_p99 >= hedged_p99
+
+    detected = max(1, hedged_stats["stragglers"])
+    payload = {
+        "benchmark": "gray-failure-hedging",
+        "written_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "num_dpus": NUM_DPUS,
+        "loadgen": {
+            "mode": BURST.mode,
+            "tenants": BURST.tenants,
+            "queries_per_tenant": BURST.queries_per_tenant,
+            "seed": BURST.seed,
+            "algorithms": list(BURST.algorithms),
+        },
+        "fault_plan": {
+            "seed": STRAGGLER_PLAN.seed,
+            "dpu_slow_rate": STRAGGLER_PLAN.dpu_slow_rate,
+            "degraded_dpu_rate": STRAGGLER_PLAN.degraded_dpu_rate,
+            "degraded_rank_rate": STRAGGLER_PLAN.degraded_rank_rate,
+            "dma_retry_rate": STRAGGLER_PLAN.dma_retry_rate,
+        },
+        "phases": {
+            "healthy": {
+                "report": healthy.as_dict(),
+                "sim_p50_s": _pct(healthy_sim, 0.50),
+                "sim_p99_s": healthy_p99,
+            },
+            "fail_slow_hedged": {
+                "report": hedged.as_dict(),
+                "sim_p50_s": _pct(hedged_sim, 0.50),
+                "sim_p99_s": hedged_p99,
+                **hedged_stats,
+            },
+            "fail_slow_unhedged": {
+                "report": unhedged.as_dict(),
+                "sim_p50_s": _pct(unhedged_sim, 0.50),
+                "sim_p99_s": unhedged_p99,
+                **unhedged_stats,
+            },
+        },
+        "hedge_win_rate": hedged_stats["hedges_won"] / detected,
+        "hedge_waste_rate": hedged_stats["hedges_wasted"] / detected,
+        "sim_p99_slowdown_hedged_x": (
+            hedged_p99 / healthy_p99 if healthy_p99 > 0 else None
+        ),
+        "sim_p99_slowdown_unhedged_x": (
+            unhedged_p99 / healthy_p99 if healthy_p99 > 0 else None
+        ),
+    }
+    atomic_write_json(BENCH_PATH, payload)

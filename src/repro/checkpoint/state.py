@@ -174,7 +174,7 @@ def fault_state(executor: "FaultTolerantExecutor") -> Dict[str, Any]:
     action and its simulated cost — match the uninterrupted run exactly.
     """
     rset = executor.rset
-    return {
+    state = {
         "rounds": int(executor.rounds),
         "rr": int(rset._rr),
         "draws": int(rset.injector.draws),
@@ -183,6 +183,37 @@ def fault_state(executor: "FaultTolerantExecutor") -> Dict[str, Any]:
         "fault_streaks": [int(dpu.fault_streak) for dpu in rset.dpus],
         "log": rset.log.to_dict(),
     }
+    gray = rset.gray
+    if gray is not None:
+        state["gray"] = {
+            "rng": gray.rng.bit_generator.state,
+            "dpu_factor": gray.dpu_factor.tolist(),
+            "rank_factor": gray.rank_factor.tolist(),
+            "streak": gray.streak.tolist(),
+            "slow_quarantined": sorted(
+                int(i) for i in gray.slow_quarantined
+            ),
+            "clean_probes": {
+                str(k): int(v) for k, v in gray.clean_probes.items()
+            },
+            "wasted_s": float(gray.wasted_s),
+            "hedges_won": int(gray.hedges_won),
+            "hedges_lost": int(gray.hedges_lost),
+            "stragglers_detected": int(gray.stragglers_detected),
+        }
+    if rset.adaptive is not None:
+        state["adaptive"] = {
+            region: {
+                "count": int(est.count),
+                "heights": list(est._heights),
+                "positions": list(est._positions),
+                "desired": list(est._desired),
+            }
+            for region, est in rset.adaptive._estimators.items()
+        }
+    if rset._jitter_rng is not None:
+        state["jitter_rng"] = rset._jitter_rng.bit_generator.state
+    return state
 
 
 def restore_fault_state(
@@ -203,6 +234,38 @@ def restore_fault_state(
         dpu.fault_streak = int(streak)
     log = FaultLog.from_dict(state["log"])
     rset.log = log
+    gray_state = state.get("gray")
+    if gray_state is not None and rset.gray is not None:
+        gray = rset.gray
+        gray.rng.bit_generator.state = gray_state["rng"]
+        gray.dpu_factor = np.asarray(
+            gray_state["dpu_factor"], dtype=np.float64
+        )
+        gray.rank_factor = np.asarray(
+            gray_state["rank_factor"], dtype=np.float64
+        )
+        gray.streak = np.asarray(gray_state["streak"], dtype=np.int64)
+        gray.slow_quarantined = set(
+            int(i) for i in gray_state["slow_quarantined"]
+        )
+        gray.clean_probes = {
+            int(k): int(v)
+            for k, v in gray_state["clean_probes"].items()
+        }
+        gray.wasted_s = float(gray_state["wasted_s"])
+        gray.hedges_won = int(gray_state["hedges_won"])
+        gray.hedges_lost = int(gray_state["hedges_lost"])
+        gray.stragglers_detected = int(gray_state["stragglers_detected"])
+    adaptive_state = state.get("adaptive")
+    if adaptive_state is not None and rset.adaptive is not None:
+        for region, est_state in adaptive_state.items():
+            est = rset.adaptive.estimator(region)
+            est.count = int(est_state["count"])
+            est._heights = [float(h) for h in est_state["heights"]]
+            est._positions = [float(p) for p in est_state["positions"]]
+            est._desired = [float(d) for d in est_state["desired"]]
+    if state.get("jitter_rng") is not None and rset._jitter_rng is not None:
+        rset._jitter_rng.bit_generator.state = state["jitter_rng"]
     # per-region bookkeeping is rebuilt from scratch every iteration
     # (scatter overwrites goldens/CRCs, launch resets adoption maps);
     # entries can only be live *inside* an iteration, and checkpoints

@@ -63,6 +63,23 @@ def build_parser() -> argparse.ArgumentParser:
              "= same faults)",
     )
     parser.add_argument(
+        "--slow-rate", type=float, default=0.0,
+        help="per-launch fail-slow (gray failure) probability: lognormal "
+             "straggler draws, plus degraded-DPU/rank onset and DMA-retry "
+             "stalls at FaultPlan.with_fail_slow scaled rates "
+             "(default: 0 = off)",
+    )
+    parser.add_argument(
+        "--no-hedging", action="store_true",
+        help="disable speculative tile hedging for stragglers "
+             "(fail-slow DPUs then bound every launch)",
+    )
+    parser.add_argument(
+        "--adaptive-timeout", action="store_true",
+        help="price hang recoveries with the learned per-kernel P2 "
+             "deadline instead of the fixed FaultPlan.timeout_s",
+    )
+    parser.add_argument(
         "--trace", type=pathlib.Path, default=None, metavar="OUT.json",
         help="record a span trace of the run and write it in Chrome "
              "trace-event format (open in chrome://tracing or "
@@ -193,10 +210,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     source = args.source % matrix.nrows
     policy = _make_policy(args.policy, matrix)
     fault_plan = None
-    if args.fault_rate > 0:
+    if args.fault_rate > 0 or args.slow_rate > 0:
         from .faults import FaultPlan
 
         fault_plan = FaultPlan.uniform(args.fault_rate, seed=args.fault_seed)
+        if args.slow_rate > 0:
+            fault_plan = fault_plan.with_fail_slow(args.slow_rate)
+        if args.no_hedging or args.adaptive_timeout:
+            from dataclasses import replace
+
+            fault_plan = replace(
+                fault_plan,
+                hedging=not args.no_hedging,
+                adaptive_timeout=args.adaptive_timeout,
+            )
 
     print(f"{args.algorithm.upper()} on {spec.name} "
           f"({matrix.nrows} nodes, {matrix.nnz} edges) "

@@ -99,9 +99,11 @@ class RejectedError(ServingError):
     empty), ``"queue-full"`` (the bounded admission queue is at
     capacity), ``"graph-not-resident"`` (the request names a graph the
     service does not hold), ``"invalid-source"`` (a single-source query
-    without a source vertex, or one outside the graph), or
+    without a source vertex, or one outside the graph),
     ``"circuit-open"`` (the target graph's circuit breaker is open
-    after a failure streak).
+    after a failure streak), or ``"capacity"`` (admitting the graph
+    would overflow the service's aggregate MRAM budget — raised by
+    ``GraphService.add_graph``, not per query).
     """
 
     def __init__(self, reason: str, message: str) -> None:

@@ -14,6 +14,12 @@ kernel so BFS / SSSP / PPR / PageRank complete bit-identically to the
 fault-free run.  Everything observed lands in a structured
 :class:`FaultLog`.
 
+Gray failures (fail-slow: lognormal straggler draws, sticky degraded
+DPUs/ranks, DMA-retry stalls) live in :mod:`repro.faults.gray`: they
+cost simulated time instead of raising errors, are detected by an
+adaptive P² exec-time deadline, and are bounded by speculative tile
+hedging with a probation path back to health.
+
 Injection is **off by default**: with no plan supplied (the universal
 default), every code path is bit-identical to the pre-fault-layer
 simulator.  Enable it with e.g.::
@@ -24,6 +30,7 @@ simulator.  Enable it with e.g.::
     print(run.fault_log.format_report())
 """
 
+from .gray import AdaptiveTimeout, GrayFailureModel, P2Quantile
 from .injector import FaultInjector, FaultKind, checksum
 from .log import INJECTED_KINDS, FaultEvent, FaultLog
 from .plan import FaultPlan
@@ -38,5 +45,8 @@ __all__ = [
     "INJECTED_KINDS",
     "ResilientDpuSet",
     "FaultTolerantExecutor",
+    "P2Quantile",
+    "AdaptiveTimeout",
+    "GrayFailureModel",
     "checksum",
 ]

@@ -1,0 +1,317 @@
+"""Gray-failure (fail-slow) model: slowdown draws, quantiles, probation.
+
+Fail-stop faults (:mod:`repro.faults.injector`) kill work; *gray*
+failures merely slow it down — the inter-DPU execution-time variation
+the PrIM characterization documents on real UPMEM hardware, and the raw
+material of stragglers in any fleet.  Three pieces live here:
+
+:class:`P2Quantile`
+    The Jain & Chlamtac P² streaming quantile estimator: O(1) memory,
+    one pass, no sample buffer.  The resilient runtime keeps one per
+    kernel region to learn the per-DPU exec-time distribution online.
+
+:class:`AdaptiveTimeout`
+    Per-kernel straggler deadline built on P²: ``q_tau * margin``
+    clamped to ``[floor, ceiling]``, with a cold-start fallback until
+    the estimator has seen ``timeout_cold_start`` samples.
+
+:class:`GrayFailureModel`
+    The seeded fail-slow state for one resilient DPU set: transient
+    lognormal slowdown draws, sticky degraded-DPU / degraded-rank
+    states with seeded decay, intermittent DMA-retry stalls, and the
+    slow-quarantine -> probation -> release ledger.  It owns its own
+    PCG64 stream (derived from the plan seed), so arming fail-slow
+    never perturbs the fail-stop schedule — and with every fail-slow
+    rate at zero the model is never constructed at all, keeping the
+    legacy layer bit-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+import numpy as np
+
+from .plan import FaultPlan
+
+#: Salt mixed into the plan seed for the gray-failure stream (keeps it
+#: independent of the fail-stop injector and the write injector).
+GRAY_SEED_SALT = 31
+
+#: Salt for the retry-backoff jitter stream.
+JITTER_SEED_SALT = 59
+
+
+def derive_seed(seed: int, salt: int) -> int:
+    """The repo-wide derived-stream convention (see ``with_seed`` uses)."""
+    return (seed * 1_000_003 + salt) % (2**63 - 1)
+
+
+class P2Quantile:
+    """Jain & Chlamtac's P² algorithm for one streaming quantile.
+
+    Five markers track the running min, max, target quantile and the
+    two intermediate quantiles; marker heights move by piecewise-
+    parabolic interpolation as observations arrive.  Until five samples
+    exist the estimate is the exact order statistic of what was seen.
+    """
+
+    def __init__(self, q: float) -> None:
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"quantile must lie in (0, 1), got {q}")
+        self.q = float(q)
+        self.count = 0
+        self._heights: List[float] = []
+        self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self._desired = [
+            1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0
+        ]
+        self._increments = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
+
+    def add(self, x: float) -> None:
+        x = float(x)
+        self.count += 1
+        h = self._heights
+        if self.count <= 5:
+            h.append(x)
+            h.sort()
+            return
+        # locate the cell and bump marker positions
+        if x < h[0]:
+            h[0] = x
+            k = 0
+        elif x >= h[4]:
+            h[4] = x
+            k = 3
+        else:
+            k = 0
+            while x >= h[k + 1]:
+                k += 1
+        p = self._positions
+        for i in range(k + 1, 5):
+            p[i] += 1.0
+        for i in range(5):
+            self._desired[i] += self._increments[i]
+        # adjust the three interior markers toward their desired spots
+        for i in range(1, 4):
+            d = self._desired[i] - p[i]
+            if (d >= 1.0 and p[i + 1] - p[i] > 1.0) or (
+                d <= -1.0 and p[i - 1] - p[i] < -1.0
+            ):
+                sign = 1.0 if d >= 1.0 else -1.0
+                candidate = self._parabolic(i, sign)
+                if h[i - 1] < candidate < h[i + 1]:
+                    h[i] = candidate
+                else:
+                    h[i] = self._linear(i, sign)
+                p[i] += sign
+
+    def _parabolic(self, i: int, sign: float) -> float:
+        h, p = self._heights, self._positions
+        return h[i] + sign / (p[i + 1] - p[i - 1]) * (
+            (p[i] - p[i - 1] + sign)
+            * (h[i + 1] - h[i]) / (p[i + 1] - p[i])
+            + (p[i + 1] - p[i] - sign)
+            * (h[i] - h[i - 1]) / (p[i] - p[i - 1])
+        )
+
+    def _linear(self, i: int, sign: float) -> float:
+        h, p = self._heights, self._positions
+        j = i + int(sign)
+        return h[i] + sign * (h[j] - h[i]) / (p[j] - p[i])
+
+    def value(self) -> Optional[float]:
+        """Current estimate (``None`` before the first observation)."""
+        if not self._heights:
+            return None
+        if self.count <= 5:
+            # exact order statistic of the few samples seen so far
+            rank = self.q * (len(self._heights) - 1)
+            lo = int(rank)
+            hi = min(lo + 1, len(self._heights) - 1)
+            frac = rank - lo
+            return (
+                self._heights[lo] * (1.0 - frac) + self._heights[hi] * frac
+            )
+        return self._heights[2]
+
+
+class AdaptiveTimeout:
+    """Per-kernel adaptive straggler/hang deadline over P² estimators.
+
+    ``observe`` feeds one DPU's exec time for a kernel region;
+    ``deadline`` returns ``clamp(q_tau * margin, floor, ceiling)`` once
+    the region's estimator has at least ``timeout_cold_start`` samples,
+    else ``None`` (callers fall back to the fixed ``timeout_s``).
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._estimators: Dict[str, P2Quantile] = {}
+
+    def estimator(self, region: str) -> P2Quantile:
+        est = self._estimators.get(region)
+        if est is None:
+            est = P2Quantile(self.plan.straggler_quantile)
+            self._estimators[region] = est
+        return est
+
+    def observe(self, region: str, seconds: float) -> None:
+        self.estimator(region).add(seconds)
+
+    def observe_many(self, region: str, seconds: np.ndarray) -> None:
+        est = self.estimator(region)
+        for s in seconds:
+            est.add(float(s))
+
+    def deadline(self, region: str) -> Optional[float]:
+        est = self._estimators.get(region)
+        if est is None or est.count < self.plan.timeout_cold_start:
+            return None
+        q = est.value()
+        if q is None:
+            return None
+        return min(
+            max(q * self.plan.straggler_margin, self.plan.straggler_floor_s),
+            self.plan.straggler_ceiling_s,
+        )
+
+
+class GrayFailureModel:
+    """Seeded fail-slow state for one resilient DPU set.
+
+    Draws are made in a fixed order for *all* DPUs/ranks each launch
+    regardless of health (the same schedule-stability contract the
+    fail-stop injector honors), and each draw family is skipped
+    entirely when its rate is zero so narrower plans replay the same
+    stream.
+    """
+
+    def __init__(
+        self, plan: FaultPlan, num_dpus: int, dpus_per_rank: int
+    ) -> None:
+        self.plan = plan
+        self.num_dpus = int(num_dpus)
+        self.dpus_per_rank = int(dpus_per_rank)
+        self.num_ranks = -(-self.num_dpus // self.dpus_per_rank)
+        self.rng = np.random.default_rng(
+            derive_seed(plan.seed, GRAY_SEED_SALT)
+        )
+        #: Sticky per-DPU slowdown multiplier (1.0 = nominal).
+        self.dpu_factor = np.ones(self.num_dpus, dtype=np.float64)
+        #: Sticky per-rank slowdown multiplier.
+        self.rank_factor = np.ones(self.num_ranks, dtype=np.float64)
+        #: Consecutive straggler launches per DPU.
+        self.streak = np.zeros(self.num_dpus, dtype=np.int64)
+        #: Slow-quarantined DPUs (in probation, tiles pre-hedged).
+        self.slow_quarantined: Set[int] = set()
+        #: Consecutive clean probation probes per slow-quarantined DPU.
+        self.clean_probes: Dict[int, int] = {}
+        #: Cumulative hedging statistics (simulated seconds / counts).
+        self.wasted_s = 0.0
+        self.hedges_won = 0
+        self.hedges_lost = 0
+        self.stragglers_detected = 0
+
+    # -- per-launch draws -----------------------------------------------------
+
+    def draw_launch(self, kernel_seconds: float):
+        """One launch's fail-slow draws: ``(exec_s, mult)`` per DPU.
+
+        ``mult`` is the slowdown multiplier (sticky x transient) and
+        ``exec_s = kernel_seconds * mult + dma_stall`` is the effective
+        per-DPU exec time.  Sticky onset and decay draws come first so
+        a state entered this launch already slows this launch.
+        """
+        plan = self.plan
+        n = self.num_dpus
+        if plan.degraded_dpu_rate > 0:
+            onset = self.rng.random(n) < plan.degraded_dpu_rate
+            fresh = onset & (self.dpu_factor == 1.0)
+            self.dpu_factor[fresh] = plan.degraded_factor
+        if plan.degraded_rank_rate > 0:
+            onset = self.rng.random(self.num_ranks) < plan.degraded_rank_rate
+            fresh = onset & (self.rank_factor == 1.0)
+            self.rank_factor[fresh] = plan.degraded_factor
+        if plan.slow_recovery_rate > 0 and (
+            plan.degraded_dpu_rate > 0 or plan.degraded_rank_rate > 0
+        ):
+            if plan.degraded_dpu_rate > 0:
+                decay = self.rng.random(n) < plan.slow_recovery_rate
+                self.dpu_factor[decay] = 1.0
+            if plan.degraded_rank_rate > 0:
+                decay = (
+                    self.rng.random(self.num_ranks) < plan.slow_recovery_rate
+                )
+                self.rank_factor[decay] = 1.0
+
+        mult = self.dpu_factor * np.repeat(
+            self.rank_factor, self.dpus_per_rank
+        )[:n]
+        if plan.dpu_slow_rate > 0:
+            slow = self.rng.random(n) < plan.dpu_slow_rate
+            excess = self.rng.lognormal(plan.slow_mu, plan.slow_sigma, n)
+            mult = mult * np.where(slow, 1.0 + excess, 1.0)
+
+        stall = np.zeros(n, dtype=np.float64)
+        if plan.dma_retry_rate > 0:
+            hit = self.rng.random(n) < plan.dma_retry_rate
+            retries = self.rng.integers(1, 4, size=n)
+            stall = np.where(hit, retries * plan.dma_stall_s, 0.0)
+
+        exec_s = kernel_seconds * mult + stall
+        return exec_s, mult
+
+    # -- slow-quarantine / probation state machine ----------------------------
+
+    def probe_probation(self, mult: np.ndarray) -> List[int]:
+        """Observe one launch's multipliers for DPUs in probation.
+
+        A probe is *clean* when the DPU's sticky+transient multiplier
+        has decayed to at most ``probation_factor``; after
+        ``probation_launches`` consecutive clean probes the DPU is
+        released (returned list), its streak reset.
+        """
+        released: List[int] = []
+        for index in sorted(self.slow_quarantined):
+            if mult[index] <= self.plan.probation_factor:
+                clean = self.clean_probes.get(index, 0) + 1
+                if clean >= self.plan.probation_launches:
+                    released.append(index)
+                    continue
+                self.clean_probes[index] = clean
+            else:
+                self.clean_probes[index] = 0
+        for index in released:
+            self.slow_quarantined.discard(index)
+            self.clean_probes.pop(index, None)
+            self.streak[index] = 0
+        return released
+
+    def note_straggler(self, index: int) -> bool:
+        """Bump ``index``'s straggler streak; True => slow-quarantine now."""
+        self.stragglers_detected += 1
+        self.streak[index] += 1
+        if (
+            self.streak[index] >= self.plan.slow_quarantine_after
+            and index not in self.slow_quarantined
+        ):
+            self.slow_quarantined.add(index)
+            self.clean_probes[index] = 0
+            return True
+        return False
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "stragglers_detected": int(self.stragglers_detected),
+            "hedges_won": int(self.hedges_won),
+            "hedges_lost": int(self.hedges_lost),
+            "wasted_s": float(self.wasted_s),
+            "slow_quarantined": sorted(int(i) for i in self.slow_quarantined),
+            "degraded_dpus": sorted(
+                int(i) for i in np.nonzero(self.dpu_factor > 1.0)[0]
+            ),
+            "degraded_ranks": sorted(
+                int(r) for r in np.nonzero(self.rank_factor > 1.0)[0]
+            ),
+        }

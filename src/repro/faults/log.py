@@ -16,10 +16,15 @@ from typing import Dict, List, Optional, Set
 from ..observability import runtime as _obs
 
 #: Event kinds that correspond to *injected hardware faults* (as opposed
-#: to recovery bookkeeping such as ``redispatch`` / ``unrecoverable``).
+#: to recovery bookkeeping such as ``redispatch`` / ``unrecoverable`` /
+#: ``straggler-wait``).  ``fail-slow`` covers gray-failure events:
+#: straggler detections, hedges, and slow-quarantine transitions.
 INJECTED_KINDS = frozenset(
-    {"crash", "hang", "bitflip", "corruption", "rank-failure"}
+    {"crash", "hang", "bitflip", "corruption", "rank-failure", "fail-slow"}
 )
+
+#: Gray-failure actions counted as straggler detections.
+_STRAGGLER_ACTIONS = frozenset({"straggler", "hedge-won", "hedge-lost"})
 
 
 @dataclass
@@ -75,6 +80,10 @@ class FaultLog:
     quarantined: Set[int] = field(default_factory=set)
     #: Ranks lost wholesale.
     failed_ranks: Set[int] = field(default_factory=set)
+    #: DPUs currently slow-quarantined (probation: tiles pre-hedged
+    #: until the observed slowdown decays — unlike ``quarantined``,
+    #: membership is reversible).
+    slow_quarantined: Set[int] = field(default_factory=set)
 
     def record(self, event: FaultEvent) -> FaultEvent:
         self.events.append(event)
@@ -100,6 +109,12 @@ class FaultLog:
                     metrics.counter("faults.redispatches").inc()
                 if event.recovery_s:
                     metrics.counter("faults.recovery_s").inc(event.recovery_s)
+                if event.action in _STRAGGLER_ACTIONS:
+                    metrics.counter("straggler.detected").inc()
+                if event.action == "hedge-won":
+                    metrics.counter("hedges.won").inc()
+                elif event.action == "hedge-lost":
+                    metrics.counter("hedges.wasted").inc()
         return self.events[-1]
 
     def add(self, **kwargs) -> FaultEvent:
@@ -124,6 +139,21 @@ class FaultLog:
     @property
     def num_redispatches(self) -> int:
         return sum(1 for e in self.events if e.action == "redispatch")
+
+    @property
+    def num_stragglers(self) -> int:
+        """Straggler detections (hedged or not)."""
+        return sum(
+            1 for e in self.events if e.action in _STRAGGLER_ACTIONS
+        )
+
+    @property
+    def num_hedges_won(self) -> int:
+        return sum(1 for e in self.events if e.action == "hedge-won")
+
+    @property
+    def num_hedges_wasted(self) -> int:
+        return sum(1 for e in self.events if e.action == "hedge-lost")
 
     @property
     def recovery_seconds(self) -> float:
@@ -154,6 +184,12 @@ class FaultLog:
             # may hold numpy integers, neither of which JSON serializes
             "quarantined_dpus": sorted(int(i) for i in self.quarantined),
             "failed_ranks": sorted(int(r) for r in self.failed_ranks),
+            "slow_quarantined_dpus": sorted(
+                int(i) for i in self.slow_quarantined
+            ),
+            "stragglers": self.num_stragglers,
+            "hedges_won": self.num_hedges_won,
+            "hedges_wasted": self.num_hedges_wasted,
             "recovery_s": self.recovery_seconds,
             "recovery_s_by_phase": self.recovery_seconds_by_phase(),
         }
@@ -170,6 +206,9 @@ class FaultLog:
             "events": [e.as_dict() for e in self.events],
             "quarantined": sorted(int(i) for i in self.quarantined),
             "failed_ranks": sorted(int(r) for r in self.failed_ranks),
+            "slow_quarantined": sorted(
+                int(i) for i in self.slow_quarantined
+            ),
         }
 
     @classmethod
@@ -185,6 +224,9 @@ class FaultLog:
             log.events.append(FaultEvent(**event_dict))
         log.quarantined = set(int(i) for i in data.get("quarantined", []))
         log.failed_ranks = set(int(r) for r in data.get("failed_ranks", []))
+        log.slow_quarantined = set(
+            int(i) for i in data.get("slow_quarantined", [])
+        )
         return log
 
     def schedule(self) -> List[tuple]:

@@ -52,6 +52,63 @@ class FaultPlan:
     #: DPUs are lost at once, like a DIMM channel dropping out).
     rank_failure_rate: float = 0.0
 
+    # -- gray-failure (fail-slow) rates --------------------------------------
+    #: Probability a DPU runs *slow* during one launch (transient
+    #: straggler: exec time is multiplied by ``1 + lognormal`` drawn
+    #: from ``slow_mu`` / ``slow_sigma``).  Never an error — stragglers
+    #: cost simulated time, not correctness.
+    dpu_slow_rate: float = 0.0
+    #: Lognormal mean of the transient excess-slowdown draw.
+    slow_mu: float = 1.0
+    #: Lognormal sigma of the transient excess-slowdown draw.
+    slow_sigma: float = 0.75
+    #: Probability a DPU enters a *sticky* degraded state during one
+    #: launch (persists across launches until a recovery draw clears it).
+    degraded_dpu_rate: float = 0.0
+    #: Probability an entire rank enters a sticky degraded state during
+    #: one launch (every DPU on the rank slows by ``degraded_factor``).
+    degraded_rank_rate: float = 0.0
+    #: Exec-time multiplier applied while a sticky degraded state holds.
+    degraded_factor: float = 4.0
+    #: Per-launch probability a sticky degraded DPU/rank state decays
+    #: back to nominal speed (the probation path observes this).
+    slow_recovery_rate: float = 0.25
+    #: Probability one launch hits intermittent DMA-retry stalls on a
+    #: DPU (1-3 retried WRAM<->MRAM transfers, each ``dma_stall_s``).
+    dma_retry_rate: float = 0.0
+    #: Simulated stall charged per retried DMA transfer.
+    dma_stall_s: float = 200e-6
+
+    # -- gray-failure budgets ------------------------------------------------
+    #: Speculative tile hedging: when a DPU exceeds the straggler
+    #: deadline its tile is re-dispatched onto a healthy DPU and the
+    #: first completion wins (only meaningful when fail-slow is armed).
+    hedging: bool = True
+    #: Quantile tau of the per-kernel P2 exec-time estimator.
+    straggler_quantile: float = 0.95
+    #: Straggler deadline = q_tau * margin (also the adaptive hang
+    #: timeout when ``adaptive_timeout`` is set).
+    straggler_margin: float = 3.0
+    #: Clamp floor for the adaptive deadline (seconds).
+    straggler_floor_s: float = 50e-6
+    #: Clamp ceiling for the adaptive deadline (seconds).
+    straggler_ceiling_s: float = 50e-3
+    #: Replace the fixed per-hang polling charge (``timeout_s``) with
+    #: the adaptive per-kernel deadline once the estimator is warm.
+    adaptive_timeout: bool = False
+    #: Exec-time samples a kernel's estimator needs before its deadline
+    #: is trusted (cold start falls back to ``timeout_s``).
+    timeout_cold_start: int = 16
+    #: Consecutive straggler launches before a DPU is slow-quarantined
+    #: (its tile is pre-hedged while the DPU sits in probation).
+    slow_quarantine_after: int = 3
+    #: Consecutive clean probation probes before a slow-quarantined DPU
+    #: rejoins the dispatch set.
+    probation_launches: int = 2
+    #: A probation probe is *clean* when the observed slowdown
+    #: multiplier has decayed to at most this factor.
+    probation_factor: float = 1.5
+
     # -- recovery budgets ----------------------------------------------------
     #: Bounded retries per faulty operation before escalating.
     max_retries: int = 3
@@ -67,6 +124,11 @@ class FaultPlan:
     #: Re-dispatch attempts per tile before the run is declared
     #: unrecoverable.
     max_redispatch: int = 3
+    #: Decorrelated retry-backoff jitter fraction: each backoff shrinks
+    #: by up to this fraction, drawn from a plan-seeded stream (0 = the
+    #: legacy fully deterministic backoff, which synchronizes retry
+    #: storms across DPUs).
+    backoff_jitter: float = 0.0
 
     def __post_init__(self) -> None:
         for name in (
@@ -75,6 +137,12 @@ class FaultPlan:
             "mram_bitflip_rate",
             "transfer_corruption_rate",
             "rank_failure_rate",
+            "dpu_slow_rate",
+            "degraded_dpu_rate",
+            "degraded_rank_rate",
+            "slow_recovery_rate",
+            "dma_retry_rate",
+            "backoff_jitter",
         ):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
@@ -95,6 +163,41 @@ class FaultPlan:
             raise UpmemError("backoff must be non-negative and non-shrinking")
         if self.timeout_s < 0:
             raise UpmemError("timeout_s must be non-negative")
+        if self.slow_sigma < 0:
+            raise UpmemError("slow_sigma must be non-negative")
+        if self.degraded_factor < 1.0 or self.probation_factor < 1.0:
+            raise UpmemError(
+                "degraded_factor / probation_factor must be >= 1"
+            )
+        if self.dma_stall_s < 0:
+            raise UpmemError("dma_stall_s must be non-negative")
+        if not 0.0 < self.straggler_quantile < 1.0:
+            raise UpmemError(
+                f"straggler_quantile must lie in (0, 1), "
+                f"got {self.straggler_quantile}"
+            )
+        if self.straggler_margin < 1.0:
+            raise UpmemError("straggler_margin must be >= 1")
+        if not 0 <= self.straggler_floor_s <= self.straggler_ceiling_s:
+            raise UpmemError(
+                "straggler deadline clamp needs 0 <= floor <= ceiling"
+            )
+        if self.timeout_cold_start < 1:
+            raise UpmemError("timeout_cold_start must be >= 1")
+        if self.slow_quarantine_after < 1 or self.probation_launches < 1:
+            raise UpmemError(
+                "slow_quarantine_after / probation_launches must be >= 1"
+            )
+
+    @property
+    def fail_slow_enabled(self) -> bool:
+        """True when any gray-failure (fail-slow) mode has a rate."""
+        return (
+            self.dpu_slow_rate > 0
+            or self.degraded_dpu_rate > 0
+            or self.degraded_rank_rate > 0
+            or self.dma_retry_rate > 0
+        )
 
     @property
     def enabled(self) -> bool:
@@ -105,6 +208,7 @@ class FaultPlan:
             or self.mram_bitflip_rate > 0
             or self.transfer_corruption_rate > 0
             or self.rank_failure_rate > 0
+            or self.fail_slow_enabled
         )
 
     def backoff_s(self, attempt: int) -> float:
@@ -139,12 +243,37 @@ class FaultPlan:
             **overrides,
         )
 
+    def with_fail_slow(self, rate: float, **overrides) -> "FaultPlan":
+        """This plan with the gray-failure modes armed at ``rate``.
+
+        Sticky degradation and DMA stalls are scaled down the same way
+        :meth:`uniform` scales rank failures (a sticky state outlives
+        the launch that drew it, so the onset rate must be lower).
+        """
+        return replace(
+            self,
+            dpu_slow_rate=rate,
+            degraded_dpu_rate=rate / 8.0,
+            degraded_rank_rate=rate / 64.0,
+            dma_retry_rate=rate,
+            **overrides,
+        )
+
     def describe(self) -> str:
         if not self.enabled:
             return "faults: disabled"
-        return (
+        text = (
             f"faults: seed={self.seed} crash={self.dpu_crash_rate:g} "
             f"hang={self.dpu_hang_rate:g} bitflip={self.mram_bitflip_rate:g} "
             f"corruption={self.transfer_corruption_rate:g} "
             f"rank={self.rank_failure_rate:g}"
         )
+        if self.fail_slow_enabled:
+            text += (
+                f" slow={self.dpu_slow_rate:g} "
+                f"degraded={self.degraded_dpu_rate:g}/"
+                f"{self.degraded_rank_rate:g} "
+                f"dma={self.dma_retry_rate:g} "
+                f"hedging={'on' if self.hedging else 'off'}"
+            )
+        return text

@@ -47,6 +47,12 @@ from ..errors import UnrecoverableFaultError
 from ..observability import runtime as _obs
 from ..upmem.host import Dpu, DpuSet, DpuState
 from ..upmem.transfer import TransferCost, TransferModel
+from .gray import (
+    JITTER_SEED_SALT,
+    AdaptiveTimeout,
+    GrayFailureModel,
+    derive_seed,
+)
 from .injector import FaultInjector, FaultKind, checksum
 from .log import FaultEvent, FaultLog
 from .plan import FaultPlan
@@ -54,6 +60,11 @@ from .plan import FaultPlan
 #: Log ``kind`` strings (FaultKind values plus bookkeeping kinds).
 KIND_REDISPATCH = "redispatch"
 KIND_UNRECOVERABLE = "unrecoverable"
+#: Injected gray-failure events (straggler / hedge / probation).
+KIND_FAIL_SLOW = "fail-slow"
+#: Bookkeeping event pricing one launch's straggler skew (the lockstep
+#: launch completes with its slowest member; the skew is charged once).
+KIND_STRAGGLER_WAIT = "straggler-wait"
 
 
 class ResilientDpuSet:
@@ -83,6 +94,30 @@ class ResilientDpuSet:
         #: region -> shard index -> latent-bitflip event awaiting detection.
         self._latent: Dict[str, Dict[int, FaultEvent]] = {}
         self._rr = 0  # round-robin cursor for adoptive DPU choice
+        #: Gray-failure state — None unless a fail-slow rate is armed,
+        #: so legacy plans never construct (or draw from) it.
+        self.gray: Optional[GrayFailureModel] = (
+            GrayFailureModel(
+                plan, len(dpu_set), self.transfer.system.dpus_per_rank
+            )
+            if plan.fail_slow_enabled else None
+        )
+        #: Per-kernel streaming-quantile deadline (straggler detection;
+        #: also the hang polling timeout when ``plan.adaptive_timeout``).
+        self.adaptive: Optional[AdaptiveTimeout] = (
+            AdaptiveTimeout(plan)
+            if (plan.fail_slow_enabled or plan.adaptive_timeout) else None
+        )
+        #: Seeded decorrelated-jitter stream for retry backoff — its own
+        #: derived stream, so jitter never perturbs the fault schedule.
+        self._jitter_rng: Optional[np.random.Generator] = (
+            np.random.default_rng(derive_seed(plan.seed, JITTER_SEED_SALT))
+            if plan.backoff_jitter > 0 else None
+        )
+        #: Per-DPU completion/kernel exec-time ratio of the most recent
+        #: launch (None when the launch saw no slowdown) — feeds the
+        #: overlapped shard timeline's per-shard exec scaling.
+        self.last_exec_scale: Optional[np.ndarray] = None
 
     # -- basic views ----------------------------------------------------------
 
@@ -120,6 +155,46 @@ class ResilientDpuSet:
                 f"({len(self.log.quarantined)} of {self.num_dpus})"
             )
         return healthy
+
+    # -- jittered backoff / adaptive timeout ----------------------------------
+
+    def _jitter(self, seconds: float) -> float:
+        """Shrink a backoff by up to ``plan.backoff_jitter`` (seeded).
+
+        Independent per-retry draws decorrelate the retry storms a
+        fully deterministic exponential backoff synchronizes across
+        DPUs; with jitter at 0 (the default) this is the identity and
+        makes no RNG draw at all.
+        """
+        if self._jitter_rng is None or seconds <= 0.0:
+            return seconds
+        return seconds * (
+            1.0 - self.plan.backoff_jitter * float(self._jitter_rng.random())
+        )
+
+    def _retry_cost(
+        self, nbytes: int, to_device: bool, attempt: int
+    ) -> TransferCost:
+        """One retried transfer leg, with jittered backoff pricing."""
+        return self.transfer.retry(
+            nbytes, to_device=to_device, attempt=attempt,
+            backoff_base_s=self._jitter(self.plan.backoff_base_s),
+            backoff_factor=self.plan.backoff_factor,
+        )
+
+    def _hang_timeout(self, region: str) -> float:
+        """Host polling charge per detected hang for ``region``.
+
+        The fixed ``plan.timeout_s`` unless ``plan.adaptive_timeout``
+        is set and the region's exec-time estimator is warm, in which
+        case the learned ``q_tau * margin`` deadline (clamped) applies
+        — a fast kernel's hangs are detected sooner, a slow kernel's
+        are not false-tripped.
+        """
+        if self.adaptive is None or not self.plan.adaptive_timeout:
+            return self.plan.timeout_s
+        deadline = self.adaptive.deadline(region)
+        return self.plan.timeout_s if deadline is None else deadline
 
     # -- region bookkeeping ---------------------------------------------------
 
@@ -206,11 +281,7 @@ class ResilientDpuSet:
         spent = 0.0
         for attempt in range(1, self.plan.max_retries + 1):
             dpu.mark_faulty(DpuState.CRASHED)
-            retry = self.transfer.retry(
-                nbytes, to_device=True, attempt=attempt,
-                backoff_base_s=self.plan.backoff_base_s,
-                backoff_factor=self.plan.backoff_factor,
-            )
+            retry = self._retry_cost(nbytes, to_device=True, attempt=attempt)
             spent += retry.seconds
             payload = golden
             if self.injector.transfer_fault():
@@ -275,6 +346,7 @@ class ResilientDpuSet:
         self._latent.setdefault(name, {})
         crcs = self._crc.setdefault(name, {})
         overhead = 0.0
+        self.last_exec_scale = None
 
         # whole-rank failures first (a dropped channel takes out 64 DPUs)
         num_ranks = math.ceil(
@@ -312,6 +384,15 @@ class ResilientDpuSet:
                 kernel_seconds, launch_overhead_s, crcs,
             )
 
+        # gray failures: stragglers cost time, never correctness — the
+        # skewed completion times (after hedging) are priced here
+        if self.gray is not None:
+            overhead += self._apply_gray(name, kernel_seconds, tile_bytes)
+        elif self.adaptive is not None:
+            # adaptive hang timeout without fail-slow modes: the per-DPU
+            # exec times are uniformly the analytic kernel time
+            self.adaptive.observe(name, kernel_seconds)
+
         # re-dispatch every quarantined DPU's shard onto the survivors
         victims = [
             i for i in range(self.num_dpus) if self.dpus[i].is_quarantined
@@ -326,6 +407,157 @@ class ResilientDpuSet:
                     extra_kernel_total / len(victims), phase="kernel",
                 )
         return overhead
+
+    def _apply_gray(
+        self, name: str, kernel_seconds: float, tile_bytes: float
+    ) -> float:
+        """Price one launch's fail-slow draws; returns kernel overhead.
+
+        Per-DPU effective exec times come from the seeded
+        :class:`~repro.faults.gray.GrayFailureModel`; DPUs past the
+        adaptive straggler deadline are speculatively *hedged* — their
+        tile is re-dispatched onto a healthy non-straggler and the
+        first completion wins (ties go to the original, so the winner
+        is deterministic; results are bit-identical either way because
+        both copies compute the same validated shard).  The lockstep
+        launch completes with its slowest member, so the skew is
+        charged once as kernel-phase recovery time.
+        """
+        gray = self.gray
+        plan = self.plan
+        exec_s, mult = gray.draw_launch(kernel_seconds)
+        active = np.array(
+            [not d.is_quarantined for d in self.dpus], dtype=bool
+        )
+        if not active.any():
+            return 0.0
+
+        # probation probes: release slow-quarantined DPUs whose observed
+        # slowdown has decayed for ``probation_launches`` launches
+        for index in gray.probe_probation(mult):
+            self.log.slow_quarantined.discard(index)
+            self.log.add(
+                kind=KIND_FAIL_SLOW, op="launch", dpu_id=index,
+                rank_id=self._rank_of(index), action="probation-release",
+                phase="kernel",
+                detail=f"{name}: slowdown decayed to x{mult[index]:.2f}",
+            )
+
+        # straggler deadline: adaptive once warm, else the cold-start
+        # fallback — the fixed timeout, floored by margin x the analytic
+        # kernel time so a long kernel is not declared all-stragglers
+        deadline = (
+            self.adaptive.deadline(name)
+            if self.adaptive is not None else None
+        )
+        threshold = deadline if deadline is not None else max(
+            plan.timeout_s, kernel_seconds * plan.straggler_margin
+        )
+        move_s = (
+            self.transfer.serial(int(tile_bytes), to_device=True).seconds
+            if tile_bytes else 0.0
+        )
+
+        completion = np.where(active, exec_s, 0.0)
+        dispatchable = [
+            i for i in range(self.num_dpus)
+            if active[i] and i not in gray.slow_quarantined
+        ]
+        # pre-hedge: a slow-quarantined DPU's tile starts on a healthy
+        # peer (serialized after the peer's own tile) instead of waiting
+        # for the sticky straggler to blow the deadline yet again
+        for index in range(self.num_dpus):
+            if not active[index] or index not in gray.slow_quarantined:
+                continue
+            if not dispatchable:
+                break
+            target = dispatchable[self._rr % len(dispatchable)]
+            self._rr += 1
+            completion[index] = (
+                exec_s[target] + move_s + kernel_seconds * mult[target]
+            )
+
+        session = _obs.ACTIVE
+        tracer = session.tracer if session is not None else None
+        for index in dispatchable:
+            if exec_s[index] <= threshold:
+                gray.streak[index] = 0
+                continue
+            won = False
+            target = None
+            if plan.hedging:
+                candidates = [
+                    t for t in dispatchable
+                    if t != index and exec_s[t] <= threshold
+                ]
+                if candidates:
+                    target = candidates[self._rr % len(candidates)]
+                    self._rr += 1
+                    hedge_done = (
+                        threshold + move_s + kernel_seconds * mult[target]
+                    )
+                    if hedge_done < exec_s[index]:
+                        won = True
+                        # the original is cancelled when the hedge wins:
+                        # everything it ran until then is wasted work
+                        wasted = hedge_done
+                        completion[index] = hedge_done
+                        gray.hedges_won += 1
+                    else:
+                        # hedge cancelled at the original's completion
+                        wasted = max(
+                            0.0, exec_s[index] - threshold - move_s
+                        )
+                        gray.hedges_lost += 1
+                    gray.wasted_s += wasted
+                    if tracer is not None:
+                        tracer.complete(
+                            f"hedge:{name}:dpu{index}",
+                            start=tracer.now,
+                            duration_s=completion[index] - threshold,
+                            cat="resilient", target=target,
+                            won=won, wasted_s=wasted,
+                        )
+            quarantined_now = gray.note_straggler(index)
+            action = (
+                "hedge-won" if won
+                else ("hedge-lost" if target is not None else "straggler")
+            )
+            detail = f"{name}: x{mult[index]:.1f} vs {threshold * 1e6:.0f}us"
+            if target is not None:
+                detail += f", tile hedged onto DPU {target}"
+            self.log.add(
+                kind=KIND_FAIL_SLOW, op="launch", dpu_id=index,
+                rank_id=self._rank_of(index), action=action,
+                phase="kernel", detail=detail,
+            )
+            if quarantined_now:
+                self.log.slow_quarantined.add(index)
+                self.log.add(
+                    kind=KIND_FAIL_SLOW, op="launch", dpu_id=index,
+                    rank_id=self._rank_of(index), action="slow-quarantine",
+                    phase="kernel",
+                    detail=f"{name}: {int(gray.streak[index])} consecutive "
+                           f"straggler launches",
+                )
+
+        if self.adaptive is not None:
+            self.adaptive.observe_many(name, exec_s[active])
+
+        overhead_s = max(0.0, float(completion.max()) - kernel_seconds)
+        if overhead_s > 0.0:
+            slowest = int(completion.argmax())
+            self.log.add(
+                kind=KIND_STRAGGLER_WAIT, op="launch", dpu_id=slowest,
+                rank_id=self._rank_of(slowest), action="straggler-wait",
+                recovery_s=overhead_s, phase="kernel",
+                detail=f"{name}: launch completes with its slowest member",
+            )
+            if kernel_seconds > 0.0:
+                self.last_exec_scale = np.maximum(
+                    completion / kernel_seconds, 1.0
+                )
+        return overhead_s
 
     def _launch_one(
         self,
@@ -353,7 +585,7 @@ class ResilientDpuSet:
             # burns the host's polling timeout before it is detected
             spent += kernel_seconds + launch_overhead_s
             if kind is FaultKind.HANG:
-                spent += self.plan.timeout_s
+                spent += self._hang_timeout(name)
             if (
                 retries >= self.plan.max_retries
                 or dpu.fault_streak >= self.plan.quarantine_after
@@ -367,7 +599,7 @@ class ResilientDpuSet:
                 )
                 return spent
             retries += 1
-            spent += self.plan.backoff_s(retries)
+            spent += self._jitter(self.plan.backoff_s(retries))
             kind = self.injector.launch_fault()
 
         if retries:
@@ -520,10 +752,8 @@ class ResilientDpuSet:
             dpu = self.dpus[source]
             nbytes = first.nbytes
             for attempt in range(1, self.plan.max_retries + 1):
-                retry = self.transfer.retry(
-                    nbytes, to_device=False, attempt=attempt,
-                    backoff_base_s=self.plan.backoff_base_s,
-                    backoff_factor=self.plan.backoff_factor,
+                retry = self._retry_cost(
+                    nbytes, to_device=False, attempt=attempt
                 )
                 spent += retry.seconds
                 array = dpu.mram.load(region)
@@ -620,6 +850,11 @@ class FaultTolerantExecutor:
     def healthy_count(self) -> int:
         return len(self.rset.healthy_ids())
 
+    @property
+    def gray(self) -> Optional[GrayFailureModel]:
+        """The fail-slow state (None unless a fail-slow rate is armed)."""
+        return self.rset.gray
+
     def _tile_bytes(self, kernel) -> float:
         cached = self._tile_bytes_cache.get(kernel.name)
         if cached is None:
@@ -635,21 +870,34 @@ class FaultTolerantExecutor:
 
         Ranks whose every DPU is quarantined are dropped from the shard
         schedule (``skipped``): their legs take zero time and their issue
-        slots are reclaimed by the survivors.  Returns ``None`` outside
-        overlapped mode (the kernel attached no timeline).
+        slots are reclaimed by the survivors.  Stragglers skew it the
+        other way: a shard's exec leg stretches to its slowest member's
+        (post-hedging) completion, re-pipelined through the scheduler's
+        reschedule memo.  Returns ``None`` outside overlapped mode (the
+        kernel attached no timeline).
         """
         timeline = getattr(base, "shard_timeline", None)
         if timeline is None:
             return None
         quarantined = self.rset.quarantined_ids()
-        if not quarantined:
+        per_dpu_scale = self.rset.last_exec_scale
+        if not quarantined and per_dpu_scale is None:
             return timeline
-        q = np.zeros(self.num_dpus, dtype=bool)
-        q[np.asarray(quarantined, dtype=np.int64)] = True
         bounds = timeline.dpu_bounds
-        counts = np.add.reduceat(q.astype(np.int64), bounds[:-1])
-        skipped = counts == np.diff(bounds)
-        if not skipped.any():
+        if quarantined:
+            q = np.zeros(self.num_dpus, dtype=bool)
+            q[np.asarray(quarantined, dtype=np.int64)] = True
+            counts = np.add.reduceat(q.astype(np.int64), bounds[:-1])
+            skipped = counts == np.diff(bounds)
+        else:
+            skipped = np.zeros(len(bounds) - 1, dtype=bool)
+        exec_scale = None
+        if per_dpu_scale is not None:
+            # a rank-level shard's exec leg lasts until its slowest DPU
+            exec_scale = np.maximum.reduceat(per_dpu_scale, bounds[:-1])
+            if np.all(exec_scale <= 1.0):
+                exec_scale = None
+        if not skipped.any() and exec_scale is None:
             return timeline
         scheduler = getattr(kernel, "_shard_scheduler", None)
         if scheduler is None:
@@ -661,7 +909,7 @@ class FaultTolerantExecutor:
             from ..upmem.host import ShardScheduler
 
             scheduler = self._fallback_scheduler = ShardScheduler(self.system)
-        return scheduler.reschedule(timeline, skipped)
+        return scheduler.reschedule(timeline, skipped, exec_scale=exec_scale)
 
     def run(self, kernel, x, semiring):
         """Execute ``kernel.run(x, semiring)`` on the degraded machine.

@@ -17,6 +17,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..datasets import TABLE2, add_weights, get_dataset
+from ..errors import RejectedError
 from ..upmem.config import SystemConfig
 from .loadgen import LoadgenConfig, generate_requests, run_load
 from .request import QueryStatus, TenantConfig
@@ -69,6 +70,18 @@ def build_serving_parser() -> argparse.ArgumentParser:
                         help="arm fault injection at this rate "
                              "(FaultPlan.uniform)")
     parser.add_argument("--fault-seed", type=int, default=0)
+    parser.add_argument("--slow-rate", type=float, default=0.0,
+                        help="arm fail-slow gray failures at this rate "
+                             "(FaultPlan.with_fail_slow; default 0 = off)")
+    parser.add_argument("--no-hedging", action="store_true",
+                        help="disable speculative tile hedging for "
+                             "stragglers")
+    parser.add_argument("--adaptive-timeout", action="store_true",
+                        help="learned P2 per-kernel hang deadline instead "
+                             "of the fixed timeout")
+    parser.add_argument("--mram-budget-mib", type=float, default=None,
+                        help="aggregate resident-graph MRAM budget in MiB "
+                             "(default: the machine's physical capacity)")
     parser.add_argument("--processes", action="store_true",
                         help="serve: answer the burst offline on a "
                              "process pool instead of the async service")
@@ -86,12 +99,26 @@ def _build_service(args, matrix) -> GraphService:
         default_tenant=TenantConfig(
             rate=args.quota_qps, burst=args.quota_burst
         ),
+        mram_budget_bytes=(
+            int(args.mram_budget_mib * 1024 * 1024)
+            if args.mram_budget_mib is not None else None
+        ),
     )
     fault_plan = None
-    if args.fault_rate > 0:
+    if args.fault_rate > 0 or args.slow_rate > 0:
         from ..faults import FaultPlan
 
         fault_plan = FaultPlan.uniform(args.fault_rate, seed=args.fault_seed)
+        if args.slow_rate > 0:
+            fault_plan = fault_plan.with_fail_slow(args.slow_rate)
+        if args.no_hedging or args.adaptive_timeout:
+            from dataclasses import replace
+
+            fault_plan = replace(
+                fault_plan,
+                hedging=not args.no_hedging,
+                adaptive_timeout=args.adaptive_timeout,
+            )
     service.add_graph(args.dataset, matrix, fault_plan=fault_plan)
     return service
 
@@ -116,7 +143,11 @@ def serving_main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "serve" and args.processes:
         return _serve_offline(args, matrix, algorithms)
 
-    service = _build_service(args, matrix)
+    try:
+        service = _build_service(args, matrix)
+    except RejectedError as exc:
+        print(f"error: graph rejected ({exc.reason}): {exc}")
+        return 1
     config = LoadgenConfig(
         graph=args.dataset,
         mode=args.mode,

@@ -73,6 +73,12 @@ class QueryRequest:
     #: :class:`repro.dynamic.EdgeBatch` (required for mutate, ignored
     #: otherwise).
     edges: Optional[object] = None
+    #: scheduling priority: higher values dequeue first.  Within a
+    #: priority class ordering stays FIFO, and queued requests *age* —
+    #: their effective priority grows with waiting time — so a stream of
+    #: high-priority arrivals cannot starve priority-0 work.  Priority
+    #: never overrides the per-graph write barrier.
+    priority: int = 0
     request_id: int = field(default_factory=lambda: next(_request_ids))
 
     @property

@@ -82,17 +82,30 @@ class RetryPolicy:
     graph's fault-layer machine is rebuilt (reseeded injector,
     known-dead ranks pre-quarantined) so a retry does not deterministically
     replay the fatal schedule.
+
+    ``jitter`` decorrelates retries: each backoff shrinks by a uniform
+    fraction in ``[0, jitter)`` drawn from a generator seeded with
+    ``seed``, so concurrent services retrying the same incident spread
+    out instead of thundering back in lockstep — while any single seed
+    still replays the exact same sleep sequence.
     """
 
     max_attempts: int = 3
     backoff_base_s: float = 0.002
     backoff_factor: float = 2.0
     hedge_after: int = 1
+    jitter: float = 0.0
+    seed: int = 0
 
-    def backoff_s(self, attempt: int) -> float:
-        return self.backoff_base_s * self.backoff_factor ** max(
+    def backoff_s(
+        self, attempt: int, rng: Optional[np.random.Generator] = None
+    ) -> float:
+        base = self.backoff_base_s * self.backoff_factor ** max(
             0, attempt - 1
         )
+        if self.jitter > 0.0 and rng is not None:
+            base *= 1.0 - self.jitter * float(rng.random())
+        return base
 
 
 class ResidentGraph:
@@ -223,11 +236,30 @@ class ResidentGraph:
         )
 
     @property
+    def footprint_bytes(self) -> int:
+        """MRAM the graph's tiled payload occupies across the machine.
+
+        The dominant term is the compressed matrix itself; derived
+        operands (normalized / symmetrized copies for ppr / pagerank /
+        cc) share the same nnz so the worst case is one extra copy —
+        priced up front so admission never over-commits lazily.
+        """
+        return 2 * int(self.mutable.snapshot().nbytes)
+
+    @property
     def degraded(self) -> bool:
-        """Has this graph's machine lost any DPU to quarantine?"""
+        """Is this graph's machine running impaired?
+
+        True when any DPU is hard-quarantined, a rank is lost, or a DPU
+        is *slow-quarantined* (gray failure: alive but hedged around).
+        Slow-quarantine is reversible, so a graph can leave the degraded
+        state when probation releases its stragglers.
+        """
         for driver in set(self._drivers.values()):
             log = driver.fault_log
-            if log is not None and (log.quarantined or log.failed_ranks):
+            if log is not None and (
+                log.quarantined or log.failed_ranks or log.slow_quarantined
+            ):
                 return True
         return False
 
@@ -260,11 +292,25 @@ class GraphService:
         retry: Optional[RetryPolicy] = None,
         clock: Optional[Callable[[], float]] = None,
         breaker_factory: Callable[[], CircuitBreaker] = CircuitBreaker,
+        mram_budget_bytes: Optional[int] = None,
+        priority_aging_rate: float = 1.0,
     ) -> None:
         self.system = system
         self.num_dpus = num_dpus
         self.max_batch = int(max_batch)
         self.retry = retry or RetryPolicy()
+        self._retry_rng = (
+            np.random.default_rng(self.retry.seed)
+            if self.retry.jitter > 0.0 else None
+        )
+        #: aggregate MRAM the resident set may occupy; defaults to the
+        #: machine's physical capacity (num_dpus x 64 MiB per DPU)
+        self.mram_budget_bytes = (
+            int(mram_budget_bytes) if mram_budget_bytes is not None
+            else num_dpus * system.dpu.mram_bytes
+        )
+        #: effective-priority growth per second of queueing (aging)
+        self.priority_aging_rate = float(priority_aging_rate)
         self.clock = clock or time.monotonic
         self._transfer = TransferModel(system)
         self.admission = AdmissionController(
@@ -288,13 +334,35 @@ class GraphService:
         fault_plan=None,
         checkpoint_restores: int = 4,
     ) -> ResidentGraph:
-        """Load a graph into the service (prepares shared kernels lazily)."""
+        """Load a graph into the service (prepares shared kernels lazily).
+
+        Cross-graph MRAM accounting happens here: the new graph's
+        footprint plus every *other* resident graph's must fit the
+        service budget, or the load is refused with
+        :class:`RejectedError` (reason ``"capacity"``).  Replacing a
+        graph under its own name only charges the delta — the old
+        footprint is released by the swap.
+        """
         graph = ResidentGraph(
             name, matrix, self.system, self.num_dpus,
             fault_plan=fault_plan,
             breaker=self._breaker_factory(),
             checkpoint_restores=checkpoint_restores,
         )
+        used = sum(
+            g.footprint_bytes for g in self._graphs.values()
+            if g.name != name
+        )
+        needed = graph.footprint_bytes
+        if used + needed > self.mram_budget_bytes:
+            self._count("shed_capacity")
+            raise RejectedError(
+                "capacity",
+                f"graph {name!r} needs {needed} bytes but only "
+                f"{self.mram_budget_bytes - used} of "
+                f"{self.mram_budget_bytes} remain "
+                f"({len(self._graphs)} graph(s) resident)",
+            )
         self._graphs[name] = graph
         return graph
 
@@ -481,43 +549,91 @@ class GraphService:
             ))
 
     def _take_batch(self) -> List[_Pending]:
-        """Pop the head-of-line request plus every fusable companion.
+        """Pop the best eligible request plus every fusable companion.
 
         Requests whose deadline already passed are cancelled here — the
         *dequeue* enforcement point — and never reach a kernel.
+
+        Head selection is priority-aware: the eligible entry with the
+        highest *effective* priority (``priority + aging_rate * wait``)
+        runs first, so urgent work overtakes the backlog while aging
+        guarantees priority-0 requests still drain (no starvation).
+        With all priorities zero the longest-waiting entry always scores
+        highest, so the scheduler degenerates to exact FIFO.
+
+        Priority never breaks per-graph write ordering: a mutate is
+        eligible only while nothing older targets its graph, a read only
+        while no older same-graph mutate is queued, and the fusion scan
+        stops pulling companions from behind a same-graph write barrier.
         """
         now = self.clock()
-        head: Optional[_Pending] = None
-        while self._queue and head is None:
+        live: List[_Pending] = []
+        while self._queue:
             candidate = self._queue.popleft()
-            if self._expire(candidate, now, "dequeue"):
-                continue
-            head = candidate
-        if head is None:
+            if not self._expire(candidate, now, "dequeue"):
+                live.append(candidate)
+        if not live:
             return []
+        head_idx = self._select_head(live, now)
+        head = live[head_idx]
         batch = [head]
         key = head.request.fusion_key
         kept: Deque[_Pending] = collections.deque()
-        while self._queue and len(batch) < self.max_batch:
-            candidate = self._queue.popleft()
-            if self._expire(candidate, now, "dequeue"):
+        barrier = False
+        for i, candidate in enumerate(live):
+            if i == head_idx:
                 continue
-            if candidate.request.fusion_key == key:
+            if (
+                not barrier
+                and len(batch) < self.max_batch
+                and candidate.request.fusion_key == key
+            ):
                 batch.append(candidate)
-            else:
-                kept.append(candidate)
-                # write barrier: a mutate and any other request on the
-                # same graph must not be reordered around each other —
-                # stop the fusion scan so per-graph FIFO holds and every
-                # read runs against the snapshot of its admission epoch
-                if candidate.request.graph == head.request.graph and (
-                    head.request.algorithm == MUTATE
-                    or candidate.request.algorithm == MUTATE
-                ):
-                    break
-        kept.extend(self._queue)
+                continue
+            kept.append(candidate)
+            # write barrier: a mutate and any other request on the
+            # same graph must not be reordered around each other —
+            # once one is skipped over, stop fusing same-key entries
+            # from behind it so per-graph FIFO holds and every read
+            # runs against the snapshot of its admission epoch
+            if candidate.request.graph == head.request.graph and (
+                head.request.algorithm == MUTATE
+                or candidate.request.algorithm == MUTATE
+            ):
+                barrier = True
         self._queue = kept
         return batch
+
+    def _select_head(self, live: List[_Pending], now: float) -> int:
+        """Index of the eligible entry with the highest effective priority.
+
+        Eligibility enforces per-graph write ordering under reordering:
+        a mutate may not overtake *any* older same-graph entry, and a
+        read may not overtake an older same-graph mutate.  The queue
+        head is always eligible, so a head always exists.  Ties break
+        toward the oldest entry (queue order), preserving FIFO within a
+        priority class.
+        """
+        mutated: set = set()
+        touched: set = set()
+        best_idx = 0
+        best_score = -float("inf")
+        for i, pending in enumerate(live):
+            request = pending.request
+            if request.algorithm == MUTATE:
+                eligible = request.graph not in touched
+            else:
+                eligible = request.graph not in mutated
+            if eligible:
+                score = request.priority + self.priority_aging_rate * (
+                    now - pending.submitted_at
+                )
+                if score > best_score:
+                    best_idx, best_score = i, score
+            touched.add(request.graph)
+            if request.algorithm == MUTATE:
+                mutated.add(request.graph)
+        return best_idx
 
     def _expire(self, pending: _Pending, now: float, stage: str) -> bool:
         if pending.deadline_at is None or now <= pending.deadline_at:
@@ -586,7 +702,9 @@ class GraphService:
                     return
                 retries += 1
                 self._count("retries")
-                await asyncio.sleep(self.retry.backoff_s(attempt))
+                await asyncio.sleep(
+                    self.retry.backoff_s(attempt, self._retry_rng)
+                )
             except DeadlineExceededError:
                 # every member of a shared (pagerank/cc) run expired
                 now = self.clock()

@@ -511,25 +511,32 @@ class ShardScheduler:
             skipped=None if skipped is None else np.asarray(skipped, bool),
         )
 
-    def reschedule(self, timeline, skipped: np.ndarray):
+    def reschedule(self, timeline, skipped: np.ndarray,
+                   exec_scale: Optional[np.ndarray] = None):
         """Re-pipeline an existing timeline with ``skipped`` shards.
 
         Used by the resilient runtime: when every DPU of a rank is
         quarantined the shard's legs vanish from the schedule and its
-        issue slot is reclaimed (degraded-mode scheduling).  Leg
-        durations are recovered from the timeline's own event times, so
-        no kernel state is needed.
+        issue slot is reclaimed (degraded-mode scheduling), and when a
+        launch straggled, ``exec_scale`` stretches each shard's exec
+        leg to its slowest member's completion (skewed shard
+        completion, gray-failure mode).  Leg durations are recovered
+        from the timeline's own event times, so no kernel state is
+        needed.
 
-        Memoized per (leg durations, skip mask): a long degraded run
-        replays the same handful of timeline shapes every iteration, and
-        re-pipelining is pure, so identical inputs return the cached
-        :class:`~repro.upmem.sharding.ShardTimeline` object.
+        Memoized per (leg durations, skip mask, exec scale): a long
+        degraded run replays the same handful of timeline shapes every
+        iteration, and re-pipelining is pure, so identical inputs
+        return the cached :class:`~repro.upmem.sharding.ShardTimeline`
+        object.
         """
         scatter_s = timeline.scatter_end - timeline.scatter_start
         exec_s = timeline.exec_end - timeline.scatter_end
         gather_s = timeline.gather_end - timeline.gather_start
         merge_s = timeline.makespan_s - float(timeline.gather_end.max())
         skipped = np.asarray(skipped, dtype=bool)
+        if exec_scale is not None:
+            exec_s = exec_s * np.asarray(exec_scale, dtype=np.float64)
         key = (
             timeline.dpu_bounds.tobytes(),
             scatter_s.tobytes(),

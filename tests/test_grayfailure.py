@@ -1,0 +1,624 @@
+"""Gray-failure (fail-slow) resilience tests: PR 10.
+
+Covers the seeded fail-slow draw families, the P² adaptive straggler
+deadline, speculative tile hedging with deterministic tie-breaking, the
+slow-quarantine -> probation -> release state machine, decorrelated
+retry jitter, and the seeded chaos soak driven by the
+``REPRO_STRAGGLER_SEED`` environment variable (the CI matrix sweeps it).
+
+The overarching contract under test: gray failures cost simulated time,
+**never correctness** — every algorithm's output stays bit-identical to
+the fault-free run — and with every fail-slow knob at its default the
+fault layer is bit-identical to the fail-stop-only layer it extends.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    bfs,
+    betweenness_centrality,
+    connected_components,
+    pagerank,
+    ppr,
+    sssp,
+    sssp_delta_stepping,
+)
+from repro.errors import UpmemError
+from repro.faults import (
+    AdaptiveTimeout,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    GrayFailureModel,
+    P2Quantile,
+    ResilientDpuSet,
+)
+from repro.faults.gray import GRAY_SEED_SALT, JITTER_SEED_SALT, derive_seed
+from repro.sparse import COOMatrix
+from repro.upmem import Dpu, DpuSet, SystemConfig
+from repro.upmem.transfer import TransferModel
+
+pytestmark = pytest.mark.faults
+
+SYSTEM = SystemConfig(num_dpus=64)
+
+#: Seed swept by the CI straggler-chaos matrix (0 / 3 / 7).
+SOAK_SEED = int(os.environ.get("REPRO_STRAGGLER_SEED", "0"))
+
+
+def small_graph(n=96, seed=3, weighted=False):
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, size=4 * n)
+    dst = (src + rng.integers(1, n, size=4 * n)) % n
+    edges = list({(int(u), int(v)) for u, v in zip(src, dst) if u != v})
+    matrix = COOMatrix.from_edges(edges, num_nodes=n)
+    if weighted:
+        from repro.datasets import add_weights
+
+        matrix = add_weights(matrix, rng=rng)
+    return matrix
+
+
+def make_rset(num_dpus=4, plan=None, system=None):
+    system = system or SystemConfig(num_dpus=64)
+    plan = plan or FaultPlan()
+    transfer = TransferModel(system)
+    dpus = [Dpu(i, system.dpu) for i in range(num_dpus)]
+    inner = DpuSet(dpus, transfer, injector=FaultInjector(plan))
+    return ResilientDpuSet(inner, plan)
+
+
+class ScriptedGray(GrayFailureModel):
+    """Gray model replaying fixed per-launch multiplier rows."""
+
+    def __init__(self, plan, num_dpus, dpus_per_rank, script):
+        super().__init__(plan, num_dpus, dpus_per_rank)
+        self._script = [np.asarray(row, dtype=np.float64) for row in script]
+
+    def draw_launch(self, kernel_seconds):
+        mult = (
+            self._script.pop(0) if self._script
+            else np.ones(self.num_dpus, dtype=np.float64)
+        )
+        return kernel_seconds * mult, mult
+
+
+def scripted_gray_rset(script, num_dpus=4, **plan_overrides):
+    """An rset whose gray model replays ``script`` (rows of multipliers).
+
+    The plan arms ``dpu_slow_rate`` only so the fail-stop injector stays
+    silent; the scripted model then replaces the seeded one.
+    """
+    plan = FaultPlan(seed=5, dpu_slow_rate=0.5, **plan_overrides)
+    rset = make_rset(num_dpus, plan)
+    rset.gray = ScriptedGray(
+        plan, num_dpus, rset.transfer.system.dpus_per_rank, script
+    )
+    return rset
+
+
+def roundtrip_launches(rset, launches=1, kernel_seconds=1e-4):
+    n = 8 * rset.num_dpus
+    shards = np.array_split(np.arange(n, dtype=np.int64), rset.num_dpus)
+    rset.scatter_arrays("x", shards)
+    for _ in range(launches):
+        rset.launch("y", lambda i: shards[i] * 2, kernel_seconds)
+    gathered, _ = rset.gather_arrays("y")
+    for got, want in zip(gathered, shards):
+        assert np.array_equal(got, want * 2)
+    return rset.log
+
+
+class TestGrayPlan:
+    def test_defaults_leave_fail_slow_off(self):
+        plan = FaultPlan()
+        assert not plan.fail_slow_enabled
+        assert not plan.enabled
+        # and armed fail-stop alone never constructs the gray machinery
+        rset = make_rset(4, FaultPlan.uniform(0.05, seed=1))
+        assert rset.gray is None
+        assert rset.adaptive is None
+        assert rset._jitter_rng is None
+
+    def test_with_fail_slow_arms_and_scales(self):
+        plan = FaultPlan(seed=9).with_fail_slow(0.08)
+        assert plan.fail_slow_enabled and plan.enabled
+        assert plan.dpu_slow_rate == 0.08
+        assert plan.degraded_dpu_rate == pytest.approx(0.01)
+        assert plan.degraded_rank_rate == pytest.approx(0.08 / 64)
+        assert plan.dma_retry_rate == 0.08
+        assert "slow=0.08" in plan.describe()
+        assert "hedging=on" in plan.describe()
+
+    @pytest.mark.parametrize("field, value", [
+        ("dpu_slow_rate", 1.5),
+        ("degraded_dpu_rate", -0.1),
+        ("dma_retry_rate", 2.0),
+        ("backoff_jitter", 1.1),
+        ("straggler_quantile", 1.0),
+        ("straggler_margin", 0.5),
+        ("degraded_factor", 0.9),
+        ("probation_factor", 0.0),
+        ("timeout_cold_start", 0),
+        ("slow_quarantine_after", 0),
+        ("probation_launches", 0),
+    ])
+    def test_validation_rejects_bad_knobs(self, field, value):
+        with pytest.raises(UpmemError):
+            FaultPlan(**{field: value})
+
+    def test_floor_above_ceiling_rejected(self):
+        with pytest.raises(UpmemError):
+            FaultPlan(straggler_floor_s=1.0, straggler_ceiling_s=0.5)
+
+    def test_gray_stream_independent_of_fail_stop(self):
+        # arming fail-slow must not perturb the fail-stop schedule:
+        # the gray model draws from its own salted stream
+        assert derive_seed(42, GRAY_SEED_SALT) != 42
+        assert derive_seed(42, GRAY_SEED_SALT) != derive_seed(
+            42, JITTER_SEED_SALT
+        )
+        matrix = small_graph()
+        stop_only = FaultPlan.uniform(0.05, seed=42)
+        both = stop_only.with_fail_slow(0.05)
+        a = bfs(matrix, 0, SYSTEM, 64, fault_plan=stop_only)
+        b = bfs(matrix, 0, SYSTEM, 64, fault_plan=both)
+        stop_kinds = {"crash", "hang", "bitflip", "corruption",
+                      "rank-failure"}
+        sched_a = [e for e in a.fault_log.schedule() if e[0] in stop_kinds]
+        sched_b = [e for e in b.fault_log.schedule() if e[0] in stop_kinds]
+        assert sched_a == sched_b, (
+            "fail-stop schedule changed when fail-slow armed (seed=42)"
+        )
+
+
+class TestP2Quantile:
+    def test_exact_below_five_samples(self):
+        est = P2Quantile(0.5)
+        for x in (5.0, 1.0, 3.0):
+            est.add(x)
+        assert est.value() == pytest.approx(3.0)
+
+    def test_empty_returns_none(self):
+        assert P2Quantile(0.9).value() is None
+
+    @pytest.mark.parametrize("q", [0.5, 0.9, 0.95, 0.99])
+    def test_tracks_lognormal_stream(self, q):
+        rng = np.random.default_rng(7)
+        data = rng.lognormal(1.0, 0.75, 4000)
+        est = P2Quantile(q)
+        for x in data:
+            est.add(x)
+        true = float(np.quantile(data, q))
+        assert est.value() == pytest.approx(true, rel=0.15), (
+            f"P2 q={q} drifted from the true quantile (seed=7)"
+        )
+
+    def test_rejects_degenerate_quantile(self):
+        with pytest.raises(ValueError):
+            P2Quantile(0.0)
+        with pytest.raises(ValueError):
+            P2Quantile(1.0)
+
+
+class TestAdaptiveTimeout:
+    def test_cold_start_returns_none(self):
+        plan = FaultPlan(timeout_cold_start=4)
+        adaptive = AdaptiveTimeout(plan)
+        for _ in range(3):
+            adaptive.observe("spmv", 1e-4)
+        assert adaptive.deadline("spmv") is None
+        adaptive.observe("spmv", 1e-4)
+        assert adaptive.deadline("spmv") == pytest.approx(
+            max(1e-4 * plan.straggler_margin, plan.straggler_floor_s)
+        )
+
+    def test_deadline_clamped_to_floor_and_ceiling(self):
+        plan = FaultPlan(timeout_cold_start=1)
+        adaptive = AdaptiveTimeout(plan)
+        adaptive.observe("tiny", 1e-9)
+        assert adaptive.deadline("tiny") == plan.straggler_floor_s
+        adaptive.observe("huge", 10.0)
+        assert adaptive.deadline("huge") == plan.straggler_ceiling_s
+
+    def test_regions_are_independent(self):
+        plan = FaultPlan(timeout_cold_start=1)
+        adaptive = AdaptiveTimeout(plan)
+        adaptive.observe("a", 1e-3)
+        assert adaptive.deadline("b") is None
+
+    def test_adaptive_hang_timeout(self):
+        # cold: a hang charges the fixed plan.timeout_s.  Warm (after
+        # timeout_cold_start samples): the learned deadline, which for a
+        # 1e-4 s kernel is margin * 1e-4 << timeout_s.
+        plan = FaultPlan(
+            dpu_hang_rate=0.5, adaptive_timeout=True,
+            timeout_cold_start=2, quarantine_after=10, seed=1,
+        )
+        script = [
+            FaultKind.HANG, None, None,   # launch 1: DPU 0 hangs, retry ok
+            None, None,                   # launch 2: clean
+            FaultKind.HANG, None, None,   # launch 3: DPU 0 hangs again
+        ]
+        rset = make_rset(2, plan)
+        from test_faults import ScriptedInjector
+
+        rset.inner.injector = ScriptedInjector(plan, launch_script=script)
+        rset.injector = rset.inner.injector
+        shards = [np.arange(4), np.arange(4, 8)]
+        rset.scatter_arrays("x", shards)
+        for _ in range(3):
+            rset.launch("y", lambda i: shards[i], kernel_seconds=1e-4)
+        hangs = [e for e in rset.log.events if e.kind == "hang"]
+        assert len(hangs) == 2, f"expected 2 scripted hangs (seed={plan.seed})"
+        cold, warm = hangs
+        assert cold.recovery_s >= plan.timeout_s
+        assert warm.recovery_s < plan.timeout_s, (
+            "warm hang should be priced by the learned deadline, "
+            f"not timeout_s={plan.timeout_s}"
+        )
+
+    def test_fixed_timeout_without_adaptive_flag(self):
+        # same script, adaptive_timeout left at its default False: both
+        # hangs cost the fixed timeout even after the estimator warms
+        plan = FaultPlan(
+            dpu_hang_rate=0.5, timeout_cold_start=2,
+            quarantine_after=10, seed=1,
+        )
+        script = [
+            FaultKind.HANG, None, None,
+            None, None,
+            FaultKind.HANG, None, None,
+        ]
+        rset = make_rset(2, plan)
+        from test_faults import ScriptedInjector
+
+        rset.inner.injector = ScriptedInjector(plan, launch_script=script)
+        rset.injector = rset.inner.injector
+        shards = [np.arange(4), np.arange(4, 8)]
+        rset.scatter_arrays("x", shards)
+        for _ in range(3):
+            rset.launch("y", lambda i: shards[i], kernel_seconds=1e-4)
+        hangs = [e for e in rset.log.events if e.kind == "hang"]
+        assert len(hangs) == 2
+        assert all(e.recovery_s >= plan.timeout_s for e in hangs)
+
+
+class TestHedging:
+    KERNEL_S = 1e-4
+
+    def test_hedge_wins_against_extreme_straggler(self):
+        # DPU 0 runs 100x slow; threshold (cold) = timeout_s = 2e-3.
+        # The hedge finishes at threshold + kernel ~ 2.1e-3 << 1e-2.
+        rset = scripted_gray_rset([[100.0, 1.0, 1.0, 1.0]])
+        log = roundtrip_launches(rset, kernel_seconds=self.KERNEL_S)
+        assert log.num_hedges_won == 1
+        assert log.num_stragglers == 1
+        won = next(e for e in log.events if e.action == "hedge-won")
+        assert won.dpu_id == 0
+        waits = [e for e in log.events if e.kind == "straggler-wait"]
+        assert len(waits) == 1
+        # launch completes with the hedge, not the 100x original
+        assert waits[0].recovery_s < 100.0 * self.KERNEL_S
+        assert rset.gray.wasted_s > 0
+
+    def test_hedge_loses_close_race_and_accounts_waste(self):
+        # exec 2.05e-3 barely blows the 2e-3 deadline; the hedge would
+        # land at 2.1e-3, so the original wins and the hedge is wasted
+        rset = scripted_gray_rset([[20.5, 1.0, 1.0, 1.0]])
+        log = roundtrip_launches(rset, kernel_seconds=self.KERNEL_S)
+        assert log.num_hedges_won == 0
+        assert log.num_hedges_wasted == 1
+        assert rset.gray.hedges_lost == 1
+        assert rset.gray.wasted_s == pytest.approx(
+            20.5 * self.KERNEL_S - 2e-3
+        )
+
+    def test_tie_goes_to_the_original(self):
+        # hedge_done == exec_s exactly (1e-3 * 4.0 == 3e-3 + 1e-3 in
+        # IEEE doubles): first-completion-wins breaks the tie
+        # deterministically toward the original (strict <)
+        kernel_s = 1e-3
+        rset = scripted_gray_rset([[4.0, 1.0, 1.0, 1.0]])
+        plan = rset.plan
+        threshold = max(plan.timeout_s, kernel_s * plan.straggler_margin)
+        assert 4.0 * kernel_s == threshold + 1.0 * kernel_s
+        log = roundtrip_launches(rset, kernel_seconds=kernel_s)
+        assert log.num_hedges_won == 0
+        assert log.num_hedges_wasted == 1
+
+    def test_no_hedging_still_bounds_nothing_but_detects(self):
+        rset = scripted_gray_rset([[100.0, 1.0, 1.0, 1.0]], hedging=False)
+        log = roundtrip_launches(rset, kernel_seconds=self.KERNEL_S)
+        actions = {e.action for e in log.events}
+        assert "straggler" in actions
+        assert "hedge-won" not in actions and "hedge-lost" not in actions
+        waits = [e for e in log.events if e.kind == "straggler-wait"]
+        # without hedging the launch waits out the full 100x exec time
+        assert waits[0].recovery_s == pytest.approx(99.0 * self.KERNEL_S)
+
+    def test_straggler_wait_prices_the_whole_overhead(self):
+        # invariant: sum(recovery_s) == breakdown delta for pure
+        # fail-slow plans — the single straggler-wait event carries it
+        rset = scripted_gray_rset([[100.0, 1.0, 1.0, 1.0]])
+        log = roundtrip_launches(rset, kernel_seconds=self.KERNEL_S)
+        waits = [e for e in log.events if e.kind == "straggler-wait"]
+        others = [e for e in log.events if e.kind != "straggler-wait"]
+        assert all(e.recovery_s == 0.0 for e in others)
+        assert log.recovery_seconds == pytest.approx(
+            sum(e.recovery_s for e in waits)
+        )
+
+    def test_seeded_hedging_is_deterministic(self):
+        plan = FaultPlan(seed=13).with_fail_slow(0.2)
+
+        def run():
+            rset = make_rset(8, plan)
+            return roundtrip_launches(
+                rset, launches=4, kernel_seconds=self.KERNEL_S
+            )
+
+        a, b = run(), run()
+        assert a.schedule() == b.schedule(), (
+            "same seed must replay the same gray schedule (seed=13)"
+        )
+        assert a.recovery_seconds == pytest.approx(b.recovery_seconds)
+
+
+class TestSlowQuarantineProbation:
+    KERNEL_S = 1e-4
+    SLOW = [50.0, 1.0, 1.0, 1.0]
+    CLEAN = [1.0, 1.0, 1.0, 1.0]
+
+    def test_quarantine_probation_release_cycle(self):
+        # 3 consecutive straggler launches -> slow-quarantine; then 2
+        # clean probes -> release (defaults: after=3, probes=2)
+        script = [self.SLOW] * 3 + [self.CLEAN] * 2
+        rset = scripted_gray_rset(script)
+        log = roundtrip_launches(
+            rset, launches=5, kernel_seconds=self.KERNEL_S
+        )
+        actions = [
+            e.action for e in log.events if e.kind == "fail-slow"
+            and e.dpu_id == 0
+        ]
+        assert actions.count("slow-quarantine") == 1
+        assert actions.count("probation-release") == 1
+        assert actions.index("slow-quarantine") < actions.index(
+            "probation-release"
+        )
+        assert 0 not in rset.gray.slow_quarantined
+        assert 0 not in log.slow_quarantined
+        assert rset.gray.streak[0] == 0
+
+    def test_dirty_probe_resets_probation(self):
+        # quarantine, one clean probe, then a dirty probe: the release
+        # needs 2 *consecutive* clean probes, so DPU 0 stays quarantined
+        script = [self.SLOW] * 3 + [self.CLEAN, self.SLOW, self.CLEAN]
+        rset = scripted_gray_rset(script)
+        log = roundtrip_launches(
+            rset, launches=6, kernel_seconds=self.KERNEL_S
+        )
+        assert 0 in rset.gray.slow_quarantined
+        assert 0 in log.slow_quarantined
+        assert not any(
+            e.action == "probation-release" for e in log.events
+        )
+
+    def test_quarantined_tile_is_pre_hedged(self):
+        # while slow-quarantined, DPU 0's tile rides a healthy peer: the
+        # 50x multiplier on launch 4 must not bound the launch
+        script = [self.SLOW] * 4
+        rset = scripted_gray_rset(script)
+        log = roundtrip_launches(
+            rset, launches=4, kernel_seconds=self.KERNEL_S
+        )
+        waits = [e for e in log.events if e.kind == "straggler-wait"]
+        # launch 4 happens with DPU 0 in probation: its completion is
+        # serialized behind a healthy peer (~2 kernels), not 50 kernels
+        assert waits[-1].recovery_s < 10 * self.KERNEL_S
+        # and no new straggler detection fires for the pre-hedged DPU
+        strag4 = [
+            e for e in log.events
+            if e.action in ("straggler", "hedge-won", "hedge-lost")
+        ]
+        assert len(strag4) == 3
+
+    def test_results_stay_exact_throughout(self):
+        # the whole cycle returns validated, exact shards every launch
+        script = [self.SLOW] * 3 + [self.CLEAN] * 2
+        rset = scripted_gray_rset(script)
+        roundtrip_launches(rset, launches=5, kernel_seconds=self.KERNEL_S)
+        # roundtrip_launches asserts gathered == expected internally
+
+
+class TestBackoffJitter:
+    def test_jitter_bounds_and_determinism(self):
+        plan = FaultPlan(
+            transfer_corruption_rate=0.1, backoff_jitter=0.5, seed=21
+        )
+        a = make_rset(4, plan)
+        b = make_rset(4, plan)
+        xs = [a._jitter(1.0) for _ in range(50)]
+        ys = [b._jitter(1.0) for _ in range(50)]
+        assert xs == ys, "same plan seed must draw the same jitter stream"
+        assert all(0.5 <= x <= 1.0 for x in xs)
+        assert len(set(xs)) > 1, "jitter should actually vary"
+
+    def test_zero_jitter_is_identity(self):
+        rset = make_rset(4, FaultPlan(transfer_corruption_rate=0.1))
+        assert rset._jitter_rng is None
+        assert rset._jitter(3.5) == 3.5
+
+    def test_jittered_recovery_stays_reproducible(self):
+        plan = FaultPlan(
+            transfer_corruption_rate=0.3, backoff_jitter=0.5, seed=4
+        )
+
+        def run():
+            rset = make_rset(8, plan)
+            return roundtrip_launches(rset)
+
+        a, b = run(), run()
+        assert a.schedule() == b.schedule()
+        assert a.recovery_seconds == pytest.approx(b.recovery_seconds)
+
+    def test_jitter_shrinks_vs_legacy_backoff(self):
+        base = FaultPlan(transfer_corruption_rate=0.3, seed=4)
+        jittered = FaultPlan(
+            transfer_corruption_rate=0.3, backoff_jitter=0.5, seed=4
+        )
+        a = roundtrip_launches(make_rset(8, base))
+        b = roundtrip_launches(make_rset(8, jittered))
+        assert a.schedule() == b.schedule(), (
+            "jitter must not change the fault schedule, only its pricing"
+        )
+        assert b.recovery_seconds <= a.recovery_seconds
+
+
+class TestAlgorithmsUnderGrayFailure:
+    """All seven algorithms, bit-identical at dpu_slow_rate=0.05."""
+
+    PLAN = FaultPlan(seed=11).with_fail_slow(0.05)
+
+    def _assert_identical(self, name, clean, faulty):
+        assert clean.values.tobytes() == faulty.values.tobytes(), (
+            f"{name} not bit-identical under fail-slow "
+            f"(seed={self.PLAN.seed}, slow_rate={self.PLAN.dpu_slow_rate})"
+        )
+        assert clean.fault_log is None
+        assert faulty.fault_log is not None
+
+    def test_bfs(self):
+        m = small_graph()
+        self._assert_identical(
+            "bfs", bfs(m, 0, SYSTEM, 64),
+            bfs(m, 0, SYSTEM, 64, fault_plan=self.PLAN),
+        )
+
+    def test_sssp(self):
+        m = small_graph(weighted=True)
+        self._assert_identical(
+            "sssp", sssp(m, 0, SYSTEM, 64),
+            sssp(m, 0, SYSTEM, 64, fault_plan=self.PLAN),
+        )
+
+    def test_ppr(self):
+        m = small_graph()
+        self._assert_identical(
+            "ppr", ppr(m, 0, SYSTEM, 64),
+            ppr(m, 0, SYSTEM, 64, fault_plan=self.PLAN),
+        )
+
+    def test_pagerank(self):
+        m = small_graph()
+        self._assert_identical(
+            "pagerank", pagerank(m, SYSTEM, 64),
+            pagerank(m, SYSTEM, 64, fault_plan=self.PLAN),
+        )
+
+    def test_connected_components(self):
+        m = small_graph()
+        self._assert_identical(
+            "cc", connected_components(m, SYSTEM, 64),
+            connected_components(m, SYSTEM, 64, fault_plan=self.PLAN),
+        )
+
+    def test_betweenness_centrality(self):
+        m = small_graph()
+        sources = [0, 5, 11]
+        self._assert_identical(
+            "bc", betweenness_centrality(m, sources, SYSTEM, 64),
+            betweenness_centrality(
+                m, sources, SYSTEM, 64, fault_plan=self.PLAN
+            ),
+        )
+
+    def test_delta_stepping(self):
+        m = small_graph(weighted=True)
+        self._assert_identical(
+            "delta-stepping", sssp_delta_stepping(m, 0, SYSTEM, 64),
+            sssp_delta_stepping(m, 0, SYSTEM, 64, fault_plan=self.PLAN),
+        )
+
+    def test_overhead_is_priced_not_free(self):
+        m = small_graph()
+        clean = bfs(m, 0, SYSTEM, 64)
+        faulty = bfs(m, 0, SYSTEM, 64, fault_plan=self.PLAN)
+        delta = faulty.breakdown.total - clean.breakdown.total
+        assert delta > 0, "stragglers must cost simulated time"
+        assert delta == pytest.approx(
+            faulty.fault_log.recovery_seconds, rel=1e-9
+        ), "breakdown delta must equal the logged recovery time"
+
+
+class TestZeroRateIdentity:
+    """All new knobs at defaults => bit-identical to the PR 9 layer."""
+
+    def test_explicit_zero_gray_matches_plain_fail_stop(self):
+        m = small_graph()
+        old = FaultPlan.uniform(0.05, seed=42)
+        explicit = FaultPlan.uniform(
+            0.05, seed=42, dpu_slow_rate=0.0, degraded_dpu_rate=0.0,
+            degraded_rank_rate=0.0, dma_retry_rate=0.0, backoff_jitter=0.0,
+        )
+        a = bfs(m, 0, SYSTEM, 64, fault_plan=old)
+        b = bfs(m, 0, SYSTEM, 64, fault_plan=explicit)
+        assert a.values.tobytes() == b.values.tobytes()
+        assert a.fault_log.schedule() == b.fault_log.schedule()
+        assert a.breakdown.total == b.breakdown.total
+
+    def test_gray_machinery_not_built_when_disarmed(self):
+        rset = make_rset(4, FaultPlan.uniform(0.05, seed=1))
+        assert rset.gray is None and rset.adaptive is None
+
+    def test_adaptive_alone_without_gray_rates(self):
+        plan = FaultPlan(dpu_hang_rate=0.1, adaptive_timeout=True, seed=2)
+        rset = make_rset(4, plan)
+        assert rset.gray is None
+        assert rset.adaptive is not None
+
+
+class TestStragglerSoak:
+    """Seeded chaos soak; CI sweeps REPRO_STRAGGLER_SEED over 0/3/7."""
+
+    PLAN = FaultPlan.uniform(0.03, seed=SOAK_SEED).with_fail_slow(0.05)
+
+    def test_mixed_fault_soak_stays_exact(self):
+        m = small_graph(n=128, seed=SOAK_SEED + 1)
+        for name, run_algo in (
+            ("bfs", lambda p: bfs(m, 0, SYSTEM, 64, fault_plan=p)),
+            ("pagerank", lambda p: pagerank(m, SYSTEM, 64, fault_plan=p)),
+            ("cc", lambda p: connected_components(
+                m, SYSTEM, 64, fault_plan=p)),
+        ):
+            clean = run_algo(None)
+            faulty = run_algo(self.PLAN)
+            assert clean.values.tobytes() == faulty.values.tobytes(), (
+                f"{name} diverged under mixed chaos "
+                f"(REPRO_STRAGGLER_SEED={SOAK_SEED})"
+            )
+
+    def test_soak_schedule_is_reproducible(self):
+        m = small_graph(n=128, seed=SOAK_SEED + 1)
+        a = bfs(m, 0, SYSTEM, 64, fault_plan=self.PLAN)
+        b = bfs(m, 0, SYSTEM, 64, fault_plan=self.PLAN)
+        assert a.fault_log.schedule() == b.fault_log.schedule(), (
+            f"non-reproducible soak (REPRO_STRAGGLER_SEED={SOAK_SEED})"
+        )
+
+    def test_pure_fail_slow_soak_accounting_closes(self):
+        plan = FaultPlan(seed=SOAK_SEED).with_fail_slow(0.05)
+        m = small_graph(n=128, seed=SOAK_SEED + 1)
+        clean = bfs(m, 0, SYSTEM, 64)
+        slow = bfs(m, 0, SYSTEM, 64, fault_plan=plan)
+        assert clean.values.tobytes() == slow.values.tobytes()
+        delta = slow.breakdown.total - clean.breakdown.total
+        assert delta == pytest.approx(
+            slow.fault_log.recovery_seconds, rel=1e-9, abs=1e-15
+        ), f"time accounting leak (REPRO_STRAGGLER_SEED={SOAK_SEED})"

@@ -872,3 +872,277 @@ class TestWriteMix:
         assert service.graph("faulty").mutable.version == len(completed)
         assert any(r.retries > 0 for r in completed) or \
             all(r.status is QueryStatus.FAILED for r in results)
+
+
+# -- PR 10 satellites: capacity, priority scheduling, retry jitter ------------
+
+class TestCapacityAccounting:
+    """Cross-graph MRAM accounting at add_graph."""
+
+    def test_default_budget_is_physical_capacity(self, system, wgraph):
+        service = make_service(system, wgraph)
+        assert service.mram_budget_bytes == \
+            NUM_DPUS * system.dpu.mram_bytes
+        assert service.graph("g").footprint_bytes > 0
+
+    def test_over_budget_load_is_rejected(self, system, wgraph):
+        one = 2 * wgraph.nbytes  # one resident graph's footprint
+        service = GraphService(
+            system, NUM_DPUS, mram_budget_bytes=one + one // 2
+        )
+        service.add_graph("g", wgraph)
+        with pytest.raises(RejectedError) as info:
+            service.add_graph("h", wgraph)
+        assert info.value.reason == "capacity"
+        assert service.counters["shed_capacity"] == 1
+        with pytest.raises(KeyError):
+            service.graph("h")
+
+    def test_replacement_releases_the_old_footprint(self, system, wgraph):
+        one = 2 * wgraph.nbytes
+        service = GraphService(
+            system, NUM_DPUS, mram_budget_bytes=one + one // 2
+        )
+        service.add_graph("g", wgraph)
+        # reloading under the same name charges only the delta
+        service.add_graph("g", wgraph)
+        assert service.graph("g") is not None
+
+    def test_budget_admits_until_full(self, system, wgraph):
+        one = 2 * wgraph.nbytes
+        service = GraphService(
+            system, NUM_DPUS, mram_budget_bytes=3 * one
+        )
+        for name in ("a", "b", "c"):
+            service.add_graph(name, wgraph)
+        with pytest.raises(RejectedError) as info:
+            service.add_graph("d", wgraph)
+        assert info.value.reason == "capacity"
+
+
+class TestPriorityScheduling:
+    """Aging-weighted priority dequeue in _take_batch."""
+
+    def _submit(self, service, **kwargs):
+        defaults = dict(tenant="t", graph="g", algorithm="bfs", source=0)
+        defaults.update(kwargs)
+        return service.submit_nowait(QueryRequest(**defaults))
+
+    def test_higher_priority_dequeues_first(self, system, wgraph):
+        clock = FakeClock()
+        service = make_service(system, wgraph, clock=clock)
+
+        async def main():
+            self._submit(service, algorithm="bfs", source=0, priority=0)
+            self._submit(service, algorithm="sssp", source=1, priority=5)
+            first = service._take_batch()
+            second = service._take_batch()
+            return (
+                [p.request.algorithm for p in first],
+                [p.request.algorithm for p in second],
+            )
+
+        first, second = run_async(main())
+        assert first == ["sssp"], "priority 5 should overtake priority 0"
+        assert second == ["bfs"]
+
+    def test_fifo_within_a_priority_class(self, system, wgraph):
+        clock = FakeClock()
+        service = make_service(system, wgraph, clock=clock)
+
+        async def main():
+            self._submit(service, algorithm="sssp", source=0, priority=2)
+            self._submit(service, algorithm="bfs", source=1, priority=2)
+            return [p.request.algorithm for p in service._take_batch()]
+
+        assert run_async(main()) == ["sssp"], (
+            "equal priorities must keep submission (FIFO) order"
+        )
+
+    def test_all_zero_priorities_degenerate_to_fifo(self, system, wgraph):
+        clock = FakeClock()
+        service = make_service(system, wgraph, clock=clock)
+
+        async def main():
+            order = []
+            self._submit(service, algorithm="ppr", source=0)
+            self._submit(service, algorithm="bfs", source=1)
+            self._submit(service, algorithm="sssp", source=2)
+            for _ in range(3):
+                order.extend(
+                    p.request.algorithm for p in service._take_batch()
+                )
+            return order
+
+        assert run_async(main()) == ["ppr", "bfs", "sssp"]
+
+    def test_aging_prevents_starvation(self, system, wgraph):
+        clock = FakeClock()
+        service = make_service(
+            system, wgraph, clock=clock, priority_aging_rate=1.0
+        )
+
+        async def main():
+            self._submit(service, algorithm="bfs", source=0, priority=0)
+            clock.advance(10.0)  # the old request accrues 10 of aging
+            self._submit(service, algorithm="sssp", source=1, priority=5)
+            return [p.request.algorithm for p in service._take_batch()]
+
+        assert run_async(main()) == ["bfs"], (
+            "an aged priority-0 request must beat a fresh priority-5 one"
+        )
+
+    def test_priority_fuses_equal_keys_into_one_batch(self, system, wgraph):
+        clock = FakeClock()
+        service = make_service(system, wgraph, clock=clock)
+
+        async def main():
+            self._submit(service, source=0, priority=0)
+            self._submit(service, algorithm="sssp", source=1, priority=9)
+            self._submit(service, source=2, priority=0)
+            first = service._take_batch()
+            second = service._take_batch()
+            return (
+                [(p.request.algorithm, p.request.source) for p in first],
+                [(p.request.algorithm, p.request.source) for p in second],
+            )
+
+        first, second = run_async(main())
+        assert first == [("sssp", 1)]
+        # both bfs companions fuse once the high-priority head is served
+        assert second == [("bfs", 0), ("bfs", 2)]
+
+    def test_priority_never_overtakes_a_same_graph_write(
+        self, system, wgraph
+    ):
+        from repro.dynamic import EdgeBatch
+        from repro.serving.request import MUTATE
+
+        clock = FakeClock()
+        service = make_service(system, wgraph, clock=clock)
+
+        async def main():
+            self._submit(
+                service, algorithm=MUTATE, source=None,
+                edges=EdgeBatch.of(inserts=[(0, 1)]), priority=0,
+            )
+            self._submit(service, source=0, priority=50)
+            first = service._take_batch()
+            second = service._take_batch()
+            return (
+                [p.request.algorithm for p in first],
+                [p.request.algorithm for p in second],
+            )
+
+        first, second = run_async(main())
+        assert first == ["mutate"], (
+            "a read admitted after a same-graph write must stay behind it"
+        )
+        assert second == ["bfs"]
+
+    def test_urgent_write_never_overtakes_an_earlier_read(
+        self, system, wgraph
+    ):
+        from repro.dynamic import EdgeBatch
+        from repro.serving.request import MUTATE
+
+        clock = FakeClock()
+        service = make_service(system, wgraph, clock=clock)
+
+        async def main():
+            self._submit(service, source=0, priority=0)
+            self._submit(
+                service, algorithm=MUTATE, source=None,
+                edges=EdgeBatch.of(inserts=[(0, 1)]), priority=50,
+            )
+            return [p.request.algorithm for p in service._take_batch()]
+
+        assert run_async(main()) == ["bfs"], (
+            "a write must not be reordered before an earlier same-graph "
+            "read, regardless of priority"
+        )
+
+    def test_urgent_read_on_other_graph_overtakes(self, system, wgraph):
+        from repro.dynamic import EdgeBatch
+        from repro.serving.request import MUTATE
+
+        clock = FakeClock()
+        service = make_service(system, wgraph, clock=clock)
+        service.add_graph("h", wgraph)
+
+        async def main():
+            self._submit(
+                service, algorithm=MUTATE, source=None,
+                edges=EdgeBatch.of(inserts=[(0, 1)]), priority=0,
+            )
+            self._submit(service, graph="h", source=0, priority=5)
+            return [
+                (p.request.graph, p.request.algorithm)
+                for p in service._take_batch()
+            ]
+
+        assert run_async(main()) == [("h", "bfs")], (
+            "the write barrier is per-graph: other graphs may overtake"
+        )
+
+    def test_write_barrier_fifo_still_holds_end_to_end(
+        self, system, wgraph
+    ):
+        # the original PR 7 barrier scenario, now with priorities mixed
+        # in: reads fuse up to (never across) a same-graph write
+        from repro.dynamic import EdgeBatch
+        from repro.serving.request import MUTATE
+
+        clock = FakeClock()
+        service = make_service(system, wgraph, clock=clock)
+
+        async def main():
+            for i in range(2):
+                self._submit(service, source=i, priority=1)
+            for i in range(2):
+                self._submit(
+                    service, algorithm=MUTATE, source=None,
+                    edges=EdgeBatch.of(inserts=[(0, i)]), priority=3,
+                )
+            self._submit(service, source=5, priority=7)
+            first = service._take_batch()
+            second = service._take_batch()
+            third = service._take_batch()
+            return tuple(
+                [p.request.algorithm for p in batch]
+                for batch in (first, second, third)
+            )
+
+        first, second, third = run_async(main())
+        assert first == ["bfs", "bfs"]
+        assert second == ["mutate", "mutate"]
+        assert third == ["bfs"]
+
+
+class TestRetryJitter:
+    def test_backoff_jitter_bounds_and_determinism(self):
+        policy = RetryPolicy(jitter=0.5, seed=3)
+        a = np.random.default_rng(policy.seed)
+        b = np.random.default_rng(policy.seed)
+        xs = [policy.backoff_s(2, a) for _ in range(20)]
+        ys = [policy.backoff_s(2, b) for _ in range(20)]
+        assert xs == ys, "same policy seed must draw the same jitter"
+        base = policy.backoff_base_s * policy.backoff_factor
+        assert all(0.5 * base <= x <= base for x in xs)
+        assert len(set(xs)) > 1
+
+    def test_zero_jitter_matches_legacy_backoff(self):
+        legacy = RetryPolicy()
+        jittery = RetryPolicy(jitter=0.0, seed=9)
+        rng = np.random.default_rng(9)
+        for attempt in (1, 2, 3):
+            assert jittery.backoff_s(attempt, rng) == \
+                legacy.backoff_s(attempt)
+
+    def test_service_arms_rng_only_when_jittered(self, system, wgraph):
+        plain = make_service(system, wgraph)
+        assert plain._retry_rng is None
+        jittered = make_service(
+            system, wgraph, retry=RetryPolicy(jitter=0.3, seed=5)
+        )
+        assert jittered._retry_rng is not None
